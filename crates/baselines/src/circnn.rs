@@ -1,0 +1,340 @@
+//! CirCNN: block-circulant weight matrices computed with FFTs
+//! (Ding et al., MICRO '17) — functional substrate plus the published
+//! performance envelope.
+//!
+//! A weight matrix is partitioned into `b × b` circulant blocks; each
+//! block is defined by its first row `w`, and block-vector products
+//! reduce to `IFFT(FFT(w) ⊙ FFT(x))`, cutting storage and multiplies by
+//! `b` (compression) and `b/log b` (compute). The FFT here is a
+//! from-scratch iterative radix-2 implementation.
+
+use tie_tensor::{Result, Tensor, TensorError};
+
+use rand::Rng;
+
+/// A complex number (no external dependency).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Constructs from parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    fn mul(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+
+    fn add(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
+    }
+
+    fn sub(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
+    }
+}
+
+/// In-place iterative radix-2 Cooley-Tukey FFT (`inverse = true` for the
+/// unscaled inverse; divide by `n` afterwards, as [`ifft`] does).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] if the length is not a power
+/// of two.
+pub fn fft_in_place(data: &mut [Complex], inverse: bool) -> Result<()> {
+    let n = data.len();
+    if n == 0 || n & (n - 1) != 0 {
+        return Err(TensorError::InvalidArgument {
+            message: format!("FFT length {n} is not a power of two"),
+        });
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = data[i + k + len / 2].mul(w);
+                data[i + k] = u.add(v);
+                data[i + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// Forward FFT of a real vector.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] for non-power-of-two lengths.
+pub fn fft_real(x: &[f64]) -> Result<Vec<Complex>> {
+    let mut data: Vec<Complex> = x.iter().map(|&v| Complex::new(v, 0.0)).collect();
+    fft_in_place(&mut data, false)?;
+    Ok(data)
+}
+
+/// Inverse FFT returning the real parts (inputs are spectra of real
+/// signals).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] for non-power-of-two lengths.
+pub fn ifft(spectrum: &[Complex]) -> Result<Vec<f64>> {
+    let mut data = spectrum.to_vec();
+    fft_in_place(&mut data, true)?;
+    let n = data.len() as f64;
+    Ok(data.into_iter().map(|c| c.re / n).collect())
+}
+
+/// Reference `O(n²)` DFT used to validate the FFT in tests.
+pub fn dft_naive(x: &[f64]) -> Vec<Complex> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::default();
+            for (t, &v) in x.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+                acc = acc.add(Complex::new(v * ang.cos(), v * ang.sin()));
+            }
+            acc
+        })
+        .collect()
+}
+
+/// A block-circulant matrix: `(rows/b) × (cols/b)` circulant blocks of
+/// size `b`, each stored as its defining first row.
+#[derive(Debug, Clone)]
+pub struct BlockCirculantMatrix {
+    rows: usize,
+    cols: usize,
+    block: usize,
+    /// `blocks[i][j]` is the defining row of block `(i, j)`.
+    blocks: Vec<Vec<Vec<f64>>>,
+}
+
+impl BlockCirculantMatrix {
+    /// Random block-circulant matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `block` is not a
+    /// power of two or does not divide both dimensions.
+    pub fn random<R: Rng>(
+        rng: &mut R,
+        rows: usize,
+        cols: usize,
+        block: usize,
+    ) -> Result<Self> {
+        if block == 0 || block & (block - 1) != 0 || rows % block != 0 || cols % block != 0 {
+            return Err(TensorError::InvalidArgument {
+                message: format!(
+                    "block {block} must be a power of two dividing {rows}x{cols}"
+                ),
+            });
+        }
+        let blocks = (0..rows / block)
+            .map(|_| {
+                (0..cols / block)
+                    .map(|_| (0..block).map(|_| rng.gen_range(-1.0..1.0)).collect())
+                    .collect()
+            })
+            .collect();
+        Ok(BlockCirculantMatrix {
+            rows,
+            cols,
+            block,
+            blocks,
+        })
+    }
+
+    /// Stored parameters (`rows·cols / b`).
+    pub fn num_params(&self) -> usize {
+        (self.rows / self.block) * (self.cols / self.block) * self.block
+    }
+
+    /// Compression ratio vs dense (`b`).
+    pub fn compression_ratio(&self) -> f64 {
+        (self.rows * self.cols) as f64 / self.num_params() as f64
+    }
+
+    /// Dense reconstruction: circulant block `(i,j)` has
+    /// `B[r, c] = w[(r − c) mod b]` (circular-convolution orientation,
+    /// matching `IFFT(FFT(w) ⊙ FFT(x))`).
+    pub fn to_dense(&self) -> Tensor<f64> {
+        let mut out = Tensor::zeros(vec![self.rows, self.cols]);
+        let b = self.block;
+        for (bi, brow) in self.blocks.iter().enumerate() {
+            for (bj, w) in brow.iter().enumerate() {
+                for r in 0..b {
+                    for c in 0..b {
+                        out.data_mut()[(bi * b + r) * self.cols + bj * b + c] =
+                            w[(r + b - c) % b];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// FFT-based product `y = W x`: per block-row, accumulate
+    /// `FFT(w_ij) ⊙ FFT(x_j)` in the frequency domain, one IFFT per
+    /// block-row (the CirCNN datapath structure). Also returns the real
+    /// multiply count, demonstrating the `b / log₂ b`-ish compute saving.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on a length mismatch.
+    pub fn matvec(&self, x: &Tensor<f64>) -> Result<(Tensor<f64>, u64)> {
+        if x.ndim() != 1 || x.num_elements() != self.cols {
+            return Err(TensorError::ShapeMismatch {
+                left: x.dims().to_vec(),
+                right: vec![self.cols],
+            });
+        }
+        let b = self.block;
+        let mut mults = 0u64;
+        let fft_cost = |n: usize| -> u64 {
+            // Complex mults of radix-2 FFT: (n/2) log2 n, 4 real mults each.
+            let log = usize::BITS - n.leading_zeros() - 1;
+            (n as u64 / 2) * log as u64 * 4
+        };
+        // Pre-transform every input segment once (shared across block rows).
+        let mut x_spectra = Vec::with_capacity(self.cols / b);
+        for j in 0..self.cols / b {
+            let seg = &x.data()[j * b..(j + 1) * b];
+            x_spectra.push(fft_real(seg)?);
+            mults += fft_cost(b);
+        }
+        let mut y = Tensor::zeros(vec![self.rows]);
+        for (bi, brow) in self.blocks.iter().enumerate() {
+            let mut acc = vec![Complex::default(); b];
+            for (w, xs) in brow.iter().zip(&x_spectra) {
+                let ws = fft_real(w)?;
+                mults += fft_cost(b);
+                for k in 0..b {
+                    acc[k] = acc[k].add(ws[k].mul(xs[k]));
+                }
+                mults += 4 * b as u64;
+            }
+            let row = ifft(&acc)?;
+            mults += fft_cost(b);
+            y.data_mut()[bi * b..(bi + 1) * b].copy_from_slice(&row);
+        }
+        Ok((y, mults))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use tie_tensor::linalg::matvec;
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let x: Vec<f64> = (0..16).map(|i| ((i * 7 % 13) as f64) - 6.0).collect();
+        let fast = fft_real(&x).unwrap();
+        let slow = dft_naive(&x);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a.re - b.re).abs() < 1e-9 && (a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip() {
+        let x: Vec<f64> = (0..32).map(|i| (i as f64 * 0.7).sin()).collect();
+        let back = ifft(&fft_real(&x).unwrap()).unwrap();
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_rejects_non_power_of_two() {
+        assert!(fft_real(&[1.0, 2.0, 3.0]).is_err());
+        let mut empty: Vec<Complex> = vec![];
+        assert!(fft_in_place(&mut empty, false).is_err());
+    }
+
+    #[test]
+    fn circulant_matvec_matches_dense() {
+        let mut rng = ChaCha8Rng::seed_from_u64(310);
+        let w = BlockCirculantMatrix::random(&mut rng, 16, 24, 8).unwrap();
+        let x = tie_tensor::init::uniform(&mut rng, vec![24], 1.0);
+        let (y, _) = w.matvec(&x).unwrap();
+        let want = matvec(&w.to_dense(), &x).unwrap();
+        assert!(
+            y.approx_eq(&want, 1e-9),
+            "FFT path diverges: {:?} vs {:?}",
+            y.data(),
+            want.data()
+        );
+    }
+
+    #[test]
+    fn compression_ratio_is_block_size() {
+        let mut rng = ChaCha8Rng::seed_from_u64(311);
+        let w = BlockCirculantMatrix::random(&mut rng, 64, 64, 16).unwrap();
+        assert_eq!(w.compression_ratio(), 16.0);
+        assert_eq!(w.num_params(), 64 * 64 / 16);
+    }
+
+    #[test]
+    fn fft_path_saves_multiplies_at_large_blocks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(312);
+        let w = BlockCirculantMatrix::random(&mut rng, 256, 256, 64).unwrap();
+        let x = tie_tensor::init::uniform(&mut rng, vec![256], 1.0);
+        let (_, mults) = w.matvec(&x).unwrap();
+        let dense_mults = 256u64 * 256;
+        assert!(
+            mults < dense_mults,
+            "FFT mults {mults} should undercut dense {dense_mults}"
+        );
+    }
+
+    #[test]
+    fn block_validation() {
+        let mut rng = ChaCha8Rng::seed_from_u64(313);
+        assert!(BlockCirculantMatrix::random(&mut rng, 16, 16, 3).is_err());
+        assert!(BlockCirculantMatrix::random(&mut rng, 15, 16, 4).is_err());
+        assert!(BlockCirculantMatrix::random(&mut rng, 16, 16, 0).is_err());
+    }
+}

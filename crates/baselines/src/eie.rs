@@ -1,0 +1,419 @@
+//! EIE: efficient inference engine on compressed (pruned + weight-shared)
+//! fully-connected layers — functional model with a load-imbalance-aware
+//! cycle count.
+//!
+//! EIE stores the pruned weight matrix column-wise (CSC), shares weights
+//! through a 16-entry codebook (4-bit indices), interleaves matrix rows
+//! across `N_PE = 64` PEs, and skips zero activations entirely. Its
+//! throughput on a layer is governed by the number of nonzero
+//! (activation, weight) pairs and by how evenly each column's nonzeros
+//! spread over the PEs: per broadcast activation, the column's slowest PE
+//! gates progress (EIE's FIFOs smooth but do not eliminate this).
+
+use tie_tensor::{Result, Tensor, TensorError};
+
+use rand::Rng;
+
+/// A pruned, weight-shared matrix in compressed sparse column form.
+#[derive(Debug, Clone)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    /// Column pointers (`cols + 1` entries).
+    col_ptr: Vec<usize>,
+    /// Row index of each stored nonzero.
+    row_idx: Vec<u32>,
+    /// Codebook index of each stored nonzero (4-bit in EIE; stored as u8).
+    code_idx: Vec<u8>,
+    /// The shared-weight codebook (16 entries in EIE).
+    codebook: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Prunes `dense` to (approximately) `density` by magnitude and
+    /// quantizes surviving weights onto a `codebook_size`-entry shared
+    /// codebook (uniform over the surviving range — EIE trains its
+    /// codebook; uniform preserves the storage/bandwidth behavior, which
+    /// is what the performance model consumes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for a density outside
+    /// `(0, 1]` or an empty codebook.
+    pub fn from_dense(dense: &Tensor<f64>, density: f64, codebook_size: usize) -> Result<Self> {
+        if !(0.0..=1.0).contains(&density) || density == 0.0 {
+            return Err(TensorError::InvalidArgument {
+                message: format!("density {density} must be in (0, 1]"),
+            });
+        }
+        if codebook_size == 0 {
+            return Err(TensorError::InvalidArgument {
+                message: "codebook must be nonempty".into(),
+            });
+        }
+        let (rows, cols) = (dense.nrows()?, dense.ncols()?);
+        // Magnitude threshold for the target density.
+        let mut mags: Vec<f64> = dense.data().iter().map(|v| v.abs()).collect();
+        mags.sort_by(|a, b| b.partial_cmp(a).expect("finite weights"));
+        let keep = ((rows * cols) as f64 * density).round().max(1.0) as usize;
+        let threshold = mags[keep.min(mags.len()) - 1];
+        // Uniform codebook over [-max, max] of survivors.
+        let max_abs = mags[0].max(1e-30);
+        let codebook: Vec<f64> = (0..codebook_size)
+            .map(|i| {
+                let t = (i as f64 + 0.5) / codebook_size as f64; // (0,1)
+                -max_abs + 2.0 * max_abs * t
+            })
+            .collect();
+        let quantize = |v: f64| -> u8 {
+            let t = ((v + max_abs) / (2.0 * max_abs) * codebook_size as f64).floor();
+            (t.clamp(0.0, codebook_size as f64 - 1.0)) as u8
+        };
+        let mut col_ptr = Vec::with_capacity(cols + 1);
+        let mut row_idx = Vec::new();
+        let mut code_idx = Vec::new();
+        col_ptr.push(0);
+        for c in 0..cols {
+            for r in 0..rows {
+                let v = dense.data()[r * cols + c];
+                if v.abs() >= threshold && v != 0.0 {
+                    row_idx.push(r as u32);
+                    code_idx.push(quantize(v));
+                }
+            }
+            col_ptr.push(row_idx.len());
+        }
+        Ok(CscMatrix {
+            rows,
+            cols,
+            col_ptr,
+            row_idx,
+            code_idx,
+            codebook,
+        })
+    }
+
+    /// Synthesizes a random sparse matrix with the given density — used
+    /// for the VGG-sized performance workloads where only the sparsity
+    /// *pattern* matters.
+    ///
+    /// Per-column nonzero counts are `⌊rows·density⌋` plus a Bernoulli
+    /// remainder (matching the Binomial mean with mildly reduced
+    /// variance), and row positions are sampled without replacement —
+    /// `O(nnz)` instead of `O(rows·cols)` coin flips, which matters for
+    /// the 10⁸-element VGG-FC6 workload.
+    pub fn random<R: Rng>(
+        rng: &mut R,
+        rows: usize,
+        cols: usize,
+        density: f64,
+        codebook_size: usize,
+    ) -> Self {
+        let codebook: Vec<f64> = (0..codebook_size)
+            .map(|i| -1.0 + 2.0 * (i as f64 + 0.5) / codebook_size as f64)
+            .collect();
+        let mut col_ptr = Vec::with_capacity(cols + 1);
+        let mut row_idx = Vec::new();
+        let mut code_idx = Vec::new();
+        col_ptr.push(0);
+        let density = density.clamp(0.0, 1.0);
+        let expected = rows as f64 * density;
+        for _ in 0..cols {
+            let mut k = expected.floor() as usize;
+            if rng.gen_bool(expected - k as f64) {
+                k += 1;
+            }
+            let k = k.min(rows);
+            let mut picked = rand::seq::index::sample(rng, rows, k).into_vec();
+            picked.sort_unstable();
+            for r in picked {
+                row_idx.push(r as u32);
+                code_idx.push(rng.gen_range(0..codebook_size) as u8);
+            }
+            col_ptr.push(row_idx.len());
+        }
+        CscMatrix {
+            rows,
+            cols,
+            col_ptr,
+            row_idx,
+            code_idx,
+            codebook,
+        }
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Actual density.
+    pub fn density(&self) -> f64 {
+        self.nnz() as f64 / (self.rows * self.cols) as f64
+    }
+
+    /// Matrix dimensions.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Dense reconstruction (decode codebook) — the matrix EIE actually
+    /// computes with.
+    pub fn to_dense(&self) -> Tensor<f64> {
+        let mut out = Tensor::zeros(vec![self.rows, self.cols]);
+        for c in 0..self.cols {
+            for k in self.col_ptr[c]..self.col_ptr[c + 1] {
+                let r = self.row_idx[k] as usize;
+                out.data_mut()[r * self.cols + c] = self.codebook[self.code_idx[k] as usize];
+            }
+        }
+        out
+    }
+
+    /// EIE storage footprint in bits: 4-bit codes + 4-bit run-length row
+    /// jumps (EIE's CSC encoding) + codebook.
+    pub fn storage_bits(&self) -> usize {
+        self.nnz() * 8 + self.codebook.len() * 16 + (self.cols + 1) * 32
+    }
+}
+
+/// Cycle/traffic report of one EIE layer execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EieRunStats {
+    /// Total cycles (sum over broadcast activations of the slowest PE's
+    /// work, minimum 1 each — the broadcast itself).
+    pub cycles: u64,
+    /// Multiply-accumulates actually performed (nonzero pairs).
+    pub macs: u64,
+    /// Nonzero input activations broadcast.
+    pub active_inputs: u64,
+    /// Perfectly balanced lower-bound cycles (`macs / n_pe`).
+    pub balanced_cycles: u64,
+}
+
+impl EieRunStats {
+    /// Load-imbalance factor (`cycles / balanced_cycles`, ≥ 1).
+    pub fn imbalance(&self) -> f64 {
+        if self.balanced_cycles == 0 {
+            1.0
+        } else {
+            self.cycles as f64 / self.balanced_cycles as f64
+        }
+    }
+}
+
+/// The EIE accelerator model.
+///
+/// ```
+/// use rand::SeedableRng;
+/// use tie_baselines::eie::{CscMatrix, EieModel};
+/// use tie_tensor::Tensor;
+/// # fn main() -> Result<(), tie_tensor::TensorError> {
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let w = CscMatrix::random(&mut rng, 64, 64, 0.1, 16);
+/// let x = Tensor::<f64>::filled(vec![64], 1.0)?;
+/// let (y, stats) = EieModel::default().run(&w, &x)?;
+/// assert_eq!(y.num_elements(), 64);
+/// assert!(stats.imbalance() >= 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct EieModel {
+    /// Processing elements (64 in the paper).
+    pub n_pe: usize,
+}
+
+impl Default for EieModel {
+    fn default() -> Self {
+        EieModel { n_pe: 64 }
+    }
+}
+
+impl EieModel {
+    /// Functional + cycle-accurate-at-the-column-level execution of
+    /// `y = W x` on the sparse matrix.
+    ///
+    /// Zero activations are skipped (EIE's dynamic sparsity); for each
+    /// nonzero activation, every PE processes its rows' nonzeros of that
+    /// column, and the column completes when the slowest PE does.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on a length mismatch.
+    pub fn run(&self, w: &CscMatrix, x: &Tensor<f64>) -> Result<(Tensor<f64>, EieRunStats)> {
+        if x.ndim() != 1 || x.num_elements() != w.cols {
+            return Err(TensorError::ShapeMismatch {
+                left: x.dims().to_vec(),
+                right: vec![w.cols],
+            });
+        }
+        let mut y = Tensor::zeros(vec![w.rows]);
+        let mut stats = EieRunStats::default();
+        let mut per_pe = vec![0u64; self.n_pe];
+        for c in 0..w.cols {
+            let a = x.data()[c];
+            if a == 0.0 {
+                continue;
+            }
+            stats.active_inputs += 1;
+            for p in per_pe.iter_mut() {
+                *p = 0;
+            }
+            for k in w.col_ptr[c]..w.col_ptr[c + 1] {
+                let r = w.row_idx[k] as usize;
+                y.data_mut()[r] += w.codebook[w.code_idx[k] as usize] * a;
+                per_pe[r % self.n_pe] += 1;
+                stats.macs += 1;
+            }
+            let slowest = per_pe.iter().copied().max().unwrap_or(0).max(1);
+            stats.cycles += slowest;
+        }
+        stats.balanced_cycles = stats.macs.div_ceil(self.n_pe as u64).max(1);
+        Ok((y, stats))
+    }
+
+    /// Cycle-only estimate on a synthetic sparsity pattern with the given
+    /// activation density (activations chosen pseudo-randomly) — for the
+    /// VGG-sized Fig. 12 workloads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`EieModel::run`] errors (cannot occur for consistent
+    /// arguments).
+    pub fn estimate<R: Rng>(
+        &self,
+        rng: &mut R,
+        w: &CscMatrix,
+        act_density: f64,
+    ) -> Result<EieRunStats> {
+        let x = Tensor::from_vec(
+            vec![w.cols],
+            (0..w.cols)
+                .map(|_| {
+                    if rng.gen_bool(act_density.clamp(0.0, 1.0)) {
+                        rng.gen_range(0.1..1.0)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect(),
+        )?;
+        let (_, stats) = self.run(w, &x)?;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tie_tensor::linalg::matvec;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use tie_tensor::init;
+
+    #[test]
+    fn csc_from_dense_hits_target_density() {
+        let mut rng = ChaCha8Rng::seed_from_u64(300);
+        let dense: Tensor<f64> = init::uniform(&mut rng, vec![40, 50], 1.0);
+        let csc = CscMatrix::from_dense(&dense, 0.1, 16).unwrap();
+        assert!(
+            (csc.density() - 0.1).abs() < 0.02,
+            "density {}",
+            csc.density()
+        );
+    }
+
+    #[test]
+    fn functional_output_matches_decoded_dense() {
+        let mut rng = ChaCha8Rng::seed_from_u64(301);
+        let dense: Tensor<f64> = init::uniform(&mut rng, vec![12, 10], 1.0);
+        let csc = CscMatrix::from_dense(&dense, 0.3, 16).unwrap();
+        let x: Tensor<f64> = init::uniform(&mut rng, vec![10], 1.0);
+        let model = EieModel { n_pe: 4 };
+        let (y, _) = model.run(&csc, &x).unwrap();
+        let want = matvec(&csc.to_dense(), &x).unwrap();
+        assert!(
+            y.approx_eq(&want, 1e-10),
+            "EIE output diverges from its own decoded matrix"
+        );
+    }
+
+    #[test]
+    fn codebook_quantization_bounds_weight_error() {
+        let mut rng = ChaCha8Rng::seed_from_u64(302);
+        let dense: Tensor<f64> = init::uniform(&mut rng, vec![16, 16], 1.0);
+        let csc = CscMatrix::from_dense(&dense, 1.0, 256).unwrap();
+        let back = csc.to_dense();
+        // 256-level codebook over [-1,1]: step ~ 2/256.
+        assert!(back.sub(&dense).unwrap().max_abs() <= 2.0 / 256.0 + 1e-9);
+    }
+
+    #[test]
+    fn zero_activations_are_skipped() {
+        let mut rng = ChaCha8Rng::seed_from_u64(303);
+        let csc = CscMatrix::random(&mut rng, 64, 32, 0.2, 16);
+        let mut x = Tensor::<f64>::zeros(vec![32]);
+        x.data_mut()[3] = 1.0;
+        x.data_mut()[17] = -0.5;
+        let model = EieModel::default();
+        let (_, stats) = model.run(&csc, &x).unwrap();
+        assert_eq!(stats.active_inputs, 2);
+        // cycles bounded by work of 2 columns
+        let nnz2 = (csc.col_ptr[4] - csc.col_ptr[3]) + (csc.col_ptr[18] - csc.col_ptr[17]);
+        assert!(stats.macs as usize == nnz2);
+    }
+
+    #[test]
+    fn load_imbalance_is_at_least_one_and_visible_when_skewed() {
+        // All nonzeros on PE 0's rows: imbalance = n_pe at full columns.
+        let dense = Tensor::<f64>::from_fn(vec![8, 4], |i| {
+            if i[0] == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .unwrap();
+        let csc = CscMatrix::from_dense(&dense, 0.125, 16).unwrap();
+        let x = Tensor::<f64>::filled(vec![4], 1.0).unwrap();
+        let model = EieModel { n_pe: 4 };
+        let (_, stats) = model.run(&csc, &x).unwrap();
+        assert!(stats.imbalance() >= 1.0);
+        // One nonzero per column, always on PE 0 → slowest = 1 each, but
+        // balanced bound is 1 per 4 macs: imbalance 4 cycles / 1 = 4.
+        assert_eq!(stats.cycles, 4);
+        assert_eq!(stats.balanced_cycles, 1);
+    }
+
+    #[test]
+    fn estimate_scales_with_activation_density() {
+        let mut rng = ChaCha8Rng::seed_from_u64(304);
+        let csc = CscMatrix::random(&mut rng, 256, 512, 0.1, 16);
+        let model = EieModel::default();
+        let dense_act = model.estimate(&mut rng, &csc, 0.9).unwrap();
+        let sparse_act = model.estimate(&mut rng, &csc, 0.1).unwrap();
+        assert!(
+            dense_act.cycles > 4 * sparse_act.cycles,
+            "90% vs 10% activations: {} vs {}",
+            dense_act.cycles,
+            sparse_act.cycles
+        );
+    }
+
+    #[test]
+    fn from_dense_validates_arguments() {
+        let dense = Tensor::<f64>::zeros(vec![2, 2]);
+        assert!(CscMatrix::from_dense(&dense, 0.0, 16).is_err());
+        assert!(CscMatrix::from_dense(&dense, 1.5, 16).is_err());
+        assert!(CscMatrix::from_dense(&dense, 0.5, 0).is_err());
+    }
+
+    #[test]
+    fn storage_is_much_smaller_than_dense() {
+        let mut rng = ChaCha8Rng::seed_from_u64(305);
+        let csc = CscMatrix::random(&mut rng, 512, 512, 0.04, 16);
+        let dense_bits = 512 * 512 * 32;
+        assert!(csc.storage_bits() * 10 < dense_bits);
+    }
+}

@@ -1,0 +1,31 @@
+//! Baseline accelerator models the TIE paper compares against.
+//!
+//! TIE's evaluation (Tables 7–9, Fig. 12) is comparative: EIE (sparse
+//! compressed FC accelerator, ISCA '16), CirCNN (block-circulant FFT
+//! accelerator, MICRO '17) and Eyeriss (row-stationary CONV accelerator,
+//! ISCA '16). None of the three is open-source at the granularity the
+//! comparison needs, so this crate builds the closest functional
+//! equivalents (see DESIGN.md substitution ledger):
+//!
+//! * [`eie`] — a working CSC sparse matrix-vector accelerator model:
+//!   magnitude pruning to a target density, 4-bit weight-sharing
+//!   codebook, 64 PEs with interleaved row distribution, dynamic
+//!   activation sparsity, and a cycle model that captures inter-PE load
+//!   imbalance (the effect EIE's queues mitigate),
+//! * [`circnn`] — a from-scratch radix-2 FFT, functional block-circulant
+//!   layers (`y_i = Σ_j IFFT(FFT(w_ij) ⊙ FFT(x_j))`), and the published
+//!   throughput/power envelope,
+//! * [`eyeriss`] — a row-stationary dataflow analytic model for CONV
+//!   stacks, calibrated to the published VGG-16 frame rate,
+//! * [`specs`] — the published headline numbers all three papers report,
+//!   as [`tie_energy::AcceleratorSpec`] values ready for node projection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circnn;
+pub mod eie;
+pub mod eyeriss;
+pub mod specs;
+
+pub use tie_tensor::{Result, TensorError};

@@ -1,0 +1,57 @@
+//! Published headline numbers of the compared accelerators (as reported
+//! in their papers and quoted in TIE's Tables 7–9).
+
+use tie_energy::{AcceleratorSpec, TechNode};
+
+/// EIE (Han et al., ISCA '16): 45 nm, 800 MHz, 40.8 mm², 590 mW.
+pub fn eie() -> AcceleratorSpec {
+    AcceleratorSpec::new("EIE", TechNode::NM45, 800.0, Some(40.8), 590.0)
+}
+
+/// CirCNN (Ding et al., MICRO '17) synthesis numbers: 45 nm, 200 MHz,
+/// 80 mW, area unpublished; 0.8 TOPS reported throughput.
+pub fn circnn() -> AcceleratorSpec {
+    AcceleratorSpec::new("CirCNN", TechNode::NM45, 200.0, None, 80.0)
+}
+
+/// CirCNN's reported throughput in ops/s at its native node.
+pub const CIRCNN_TOPS_NATIVE: f64 = 0.8e12;
+
+/// Eyeriss (Chen et al., ISCA '16), core numbers used by TIE's Table 9:
+/// 65 nm, 200 MHz, 12.25 mm² (core), 236 mW.
+pub fn eyeriss() -> AcceleratorSpec {
+    AcceleratorSpec::new("Eyeriss", TechNode::NM65, 200.0, Some(12.25), 236.0)
+}
+
+/// Eyeriss's published VGG-16 CONV frame rate at 65 nm / 200 MHz
+/// (Table 9 baseline row: 0.8 frame/s).
+pub const EYERISS_VGG16_FPS_NATIVE: f64 = 0.8;
+
+/// TIE prototype (paper Fig. 11 / Table 6): 28 nm, 1000 MHz, 1.744 mm²,
+/// 154.8 mW.
+pub fn tie() -> AcceleratorSpec {
+    AcceleratorSpec::new("TIE", TechNode::NM28, 1000.0, Some(1.744), 154.8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tie_energy::project;
+
+    #[test]
+    fn specs_match_paper_tables() {
+        assert_eq!(eie().freq_mhz, 800.0);
+        assert_eq!(circnn().power_mw, 80.0);
+        assert_eq!(eyeriss().area_mm2, Some(12.25));
+        assert_eq!(tie().node.nm, 28.0);
+    }
+
+    #[test]
+    fn circnn_projected_throughput_matches_table8() {
+        // Throughput scales with frequency: 0.8 TOPS × (45/28) = 1.28 TOPS.
+        let native = circnn();
+        let projected = project(&native, TechNode::NM28);
+        let scaled_tops = CIRCNN_TOPS_NATIVE * projected.freq_mhz / native.freq_mhz;
+        assert!((scaled_tops / 1e12 - 1.28).abs() < 0.01);
+    }
+}

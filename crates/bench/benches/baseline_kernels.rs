@@ -1,0 +1,28 @@
+//! Baseline accelerator kernels: EIE sparse mat-vec and CirCNN
+//! block-circulant FFT mat-vec.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tie_baselines::circnn::BlockCirculantMatrix;
+use tie_baselines::eie::{CscMatrix, EieModel};
+use tie_tensor::{init, Tensor};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baseline_kernels");
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let csc = CscMatrix::random(&mut rng, 1024, 1024, 0.04, 16);
+    let x: Tensor<f64> = init::uniform(&mut rng, vec![1024], 1.0);
+    let model = EieModel::default();
+    group.bench_function("eie_sparse_matvec_1024_4pct", |bch| {
+        bch.iter(|| model.run(&csc, &x).unwrap())
+    });
+    let circ = BlockCirculantMatrix::random(&mut rng, 1024, 1024, 64).unwrap();
+    group.bench_function("circnn_fft_matvec_1024_b64", |bch| {
+        bch.iter(|| circ.matvec(&x).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

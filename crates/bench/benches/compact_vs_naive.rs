@@ -1,0 +1,40 @@
+//! Software speedup of the compact inference scheme (Algorithm 1) over
+//! the naive Eqn. (2) scheme — the §3.1 claim, as wall-clock.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tie_core::CompactEngine;
+use tie_tensor::{init, Tensor};
+use tie_tt::{inference::naive_matvec, TtMatrix, TtShape};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compact_vs_naive");
+    // The naive scheme is O(M N Σ r r'): keep sizes small enough to time.
+    for (name, m, n, r) in [
+        ("16x16_r2", vec![4usize, 4], vec![4usize, 4], 2usize),
+        ("64x64_r4", vec![4, 4, 4], vec![4, 4, 4], 4),
+        ("256x240_r4", vec![4, 4, 4, 4], vec![4, 4, 15], 4),
+    ] {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut ranks = vec![r; m.len().max(n.len()) + 1];
+        ranks[0] = 1;
+        let d = m.len().min(n.len());
+        let (m, n) = (m[..d].to_vec(), n[..d].to_vec());
+        let shape = TtShape::uniform_rank(m, n, r).unwrap();
+        let ttm = TtMatrix::<f64>::random(&mut rng, &shape, 0.5).unwrap();
+        let x: Tensor<f64> = init::uniform(&mut rng, vec![shape.num_cols()], 1.0);
+        let engine = CompactEngine::new(ttm.clone()).unwrap();
+        let _ = ranks;
+        group.bench_with_input(BenchmarkId::new("compact", name), &(), |b, ()| {
+            b.iter(|| engine.matvec(&x).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("naive_eqn2", name), &(), |b, ()| {
+            b.iter(|| naive_matvec(&ttm, &x).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

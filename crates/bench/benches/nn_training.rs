@@ -1,0 +1,39 @@
+//! Training-step cost of dense vs TT layers (the §2.2 "train from
+//! scratch" path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tie_nn::{Dense, Layer, Trainable, TtDense};
+use tie_tensor::{init, Tensor};
+use tie_tt::TtShape;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nn_training");
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let xs: Tensor<f32> = init::uniform(&mut rng, vec![16, 256], 1.0);
+    let gout: Tensor<f32> = init::uniform(&mut rng, vec![16, 256], 0.1);
+
+    let mut dense = Dense::new(&mut rng, 256, 256);
+    group.bench_function("dense_256_fwd_bwd", |b| {
+        b.iter(|| {
+            dense.forward(&xs).unwrap();
+            dense.zero_grads();
+            dense.backward(&gout).unwrap()
+        })
+    });
+
+    let shape = TtShape::uniform_rank(vec![4; 4], vec![4; 4], 4).unwrap();
+    let mut tt = TtDense::new(&mut rng, &shape);
+    group.bench_function("tt_dense_256_r4_fwd_bwd", |b| {
+        b.iter(|| {
+            tt.forward(&xs).unwrap();
+            tt.zero_grads();
+            tt.backward(&gout).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Fixed-point vs float matrix multiplication kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tie_quant::{qmatmul, QFormat, QTensor};
+use tie_tensor::{init, linalg::matmul, Tensor};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantized_matmul");
+    let mut rng = ChaCha8Rng::seed_from_u64(4);
+    let a: Tensor<f64> = init::uniform(&mut rng, vec![64, 64], 1.0);
+    let b: Tensor<f64> = init::uniform(&mut rng, vec![64, 64], 1.0);
+    let fmt = QFormat::new(12).unwrap();
+    let qa = QTensor::quantize(&a, fmt);
+    let qb = QTensor::quantize(&b, fmt);
+    group.bench_function("float64_matmul_64", |bch| {
+        bch.iter(|| matmul(&a, &b).unwrap())
+    });
+    group.bench_function("fixed16_matmul_64", |bch| {
+        bch.iter(|| qmatmul(&qa, &qb, QFormat::new(10).unwrap()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

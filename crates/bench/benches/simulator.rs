@@ -1,0 +1,29 @@
+//! Cycle-accurate simulator throughput on the paper's Table 4 workloads
+//! (how fast the software model simulates one inference).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tie_sim::{TieAccelerator, TieConfig};
+use tie_tensor::{init, Tensor};
+use tie_tt::TtMatrix;
+use tie_workloads::table4_benchmarks;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    for b in table4_benchmarks() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let ttm = TtMatrix::<f64>::random(&mut rng, &b.shape, 0.5).unwrap();
+        let mut tie = TieAccelerator::new(TieConfig::default()).unwrap();
+        let layer = tie.load_layer(ttm).unwrap();
+        let x: Tensor<f64> = init::uniform(&mut rng, vec![b.shape.num_cols()], 1.0);
+        group.bench_with_input(BenchmarkId::new("run", b.name), &(), |bch, ()| {
+            bch.iter(|| tie.run(&layer, &x, false).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! The inter-stage Transform (Eqn. 10) and input/output permutations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tie_core::transform::{assemble_output_inverse, prepare_input, TransformMap};
+use tie_tensor::{init, Tensor};
+use tie_tt::TtShape;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transform");
+    let mut rng = ChaCha8Rng::seed_from_u64(6);
+    // FC7-sized stage transform.
+    let shape = TtShape::uniform_rank(vec![4; 6], vec![4; 6], 4).unwrap();
+    let t = TransformMap::new(&shape, 4).unwrap();
+    let v: Tensor<f64> = init::uniform(&mut rng, vec![t.rows_in, t.cols_in], 1.0);
+    group.bench_function("stage_transform_fc7_h4", |bch| {
+        bch.iter(|| t.apply(&v).unwrap())
+    });
+    let x: Tensor<f64> = init::uniform(&mut rng, vec![4096], 1.0);
+    group.bench_function("prepare_input_fc7", |bch| {
+        bch.iter(|| prepare_input(&x, &shape).unwrap())
+    });
+    let y: Tensor<f64> = init::uniform(&mut rng, vec![4096], 1.0);
+    group.bench_function("assemble_output_inverse_fc7", |bch| {
+        bch.iter(|| assemble_output_inverse(&y, &shape).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! TT-SVD decomposition cost (offline model preparation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tie_tensor::linalg::Truncation;
+use tie_tensor::{init, Tensor};
+use tie_tt::{decompose::tt_svd, TtMatrix};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tt_decompose");
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    for dims in [vec![8usize, 8, 8], vec![4, 4, 4, 4, 4]] {
+        let a: Tensor<f64> = init::uniform(&mut rng, dims.clone(), 1.0);
+        group.bench_with_input(
+            BenchmarkId::new("tt_svd_exact", format!("{dims:?}")),
+            &(),
+            |b, ()| b.iter(|| tt_svd(&a, Truncation::none()).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tt_svd_rank4", format!("{dims:?}")),
+            &(),
+            |b, ()| b.iter(|| tt_svd(&a, Truncation::rank(4)).unwrap()),
+        );
+    }
+    let w: Tensor<f64> = init::uniform(&mut rng, vec![64, 64], 1.0);
+    group.bench_function("matrix_from_dense_64x64_r8", |b| {
+        b.iter(|| TtMatrix::from_dense(&w, &[4, 4, 4], &[4, 4, 4], Truncation::rank(8)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

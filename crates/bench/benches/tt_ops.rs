@@ -1,0 +1,35 @@
+//! TT-algebra kernels (the extension module): add, Hadamard, dot,
+//! rounding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tie_tensor::linalg::Truncation;
+use tie_tt::arithmetic::{tt_add, tt_dot, tt_hadamard};
+use tie_tt::TtTensor;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tt_ops");
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+    let modes = [8usize, 8, 8, 8];
+    let ranks = [1usize, 6, 6, 6, 1];
+    let a = TtTensor::<f64>::random(&mut rng, &modes, &ranks, 1.0).unwrap();
+    let b = TtTensor::<f64>::random(&mut rng, &modes, &ranks, 1.0).unwrap();
+    group.bench_function("tt_add_8x8x8x8_r6", |bch| {
+        bch.iter(|| tt_add(&a, &b).unwrap())
+    });
+    group.bench_function("tt_hadamard_8x8x8x8_r6", |bch| {
+        bch.iter(|| tt_hadamard(&a, &b).unwrap())
+    });
+    group.bench_function("tt_dot_8x8x8x8_r6", |bch| {
+        bch.iter(|| tt_dot(&a, &b).unwrap())
+    });
+    let fat = tt_add(&a, &b).unwrap();
+    group.bench_function("tt_round_r12_to_tol", |bch| {
+        bch.iter(|| fat.rounded(Truncation::tolerance(1e-8)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Regenerates the PE-scaling ablation (extension).
+fn main() {
+    match tie_bench::experiments::ablations::pe_sweep() {
+        Ok(report) => {
+            println!("{report}");
+            if let Err(e) = report.save_json(std::path::Path::new("target/experiments")) {
+                eprintln!("warning: could not save JSON: {e}");
+            }
+        }
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Runs the full experiment battery in paper order and writes JSON
+//! records to `target/experiments/`.
+fn main() {
+    match tie_bench::experiments::run_all() {
+        Ok(reports) => {
+            for report in &reports {
+                println!("{report}");
+                println!();
+                if let Err(e) = report.save_json(std::path::Path::new("target/experiments")) {
+                    eprintln!("warning: could not save JSON for {}: {e}", report.id);
+                }
+            }
+            println!("{} experiments completed.", reports.len());
+        }
+        Err(e) => {
+            eprintln!("experiment battery failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

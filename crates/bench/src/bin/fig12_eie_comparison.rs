@@ -1,0 +1,15 @@
+//! Regenerates the paper's Fig. 12 (EIE vs TIE on FC6/FC7).
+fn main() {
+    match tie_bench::experiments::comparisons::fig12() {
+        Ok(report) => {
+            println!("{report}");
+            if let Err(e) = report.save_json(std::path::Path::new("target/experiments")) {
+                eprintln!("warning: could not save JSON: {e}");
+            }
+        }
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

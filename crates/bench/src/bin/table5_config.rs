@@ -1,0 +1,15 @@
+//! Regenerates the paper's Table 5 (design configuration).
+fn main() {
+    match tie_bench::experiments::hardware::table5() {
+        Ok(report) => {
+            println!("{report}");
+            if let Err(e) = report.save_json(std::path::Path::new("target/experiments")) {
+                eprintln!("warning: could not save JSON: {e}");
+            }
+        }
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Dense-vs-TT training analogs for the accuracy columns of Tables 1–3.
+//!
+//! The paper's accuracy numbers come from ImageNet / CIFAR-10 / Youtube
+//! Celebrities training runs quoted from prior work. What they establish
+//! is a *comparison*: TT-compressed layers match dense accuracy on CNNs
+//! (small loss) and outperform plain RNNs on high-dimensional sequence
+//! inputs. These harnesses run the same comparisons on deterministic
+//! synthetic datasets at tractable scale (substitution documented in
+//! DESIGN.md / EXPERIMENTS.md).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tie_nn::data::{gaussian_blobs, noisy_sequences, Dataset};
+use tie_nn::rnn::{LstmCell, SequenceClassifier};
+use tie_nn::zoo;
+use tie_nn::{
+    softmax_cross_entropy, Conv2d, Dense, Flatten, Layer, MaxPool2d, Relu, Sequential, Sgd,
+    Trainable, TtConv2d, TtDense,
+};
+use tie_tensor::{Result, Tensor};
+use tie_tt::TtShape;
+
+/// Outcome of one dense-vs-TT accuracy comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct AccuracyComparison {
+    /// Test accuracy of the dense baseline.
+    pub dense_acc: f64,
+    /// Test accuracy of the TT model.
+    pub tt_acc: f64,
+    /// Trainable-parameter ratio dense/TT of the compressed layer.
+    pub layer_cr: f64,
+}
+
+fn eval_acc(net: &mut Sequential, data: &Dataset) -> Result<f64> {
+    let logits = net.forward(&data.features)?;
+    Ok(tie_nn::loss::accuracy(&logits, &data.labels))
+}
+
+fn train_net(
+    net: &mut Sequential,
+    train: &Dataset,
+    epochs: usize,
+    lr: f32,
+) -> Result<()> {
+    let mut opt = Sgd::with_momentum(lr, 0.9);
+    for _ in 0..epochs {
+        let logits = net.forward(&train.features)?;
+        let loss = softmax_cross_entropy(&logits, &train.labels)?;
+        net.zero_grads();
+        net.backward(&loss.grad)?;
+        opt.step(net);
+    }
+    Ok(())
+}
+
+/// Table 1 analog: dense vs TT fully-connected classifier on Gaussian
+/// clusters (an "FC-dominated" model).
+///
+/// # Errors
+///
+/// Propagates training shape errors (none for the fixed configuration).
+pub fn fc_comparison(seed: u64) -> Result<AccuracyComparison> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let data = gaussian_blobs(&mut rng, 4, 64, 60, 0.55);
+    let (train, test) = data.split(0.67);
+    let shape = TtShape::uniform_rank(vec![4, 4, 4], vec![4, 4, 4], 4)?;
+
+    let mut dense = Sequential::new();
+    dense.push(Dense::new(&mut rng, 64, 64));
+    dense.push(Relu::new());
+    dense.push(Dense::new(&mut rng, 64, 4));
+    train_net(&mut dense, &train, 120, 0.05)?;
+
+    let mut tt = Sequential::new();
+    let tt_layer = TtDense::new(&mut rng, &shape);
+    let layer_cr = shape.dense_params() as f64 / shape.num_params() as f64;
+    tt.push(tt_layer);
+    tt.push(Relu::new());
+    tt.push(Dense::new(&mut rng, 64, 4));
+    train_net(&mut tt, &train, 120, 0.05)?;
+
+    Ok(AccuracyComparison {
+        dense_acc: eval_acc(&mut dense, &test)?,
+        tt_acc: eval_acc(&mut tt, &test)?,
+        layer_cr,
+    })
+}
+
+/// Table 2 analog: dense vs TT convolutional classifier on image-shaped
+/// Gaussian patterns (a "CONV-dominated" model).
+///
+/// # Errors
+///
+/// Propagates training shape errors (none for the fixed configuration).
+pub fn conv_comparison(seed: u64) -> Result<AccuracyComparison> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    // 1×8×8 images, 3 classes.
+    let data = gaussian_blobs(&mut rng, 3, 64, 50, 0.7);
+    let (train, test) = data.split(0.6);
+    let as_images = |d: &Dataset| -> Result<Tensor<f32>> {
+        d.features.reshaped(vec![d.len(), 1, 8, 8])
+    };
+    let train_x = as_images(&train)?;
+    let test_x = as_images(&test)?;
+    let geo = tie_nn::conv::ConvGeometry {
+        in_channels: 1,
+        out_channels: 8,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+    };
+    // TT layout of the conv matrix: 8 = 4·2 rows, 9 = 3·3 cols.
+    let tt_shape = TtShape::uniform_rank(vec![4, 2], vec![3, 3], 2)?;
+    let layer_cr = tt_shape.dense_params() as f64 / tt_shape.num_params() as f64;
+
+    let run = |rng: &mut ChaCha8Rng, use_tt: bool| -> Result<f64> {
+        let mut net = Sequential::new();
+        if use_tt {
+            net.push(TtConv2d::new(rng, geo, &tt_shape)?);
+        } else {
+            net.push(Conv2d::new(rng, geo));
+        }
+        net.push(Relu::new());
+        net.push(MaxPool2d::new(2, 2));
+        net.push(Flatten::new());
+        net.push(Dense::new(rng, 8 * 4 * 4, 3));
+        let mut opt = Sgd::with_momentum(0.03, 0.9);
+        for _ in 0..60 {
+            let logits = net.forward(&train_x)?;
+            let loss = softmax_cross_entropy(&logits, &train.labels)?;
+            net.zero_grads();
+            net.backward(&loss.grad)?;
+            opt.step(&mut net);
+        }
+        let logits = net.forward(&test_x)?;
+        Ok(tie_nn::loss::accuracy(&logits, &test.labels))
+    };
+    let dense_acc = run(&mut rng, false)?;
+    let tt_acc = run(&mut rng, true)?;
+    Ok(AccuracyComparison {
+        dense_acc,
+        tt_acc,
+        layer_cr,
+    })
+}
+
+/// Table 3 analog: plain LSTM vs TT-LSTM on high-dimensional noisy
+/// sequences (3840-d frames, as raw video frames are in \[77\]). The paper
+/// reports TT *ahead* of dense on natural video — a data-regime effect a
+/// linear synthetic task cannot recreate (dense is Bayes-optimal for a
+/// class-direction signal); what this harness establishes is **parity at
+/// ~85× fewer input-projection parameters**, the compression half of the
+/// claim (deviation documented in EXPERIMENTS.md).
+///
+/// # Errors
+///
+/// Propagates training shape errors (none for the fixed configuration).
+pub fn rnn_comparison(seed: u64) -> Result<AccuracyComparison> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let (classes, t_len, dim, hidden) = (3usize, 5usize, 3840usize, 8usize);
+    let all = noisy_sequences(&mut rng, classes, t_len, 16, dim, 1.0);
+    let (train, test) = all.split(6.0 / 16.0);
+    // 4H = 32 = 2·4·4 ; 3840 = 12·16·20.
+    let shape = TtShape::uniform_rank(vec![2, 4, 4], vec![12, 16, 20], 4)?;
+    let layer_cr = (dim * 4 * hidden) as f64 / shape.num_params() as f64;
+
+    let mut run = |use_tt: bool| -> Result<f64> {
+        let cell = if use_tt {
+            LstmCell::tt(&mut rng, &shape, hidden)?
+        } else {
+            LstmCell::dense(&mut rng, dim, hidden)
+        };
+        let mut clf = SequenceClassifier::new(&mut rng, cell, classes);
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        for _ in 0..40 {
+            let logits = clf.forward(&train.sequences)?;
+            let loss = softmax_cross_entropy(&logits, &train.labels)?;
+            clf.zero_grads();
+            clf.backward(&loss.grad)?;
+            opt.step(&mut clf);
+        }
+        let logits = clf.forward(&test.sequences)?;
+        Ok(tie_nn::loss::accuracy(&logits, &test.labels))
+    };
+    let dense_acc = run(false)?;
+    let tt_acc = run(true)?;
+    Ok(AccuracyComparison {
+        dense_acc,
+        tt_acc,
+        layer_cr,
+    })
+}
+
+/// Re-exported for Table 1's compression side.
+pub use zoo::vgg16_tt_compression;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fc_comparison_both_models_learn() {
+        let c = fc_comparison(42).unwrap();
+        assert!(c.dense_acc > 0.7, "dense acc {}", c.dense_acc);
+        assert!(c.tt_acc > 0.7, "tt acc {}", c.tt_acc);
+        assert!(c.layer_cr > 1.0);
+    }
+}

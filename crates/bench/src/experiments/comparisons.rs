@@ -1,0 +1,317 @@
+//! Tables 7–9 and Fig. 12: comparisons against EIE, CirCNN and Eyeriss.
+
+use crate::measure::{batched_cycles, measure_eie, measure_tie_layer, tie_power_model};
+use crate::report::{fnum, ratio, Report};
+use tie_baselines::eyeriss::EyerissModel;
+use tie_baselines::specs;
+use tie_core::{counts, InferencePlan};
+use tie_energy::{project, Metrics, TechNode};
+use tie_sim::TieConfig;
+use tie_tensor::Result;
+use tie_workloads::sparsity;
+use tie_workloads::table4_benchmarks;
+use tie_workloads::vgg_conv::vgg16_conv_workloads;
+
+/// Table 7: EIE vs TIE design parameters (with node projection).
+///
+/// # Errors
+///
+/// None in practice (spec arithmetic).
+pub fn table7() -> Result<Report> {
+    let eie = specs::eie();
+    let eie28 = project(&eie, TechNode::NM28);
+    let tie = specs::tie();
+    let mut r = Report::new(
+        "table7",
+        "Table 7: EIE and TIE design comparison",
+        "EIE: 45 nm / 800 MHz / 40.8 mm2 / 590 mW -> projected 28 nm / 1285 MHz / 15.7 mm2 / 590 mW; TIE: 28 nm / 1000 MHz / 1.74 mm2 / 154.8 mW",
+    );
+    r.headers(["design", "tech", "freq (MHz)", "area (mm2)", "power (mW)", "quantization"]);
+    r.row([
+        "EIE (reported)".to_string(),
+        "45 nm".into(),
+        fnum(eie.freq_mhz),
+        fnum(eie.area_mm2.unwrap()),
+        fnum(eie.power_mw),
+        "4-bit idx + 16-bit shared".into(),
+    ]);
+    r.row([
+        "EIE (projected)".to_string(),
+        "28 nm".into(),
+        fnum(eie28.freq_mhz),
+        fnum(eie28.area_mm2.unwrap()),
+        fnum(eie28.power_mw),
+        "4-bit idx + 16-bit shared".into(),
+    ]);
+    r.row([
+        "TIE".to_string(),
+        "28 nm".into(),
+        fnum(tie.freq_mhz),
+        fnum(tie.area_mm2.unwrap()),
+        fnum(tie.power_mw),
+        "16-bit".into(),
+    ]);
+    Ok(r)
+}
+
+/// Shared Fig. 12 measurement: per-workload TIE vs EIE metrics.
+fn fc_workload_metrics() -> Result<Vec<(String, Metrics, Metrics)>> {
+    let cfg = TieConfig::default();
+    let eie28 = project(&specs::eie(), TechNode::NM28);
+    let profiles = [sparsity::VGG_FC6, sparsity::VGG_FC7];
+    let mut out = Vec::new();
+    for (i, b) in table4_benchmarks().iter().take(2).enumerate() {
+        let tie_m = measure_tie_layer(&cfg, &b.shape, 600 + i as u64)?;
+        let tie = Metrics::new(
+            format!("TIE {}", b.name),
+            tie_m.equivalent_ops_per_sec,
+            tie_m.area_mm2,
+            tie_m.power_mw,
+        );
+        let (rows, cols) = b.size();
+        let eie_m = measure_eie(rows, cols, &profiles[i], eie28.freq_mhz, 700 + i as u64)?;
+        let eie = Metrics::new(
+            format!("EIE {}", b.name),
+            eie_m.equivalent_ops_per_sec,
+            eie28.area_mm2.unwrap(),
+            eie28.power_mw,
+        );
+        out.push((b.name.to_string(), tie, eie));
+    }
+    Ok(out)
+}
+
+/// Fig. 12: throughput / area efficiency / energy efficiency, EIE vs TIE
+/// on VGG-FC6 and VGG-FC7.
+///
+/// # Errors
+///
+/// Propagates simulator/model errors.
+pub fn fig12() -> Result<Report> {
+    let mut r = Report::new(
+        "fig12",
+        "Fig. 12: EIE vs TIE on VGG-FC6/FC7",
+        "comparable throughput; TIE 7.22x-10.66x better area efficiency and 3.03x-4.48x better energy efficiency",
+    );
+    r.headers([
+        "workload",
+        "design",
+        "eq. throughput (TOPS)",
+        "area eff (GOPS/mm2)",
+        "energy eff (TOPS/W)",
+        "TIE advantage (thr/area/energy)",
+    ]);
+    for (name, tie, eie) in fc_workload_metrics()? {
+        r.row([
+            name.clone(),
+            "EIE (28 nm proj.)".to_string(),
+            fnum(eie.tops()),
+            fnum(eie.gops_per_mm2()),
+            fnum(eie.tops_per_watt()),
+            "-".to_string(),
+        ]);
+        r.row([
+            name.clone(),
+            "TIE".to_string(),
+            fnum(tie.tops()),
+            fnum(tie.gops_per_mm2()),
+            fnum(tie.tops_per_watt()),
+            format!(
+                "{} / {} / {}",
+                ratio(tie.throughput_ratio(&eie)),
+                ratio(tie.area_efficiency_ratio(&eie)),
+                ratio(tie.energy_efficiency_ratio(&eie))
+            ),
+        ]);
+    }
+    r.note("EIE is the functional CSC model at the published sparsity profile, projected to 28 nm (linear freq / quadratic area / constant power); TIE is the cycle-accurate simulator plus the Table 6-calibrated power model");
+    Ok(r)
+}
+
+/// Table 8: CirCNN vs TIE throughput and energy efficiency.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn table8() -> Result<Report> {
+    let cfg = TieConfig::default();
+    let circnn = specs::circnn();
+    let circnn28 = project(&circnn, TechNode::NM28);
+    let circnn_tops =
+        specs::CIRCNN_TOPS_NATIVE * circnn28.freq_mhz / circnn.freq_mhz / 1e12;
+    let circnn_eff = circnn_tops / (circnn28.power_mw / 1e3);
+
+    // TIE: mean equivalent throughput across the Table 4 workloads.
+    let mut tops_sum = 0.0;
+    let mut util_sum = 0.0;
+    let benches = table4_benchmarks();
+    for (i, b) in benches.iter().enumerate() {
+        let m = measure_tie_layer(&cfg, &b.shape, 800 + i as u64)?;
+        tops_sum += m.equivalent_ops_per_sec / 1e12;
+        util_sum += m.utilization;
+    }
+    let tie_tops = tops_sum / benches.len() as f64;
+    let tie_util = util_sum / benches.len() as f64;
+    let tie_power = tie_power_model(&cfg).power_at_utilization(tie_util).total();
+    let tie_eff = tie_tops / (tie_power / 1e3);
+
+    let mut r = Report::new(
+        "table8",
+        "Table 8: CirCNN and TIE comparison",
+        "CirCNN projected 1.28 TOPS / 16 TOPS/W; TIE 7.64 TOPS / 72.9 TOPS/W -> 5.96x and 4.56x",
+    );
+    r.headers(["design", "freq (MHz)", "power (mW)", "throughput (TOPS)", "energy eff (TOPS/W)"]);
+    r.row([
+        "CirCNN (reported, 45 nm)".to_string(),
+        fnum(circnn.freq_mhz),
+        fnum(circnn.power_mw),
+        fnum(specs::CIRCNN_TOPS_NATIVE / 1e12),
+        fnum(specs::CIRCNN_TOPS_NATIVE / 1e12 / (circnn.power_mw / 1e3)),
+    ]);
+    r.row([
+        "CirCNN (projected, 28 nm)".to_string(),
+        fnum(circnn28.freq_mhz),
+        fnum(circnn28.power_mw),
+        fnum(circnn_tops),
+        fnum(circnn_eff),
+    ]);
+    r.row([
+        "TIE (measured)".to_string(),
+        fnum(cfg.freq_mhz),
+        fnum(tie_power),
+        fnum(tie_tops),
+        fnum(tie_eff),
+    ]);
+    r.row([
+        "TIE advantage".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        ratio(tie_tops / circnn_tops),
+        ratio(tie_eff / circnn_eff),
+    ]);
+    r.note("TIE throughput is the mean dense-equivalent TOPS over the four Table 4 workloads from the cycle simulator; the paper quotes 7.64 TOPS / 72.9 TOPS/W from synthesis");
+    Ok(r)
+}
+
+/// Table 9: Eyeriss vs TIE on the VGG-16 CONV stack.
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn table9() -> Result<Report> {
+    let cfg = TieConfig::default();
+    // Eyeriss: calibrated model, native then projected.
+    let eyeriss_model = EyerissModel::default();
+    let stack = tie_baselines::eyeriss::vgg16_conv_stack();
+    let fps_native = eyeriss_model.frames_per_sec(&stack)?;
+    let ey = specs::eyeriss();
+    let ey28 = project(&ey, TechNode::NM28);
+    let fps_projected = fps_native * ey28.freq_mhz / ey.freq_mhz;
+
+    // TIE: batched compact-scheme execution of the TT CONV stack.
+    let rank = 8;
+    let mut total_cycles = 0u64;
+    let mut total_macs = 0u64;
+    for w in vgg16_conv_workloads(rank) {
+        let plan = InferencePlan::new(&w.shape)?;
+        total_cycles += batched_cycles(&plan, w.pixels, cfg.n_pe, cfg.n_mac);
+        total_macs += counts::mul_compact(&w.shape) * w.pixels as u64;
+    }
+    let tie_seconds = total_cycles as f64 / (cfg.freq_mhz * 1e6);
+    let tie_fps = 1.0 / tie_seconds;
+    let tie_util = total_macs as f64 / (total_cycles as f64 * (cfg.n_pe * cfg.n_mac) as f64);
+    let model = tie_power_model(&cfg);
+    let tie_power = model.power_at_utilization(tie_util).total();
+    let tie_area = model.area().total();
+
+    let mut r = Report::new(
+        "table9",
+        "Table 9: Eyeriss and TIE on VGG CONV layers",
+        "Eyeriss projected 1.86 fps / 0.82 fps/W; TIE 6.72 fps (3.61x), 3.86 fps/W (4.71x), 39.5 fps/mm2 (5.01x)",
+    );
+    r.headers([
+        "design",
+        "freq (MHz)",
+        "area (mm2)",
+        "power (mW)",
+        "throughput (fps)",
+        "fps/W",
+        "fps/mm2",
+    ]);
+    let ey_fps_w = fps_native / (ey.power_mw / 1e3);
+    let ey_fps_mm2 = fps_native / ey.area_mm2.unwrap();
+    r.row([
+        "Eyeriss (reported, 65 nm)".to_string(),
+        fnum(ey.freq_mhz),
+        fnum(ey.area_mm2.unwrap()),
+        fnum(ey.power_mw),
+        fnum(fps_native),
+        fnum(ey_fps_w),
+        fnum(ey_fps_mm2),
+    ]);
+    let eyp_fps_w = fps_projected / (ey28.power_mw / 1e3);
+    let eyp_fps_mm2 = fps_projected / ey28.area_mm2.unwrap();
+    r.row([
+        "Eyeriss (projected, 28 nm)".to_string(),
+        fnum(ey28.freq_mhz),
+        fnum(ey28.area_mm2.unwrap()),
+        fnum(ey28.power_mw),
+        fnum(fps_projected),
+        fnum(eyp_fps_w),
+        fnum(eyp_fps_mm2),
+    ]);
+    let tie_fps_w = tie_fps / (tie_power / 1e3);
+    let tie_fps_mm2 = tie_fps / tie_area;
+    r.row([
+        format!("TIE (TT CONV, r={rank})"),
+        fnum(cfg.freq_mhz),
+        fnum(tie_area),
+        fnum(tie_power),
+        fnum(tie_fps),
+        fnum(tie_fps_w),
+        fnum(tie_fps_mm2),
+    ]);
+    r.row([
+        "TIE advantage vs projected".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        "-".to_string(),
+        ratio(tie_fps / fps_projected),
+        ratio(tie_fps_w / eyp_fps_w),
+        ratio(tie_fps_mm2 / eyp_fps_mm2),
+    ]);
+    r.note("the paper prints no VGG CONV TT settings; rank 8 is the largest uniform rank fitting the 16 KB weight SRAM (tie-workloads::vgg_conv). Our idealized batched scheduling over-achieves the paper's 6.72 fps; the win-direction and factor-of-several advantage over Eyeriss is preserved (EXPERIMENTS.md)");
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig12_shape_holds() {
+        // The paper's headline: comparable throughput, large area/energy
+        // advantage. Verify the *direction* on FC7 (fast enough for CI).
+        let rows = fc_workload_metrics().unwrap();
+        for (name, tie, eie) in rows {
+            let area_adv = tie.area_efficiency_ratio(&eie);
+            let energy_adv = tie.energy_efficiency_ratio(&eie);
+            assert!(
+                area_adv > 2.0,
+                "{name}: TIE area advantage should be large, got {area_adv:.2}"
+            );
+            assert!(
+                energy_adv > 1.5,
+                "{name}: TIE energy advantage should be clear, got {energy_adv:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn table9_tie_beats_projected_eyeriss() {
+        let r = table9().unwrap();
+        let last = r.rows.last().unwrap();
+        let fps_adv: f64 = last[4].trim_end_matches('x').parse().unwrap();
+        assert!(fps_adv > 1.0, "TIE must outperform projected Eyeriss: {fps_adv}");
+    }
+}

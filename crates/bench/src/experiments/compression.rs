@@ -1,0 +1,179 @@
+//! Tables 1–4: compression ratios and the accuracy analogs.
+
+use crate::experiments::accuracy;
+use crate::report::{ratio, Report};
+use tie_nn::zoo;
+use tie_tensor::Result;
+use tie_workloads::table4_benchmarks;
+
+/// Table 1: FC-dominated CNN (TT-VGG-16) compression + accuracy analog.
+///
+/// # Errors
+///
+/// Propagates training errors (none expected for the fixed setup).
+pub fn table1() -> Result<Report> {
+    let mut r = Report::new(
+        "table1",
+        "Table 1: FC-dominated CNN (TT-VGG-16 on ImageNet)",
+        "VGG-16 69.1% vs TT-VGG-16 67.8%; CR 30.9x (FC layers), 7.4x (overall)",
+    );
+    let net = zoo::vgg16_tt_compression();
+    let fc_cr = zoo::vgg16_fc_group_ratio(&net);
+    let overall = net.overall_ratio();
+    let acc = accuracy::fc_comparison(42)?;
+    r.headers(["model", "accuracy (synthetic analog)", "CR for FC layers", "CR overall"]);
+    r.row([
+        "dense baseline".to_string(),
+        format!("{:.1}%", acc.dense_acc * 100.0),
+        "1x".into(),
+        "1x".into(),
+    ]);
+    r.row([
+        "TT model".to_string(),
+        format!("{:.1}%", acc.tt_acc * 100.0),
+        ratio(fc_cr),
+        ratio(overall),
+    ]);
+    r.note(format!(
+        "compression computed from the paper's exact §2.3 layouts: FC CR {:.1}x (paper 30.9x), overall {:.2}x (paper 7.4x)",
+        fc_cr, overall
+    ));
+    r.note(format!(
+        "accuracy analog: 4-class 64-d Gaussian clusters, dense 64-64-4 MLP vs TT(64->64, d=3, r=4, layer CR {:.0}x) — ImageNet training is substituted per DESIGN.md",
+        acc.layer_cr
+    ));
+    Ok(r)
+}
+
+/// Table 2: CONV-dominated CNN compression + accuracy analog.
+///
+/// # Errors
+///
+/// Propagates training errors (none expected for the fixed setup).
+pub fn table2() -> Result<Report> {
+    let mut r = Report::new(
+        "table2",
+        "Table 2: CONV-dominated CNN on CIFAR-10",
+        "CNN 90.7% vs TT-CNN 89.3%; CR 3.3x (CONV layers), 3.27x (overall)",
+    );
+    let net = zoo::cifar_cnn_compression();
+    let conv_cr = net.compressed_layers_ratio();
+    let overall = net.overall_ratio();
+    let acc = accuracy::conv_comparison(43)?;
+    r.headers(["model", "accuracy (synthetic analog)", "CR for CONV layers", "CR overall"]);
+    r.row([
+        "dense CNN".to_string(),
+        format!("{:.1}%", acc.dense_acc * 100.0),
+        "1x".into(),
+        "1x".into(),
+    ]);
+    r.row([
+        "TT-CNN".to_string(),
+        format!("{:.1}%", acc.tt_acc * 100.0),
+        ratio(conv_cr),
+        ratio(overall),
+    ]);
+    for l in net.layers() {
+        if l.compressed {
+            r.note(format!(
+                "{}: dense {} -> TT {} params ({})",
+                l.name,
+                l.dense,
+                l.stored,
+                ratio(l.ratio())
+            ));
+        }
+    }
+    r.note("TT CONV layouts are the paper's printed §2.3 settings (d=4, r up to 27); the uncompressed fringe of [23]'s baseline is modeled per zoo::cifar_cnn_compression docs");
+    Ok(r)
+}
+
+/// Table 3: TT-RNN compression + the dense-vs-TT sequence experiment.
+///
+/// # Errors
+///
+/// Propagates training errors (none expected for the fixed setup).
+pub fn table3() -> Result<Report> {
+    let mut r = Report::new(
+        "table3",
+        "Table 3: RNNs on Youtube Celebrities Faces",
+        "LSTM 33.2% vs TT-LSTM 75.5% (CR 15283x FC / 196x overall); GRU 34.2% vs TT-GRU 80.0% (11683x / 195x)",
+    );
+    let lstm = zoo::tt_rnn_compression(4, 47);
+    let gru = zoo::tt_rnn_compression(3, 47);
+    let acc = accuracy::rnn_comparison(44)?;
+    r.headers(["model", "accuracy (synthetic analog)", "CR for FC layers", "CR overall"]);
+    r.row([
+        "LSTM (dense)".to_string(),
+        format!("{:.1}%", acc.dense_acc * 100.0),
+        "1x".into(),
+        "1x".into(),
+    ]);
+    r.row([
+        "TT-LSTM".to_string(),
+        format!("{:.1}%", acc.tt_acc * 100.0),
+        ratio(lstm.compressed_layers_ratio()),
+        ratio(lstm.overall_ratio()),
+    ]);
+    r.row([
+        "TT-GRU (compression only)".to_string(),
+        "-".to_string(),
+        ratio(gru.compressed_layers_ratio()),
+        ratio(gru.overall_ratio()),
+    ]);
+    r.note(format!(
+        "sequence analog: 3-class, 3840-d frames, 5 steps; TT input-to-hidden CR {:.0}x — demonstrates accuracy parity at high compression. The paper's stronger claim (TT *above* dense on raw video) is a natural-data effect a linear synthetic task cannot recreate; see EXPERIMENTS.md",
+        acc.layer_cr
+    ));
+    r.note("[77] does not publish where the gate factor enters the TT mode list; the fused-gate layout here reproduces the magnitude, not the last digit (see EXPERIMENTS.md)");
+    Ok(r)
+}
+
+/// Table 4: the benchmark workload definitions and their CRs.
+///
+/// # Errors
+///
+/// None in practice (pure metadata).
+pub fn table4() -> Result<Report> {
+    let mut r = Report::new(
+        "table4",
+        "Table 4: evaluated benchmarks",
+        "CRs: 50972x (VGG-FC6), 14564x (VGG-FC7), 4954x (LSTM-UCF11), 4608x (LSTM-Youtube)",
+    );
+    r.headers(["layer", "size", "d", "n", "m", "r", "CR (computed)", "CR (paper)"]);
+    for b in table4_benchmarks() {
+        let (rows, cols) = b.size();
+        r.row([
+            b.name.to_string(),
+            format!("({rows}, {cols})"),
+            b.shape.ndim().to_string(),
+            format!("{:?}", b.shape.col_modes),
+            format!("{:?}", b.shape.row_modes),
+            format!("{:?}", &b.shape.ranks),
+            ratio(b.shape.compression_ratio()),
+            ratio(b.paper_cr),
+        ]);
+    }
+    r.note("computed CRs are parameter-count ratios of the printed layouts; they match the paper within rounding");
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_reproduces_paper_ratios() {
+        let r = table4().unwrap();
+        assert_eq!(r.rows.len(), 4);
+        // Row 0 computed CR ~ paper CR.
+        assert!(r.rows[0][6].starts_with("509") || r.rows[0][6].starts_with("510"));
+    }
+
+    #[test]
+    fn table1_report_structure() {
+        let r = table1().unwrap();
+        assert_eq!(r.rows.len(), 2);
+        assert!(r.rows[1][2].contains('x'));
+    }
+}

@@ -1,0 +1,203 @@
+//! Fig. 13 (rank flexibility) and the §3.1 / §3.2 analytical studies.
+
+use crate::measure::measure_tie_layer;
+use crate::report::{fnum, ratio, Report};
+use tie_core::{counts, InferencePlan};
+use tie_sim::TieConfig;
+use tie_tensor::Result;
+use tie_workloads::sweep::{rank_sweep, FIG13_RANKS};
+use tie_workloads::table4_benchmarks;
+
+/// Fig. 13: TIE throughput across decomposition ranks on every Table 4
+/// workload.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig13() -> Result<Report> {
+    let cfg = TieConfig::default();
+    let mut r = Report::new(
+        "fig13",
+        "Fig. 13: flexibility across decomposition ranks",
+        "the same TIE hardware executes all workloads across r values with useful throughput (no reconfiguration)",
+    );
+    let mut headers = vec!["workload".to_string()];
+    headers.extend(FIG13_RANKS.iter().map(|r| format!("r={r} (TOPS)")));
+    headers.push("conflict overhead at r=2".into());
+    r.headers(headers);
+    for (i, b) in table4_benchmarks().iter().enumerate() {
+        let mut cells = vec![b.name.to_string()];
+        let mut conflict_note = String::from("-");
+        for (j, (rank, shape)) in rank_sweep(&b.shape, &FIG13_RANKS)?.into_iter().enumerate() {
+            match measure_tie_layer(&cfg, &shape, 900 + (i * 10 + j) as u64) {
+                Ok(m) => {
+                    cells.push(fnum(m.equivalent_ops_per_sec / 1e12));
+                    if rank == 2 {
+                        let conflicts: u64 =
+                            m.stats.stages.iter().map(|s| s.conflict_cycles).sum();
+                        conflict_note = format!(
+                            "{:.1}%",
+                            100.0 * conflicts as f64 / m.stats.cycles().max(1) as f64
+                        );
+                    }
+                }
+                // High ranks can genuinely exceed the prototype's SRAM
+                // budgets (a real hardware limit, reported as such).
+                Err(tie_tensor::TensorError::InvalidArgument { .. }) => {
+                    cells.push("n/a (SRAM)".to_string());
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        cells.push(conflict_note);
+        r.row(cells);
+    }
+    r.note("equivalent TOPS fall as rank grows (more real work per output) — the same shape as the paper's Fig. 13; the write-side ReArrange keeps every read conflict-free (last column)");
+    r.note("'n/a (SRAM)' marks rank points whose peak intermediate or weight footprint exceeds the prototype's 384 KB / 16 KB budgets — a real constraint of the Table 5 sizing");
+    Ok(r)
+}
+
+/// §3.1: redundant-computation analysis — Eqn. (3) vs Eqn. (7) vs the
+/// compact scheme, including the paper's FC6 headline.
+///
+/// # Errors
+///
+/// None in practice (pure arithmetic).
+pub fn analysis_redundancy() -> Result<Report> {
+    let mut r = Report::new(
+        "analysis_redundancy",
+        "Sec. 3.1: multiplication-count analysis",
+        "naive Eqn.(2) costs ~1073x the theoretical minimum on VGG-FC6",
+    );
+    r.headers([
+        "workload",
+        "dense muls",
+        "naive TT muls (Eqn.3)",
+        "partial (Fig.5)",
+        "compact muls (Alg.1)",
+        "Eqn.7 (as printed)",
+        "naive/compact",
+        "compact/dense",
+    ]);
+    for b in table4_benchmarks() {
+        let s = &b.shape;
+        r.row([
+            b.name.to_string(),
+            fnum(counts::mul_dense(s) as f64),
+            fnum(counts::mul_naive(s) as f64),
+            fnum(counts::mul_partial(s) as f64),
+            fnum(counts::mul_compact(s) as f64),
+            fnum(counts::mul_theoretical_eqn7(s) as f64),
+            ratio(counts::redundancy_ratio(s)),
+            format!("{:.4}", counts::mul_compact(s) as f64 / counts::mul_dense(s) as f64),
+        ]);
+    }
+    r.note("Eqn. (7) as printed undercounts slightly (it yields (m-1)n at d=1 where a mat-vec needs mn); the compact scheme's count is the executable minimum. The FC6 naive/compact ratio is ~2x the paper's 1073x under the printed formulas — same three-orders-of-magnitude conclusion (see DESIGN.md)");
+    Ok(r)
+}
+
+/// §3.2: intermediate-storage analysis — working-set sizes against the
+/// 2 × 384 KB budget, and weight footprints against 16 KB.
+///
+/// # Errors
+///
+/// None in practice (pure arithmetic).
+pub fn analysis_storage() -> Result<Report> {
+    let cfg = TieConfig::default();
+    let mut r = Report::new(
+        "analysis_storage",
+        "Sec. 3.2: storage overhead of the compact scheme",
+        "intermediate buffering needs 2 x max_h |V_h|; the prototype's 2 x 384 KB covers the benchmarks",
+    );
+    r.headers([
+        "workload",
+        "peak |V_h| (elems)",
+        "working set (KB, 16-bit)",
+        "budget (KB)",
+        "TT weights (elems)",
+        "weight SRAM (KB)",
+    ]);
+    for b in table4_benchmarks() {
+        let plan = InferencePlan::new(&b.shape)?;
+        let peak = plan.max_intermediate_elems();
+        let ws_kb = (plan.working_set_elems() * 2) as f64 / 1024.0;
+        r.row([
+            b.name.to_string(),
+            fnum(peak as f64),
+            fnum(ws_kb),
+            fnum((2 * cfg.working_sram_bytes) as f64 / 1024.0),
+            fnum(b.shape.num_params() as f64),
+            fnum((cfg.weight_sram_bytes) as f64 / 1024.0),
+        ]);
+        assert!(peak <= cfg.working_capacity_elems());
+    }
+    r.note("every benchmark's peak intermediate fits one 384 KB copy — the sizing rationale behind Table 5's working-SRAM budget");
+    Ok(r)
+}
+
+/// §1 / §3.2: memory-access analysis — the naive scheme's core re-reads
+/// versus the compact scheme's one-pass streaming plus intermediate
+/// traffic, with the energy implication from the calibrated SRAM model.
+///
+/// # Errors
+///
+/// None in practice (pure arithmetic).
+pub fn analysis_memory() -> Result<Report> {
+    let mut r = Report::new(
+        "analysis_memory",
+        "Sec. 1/3.2: tensor-core memory traffic, naive vs compact",
+        "\"the multi-stage processing scheme reduces the intensive memory access to all tensor cores, bringing significant energy saving\"",
+    );
+    r.headers([
+        "workload",
+        "core reads (naive)",
+        "core reads (compact)",
+        "intermediate traffic",
+        "total compact",
+        "traffic reduction",
+    ]);
+    for b in table4_benchmarks() {
+        let s = &b.shape;
+        let naive = counts::core_reads_naive(s);
+        let compact = counts::core_reads_compact(s);
+        let inter = counts::intermediate_traffic_compact(s);
+        r.row([
+            b.name.to_string(),
+            fnum(naive as f64),
+            fnum(compact as f64),
+            fnum(inter as f64),
+            fnum((compact + inter) as f64),
+            ratio(naive as f64 / (compact + inter) as f64),
+        ]);
+    }
+    r.note("counts are scalar element accesses at the functional level; the cycle simulator's word-level weight/working-SRAM counters (RunStats) refine these with tiling re-reads");
+    r.note("the compact scheme trades >10^6x core re-reads for a bounded intermediate stream — the mechanism behind the paper's energy-efficiency advantage");
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_analysis_shows_huge_reduction() {
+        let r = analysis_memory().unwrap();
+        let red: f64 = r.rows[0][5].trim_end_matches('x').parse().unwrap();
+        assert!(red > 100.0, "traffic reduction {red}");
+    }
+
+    #[test]
+    fn redundancy_table_reproduces_magnitude() {
+        let r = analysis_redundancy().unwrap();
+        // FC6 row: naive/compact ratio has 4 digits.
+        let ratio_cell = &r.rows[0][6];
+        let v: f64 = ratio_cell.trim_end_matches('x').parse().unwrap();
+        assert!((1000.0..4000.0).contains(&v), "{v}");
+    }
+
+    #[test]
+    fn storage_analysis_all_fit() {
+        // The asserts inside the function are the test.
+        analysis_storage().unwrap();
+    }
+}

@@ -1,0 +1,136 @@
+//! Table 5 (design configuration), Table 6 (power/area breakdown) and
+//! Fig. 11 (prototype headline metrics).
+
+use crate::measure::{measure_tie_layer, tie_power_model};
+use crate::report::{fnum, Report};
+use tie_energy::TieAreaPowerModel;
+use tie_sim::TieConfig;
+use tie_tensor::Result;
+use tie_workloads::table4_benchmarks;
+
+/// Table 5: the prototype design configuration.
+///
+/// # Errors
+///
+/// None in practice (pure metadata).
+pub fn table5() -> Result<Report> {
+    let cfg = TieConfig::default();
+    let mut r = Report::new(
+        "table5",
+        "Table 5: design configuration",
+        "16 PEs x 16 MACs, 16-bit mult / 24-bit accum, 16 KB weight SRAM, 2 x 384 KB working SRAM",
+    );
+    r.headers(["parameter", "value"]);
+    r.row(["PEs", &cfg.n_pe.to_string()]);
+    r.row(["MACs per PE", &cfg.n_mac.to_string()]);
+    r.row(["multiplier width", "16-bit"]);
+    r.row(["accumulator width", "24-bit"]);
+    r.row(["quantization", "16-bit"]);
+    r.row([
+        "weight SRAM",
+        &format!(
+            "{} KB ({} 16-bit weights)",
+            cfg.weight_sram_bytes / 1024,
+            cfg.weight_capacity_elems()
+        ),
+    ]);
+    r.row([
+        "working SRAM",
+        &format!(
+            "2 x {} KB (ping-pong)",
+            cfg.working_sram_bytes / 1024
+        ),
+    ]);
+    r.row(["frequency", &format!("{} MHz", cfg.freq_mhz)]);
+    r.row([
+        "peak throughput",
+        &format!("{:.3} TOPS", cfg.peak_ops_per_sec() / 1e12),
+    ]);
+    Ok(r)
+}
+
+/// Table 6: power and area breakdowns of the calibrated model.
+///
+/// # Errors
+///
+/// None in practice (pure model evaluation).
+pub fn table6() -> Result<Report> {
+    let model = TieAreaPowerModel::paper_prototype();
+    let p = model.power_at_utilization(1.0);
+    let a = model.area();
+    let mut r = Report::new(
+        "table6",
+        "Table 6: power and area breakdowns",
+        "154.8 mW / 1.744 mm2: memory 60.8 mW / 1.29 mm2, register 10.9 / 0.019, combinational 54 / 0.082, clock 29.1 / 0.0035, other - / 0.35",
+    );
+    r.headers(["component", "power (mW)", "area (mm2)"]);
+    r.row(["memory", &fnum(p.memory), &fnum(a.memory)]);
+    r.row(["register", &fnum(p.register), &fnum(a.register)]);
+    r.row(["combinational", &fnum(p.combinational), &fnum(a.combinational)]);
+    r.row(["clock network", &fnum(p.clock_network), &fnum(a.clock_network)]);
+    r.row(["other", "-", &fnum(a.other)]);
+    r.row(["total", &fnum(p.total()), &fnum(a.total())]);
+    r.note("the component model is calibrated to these Table 6 values and extrapolates for the PE/SRAM ablations — the CAD-flow substitution of DESIGN.md");
+    Ok(r)
+}
+
+/// Fig. 11: layout-level headline metrics plus measured per-workload
+/// throughput of the prototype.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn fig11() -> Result<Report> {
+    let cfg = TieConfig::default();
+    let model = tie_power_model(&cfg);
+    let mut r = Report::new(
+        "fig11",
+        "Fig. 11: prototype metrics",
+        "28 nm, 1000 MHz, 1.74 mm2, 154.8 mW, 16 PEs",
+    );
+    r.headers(["metric", "value"]);
+    r.row(["technology", "28 nm CMOS (modeled)"]);
+    r.row(["frequency", &format!("{} MHz", cfg.freq_mhz)]);
+    r.row(["area", &format!("{:.3} mm2", model.area().total())]);
+    r.row([
+        "power (full load)",
+        &format!("{:.1} mW", model.power_at_utilization(1.0).total()),
+    ]);
+    let activity_model = tie_energy::ActivityEnergy::default();
+    for (i, b) in table4_benchmarks().iter().enumerate() {
+        let m = measure_tie_layer(&cfg, &b.shape, 500 + i as u64)?;
+        let activity = crate::measure::activity_of(&m.stats, cfg.n_mac);
+        r.row([
+            format!("{} latency / eq. throughput", b.name),
+            format!(
+                "{:.2} us / {:.2} TOPS (util {:.0}%, {:.0} nJ/inference)",
+                m.latency_s * 1e6,
+                m.equivalent_ops_per_sec / 1e12,
+                m.utilization * 100.0,
+                activity_model.energy_nj(&activity)
+            ),
+        ]);
+    }
+    r.note("per-inference energies use the activity model (pJ/MAC and pJ/SRAM-element derived from the Table 6 calibration)");
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_totals_match_paper() {
+        let r = table6().unwrap();
+        let total = r.rows.last().unwrap();
+        assert_eq!(total[1], "154.8");
+        assert!(total[2].starts_with("1.74"));
+    }
+
+    #[test]
+    fn table5_mentions_all_resources() {
+        let r = table5().unwrap();
+        let flat = format!("{r}");
+        assert!(flat.contains("16 KB") && flat.contains("384 KB") && flat.contains("1000 MHz"));
+    }
+}

@@ -1,0 +1,48 @@
+//! One module per regenerated table / figure.
+//!
+//! | module | experiments |
+//! |---|---|
+//! | [`accuracy`] | shared dense-vs-TT training analogs (Tables 1–3) |
+//! | [`compression`] | Tables 1, 2, 3, 4 |
+//! | [`hardware`] | Table 5, Table 6, Fig. 11 |
+//! | [`comparisons`] | Table 7 (EIE), Table 8 (CirCNN), Table 9 (Eyeriss), Fig. 12 |
+//! | [`flexibility`] | Fig. 13 rank sweep, §3.1 redundancy analysis, §3.2 storage analysis |
+//! | [`ablations`] | PE-count sweep, quantization-width sweep, SRAM-bank sweep |
+
+pub mod ablations;
+pub mod accuracy;
+pub mod comparisons;
+pub mod compression;
+pub mod flexibility;
+pub mod hardware;
+
+use crate::report::Report;
+
+/// Runs every experiment in paper order.
+///
+/// # Errors
+///
+/// Propagates the first failing experiment's error.
+pub fn run_all() -> tie_tensor::Result<Vec<Report>> {
+    Ok(vec![
+        compression::table1()?,
+        compression::table2()?,
+        compression::table3()?,
+        compression::table4()?,
+        hardware::table5()?,
+        hardware::table6()?,
+        comparisons::table7()?,
+        comparisons::table8()?,
+        comparisons::table9()?,
+        hardware::fig11()?,
+        comparisons::fig12()?,
+        flexibility::fig13()?,
+        flexibility::analysis_redundancy()?,
+        flexibility::analysis_storage()?,
+        flexibility::analysis_memory()?,
+        ablations::pe_sweep()?,
+        ablations::quant_sweep()?,
+        ablations::sram_sweep()?,
+        ablations::overhead_sweep()?,
+    ])
+}

@@ -1,0 +1,15 @@
+//! Experiment harness: regenerates every table and figure of the TIE
+//! paper's evaluation (§5) from the reproduction stack.
+//!
+//! Each experiment lives in [`experiments`] as a `run()` function
+//! returning a [`report::Report`]; the `src/bin/` binaries are thin
+//! wrappers that print it (and optionally dump JSON next to the text).
+//! `cargo run -p tie-bench --release --bin <experiment>`; the `all_experiments`
+//! binary runs the full battery and writes `EXPERIMENTS`-ready output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod measure;
+pub mod report;

@@ -1,0 +1,182 @@
+//! Report formatting: aligned text tables plus machine-readable JSON.
+
+use serde::Serialize;
+use std::fmt;
+use std::path::Path;
+
+/// A formatted experiment report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Experiment identifier (e.g. `"table4"`).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// What the paper reports (for side-by-side reading).
+    pub paper_claim: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Table rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (substitutions, deviations, seeds).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// New empty report.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        paper_claim: impl Into<String>,
+    ) -> Self {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            paper_claim: paper_claim.into(),
+            headers: Vec::new(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Sets the column headers.
+    pub fn headers<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, h: I) -> &mut Self {
+        self.headers = h.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Appends one row.
+    pub fn row<I: IntoIterator<Item = S>, S: Into<String>>(&mut self, r: I) -> &mut Self {
+        self.rows.push(r.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, n: impl Into<String>) -> &mut Self {
+        self.notes.push(n.into());
+        self
+    }
+
+    /// Writes the JSON form to `dir/<id>.json`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem and serialization errors.
+    pub fn save_json(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        std::fs::write(path, json)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} [{}] ===", self.title, self.id)?;
+        writeln!(f, "paper: {}", self.paper_claim)?;
+        writeln!(f)?;
+        // Column widths.
+        let ncols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let print_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                line.push_str(&format!("{cell:<w$}  "));
+            }
+            writeln!(f, "{}", line.trim_end())
+        };
+        if !self.headers.is_empty() {
+            print_row(f, &self.headers)?;
+            let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+            writeln!(f, "{}", "-".repeat(total))?;
+        }
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        if !self.notes.is_empty() {
+            writeln!(f)?;
+            for n in &self.notes {
+                writeln!(f, "note: {n}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with sensible precision for tables.
+pub fn fnum(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 0.01 {
+        format!("{v:.3}")
+    } else {
+        format!("{v:.2e}")
+    }
+}
+
+/// Formats a ratio as `"N.NNx"`.
+pub fn ratio(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{v:.0}x")
+    } else {
+        format!("{v:.2}x")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_aligns_columns() {
+        let mut r = Report::new("t", "Title", "claim");
+        r.headers(["a", "long-header"]);
+        r.row(["x", "1"]);
+        r.row(["yyyy", "2"]);
+        let s = r.to_string();
+        assert!(s.contains("Title"));
+        assert!(s.contains("long-header"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    fn fnum_scales_precision() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(12345.6), "12346");
+        assert_eq!(fnum(12.34), "12.3");
+        assert_eq!(fnum(0.5), "0.500");
+        assert_eq!(fnum(0.0001), "1.00e-4");
+    }
+
+    #[test]
+    fn ratio_formats() {
+        assert_eq!(ratio(7.216), "7.22x");
+        assert_eq!(ratio(50972.0), "50972x");
+    }
+
+    #[test]
+    fn json_roundtrip_to_disk() {
+        let dir = std::env::temp_dir().join("tie-report-test");
+        let mut r = Report::new("tj", "T", "c");
+        r.headers(["a"]).row(["1"]).note("n");
+        r.save_json(&dir).unwrap();
+        let content = std::fs::read_to_string(dir.join("tj.json")).unwrap();
+        assert!(content.contains("\"id\": \"tj\""));
+    }
+}

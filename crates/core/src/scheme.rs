@@ -1,0 +1,321 @@
+//! The executable compact inference scheme ([`CompactEngine`]).
+
+use crate::plan::InferencePlan;
+use crate::transform::{assemble_output, prepare_input, unfold_core, TransformMap};
+use tie_tensor::linalg::matmul;
+use tie_tensor::{Result, Scalar, Tensor, TensorError};
+use tie_tt::inference::OpCount;
+use tie_tt::TtMatrix;
+
+/// A prepared compact-scheme executor for one TT-compressed layer.
+///
+/// Construction unfolds every core into its stage matrix `G̃_h` and builds
+/// the inter-stage [`TransformMap`]s once; [`CompactEngine::matvec`] then
+/// runs the `d` multiply stages. This mirrors TIE hardware, where the
+/// unfolded cores sit in the weight SRAM and the transforms are absorbed
+/// into the working-SRAM read scheme.
+///
+/// # Example
+///
+/// ```
+/// use tie_tensor::{Tensor, linalg::{matvec, Truncation}};
+/// use tie_tt::TtMatrix;
+/// use tie_core::CompactEngine;
+///
+/// # fn main() -> Result<(), tie_tensor::TensorError> {
+/// let w = Tensor::<f64>::from_fn(vec![6, 4], |i| (i[0] * 4 + i[1]) as f64)?;
+/// let tt = TtMatrix::from_dense(&w, &[3, 2], &[2, 2], Truncation::none())?;
+/// let engine = CompactEngine::new(tt)?;
+/// let x = Tensor::<f64>::from_fn(vec![4], |i| 1.0 - i[0] as f64)?;
+/// let (y, _) = engine.matvec(&x)?;
+/// assert!(y.approx_eq(&matvec(&w, &x)?, 1e-9));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompactEngine<T: Scalar> {
+    matrix: TtMatrix<T>,
+    plan: InferencePlan,
+    /// Unfolded stage matrices, indexed by 0-based core index `k = h-1`.
+    gtildes: Vec<Tensor<T>>,
+    /// Transform maps for `h = d, d-1, …, 2` (applied after stages d..2).
+    transforms: Vec<TransformMap>,
+}
+
+/// Intermediate matrices captured by [`CompactEngine::matvec_traced`]:
+/// the prepared input `X'` followed by each stage's output `V_h`
+/// (pre-transform), `h = d … 1`.
+#[derive(Debug, Clone)]
+pub struct StageTrace<T: Scalar> {
+    /// `X' = V'_{d+1}` (Eqn. (8) layout).
+    pub prepared_input: Tensor<T>,
+    /// `V_h` for `h = d, d-1, …, 1`, in execution order.
+    pub stage_outputs: Vec<Tensor<T>>,
+}
+
+impl<T: Scalar> CompactEngine<T> {
+    /// Prepares the engine: builds the plan, unfolds all cores, and
+    /// constructs the transform maps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors (cannot occur for a valid [`TtMatrix`]).
+    pub fn new(matrix: TtMatrix<T>) -> Result<Self> {
+        let plan = InferencePlan::new(matrix.shape())?;
+        let gtildes = matrix
+            .cores()
+            .iter()
+            .map(unfold_core)
+            .collect::<Result<Vec<_>>>()?;
+        let d = matrix.ndim();
+        let transforms = (2..=d)
+            .rev()
+            .map(|h| TransformMap::new(matrix.shape(), h))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(CompactEngine {
+            matrix,
+            plan,
+            gtildes,
+            transforms,
+        })
+    }
+
+    /// The underlying TT matrix.
+    pub fn matrix(&self) -> &TtMatrix<T> {
+        &self.matrix
+    }
+
+    /// The execution plan (per-stage dimensions and analytic costs).
+    pub fn plan(&self) -> &InferencePlan {
+        &self.plan
+    }
+
+    /// The unfolded stage matrices `G̃_1 … G̃_d` (0-based indexing).
+    pub fn unfolded_cores(&self) -> &[Tensor<T>] {
+        &self.gtildes
+    }
+
+    /// Compact matrix-vector product `y = W x` with operation counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `x` has the wrong length.
+    pub fn matvec(&self, x: &Tensor<T>) -> Result<(Tensor<T>, OpCount)> {
+        let (y, _, count) = self.run(x, false)?;
+        Ok((y, count))
+    }
+
+    /// Like [`CompactEngine::matvec`] but also returns every intermediate
+    /// matrix — used by the cycle-accurate simulator's functional
+    /// cross-checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `x` has the wrong length.
+    pub fn matvec_traced(&self, x: &Tensor<T>) -> Result<(Tensor<T>, StageTrace<T>)> {
+        let (y, trace, _) = self.run(x, true)?;
+        Ok((y, trace.expect("trace requested")))
+    }
+
+    /// Batched product: one compact pass per column of `xs (N × B)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] on a row-count mismatch.
+    pub fn matvec_batch(&self, xs: &Tensor<T>) -> Result<(Tensor<T>, OpCount)> {
+        let n = self.matrix.shape().num_cols();
+        let m = self.matrix.shape().num_rows();
+        if xs.ndim() != 2 || xs.nrows()? != n {
+            return Err(TensorError::ShapeMismatch {
+                left: xs.dims().to_vec(),
+                right: vec![n, 0],
+            });
+        }
+        let b = xs.ncols()?;
+        let mut out = Tensor::zeros(vec![m, b]);
+        let mut total = OpCount::default();
+        for c in 0..b {
+            let col = xs.cols(c, c + 1)?.reshaped(vec![n])?;
+            let (y, count) = self.matvec(&col)?;
+            total = total.merge(count);
+            for r in 0..m {
+                out.data_mut()[r * b + c] = y.data()[r];
+            }
+        }
+        Ok((out, total))
+    }
+
+    fn run(
+        &self,
+        x: &Tensor<T>,
+        capture: bool,
+    ) -> Result<(Tensor<T>, Option<StageTrace<T>>, OpCount)> {
+        let shape = self.matrix.shape();
+        let d = shape.ndim();
+        let mut count = OpCount::default();
+        let prepared = prepare_input(x, shape)?;
+        let mut stage_outputs = Vec::new();
+        let mut v = prepared.clone();
+        // Execution order h = d..1; transform after every stage except the
+        // last (whose output is gathered by assemble_output).
+        for (idx, h) in (1..=d).rev().enumerate() {
+            let gt = &self.gtildes[h - 1];
+            let out = matmul(gt, &v)?;
+            let stage = &self.plan.stages()[idx];
+            count.mults += stage.muls();
+            // One multiply-accumulate per multiply (accumulator init at 0).
+            count.adds += stage.muls();
+            // The paper's memory argument: each stage streams its core once.
+            count.core_reads += stage.core_elems() as u64;
+            if capture {
+                stage_outputs.push(out.clone());
+            }
+            v = if h >= 2 {
+                let t = &self.transforms[idx];
+                debug_assert_eq!(t.h, h);
+                t.apply(&out)?
+            } else {
+                out
+            };
+        }
+        let y = assemble_output(&v, shape)?;
+        let trace = capture.then_some(StageTrace {
+            prepared_input: prepared,
+            stage_outputs,
+        });
+        Ok((y, trace, count))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use tie_tensor::init;
+    use tie_tensor::linalg::{matvec, Truncation};
+    use tie_tt::inference::naive_matvec;
+    use tie_tt::TtShape;
+
+    fn random_case(
+        seed: u64,
+        m: Vec<usize>,
+        n: Vec<usize>,
+        r: usize,
+    ) -> (CompactEngine<f64>, Tensor<f64>, Tensor<f64>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let shape = TtShape::uniform_rank(m, n, r).unwrap();
+        let tt = TtMatrix::<f64>::random(&mut rng, &shape, 0.8).unwrap();
+        let dense = tt.to_dense().unwrap();
+        let x: Tensor<f64> = init::uniform(&mut rng, vec![shape.num_cols()], 1.0);
+        (CompactEngine::new(tt).unwrap(), dense, x)
+    }
+
+    #[test]
+    fn compact_equals_dense_various_shapes() {
+        for (seed, m, n, r) in [
+            (60, vec![2, 3], vec![3, 2], 2),
+            (61, vec![4, 4, 4], vec![2, 3, 4], 3),
+            (62, vec![2, 2, 2, 2], vec![3, 2, 2, 3], 2),
+            (63, vec![5], vec![7], 1),
+            (64, vec![3, 4], vec![4, 3], 5),
+        ] {
+            let (engine, dense, x) = random_case(seed, m, n, r);
+            let (y, _) = engine.matvec(&x).unwrap();
+            let want = matvec(&dense, &x).unwrap();
+            assert!(
+                y.approx_eq(&want, 1e-9),
+                "compact != dense for shape {} (seed {seed}): max diff {}",
+                engine.matrix().shape(),
+                y.sub(&want).unwrap().max_abs()
+            );
+        }
+    }
+
+    #[test]
+    fn compact_equals_naive_scheme() {
+        let (engine, _, x) = random_case(65, vec![2, 3, 2], vec![3, 2, 2], 2);
+        let (y_c, _) = engine.matvec(&x).unwrap();
+        let (y_n, _) = naive_matvec(engine.matrix(), &x).unwrap();
+        assert!(y_c.approx_eq(&y_n, 1e-10));
+    }
+
+    #[test]
+    fn measured_mults_match_plan_and_formula() {
+        let (engine, _, x) = random_case(66, vec![3, 2, 4], vec![2, 4, 3], 3);
+        let (_, count) = engine.matvec(&x).unwrap();
+        assert_eq!(count.mults, engine.plan().total_muls());
+        assert_eq!(count.mults, crate::counts::mul_compact(engine.matrix().shape()));
+    }
+
+    #[test]
+    fn core_reads_are_once_per_stage() {
+        let (engine, _, x) = random_case(67, vec![2, 2], vec![3, 3], 2);
+        let (_, count) = engine.matvec(&x).unwrap();
+        assert_eq!(
+            count.core_reads as usize,
+            engine.matrix().shape().num_params(),
+            "each core element read exactly once across the pass"
+        );
+    }
+
+    #[test]
+    fn compact_uses_fewer_mults_than_naive_measured() {
+        let (engine, _, x) = random_case(68, vec![4, 4], vec![4, 4], 4);
+        let (_, c_compact) = engine.matvec(&x).unwrap();
+        let (_, c_naive) = naive_matvec(engine.matrix(), &x).unwrap();
+        assert!(
+            c_compact.mults * 2 < c_naive.mults,
+            "compact {} vs naive {}",
+            c_compact.mults,
+            c_naive.mults
+        );
+    }
+
+    #[test]
+    fn traced_run_exposes_all_stages() {
+        let (engine, _, x) = random_case(69, vec![2, 3, 2], vec![2, 2, 3], 2);
+        let (y, trace) = engine.matvec_traced(&x).unwrap();
+        assert_eq!(trace.stage_outputs.len(), 3);
+        // Shapes follow the plan.
+        for (out, stage) in trace.stage_outputs.iter().zip(engine.plan().stages()) {
+            assert_eq!(out.dims(), &[stage.gtilde_rows, stage.v_cols]);
+        }
+        // Trace is consistent with the untraced result.
+        let (y2, _) = engine.matvec(&x).unwrap();
+        assert!(y.approx_eq(&y2, 0.0));
+    }
+
+    #[test]
+    fn batch_matches_per_column() {
+        let (engine, dense, _) = random_case(70, vec![2, 3], vec![3, 2], 2);
+        let mut rng = ChaCha8Rng::seed_from_u64(71);
+        let xs: Tensor<f64> = init::uniform(&mut rng, vec![6, 4], 1.0);
+        let (ys, _) = engine.matvec_batch(&xs).unwrap();
+        for c in 0..4 {
+            let x = xs.cols(c, c + 1).unwrap().reshaped(vec![6]).unwrap();
+            let want = matvec(&dense, &x).unwrap();
+            let got = ys.cols(c, c + 1).unwrap().reshaped(vec![6]).unwrap();
+            assert!(got.approx_eq(&want, 1e-9), "column {c}");
+        }
+        assert!(engine.matvec_batch(&Tensor::<f64>::zeros(vec![5, 2])).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_input_length() {
+        let (engine, _, _) = random_case(72, vec![2, 2], vec![2, 2], 2);
+        assert!(engine.matvec(&Tensor::<f64>::zeros(vec![3])).is_err());
+    }
+
+    #[test]
+    fn works_after_from_dense_decomposition() {
+        // End-to-end: dense -> TT (truncation-free) -> compact inference.
+        let mut rng = ChaCha8Rng::seed_from_u64(73);
+        let w: Tensor<f64> = init::uniform(&mut rng, vec![12, 8], 1.0);
+        let tt = TtMatrix::from_dense(&w, &[3, 4], &[2, 4], Truncation::none()).unwrap();
+        let engine = CompactEngine::new(tt).unwrap();
+        let x: Tensor<f64> = init::uniform(&mut rng, vec![8], 1.0);
+        let (y, _) = engine.matvec(&x).unwrap();
+        assert!(y.approx_eq(&matvec(&w, &x).unwrap(), 1e-9));
+    }
+}

@@ -1,0 +1,713 @@
+//! The index bijections of the compact inference scheme.
+//!
+//! The compact scheme threads a matrix `V` through `d` multiply stages; in
+//! between, the data must be re-laid-out so that the next stage's matrix
+//! multiply contracts the right indices. The paper expresses these layouts
+//! with explicit index formulas (Eqns. (8) and (10)); in TIE hardware the
+//! re-layout is free (the working-SRAM read scheme of Algorithm 2 reads in
+//! permuted order), and in this software reference it is an explicit
+//! permutation so it can be tested and counted.
+//!
+//! ## Conventions (fixed across the whole workspace)
+//!
+//! With `h ∈ 1..=d` (1-based, matching the paper), the intermediate
+//! matrices have these layouts:
+//!
+//! * `V'_{h}` (input to the stage that multiplies `G̃_{h-1}`), for
+//!   `h ∈ 2..=d+1`: rows `p' = j_{h-1}·r_{h-1} + t_{h-1}`, columns
+//!   `q' = J_{h-2} · MP_h + I_h` where
+//!   - `J_{h-2} = Σ_{l=1}^{h-2} j_l ∏_{i<l} n_i` (`j_1` fastest),
+//!   - `I_h = Σ_{u=h}^{d} i_u ∏_{t=h}^{u-1} m_t` (`i_h` fastest),
+//!   - `MP_h = ∏_{t=h}^{d} m_t`.
+//! * `V_h` (output of the stage that multiplies `G̃_h`), `h ∈ 1..=d`: rows
+//!   `p = i_h·r_{h-1} + t_{h-1}`, columns `q = J_{h-1} · MP_{h+1} + I_{h+1}`.
+//!
+//! `V'_{d+1}` is the prepared input `X'` (Eqn. (8)), and `V_1` holds the
+//! output, gathered by [`assemble_output`].
+//!
+//! These are exactly the paper's Eqn. (10) strides. The inter-stage map
+//! collapses to a closed form that needs no digit-by-digit decoding:
+//!
+//! ```text
+//! i_h = p / r,  t = p % r,   J = q / MP_{h+1},  I = q % MP_{h+1}
+//! j_{h-1} = J / NP_{h-1},    J' = J % NP_{h-1}      (NP_{h-1} = ∏_{l<h-1} n_l)
+//! p' = j_{h-1}·r + t
+//! q' = J'·(m_h · MP_{h+1}) + (i_h + m_h · I)
+//! ```
+
+use tie_tensor::{Result, Scalar, Tensor, TensorError};
+use tie_tt::TtShape;
+
+/// One inter-stage transform `V_h → V'_h` as a reusable index map.
+///
+/// Stage numbering is 1-based as in the paper: `h ∈ 2..=d` (the `h = 1`
+/// output is handled by [`assemble_output`], the `h = d + 1` input by
+/// [`prepare_input`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransformMap {
+    /// 1-based stage index `h`.
+    pub h: usize,
+    /// Rows of `V_h` (`m_h · r_{h-1}`).
+    pub rows_in: usize,
+    /// Columns of `V_h` (`∏_{l<h} n_l · ∏_{t>h} m_t`).
+    pub cols_in: usize,
+    /// Rows of `V'_h` (`n_{h-1} · r_{h-1}`).
+    pub rows_out: usize,
+    /// Columns of `V'_h` (`∏_{l<h-1} n_l · ∏_{t≥h} m_t`).
+    pub cols_out: usize,
+    r: usize,
+    m_h: usize,
+    mp: usize, // ∏_{t>h} m_t
+    np: usize, // ∏_{l<h-1} n_l
+}
+
+impl TransformMap {
+    /// Builds the transform for stage `h` (1-based, `2 ≤ h ≤ d`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `h` is out of range.
+    pub fn new(shape: &TtShape, h: usize) -> Result<Self> {
+        let d = shape.ndim();
+        if h < 2 || h > d {
+            return Err(TensorError::InvalidArgument {
+                message: format!("transform stage h={h} out of 2..={d}"),
+            });
+        }
+        let r = shape.ranks[h - 1];
+        let m_h = shape.row_modes[h - 1];
+        let mp: usize = shape.row_modes[h..].iter().product();
+        let np: usize = shape.col_modes[..h - 2].iter().product();
+        let n_prev = shape.col_modes[h - 2];
+        let rows_in = m_h * r;
+        let cols_in = shape.col_modes[..h - 1].iter().product::<usize>() * mp;
+        let rows_out = n_prev * r;
+        let cols_out = np * m_h * mp;
+        Ok(TransformMap {
+            h,
+            rows_in,
+            cols_in,
+            rows_out,
+            cols_out,
+            r,
+            m_h,
+            mp,
+            np,
+        })
+    }
+
+    /// Maps a `(row, col)` position of `V_h` to its position in `V'_h`.
+    ///
+    /// This is the paper's Eqn. (10). Total element count is preserved; the
+    /// map is a bijection (tested property).
+    pub fn map(&self, p: usize, q: usize) -> (usize, usize) {
+        debug_assert!(p < self.rows_in && q < self.cols_in);
+        let i_h = p / self.r;
+        let t = p % self.r;
+        let j_big = q / self.mp;
+        let i_rest = q % self.mp;
+        let j_prev = j_big / self.np;
+        let j_small = j_big % self.np;
+        let p_out = j_prev * self.r + t;
+        let q_out = j_small * (self.m_h * self.mp) + (i_h + self.m_h * i_rest);
+        (p_out, q_out)
+    }
+
+    /// Inverse of [`TransformMap::map`]: the `V_h` position holding the
+    /// element that appears at `(p', q')` of `V'_h`.
+    ///
+    /// This is what TIE's working-SRAM read scheme evaluates in hardware:
+    /// the Transform is never materialized; reads of `V'_h` are issued at
+    /// these source addresses (paper §4.4, Fig. 10).
+    pub fn map_inverse(&self, p_out: usize, q_out: usize) -> (usize, usize) {
+        debug_assert!(p_out < self.rows_out && q_out < self.cols_out);
+        let j_prev = p_out / self.r;
+        let t = p_out % self.r;
+        let mm = self.m_h * self.mp;
+        let j_small = q_out / mm;
+        let rem = q_out % mm;
+        let i_h = rem % self.m_h;
+        let i_rest = rem / self.m_h;
+        let p = i_h * self.r + t;
+        let q = (j_prev * self.np + j_small) * self.mp + i_rest;
+        (p, q)
+    }
+
+    /// Applies the transform to a materialized `V_h`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `v` has the wrong shape.
+    pub fn apply<T: Scalar>(&self, v: &Tensor<T>) -> Result<Tensor<T>> {
+        if v.dims() != [self.rows_in, self.cols_in] {
+            return Err(TensorError::ShapeMismatch {
+                left: v.dims().to_vec(),
+                right: vec![self.rows_in, self.cols_in],
+            });
+        }
+        let mut out = Tensor::zeros(vec![self.rows_out, self.cols_out]);
+        for p in 0..self.rows_in {
+            for q in 0..self.cols_in {
+                let (po, qo) = self.map(p, q);
+                out.data_mut()[po * self.cols_out + qo] = v.data()[p * self.cols_in + q];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Applies the inverse transform (`V'_h → V_h`).
+    ///
+    /// Because the transform is a permutation, its inverse is its
+    /// transpose; backpropagation through the compact scheme (TT-layer
+    /// training in `tie-nn`) routes gradients through this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `v` has the wrong shape.
+    pub fn apply_inverse<T: Scalar>(&self, v: &Tensor<T>) -> Result<Tensor<T>> {
+        if v.dims() != [self.rows_out, self.cols_out] {
+            return Err(TensorError::ShapeMismatch {
+                left: v.dims().to_vec(),
+                right: vec![self.rows_out, self.cols_out],
+            });
+        }
+        let mut out = Tensor::zeros(vec![self.rows_in, self.cols_in]);
+        for p in 0..self.rows_in {
+            for q in 0..self.cols_in {
+                let (po, qo) = self.map(p, q);
+                out.data_mut()[p * self.cols_in + q] = v.data()[po * self.cols_out + qo];
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Prepares the input: dense `x` (length `N`, row-major mode order with
+/// `j_1` most significant) → `X' (n_d × N/n_d)` per Eqn. (8):
+/// `X'(j_d, Σ_{l<d} j_l ∏_{i<l} n_i)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `x` has the wrong length.
+pub fn prepare_input<T: Scalar>(x: &Tensor<T>, shape: &TtShape) -> Result<Tensor<T>> {
+    let n_total = shape.num_cols();
+    if x.ndim() != 1 || x.num_elements() != n_total {
+        return Err(TensorError::ShapeMismatch {
+            left: x.dims().to_vec(),
+            right: vec![n_total],
+        });
+    }
+    let d = shape.ndim();
+    let n_d = shape.col_modes[d - 1];
+    let cols = n_total / n_d;
+    let mut out = Tensor::zeros(vec![n_d, cols]);
+    for (j, &val) in x.data().iter().enumerate() {
+        // Row-major digits: j = Σ j_l ∏_{t>l} n_t (j_d fastest).
+        let p = j % n_d;
+        // Little-endian recombination of j_1..j_{d-1} (j_1 fastest).
+        let mut rest = j / n_d; // digits j_{d-1} … j_1, j_{d-1} fastest
+        let mut q = 0usize;
+        let mut stride = 1usize;
+        // Recover digits j_{d-1}, …, j_1 from `rest` and lay them out with
+        // j_1 at stride 1: walking l = d-1 down to 1 while `rest` yields
+        // digits in that order, the target stride of j_l is ∏_{i<l} n_i.
+        let mut strides = vec![1usize; d];
+        for l in 1..d {
+            strides[l] = strides[l - 1] * shape.col_modes[l - 1];
+        }
+        for l in (1..d).rev() {
+            let digit = rest % shape.col_modes[l - 1];
+            rest /= shape.col_modes[l - 1];
+            q += digit * strides[l - 1];
+        }
+        let _ = &mut stride;
+        out.data_mut()[p * cols + q] = val;
+    }
+    Ok(out)
+}
+
+/// Gathers the output: `V_1 (m_1 × M/m_1)` with columns
+/// `I_2 = Σ_{u≥2} i_u ∏_{t=2}^{u-1} m_t` → dense `y` (length `M`,
+/// row-major with `i_1` most significant).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `v1` has the wrong shape.
+pub fn assemble_output<T: Scalar>(v1: &Tensor<T>, shape: &TtShape) -> Result<Tensor<T>> {
+    let d = shape.ndim();
+    let m_total = shape.num_rows();
+    let m_1 = shape.row_modes[0];
+    let cols = m_total / m_1;
+    if v1.dims() != [m_1, cols] {
+        return Err(TensorError::ShapeMismatch {
+            left: v1.dims().to_vec(),
+            right: vec![m_1, cols],
+        });
+    }
+    let mut y = Tensor::zeros(vec![m_total]);
+    // Strides of i_u inside the V_1 column index: i_2 fastest.
+    let mut strides = vec![0usize; d + 1];
+    if d >= 2 {
+        strides[2] = 1;
+        for u in 3..=d {
+            strides[u] = strides[u - 1] * shape.row_modes[u - 2];
+        }
+    }
+    for i in 0..m_total {
+        // Row-major digits of i (i_d fastest).
+        let mut rest = i;
+        let mut digits = vec![0usize; d + 1]; // 1-based
+        for u in (1..=d).rev() {
+            digits[u] = rest % shape.row_modes[u - 1];
+            rest /= shape.row_modes[u - 1];
+        }
+        let col: usize = (2..=d).map(|u| digits[u] * strides[u]).sum();
+        y.data_mut()[i] = v1.data()[digits[1] * cols + col];
+    }
+    Ok(y)
+}
+
+/// The paper's **literal 4-step Transform** (Algorithm 1's `Transform`
+/// subroutine / Fig. 6(b)): transpose → reshape → split → assemble,
+/// executed with actual matrix operations.
+///
+/// ```text
+/// V'  = Transpose(V_h)                       # (m_h r) × C  →  C × (m_h r)
+/// V'  = Reshape(V', [n_{h-1}, -1])
+/// T'[j] = Reshape(V'[:, (j-1)·r .. j·r], [n_{h-1}·r])   # j = 1 .. ∏_{k≤h-2} n_k · ∏_{k≥h} m_k
+/// V'_h[:, j] = T'[j]
+/// ```
+///
+/// It is proven equivalent to the closed-form [`TransformMap::map`] by
+/// the test suite (unit + property tests) — the fidelity check that the
+/// paper's pseudocode and the index algebra describe the same
+/// permutation. Production code uses the map (and the simulator performs
+/// it for free in its SRAM access scheme); this exists as the executable
+/// form of the paper's own description.
+///
+/// # Errors
+///
+/// Returns shape errors for a `v` that does not match stage `h` of
+/// `shape`.
+pub fn four_step_transform<T: Scalar>(
+    v: &Tensor<T>,
+    shape: &TtShape,
+    h: usize,
+) -> Result<Tensor<T>> {
+    let t = TransformMap::new(shape, h)?;
+    if v.dims() != [t.rows_in, t.cols_in] {
+        return Err(TensorError::ShapeMismatch {
+            left: v.dims().to_vec(),
+            right: vec![t.rows_in, t.cols_in],
+        });
+    }
+    let r = shape.ranks[h - 1];
+    let n_prev = shape.col_modes[h - 2];
+    // Step 1: transpose.
+    let vt = v.transposed()?;
+    // Step 2: reshape to [n_{h-1}, -1]. The transpose has rows indexed by
+    // the old columns q (j_{h-1} most significant), so the leading n_{h-1}
+    // factor splits off j_{h-1} exactly.
+    let total = vt.num_elements();
+    let wide = vt.reshaped(vec![n_prev, total / n_prev])?;
+    // Steps 3+4: split into r-wide chunks, flatten each chunk row-major,
+    // and assemble the chunks as columns.
+    let chunks = (total / n_prev) / r;
+    let mut out = Tensor::<T>::zeros(vec![n_prev * r, chunks]);
+    for j in 0..chunks {
+        let chunk = wide.cols(j * r, (j + 1) * r)?; // n_{h-1} × r
+        let flat = chunk.reshaped(vec![n_prev * r])?;
+        for (row, &val) in flat.data().iter().enumerate() {
+            out.data_mut()[row * chunks + j] = val;
+        }
+    }
+    Ok(out)
+}
+
+/// Inverse of [`prepare_input`]: scatters an `X'`-layout matrix back into
+/// the dense row-major vector `x`. Gradients of the compact scheme flow
+/// through this (permutation transpose).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `xp` has the wrong shape.
+pub fn prepare_input_inverse<T: Scalar>(xp: &Tensor<T>, shape: &TtShape) -> Result<Tensor<T>> {
+    let n_total = shape.num_cols();
+    let d = shape.ndim();
+    let n_d = shape.col_modes[d - 1];
+    let cols = n_total / n_d;
+    if xp.dims() != [n_d, cols] {
+        return Err(TensorError::ShapeMismatch {
+            left: xp.dims().to_vec(),
+            right: vec![n_d, cols],
+        });
+    }
+    // Reuse the forward map: position of x[j] inside X' is deterministic.
+    let probe = Tensor::<T>::from_fn(vec![n_total], |_| T::ZERO)?;
+    let mut out = probe;
+    let mut strides = vec![1usize; d];
+    for l in 1..d {
+        strides[l] = strides[l - 1] * shape.col_modes[l - 1];
+    }
+    for j in 0..n_total {
+        let p = j % n_d;
+        let mut rest = j / n_d;
+        let mut q = 0usize;
+        for l in (1..d).rev() {
+            let digit = rest % shape.col_modes[l - 1];
+            rest /= shape.col_modes[l - 1];
+            q += digit * strides[l - 1];
+        }
+        out.data_mut()[j] = xp.data()[p * cols + q];
+    }
+    Ok(out)
+}
+
+/// Inverse of [`assemble_output`]: scatters a dense row-major `y` back into
+/// the `V_1` layout. Backpropagation entry point for the compact scheme.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `y` has the wrong length.
+pub fn assemble_output_inverse<T: Scalar>(y: &Tensor<T>, shape: &TtShape) -> Result<Tensor<T>> {
+    let d = shape.ndim();
+    let m_total = shape.num_rows();
+    if y.ndim() != 1 || y.num_elements() != m_total {
+        return Err(TensorError::ShapeMismatch {
+            left: y.dims().to_vec(),
+            right: vec![m_total],
+        });
+    }
+    let m_1 = shape.row_modes[0];
+    let cols = m_total / m_1;
+    let mut v1 = Tensor::zeros(vec![m_1, cols]);
+    let mut strides = vec![0usize; d + 1];
+    if d >= 2 {
+        strides[2] = 1;
+        for u in 3..=d {
+            strides[u] = strides[u - 1] * shape.row_modes[u - 2];
+        }
+    }
+    for i in 0..m_total {
+        let mut rest = i;
+        let mut digits = vec![0usize; d + 1];
+        for u in (1..=d).rev() {
+            digits[u] = rest % shape.row_modes[u - 1];
+            rest /= shape.row_modes[u - 1];
+        }
+        let col: usize = (2..=d).map(|u| digits[u] * strides[u]).sum();
+        v1.data_mut()[digits[1] * cols + col] = y.data()[i];
+    }
+    Ok(v1)
+}
+
+/// Inverse of [`unfold_core`]: folds a stage matrix
+/// `G̃_h ((m_h r_{h-1}) × (n_h r_h))` back into the 4-D core layout
+/// `(r_{h-1} × m_h × n_h × r_h)`. Used to map stage-matrix gradients back
+/// onto core parameters.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the matrix does not factor as
+/// `(m·r0) × (n·r1)` for the given dims.
+pub fn fold_core<T: Scalar>(
+    gtilde: &Tensor<T>,
+    r0: usize,
+    m: usize,
+    n: usize,
+    r1: usize,
+) -> Result<Tensor<T>> {
+    if gtilde.dims() != [m * r0, n * r1] {
+        return Err(TensorError::ShapeMismatch {
+            left: gtilde.dims().to_vec(),
+            right: vec![m * r0, n * r1],
+        });
+    }
+    // reshape (m r0 n r1) then permute [1,0,2,3] back to (r0 m n r1)
+    gtilde
+        .reshaped(vec![m, r0, n, r1])?
+        .permuted(&[1, 0, 2, 3])
+}
+
+/// Unfolds a 4-D core `G_h (r_{h-1} × m_h × n_h × r_h)` into the stage
+/// matrix `G̃_h ((m_h r_{h-1}) × (n_h r_h))` with rows `(i_h, t_{h-1})`
+/// (`i_h` major) and columns `(j_h, t_h)` (`j_h` major), matching the
+/// `V` layouts above.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] for a non-4-D core.
+pub fn unfold_core<T: Scalar>(core: &Tensor<T>) -> Result<Tensor<T>> {
+    if core.ndim() != 4 {
+        return Err(TensorError::InvalidArgument {
+            message: format!("core must be 4-d, has {} dims", core.ndim()),
+        });
+    }
+    // [r0, m, n, r1] -> [m, r0, n, r1] -> reshape (m r0) × (n r1)
+    let permuted = core.permuted(&[1, 0, 2, 3])?;
+    let [m, r0, n, r1] = [
+        permuted.dims()[0],
+        permuted.dims()[1],
+        permuted.dims()[2],
+        permuted.dims()[3],
+    ];
+    permuted.reshaped(vec![m * r0, n * r1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tie_tt::TtShape;
+
+    fn shape_3d() -> TtShape {
+        TtShape::new(vec![2, 3, 2], vec![3, 2, 3], vec![1, 2, 2, 1]).unwrap()
+    }
+
+    #[test]
+    fn transform_map_shapes() {
+        let s = shape_3d();
+        // h = 3 (last stage's output): V_3 is (m3 r2) × (n1 n2 · 1)
+        let t3 = TransformMap::new(&s, 3).unwrap();
+        assert_eq!((t3.rows_in, t3.cols_in), (2 * 2, 3 * 2));
+        assert_eq!((t3.rows_out, t3.cols_out), (2 * 2, 3 * 2));
+        // h = 2: V_2 is (m2 r1) × (n1 · m3)
+        let t2 = TransformMap::new(&s, 2).unwrap();
+        assert_eq!((t2.rows_in, t2.cols_in), (3 * 2, 3 * 2));
+        assert_eq!((t2.rows_out, t2.cols_out), (3 * 2, 3 * 2));
+        assert!(TransformMap::new(&s, 1).is_err());
+        assert!(TransformMap::new(&s, 4).is_err());
+    }
+
+    #[test]
+    fn transform_map_is_bijection() {
+        let s = TtShape::new(vec![2, 4, 3], vec![3, 2, 2], vec![1, 3, 2, 1]).unwrap();
+        for h in 2..=3 {
+            let t = TransformMap::new(&s, h).unwrap();
+            assert_eq!(t.rows_in * t.cols_in, t.rows_out * t.cols_out);
+            let mut seen = vec![false; t.rows_out * t.cols_out];
+            for p in 0..t.rows_in {
+                for q in 0..t.cols_in {
+                    let (po, qo) = t.map(p, q);
+                    assert!(po < t.rows_out && qo < t.cols_out, "h={h} maps out of range");
+                    let off = po * t.cols_out + qo;
+                    assert!(!seen[off], "h={h} collision at ({p},{q})");
+                    seen[off] = true;
+                }
+            }
+            assert!(seen.iter().all(|&b| b), "h={h} map not surjective");
+        }
+    }
+
+    #[test]
+    fn transform_preserves_multiset_of_values() {
+        let s = shape_3d();
+        let t = TransformMap::new(&s, 3).unwrap();
+        let v = Tensor::<f64>::from_fn(vec![t.rows_in, t.cols_in], |i| {
+            (i[0] * 100 + i[1]) as f64
+        })
+        .unwrap();
+        let out = t.apply(&v).unwrap();
+        let mut a: Vec<i64> = v.data().iter().map(|&x| x as i64).collect();
+        let mut b: Vec<i64> = out.data().iter().map(|&x| x as i64).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn apply_rejects_wrong_shape() {
+        let s = shape_3d();
+        let t = TransformMap::new(&s, 2).unwrap();
+        let v = Tensor::<f64>::zeros(vec![1, 1]);
+        assert!(t.apply(&v).is_err());
+    }
+
+    #[test]
+    fn prepare_input_matches_eqn8() {
+        // d=2, n=[2,3]: x index j = j1*3 + j2; X'(j2, j1) expected.
+        let s = TtShape::new(vec![2, 2], vec![2, 3], vec![1, 2, 1]).unwrap();
+        let x = Tensor::<f64>::from_fn(vec![6], |i| i[0] as f64).unwrap();
+        let xp = prepare_input(&x, &s).unwrap();
+        assert_eq!(xp.dims(), &[3, 2]);
+        for j1 in 0..2 {
+            for j2 in 0..3 {
+                assert_eq!(
+                    xp.get(&[j2, j1]).unwrap(),
+                    (j1 * 3 + j2) as f64,
+                    "X'({j2},{j1})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prepare_input_3d_digit_reversal() {
+        // d=3, n=[2,2,2]: x index j = j1*4 + j2*2 + j3.
+        // X'(j3, q) with q = j1 + j2*2?? No: q = j1*1 + j2*n1 = j1 + 2*j2.
+        let s = TtShape::new(vec![1, 1, 1], vec![2, 2, 2], vec![1, 1, 1, 1]).unwrap();
+        let x = Tensor::<f64>::from_fn(vec![8], |i| i[0] as f64).unwrap();
+        let xp = prepare_input(&x, &s).unwrap();
+        for j1 in 0..2 {
+            for j2 in 0..2 {
+                for j3 in 0..2 {
+                    let q = j1 + 2 * j2;
+                    assert_eq!(
+                        xp.get(&[j3, q]).unwrap(),
+                        (j1 * 4 + j2 * 2 + j3) as f64
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn assemble_output_gathers_row_major() {
+        // d=2, m=[2,3]: V_1 is 2×3 with columns indexed by i_2 (stride 1);
+        // y[i1*3+i2] = V_1(i1, i2).
+        let s = TtShape::new(vec![2, 3], vec![2, 2], vec![1, 2, 1]).unwrap();
+        let v1 = Tensor::<f64>::from_fn(vec![2, 3], |i| (i[0] * 10 + i[1]) as f64).unwrap();
+        let y = assemble_output(&v1, &s).unwrap();
+        for i1 in 0..2 {
+            for i2 in 0..3 {
+                assert_eq!(y.data()[i1 * 3 + i2], (i1 * 10 + i2) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn assemble_output_3d_uses_reversed_significance() {
+        // d=3, m=[2,2,2]: column of V_1 is i_2 + 2*i_3... no: i_2 stride 1,
+        // i_3 stride m_2 = 2. y[i1*4 + i2*2 + i3] = V_1(i1, i2 + 2*i3).
+        let s = TtShape::new(vec![2, 2, 2], vec![1, 1, 1], vec![1, 1, 1, 1]).unwrap();
+        let v1 = Tensor::<f64>::from_fn(vec![2, 4], |i| (i[0] * 100 + i[1]) as f64).unwrap();
+        let y = assemble_output(&v1, &s).unwrap();
+        for i1 in 0..2 {
+            for i2 in 0..2 {
+                for i3 in 0..2 {
+                    assert_eq!(
+                        y.data()[i1 * 4 + i2 * 2 + i3],
+                        (i1 * 100 + i2 + 2 * i3) as f64
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn four_step_transform_equals_closed_form_map() {
+        // The paper's Algorithm-1 Transform pseudocode (transpose,
+        // reshape, split, assemble) and the Eqn. (10) index map describe
+        // the same permutation — the key fidelity check.
+        for (m, n, r) in [
+            (vec![2usize, 3, 2], vec![3usize, 2, 3], vec![1usize, 2, 2, 1]),
+            (vec![4, 4], vec![4, 4], vec![1, 3, 1]),
+            (vec![2, 4, 3, 2], vec![3, 2, 2, 4], vec![1, 3, 2, 2, 1]),
+        ] {
+            let s = TtShape::new(m, n, r).unwrap();
+            for h in 2..=s.ndim() {
+                let t = TransformMap::new(&s, h).unwrap();
+                let v = Tensor::<f64>::from_fn(vec![t.rows_in, t.cols_in], |i| {
+                    (i[0] * 10_000 + i[1]) as f64
+                })
+                .unwrap();
+                let by_map = t.apply(&v).unwrap();
+                let by_steps = four_step_transform(&v, &s, h).unwrap();
+                assert_eq!(by_steps, by_map, "h={h} of {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn four_step_transform_validates_shape() {
+        let s = TtShape::new(vec![2, 2], vec![3, 3], vec![1, 2, 1]).unwrap();
+        let bad = Tensor::<f64>::zeros(vec![2, 2]);
+        assert!(four_step_transform(&bad, &s, 2).is_err());
+        assert!(four_step_transform(&bad, &s, 1).is_err());
+    }
+
+    #[test]
+    fn map_inverse_roundtrips_everywhere() {
+        let s = TtShape::new(vec![2, 4, 3], vec![3, 2, 2], vec![1, 3, 2, 1]).unwrap();
+        for h in 2..=3 {
+            let t = TransformMap::new(&s, h).unwrap();
+            for p in 0..t.rows_in {
+                for q in 0..t.cols_in {
+                    let (po, qo) = t.map(p, q);
+                    assert_eq!(t.map_inverse(po, qo), (p, q), "h={h} at ({p},{q})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apply_inverse_roundtrips() {
+        let s = TtShape::new(vec![2, 4, 3], vec![3, 2, 2], vec![1, 3, 2, 1]).unwrap();
+        for h in 2..=3 {
+            let t = TransformMap::new(&s, h).unwrap();
+            let v = Tensor::<f64>::from_fn(vec![t.rows_in, t.cols_in], |i| {
+                (i[0] * 1000 + i[1]) as f64
+            })
+            .unwrap();
+            let there = t.apply(&v).unwrap();
+            let back = t.apply_inverse(&there).unwrap();
+            assert_eq!(back, v, "h={h}");
+        }
+    }
+
+    #[test]
+    fn prepare_input_inverse_roundtrips() {
+        let s = TtShape::new(vec![2, 2, 2], vec![3, 2, 4], vec![1, 2, 2, 1]).unwrap();
+        let x = Tensor::<f64>::from_fn(vec![24], |i| i[0] as f64 + 0.5).unwrap();
+        let xp = prepare_input(&x, &s).unwrap();
+        let back = prepare_input_inverse(&xp, &s).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn assemble_output_inverse_roundtrips() {
+        let s = TtShape::new(vec![3, 2, 2], vec![2, 2, 2], vec![1, 2, 2, 1]).unwrap();
+        let y = Tensor::<f64>::from_fn(vec![12], |i| (i[0] * 7 % 13) as f64).unwrap();
+        let v1 = assemble_output_inverse(&y, &s).unwrap();
+        let back = assemble_output(&v1, &s).unwrap();
+        assert_eq!(back, y);
+    }
+
+    #[test]
+    fn fold_core_inverts_unfold() {
+        let core = Tensor::<f64>::from_fn(vec![3, 2, 4, 2], |i| {
+            (i[0] * 1000 + i[1] * 100 + i[2] * 10 + i[3]) as f64
+        })
+        .unwrap();
+        let g = unfold_core(&core).unwrap();
+        let back = fold_core(&g, 3, 2, 4, 2).unwrap();
+        assert_eq!(back, core);
+        assert!(
+            fold_core(&g, 3, 2, 4, 3).is_err(),
+            "element count mismatch must be rejected"
+        );
+    }
+
+    #[test]
+    fn unfold_core_layout() {
+        // core [r0=2, m=2, n=3, r1=2]: G̃[(i*2+t), (j*2+u)] = G(t,i,j,u)
+        let core = Tensor::<f64>::from_fn(vec![2, 2, 3, 2], |i| {
+            (i[0] * 1000 + i[1] * 100 + i[2] * 10 + i[3]) as f64
+        })
+        .unwrap();
+        let g = unfold_core(&core).unwrap();
+        assert_eq!(g.dims(), &[4, 6]);
+        for t in 0..2 {
+            for i in 0..2 {
+                for j in 0..3 {
+                    for u in 0..2 {
+                        assert_eq!(
+                            g.get(&[i * 2 + t, j * 2 + u]).unwrap(),
+                            (t * 1000 + i * 100 + j * 10 + u) as f64
+                        );
+                    }
+                }
+            }
+        }
+        assert!(unfold_core(&Tensor::<f64>::zeros(vec![2, 2])).is_err());
+    }
+}

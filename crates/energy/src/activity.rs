@@ -1,0 +1,149 @@
+//! Activity-based energy accounting: per-operation energies derived from
+//! the Table 6 calibration, applied to the simulator's measured traffic.
+//!
+//! The [`crate::TieAreaPowerModel`] charges utilization-gated *power*;
+//! this model instead charges *events* — MACs, SRAM element accesses,
+//! clock ticks — so two runs with equal utilization but different memory
+//! mixes get different energies. Both models agree at the calibration
+//! point (full-load prototype), which the tests pin down.
+
+use serde::Serialize;
+
+/// Per-event energies at 28 nm, derived from Table 6.
+///
+/// Derivation at the prototype's full-load steady state (1 GHz, every
+/// cycle: 256 MACs, one 16-element weight word read, 16 working-SRAM
+/// element reads and on average ~16/N_Gcol ≈ 1 element written):
+///
+/// * datapath (combinational + register) 64.9 mW over 256 MAC/cycle →
+///   **0.2535 pJ/MAC**,
+/// * memory 60.8 mW over ~33 element accesses/cycle → **1.84 pJ/element**
+///   (weight and working SRAM charged alike; both are on-chip SRAM of
+///   similar word width),
+/// * clock network 29.1 mW → **29.1 pJ/cycle** flat.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ActivityEnergy {
+    /// Energy per multiply-accumulate, picojoules.
+    pub pj_per_mac: f64,
+    /// Energy per SRAM element access (read or write), picojoules.
+    pub pj_per_sram_elem: f64,
+    /// Clock-tree energy per cycle, picojoules.
+    pub pj_per_cycle_clock: f64,
+}
+
+/// Event counts of one run (the simulator's `RunStats` totals, expressed
+/// crate-neutrally so `tie-energy` stays dependency-free).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct Activity {
+    /// Multiply-accumulates performed.
+    pub macs: u64,
+    /// Weight SRAM element reads (words × word width).
+    pub weight_elem_reads: u64,
+    /// Working SRAM element reads.
+    pub act_elem_reads: u64,
+    /// Working SRAM element writes.
+    pub act_elem_writes: u64,
+    /// Total cycles.
+    pub cycles: u64,
+}
+
+impl Default for ActivityEnergy {
+    fn default() -> Self {
+        // Full-load calibration point (see type docs).
+        let pj_per_mac = 64.9 / 256.0;
+        let accesses_per_cycle = 16.0 + 16.0 + 1.0;
+        ActivityEnergy {
+            pj_per_mac,
+            pj_per_sram_elem: 60.8 / accesses_per_cycle,
+            pj_per_cycle_clock: 29.1,
+        }
+    }
+}
+
+impl ActivityEnergy {
+    /// Total energy of a run in nanojoules.
+    pub fn energy_nj(&self, a: &Activity) -> f64 {
+        let sram = (a.weight_elem_reads + a.act_elem_reads + a.act_elem_writes) as f64
+            * self.pj_per_sram_elem;
+        let mac = a.macs as f64 * self.pj_per_mac;
+        let clock = a.cycles as f64 * self.pj_per_cycle_clock;
+        (sram + mac + clock) / 1e3
+    }
+
+    /// Average power in milliwatts over a run at `freq_mhz`.
+    pub fn average_power_mw(&self, a: &Activity, freq_mhz: f64) -> f64 {
+        if a.cycles == 0 {
+            return 0.0;
+        }
+        let seconds = a.cycles as f64 / (freq_mhz * 1e6);
+        // nJ → mJ is /1e6; mJ per second is mW.
+        self.energy_nj(a) / 1e6 / seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_load(cycles: u64) -> Activity {
+        Activity {
+            macs: cycles * 256,
+            weight_elem_reads: cycles * 16,
+            act_elem_reads: cycles * 16,
+            act_elem_writes: cycles,
+            cycles,
+        }
+    }
+
+    #[test]
+    fn full_load_reproduces_table6_power() {
+        let e = ActivityEnergy::default();
+        let p = e.average_power_mw(&full_load(1_000_000), 1000.0);
+        assert!((p - 154.8).abs() < 0.2, "full-load power {p} mW");
+    }
+
+    #[test]
+    fn idle_run_costs_only_clock() {
+        let e = ActivityEnergy::default();
+        let a = Activity {
+            cycles: 1000,
+            ..Activity::default()
+        };
+        assert!((e.energy_nj(&a) - 29.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_heavy_run_costs_more_than_compute_heavy() {
+        let e = ActivityEnergy::default();
+        let compute = Activity {
+            macs: 10_000,
+            cycles: 100,
+            ..Activity::default()
+        };
+        let memory = Activity {
+            act_elem_reads: 10_000,
+            cycles: 100,
+            ..Activity::default()
+        };
+        assert!(
+            e.energy_nj(&memory) > e.energy_nj(&compute),
+            "per-element SRAM energy exceeds per-MAC energy at 28 nm"
+        );
+    }
+
+    #[test]
+    fn zero_cycles_is_zero_power() {
+        let e = ActivityEnergy::default();
+        assert_eq!(e.average_power_mw(&Activity::default(), 1000.0), 0.0);
+    }
+
+    #[test]
+    fn per_op_constants_are_physically_plausible() {
+        let e = ActivityEnergy::default();
+        assert!((0.1..1.0).contains(&e.pj_per_mac), "16-bit MAC ~0.25 pJ");
+        assert!(
+            (0.5..5.0).contains(&e.pj_per_sram_elem),
+            "small-SRAM 16-bit access ~2 pJ"
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Area / power / energy modeling and technology-node scaling.
+//!
+//! The paper evaluates TIE with a synthesized 28 nm implementation
+//! (Synopsys DC/ICC/PrimeTime + Cacti) and compares against accelerators
+//! published at other nodes by *projecting* them to 28 nm with the scaling
+//! rule of the EIE paper: **frequency scales linearly** with the node
+//! ratio, **area scales quadratically**, **power stays constant**
+//! (Tables 7–9 all use this rule).
+//!
+//! This crate substitutes the CAD flow with a component-level model
+//! calibrated to the paper's own Table 6 breakdown (154.8 mW / 1.744 mm²
+//! for the 16-PE, 16 KB + 2×384 KB prototype at 1000 MHz):
+//!
+//! * [`TieAreaPowerModel`] — parametric in PE/MAC count and SRAM capacity,
+//!   reproducing Table 6 at the default configuration and extrapolating
+//!   for the ablation studies (PE-count / SRAM sweeps),
+//! * [`TechNode`] + [`project`] — the paper's projection rule,
+//! * [`Metrics`] — throughput/area/power bundles with the derived
+//!   efficiency figures the tables report (TOPS/W, frames/s/W,
+//!   frames/s/mm²).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activity;
+mod metrics;
+mod model;
+mod scaling;
+
+pub use activity::{Activity, ActivityEnergy};
+pub use metrics::{FrameMetrics, Metrics};
+pub use model::{AreaBreakdown, PowerBreakdown, TieAreaPowerModel};
+pub use scaling::{project, AcceleratorSpec, TechNode};

@@ -1,0 +1,136 @@
+//! Derived efficiency metrics — the figures of merit the paper's tables
+//! report.
+
+use serde::Serialize;
+
+/// A throughput/area/power bundle for one design on one workload.
+#[derive(Debug, Clone, Serialize)]
+pub struct Metrics {
+    /// Design name.
+    pub name: String,
+    /// Dense-equivalent throughput, ops/s (2·M·N per matrix-vector
+    /// product over latency) — or frames/s when `frames` semantics are
+    /// used by the caller.
+    pub throughput_ops: f64,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Power in mW.
+    pub power_mw: f64,
+}
+
+impl Metrics {
+    /// New metrics bundle.
+    pub fn new(name: impl Into<String>, throughput_ops: f64, area_mm2: f64, power_mw: f64) -> Self {
+        Metrics {
+            name: name.into(),
+            throughput_ops,
+            area_mm2,
+            power_mw,
+        }
+    }
+
+    /// Throughput in TOPS.
+    pub fn tops(&self) -> f64 {
+        self.throughput_ops / 1e12
+    }
+
+    /// Energy efficiency in TOPS/W.
+    pub fn tops_per_watt(&self) -> f64 {
+        self.tops() / (self.power_mw / 1e3)
+    }
+
+    /// Area efficiency in GOPS/mm².
+    pub fn gops_per_mm2(&self) -> f64 {
+        self.throughput_ops / 1e9 / self.area_mm2
+    }
+
+    /// Throughput ratio over a baseline (the "N×" numbers of the tables).
+    pub fn throughput_ratio(&self, base: &Metrics) -> f64 {
+        self.throughput_ops / base.throughput_ops
+    }
+
+    /// Area-efficiency ratio over a baseline.
+    pub fn area_efficiency_ratio(&self, base: &Metrics) -> f64 {
+        self.gops_per_mm2() / base.gops_per_mm2()
+    }
+
+    /// Energy-efficiency ratio over a baseline.
+    pub fn energy_efficiency_ratio(&self, base: &Metrics) -> f64 {
+        self.tops_per_watt() / base.tops_per_watt()
+    }
+}
+
+/// Frame-rate metrics for CONV-network comparisons (Table 9 semantics).
+#[derive(Debug, Clone, Serialize)]
+pub struct FrameMetrics {
+    /// Design name.
+    pub name: String,
+    /// Frames per second.
+    pub fps: f64,
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Power in mW.
+    pub power_mw: f64,
+}
+
+impl FrameMetrics {
+    /// New frame-rate bundle.
+    pub fn new(name: impl Into<String>, fps: f64, area_mm2: f64, power_mw: f64) -> Self {
+        FrameMetrics {
+            name: name.into(),
+            fps,
+            area_mm2,
+            power_mw,
+        }
+    }
+
+    /// Frames/s/W (Table 9 "area efficiency" column is frames/s/W in the
+    /// paper's header order; both ratios are provided).
+    pub fn fps_per_watt(&self) -> f64 {
+        self.fps / (self.power_mw / 1e3)
+    }
+
+    /// Frames/s/mm².
+    pub fn fps_per_mm2(&self) -> f64 {
+        self.fps / self.area_mm2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tie_table8_figures() {
+        // TIE (Table 8): 7.64 TOPS at 104.8 mW → 72.9 TOPS/W.
+        let tie = Metrics::new("TIE", 7.64e12, 1.40, 104.8);
+        assert!((tie.tops() - 7.64).abs() < 1e-9);
+        assert!((tie.tops_per_watt() - 72.9).abs() < 0.2);
+    }
+
+    #[test]
+    fn ratios_against_circnn() {
+        // CirCNN projected: 1.28 TOPS, 80 mW → 16 TOPS/W; paper quotes
+        // TIE advantages of 5.96× throughput and 4.56× energy efficiency.
+        let tie = Metrics::new("TIE", 7.64e12, 1.40, 104.8);
+        let circnn = Metrics::new("CirCNN", 1.28e12, 1.0, 80.0);
+        assert!((tie.throughput_ratio(&circnn) - 5.96).abs() < 0.03);
+        assert!((tie.energy_efficiency_ratio(&circnn) - 4.56).abs() < 0.03);
+    }
+
+    #[test]
+    fn frame_metrics_table9() {
+        // TIE on VGG CONV (Table 9): 6.72 fps, 170 mW, 1.74 mm²
+        // → 39.5 fps/W and 3.86 fps/mm².
+        let tie = FrameMetrics::new("TIE", 6.72, 1.74, 170.0);
+        assert!((tie.fps_per_watt() - 39.5).abs() < 0.1);
+        assert!((tie.fps_per_mm2() - 3.86).abs() < 0.01);
+    }
+
+    #[test]
+    fn area_efficiency_ratio_sanity() {
+        let a = Metrics::new("A", 1e12, 1.0, 100.0);
+        let b = Metrics::new("B", 1e12, 10.0, 100.0);
+        assert!((a.area_efficiency_ratio(&b) - 10.0).abs() < 1e-9);
+    }
+}

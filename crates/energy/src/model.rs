@@ -1,0 +1,217 @@
+//! Component-level area / power model calibrated to the paper's Table 6.
+
+use serde::Serialize;
+
+/// Area breakdown in mm² (Table 6 right column).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct AreaBreakdown {
+    /// On-chip SRAM macros.
+    pub memory: f64,
+    /// Pipeline / accumulator registers.
+    pub register: f64,
+    /// Combinational logic (multipliers, adders, muxes).
+    pub combinational: f64,
+    /// Clock tree.
+    pub clock_network: f64,
+    /// Routing / fill / everything else.
+    pub other: f64,
+}
+
+impl AreaBreakdown {
+    /// Total area in mm².
+    pub fn total(&self) -> f64 {
+        self.memory + self.register + self.combinational + self.clock_network + self.other
+    }
+}
+
+/// Power breakdown in mW (Table 6 left column).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PowerBreakdown {
+    /// SRAM access power.
+    pub memory: f64,
+    /// Register switching power.
+    pub register: f64,
+    /// Combinational switching power.
+    pub combinational: f64,
+    /// Clock-network power.
+    pub clock_network: f64,
+}
+
+impl PowerBreakdown {
+    /// Total power in mW.
+    pub fn total(&self) -> f64 {
+        self.memory + self.register + self.combinational + self.clock_network
+    }
+}
+
+/// Parametric 28 nm area/power model of a TIE-style design.
+///
+/// Per-unit constants are calibrated so the paper's prototype
+/// configuration (256 MAC lanes, 16 KB + 2 × 384 KB SRAM, 1000 MHz)
+/// reproduces Table 6: 154.8 mW and 1.744 mm². Scaling behavior:
+/// SRAM terms are linear in capacity, datapath terms linear in MAC-lane
+/// count, clock power linear in both registers and frequency, `other`
+/// area a fixed fraction of the component sum.
+///
+/// # Example
+///
+/// ```
+/// use tie_energy::TieAreaPowerModel;
+/// let m = TieAreaPowerModel::paper_prototype();
+/// assert!((m.area().total() - 1.744).abs() < 0.01);
+/// assert!((m.power_at_utilization(1.0).total() - 154.8).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TieAreaPowerModel {
+    /// Total MAC lanes (`n_pe × n_mac`).
+    pub mac_lanes: usize,
+    /// Total on-chip SRAM in KiB (weight + both working copies).
+    pub sram_kib: f64,
+    /// Clock frequency in MHz.
+    pub freq_mhz: f64,
+}
+
+// Calibration constants (from Table 6 at the prototype configuration:
+// 256 lanes, 784 KiB, 1000 MHz).
+const PROTO_LANES: f64 = 256.0;
+const PROTO_SRAM_KIB: f64 = 784.0;
+const PROTO_FREQ: f64 = 1000.0;
+
+const AREA_MEM_PER_KIB: f64 = 1.29 / PROTO_SRAM_KIB;
+const AREA_REG_PER_LANE: f64 = 0.019 / PROTO_LANES;
+const AREA_COMB_PER_LANE: f64 = 0.082 / PROTO_LANES;
+const AREA_CLK_PER_LANE: f64 = 0.0035 / PROTO_LANES;
+// Table 6 "other" = 0.35 of 1.744; modeled as a fixed fraction of the
+// component area (routing overhead grows with what is routed).
+const AREA_OTHER_FRACTION: f64 = 0.35 / (1.29 + 0.019 + 0.082 + 0.0035);
+
+const POWER_MEM_PER_KIB_MHZ: f64 = 60.8 / PROTO_SRAM_KIB / PROTO_FREQ;
+const POWER_REG_PER_LANE_MHZ: f64 = 10.9 / PROTO_LANES / PROTO_FREQ;
+const POWER_COMB_PER_LANE_MHZ: f64 = 54.0 / PROTO_LANES / PROTO_FREQ;
+const POWER_CLK_PER_LANE_MHZ: f64 = 29.1 / PROTO_LANES / PROTO_FREQ;
+
+impl TieAreaPowerModel {
+    /// The fabricated prototype (Table 5 configuration).
+    pub fn paper_prototype() -> Self {
+        TieAreaPowerModel {
+            mac_lanes: 256,
+            sram_kib: 784.0,
+            freq_mhz: 1000.0,
+        }
+    }
+
+    /// Model for an arbitrary configuration.
+    pub fn new(mac_lanes: usize, sram_kib: f64, freq_mhz: f64) -> Self {
+        TieAreaPowerModel {
+            mac_lanes,
+            sram_kib,
+            freq_mhz,
+        }
+    }
+
+    /// Area breakdown (frequency-independent).
+    pub fn area(&self) -> AreaBreakdown {
+        let memory = AREA_MEM_PER_KIB * self.sram_kib;
+        let register = AREA_REG_PER_LANE * self.mac_lanes as f64;
+        let combinational = AREA_COMB_PER_LANE * self.mac_lanes as f64;
+        let clock_network = AREA_CLK_PER_LANE * self.mac_lanes as f64;
+        let other = AREA_OTHER_FRACTION * (memory + register + combinational + clock_network);
+        AreaBreakdown {
+            memory,
+            register,
+            combinational,
+            clock_network,
+            other,
+        }
+    }
+
+    /// Power breakdown at a datapath utilization in `[0, 1]`
+    /// (1.0 = every MAC lane busy every cycle — the Table 6 condition).
+    /// Clock power does not gate with utilization; switching power does.
+    pub fn power_at_utilization(&self, utilization: f64) -> PowerBreakdown {
+        let u = utilization.clamp(0.0, 1.0);
+        let lanes = self.mac_lanes as f64;
+        PowerBreakdown {
+            memory: POWER_MEM_PER_KIB_MHZ * self.sram_kib * self.freq_mhz * u,
+            register: POWER_REG_PER_LANE_MHZ * lanes * self.freq_mhz * u,
+            combinational: POWER_COMB_PER_LANE_MHZ * lanes * self.freq_mhz * u,
+            clock_network: POWER_CLK_PER_LANE_MHZ * lanes * self.freq_mhz,
+        }
+    }
+
+    /// Energy of a run in millijoules: `power(utilization) × seconds`.
+    pub fn energy_mj(&self, utilization: f64, seconds: f64) -> f64 {
+        self.power_at_utilization(utilization).total() * seconds
+    }
+
+    /// Energy per MAC at full utilization, in picojoules — a sanity
+    /// metric (16-bit MACs in 28 nm land near a quarter picojoule).
+    pub fn energy_per_mac_pj(&self) -> f64 {
+        let p = self.power_at_utilization(1.0);
+        let switching = p.register + p.combinational; // datapath share
+        // mW / (lanes × MHz × 1e6) = mJ/op → ×1e9 pJ/op
+        switching / (self.mac_lanes as f64 * self.freq_mhz * 1e6) * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_reproduces_table6_power() {
+        let p = TieAreaPowerModel::paper_prototype().power_at_utilization(1.0);
+        assert!((p.memory - 60.8).abs() < 1e-9);
+        assert!((p.register - 10.9).abs() < 1e-9);
+        assert!((p.combinational - 54.0).abs() < 1e-9);
+        assert!((p.clock_network - 29.1).abs() < 1e-9);
+        assert!((p.total() - 154.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn prototype_reproduces_table6_area() {
+        let a = TieAreaPowerModel::paper_prototype().area();
+        assert!((a.memory - 1.29).abs() < 1e-9);
+        assert!((a.register - 0.019).abs() < 1e-9);
+        assert!((a.combinational - 0.082).abs() < 1e-9);
+        assert!((a.clock_network - 0.0035).abs() < 1e-9);
+        assert!((a.other - 0.35).abs() < 1e-6);
+        // Component sum is 1.7445; the paper rounds to 1.744.
+        assert!((a.total() - 1.744).abs() < 1e-3);
+    }
+
+    #[test]
+    fn idle_power_is_clock_only() {
+        let m = TieAreaPowerModel::paper_prototype();
+        let p = m.power_at_utilization(0.0);
+        assert_eq!(p.memory, 0.0);
+        assert_eq!(p.combinational, 0.0);
+        assert!((p.clock_network - 29.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaling_with_lanes_and_sram() {
+        let half_lanes = TieAreaPowerModel::new(128, 784.0, 1000.0);
+        let p = half_lanes.power_at_utilization(1.0);
+        assert!((p.combinational - 27.0).abs() < 1e-9);
+        assert!((p.memory - 60.8).abs() < 1e-9, "SRAM power independent of lanes");
+        let half_sram = TieAreaPowerModel::new(256, 392.0, 1000.0);
+        assert!((half_sram.area().memory - 0.645).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_per_mac_is_sub_picojoule() {
+        let e = TieAreaPowerModel::paper_prototype().energy_per_mac_pj();
+        assert!(
+            (0.05..1.0).contains(&e),
+            "16-bit MAC at 28 nm should be ~0.25 pJ, got {e}"
+        );
+    }
+
+    #[test]
+    fn energy_integrates_power() {
+        let m = TieAreaPowerModel::paper_prototype();
+        let e = m.energy_mj(1.0, 2.0);
+        assert!((e - 154.8 * 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,110 @@
+//! Technology-node projection (the EIE/TIE comparison rule).
+
+use serde::Serialize;
+
+/// A CMOS technology node in nanometers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TechNode {
+    /// Feature size in nm (e.g. 28.0, 45.0, 65.0).
+    pub nm: f64,
+}
+
+impl TechNode {
+    /// 28 nm — TIE's node, the common basis of all paper comparisons.
+    pub const NM28: TechNode = TechNode { nm: 28.0 };
+    /// 45 nm — EIE's and CirCNN's reported node.
+    pub const NM45: TechNode = TechNode { nm: 45.0 };
+    /// 65 nm — Eyeriss's reported node.
+    pub const NM65: TechNode = TechNode { nm: 65.0 };
+}
+
+/// Published (or modeled) headline numbers of an accelerator at some node.
+#[derive(Debug, Clone, Serialize)]
+pub struct AcceleratorSpec {
+    /// Design name.
+    pub name: String,
+    /// Technology node the numbers are reported at.
+    pub node: TechNode,
+    /// Clock frequency, MHz.
+    pub freq_mhz: f64,
+    /// Silicon area, mm² (`None` when unpublished, as for CirCNN).
+    pub area_mm2: Option<f64>,
+    /// Power, mW.
+    pub power_mw: f64,
+}
+
+impl AcceleratorSpec {
+    /// Convenience constructor.
+    pub fn new(
+        name: impl Into<String>,
+        node: TechNode,
+        freq_mhz: f64,
+        area_mm2: Option<f64>,
+        power_mw: f64,
+    ) -> Self {
+        AcceleratorSpec {
+            name: name.into(),
+            node,
+            freq_mhz,
+            area_mm2,
+            power_mw,
+        }
+    }
+}
+
+/// Projects a spec to another node with the paper's rule (Table 7
+/// footnote: "linear, quadratic and constant scaling for frequency, area
+/// and power, respectively").
+pub fn project(spec: &AcceleratorSpec, to: TechNode) -> AcceleratorSpec {
+    let ratio = spec.node.nm / to.nm;
+    AcceleratorSpec {
+        name: spec.name.clone(),
+        node: to,
+        freq_mhz: spec.freq_mhz * ratio,
+        area_mm2: spec.area_mm2.map(|a| a / (ratio * ratio)),
+        power_mw: spec.power_mw,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eie_projection_matches_table7() {
+        // EIE: 45 nm, 800 MHz, 40.8 mm², 590 mW → 28 nm: 1285 MHz,
+        // 15.7 mm², 590 mW (paper Table 7).
+        let eie = AcceleratorSpec::new("EIE", TechNode::NM45, 800.0, Some(40.8), 590.0);
+        let p = project(&eie, TechNode::NM28);
+        assert!((p.freq_mhz - 1285.0).abs() < 2.0, "freq {}", p.freq_mhz);
+        assert!((p.area_mm2.unwrap() - 15.7).abs() < 0.15, "area {:?}", p.area_mm2);
+        assert_eq!(p.power_mw, 590.0);
+    }
+
+    #[test]
+    fn circnn_projection_matches_table8() {
+        // CirCNN: 45 nm, 200 MHz → 320 MHz at 28 nm (paper Table 8).
+        let c = AcceleratorSpec::new("CirCNN", TechNode::NM45, 200.0, None, 80.0);
+        let p = project(&c, TechNode::NM28);
+        assert!((p.freq_mhz - 320.0).abs() < 2.0);
+        assert!(p.area_mm2.is_none());
+    }
+
+    #[test]
+    fn eyeriss_projection_matches_table9() {
+        // Eyeriss: 65 nm, 200 MHz, 12.25 mm² → 464 MHz, 2.27 mm² (Table 9).
+        let e = AcceleratorSpec::new("Eyeriss", TechNode::NM65, 200.0, Some(12.25), 236.0);
+        let p = project(&e, TechNode::NM28);
+        assert!((p.freq_mhz - 464.0).abs() < 2.0, "freq {}", p.freq_mhz);
+        assert!((p.area_mm2.unwrap() - 2.27).abs() < 0.03, "area {:?}", p.area_mm2);
+        assert_eq!(p.power_mw, 236.0);
+    }
+
+    #[test]
+    fn projecting_to_same_node_is_identity() {
+        let s = AcceleratorSpec::new("X", TechNode::NM28, 1000.0, Some(1.74), 154.8);
+        let p = project(&s, TechNode::NM28);
+        assert_eq!(p.freq_mhz, 1000.0);
+        assert_eq!(p.area_mm2, Some(1.74));
+    }
+}

@@ -1,0 +1,153 @@
+use crate::layer::{Layer, Trainable};
+use tie_tensor::{Result, Tensor, TensorError};
+
+macro_rules! activation_layer {
+    ($(#[$doc:meta])* $name:ident, $fwd:expr, $bwd_from_out:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Default)]
+        pub struct $name {
+            cached_output: Option<Tensor<f32>>,
+        }
+
+        impl $name {
+            /// New stateless activation layer.
+            pub fn new() -> Self {
+                Self::default()
+            }
+        }
+
+        impl Trainable for $name {
+            fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor<f32>, &mut Tensor<f32>)) {}
+        }
+
+        impl Layer for $name {
+            fn forward(&mut self, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+                let fwd: fn(f32) -> f32 = $fwd;
+                let y = x.map(fwd);
+                self.cached_output = Some(y.clone());
+                Ok(y)
+            }
+
+            fn backward(&mut self, grad_out: &Tensor<f32>) -> Result<Tensor<f32>> {
+                let y = self.cached_output.as_ref().ok_or(TensorError::InvalidArgument {
+                    message: "backward called before forward".into(),
+                })?;
+                let bwd: fn(f32) -> f32 = $bwd_from_out;
+                grad_out.zip_with(y, |g, o| g * bwd(o))
+            }
+
+            fn describe(&self) -> String {
+                stringify!($name).to_lowercase()
+            }
+        }
+    };
+}
+
+activation_layer!(
+    /// Rectified linear unit, `max(0, x)` — the activation of the TIE
+    /// PE's activation units (paper §4.3).
+    Relu,
+    |x| if x > 0.0 { x } else { 0.0 },
+    // d/dx relu(x) expressed in terms of the output: 1 where y > 0.
+    |y| if y > 0.0 { 1.0 } else { 0.0 }
+);
+
+activation_layer!(
+    /// Logistic sigmoid `1/(1+e^{-x})` (LSTM/GRU gate nonlinearity).
+    Sigmoid,
+    |x| 1.0 / (1.0 + (-x).exp()),
+    // d/dx σ(x) = σ(1-σ), in terms of the output.
+    |y| y * (1.0 - y)
+);
+
+activation_layer!(
+    /// Hyperbolic tangent (LSTM cell nonlinearity).
+    Tanh,
+    |x| x.tanh(),
+    // d/dx tanh(x) = 1 - tanh², in terms of the output.
+    |y| 1.0 - y * y
+);
+
+/// Scalar sigmoid used by the recurrent cells (shared definition so the
+/// layer and the cells cannot drift apart).
+pub(crate) fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grad_check<L: Layer>(layer: &mut L, xs: &[f32], tol: f64) {
+        let x = Tensor::<f32>::from_vec(vec![1, xs.len()], xs.to_vec()).unwrap();
+        let y = layer.forward(&x).unwrap();
+        let gx = layer.backward(&y).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..xs.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let l = |t: &Tensor<f32>, layer: &mut L| -> f64 {
+                layer
+                    .forward(t)
+                    .unwrap()
+                    .data()
+                    .iter()
+                    .map(|&v| 0.5 * (v as f64) * (v as f64))
+                    .sum()
+            };
+            let numeric = (l(&xp, layer) - l(&xm, layer)) / (2.0 * eps as f64);
+            assert!(
+                (numeric - gx.data()[i] as f64).abs() <= tol,
+                "grad mismatch at {i}: numeric {numeric} analytic {}",
+                gx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut r = Relu::new();
+        let x = Tensor::<f32>::from_vec(vec![1, 4], vec![-2.0, -0.1, 0.0, 3.0]).unwrap();
+        let y = r.forward(&x).unwrap();
+        assert_eq!(y.data(), &[0.0, 0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn relu_gradient_masks() {
+        let mut r = Relu::new();
+        let x = Tensor::<f32>::from_vec(vec![1, 3], vec![-1.0, 2.0, 3.0]).unwrap();
+        r.forward(&x).unwrap();
+        let g = Tensor::<f32>::filled(vec![1, 3], 1.0).unwrap();
+        let gx = r.backward(&g).unwrap();
+        assert_eq!(gx.data(), &[0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn sigmoid_range_and_gradient() {
+        let mut s = Sigmoid::new();
+        let x = Tensor::<f32>::from_vec(vec![1, 3], vec![-10.0, 0.0, 10.0]).unwrap();
+        let y = s.forward(&x).unwrap();
+        assert!(y.data()[0] < 0.001 && (y.data()[1] - 0.5).abs() < 1e-6 && y.data()[2] > 0.999);
+        grad_check(&mut s, &[-1.5, -0.2, 0.4, 2.0], 1e-4);
+    }
+
+    #[test]
+    fn tanh_gradient() {
+        let mut t = Tanh::new();
+        grad_check(&mut t, &[-2.0, -0.5, 0.0, 0.5, 2.0], 1e-4);
+    }
+
+    #[test]
+    fn backward_without_forward_errors() {
+        let mut r = Relu::new();
+        assert!(r.backward(&Tensor::<f32>::zeros(vec![1, 1])).is_err());
+    }
+
+    #[test]
+    fn activations_have_no_params() {
+        let mut r = Relu::new();
+        assert_eq!(r.num_params(), 0);
+    }
+}

@@ -1,0 +1,654 @@
+//! Convolution layers: dense im2col convolution ([`Conv2d`]) and the
+//! TT-compressed variant ([`TtConv2d`]) per paper Fig. 3, plus the
+//! [`im2col`]/[`col2im`] kernels and the direct-convolution reference.
+
+use crate::layer::{Layer, Trainable};
+use crate::tt_dense::{tt_layer_backward, tt_layer_forward, TtLayerCache};
+use tie_tensor::linalg::{matmul, matmul_nt, matmul_tn};
+use tie_tensor::{Result, Tensor, TensorError};
+use tie_tt::TtShape;
+
+use rand::Rng;
+
+/// Spatial geometry shared by [`Conv2d`] and [`TtConv2d`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeometry {
+    /// Input channels `C_in`.
+    pub in_channels: usize,
+    /// Output channels `C_out`.
+    pub out_channels: usize,
+    /// Square kernel size `f`.
+    pub kernel: usize,
+    /// Stride (same in both directions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+}
+
+impl ConvGeometry {
+    /// Output spatial size for an `h × w` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if the kernel does not fit.
+    pub fn output_hw(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        let he = h + 2 * self.padding;
+        let we = w + 2 * self.padding;
+        if he < self.kernel || we < self.kernel || self.stride == 0 {
+            return Err(TensorError::InvalidArgument {
+                message: format!("kernel {}x{} does not fit input {h}x{w}", self.kernel, self.kernel),
+            });
+        }
+        Ok(((he - self.kernel) / self.stride + 1, (we - self.kernel) / self.stride + 1))
+    }
+
+    /// Rows of the im2col matrix: `f² · C_in` (paper Fig. 3).
+    pub fn patch_len(&self) -> usize {
+        self.kernel * self.kernel * self.in_channels
+    }
+}
+
+/// im2col: unfolds conv patches of one `[C, H, W]` image into a matrix
+/// `[f²C, H'·W']` so convolution becomes matrix multiplication (paper
+/// Fig. 3: "converting computation on CONV layer to matrix
+/// multiplication").
+///
+/// Patch element order is `(c, ky, kx)` row-major, matching the kernel
+/// reshape `[C_out, C·f·f]`.
+///
+/// # Errors
+///
+/// Returns shape errors for non-3-D input or a kernel that does not fit.
+pub fn im2col(x: &Tensor<f32>, geo: &ConvGeometry) -> Result<Tensor<f32>> {
+    if x.ndim() != 3 || x.dims()[0] != geo.in_channels {
+        return Err(TensorError::ShapeMismatch {
+            left: x.dims().to_vec(),
+            right: vec![geo.in_channels, 0, 0],
+        });
+    }
+    let (h, w) = (x.dims()[1], x.dims()[2]);
+    let (ho, wo) = geo.output_hw(h, w)?;
+    let rows = geo.patch_len();
+    let cols = ho * wo;
+    let mut out = Tensor::zeros(vec![rows, cols]);
+    let xd = x.data();
+    let pad = geo.padding as isize;
+    for oy in 0..ho {
+        for ox in 0..wo {
+            let col = oy * wo + ox;
+            for c in 0..geo.in_channels {
+                for ky in 0..geo.kernel {
+                    for kx in 0..geo.kernel {
+                        let iy = (oy * geo.stride + ky) as isize - pad;
+                        let ix = (ox * geo.stride + kx) as isize - pad;
+                        let row = (c * geo.kernel + ky) * geo.kernel + kx;
+                        let v = if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                            xd[(c * h + iy as usize) * w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        out.data_mut()[row * cols + col] = v;
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Adjoint of [`im2col`]: scatters patch-matrix gradients back onto the
+/// `[C, H, W]` image (overlapping patches accumulate).
+///
+/// # Errors
+///
+/// Returns shape errors if `cols` does not match the geometry.
+pub fn col2im(cols_mat: &Tensor<f32>, geo: &ConvGeometry, h: usize, w: usize) -> Result<Tensor<f32>> {
+    let (ho, wo) = geo.output_hw(h, w)?;
+    if cols_mat.dims() != [geo.patch_len(), ho * wo] {
+        return Err(TensorError::ShapeMismatch {
+            left: cols_mat.dims().to_vec(),
+            right: vec![geo.patch_len(), ho * wo],
+        });
+    }
+    let mut out = Tensor::zeros(vec![geo.in_channels, h, w]);
+    let cd = cols_mat.data();
+    let pad = geo.padding as isize;
+    let n_cols = ho * wo;
+    for oy in 0..ho {
+        for ox in 0..wo {
+            let col = oy * wo + ox;
+            for c in 0..geo.in_channels {
+                for ky in 0..geo.kernel {
+                    for kx in 0..geo.kernel {
+                        let iy = (oy * geo.stride + ky) as isize - pad;
+                        let ix = (ox * geo.stride + kx) as isize - pad;
+                        if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                            let row = (c * geo.kernel + ky) * geo.kernel + kx;
+                            out.data_mut()[(c * h + iy as usize) * w + ix as usize] +=
+                                cd[row * n_cols + col];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Direct (loop-nest) convolution reference, used only to validate the
+/// im2col path in tests.
+///
+/// # Errors
+///
+/// Returns shape errors as in [`im2col`].
+pub fn conv2d_direct(
+    x: &Tensor<f32>,
+    kernel: &Tensor<f32>,
+    geo: &ConvGeometry,
+) -> Result<Tensor<f32>> {
+    let (h, w) = (x.dims()[1], x.dims()[2]);
+    let (ho, wo) = geo.output_hw(h, w)?;
+    let mut out = Tensor::zeros(vec![geo.out_channels, ho, wo]);
+    let pad = geo.padding as isize;
+    for co in 0..geo.out_channels {
+        for oy in 0..ho {
+            for ox in 0..wo {
+                let mut acc = 0.0f32;
+                for c in 0..geo.in_channels {
+                    for ky in 0..geo.kernel {
+                        for kx in 0..geo.kernel {
+                            let iy = (oy * geo.stride + ky) as isize - pad;
+                            let ix = (ox * geo.stride + kx) as isize - pad;
+                            if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                                acc += x.data()[(c * h + iy as usize) * w + ix as usize]
+                                    * kernel.data()
+                                        [((co * geo.in_channels + c) * geo.kernel + ky)
+                                            * geo.kernel
+                                            + kx];
+                            }
+                        }
+                    }
+                }
+                out.data_mut()[(co * ho + oy) * wo + ox] = acc;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// A 2-D convolution layer computed as im2col + matrix multiply.
+///
+/// Inputs are `[batch, C_in, H, W]`, outputs `[batch, C_out, H', W']`.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    geo: ConvGeometry,
+    /// Kernel as a matrix `[C_out, f²·C_in]` (already reshaped per Fig. 3).
+    w: Tensor<f32>,
+    b: Tensor<f32>,
+    grad_w: Tensor<f32>,
+    grad_b: Tensor<f32>,
+    cache: Option<ConvCache>,
+}
+
+#[derive(Debug, Clone)]
+struct ConvCache {
+    cols: Vec<Tensor<f32>>, // per-sample im2col matrices
+    input_hw: (usize, usize),
+}
+
+impl Conv2d {
+    /// Glorot-initialized convolution.
+    pub fn new<R: Rng>(rng: &mut R, geo: ConvGeometry) -> Self {
+        let w = tie_tensor::init::glorot_uniform(rng, geo.out_channels, geo.patch_len());
+        Conv2d {
+            geo,
+            grad_w: Tensor::zeros(w.dims().to_vec()),
+            w,
+            b: Tensor::zeros(vec![geo.out_channels]),
+            grad_b: Tensor::zeros(vec![geo.out_channels]),
+            cache: None,
+        }
+    }
+
+    /// The layer geometry.
+    pub fn geometry(&self) -> &ConvGeometry {
+        &self.geo
+    }
+
+    /// Kernel matrix `[C_out, f²·C_in]`.
+    pub fn weights(&self) -> &Tensor<f32> {
+        &self.w
+    }
+}
+
+impl Trainable for Conv2d {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor<f32>, &mut Tensor<f32>)) {
+        f(&mut self.w, &mut self.grad_w);
+        f(&mut self.b, &mut self.grad_b);
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+        if x.ndim() != 4 || x.dims()[1] != self.geo.in_channels {
+            return Err(TensorError::ShapeMismatch {
+                left: x.dims().to_vec(),
+                right: vec![0, self.geo.in_channels, 0, 0],
+            });
+        }
+        let (bsz, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let (ho, wo) = self.geo.output_hw(h, w)?;
+        let mut out = Tensor::zeros(vec![bsz, self.geo.out_channels, ho, wo]);
+        let mut cols_cache = Vec::with_capacity(bsz);
+        let img_len = c * h * w;
+        let out_len = self.geo.out_channels * ho * wo;
+        for bi in 0..bsz {
+            let img = Tensor::from_vec(
+                vec![c, h, w],
+                x.data()[bi * img_len..(bi + 1) * img_len].to_vec(),
+            )?;
+            let cols = im2col(&img, &self.geo)?;
+            let mut y = matmul(&self.w, &cols)?; // [C_out, H'W']
+            let hw = ho * wo;
+            for co in 0..self.geo.out_channels {
+                for p in 0..hw {
+                    y.data_mut()[co * hw + p] += self.b.data()[co];
+                }
+            }
+            out.data_mut()[bi * out_len..(bi + 1) * out_len].copy_from_slice(y.data());
+            cols_cache.push(cols);
+        }
+        self.cache = Some(ConvCache {
+            cols: cols_cache,
+            input_hw: (h, w),
+        });
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let cache = self.cache.as_ref().ok_or(TensorError::InvalidArgument {
+            message: "backward called before forward".into(),
+        })?;
+        let (h, w) = cache.input_hw;
+        let (ho, wo) = self.geo.output_hw(h, w)?;
+        let bsz = cache.cols.len();
+        if grad_out.dims() != [bsz, self.geo.out_channels, ho, wo] {
+            return Err(TensorError::ShapeMismatch {
+                left: grad_out.dims().to_vec(),
+                right: vec![bsz, self.geo.out_channels, ho, wo],
+            });
+        }
+        let mut grad_x = Tensor::zeros(vec![bsz, self.geo.in_channels, h, w]);
+        let out_len = self.geo.out_channels * ho * wo;
+        let img_len = self.geo.in_channels * h * w;
+        for bi in 0..bsz {
+            let gy = Tensor::from_vec(
+                vec![self.geo.out_channels, ho * wo],
+                grad_out.data()[bi * out_len..(bi + 1) * out_len].to_vec(),
+            )?;
+            // dW += gy · colsᵀ ; db += row sums ; dcols = Wᵀ · gy
+            let dw = matmul_nt(&gy, &cache.cols[bi])?;
+            self.grad_w.axpy(1.0, &dw)?;
+            let hw = ho * wo;
+            for co in 0..self.geo.out_channels {
+                let s: f32 = gy.data()[co * hw..(co + 1) * hw].iter().sum();
+                self.grad_b.data_mut()[co] += s;
+            }
+            let dcols = matmul_tn(&self.w, &gy)?;
+            let dimg = col2im(&dcols, &self.geo, h, w)?;
+            grad_x.data_mut()[bi * img_len..(bi + 1) * img_len].copy_from_slice(dimg.data());
+        }
+        Ok(grad_x)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "conv {}x{} {}->{} (stride {}, pad {})",
+            self.geo.kernel,
+            self.geo.kernel,
+            self.geo.in_channels,
+            self.geo.out_channels,
+            self.geo.stride,
+            self.geo.padding
+        )
+    }
+}
+
+/// A TT-compressed convolution: im2col, then the compact TT scheme as the
+/// matrix multiply (paper §2.2, "inference on CONV layers in the TT
+/// format").
+///
+/// The TT layout's column modes must multiply to `f²·C_in` and its row
+/// modes to `C_out`.
+#[derive(Debug, Clone)]
+pub struct TtConv2d {
+    geo: ConvGeometry,
+    shape: TtShape,
+    cores: Vec<Tensor<f32>>,
+    bias: Tensor<f32>,
+    grad_cores: Vec<Tensor<f32>>,
+    grad_bias: Tensor<f32>,
+    cache: Option<TtConvCache>,
+}
+
+#[derive(Debug, Clone)]
+struct TtConvCache {
+    cols: Vec<Tensor<f32>>,       // per-sample im2col (patch-major: [H'W', f²C])
+    tt: Vec<TtLayerCache>,        // per-sample TT caches
+    input_hw: (usize, usize),
+}
+
+impl TtConv2d {
+    /// Randomly initialized TT convolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if the TT layout does not
+    /// match the geometry.
+    pub fn new<R: Rng>(rng: &mut R, geo: ConvGeometry, shape: &TtShape) -> Result<Self> {
+        if shape.num_cols() != geo.patch_len() || shape.num_rows() != geo.out_channels {
+            return Err(TensorError::InvalidArgument {
+                message: format!(
+                    "TT layout {}x{} does not match conv matrix {}x{}",
+                    shape.num_rows(),
+                    shape.num_cols(),
+                    geo.out_channels,
+                    geo.patch_len()
+                ),
+            });
+        }
+        let tt = crate::tt_dense::TtDense::new(rng, shape);
+        let matrix = tt.to_tt_matrix()?;
+        let cores: Vec<Tensor<f32>> = matrix.cores().to_vec();
+        let grad_cores = cores
+            .iter()
+            .map(|c| Tensor::zeros(c.dims().to_vec()))
+            .collect();
+        Ok(TtConv2d {
+            geo,
+            shape: shape.clone(),
+            cores,
+            bias: Tensor::zeros(vec![geo.out_channels]),
+            grad_cores,
+            grad_bias: Tensor::zeros(vec![geo.out_channels]),
+            cache: None,
+        })
+    }
+
+    /// The TT layout.
+    pub fn shape(&self) -> &TtShape {
+        &self.shape
+    }
+
+    /// Stored parameters (cores + bias) vs the dense kernel.
+    pub fn stored_params(&self) -> usize {
+        self.shape.num_params() + self.bias.num_elements()
+    }
+}
+
+impl Trainable for TtConv2d {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor<f32>, &mut Tensor<f32>)) {
+        for (c, g) in self.cores.iter_mut().zip(&mut self.grad_cores) {
+            f(c, g);
+        }
+        f(&mut self.bias, &mut self.grad_bias);
+    }
+}
+
+impl Layer for TtConv2d {
+    fn forward(&mut self, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+        if x.ndim() != 4 || x.dims()[1] != self.geo.in_channels {
+            return Err(TensorError::ShapeMismatch {
+                left: x.dims().to_vec(),
+                right: vec![0, self.geo.in_channels, 0, 0],
+            });
+        }
+        let (bsz, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let (ho, wo) = self.geo.output_hw(h, w)?;
+        let hw = ho * wo;
+        let mut out = Tensor::zeros(vec![bsz, self.geo.out_channels, ho, wo]);
+        let img_len = c * h * w;
+        let out_len = self.geo.out_channels * hw;
+        let mut cols_cache = Vec::with_capacity(bsz);
+        let mut tt_cache = Vec::with_capacity(bsz);
+        for bi in 0..bsz {
+            let img = Tensor::from_vec(
+                vec![c, h, w],
+                x.data()[bi * img_len..(bi + 1) * img_len].to_vec(),
+            )?;
+            // Patch-major orientation: each output pixel is a "sample" for
+            // the TT matrix-vector product.
+            let cols = im2col(&img, &self.geo)?.transposed()?; // [H'W', f²C]
+            let (y, cache) = tt_layer_forward(&self.cores, &self.shape, &cols)?; // [H'W', C_out]
+            for p in 0..hw {
+                for co in 0..self.geo.out_channels {
+                    out.data_mut()[bi * out_len + co * hw + p] =
+                        y.data()[p * self.geo.out_channels + co] + self.bias.data()[co];
+                }
+            }
+            cols_cache.push(cols);
+            tt_cache.push(cache);
+        }
+        self.cache = Some(TtConvCache {
+            cols: cols_cache,
+            tt: tt_cache,
+            input_hw: (h, w),
+        });
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let cache = self.cache.as_ref().ok_or(TensorError::InvalidArgument {
+            message: "backward called before forward".into(),
+        })?;
+        let (h, w) = cache.input_hw;
+        let (ho, wo) = self.geo.output_hw(h, w)?;
+        let hw = ho * wo;
+        let bsz = cache.cols.len();
+        if grad_out.dims() != [bsz, self.geo.out_channels, ho, wo] {
+            return Err(TensorError::ShapeMismatch {
+                left: grad_out.dims().to_vec(),
+                right: vec![bsz, self.geo.out_channels, ho, wo],
+            });
+        }
+        let out_len = self.geo.out_channels * hw;
+        let img_len = self.geo.in_channels * h * w;
+        let mut grad_x = Tensor::zeros(vec![bsz, self.geo.in_channels, h, w]);
+        for bi in 0..bsz {
+            // Patch-major gradient [H'W', C_out].
+            let mut gy = Tensor::zeros(vec![hw, self.geo.out_channels]);
+            for p in 0..hw {
+                for co in 0..self.geo.out_channels {
+                    let g = grad_out.data()[bi * out_len + co * hw + p];
+                    gy.data_mut()[p * self.geo.out_channels + co] = g;
+                    self.grad_bias.data_mut()[co] += g;
+                }
+            }
+            let (gcols, gcores) =
+                tt_layer_backward(&self.cores, &self.shape, &cache.tt[bi], &gy)?;
+            for (acc, g) in self.grad_cores.iter_mut().zip(&gcores) {
+                acc.axpy(1.0, g)?;
+            }
+            let dimg = col2im(&gcols.transposed()?, &self.geo, h, w)?;
+            grad_x.data_mut()[bi * img_len..(bi + 1) * img_len].copy_from_slice(dimg.data());
+        }
+        Ok(grad_x)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "tt-conv {}x{} {}->{} ({} params vs {} dense)",
+            self.geo.kernel,
+            self.geo.kernel,
+            self.geo.in_channels,
+            self.geo.out_channels,
+            self.stored_params(),
+            self.geo.out_channels * self.geo.patch_len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use tie_tensor::init;
+
+    fn geo(cin: usize, cout: usize, k: usize, stride: usize, pad: usize) -> ConvGeometry {
+        ConvGeometry {
+            in_channels: cin,
+            out_channels: cout,
+            kernel: k,
+            stride,
+            padding: pad,
+        }
+    }
+
+    #[test]
+    fn output_geometry_matches_fig3() {
+        // Paper Fig. 3: H' = H - f + 1 (stride 1, no padding).
+        let g = geo(3, 8, 3, 1, 0);
+        assert_eq!(g.output_hw(32, 32).unwrap(), (30, 30));
+        let gp = geo(3, 8, 3, 1, 1);
+        assert_eq!(gp.output_hw(32, 32).unwrap(), (32, 32));
+        let gs = geo(3, 8, 3, 2, 1);
+        assert_eq!(gs.output_hw(32, 32).unwrap(), (16, 16));
+        assert!(geo(3, 8, 5, 1, 0).output_hw(3, 3).is_err());
+    }
+
+    #[test]
+    fn im2col_matmul_equals_direct_convolution() {
+        let mut rng = ChaCha8Rng::seed_from_u64(110);
+        for (stride, pad) in [(1, 0), (1, 1), (2, 1)] {
+            let g = geo(2, 3, 3, stride, pad);
+            let x: Tensor<f32> = init::uniform(&mut rng, vec![2, 6, 5], 1.0);
+            let kernel: Tensor<f32> = init::uniform(&mut rng, vec![3, 2, 3, 3], 1.0);
+            let want = conv2d_direct(&x, &kernel, &g).unwrap();
+            let cols = im2col(&x, &g).unwrap();
+            let wmat = kernel.reshaped(vec![3, 18]).unwrap();
+            let (ho, wo) = g.output_hw(6, 5).unwrap();
+            let got = matmul(&wmat, &cols)
+                .unwrap()
+                .reshaped(vec![3, ho, wo])
+                .unwrap();
+            assert!(
+                got.approx_eq(&want, 1e-5),
+                "stride {stride} pad {pad}: max diff {}",
+                got.sub(&want).unwrap().max_abs()
+            );
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random x, y — the defining
+        // property of the adjoint, which is what backprop needs.
+        let mut rng = ChaCha8Rng::seed_from_u64(111);
+        let g = geo(2, 1, 3, 2, 1);
+        let x: Tensor<f32> = init::uniform(&mut rng, vec![2, 5, 5], 1.0);
+        let cols = im2col(&x, &g).unwrap();
+        let y: Tensor<f32> = init::uniform(&mut rng, cols.dims().to_vec(), 1.0);
+        let back = col2im(&y, &g, 5, 5).unwrap();
+        let lhs: f64 = cols
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
+        let rhs: f64 = x
+            .data()
+            .iter()
+            .zip(back.data())
+            .map(|(&a, &b)| (a as f64) * (b as f64))
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-4, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn conv_layer_gradcheck_on_input() {
+        let mut rng = ChaCha8Rng::seed_from_u64(112);
+        let mut layer = Conv2d::new(&mut rng, geo(2, 3, 3, 1, 1));
+        let x: Tensor<f32> = init::uniform(&mut rng, vec![2, 2, 4, 4], 1.0);
+        let y = layer.forward(&x).unwrap();
+        let gx = layer.backward(&y).unwrap();
+        let eps = 1e-2f32;
+        for i in (0..x.num_elements()).step_by(7) {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let l = |t: &Tensor<f32>, layer: &mut Conv2d| -> f64 {
+                layer
+                    .forward(t)
+                    .unwrap()
+                    .data()
+                    .iter()
+                    .map(|&v| 0.5 * (v as f64) * (v as f64))
+                    .sum()
+            };
+            let numeric = (l(&xp, &mut layer) - l(&xm, &mut layer)) / (2.0 * eps as f64);
+            assert!(
+                (numeric - gx.data()[i] as f64).abs() <= 2e-2 * (1.0 + numeric.abs()),
+                "conv input grad mismatch at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn tt_conv_matches_dense_conv_with_same_weights() {
+        let mut rng = ChaCha8Rng::seed_from_u64(113);
+        // conv matrix: C_out = 4, f²C = 2*2*2 = 8; TT layout (2x2) x (4x2).
+        let g = geo(2, 4, 2, 1, 0);
+        let shape = TtShape::uniform_rank(vec![2, 2], vec![4, 2], 3).unwrap();
+        let mut ttconv = TtConv2d::new(&mut rng, g, &shape).unwrap();
+        let wmat = tie_tt::TtMatrix::new(ttconv.cores.clone())
+            .unwrap()
+            .to_dense()
+            .unwrap();
+        let kernel = wmat.reshaped(vec![4, 2, 2, 2]).unwrap();
+        let x: Tensor<f32> = init::uniform(&mut rng, vec![1, 2, 4, 4], 1.0);
+        let got = ttconv.forward(&x).unwrap();
+        let img = Tensor::from_vec(vec![2, 4, 4], x.data().to_vec()).unwrap();
+        let want = conv2d_direct(&img, &kernel, &g).unwrap();
+        let got3 = Tensor::from_vec(vec![4, 3, 3], got.data().to_vec()).unwrap();
+        assert!(
+            got3.approx_eq(&want, 1e-4),
+            "max diff {}",
+            got3.sub(&want).unwrap().max_abs()
+        );
+    }
+
+    #[test]
+    fn tt_conv_trains_toward_a_target() {
+        let mut rng = ChaCha8Rng::seed_from_u64(114);
+        let g = geo(2, 4, 2, 1, 0);
+        let shape = TtShape::uniform_rank(vec![2, 2], vec![4, 2], 2).unwrap();
+        let mut layer = TtConv2d::new(&mut rng, g, &shape).unwrap();
+        let x: Tensor<f32> = init::uniform(&mut rng, vec![4, 2, 4, 4], 1.0);
+        let target: Tensor<f32> = init::uniform(&mut rng, vec![4, 4, 3, 3], 0.5);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..150 {
+            let y = layer.forward(&x).unwrap();
+            let diff = y.sub(&target).unwrap();
+            let loss: f64 = diff.data().iter().map(|&v| (v as f64).powi(2)).sum();
+            first.get_or_insert(loss);
+            last = loss;
+            layer.zero_grads();
+            layer.backward(&diff).unwrap();
+            layer.visit_params(&mut |p, gr| {
+                p.axpy(-0.01, gr).unwrap();
+            });
+        }
+        assert!(last < first.unwrap() / 3.0, "{:?} -> {last}", first);
+    }
+
+    #[test]
+    fn tt_conv_rejects_mismatched_layout() {
+        let mut rng = ChaCha8Rng::seed_from_u64(115);
+        let g = geo(2, 4, 2, 1, 0);
+        let bad = TtShape::uniform_rank(vec![2, 2], vec![2, 2], 2).unwrap();
+        assert!(TtConv2d::new(&mut rng, g, &bad).is_err());
+    }
+}

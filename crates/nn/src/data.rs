@@ -1,0 +1,298 @@
+//! Deterministic synthetic datasets for the accuracy-analog experiments.
+//!
+//! The paper's Tables 1–3 quote accuracies on ImageNet / CIFAR-10 /
+//! Youtube Celebrities — datasets and training budgets far beyond a
+//! reproduction harness. What those tables *demonstrate* is that
+//! TT-compressed layers preserve (or, for RNNs, improve) accuracy relative
+//! to their dense counterparts at matched training; these generators
+//! produce small, fully deterministic classification problems on which the
+//! same dense-vs-TT comparison is run at tractable scale (see
+//! `EXPERIMENTS.md` for the substitution rationale).
+
+use tie_tensor::{Scalar, Tensor};
+
+use rand::Rng;
+
+/// A classification dataset: features `[n, dim]` plus integer labels.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Feature matrix `[n_samples, dim]`.
+    pub features: Tensor<f32>,
+    /// Class labels, one per row.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Splits into (train, test) at `train_fraction` (samples are already
+    /// interleaved by class, so a prefix split is stratified).
+    pub fn split(&self, train_fraction: f64) -> (Dataset, Dataset) {
+        let dim = self.features.dims()[1];
+        let n_train = ((self.len() as f64) * train_fraction).round() as usize;
+        let cut = n_train.clamp(1, self.len() - 1);
+        let take = |lo: usize, hi: usize| Dataset {
+            features: Tensor::from_vec(
+                vec![hi - lo, dim],
+                self.features.data()[lo * dim..hi * dim].to_vec(),
+            )
+            .expect("consistent split"),
+            labels: self.labels[lo..hi].to_vec(),
+            classes: self.classes,
+        };
+        (take(0, cut), take(cut, self.len()))
+    }
+}
+
+/// Gaussian class clusters in `dim` dimensions: class `k` is centered at a
+/// random unit-ish direction, with isotropic noise of `spread`.
+///
+/// Samples are interleaved (`k = i % classes`) so prefix splits stay
+/// stratified.
+pub fn gaussian_blobs<R: Rng>(
+    rng: &mut R,
+    classes: usize,
+    dim: usize,
+    samples_per_class: usize,
+    spread: f64,
+) -> Dataset {
+    let centers: Vec<Tensor<f32>> = (0..classes)
+        .map(|_| tie_tensor::init::uniform(rng, vec![dim], 1.0))
+        .collect();
+    let n = classes * samples_per_class;
+    let mut features = Tensor::zeros(vec![n, dim]);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let k = i % classes;
+        labels.push(k);
+        let noise: Tensor<f32> = tie_tensor::init::normal(rng, vec![dim], spread);
+        for j in 0..dim {
+            features.data_mut()[i * dim + j] = centers[k].data()[j] + noise.data()[j];
+        }
+    }
+    Dataset {
+        features,
+        labels,
+        classes,
+    }
+}
+
+/// A sequence-classification dataset shaped like the paper's video task:
+/// high-dimensional frames `[T, n, dim]`, where class identity is a
+/// persistent direction corrupted by per-frame noise stronger than the
+/// signal — single frames are ambiguous, integrating over time is not.
+#[derive(Debug, Clone)]
+pub struct SequenceDataset {
+    /// Sequences `[T, n_samples, dim]`.
+    pub sequences: Tensor<f32>,
+    /// Labels, one per sample.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl SequenceDataset {
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Splits into (train, test) at `train_fraction`; samples are
+    /// interleaved by class, so the prefix split stays stratified and both
+    /// halves share the same class patterns (unlike generating two
+    /// datasets, which would draw fresh patterns).
+    pub fn split(&self, train_fraction: f64) -> (SequenceDataset, SequenceDataset) {
+        let (t_len, n, dim) = (
+            self.sequences.dims()[0],
+            self.sequences.dims()[1],
+            self.sequences.dims()[2],
+        );
+        let cut = (((n as f64) * train_fraction).round() as usize).clamp(1, n - 1);
+        let take = |lo: usize, hi: usize| {
+            let m = hi - lo;
+            let mut seq = Tensor::zeros(vec![t_len, m, dim]);
+            for t in 0..t_len {
+                for (bi, b) in (lo..hi).enumerate() {
+                    let src = (t * n + b) * dim;
+                    let dst = (t * m + bi) * dim;
+                    seq.data_mut()[dst..dst + dim]
+                        .copy_from_slice(&self.sequences.data()[src..src + dim]);
+                }
+            }
+            SequenceDataset {
+                sequences: seq,
+                labels: self.labels[lo..hi].to_vec(),
+                classes: self.classes,
+            }
+        };
+        (take(0, cut), take(cut, n))
+    }
+}
+
+/// Generates a [`SequenceDataset`].
+pub fn noisy_sequences<R: Rng>(
+    rng: &mut R,
+    classes: usize,
+    seq_len: usize,
+    samples_per_class: usize,
+    dim: usize,
+    noise: f64,
+) -> SequenceDataset {
+    let patterns: Vec<Tensor<f32>> = (0..classes)
+        .map(|_| tie_tensor::init::uniform(rng, vec![dim], 1.0))
+        .collect();
+    let n = classes * samples_per_class;
+    let mut sequences = Tensor::zeros(vec![seq_len, n, dim]);
+    let mut labels = Vec::with_capacity(n);
+    for b in 0..n {
+        labels.push(b % classes);
+    }
+    for t in 0..seq_len {
+        for b in 0..n {
+            let frame_noise: Tensor<f32> = tie_tensor::init::normal(rng, vec![dim], noise);
+            for j in 0..dim {
+                sequences.data_mut()[(t * n + b) * dim + j] =
+                    patterns[labels[b]].data()[j] + frame_noise.data()[j];
+            }
+        }
+    }
+    SequenceDataset {
+        sequences,
+        labels,
+        classes,
+    }
+}
+
+/// Normalizes features to zero mean / unit variance per dimension
+/// (in place); returns the per-dimension `(mean, std)` for reuse on a
+/// test split.
+pub fn standardize<T: Scalar>(features: &mut Tensor<T>) -> Vec<(f64, f64)> {
+    let (n, dim) = (features.dims()[0], features.dims()[1]);
+    let mut stats = Vec::with_capacity(dim);
+    for j in 0..dim {
+        let mut mean = 0.0f64;
+        for i in 0..n {
+            mean += features.data()[i * dim + j].to_f64();
+        }
+        mean /= n as f64;
+        let mut var = 0.0f64;
+        for i in 0..n {
+            let d = features.data()[i * dim + j].to_f64() - mean;
+            var += d * d;
+        }
+        let std = (var / n as f64).sqrt().max(1e-12);
+        for i in 0..n {
+            let v = (features.data()[i * dim + j].to_f64() - mean) / std;
+            features.data_mut()[i * dim + j] = T::from_f64(v);
+        }
+        stats.push((mean, std));
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn blobs_have_right_shape_and_interleaved_labels() {
+        let mut rng = ChaCha8Rng::seed_from_u64(140);
+        let d = gaussian_blobs(&mut rng, 3, 5, 4, 0.1);
+        assert_eq!(d.len(), 12);
+        assert_eq!(d.features.dims(), &[12, 5]);
+        assert_eq!(&d.labels[..6], &[0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn split_preserves_all_samples() {
+        let mut rng = ChaCha8Rng::seed_from_u64(141);
+        let d = gaussian_blobs(&mut rng, 2, 3, 10, 0.1);
+        let (tr, te) = d.split(0.8);
+        assert_eq!(tr.len() + te.len(), d.len());
+        assert_eq!(tr.len(), 16);
+        assert_eq!(tr.features.dims()[1], 3);
+    }
+
+    #[test]
+    fn blobs_are_separable_when_spread_is_small() {
+        // Nearest-center classification must be near-perfect at low noise.
+        let mut rng = ChaCha8Rng::seed_from_u64(142);
+        let d = gaussian_blobs(&mut rng, 2, 8, 20, 0.05);
+        // Recover centers as class means and classify.
+        let dim = 8;
+        let mut centers = vec![vec![0.0f64; dim]; 2];
+        let mut counts = [0usize; 2];
+        for i in 0..d.len() {
+            counts[d.labels[i]] += 1;
+            for j in 0..dim {
+                centers[d.labels[i]][j] += d.features.data()[i * dim + j] as f64;
+            }
+        }
+        for k in 0..2 {
+            for j in 0..dim {
+                centers[k][j] /= counts[k] as f64;
+            }
+        }
+        let mut correct = 0;
+        for i in 0..d.len() {
+            let dist = |k: usize| -> f64 {
+                (0..dim)
+                    .map(|j| {
+                        let e = d.features.data()[i * dim + j] as f64 - centers[k][j];
+                        e * e
+                    })
+                    .sum()
+            };
+            if (dist(0) < dist(1)) == (d.labels[i] == 0) {
+                correct += 1;
+            }
+        }
+        assert!(correct as f64 / d.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn sequences_shape_and_determinism() {
+        let mut rng1 = ChaCha8Rng::seed_from_u64(143);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(143);
+        let a = noisy_sequences(&mut rng1, 2, 3, 4, 6, 0.5);
+        let b = noisy_sequences(&mut rng2, 2, 3, 4, 6, 0.5);
+        assert_eq!(a.sequences, b.sequences);
+        assert_eq!(a.sequences.dims(), &[3, 8, 6]);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn standardize_zeroes_mean_and_unit_variance() {
+        let mut rng = ChaCha8Rng::seed_from_u64(144);
+        let mut d = gaussian_blobs(&mut rng, 2, 4, 50, 1.0);
+        standardize(&mut d.features);
+        let (n, dim) = (d.len(), 4);
+        for j in 0..dim {
+            let mean: f64 =
+                (0..n).map(|i| d.features.data()[i * dim + j] as f64).sum::<f64>() / n as f64;
+            let var: f64 = (0..n)
+                .map(|i| (d.features.data()[i * dim + j] as f64 - mean).powi(2))
+                .sum::<f64>()
+                / n as f64;
+            assert!(mean.abs() < 1e-5, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-4, "var {var}");
+        }
+    }
+}

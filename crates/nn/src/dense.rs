@@ -1,0 +1,263 @@
+use crate::layer::{Layer, Trainable};
+use tie_tensor::linalg::{matmul, matmul_nt, matmul_tn};
+use tie_tensor::{Result, Tensor, TensorError};
+
+use rand::Rng;
+
+/// A standard fully-connected layer `y = x Wᵀ + b`.
+///
+/// Weights are `[out_features, in_features]` (row per output neuron, the
+/// paper's `W ∈ R^{M×N}` orientation); inputs are batch-major
+/// `[batch, in_features]`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    w: Tensor<f32>,
+    b: Tensor<f32>,
+    grad_w: Tensor<f32>,
+    grad_b: Tensor<f32>,
+    cached_input: Option<Tensor<f32>>,
+}
+
+impl Dense {
+    /// Glorot-initialized layer.
+    pub fn new<R: Rng>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
+        Dense {
+            w: tie_tensor::init::glorot_uniform(rng, out_features, in_features),
+            b: Tensor::zeros(vec![out_features]),
+            grad_w: Tensor::zeros(vec![out_features, in_features]),
+            grad_b: Tensor::zeros(vec![out_features]),
+            cached_input: None,
+        }
+    }
+
+    /// Layer with explicit weights (tests, conversions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `b` does not match `w`'s
+    /// row count or `w` is not 2-D.
+    pub fn from_weights(w: Tensor<f32>, b: Tensor<f32>) -> Result<Self> {
+        let out = w.nrows()?;
+        if b.ndim() != 1 || b.num_elements() != out {
+            return Err(TensorError::ShapeMismatch {
+                left: w.dims().to_vec(),
+                right: b.dims().to_vec(),
+            });
+        }
+        let (gw, gb) = (
+            Tensor::zeros(w.dims().to_vec()),
+            Tensor::zeros(b.dims().to_vec()),
+        );
+        Ok(Dense {
+            w,
+            b,
+            grad_w: gw,
+            grad_b: gb,
+            cached_input: None,
+        })
+    }
+
+    /// The weight matrix `[out, in]`.
+    pub fn weights(&self) -> &Tensor<f32> {
+        &self.w
+    }
+
+    /// The bias vector `[out]`.
+    pub fn bias(&self) -> &Tensor<f32> {
+        &self.b
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.w.dims()[1]
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.w.dims()[0]
+    }
+}
+
+impl Trainable for Dense {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor<f32>, &mut Tensor<f32>)) {
+        f(&mut self.w, &mut self.grad_w);
+        f(&mut self.b, &mut self.grad_b);
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+        if x.ndim() != 2 || x.dims()[1] != self.in_features() {
+            return Err(TensorError::ShapeMismatch {
+                left: x.dims().to_vec(),
+                right: vec![0, self.in_features()],
+            });
+        }
+        // y[b, o] = Σ_i x[b, i] w[o, i] + b[o]  ==  x · Wᵀ
+        let mut y = matmul_nt(x, &self.w)?;
+        let (bsz, out) = (y.nrows()?, y.ncols()?);
+        for r in 0..bsz {
+            for c in 0..out {
+                y.data_mut()[r * out + c] += self.b.data()[c];
+            }
+        }
+        self.cached_input = Some(x.clone());
+        Ok(y)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let x = self.cached_input.as_ref().ok_or(TensorError::InvalidArgument {
+            message: "backward called before forward".into(),
+        })?;
+        if grad_out.ndim() != 2 || grad_out.dims()[1] != self.out_features() {
+            return Err(TensorError::ShapeMismatch {
+                left: grad_out.dims().to_vec(),
+                right: vec![x.dims()[0], self.out_features()],
+            });
+        }
+        // dW = gradᵀ · x ;  db = Σ_batch grad ;  dx = grad · W
+        let dw = matmul_tn(grad_out, x)?;
+        self.grad_w.axpy(1.0, &dw)?;
+        let (bsz, out) = (grad_out.nrows()?, grad_out.ncols()?);
+        for r in 0..bsz {
+            for c in 0..out {
+                self.grad_b.data_mut()[c] += grad_out.data()[r * out + c];
+            }
+        }
+        matmul(grad_out, &self.w)
+    }
+
+    fn describe(&self) -> String {
+        format!("dense {}->{}", self.in_features(), self.out_features())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use tie_tensor::init;
+
+    /// Central-difference gradient check utility shared by layer tests.
+    pub(crate) fn check_input_gradient<L: Layer>(
+        layer: &mut L,
+        x: &Tensor<f32>,
+        tol: f64,
+    ) {
+        let y = layer.forward(x).unwrap();
+        // Loss = 0.5 Σ y², so dL/dy = y.
+        let gx = layer.backward(&y).unwrap();
+        let eps = 1e-3f32;
+        for i in (0..x.num_elements()).step_by(1 + x.num_elements() / 17) {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let lp: f64 = layer
+                .forward(&xp)
+                .unwrap()
+                .data()
+                .iter()
+                .map(|&v| 0.5 * (v as f64) * (v as f64))
+                .sum();
+            let lm: f64 = layer
+                .forward(&xm)
+                .unwrap()
+                .data()
+                .iter()
+                .map(|&v| 0.5 * (v as f64) * (v as f64))
+                .sum();
+            let numeric = (lp - lm) / (2.0 * eps as f64);
+            let analytic = gx.data()[i] as f64;
+            assert!(
+                (numeric - analytic).abs() <= tol * (1.0 + numeric.abs()),
+                "input grad mismatch at {i}: numeric {numeric}, analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn forward_matches_hand_computation() {
+        let w = Tensor::<f32>::from_vec(vec![2, 3], vec![1., 0., -1., 2., 1., 0.]).unwrap();
+        let b = Tensor::<f32>::from_vec(vec![2], vec![0.5, -0.5]).unwrap();
+        let mut layer = Dense::from_weights(w, b).unwrap();
+        let x = Tensor::<f32>::from_vec(vec![1, 3], vec![1., 2., 3.]).unwrap();
+        let y = layer.forward(&x).unwrap();
+        assert_eq!(y.data(), &[1. - 3. + 0.5, 2. + 2. - 0.5]);
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(90);
+        let mut layer = Dense::new(&mut rng, 5, 4);
+        let x: Tensor<f32> = init::uniform(&mut rng, vec![3, 5], 1.0);
+        check_input_gradient(&mut layer, &x, 1e-2);
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_differences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(91);
+        let mut layer = Dense::new(&mut rng, 4, 3);
+        let x: Tensor<f32> = init::uniform(&mut rng, vec![2, 4], 1.0);
+        let y = layer.forward(&x).unwrap();
+        layer.zero_grads();
+        layer.backward(&y).unwrap();
+        let analytic_gw = layer.grad_w.clone();
+        let eps = 1e-3f32;
+        for i in 0..analytic_gw.num_elements() {
+            let orig = layer.w.data()[i];
+            layer.w.data_mut()[i] = orig + eps;
+            let lp: f64 = layer
+                .forward(&x)
+                .unwrap()
+                .data()
+                .iter()
+                .map(|&v| 0.5 * (v as f64) * (v as f64))
+                .sum();
+            layer.w.data_mut()[i] = orig - eps;
+            let lm: f64 = layer
+                .forward(&x)
+                .unwrap()
+                .data()
+                .iter()
+                .map(|&v| 0.5 * (v as f64) * (v as f64))
+                .sum();
+            layer.w.data_mut()[i] = orig;
+            let numeric = (lp - lm) / (2.0 * eps as f64);
+            let analytic = analytic_gw.data()[i] as f64;
+            assert!(
+                (numeric - analytic).abs() <= 1e-2 * (1.0 + numeric.abs()),
+                "weight grad mismatch at {i}: numeric {numeric}, analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn bias_gradient_sums_over_batch() {
+        let mut rng = ChaCha8Rng::seed_from_u64(92);
+        let mut layer = Dense::new(&mut rng, 3, 2);
+        let x: Tensor<f32> = init::uniform(&mut rng, vec![4, 3], 1.0);
+        layer.forward(&x).unwrap();
+        let gout = Tensor::<f32>::filled(vec![4, 2], 1.0).unwrap();
+        layer.backward(&gout).unwrap();
+        assert!(layer.grad_b.data().iter().all(|&v| (v - 4.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let mut rng = ChaCha8Rng::seed_from_u64(93);
+        let mut layer = Dense::new(&mut rng, 3, 2);
+        assert!(layer.forward(&Tensor::<f32>::zeros(vec![2, 4])).is_err());
+        assert!(layer.backward(&Tensor::<f32>::zeros(vec![2, 2])).is_err());
+        layer.forward(&Tensor::<f32>::zeros(vec![2, 3])).unwrap();
+        assert!(layer.backward(&Tensor::<f32>::zeros(vec![2, 3])).is_err());
+    }
+
+    #[test]
+    fn from_weights_validates_bias() {
+        let w = Tensor::<f32>::zeros(vec![2, 3]);
+        assert!(Dense::from_weights(w.clone(), Tensor::zeros(vec![3])).is_err());
+        assert!(Dense::from_weights(w, Tensor::zeros(vec![2])).is_ok());
+    }
+}

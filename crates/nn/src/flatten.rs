@@ -1,0 +1,73 @@
+use crate::layer::{Layer, Trainable};
+use tie_tensor::{Result, Tensor, TensorError};
+
+/// A flattening layer `[B, …] → [B, ∏…]` — the conv-to-classifier bridge
+/// of every CNN in the model zoo.
+#[derive(Debug, Default, Clone)]
+pub struct Flatten {
+    cached_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// New flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Trainable for Flatten {
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor<f32>, &mut Tensor<f32>)) {}
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+        if x.ndim() < 2 {
+            return Err(TensorError::ShapeMismatch {
+                left: x.dims().to_vec(),
+                right: vec![0, 0],
+            });
+        }
+        self.cached_dims = Some(x.dims().to_vec());
+        let b = x.dims()[0];
+        x.reshaped(vec![b, x.num_elements() / b])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let dims = self.cached_dims.clone().ok_or(TensorError::InvalidArgument {
+            message: "backward called before forward".into(),
+        })?;
+        grad_out.reshaped(dims)
+    }
+
+    fn describe(&self) -> String {
+        "flatten".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_flattens_and_backward_restores() {
+        let mut f = Flatten::new();
+        let x = Tensor::<f32>::from_fn(vec![2, 3, 4, 5], |i| (i[0] + i[3]) as f32).unwrap();
+        let y = f.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[2, 60]);
+        let back = f.backward(&y).unwrap();
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut f = Flatten::new();
+        assert!(f.backward(&Tensor::<f32>::zeros(vec![1, 2])).is_err());
+        assert!(f.forward(&Tensor::<f32>::zeros(vec![4])).is_err());
+    }
+
+    #[test]
+    fn has_no_parameters() {
+        let mut f = Flatten::new();
+        assert_eq!(f.num_params(), 0);
+    }
+}

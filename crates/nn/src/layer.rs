@@ -1,0 +1,78 @@
+use tie_tensor::{Result, Tensor};
+
+/// A module with trainable parameters.
+///
+/// Parameters are visited as `(param, grad)` pairs in a stable order, which
+/// is how [`crate::Sgd`] associates its per-parameter momentum state. The
+/// visitor style avoids returning simultaneous mutable borrows.
+pub trait Trainable {
+    /// Visits every `(parameter, gradient)` pair in a stable order.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor<f32>, &mut Tensor<f32>));
+
+    /// Zeroes all gradients.
+    fn zero_grads(&mut self) {
+        self.visit_params(&mut |_, g| g.map_inplace(|_| 0.0));
+    }
+
+    /// Total trainable parameter count.
+    fn num_params(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p, _| n += p.num_elements());
+        n
+    }
+}
+
+/// A feed-forward network layer.
+///
+/// The convention is batch-major: inputs and outputs are
+/// `[batch, features…]` tensors. `forward` caches whatever `backward`
+/// needs; `backward` consumes the cache of the *most recent* forward call,
+/// accumulates parameter gradients, and returns the gradient with respect
+/// to the layer input.
+pub trait Layer: Trainable {
+    /// Forward pass over a batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if the input does not match the layer.
+    fn forward(&mut self, x: &Tensor<f32>) -> Result<Tensor<f32>>;
+
+    /// Backward pass; must follow a `forward` call.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error if `grad_out` does not match the cached
+    /// forward output, or an invalid-argument error if no forward cache
+    /// exists.
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Result<Tensor<f32>>;
+
+    /// Short layer description for summaries (e.g. `"dense 128->10"`).
+    fn describe(&self) -> String;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Null {
+        p: Tensor<f32>,
+        g: Tensor<f32>,
+    }
+
+    impl Trainable for Null {
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor<f32>, &mut Tensor<f32>)) {
+            f(&mut self.p, &mut self.g);
+        }
+    }
+
+    #[test]
+    fn default_zero_grads_and_num_params() {
+        let mut n = Null {
+            p: Tensor::zeros(vec![2, 3]),
+            g: Tensor::filled(vec![2, 3], 5.0).unwrap(),
+        };
+        assert_eq!(n.num_params(), 6);
+        n.zero_grads();
+        assert!(n.g.data().iter().all(|&v| v == 0.0));
+    }
+}

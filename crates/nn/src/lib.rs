@@ -1,0 +1,58 @@
+//! Neural-network substrate for the TIE reproduction.
+//!
+//! The TIE paper evaluates TT-compressed layers inside real networks:
+//! FC-dominated CNNs (TT-VGG-16, Table 1), CONV-dominated CNNs (Table 2)
+//! and TT-LSTM/GRU video classifiers (Table 3). This crate provides the
+//! network machinery those experiments need, built on `tie-tensor` /
+//! `tie-tt` / `tie-core`:
+//!
+//! * [`Layer`] / [`Trainable`] — the forward/backward module contract,
+//! * [`Dense`], [`TtDense`] — fully-connected layers; the TT variant runs
+//!   the compact inference scheme forward and an exact stage-wise backward
+//!   pass (gradients flow through the same transforms, transposed),
+//! * [`Conv2d`], [`TtConv2d`] — convolution via im2col (paper Fig. 3) and
+//!   its TT-compressed form,
+//! * [`rnn`] — LSTM/GRU cells and sequence classifiers, with TT-compressed
+//!   input-to-hidden matrices (the paper's Table 3/4 RNN workloads),
+//! * activations, pooling, losses, SGD, [`Sequential`] containers,
+//! * [`data`] — deterministic synthetic datasets for the accuracy-analog
+//!   experiments,
+//! * [`zoo`] — the exact layer/TT configurations quoted in the paper
+//!   (§2.3 and Table 4).
+//!
+//! Everything trains in `f32`; quantized inference is handled by
+//! `tie-quant`/`tie-sim` downstream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activations;
+mod adam;
+mod dense;
+mod flatten;
+mod layer;
+mod network;
+mod optimizer;
+mod pool;
+mod tt_dense;
+
+pub mod conv;
+pub mod loss;
+
+pub mod data;
+pub mod rnn;
+pub mod zoo;
+
+pub use activations::{Relu, Sigmoid, Tanh};
+pub use adam::Adam;
+pub use flatten::Flatten;
+pub use conv::{Conv2d, ConvGeometry, TtConv2d};
+pub use dense::Dense;
+pub use layer::{Layer, Trainable};
+pub use loss::{accuracy, mse_loss, softmax_cross_entropy, LossValue};
+pub use network::Sequential;
+pub use optimizer::Sgd;
+pub use pool::MaxPool2d;
+pub use tt_dense::{tt_layer_backward, tt_layer_forward, TtDense, TtLayerCache};
+
+pub use tie_tensor::{Result, TensorError};

@@ -1,0 +1,168 @@
+//! Loss functions: each returns the scalar loss and the gradient with
+//! respect to the network output, ready to feed `Layer::backward`.
+
+use tie_tensor::{Result, Tensor, TensorError};
+
+/// A computed loss: scalar value plus output gradient.
+#[derive(Debug, Clone)]
+pub struct LossValue {
+    /// Mean loss over the batch.
+    pub loss: f64,
+    /// Gradient w.r.t. the network output (already divided by batch size).
+    pub grad: Tensor<f32>,
+}
+
+/// Mean-squared error `mean((pred − target)²)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+pub fn mse_loss(pred: &Tensor<f32>, target: &Tensor<f32>) -> Result<LossValue> {
+    if pred.shape() != target.shape() {
+        return Err(TensorError::ShapeMismatch {
+            left: pred.dims().to_vec(),
+            right: target.dims().to_vec(),
+        });
+    }
+    let n = pred.num_elements() as f64;
+    let diff = pred.sub(target)?;
+    let loss = diff.data().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() / n;
+    let grad = diff.scaled(2.0 / n as f32);
+    Ok(LossValue { loss, grad })
+}
+
+/// Softmax cross-entropy over logits `[batch, classes]` with integer
+/// labels; the gradient is the classic `softmax − onehot`, divided by the
+/// batch size.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] for a non-2-D input or label
+/// count mismatch, and [`TensorError::InvalidArgument`] for an
+/// out-of-range label.
+pub fn softmax_cross_entropy(logits: &Tensor<f32>, labels: &[usize]) -> Result<LossValue> {
+    if logits.ndim() != 2 || logits.dims()[0] != labels.len() {
+        return Err(TensorError::ShapeMismatch {
+            left: logits.dims().to_vec(),
+            right: vec![labels.len(), 0],
+        });
+    }
+    let (bsz, k) = (logits.dims()[0], logits.dims()[1]);
+    let mut grad = Tensor::zeros(vec![bsz, k]);
+    let mut loss = 0.0f64;
+    for b in 0..bsz {
+        if labels[b] >= k {
+            return Err(TensorError::InvalidArgument {
+                message: format!("label {} out of 0..{k}", labels[b]),
+            });
+        }
+        let row = logits.row(b);
+        let max = row.iter().fold(f32::NEG_INFINITY, |a, &v| a.max(v));
+        let exps: Vec<f64> = row.iter().map(|&v| ((v - max) as f64).exp()).collect();
+        let z: f64 = exps.iter().sum();
+        for c in 0..k {
+            let p = exps[c] / z;
+            let onehot = if c == labels[b] { 1.0 } else { 0.0 };
+            grad.data_mut()[b * k + c] = ((p - onehot) / bsz as f64) as f32;
+            if c == labels[b] {
+                loss -= (p.max(1e-300)).ln();
+            }
+        }
+    }
+    Ok(LossValue {
+        loss: loss / bsz as f64,
+        grad,
+    })
+}
+
+/// Classification accuracy of logits `[batch, classes]` against labels.
+///
+/// # Panics
+///
+/// Panics if `logits` is not 2-D or the label count differs.
+pub fn accuracy(logits: &Tensor<f32>, labels: &[usize]) -> f64 {
+    let (bsz, k) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(bsz, labels.len(), "label count mismatch");
+    let mut correct = 0usize;
+    for b in 0..bsz {
+        let row = logits.row(b);
+        let mut best = 0usize;
+        for c in 1..k {
+            if row[c] > row[best] {
+                best = c;
+            }
+        }
+        if best == labels[b] {
+            correct += 1;
+        }
+    }
+    correct as f64 / bsz as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_of_equal_tensors_is_zero() {
+        let a = Tensor::<f32>::from_vec(vec![2, 2], vec![1., 2., 3., 4.]).unwrap();
+        let l = mse_loss(&a, &a).unwrap();
+        assert_eq!(l.loss, 0.0);
+        assert!(l.grad.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn mse_known_value_and_gradient() {
+        let p = Tensor::<f32>::from_vec(vec![1, 2], vec![1., 3.]).unwrap();
+        let t = Tensor::<f32>::from_vec(vec![1, 2], vec![0., 1.]).unwrap();
+        let l = mse_loss(&p, &t).unwrap();
+        assert!((l.loss - (1.0 + 4.0) / 2.0).abs() < 1e-9);
+        assert_eq!(l.grad.data(), &[1.0, 2.0]); // 2*(diff)/n
+    }
+
+    #[test]
+    fn cross_entropy_of_confident_correct_prediction_is_small() {
+        let logits = Tensor::<f32>::from_vec(vec![1, 3], vec![10.0, -5.0, -5.0]).unwrap();
+        let l = softmax_cross_entropy(&logits, &[0]).unwrap();
+        assert!(l.loss < 1e-4, "loss {}", l.loss);
+        // Gradient of correct class ≈ p - 1 ≈ 0.
+        assert!(l.grad.data()[0].abs() < 1e-4);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_finite_differences() {
+        let logits =
+            Tensor::<f32>::from_vec(vec![2, 3], vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0]).unwrap();
+        let labels = [2usize, 0];
+        let l = softmax_cross_entropy(&logits, &labels).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..6 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let fp = softmax_cross_entropy(&lp, &labels).unwrap().loss;
+            let fm = softmax_cross_entropy(&lm, &labels).unwrap().loss;
+            let numeric = (fp - fm) / (2.0 * eps as f64);
+            assert!(
+                (numeric - l.grad.data()[i] as f64).abs() < 1e-5,
+                "grad mismatch at {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_entropy_validates_labels() {
+        let logits = Tensor::<f32>::zeros(vec![1, 3]);
+        assert!(softmax_cross_entropy(&logits, &[3]).is_err());
+        assert!(softmax_cross_entropy(&logits, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_hits() {
+        let logits =
+            Tensor::<f32>::from_vec(vec![2, 2], vec![0.9, 0.1, 0.2, 0.8]).unwrap();
+        assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 1]), 0.5);
+    }
+}

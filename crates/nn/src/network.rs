@@ -1,0 +1,151 @@
+use crate::layer::{Layer, Trainable};
+use tie_tensor::{Result, Tensor};
+
+/// A sequential stack of layers.
+///
+/// # Example
+///
+/// ```
+/// use tie_nn::{Dense, Relu, Sequential, Layer};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let mut net = Sequential::new();
+/// net.push(Dense::new(&mut rng, 8, 16));
+/// net.push(Relu::new());
+/// net.push(Dense::new(&mut rng, 16, 3));
+/// let x = tie_tensor::Tensor::<f32>::zeros(vec![2, 8]);
+/// let y = net.forward(&x).unwrap();
+/// assert_eq!(y.dims(), &[2, 3]);
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer.
+    pub fn push<L: Layer + 'static>(&mut self, layer: L) -> &mut Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True when the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// One-line per-layer summary.
+    pub fn summary(&self) -> String {
+        self.layers
+            .iter()
+            .map(|l| l.describe())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl Trainable for Sequential {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor<f32>, &mut Tensor<f32>)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let mut v = x.clone();
+        for layer in &mut self.layers {
+            v = layer.forward(&v)?;
+        }
+        Ok(v)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    fn describe(&self) -> String {
+        format!("sequential ({} layers)", self.layers.len())
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sequential")
+            .field("layers", &self.summary())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{loss::softmax_cross_entropy, Dense, Relu, Sgd};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn empty_network_is_identity() {
+        let mut net = Sequential::new();
+        assert!(net.is_empty());
+        let x = Tensor::<f32>::from_vec(vec![1, 2], vec![1.0, 2.0]).unwrap();
+        assert_eq!(net.forward(&x).unwrap(), x);
+        assert_eq!(net.backward(&x).unwrap(), x);
+    }
+
+    #[test]
+    fn mlp_learns_xor() {
+        // The classic nonlinear sanity check: an MLP must fit XOR.
+        let mut rng = ChaCha8Rng::seed_from_u64(120);
+        let mut net = Sequential::new();
+        net.push(Dense::new(&mut rng, 2, 16));
+        net.push(Relu::new());
+        net.push(Dense::new(&mut rng, 16, 2));
+        let x = Tensor::<f32>::from_vec(
+            vec![4, 2],
+            vec![0., 0., 0., 1., 1., 0., 1., 1.],
+        )
+        .unwrap();
+        let labels = [0usize, 1, 1, 0];
+        let mut opt = Sgd::with_momentum(0.1, 0.9);
+        let mut final_loss = f64::INFINITY;
+        for _ in 0..500 {
+            let logits = net.forward(&x).unwrap();
+            let l = softmax_cross_entropy(&logits, &labels).unwrap();
+            final_loss = l.loss;
+            net.zero_grads();
+            net.backward(&l.grad).unwrap();
+            opt.step(&mut net);
+        }
+        assert!(final_loss < 0.05, "XOR did not converge: loss {final_loss}");
+        let logits = net.forward(&x).unwrap();
+        assert_eq!(crate::loss::accuracy(&logits, &labels), 1.0);
+    }
+
+    #[test]
+    fn summary_lists_layers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(121);
+        let mut net = Sequential::new();
+        net.push(Dense::new(&mut rng, 2, 3));
+        net.push(Relu::new());
+        let s = net.summary();
+        assert!(s.contains("dense 2->3") && s.contains("relu"));
+        assert_eq!(net.len(), 2);
+    }
+}

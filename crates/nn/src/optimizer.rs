@@ -1,0 +1,142 @@
+use crate::layer::Trainable;
+use tie_tensor::Tensor;
+
+/// Stochastic gradient descent with classical momentum and L2 weight decay.
+///
+/// Per-parameter momentum buffers are keyed by visit order, which
+/// [`Trainable::visit_params`] guarantees to be stable.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// L2 weight-decay coefficient (0 disables decay).
+    pub weight_decay: f32,
+    velocities: Vec<Tensor<f32>>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocities: Vec::new(),
+        }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            weight_decay: 0.0,
+            velocities: Vec::new(),
+        }
+    }
+
+    /// Adds L2 weight decay (builder-style).
+    pub fn weight_decay(mut self, wd: f32) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Applies one update step to every parameter of `model`, consuming the
+    /// accumulated gradients (the caller is responsible for
+    /// `zero_grads` before the next accumulation).
+    pub fn step<M: Trainable + ?Sized>(&mut self, model: &mut M) {
+        let mut idx = 0usize;
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let wd = self.weight_decay;
+        let velocities = &mut self.velocities;
+        model.visit_params(&mut |p, g| {
+            if velocities.len() <= idx {
+                velocities.push(Tensor::zeros(p.dims().to_vec()));
+            }
+            let v = &mut velocities[idx];
+            debug_assert_eq!(v.dims(), p.dims(), "parameter order changed between steps");
+            for ((pv, gv), vv) in p
+                .data_mut()
+                .iter_mut()
+                .zip(g.data())
+                .zip(v.data_mut().iter_mut())
+            {
+                let grad = gv + wd * *pv;
+                *vv = momentum * *vv + grad;
+                *pv -= lr * *vv;
+            }
+            idx += 1;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct OneParam {
+        p: Tensor<f32>,
+        g: Tensor<f32>,
+    }
+
+    impl Trainable for OneParam {
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor<f32>, &mut Tensor<f32>)) {
+            f(&mut self.p, &mut self.g);
+        }
+    }
+
+    #[test]
+    fn plain_sgd_moves_against_gradient() {
+        let mut m = OneParam {
+            p: Tensor::from_vec(vec![2], vec![1.0, -1.0]).unwrap(),
+            g: Tensor::from_vec(vec![2], vec![0.5, -0.5]).unwrap(),
+        };
+        let mut opt = Sgd::new(0.1);
+        opt.step(&mut m);
+        assert!((m.p.data()[0] - 0.95).abs() < 1e-7);
+        assert!((m.p.data()[1] + 0.95).abs() < 1e-7);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut m = OneParam {
+            p: Tensor::zeros(vec![1]),
+            g: Tensor::from_vec(vec![1], vec![1.0]).unwrap(),
+        };
+        let mut opt = Sgd::with_momentum(0.1, 0.9);
+        opt.step(&mut m); // v=1, p=-0.1
+        opt.step(&mut m); // v=1.9, p=-0.29
+        assert!((m.p.data()[0] + 0.29).abs() < 1e-6, "{}", m.p.data()[0]);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params_without_gradient() {
+        let mut m = OneParam {
+            p: Tensor::from_vec(vec![1], vec![2.0]).unwrap(),
+            g: Tensor::zeros(vec![1]),
+        };
+        let mut opt = Sgd::new(0.1).weight_decay(0.5);
+        opt.step(&mut m);
+        // grad = 0 + 0.5*2 = 1; p -= 0.1 -> 1.9
+        assert!((m.p.data()[0] - 1.9).abs() < 1e-7);
+    }
+
+    #[test]
+    fn sgd_minimizes_a_quadratic() {
+        // f(p) = (p - 3)², gradient 2(p-3): must converge near 3.
+        let mut m = OneParam {
+            p: Tensor::zeros(vec![1]),
+            g: Tensor::zeros(vec![1]),
+        };
+        let mut opt = Sgd::with_momentum(0.05, 0.8);
+        for _ in 0..200 {
+            let p = m.p.data()[0];
+            m.g.data_mut()[0] = 2.0 * (p - 3.0);
+            opt.step(&mut m);
+        }
+        assert!((m.p.data()[0] - 3.0).abs() < 1e-3, "{}", m.p.data()[0]);
+    }
+}

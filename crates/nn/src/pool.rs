@@ -1,0 +1,171 @@
+use crate::layer::{Layer, Trainable};
+use tie_tensor::{Result, Tensor, TensorError};
+
+/// 2-D max pooling over `[batch, C, H, W]` inputs.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    window: usize,
+    stride: usize,
+    cache: Option<PoolCache>,
+}
+
+#[derive(Debug, Clone)]
+struct PoolCache {
+    input_dims: Vec<usize>,
+    /// Flat input offset of the argmax for every output element.
+    argmax: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Pooling with a square `window` and `stride` (use `window == stride`
+    /// for the classic non-overlapping 2×2 pool).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `stride` is zero.
+    pub fn new(window: usize, stride: usize) -> Self {
+        assert!(window > 0 && stride > 0, "window and stride must be nonzero");
+        MaxPool2d {
+            window,
+            stride,
+            cache: None,
+        }
+    }
+
+    fn output_hw(&self, h: usize, w: usize) -> Result<(usize, usize)> {
+        if h < self.window || w < self.window {
+            return Err(TensorError::InvalidArgument {
+                message: format!("pool window {} does not fit input {h}x{w}", self.window),
+            });
+        }
+        Ok(((h - self.window) / self.stride + 1, (w - self.window) / self.stride + 1))
+    }
+}
+
+impl Trainable for MaxPool2d {
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Tensor<f32>, &mut Tensor<f32>)) {}
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, x: &Tensor<f32>) -> Result<Tensor<f32>> {
+        if x.ndim() != 4 {
+            return Err(TensorError::ShapeMismatch {
+                left: x.dims().to_vec(),
+                right: vec![0, 0, 0, 0],
+            });
+        }
+        let (bsz, c, h, w) = (x.dims()[0], x.dims()[1], x.dims()[2], x.dims()[3]);
+        let (ho, wo) = self.output_hw(h, w)?;
+        let mut out = Tensor::zeros(vec![bsz, c, ho, wo]);
+        let mut argmax = vec![0usize; bsz * c * ho * wo];
+        let xd = x.data();
+        for b in 0..bsz {
+            for ch in 0..c {
+                let plane = (b * c + ch) * h * w;
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_off = 0usize;
+                        for ky in 0..self.window {
+                            for kx in 0..self.window {
+                                let off =
+                                    plane + (oy * self.stride + ky) * w + ox * self.stride + kx;
+                                if xd[off] > best {
+                                    best = xd[off];
+                                    best_off = off;
+                                }
+                            }
+                        }
+                        let out_off = ((b * c + ch) * ho + oy) * wo + ox;
+                        out.data_mut()[out_off] = best;
+                        argmax[out_off] = best_off;
+                    }
+                }
+            }
+        }
+        self.cache = Some(PoolCache {
+            input_dims: x.dims().to_vec(),
+            argmax,
+        });
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor<f32>) -> Result<Tensor<f32>> {
+        let cache = self.cache.as_ref().ok_or(TensorError::InvalidArgument {
+            message: "backward called before forward".into(),
+        })?;
+        if grad_out.num_elements() != cache.argmax.len() {
+            return Err(TensorError::ShapeMismatch {
+                left: grad_out.dims().to_vec(),
+                right: vec![cache.argmax.len()],
+            });
+        }
+        let mut grad_x = Tensor::zeros(cache.input_dims.clone());
+        for (out_off, &in_off) in cache.argmax.iter().enumerate() {
+            grad_x.data_mut()[in_off] += grad_out.data()[out_off];
+        }
+        Ok(grad_x)
+    }
+
+    fn describe(&self) -> String {
+        format!("maxpool {}x{} stride {}", self.window, self.window, self.stride)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_maxima() {
+        let mut p = MaxPool2d::new(2, 2);
+        let x = Tensor::<f32>::from_vec(
+            vec![1, 1, 4, 4],
+            vec![
+                1., 2., 5., 6., //
+                3., 4., 7., 8., //
+                9., 10., 13., 14., //
+                11., 12., 15., 16.,
+            ],
+        )
+        .unwrap();
+        let y = p.forward(&x).unwrap();
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[4., 8., 12., 16.]);
+    }
+
+    #[test]
+    fn backward_routes_to_argmax_only() {
+        let mut p = MaxPool2d::new(2, 2);
+        let x = Tensor::<f32>::from_vec(vec![1, 1, 2, 2], vec![1., 9., 3., 4.]).unwrap();
+        p.forward(&x).unwrap();
+        let g = Tensor::<f32>::from_vec(vec![1, 1, 1, 1], vec![5.0]).unwrap();
+        let gx = p.backward(&g).unwrap();
+        assert_eq!(gx.data(), &[0., 5., 0., 0.]);
+    }
+
+    #[test]
+    fn overlapping_windows_accumulate_gradient() {
+        let mut p = MaxPool2d::new(2, 1);
+        // Single peak in the middle wins all four overlapping windows.
+        let x = Tensor::<f32>::from_vec(
+            vec![1, 1, 3, 3],
+            vec![0., 0., 0., 0., 9., 0., 0., 0., 0.],
+        )
+        .unwrap();
+        let y = p.forward(&x).unwrap();
+        assert!(y.data().iter().all(|&v| v == 9.0));
+        let g = Tensor::<f32>::filled(vec![1, 1, 2, 2], 1.0).unwrap();
+        let gx = p.backward(&g).unwrap();
+        assert_eq!(gx.data()[4], 4.0);
+        assert_eq!(gx.sum(), 4.0);
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        let mut p = MaxPool2d::new(3, 1);
+        assert!(p.forward(&Tensor::<f32>::zeros(vec![2, 2])).is_err());
+        assert!(p.forward(&Tensor::<f32>::zeros(vec![1, 1, 2, 2])).is_err());
+        assert!(p.backward(&Tensor::<f32>::zeros(vec![1])).is_err());
+    }
+}

@@ -1,0 +1,1005 @@
+//! Recurrent cells (LSTM / GRU) with optionally TT-compressed
+//! input-to-hidden matrices — the paper's Table 3 / Table 4 RNN workloads.
+//!
+//! In the TT-RNN of Yang et al. (ICML '17), which TIE benchmarks
+//! (LSTM-UCF11, LSTM-Youtube in Table 4), the huge input-to-hidden matrix
+//! (e.g. `57600 × 256` per gate group) is stored in TT format while the
+//! hidden-to-hidden matrix stays dense. [`InputProjection`] captures that
+//! choice; [`LstmCell`] / [`GruCell`] work with either variant, and
+//! [`SequenceClassifier`] adds a readout head plus full backpropagation
+//! through time.
+
+use crate::activations::sigmoid;
+use crate::dense::Dense;
+use crate::layer::{Layer, Trainable};
+use crate::tt_dense::{tt_layer_backward, tt_layer_forward, TtLayerCache};
+use tie_tensor::linalg::{matmul, matmul_nt, matmul_tn};
+use tie_tensor::{Result, Tensor, TensorError};
+use tie_tt::TtShape;
+
+use rand::Rng;
+
+/// The input-to-hidden projection of a recurrent cell: dense or
+/// TT-compressed.
+#[derive(Debug, Clone)]
+pub enum InputProjection {
+    /// Dense `[gates·H, N]` matrix.
+    Dense {
+        /// Weight matrix.
+        w: Tensor<f32>,
+        /// Gradient accumulator.
+        grad: Tensor<f32>,
+    },
+    /// TT-compressed matrix with `∏ m_k = gates·H`, `∏ n_k = N`.
+    Tt {
+        /// TT layout.
+        shape: TtShape,
+        /// 4-D cores.
+        cores: Vec<Tensor<f32>>,
+        /// Per-core gradient accumulators.
+        grads: Vec<Tensor<f32>>,
+    },
+}
+
+/// Per-step cache of an input projection.
+#[derive(Debug, Clone)]
+pub enum ProjectionCache {
+    /// Cached input batch.
+    Dense(Tensor<f32>),
+    /// TT stage cache.
+    Tt(TtLayerCache),
+}
+
+impl InputProjection {
+    /// Dense projection with Glorot init.
+    pub fn dense<R: Rng>(rng: &mut R, in_features: usize, out_features: usize) -> Self {
+        let w = tie_tensor::init::glorot_uniform(rng, out_features, in_features);
+        let grad = Tensor::zeros(w.dims().to_vec());
+        InputProjection::Dense { w, grad }
+    }
+
+    /// TT projection with variance-scaled cores.
+    pub fn tt<R: Rng>(rng: &mut R, shape: &TtShape) -> Self {
+        let tt = crate::tt_dense::TtDense::new(rng, shape);
+        let cores: Vec<Tensor<f32>> = tt
+            .to_tt_matrix()
+            .expect("freshly built TT layer is valid")
+            .cores()
+            .to_vec();
+        let grads = cores
+            .iter()
+            .map(|c| Tensor::zeros(c.dims().to_vec()))
+            .collect();
+        InputProjection::Tt {
+            shape: shape.clone(),
+            cores,
+            grads,
+        }
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        match self {
+            InputProjection::Dense { w, .. } => w.dims()[0],
+            InputProjection::Tt { shape, .. } => shape.num_rows(),
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        match self {
+            InputProjection::Dense { w, .. } => w.dims()[1],
+            InputProjection::Tt { shape, .. } => shape.num_cols(),
+        }
+    }
+
+    /// Stored parameter count (the Table 3 compression numerator/denominator).
+    pub fn stored_params(&self) -> usize {
+        match self {
+            InputProjection::Dense { w, .. } => w.num_elements(),
+            InputProjection::Tt { shape, .. } => shape.num_params(),
+        }
+    }
+
+    fn forward(&self, x: &Tensor<f32>) -> Result<(Tensor<f32>, ProjectionCache)> {
+        match self {
+            InputProjection::Dense { w, .. } => {
+                let y = matmul_nt(x, w)?;
+                Ok((y, ProjectionCache::Dense(x.clone())))
+            }
+            InputProjection::Tt { shape, cores, .. } => {
+                let (y, cache) = tt_layer_forward(cores, shape, x)?;
+                Ok((y, ProjectionCache::Tt(cache)))
+            }
+        }
+    }
+
+    fn backward(&mut self, cache: &ProjectionCache, dy: &Tensor<f32>) -> Result<Tensor<f32>> {
+        match (self, cache) {
+            (InputProjection::Dense { w, grad }, ProjectionCache::Dense(x)) => {
+                let dw = matmul_tn(dy, x)?;
+                grad.axpy(1.0, &dw)?;
+                matmul(dy, w)
+            }
+            (InputProjection::Tt { shape, cores, grads }, ProjectionCache::Tt(tt_cache)) => {
+                let (dx, dcores) = tt_layer_backward(cores, shape, tt_cache, dy)?;
+                for (g, d) in grads.iter_mut().zip(&dcores) {
+                    g.axpy(1.0, d)?;
+                }
+                Ok(dx)
+            }
+            _ => Err(TensorError::InvalidArgument {
+                message: "projection cache kind mismatch".into(),
+            }),
+        }
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor<f32>, &mut Tensor<f32>)) {
+        match self {
+            InputProjection::Dense { w, grad } => f(w, grad),
+            InputProjection::Tt { cores, grads, .. } => {
+                for (c, g) in cores.iter_mut().zip(grads) {
+                    f(c, g);
+                }
+            }
+        }
+    }
+}
+
+/// Recurrent state `(h, c)`; GRU ignores `c`.
+#[derive(Debug, Clone)]
+pub struct CellState {
+    /// Hidden state `[B, H]`.
+    pub h: Tensor<f32>,
+    /// Cell state `[B, H]` (LSTM only; zeros for GRU).
+    pub c: Tensor<f32>,
+}
+
+impl CellState {
+    /// Zero state for a batch.
+    pub fn zeros(batch: usize, hidden: usize) -> Self {
+        CellState {
+            h: Tensor::zeros(vec![batch, hidden]),
+            c: Tensor::zeros(vec![batch, hidden]),
+        }
+    }
+}
+
+/// Gradient flowing backward into a state.
+#[derive(Debug, Clone)]
+pub struct StateGrad {
+    /// `∂L/∂h`.
+    pub dh: Tensor<f32>,
+    /// `∂L/∂c` (LSTM only).
+    pub dc: Tensor<f32>,
+}
+
+impl StateGrad {
+    /// Zero gradient for a batch.
+    pub fn zeros(batch: usize, hidden: usize) -> Self {
+        StateGrad {
+            dh: Tensor::zeros(vec![batch, hidden]),
+            dc: Tensor::zeros(vec![batch, hidden]),
+        }
+    }
+}
+
+/// A recurrent cell usable by [`SequenceClassifier`].
+pub trait RecurrentCell: Trainable {
+    /// Hidden width `H`.
+    fn hidden_size(&self) -> usize;
+    /// Input width `N`.
+    fn input_size(&self) -> usize;
+    /// One timestep: consumes `x [B, N]` and the previous state, returns
+    /// the new state, caching activations for the backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Shape errors on mismatched input.
+    fn step(&mut self, x: &Tensor<f32>, state: &CellState) -> Result<CellState>;
+    /// Backward through the most recent un-popped step; returns
+    /// `(dx, grad for the previous state)`.
+    ///
+    /// # Errors
+    ///
+    /// Invalid-argument error if no cached step remains.
+    fn step_backward(&mut self, grad: &StateGrad) -> Result<(Tensor<f32>, StateGrad)>;
+    /// Clears cached steps (call before a fresh sequence).
+    fn reset(&mut self);
+    /// Human-readable description.
+    fn describe(&self) -> String;
+}
+
+// ---------------------------------------------------------------- LSTM --
+
+#[derive(Debug, Clone)]
+struct LstmStepCache {
+    proj: ProjectionCache,
+    h_in: Tensor<f32>,
+    c_in: Tensor<f32>,
+    i: Tensor<f32>,
+    f: Tensor<f32>,
+    g: Tensor<f32>,
+    o: Tensor<f32>,
+    tanh_c: Tensor<f32>,
+}
+
+/// An LSTM cell; gate order in the fused `4H` dimension is `i, f, g, o`.
+#[derive(Debug, Clone)]
+pub struct LstmCell {
+    wx: InputProjection,
+    wh: Tensor<f32>,
+    b: Tensor<f32>,
+    grad_wh: Tensor<f32>,
+    grad_b: Tensor<f32>,
+    hidden: usize,
+    steps: Vec<LstmStepCache>,
+}
+
+impl LstmCell {
+    /// LSTM with a dense input projection.
+    pub fn dense<R: Rng>(rng: &mut R, input: usize, hidden: usize) -> Self {
+        let wx = InputProjection::dense(rng, input, 4 * hidden);
+        Self::with_projection(rng, wx, hidden)
+    }
+
+    /// LSTM with a TT-compressed input projection; the TT row modes must
+    /// multiply to `4·hidden`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] on a layout mismatch.
+    pub fn tt<R: Rng>(rng: &mut R, shape: &TtShape, hidden: usize) -> Result<Self> {
+        if shape.num_rows() != 4 * hidden {
+            return Err(TensorError::InvalidArgument {
+                message: format!(
+                    "TT row modes multiply to {}, need 4H = {}",
+                    shape.num_rows(),
+                    4 * hidden
+                ),
+            });
+        }
+        let wx = InputProjection::tt(rng, shape);
+        Ok(Self::with_projection(rng, wx, hidden))
+    }
+
+    fn with_projection<R: Rng>(rng: &mut R, wx: InputProjection, hidden: usize) -> Self {
+        let wh = tie_tensor::init::glorot_uniform(rng, 4 * hidden, hidden);
+        let mut b = Tensor::zeros(vec![4 * hidden]);
+        // Standard trick: forget-gate bias at 1 so memory persists early on.
+        for v in b.data_mut()[hidden..2 * hidden].iter_mut() {
+            *v = 1.0;
+        }
+        LstmCell {
+            grad_wh: Tensor::zeros(wh.dims().to_vec()),
+            wh,
+            grad_b: Tensor::zeros(b.dims().to_vec()),
+            b,
+            wx,
+            hidden,
+            steps: Vec::new(),
+        }
+    }
+
+    /// The input projection (for compression accounting).
+    pub fn input_projection(&self) -> &InputProjection {
+        &self.wx
+    }
+}
+
+impl Trainable for LstmCell {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor<f32>, &mut Tensor<f32>)) {
+        self.wx.visit_params(f);
+        f(&mut self.wh, &mut self.grad_wh);
+        f(&mut self.b, &mut self.grad_b);
+    }
+}
+
+impl RecurrentCell for LstmCell {
+    fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+
+    fn input_size(&self) -> usize {
+        self.wx.in_features()
+    }
+
+    fn step(&mut self, x: &Tensor<f32>, state: &CellState) -> Result<CellState> {
+        let hsz = self.hidden;
+        let bsz = x.dims()[0];
+        let (xw, proj_cache) = self.wx.forward(x)?;
+        let hw = matmul_nt(&state.h, &self.wh)?;
+        let mut pre = xw.add(&hw)?;
+        for b in 0..bsz {
+            for j in 0..4 * hsz {
+                pre.data_mut()[b * 4 * hsz + j] += self.b.data()[j];
+            }
+        }
+        let mut i = Tensor::zeros(vec![bsz, hsz]);
+        let mut f = Tensor::zeros(vec![bsz, hsz]);
+        let mut g = Tensor::zeros(vec![bsz, hsz]);
+        let mut o = Tensor::zeros(vec![bsz, hsz]);
+        for b in 0..bsz {
+            for j in 0..hsz {
+                let base = b * 4 * hsz;
+                i.data_mut()[b * hsz + j] = sigmoid(pre.data()[base + j]);
+                f.data_mut()[b * hsz + j] = sigmoid(pre.data()[base + hsz + j]);
+                g.data_mut()[b * hsz + j] = pre.data()[base + 2 * hsz + j].tanh();
+                o.data_mut()[b * hsz + j] = sigmoid(pre.data()[base + 3 * hsz + j]);
+            }
+        }
+        let c_new = f.hadamard(&state.c)?.add(&i.hadamard(&g)?)?;
+        let tanh_c = c_new.map(|v| v.tanh());
+        let h_new = o.hadamard(&tanh_c)?;
+        self.steps.push(LstmStepCache {
+            proj: proj_cache,
+            h_in: state.h.clone(),
+            c_in: state.c.clone(),
+            i,
+            f,
+            g,
+            o,
+            tanh_c,
+        });
+        Ok(CellState { h: h_new, c: c_new })
+    }
+
+    fn step_backward(&mut self, grad: &StateGrad) -> Result<(Tensor<f32>, StateGrad)> {
+        let cache = self.steps.pop().ok_or(TensorError::InvalidArgument {
+            message: "no cached LSTM step to backpropagate".into(),
+        })?;
+        let hsz = self.hidden;
+        let bsz = grad.dh.dims()[0];
+        // dc_total = dc_in_future + dh ⊙ o ⊙ (1 − tanh²(c))
+        let dtanh = grad
+            .dh
+            .hadamard(&cache.o)?
+            .zip_with(&cache.tanh_c, |v, tc| v * (1.0 - tc * tc))?;
+        let dc_total = grad.dc.add(&dtanh)?;
+        let do_ = grad.dh.hadamard(&cache.tanh_c)?;
+        let di = dc_total.hadamard(&cache.g)?;
+        let df = dc_total.hadamard(&cache.c_in)?;
+        let dg = dc_total.hadamard(&cache.i)?;
+        let dc_prev = dc_total.hadamard(&cache.f)?;
+        // Pre-activation gradients, fused back into [B, 4H] (i, f, g, o).
+        let mut da = Tensor::zeros(vec![bsz, 4 * hsz]);
+        for b in 0..bsz {
+            for j in 0..hsz {
+                let iv = cache.i.data()[b * hsz + j];
+                let fv = cache.f.data()[b * hsz + j];
+                let gv = cache.g.data()[b * hsz + j];
+                let ov = cache.o.data()[b * hsz + j];
+                let base = b * 4 * hsz;
+                da.data_mut()[base + j] = di.data()[b * hsz + j] * iv * (1.0 - iv);
+                da.data_mut()[base + hsz + j] = df.data()[b * hsz + j] * fv * (1.0 - fv);
+                da.data_mut()[base + 2 * hsz + j] = dg.data()[b * hsz + j] * (1.0 - gv * gv);
+                da.data_mut()[base + 3 * hsz + j] = do_.data()[b * hsz + j] * ov * (1.0 - ov);
+            }
+        }
+        // Parameter gradients.
+        let dwh = matmul_tn(&da, &cache.h_in)?;
+        self.grad_wh.axpy(1.0, &dwh)?;
+        for b in 0..bsz {
+            for j in 0..4 * hsz {
+                self.grad_b.data_mut()[j] += da.data()[b * 4 * hsz + j];
+            }
+        }
+        let dx = self.wx.backward(&cache.proj, &da)?;
+        let dh_prev = matmul(&da, &self.wh)?;
+        Ok((
+            dx,
+            StateGrad {
+                dh: dh_prev,
+                dc: dc_prev,
+            },
+        ))
+    }
+
+    fn reset(&mut self) {
+        self.steps.clear();
+    }
+
+    fn describe(&self) -> String {
+        let kind = match &self.wx {
+            InputProjection::Dense { .. } => "dense",
+            InputProjection::Tt { .. } => "tt",
+        };
+        format!(
+            "lstm ({kind} input {}->{} + hidden {})",
+            self.input_size(),
+            4 * self.hidden,
+            self.hidden
+        )
+    }
+}
+
+// ----------------------------------------------------------------- GRU --
+
+#[derive(Debug, Clone)]
+struct GruStepCache {
+    proj: ProjectionCache,
+    h_in: Tensor<f32>,
+    r: Tensor<f32>,
+    z: Tensor<f32>,
+    n: Tensor<f32>,
+    uh: Tensor<f32>, // U_n · h_in (needed for dr)
+}
+
+/// A GRU cell; gate order in the fused `3H` dimension is `r, z, n`.
+#[derive(Debug, Clone)]
+pub struct GruCell {
+    wx: InputProjection,
+    /// Hidden-to-hidden for r and z gates `[2H, H]`.
+    wh_rz: Tensor<f32>,
+    /// Hidden-to-hidden for the candidate `[H, H]`.
+    wh_n: Tensor<f32>,
+    b: Tensor<f32>,
+    grad_wh_rz: Tensor<f32>,
+    grad_wh_n: Tensor<f32>,
+    grad_b: Tensor<f32>,
+    hidden: usize,
+    steps: Vec<GruStepCache>,
+}
+
+impl GruCell {
+    /// GRU with a dense input projection.
+    pub fn dense<R: Rng>(rng: &mut R, input: usize, hidden: usize) -> Self {
+        let wx = InputProjection::dense(rng, input, 3 * hidden);
+        Self::with_projection(rng, wx, hidden)
+    }
+
+    /// GRU with a TT-compressed input projection (row modes multiply to
+    /// `3·hidden`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] on a layout mismatch.
+    pub fn tt<R: Rng>(rng: &mut R, shape: &TtShape, hidden: usize) -> Result<Self> {
+        if shape.num_rows() != 3 * hidden {
+            return Err(TensorError::InvalidArgument {
+                message: format!(
+                    "TT row modes multiply to {}, need 3H = {}",
+                    shape.num_rows(),
+                    3 * hidden
+                ),
+            });
+        }
+        let wx = InputProjection::tt(rng, shape);
+        Ok(Self::with_projection(rng, wx, hidden))
+    }
+
+    fn with_projection<R: Rng>(rng: &mut R, wx: InputProjection, hidden: usize) -> Self {
+        let wh_rz = tie_tensor::init::glorot_uniform(rng, 2 * hidden, hidden);
+        let wh_n = tie_tensor::init::glorot_uniform(rng, hidden, hidden);
+        GruCell {
+            grad_wh_rz: Tensor::zeros(wh_rz.dims().to_vec()),
+            grad_wh_n: Tensor::zeros(wh_n.dims().to_vec()),
+            wh_rz,
+            wh_n,
+            b: Tensor::zeros(vec![3 * hidden]),
+            grad_b: Tensor::zeros(vec![3 * hidden]),
+            wx,
+            hidden,
+            steps: Vec::new(),
+        }
+    }
+
+    /// The input projection (for compression accounting).
+    pub fn input_projection(&self) -> &InputProjection {
+        &self.wx
+    }
+}
+
+impl Trainable for GruCell {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor<f32>, &mut Tensor<f32>)) {
+        self.wx.visit_params(f);
+        f(&mut self.wh_rz, &mut self.grad_wh_rz);
+        f(&mut self.wh_n, &mut self.grad_wh_n);
+        f(&mut self.b, &mut self.grad_b);
+    }
+}
+
+impl RecurrentCell for GruCell {
+    fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+
+    fn input_size(&self) -> usize {
+        self.wx.in_features()
+    }
+
+    fn step(&mut self, x: &Tensor<f32>, state: &CellState) -> Result<CellState> {
+        let hsz = self.hidden;
+        let bsz = x.dims()[0];
+        let (xw, proj_cache) = self.wx.forward(x)?; // [B, 3H]: (r, z, n)
+        let hw_rz = matmul_nt(&state.h, &self.wh_rz)?; // [B, 2H]
+        let uh = matmul_nt(&state.h, &self.wh_n)?; // [B, H]
+        let mut r = Tensor::zeros(vec![bsz, hsz]);
+        let mut z = Tensor::zeros(vec![bsz, hsz]);
+        let mut n = Tensor::zeros(vec![bsz, hsz]);
+        for b in 0..bsz {
+            for j in 0..hsz {
+                let xb = b * 3 * hsz;
+                let rv = sigmoid(xw.data()[xb + j] + hw_rz.data()[b * 2 * hsz + j] + self.b.data()[j]);
+                let zv = sigmoid(
+                    xw.data()[xb + hsz + j]
+                        + hw_rz.data()[b * 2 * hsz + hsz + j]
+                        + self.b.data()[hsz + j],
+                );
+                let nv = (xw.data()[xb + 2 * hsz + j]
+                    + rv * uh.data()[b * hsz + j]
+                    + self.b.data()[2 * hsz + j])
+                    .tanh();
+                r.data_mut()[b * hsz + j] = rv;
+                z.data_mut()[b * hsz + j] = zv;
+                n.data_mut()[b * hsz + j] = nv;
+            }
+        }
+        // h' = (1 − z)·n + z·h
+        let mut h_new = Tensor::zeros(vec![bsz, hsz]);
+        for idx in 0..bsz * hsz {
+            h_new.data_mut()[idx] =
+                (1.0 - z.data()[idx]) * n.data()[idx] + z.data()[idx] * state.h.data()[idx];
+        }
+        self.steps.push(GruStepCache {
+            proj: proj_cache,
+            h_in: state.h.clone(),
+            r,
+            z,
+            n,
+            uh,
+        });
+        Ok(CellState {
+            h: h_new,
+            c: Tensor::zeros(vec![bsz, hsz]),
+        })
+    }
+
+    fn step_backward(&mut self, grad: &StateGrad) -> Result<(Tensor<f32>, StateGrad)> {
+        let cache = self.steps.pop().ok_or(TensorError::InvalidArgument {
+            message: "no cached GRU step to backpropagate".into(),
+        })?;
+        let hsz = self.hidden;
+        let bsz = grad.dh.dims()[0];
+        let mut da = Tensor::zeros(vec![bsz, 3 * hsz]); // pre-activation (r, z, n)
+        let mut dh_prev = Tensor::zeros(vec![bsz, hsz]);
+        let mut duh = Tensor::zeros(vec![bsz, hsz]);
+        for b in 0..bsz {
+            for j in 0..hsz {
+                let idx = b * hsz + j;
+                let (rv, zv, nv) = (cache.r.data()[idx], cache.z.data()[idx], cache.n.data()[idx]);
+                let dh = grad.dh.data()[idx];
+                let dz = dh * (cache.h_in.data()[idx] - nv);
+                let dn = dh * (1.0 - zv);
+                dh_prev.data_mut()[idx] += dh * zv;
+                let dan = dn * (1.0 - nv * nv);
+                let dr = dan * cache.uh.data()[idx];
+                duh.data_mut()[idx] = dan * rv;
+                let dar = dr * rv * (1.0 - rv);
+                let daz = dz * zv * (1.0 - zv);
+                let base = b * 3 * hsz;
+                da.data_mut()[base + j] = dar;
+                da.data_mut()[base + hsz + j] = daz;
+                da.data_mut()[base + 2 * hsz + j] = dan;
+            }
+        }
+        // Parameter gradients.
+        let da_rz = da.cols(0, 2 * hsz)?;
+        let dwh_rz = matmul_tn(&da_rz, &cache.h_in)?;
+        self.grad_wh_rz.axpy(1.0, &dwh_rz)?;
+        let dwh_n = matmul_tn(&duh, &cache.h_in)?;
+        self.grad_wh_n.axpy(1.0, &dwh_n)?;
+        for b in 0..bsz {
+            for j in 0..3 * hsz {
+                self.grad_b.data_mut()[j] += da.data()[b * 3 * hsz + j];
+            }
+        }
+        // Input and recurrent gradients.
+        let dx = self.wx.backward(&cache.proj, &da)?;
+        dh_prev.axpy(1.0, &matmul(&da_rz, &self.wh_rz)?)?;
+        dh_prev.axpy(1.0, &matmul(&duh, &self.wh_n)?)?;
+        Ok((
+            dx,
+            StateGrad {
+                dh: dh_prev,
+                dc: Tensor::zeros(vec![bsz, hsz]),
+            },
+        ))
+    }
+
+    fn reset(&mut self) {
+        self.steps.clear();
+    }
+
+    fn describe(&self) -> String {
+        let kind = match &self.wx {
+            InputProjection::Dense { .. } => "dense",
+            InputProjection::Tt { .. } => "tt",
+        };
+        format!(
+            "gru ({kind} input {}->{} + hidden {})",
+            self.input_size(),
+            3 * self.hidden,
+            self.hidden
+        )
+    }
+}
+
+// ------------------------------------------------------- classifier ----
+
+/// A sequence classifier: recurrent cell over `[T, B, N]` input, dense
+/// readout of the last hidden state — the Table 3 experimental shape
+/// (video classification from frame features).
+#[derive(Debug)]
+pub struct SequenceClassifier<C: RecurrentCell> {
+    cell: C,
+    head: Dense,
+    steps_run: usize,
+}
+
+impl<C: RecurrentCell> SequenceClassifier<C> {
+    /// Wraps a cell with a `hidden → classes` readout.
+    pub fn new<R: Rng>(rng: &mut R, cell: C, classes: usize) -> Self {
+        let head = Dense::new(rng, cell.hidden_size(), classes);
+        SequenceClassifier {
+            cell,
+            head,
+            steps_run: 0,
+        }
+    }
+
+    /// The wrapped cell.
+    pub fn cell(&self) -> &C {
+        &self.cell
+    }
+
+    /// Forward over a sequence tensor `[T, B, N]`; returns logits `[B, K]`.
+    ///
+    /// # Errors
+    ///
+    /// Shape errors for non-3-D input or width mismatch.
+    pub fn forward(&mut self, seq: &Tensor<f32>) -> Result<Tensor<f32>> {
+        if seq.ndim() != 3 || seq.dims()[2] != self.cell.input_size() {
+            return Err(TensorError::ShapeMismatch {
+                left: seq.dims().to_vec(),
+                right: vec![0, 0, self.cell.input_size()],
+            });
+        }
+        let (t_len, bsz, n) = (seq.dims()[0], seq.dims()[1], seq.dims()[2]);
+        self.cell.reset();
+        let mut state = CellState::zeros(bsz, self.cell.hidden_size());
+        for t in 0..t_len {
+            let xt = Tensor::from_vec(
+                vec![bsz, n],
+                seq.data()[t * bsz * n..(t + 1) * bsz * n].to_vec(),
+            )?;
+            state = self.cell.step(&xt, &state)?;
+        }
+        self.steps_run = t_len;
+        self.head.forward(&state.h)
+    }
+
+    /// Backward from logits gradient through the head and all timesteps.
+    ///
+    /// # Errors
+    ///
+    /// Invalid-argument error when called before `forward`.
+    pub fn backward(&mut self, grad_logits: &Tensor<f32>) -> Result<()> {
+        if self.steps_run == 0 {
+            return Err(TensorError::InvalidArgument {
+                message: "backward called before forward".into(),
+            });
+        }
+        let dh_last = self.head.backward(grad_logits)?;
+        let bsz = dh_last.dims()[0];
+        let mut grad = StateGrad {
+            dh: dh_last,
+            dc: Tensor::zeros(vec![bsz, self.cell.hidden_size()]),
+        };
+        for _ in 0..self.steps_run {
+            let (_dx, prev) = self.cell.step_backward(&grad)?;
+            grad = prev;
+        }
+        self.steps_run = 0;
+        Ok(())
+    }
+}
+
+impl<C: RecurrentCell> Trainable for SequenceClassifier<C> {
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Tensor<f32>, &mut Tensor<f32>)) {
+        self.cell.visit_params(f);
+        self.head.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{accuracy, softmax_cross_entropy};
+    use crate::Sgd;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use tie_tensor::init;
+
+    fn lstm_loss(cell: &mut LstmCell, seq: &[Tensor<f32>], bsz: usize) -> f64 {
+        cell.reset();
+        let mut state = CellState::zeros(bsz, cell.hidden_size());
+        for x in seq {
+            state = cell.step(x, &state).unwrap();
+        }
+        state
+            .h
+            .data()
+            .iter()
+            .map(|&v| 0.5 * (v as f64) * (v as f64))
+            .sum()
+    }
+
+    #[test]
+    fn lstm_bptt_input_gradient_matches_finite_differences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(130);
+        let mut cell = LstmCell::dense(&mut rng, 3, 4);
+        let bsz = 2;
+        let seq: Vec<Tensor<f32>> = (0..3)
+            .map(|_| init::uniform(&mut rng, vec![bsz, 3], 1.0))
+            .collect();
+        // Forward, loss = 0.5‖h_T‖².
+        cell.reset();
+        let mut state = CellState::zeros(bsz, 4);
+        for x in &seq {
+            state = cell.step(x, &state).unwrap();
+        }
+        // Backward with dh = h_T.
+        let mut grad = StateGrad {
+            dh: state.h.clone(),
+            dc: Tensor::zeros(vec![bsz, 4]),
+        };
+        let mut dxs = Vec::new();
+        for _ in 0..3 {
+            let (dx, prev) = cell.step_backward(&grad).unwrap();
+            dxs.push(dx);
+            grad = prev;
+        }
+        dxs.reverse(); // dxs[t] now matches seq[t]
+        let eps = 1e-2f32;
+        for t in 0..3 {
+            for i in 0..seq[t].num_elements() {
+                let mut sp = seq.clone();
+                sp[t].data_mut()[i] += eps;
+                let mut sm = seq.clone();
+                sm[t].data_mut()[i] -= eps;
+                let numeric =
+                    (lstm_loss(&mut cell, &sp, bsz) - lstm_loss(&mut cell, &sm, bsz))
+                        / (2.0 * eps as f64);
+                let analytic = dxs[t].data()[i] as f64;
+                assert!(
+                    (numeric - analytic).abs() <= 2e-2 * (1.0 + numeric.abs()),
+                    "t={t} i={i}: numeric {numeric} analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    fn make_sequences(
+        rng: &mut ChaCha8Rng,
+        classes: usize,
+        t_len: usize,
+        bsz: usize,
+        dim: usize,
+        labels: &[usize],
+    ) -> Tensor<f32> {
+        // Class-dependent direction + noise: linearly separable through time.
+        let patterns: Vec<Tensor<f32>> = (0..classes)
+            .map(|_| init::uniform::<f32, _>(rng, vec![dim], 1.0))
+            .collect();
+        let mut seq = Tensor::zeros(vec![t_len, bsz, dim]);
+        for t in 0..t_len {
+            for b in 0..bsz {
+                let noise: Tensor<f32> = init::uniform(rng, vec![dim], 0.3);
+                for j in 0..dim {
+                    seq.data_mut()[(t * bsz + b) * dim + j] =
+                        patterns[labels[b]].data()[j] + noise.data()[j];
+                }
+            }
+        }
+        seq
+    }
+
+    #[test]
+    fn lstm_classifier_learns_synthetic_sequences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(131);
+        let (classes, t_len, bsz, dim) = (3usize, 5usize, 12usize, 8usize);
+        let labels: Vec<usize> = (0..bsz).map(|b| b % classes).collect();
+        let seq = make_sequences(&mut rng, classes, t_len, bsz, dim, &labels);
+        let cell = LstmCell::dense(&mut rng, dim, 16);
+        let mut clf = SequenceClassifier::new(&mut rng, cell, classes);
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        let mut last_acc = 0.0;
+        for _ in 0..120 {
+            let logits = clf.forward(&seq).unwrap();
+            let l = softmax_cross_entropy(&logits, &labels).unwrap();
+            last_acc = accuracy(&logits, &labels);
+            if last_acc == 1.0 {
+                break;
+            }
+            clf.zero_grads();
+            clf.backward(&l.grad).unwrap();
+            opt.step(&mut clf);
+        }
+        assert!(last_acc >= 0.9, "LSTM failed to fit: acc {last_acc}");
+    }
+
+    #[test]
+    fn tt_lstm_classifier_learns_too() {
+        let mut rng = ChaCha8Rng::seed_from_u64(132);
+        let (classes, t_len, bsz) = (2usize, 4usize, 8usize);
+        // input dim 2*3*4 = 24, hidden 4 => 4H = 16 = 2*2*4
+        let shape = TtShape::uniform_rank(vec![2, 2, 4], vec![2, 3, 4], 2).unwrap();
+        let labels: Vec<usize> = (0..bsz).map(|b| b % classes).collect();
+        let seq = make_sequences(&mut rng, classes, t_len, bsz, 24, &labels);
+        let cell = LstmCell::tt(&mut rng, &shape, 4).unwrap();
+        assert!(cell.input_projection().stored_params() < 24 * 16);
+        let mut clf = SequenceClassifier::new(&mut rng, cell, classes);
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        let mut last_acc = 0.0;
+        for _ in 0..200 {
+            let logits = clf.forward(&seq).unwrap();
+            let l = softmax_cross_entropy(&logits, &labels).unwrap();
+            last_acc = accuracy(&logits, &labels);
+            if last_acc == 1.0 {
+                break;
+            }
+            clf.zero_grads();
+            clf.backward(&l.grad).unwrap();
+            opt.step(&mut clf);
+        }
+        assert!(last_acc >= 0.9, "TT-LSTM failed to fit: acc {last_acc}");
+    }
+
+    #[test]
+    fn gru_classifier_learns_synthetic_sequences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(133);
+        let (classes, t_len, bsz, dim) = (2usize, 4usize, 8usize, 6usize);
+        let labels: Vec<usize> = (0..bsz).map(|b| b % classes).collect();
+        let seq = make_sequences(&mut rng, classes, t_len, bsz, dim, &labels);
+        let cell = GruCell::dense(&mut rng, dim, 10);
+        let mut clf = SequenceClassifier::new(&mut rng, cell, classes);
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        let mut last_acc = 0.0;
+        for _ in 0..150 {
+            let logits = clf.forward(&seq).unwrap();
+            let l = softmax_cross_entropy(&logits, &labels).unwrap();
+            last_acc = accuracy(&logits, &labels);
+            if last_acc == 1.0 {
+                break;
+            }
+            clf.zero_grads();
+            clf.backward(&l.grad).unwrap();
+            opt.step(&mut clf);
+        }
+        assert!(last_acc >= 0.9, "GRU failed to fit: acc {last_acc}");
+    }
+
+    #[test]
+    fn gru_bptt_input_gradient_matches_finite_differences() {
+        let mut rng = ChaCha8Rng::seed_from_u64(134);
+        let mut cell = GruCell::dense(&mut rng, 3, 4);
+        let bsz = 2;
+        let seq: Vec<Tensor<f32>> = (0..2)
+            .map(|_| init::uniform(&mut rng, vec![bsz, 3], 1.0))
+            .collect();
+        let loss = |cell: &mut GruCell, seq: &[Tensor<f32>]| -> f64 {
+            cell.reset();
+            let mut state = CellState::zeros(bsz, 4);
+            for x in seq {
+                state = cell.step(x, &state).unwrap();
+            }
+            state
+                .h
+                .data()
+                .iter()
+                .map(|&v| 0.5 * (v as f64) * (v as f64))
+                .sum()
+        };
+        cell.reset();
+        let mut state = CellState::zeros(bsz, 4);
+        for x in &seq {
+            state = cell.step(x, &state).unwrap();
+        }
+        let mut grad = StateGrad {
+            dh: state.h.clone(),
+            dc: Tensor::zeros(vec![bsz, 4]),
+        };
+        let mut dxs = Vec::new();
+        for _ in 0..2 {
+            let (dx, prev) = cell.step_backward(&grad).unwrap();
+            dxs.push(dx);
+            grad = prev;
+        }
+        dxs.reverse();
+        let eps = 1e-2f32;
+        for t in 0..2 {
+            for i in 0..seq[t].num_elements() {
+                let mut sp = seq.clone();
+                sp[t].data_mut()[i] += eps;
+                let mut sm = seq.clone();
+                sm[t].data_mut()[i] -= eps;
+                let numeric = (loss(&mut cell, &sp) - loss(&mut cell, &sm)) / (2.0 * eps as f64);
+                let analytic = dxs[t].data()[i] as f64;
+                assert!(
+                    (numeric - analytic).abs() <= 2e-2 * (1.0 + numeric.abs()),
+                    "t={t} i={i}: numeric {numeric} analytic {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tt_gru_classifier_learns_too() {
+        let mut rng = ChaCha8Rng::seed_from_u64(137);
+        let (classes, t_len, bsz) = (2usize, 4usize, 8usize);
+        // input dim 24, hidden 4 => 3H = 12 = 3*2*2
+        let shape = TtShape::uniform_rank(vec![3, 2, 2], vec![2, 3, 4], 2).unwrap();
+        let labels: Vec<usize> = (0..bsz).map(|b| b % classes).collect();
+        let seq = make_sequences(&mut rng, classes, t_len, bsz, 24, &labels);
+        let cell = GruCell::tt(&mut rng, &shape, 4).unwrap();
+        assert!(cell.input_projection().stored_params() < 24 * 12);
+        let mut clf = SequenceClassifier::new(&mut rng, cell, classes);
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        let mut last_acc = 0.0;
+        for _ in 0..200 {
+            let logits = clf.forward(&seq).unwrap();
+            let l = softmax_cross_entropy(&logits, &labels).unwrap();
+            last_acc = accuracy(&logits, &labels);
+            if last_acc == 1.0 {
+                break;
+            }
+            clf.zero_grads();
+            clf.backward(&l.grad).unwrap();
+            opt.step(&mut clf);
+        }
+        assert!(last_acc >= 0.9, "TT-GRU failed to fit: acc {last_acc}");
+    }
+
+    #[test]
+    fn adam_trains_a_tt_lstm_classifier() {
+        use crate::Adam;
+        let mut rng = ChaCha8Rng::seed_from_u64(138);
+        let (classes, t_len, bsz) = (2usize, 4usize, 8usize);
+        let shape = TtShape::uniform_rank(vec![2, 2, 4], vec![2, 3, 4], 2).unwrap();
+        let labels: Vec<usize> = (0..bsz).map(|b| b % classes).collect();
+        let seq = make_sequences(&mut rng, classes, t_len, bsz, 24, &labels);
+        let cell = LstmCell::tt(&mut rng, &shape, 4).unwrap();
+        let mut clf = SequenceClassifier::new(&mut rng, cell, classes);
+        let mut opt = Adam::new(0.02);
+        let mut last_acc = 0.0;
+        for _ in 0..150 {
+            let logits = clf.forward(&seq).unwrap();
+            let l = softmax_cross_entropy(&logits, &labels).unwrap();
+            last_acc = accuracy(&logits, &labels);
+            if last_acc == 1.0 {
+                break;
+            }
+            clf.zero_grads();
+            clf.backward(&l.grad).unwrap();
+            opt.step(&mut clf);
+        }
+        assert!(last_acc >= 0.9, "Adam + TT-LSTM failed: acc {last_acc}");
+    }
+
+    #[test]
+    fn tt_cell_constructors_validate_layout() {
+        let mut rng = ChaCha8Rng::seed_from_u64(135);
+        let bad = TtShape::uniform_rank(vec![2, 2], vec![2, 3], 2).unwrap(); // rows = 4
+        assert!(LstmCell::tt(&mut rng, &bad, 4).is_err()); // needs 16
+        assert!(GruCell::tt(&mut rng, &bad, 4).is_err()); // needs 12
+    }
+
+    #[test]
+    fn step_backward_without_step_errors() {
+        let mut rng = ChaCha8Rng::seed_from_u64(136);
+        let mut cell = LstmCell::dense(&mut rng, 2, 3);
+        let g = StateGrad::zeros(1, 3);
+        assert!(cell.step_backward(&g).is_err());
+    }
+}

@@ -1,0 +1,294 @@
+//! The paper's network configurations (§2.3, Tables 1–4), as data.
+//!
+//! Everything here is pure metadata — layer sizes, TT layouts, parameter
+//! counts — so the compression tables can be regenerated exactly and the
+//! performance workloads constructed without trained weights.
+
+use tie_tt::compression::{LayerParams, NetworkCompression};
+use tie_tt::TtShape;
+
+/// TT layout of VGG-16 FC6 as benchmarked (Table 4 row 1): `25088 → 4096`,
+/// `d = 6`, `n = [2,7,8,8,7,4]`, `m = [4;6]`, `r = 4`.
+///
+/// # Panics
+///
+/// Never: the constant configuration is valid.
+pub fn vgg16_fc6_tt() -> TtShape {
+    TtShape::uniform_rank(vec![4; 6], vec![2, 7, 8, 8, 7, 4], 4).expect("valid paper config")
+}
+
+/// TT layout of VGG-16 FC7 (Table 4 row 2): `4096 → 4096`, `d = 6`,
+/// `n = m = [4;6]`, `r = 4`.
+///
+/// # Panics
+///
+/// Never: the constant configuration is valid.
+pub fn vgg16_fc7_tt() -> TtShape {
+    TtShape::uniform_rank(vec![4; 6], vec![4; 6], 4).expect("valid paper config")
+}
+
+/// Dense parameter counts (weights + biases) of every VGG-16 layer, in
+/// order. Used for the Table 1 network-level compression ratio.
+pub fn vgg16_layer_params() -> Vec<(&'static str, usize)> {
+    let conv = |name: &'static str, cin: usize, cout: usize| (name, 3 * 3 * cin * cout + cout);
+    vec![
+        conv("conv1_1", 3, 64),
+        conv("conv1_2", 64, 64),
+        conv("conv2_1", 64, 128),
+        conv("conv2_2", 128, 128),
+        conv("conv3_1", 128, 256),
+        conv("conv3_2", 256, 256),
+        conv("conv3_3", 256, 256),
+        conv("conv4_1", 256, 512),
+        conv("conv4_2", 512, 512),
+        conv("conv4_3", 512, 512),
+        conv("conv5_1", 512, 512),
+        conv("conv5_2", 512, 512),
+        conv("conv5_3", 512, 512),
+        ("fc6", 25088 * 4096 + 4096),
+        ("fc7", 4096 * 4096 + 4096),
+        ("fc8", 4096 * 1000 + 1000),
+    ]
+}
+
+/// Table 1 reproduction: TT-VGG-16 with FC6/FC7 in TT format (the paper's
+/// §2.3 FC-dominated configuration). "FC layers" covers FC6–FC8 (FC8 stays
+/// dense, as in Novikov et al.).
+pub fn vgg16_tt_compression() -> NetworkCompression {
+    let mut net = NetworkCompression::new();
+    for (name, params) in vgg16_layer_params() {
+        match name {
+            "fc6" => {
+                let mut l = LayerParams::tt(name, &vgg16_fc6_tt());
+                // Bias stays dense on both sides of the comparison.
+                l.dense += 4096;
+                l.stored += 4096;
+                net.push(l);
+            }
+            "fc7" => {
+                let mut l = LayerParams::tt(name, &vgg16_fc7_tt());
+                l.dense += 4096;
+                l.stored += 4096;
+                net.push(l);
+            }
+            _ => {
+                net.push(LayerParams::dense(name, params));
+            }
+        }
+    }
+    net
+}
+
+/// CR over VGG-16's FC group (FC6 + FC7 compressed, FC8 dense) — the
+/// Table 1 "CR for FC layers" column (paper: 30.9×).
+pub fn vgg16_fc_group_ratio(net: &NetworkCompression) -> f64 {
+    let fc: Vec<_> = net
+        .layers()
+        .iter()
+        .filter(|l| l.name.starts_with("fc"))
+        .collect();
+    let dense: usize = fc.iter().map(|l| l.dense).sum();
+    let stored: usize = fc.iter().map(|l| l.stored).sum();
+    dense as f64 / stored as f64
+}
+
+/// One TT-compressed CONV layer of the §2.3 CONV-dominated CIFAR-10 CNN.
+#[derive(Debug, Clone)]
+pub struct TtConvConfig {
+    /// Layer name (`conv2` … `conv6`).
+    pub name: &'static str,
+    /// TT layout of the layer's im2col matrix (`M = C_out`,
+    /// `N = f²·C_in`).
+    pub shape: TtShape,
+}
+
+/// The five TT CONV layers of the CONV-dominated CNN exactly as configured
+/// in §2.3: `d = 4`, with the printed `m`, `n` and per-layer ranks.
+///
+/// # Panics
+///
+/// Never: the constant configurations are valid.
+pub fn cifar_cnn_tt_convs() -> Vec<TtConvConfig> {
+    let mk = |name, m: Vec<usize>, n: Vec<usize>, r: Vec<usize>| TtConvConfig {
+        name,
+        shape: TtShape::new(m, n, r).expect("valid paper config"),
+    };
+    vec![
+        // layer 2: m=[3,4,4,4], n=[3,4,4,4], r=[22,20,20]
+        mk("conv2", vec![3, 4, 4, 4], vec![3, 4, 4, 4], vec![1, 22, 20, 20, 1]),
+        // layer 3: m=[3,4,8,4], n=[3,4,4,4], r=[27,22,22]
+        mk("conv3", vec![3, 4, 8, 4], vec![3, 4, 4, 4], vec![1, 27, 22, 22, 1]),
+        // layers 4-6: m=[3,4,8,4], n=[3,4,8,4], r=[23,23,23]
+        mk("conv4", vec![3, 4, 8, 4], vec![3, 4, 8, 4], vec![1, 23, 23, 23, 1]),
+        mk("conv5", vec![3, 4, 8, 4], vec![3, 4, 8, 4], vec![1, 23, 23, 23, 1]),
+        mk("conv6", vec![3, 4, 8, 4], vec![3, 4, 8, 4], vec![1, 23, 23, 23, 1]),
+    ]
+}
+
+/// Table 2 reproduction: the CONV-dominated CNN with layers 2–6 in TT
+/// format. The TIE paper does not restate \[23\]'s full baseline topology;
+/// the uncompressed remainder is modeled as a first conv of 1296 weights
+/// (3→48 channels, 3×3, matching layer 2's `f²·C_in = 192` with `f = 2`)
+/// plus a 384→10 classifier head — a few-thousand-parameter fringe whose
+/// exact size moves the overall CR by under 2%.
+pub fn cifar_cnn_compression() -> NetworkCompression {
+    let mut net = NetworkCompression::new();
+    net.push(LayerParams::dense("conv1", 3 * 3 * 3 * 48 + 48));
+    for cfg in cifar_cnn_tt_convs() {
+        net.push(LayerParams::tt(cfg.name, &cfg.shape));
+    }
+    net.push(LayerParams::dense("head", 384 * 10 + 10));
+    net
+}
+
+/// TT layout of the LSTM-UCF11 input-to-hidden workload (Table 4 row 3):
+/// `57600 → 256`, `n = [8,20,20,18]`, `m = [4;4]`, `r = 4`.
+///
+/// # Panics
+///
+/// Never: the constant configuration is valid.
+pub fn lstm_ucf11_tt() -> TtShape {
+    TtShape::uniform_rank(vec![4; 4], vec![8, 20, 20, 18], 4).expect("valid paper config")
+}
+
+/// TT layout of the LSTM-Youtube input-to-hidden workload (Table 4 row 4):
+/// `57600 → 256`, `n = [4,20,20,36]`, `m = [4;4]`, `r = 4`.
+///
+/// # Panics
+///
+/// Never: the constant configuration is valid.
+pub fn lstm_youtube_tt() -> TtShape {
+    TtShape::uniform_rank(vec![4; 4], vec![4, 20, 20, 36], 4).expect("valid paper config")
+}
+
+/// Folds a gate count into a single-gate TT layout by widening the last
+/// row mode (`m_d ← gates · m_d`): the TT-RNN trick of storing the fused
+/// input-to-hidden matrix of all gates (4 for LSTM, 3 for GRU) as one TT
+/// matrix.
+///
+/// # Panics
+///
+/// Never for a valid input shape.
+pub fn with_gate_fusion(shape: &TtShape, gates: usize) -> TtShape {
+    let mut m = shape.row_modes.clone();
+    let last = m.len() - 1;
+    m[last] *= gates;
+    TtShape::new(m, shape.col_modes.clone(), shape.ranks.clone()).expect("scaled config is valid")
+}
+
+/// Table 3 reproduction: compression of the TT-LSTM / TT-GRU video
+/// classifiers (Youtube Celebrities configuration of \[77\]): the fused
+/// input-to-hidden matrix is TT, hidden-to-hidden and the readout head
+/// stay dense.
+///
+/// `gates` is 4 for LSTM, 3 for GRU; `classes` is 47 for Youtube
+/// Celebrities.
+pub fn tt_rnn_compression(gates: usize, classes: usize) -> NetworkCompression {
+    let hidden = 256usize;
+    let shape = with_gate_fusion(&lstm_youtube_tt(), gates);
+    let mut net = NetworkCompression::new();
+    net.push(LayerParams::tt("input-to-hidden", &shape));
+    net.push(LayerParams::dense(
+        "hidden-to-hidden",
+        gates * hidden * hidden + gates * hidden,
+    ));
+    net.push(LayerParams::dense("head", hidden * classes + classes));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_compression_ratios() {
+        // Paper Table 4 CR column: 50972x, 14564x, 4954x, 4608x.
+        let cases = [
+            (vgg16_fc6_tt(), 50972.0),
+            (vgg16_fc7_tt(), 14564.0),
+            (lstm_ucf11_tt(), 4954.0),
+            (lstm_youtube_tt(), 4608.0),
+        ];
+        for (shape, want) in cases {
+            let cr = shape.compression_ratio();
+            assert!(
+                (cr - want).abs() / want < 0.02,
+                "{shape}: CR {cr:.0} vs paper {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn table1_vgg16_ratios() {
+        let net = vgg16_tt_compression();
+        // Full VGG-16 has ~138M params.
+        let total = net.dense_params();
+        assert!(
+            (137_000_000..140_000_000).contains(&total),
+            "VGG-16 params {total}"
+        );
+        let fc_cr = vgg16_fc_group_ratio(&net);
+        assert!(
+            (fc_cr - 30.9).abs() / 30.9 < 0.05,
+            "FC-group CR {fc_cr:.1} vs paper 30.9"
+        );
+        let overall = net.overall_ratio();
+        assert!(
+            (overall - 7.4).abs() / 7.4 < 0.05,
+            "overall CR {overall:.2} vs paper 7.4"
+        );
+    }
+
+    #[test]
+    fn table2_cifar_cnn_ratios() {
+        let net = cifar_cnn_compression();
+        let conv_cr = net.compressed_layers_ratio();
+        assert!(
+            (conv_cr - 3.3).abs() / 3.3 < 0.03,
+            "CONV CR {conv_cr:.2} vs paper 3.3"
+        );
+        let overall = net.overall_ratio();
+        assert!(
+            (overall - 3.27).abs() / 3.27 < 0.05,
+            "overall CR {overall:.2} vs paper 3.27"
+        );
+    }
+
+    #[test]
+    fn table3_rnn_ratios_have_the_paper_magnitude() {
+        // Paper: 15283x (LSTM FC), 196x overall; 11683x (GRU FC), 195x
+        // overall. [77] does not publish where the gate factor enters the
+        // mode list, so the reproduced values agree in magnitude, not to
+        // the last digit (documented in EXPERIMENTS.md).
+        let lstm = tt_rnn_compression(4, 47);
+        let fc = lstm.compressed_layers_ratio();
+        assert!(
+            (8000.0..25000.0).contains(&fc),
+            "LSTM input-to-hidden CR {fc:.0} should be ~1.5e4"
+        );
+        let overall = lstm.overall_ratio();
+        assert!(
+            (130.0..280.0).contains(&overall),
+            "LSTM overall CR {overall:.0} should be ~196"
+        );
+        let gru = tt_rnn_compression(3, 47);
+        assert!(gru.compressed_layers_ratio() > 8000.0);
+    }
+
+    #[test]
+    fn gate_fusion_scales_rows_only() {
+        let base = lstm_youtube_tt();
+        let fused = with_gate_fusion(&base, 4);
+        assert_eq!(fused.num_rows(), 4 * base.num_rows());
+        assert_eq!(fused.num_cols(), base.num_cols());
+    }
+
+    #[test]
+    fn cifar_conv_shapes_match_printed_dims() {
+        let convs = cifar_cnn_tt_convs();
+        assert_eq!(convs[0].shape.num_rows(), 192);
+        assert_eq!(convs[0].shape.num_cols(), 192);
+        assert_eq!(convs[1].shape.num_rows(), 384);
+        assert_eq!(convs[4].shape.num_cols(), 384);
+    }
+}

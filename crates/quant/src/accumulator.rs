@@ -1,0 +1,172 @@
+/// The TIE MAC accumulator: 24-bit signed, saturating.
+///
+/// ```
+/// use tie_quant::Accumulator;
+/// let mut acc = Accumulator::new(0);
+/// acc.mac(100, -3);
+/// acc.mac(7, 2);
+/// assert_eq!(acc.value(), -286);
+/// assert!(!acc.saturated());
+/// let (code, sat) = acc.to_i16(0);
+/// assert_eq!((code, sat), (-286, false));
+/// ```
+///
+/// Each PE's MAC unit (paper Table 5) multiplies two 16-bit operands into a
+/// full-precision product and accumulates into a 24-bit register. A 16×16
+/// product needs up to 31 bits, so real designs shift the product right
+/// before accumulation; `prod_shift` models that barrel shift. Saturation
+/// is sticky-flagged rather than silent, so the simulator can report
+/// overflow events per layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Accumulator {
+    value: i32,
+    prod_shift: u32,
+    saturated: bool,
+}
+
+impl Accumulator {
+    /// Accumulator register width in bits (paper Table 5: 24-bit).
+    pub const BITS: u32 = 24;
+    /// Largest representable accumulator value (`2^23 - 1`).
+    pub const MAX: i32 = (1 << (Self::BITS - 1)) - 1;
+    /// Smallest representable accumulator value (`-2^23`).
+    pub const MIN: i32 = -(1 << (Self::BITS - 1));
+
+    /// Fresh accumulator; every product is arithmetically shifted right by
+    /// `prod_shift` bits before accumulation.
+    pub fn new(prod_shift: u32) -> Self {
+        Accumulator {
+            value: 0,
+            prod_shift,
+            saturated: false,
+        }
+    }
+
+    /// Multiply-accumulate one operand pair.
+    pub fn mac(&mut self, a: i16, b: i16) {
+        let prod = (a as i32) * (b as i32);
+        let shifted = if self.prod_shift > 0 {
+            // Round-to-nearest on the discarded bits (add half before shift).
+            let half = 1i32 << (self.prod_shift - 1);
+            (prod + half) >> self.prod_shift
+        } else {
+            prod
+        };
+        let sum = self.value as i64 + shifted as i64;
+        if sum > Self::MAX as i64 {
+            self.value = Self::MAX;
+            self.saturated = true;
+        } else if sum < Self::MIN as i64 {
+            self.value = Self::MIN;
+            self.saturated = true;
+        } else {
+            self.value = sum as i32;
+        }
+    }
+
+    /// Current register value.
+    pub fn value(&self) -> i32 {
+        self.value
+    }
+
+    /// True if any accumulation saturated since the last [`Accumulator::reset`].
+    pub fn saturated(&self) -> bool {
+        self.saturated
+    }
+
+    /// Clears value and saturation flag.
+    pub fn reset(&mut self) {
+        self.value = 0;
+        self.saturated = false;
+    }
+
+    /// Requantizes the register down to a 16-bit code, shifting right by
+    /// `out_shift` with round-to-nearest and saturating to the i16 range.
+    /// Returns `(code, saturated_on_output)`.
+    pub fn to_i16(&self, out_shift: u32) -> (i16, bool) {
+        let v = if out_shift > 0 {
+            let half = 1i64 << (out_shift - 1);
+            ((self.value as i64 + half) >> out_shift) as i32
+        } else {
+            self.value
+        };
+        if v > i16::MAX as i32 {
+            (i16::MAX, true)
+        } else if v < i16::MIN as i32 {
+            (i16::MIN, true)
+        } else {
+            (v as i16, false)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_accumulates_products() {
+        let mut acc = Accumulator::new(0);
+        acc.mac(3, 4);
+        acc.mac(-2, 5);
+        assert_eq!(acc.value(), 12 - 10);
+        assert!(!acc.saturated());
+    }
+
+    #[test]
+    fn prod_shift_rounds_to_nearest() {
+        let mut acc = Accumulator::new(4);
+        acc.mac(1, 24); // 24 >> 4 = 1.5 -> rounds to 2 (1.5 + 0.5 = 2)
+        assert_eq!(acc.value(), 2);
+        acc.reset();
+        acc.mac(1, 23); // 23/16 = 1.4375 -> 1
+        assert_eq!(acc.value(), 1);
+    }
+
+    #[test]
+    fn saturation_is_sticky_and_clamps() {
+        let mut acc = Accumulator::new(0);
+        // 32767^2 ≈ 1.07e9 >> 24-bit max 8388607: one MAC saturates.
+        acc.mac(i16::MAX, i16::MAX);
+        assert_eq!(acc.value(), Accumulator::MAX);
+        assert!(acc.saturated());
+        acc.mac(-1, 1);
+        assert!(acc.saturated(), "flag must stick");
+        acc.reset();
+        assert!(!acc.saturated());
+        assert_eq!(acc.value(), 0);
+        // Negative direction.
+        acc.mac(i16::MIN, i16::MAX);
+        assert_eq!(acc.value(), Accumulator::MIN);
+        assert!(acc.saturated());
+    }
+
+    #[test]
+    fn to_i16_requantizes_with_rounding_and_saturation() {
+        let mut acc = Accumulator::new(0);
+        acc.mac(100, 100); // 10000
+        let (v, sat) = acc.to_i16(4); // 10000/16 = 625
+        assert_eq!(v, 625);
+        assert!(!sat);
+        let (v0, sat0) = acc.to_i16(0);
+        assert_eq!(v0, 10000);
+        assert!(!sat0);
+        acc.reset();
+        acc.mac(30000, 30000); // 9e8 saturates acc at 8388607
+        let (v2, sat2) = acc.to_i16(0);
+        assert_eq!(v2, i16::MAX);
+        assert!(sat2);
+        let (v3, sat3) = acc.to_i16(8); // 8388607 >> 8 = 32768 -> still saturates i16
+        assert_eq!(v3, i16::MAX);
+        assert!(sat3);
+        let (v4, sat4) = acc.to_i16(9); // 16384 fits
+        assert_eq!(v4, 16384);
+        assert!(!sat4);
+    }
+
+    #[test]
+    fn range_constants() {
+        assert_eq!(Accumulator::MAX, 8_388_607);
+        assert_eq!(Accumulator::MIN, -8_388_608);
+    }
+}

@@ -1,0 +1,176 @@
+use tie_tensor::{Result, TensorError};
+
+/// A signed 16-bit Q-number format with a runtime fraction-bit count.
+///
+/// A value `x` is stored as `round(x · 2^frac_bits)` clamped to
+/// `[-32768, 32767]`. `QFormat::new(12)` is Q3.12: range ±8, step 2⁻¹².
+/// The TIE paper fixes the container at 16 bits (Table 5) but the fraction
+/// split is a per-layer calibration choice, so it is runtime data here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QFormat {
+    frac_bits: u32,
+}
+
+impl QFormat {
+    /// Total container bits (paper Table 5: 16-bit quantization).
+    pub const CONTAINER_BITS: u32 = 16;
+
+    /// Creates a format with `frac_bits` fraction bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `frac_bits >= 16`
+    /// (at least the sign bit must remain).
+    pub fn new(frac_bits: u32) -> Result<Self> {
+        if frac_bits >= Self::CONTAINER_BITS {
+            return Err(TensorError::InvalidArgument {
+                message: format!("frac_bits {frac_bits} must be < {}", Self::CONTAINER_BITS),
+            });
+        }
+        Ok(QFormat { frac_bits })
+    }
+
+    /// Fraction bits.
+    pub fn frac_bits(&self) -> u32 {
+        self.frac_bits
+    }
+
+    /// Quantization step `2^-frac_bits`.
+    pub fn step(&self) -> f64 {
+        (2.0f64).powi(-(self.frac_bits as i32))
+    }
+
+    /// Largest representable value.
+    pub fn max_value(&self) -> f64 {
+        i16::MAX as f64 * self.step()
+    }
+
+    /// Smallest (most negative) representable value.
+    pub fn min_value(&self) -> f64 {
+        i16::MIN as f64 * self.step()
+    }
+
+    /// Quantizes a real value: round-to-nearest-even scaling, saturating at
+    /// the container bounds.
+    pub fn quantize(&self, x: f64) -> i16 {
+        let scaled = x * (1u32 << self.frac_bits) as f64;
+        let rounded = scaled.round_ties_even();
+        rounded.clamp(i16::MIN as f64, i16::MAX as f64) as i16
+    }
+
+    /// True if quantizing `x` would saturate.
+    pub fn saturates(&self, x: f64) -> bool {
+        let scaled = (x * (1u32 << self.frac_bits) as f64).round_ties_even();
+        scaled > i16::MAX as f64 || scaled < i16::MIN as f64
+    }
+
+    /// Dequantizes a raw code back to a real value.
+    pub fn dequantize(&self, q: i16) -> f64 {
+        q as f64 * self.step()
+    }
+
+    /// Picks the largest fraction-bit count whose range covers
+    /// `max_abs` (standard symmetric-range calibration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `max_abs` is not a
+    /// positive finite number.
+    pub fn calibrate(max_abs: f64) -> Result<Self> {
+        if !(max_abs.is_finite() && max_abs > 0.0) {
+            return Err(TensorError::InvalidArgument {
+                message: format!("cannot calibrate QFormat for max_abs = {max_abs}"),
+            });
+        }
+        // Finest format whose range covers max_abs: descend from Q0.15.
+        let mut f: u32 = Self::CONTAINER_BITS - 1;
+        while f > 0 && (QFormat { frac_bits: f }).saturates(max_abs) {
+            f -= 1;
+        }
+        QFormat::new(f)
+    }
+}
+
+impl Default for QFormat {
+    /// Q4.11: range ±16, a serviceable default for unit-scale activations.
+    fn default() -> Self {
+        QFormat { frac_bits: 11 }
+    }
+}
+
+impl std::fmt::Display for QFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Q{}.{}",
+            Self::CONTAINER_BITS - 1 - self.frac_bits,
+            self.frac_bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_too_many_frac_bits() {
+        assert!(QFormat::new(16).is_err());
+        assert!(QFormat::new(15).is_ok());
+        assert!(QFormat::new(0).is_ok());
+    }
+
+    #[test]
+    fn quantize_dequantize_roundtrip_within_half_step() {
+        let fmt = QFormat::new(10).unwrap();
+        for x in [-3.7, -0.001, 0.0, 0.4999, 2.25, 15.99] {
+            let q = fmt.quantize(x);
+            let back = fmt.dequantize(q);
+            assert!(
+                (back - x).abs() <= fmt.step() / 2.0 + 1e-12,
+                "x={x} back={back}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturation_clamps_and_is_reported() {
+        let fmt = QFormat::new(12).unwrap(); // range ±8
+        assert!(fmt.saturates(10.0));
+        assert_eq!(fmt.quantize(10.0), i16::MAX);
+        assert_eq!(fmt.quantize(-10.0), i16::MIN);
+        assert!(!fmt.saturates(7.9));
+    }
+
+    #[test]
+    fn calibrate_covers_max_abs_without_waste() {
+        for max_abs in [0.1, 0.9, 1.0, 3.5, 100.0, 20000.0] {
+            let fmt = QFormat::calibrate(max_abs).unwrap();
+            assert!(!fmt.saturates(max_abs), "max_abs {max_abs} saturates {fmt}");
+            // One more fraction bit would saturate (unless already at max).
+            if fmt.frac_bits() < 15 {
+                let finer = QFormat::new(fmt.frac_bits() + 1).unwrap();
+                assert!(
+                    finer.saturates(max_abs),
+                    "{fmt} wastes range for max_abs {max_abs}"
+                );
+            }
+        }
+        assert!(QFormat::calibrate(0.0).is_err());
+        assert!(QFormat::calibrate(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn display_shows_q_notation() {
+        assert_eq!(QFormat::new(12).unwrap().to_string(), "Q3.12");
+        assert_eq!(QFormat::default().to_string(), "Q4.11");
+    }
+
+    #[test]
+    fn step_and_range_consistency() {
+        let fmt = QFormat::new(8).unwrap();
+        assert_eq!(fmt.step(), 1.0 / 256.0);
+        assert!((fmt.max_value() - 127.99609375).abs() < 1e-12);
+        assert_eq!(fmt.min_value(), -128.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Quantized matrix multiplication on the modeled TIE datapath.
+
+use crate::{Accumulator, QFormat, QTensor};
+use tie_tensor::{Result, TensorError};
+
+/// Saturation diagnostics of one quantized matrix multiply.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QMatmulReport {
+    /// Outputs whose 24-bit accumulator saturated mid-accumulation.
+    pub acc_saturations: u64,
+    /// Outputs that saturated during the final 16-bit requantization.
+    pub out_saturations: u64,
+    /// Total output elements produced.
+    pub outputs: u64,
+}
+
+impl QMatmulReport {
+    /// True when no saturation of any kind occurred.
+    pub fn is_clean(&self) -> bool {
+        self.acc_saturations == 0 && self.out_saturations == 0
+    }
+}
+
+/// Quantized product `C = A · B` with TIE datapath semantics.
+///
+/// Inputs carry formats `Qa` and `Qb`; raw products therefore sit at
+/// `frac_a + frac_b` fraction bits. Each product is shifted right by
+/// `prod_shift = frac_a + frac_b − acc_frac` before entering the 24-bit
+/// accumulator (where `acc_frac` is the accumulator's working fraction),
+/// and results are requantized to `out_format`.
+///
+/// The accumulator working fraction is chosen automatically as
+/// `min(frac_a + frac_b, out_frac + 8)`: full product precision when it
+/// fits, otherwise 8 guard bits above the output step — mirroring the
+/// headroom a 24-bit register offers over the 16-bit output.
+///
+/// # Errors
+///
+/// Returns [`TensorError::NotAMatrix`] / [`TensorError::MatmulDimMismatch`]
+/// on shape problems.
+///
+/// # Example
+///
+/// ```
+/// use tie_quant::{qmatmul, QFormat, QTensor};
+/// # fn main() -> Result<(), tie_tensor::TensorError> {
+/// let fmt = QFormat::new(0)?; // integer mode
+/// let a = QTensor::from_codes(vec![1, 2], vec![3, -2], fmt)?;
+/// let b = QTensor::from_codes(vec![2, 1], vec![10, 4], fmt)?;
+/// let (c, report) = qmatmul(&a, &b, fmt)?;
+/// assert_eq!(c.codes(), &[22]);
+/// assert!(report.is_clean());
+/// # Ok(())
+/// # }
+/// ```
+pub fn qmatmul(
+    a: &QTensor,
+    b: &QTensor,
+    out_format: QFormat,
+) -> Result<(QTensor, QMatmulReport)> {
+    let a_dims = a.shape().dims();
+    let b_dims = b.shape().dims();
+    if a_dims.len() != 2 {
+        return Err(TensorError::NotAMatrix { ndim: a_dims.len() });
+    }
+    if b_dims.len() != 2 {
+        return Err(TensorError::NotAMatrix { ndim: b_dims.len() });
+    }
+    let (m, ka) = (a_dims[0], a_dims[1]);
+    let (kb, n) = (b_dims[0], b_dims[1]);
+    if ka != kb {
+        return Err(TensorError::MatmulDimMismatch {
+            left: (m, ka),
+            right: (kb, n),
+        });
+    }
+    let prod_frac = a.format().frac_bits() + b.format().frac_bits();
+    let acc_frac = prod_frac.min(out_format.frac_bits() + 8);
+    let prod_shift = prod_frac - acc_frac;
+    let out_shift = acc_frac.saturating_sub(out_format.frac_bits());
+    debug_assert!(acc_frac >= out_format.frac_bits(), "acc must cover output precision");
+
+    let mut codes = vec![0i16; m * n];
+    let mut report = QMatmulReport {
+        outputs: (m * n) as u64,
+        ..QMatmulReport::default()
+    };
+    let ad = a.codes();
+    let bd = b.codes();
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = Accumulator::new(prod_shift);
+            for k in 0..ka {
+                acc.mac(ad[i * ka + k], bd[k * n + j]);
+            }
+            if acc.saturated() {
+                report.acc_saturations += 1;
+            }
+            let (v, sat) = acc.to_i16(out_shift);
+            if sat {
+                report.out_saturations += 1;
+            }
+            codes[i * n + j] = v;
+        }
+    }
+    let out = QTensor::from_codes(vec![m, n], codes, out_format)?;
+    Ok((out, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use tie_tensor::{init, linalg::matmul, Tensor};
+
+    #[test]
+    fn qmatmul_tracks_float_matmul_within_quant_noise() {
+        let mut rng = ChaCha8Rng::seed_from_u64(80);
+        let a: Tensor<f64> = init::uniform(&mut rng, vec![6, 5], 1.0);
+        let b: Tensor<f64> = init::uniform(&mut rng, vec![5, 7], 1.0);
+        let fmt = QFormat::new(12).unwrap();
+        let qa = QTensor::quantize(&a, fmt);
+        let qb = QTensor::quantize(&b, fmt);
+        let (qc, report) = qmatmul(&qa, &qb, QFormat::new(11).unwrap()).unwrap();
+        assert!(report.is_clean(), "{report:?}");
+        let want = matmul(&a, &b).unwrap();
+        let got = qc.dequantize();
+        // Error budget: input rounding (5 terms) + output rounding.
+        let tol = 5.0 * fmt.step() + QFormat::new(11).unwrap().step();
+        assert!(
+            got.approx_eq(&want, tol),
+            "max err {} vs tol {tol}",
+            got.sub(&want).unwrap().max_abs()
+        );
+    }
+
+    #[test]
+    fn qmatmul_exact_for_integer_values() {
+        // With frac_bits = 0 the datapath is plain integer arithmetic.
+        let fmt = QFormat::new(0).unwrap();
+        let a = QTensor::from_codes(vec![2, 2], vec![1, 2, 3, 4], fmt).unwrap();
+        let b = QTensor::from_codes(vec![2, 2], vec![5, 6, 7, 8], fmt).unwrap();
+        let (c, report) = qmatmul(&a, &b, fmt).unwrap();
+        assert_eq!(c.codes(), &[19, 22, 43, 50]);
+        assert!(report.is_clean());
+    }
+
+    #[test]
+    fn output_saturation_is_reported_not_silent() {
+        let fmt = QFormat::new(0).unwrap();
+        let a = QTensor::from_codes(vec![1, 1], vec![30000], fmt).unwrap();
+        let b = QTensor::from_codes(vec![1, 1], vec![2], fmt).unwrap();
+        let (c, report) = qmatmul(&a, &b, fmt).unwrap();
+        assert_eq!(c.codes(), &[i16::MAX]);
+        assert_eq!(report.out_saturations, 1);
+    }
+
+    #[test]
+    fn accumulator_saturation_is_reported() {
+        let fmt = QFormat::new(0).unwrap();
+        // 300 * 30000 * 1... one product = 9e6 > 24-bit max 8388607.
+        let a = QTensor::from_codes(vec![1, 1], vec![300], fmt).unwrap();
+        let b = QTensor::from_codes(vec![1, 1], vec![30000], fmt).unwrap();
+        let (_, report) = qmatmul(&a, &b, fmt).unwrap();
+        assert_eq!(report.acc_saturations, 1);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let fmt = QFormat::new(0).unwrap();
+        let a = QTensor::from_codes(vec![2, 3], vec![0; 6], fmt).unwrap();
+        let b = QTensor::from_codes(vec![2, 3], vec![0; 6], fmt).unwrap();
+        assert!(qmatmul(&a, &b, fmt).is_err());
+        let v = QTensor::from_codes(vec![6], vec![0; 6], fmt).unwrap();
+        assert!(qmatmul(&v, &b, fmt).is_err());
+    }
+}

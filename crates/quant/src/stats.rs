@@ -1,0 +1,103 @@
+//! Quantization-error measurement helpers.
+//!
+//! Used by the ablation experiments (quantization-width sweep) to report
+//! how much accuracy the 16-bit TIE datapath costs relative to the float
+//! reference.
+
+use tie_tensor::{Result, Scalar, Tensor, TensorError};
+
+/// Error summary between a quantized (dequantized-back) tensor and its
+/// float reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorStats {
+    /// Largest absolute elementwise error.
+    pub max_abs_error: f64,
+    /// Root-mean-square error.
+    pub rmse: f64,
+    /// Signal-to-quantization-noise ratio in dB
+    /// (`10·log10(‖ref‖² / ‖err‖²)`); `f64::INFINITY` for an exact match.
+    pub sqnr_db: f64,
+}
+
+/// Computes [`ErrorStats`] between `approx` and `reference`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+pub fn error_stats<T: Scalar>(approx: &Tensor<T>, reference: &Tensor<T>) -> Result<ErrorStats> {
+    if approx.shape() != reference.shape() {
+        return Err(TensorError::ShapeMismatch {
+            left: approx.dims().to_vec(),
+            right: reference.dims().to_vec(),
+        });
+    }
+    let n = reference.num_elements() as f64;
+    let mut max_abs = 0.0f64;
+    let mut err2 = 0.0f64;
+    let mut ref2 = 0.0f64;
+    for (a, r) in approx.data().iter().zip(reference.data()) {
+        let e = a.to_f64() - r.to_f64();
+        max_abs = max_abs.max(e.abs());
+        err2 += e * e;
+        ref2 += r.to_f64() * r.to_f64();
+    }
+    let sqnr_db = if err2 == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (ref2 / err2).log10()
+    };
+    Ok(ErrorStats {
+        max_abs_error: max_abs,
+        rmse: (err2 / n).sqrt(),
+        sqnr_db,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_gives_infinite_sqnr() {
+        let t = Tensor::<f64>::from_vec(vec![3], vec![1.0, 2.0, 3.0]).unwrap();
+        let s = error_stats(&t, &t).unwrap();
+        assert_eq!(s.max_abs_error, 0.0);
+        assert_eq!(s.rmse, 0.0);
+        assert!(s.sqnr_db.is_infinite());
+    }
+
+    #[test]
+    fn known_error_values() {
+        let r = Tensor::<f64>::from_vec(vec![2], vec![3.0, 4.0]).unwrap();
+        let a = Tensor::<f64>::from_vec(vec![2], vec![3.0, 4.5]).unwrap();
+        let s = error_stats(&a, &r).unwrap();
+        assert!((s.max_abs_error - 0.5).abs() < 1e-12);
+        assert!((s.rmse - (0.25f64 / 2.0).sqrt()).abs() < 1e-12);
+        // SQNR = 10 log10(25 / 0.25) = 20 dB
+        assert!((s.sqnr_db - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let a = Tensor::<f64>::zeros(vec![2]);
+        let b = Tensor::<f64>::zeros(vec![3]);
+        assert!(error_stats(&a, &b).is_err());
+    }
+
+    #[test]
+    fn finer_format_gives_higher_sqnr() {
+        use crate::{QFormat, QTensor};
+        let t = Tensor::<f64>::from_fn(vec![64], |i| ((i[0] * 37 % 97) as f64 / 97.0) - 0.5)
+            .unwrap();
+        let coarse = QTensor::quantize(&t, QFormat::new(6).unwrap()).dequantize();
+        let fine = QTensor::quantize(&t, QFormat::new(14).unwrap()).dequantize();
+        let s_coarse = error_stats(&coarse, &t).unwrap();
+        let s_fine = error_stats(&fine, &t).unwrap();
+        assert!(
+            s_fine.sqnr_db > s_coarse.sqnr_db + 30.0,
+            "8 extra bits ≈ 48 dB: {} vs {}",
+            s_fine.sqnr_db,
+            s_coarse.sqnr_db
+        );
+    }
+}

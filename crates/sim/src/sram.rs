@@ -1,0 +1,423 @@
+//! SRAM models: the weight memory with Fig. 9 interleaved allocation and
+//! the ping-pong working memories with skewed banking for conflict-free
+//! Transform reads (the Algorithm 2 / Fig. 10 mechanism).
+
+use tie_quant::QTensor;
+use tie_tensor::{Result, TensorError};
+
+/// The tensor-core weight SRAM (paper Fig. 9).
+///
+/// Unfolded cores `G̃_1 … G̃_d` are placed **sequentially** (inter-core);
+/// within a core, the allocation is **interleaved**: the word at address
+/// `base + tile·C + col` holds the `N_MAC` elements
+/// `G̃[tile·N_MAC + i, col]`, `i = 0..N_MAC` — exactly one broadcast
+/// column per cycle for one row-tile of MAC units.
+#[derive(Debug, Clone)]
+pub struct WeightSram {
+    n_mac: usize,
+    capacity_elems: usize,
+    /// Stored cores: quantized unfolded matrices, in stage order (core 1
+    /// first, matching the sequential placement).
+    cores: Vec<QTensor>,
+    /// Word base address of each core.
+    bases: Vec<usize>,
+    used_words: usize,
+    reads: u64,
+}
+
+impl WeightSram {
+    /// Empty weight SRAM.
+    pub fn new(n_mac: usize, capacity_elems: usize) -> Self {
+        WeightSram {
+            n_mac,
+            capacity_elems,
+            cores: Vec::new(),
+            bases: Vec::new(),
+            used_words: 0,
+            reads: 0,
+        }
+    }
+
+    /// Words one core occupies: `ceil(R/N_MAC) · C`.
+    fn core_words(&self, rows: usize, cols: usize) -> usize {
+        rows.div_ceil(self.n_mac) * cols
+    }
+
+    /// Loads the quantized unfolded cores of one layer, replacing any
+    /// previous content.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if the layer exceeds the
+    /// SRAM capacity (the paper sizes 16 KB as "sufficient for most
+    /// TT-DNN models" — this check is where that claim is enforced).
+    pub fn load(&mut self, cores: Vec<QTensor>) -> Result<()> {
+        let mut words = 0usize;
+        let mut bases = Vec::with_capacity(cores.len());
+        for c in &cores {
+            let dims = c.shape().dims();
+            if dims.len() != 2 {
+                return Err(TensorError::NotAMatrix { ndim: dims.len() });
+            }
+            bases.push(words);
+            words += self.core_words(dims[0], dims[1]);
+        }
+        let elems = words * self.n_mac;
+        if elems > self.capacity_elems {
+            return Err(TensorError::InvalidArgument {
+                message: format!(
+                    "layer needs {elems} weight elements (padded), capacity {}",
+                    self.capacity_elems
+                ),
+            });
+        }
+        self.cores = cores;
+        self.bases = bases;
+        self.used_words = words;
+        self.reads = 0;
+        Ok(())
+    }
+
+    /// Reads the weight word for `(core, row_tile, col)`: the `N_MAC`
+    /// column elements broadcast in one cycle. Rows beyond the matrix
+    /// (padding of the last tile) read as zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core index or addresses are out of range (simulator
+    /// internal error, not a user-facing condition).
+    pub fn read_column(&mut self, core: usize, row_tile: usize, col: usize) -> Vec<i16> {
+        let c = &self.cores[core];
+        let dims = c.shape().dims();
+        let (rows, cols) = (dims[0], dims[1]);
+        assert!(col < cols && row_tile * self.n_mac < rows, "weight address out of range");
+        self.reads += 1;
+        (0..self.n_mac)
+            .map(|i| {
+                let r = row_tile * self.n_mac + i;
+                if r < rows {
+                    c.code_at(r * cols + col)
+                } else {
+                    0
+                }
+            })
+            .collect()
+    }
+
+    /// Word address that [`WeightSram::read_column`] touches — exposes the
+    /// Fig. 9 allocation for tests.
+    pub fn word_address(&self, core: usize, row_tile: usize, col: usize) -> usize {
+        let dims = self.cores[core].shape().dims();
+        self.bases[core] + row_tile * dims[1] + col
+    }
+
+    /// The stored quantized core matrices.
+    pub fn cores(&self) -> &[QTensor] {
+        &self.cores
+    }
+
+    /// Occupied words (each `N_MAC` elements wide).
+    pub fn used_words(&self) -> usize {
+        self.used_words
+    }
+
+    /// Occupancy in elements, including row-tile padding.
+    pub fn used_elems(&self) -> usize {
+        self.used_words * self.n_mac
+    }
+
+    /// Word reads since load.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+}
+
+/// One working SRAM copy (the design has two, used as a ping-pong pair).
+///
+/// Elements of the stored `V_h` matrix live in `n_banks` component SRAMs
+/// with **skewed** placement `bank = (row + col) mod n_banks`: a write of
+/// one output row block and a permuted Transform read (which touches
+/// `m_h` consecutive rows of one column, then the next column, …) both
+/// hit distinct banks. Residual conflicts — possible for degenerate
+/// mode/rank combinations — are counted and serialized, never dropped.
+#[derive(Debug, Clone)]
+pub struct WorkingSram {
+    n_banks: usize,
+    capacity_elems: usize,
+    rows: usize,
+    cols: usize,
+    data: Vec<i16>,
+    reads: u64,
+    writes: u64,
+    conflict_extra_cycles: u64,
+}
+
+impl WorkingSram {
+    /// Empty working SRAM.
+    pub fn new(n_banks: usize, capacity_elems: usize) -> Self {
+        WorkingSram {
+            n_banks,
+            capacity_elems,
+            rows: 0,
+            cols: 0,
+            data: Vec::new(),
+            reads: 0,
+            writes: 0,
+            conflict_extra_cycles: 0,
+        }
+    }
+
+    /// Prepares the SRAM to hold an `rows × cols` matrix (one `V_h`),
+    /// zero-filled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if it does not fit — the
+    /// §3.2 storage-overhead constraint.
+    pub fn allocate(&mut self, rows: usize, cols: usize) -> Result<()> {
+        if rows * cols > self.capacity_elems {
+            return Err(TensorError::InvalidArgument {
+                message: format!(
+                    "intermediate V ({rows}x{cols} = {} elems) exceeds working SRAM capacity {}",
+                    rows * cols,
+                    self.capacity_elems
+                ),
+            });
+        }
+        self.rows = rows;
+        self.cols = cols;
+        self.data = vec![0i16; rows * cols];
+        Ok(())
+    }
+
+    /// Matrix extent currently allocated.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Bank holding element `(r, c)` (skewed placement).
+    pub fn bank_of(&self, r: usize, c: usize) -> usize {
+        (r + c) % self.n_banks
+    }
+
+    /// Writes a block column: `values[i]` goes to `(row0 + i, col)`. One
+    /// physical write word per distinct bank touched (counted).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range addresses (simulator internal error).
+    pub fn write_block_column(&mut self, row0: usize, col: usize, values: &[i16]) {
+        let items: Vec<(usize, usize, i16)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (row0 + i, col, v))
+            .collect();
+        self.write_scatter(&items);
+    }
+
+    /// Scattered write (the Algorithm-2 ReArrange on the write path: the
+    /// controller knows the next stage's read order and places each
+    /// produced element at its *transformed* position). Counts one write
+    /// word per distinct bank touched; write bursts are absorbed by the
+    /// write queue during the `N_Gcol`-cycle compute pass, so they cost
+    /// traffic but no stall cycles (the paper's "zero-cost matrix
+    /// transform").
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range addresses (simulator internal error).
+    pub fn write_scatter(&mut self, items: &[(usize, usize, i16)]) {
+        let mut banks_touched = vec![false; self.n_banks];
+        let mut words = 0u64;
+        for &(r, c, v) in items {
+            assert!(r < self.rows && c < self.cols, "working SRAM write out of range");
+            self.data[r * self.cols + c] = v;
+            let b = self.bank_of(r, c);
+            if !banks_touched[b] {
+                banks_touched[b] = true;
+                words += 1;
+            }
+        }
+        self.writes += words;
+    }
+
+    /// Gathers a set of scattered elements in one nominal cycle — the
+    /// Algorithm-2 group read. Returns the values and the number of
+    /// physical cycles consumed (`max` accesses landing on one bank; 1
+    /// when conflict-free). Conflict overflow is recorded.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range addresses (simulator internal error).
+    pub fn read_gather(&mut self, positions: &[(usize, usize)]) -> (Vec<i16>, u64) {
+        let mut per_bank = vec![0u64; self.n_banks];
+        let values = positions
+            .iter()
+            .map(|&(r, c)| {
+                assert!(r < self.rows && c < self.cols, "working SRAM read out of range");
+                per_bank[self.bank_of(r, c)] += 1;
+                self.data[r * self.cols + c]
+            })
+            .collect();
+        let cycles = per_bank.iter().copied().max().unwrap_or(1).max(1);
+        self.reads += positions.len() as u64;
+        if cycles > 1 {
+            self.conflict_extra_cycles += cycles - 1;
+        }
+        (values, cycles)
+    }
+
+    /// Direct element read without traffic accounting (result drains /
+    /// debug).
+    pub fn peek(&self, r: usize, c: usize) -> i16 {
+        self.data[r * self.cols + c]
+    }
+
+    /// DMA-style bulk load of a quantized matrix (input staging; no
+    /// read/write traffic counted — the paper treats input reshaping as
+    /// prepared offline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] on capacity overflow or a
+    /// non-matrix input.
+    pub fn load_matrix(&mut self, m: &tie_quant::QTensor) -> Result<()> {
+        let dims = m.shape().dims();
+        if dims.len() != 2 {
+            return Err(TensorError::NotAMatrix { ndim: dims.len() });
+        }
+        self.allocate(dims[0], dims[1])?;
+        self.data.copy_from_slice(m.codes());
+        Ok(())
+    }
+
+    /// All stored codes, row-major (result drain).
+    pub fn contents(&self) -> &[i16] {
+        &self.data
+    }
+
+    /// Element reads so far.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Word writes so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Extra cycles lost to bank conflicts.
+    pub fn conflict_extra_cycles(&self) -> u64 {
+        self.conflict_extra_cycles
+    }
+
+    /// Resets traffic counters (not contents).
+    pub fn reset_counters(&mut self) {
+        self.reads = 0;
+        self.writes = 0;
+        self.conflict_extra_cycles = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tie_quant::QFormat;
+    use tie_tensor::Tensor;
+
+    fn q(rows: usize, cols: usize) -> QTensor {
+        let t = Tensor::<f64>::from_fn(vec![rows, cols], |i| (i[0] * cols + i[1]) as f64)
+            .unwrap();
+        QTensor::quantize(&t, QFormat::new(0).unwrap())
+    }
+
+    #[test]
+    fn weight_sram_sequential_inter_core_interleaved_intra_core() {
+        let mut w = WeightSram::new(4, 4096);
+        w.load(vec![q(8, 3), q(4, 5)]).unwrap();
+        // Core 0: 2 row tiles × 3 cols = 6 words; core 1 starts at word 6.
+        assert_eq!(w.word_address(0, 0, 0), 0);
+        assert_eq!(w.word_address(0, 0, 2), 2);
+        assert_eq!(w.word_address(0, 1, 0), 3);
+        assert_eq!(w.word_address(1, 0, 0), 6);
+        assert_eq!(w.used_words(), 6 + 5);
+    }
+
+    #[test]
+    fn weight_sram_read_column_returns_interleaved_rows() {
+        let mut w = WeightSram::new(4, 4096);
+        w.load(vec![q(6, 3)]).unwrap();
+        // Tile 1 covers rows 4..6, padded with zeros for rows 6..8.
+        let col = w.read_column(0, 1, 2);
+        assert_eq!(col, vec![4 * 3 + 2, 5 * 3 + 2, 0, 0]);
+        assert_eq!(w.reads(), 1);
+    }
+
+    #[test]
+    fn weight_sram_capacity_enforced() {
+        let mut w = WeightSram::new(16, 100);
+        assert!(w.load(vec![q(16, 10)]).is_err()); // 160 elems > 100
+        assert!(w.load(vec![q(4, 5)]).is_ok()); // 1 tile × 5 words × 16 = 80
+    }
+
+    #[test]
+    fn working_sram_allocate_respects_capacity() {
+        let mut m = WorkingSram::new(16, 64);
+        assert!(m.allocate(8, 8).is_ok());
+        assert!(m.allocate(8, 9).is_err());
+    }
+
+    #[test]
+    fn working_sram_write_then_peek() {
+        let mut m = WorkingSram::new(16, 1024);
+        m.allocate(8, 8).unwrap();
+        m.write_block_column(4, 3, &[10, 20, 30]);
+        assert_eq!(m.peek(5, 3), 20);
+        assert_eq!(m.writes(), 3); // 3 distinct banks
+    }
+
+    #[test]
+    fn skewed_banking_makes_transform_reads_conflict_free_at_rank4() {
+        // The Transform read pattern for stage h: within one V' row tile,
+        // source positions are (i·r + t, q) for i = 0..m_h, then the next
+        // column q+1, … With the paper's default m_h = r = 4 and 16 banks,
+        // the skew (row + col) % 16 makes all 16 gathered elements land in
+        // distinct banks.
+        let mut m = WorkingSram::new(16, 4096);
+        m.allocate(16, 32).unwrap();
+        let t = 2usize; // fixed rank offset within the row index
+        let mut positions = Vec::new();
+        for q in 8..12 {
+            for i in 0..4 {
+                positions.push((i * 4 + t, q));
+            }
+        }
+        let (_, cycles) = m.read_gather(&positions);
+        assert_eq!(cycles, 1, "expected conflict-free gather");
+        assert_eq!(m.conflict_extra_cycles(), 0);
+    }
+
+    #[test]
+    fn conflicting_gather_is_serialized_not_dropped() {
+        let mut m = WorkingSram::new(16, 4096);
+        m.allocate(32, 32).unwrap();
+        // Same (r+c) mod 16 for all: worst case, fully serialized.
+        let positions: Vec<(usize, usize)> = (0..8).map(|i| (i, 16 - i)).collect();
+        let (vals, cycles) = m.read_gather(&positions);
+        assert_eq!(vals.len(), 8);
+        assert_eq!(cycles, 8);
+        assert_eq!(m.conflict_extra_cycles(), 7);
+    }
+
+    #[test]
+    fn counters_reset() {
+        let mut m = WorkingSram::new(16, 64);
+        m.allocate(4, 4).unwrap();
+        m.write_block_column(0, 0, &[1]);
+        m.read_gather(&[(0, 0)]);
+        m.reset_counters();
+        assert_eq!(m.reads(), 0);
+        assert_eq!(m.writes(), 0);
+        assert_eq!(m.peek(0, 0), 1, "contents survive counter reset");
+    }
+}

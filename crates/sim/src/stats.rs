@@ -1,0 +1,140 @@
+//! Execution statistics reported by the simulator.
+
+use serde::Serialize;
+
+/// Per-stage execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct StageStats {
+    /// 1-based stage index `h` (core processed at this stage).
+    pub h: usize,
+    /// Cycles spent, including serialized bank-conflict cycles.
+    pub cycles: u64,
+    /// Real multiply-accumulate operations (excludes padding lanes).
+    pub macs: u64,
+    /// Weight SRAM word reads (each `N_MAC` elements).
+    pub weight_word_reads: u64,
+    /// Working SRAM element reads.
+    pub act_reads: u64,
+    /// Working SRAM word writes.
+    pub act_writes: u64,
+    /// Extra cycles lost to working-SRAM bank conflicts.
+    pub conflict_cycles: u64,
+    /// Outputs whose 24-bit accumulator saturated.
+    pub acc_saturations: u64,
+    /// Outputs that saturated at 16-bit requantization.
+    pub out_saturations: u64,
+}
+
+/// Whole-run statistics of one layer inference on TIE.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct RunStats {
+    /// Per-stage breakdown, in execution order (`h = d` first).
+    pub stages: Vec<StageStats>,
+}
+
+impl RunStats {
+    /// Total cycles.
+    pub fn cycles(&self) -> u64 {
+        self.stages.iter().map(|s| s.cycles).sum()
+    }
+
+    /// Total real MAC operations.
+    pub fn macs(&self) -> u64 {
+        self.stages.iter().map(|s| s.macs).sum()
+    }
+
+    /// Total weight SRAM word reads.
+    pub fn weight_word_reads(&self) -> u64 {
+        self.stages.iter().map(|s| s.weight_word_reads).sum()
+    }
+
+    /// Total working SRAM element reads.
+    pub fn act_reads(&self) -> u64 {
+        self.stages.iter().map(|s| s.act_reads).sum()
+    }
+
+    /// Total working SRAM word writes.
+    pub fn act_writes(&self) -> u64 {
+        self.stages.iter().map(|s| s.act_writes).sum()
+    }
+
+    /// Total saturation events (accumulator + output).
+    pub fn saturations(&self) -> u64 {
+        self.stages
+            .iter()
+            .map(|s| s.acc_saturations + s.out_saturations)
+            .sum()
+    }
+
+    /// MAC-array utilization: real MACs over `cycles × N_PE × N_MAC`.
+    pub fn utilization(&self, n_pe: usize, n_mac: usize) -> f64 {
+        let peak = self.cycles() as f64 * (n_pe * n_mac) as f64;
+        if peak == 0.0 {
+            0.0
+        } else {
+            self.macs() as f64 / peak
+        }
+    }
+
+    /// Latency in seconds at `freq_mhz`.
+    pub fn latency_seconds(&self, freq_mhz: f64) -> f64 {
+        self.cycles() as f64 / (freq_mhz * 1e6)
+    }
+
+    /// Dense-equivalent throughput in ops/s: `2·M·N / latency` — the
+    /// convention the paper (and EIE / CirCNN) use for "equivalent TOPS".
+    pub fn equivalent_ops_per_sec(&self, dense_ops: u64, freq_mhz: f64) -> f64 {
+        dense_ops as f64 / self.latency_seconds(freq_mhz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stage(h: usize, cycles: u64, macs: u64) -> StageStats {
+        StageStats {
+            h,
+            cycles,
+            macs,
+            weight_word_reads: cycles,
+            act_reads: cycles * 16,
+            act_writes: 16,
+            conflict_cycles: 0,
+            acc_saturations: 0,
+            out_saturations: 1,
+        }
+    }
+
+    #[test]
+    fn totals_sum_stages() {
+        let r = RunStats {
+            stages: vec![stage(2, 100, 1000), stage(1, 50, 600)],
+        };
+        assert_eq!(r.cycles(), 150);
+        assert_eq!(r.macs(), 1600);
+        assert_eq!(r.weight_word_reads(), 150);
+        assert_eq!(r.act_reads(), 2400);
+        assert_eq!(r.act_writes(), 32);
+        assert_eq!(r.saturations(), 2);
+    }
+
+    #[test]
+    fn utilization_and_latency() {
+        let r = RunStats {
+            stages: vec![stage(1, 100, 12800)],
+        };
+        // 12800 MACs over 100 cycles × 256 lanes = 0.5
+        assert!((r.utilization(16, 16) - 0.5).abs() < 1e-12);
+        assert!((r.latency_seconds(1000.0) - 1e-7).abs() < 1e-18);
+        // equivalent throughput: dense_ops / latency
+        assert!((r.equivalent_ops_per_sec(1000, 1000.0) - 1e10).abs() < 1.0);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let r = RunStats::default();
+        assert_eq!(r.cycles(), 0);
+        assert_eq!(r.utilization(16, 16), 0.0);
+    }
+}

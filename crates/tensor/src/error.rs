@@ -1,0 +1,130 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the tensor substrate.
+///
+/// Every fallible public function in this crate (and in the crates layered on
+/// top of it) reports failures through this type so callers can use `?`
+/// uniformly across the workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data
+    /// buffer (or the target of a reshape).
+    ElementCountMismatch {
+        /// Elements the shape requires.
+        expected: usize,
+        /// Elements actually provided.
+        got: usize,
+    },
+    /// Two shapes that must agree (e.g. elementwise operands) differ.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+    },
+    /// The inner dimensions of a matrix product do not agree.
+    MatmulDimMismatch {
+        /// `(rows, cols)` of the left matrix.
+        left: (usize, usize),
+        /// `(rows, cols)` of the right matrix.
+        right: (usize, usize),
+    },
+    /// An operation that requires a matrix (2-D tensor) was given a tensor of
+    /// a different dimensionality.
+    NotAMatrix {
+        /// Dimensionality of the offending tensor.
+        ndim: usize,
+    },
+    /// An index was out of bounds for the tensor shape.
+    IndexOutOfBounds {
+        /// The offending multi-index.
+        index: Vec<usize>,
+        /// The tensor shape.
+        shape: Vec<usize>,
+    },
+    /// A permutation argument was not a permutation of `0..ndim`.
+    InvalidPermutation {
+        /// The offending permutation.
+        perm: Vec<usize>,
+        /// Expected length.
+        ndim: usize,
+    },
+    /// A zero-length dimension or empty shape where one is not allowed.
+    EmptyShape,
+    /// An iterative algorithm (SVD / QR) failed to converge.
+    NoConvergence {
+        /// Name of the algorithm that failed.
+        algorithm: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// A domain error such as a negative truncation tolerance.
+    InvalidArgument {
+        /// Human-readable description of the violated precondition.
+        message: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ElementCountMismatch { expected, got } => {
+                write!(f, "element count mismatch: shape requires {expected}, got {got}")
+            }
+            TensorError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            TensorError::MatmulDimMismatch { left, right } => write!(
+                f,
+                "matmul dimension mismatch: ({}x{}) * ({}x{})",
+                left.0, left.1, right.0, right.1
+            ),
+            TensorError::NotAMatrix { ndim } => {
+                write!(f, "expected a 2-d tensor, got {ndim} dimensions")
+            }
+            TensorError::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            TensorError::InvalidPermutation { perm, ndim } => {
+                write!(f, "invalid permutation {perm:?} for {ndim} dimensions")
+            }
+            TensorError::EmptyShape => write!(f, "empty shape is not allowed here"),
+            TensorError::NoConvergence { algorithm, iterations } => {
+                write!(f, "{algorithm} failed to converge after {iterations} iterations")
+            }
+            TensorError::InvalidArgument { message } => write!(f, "invalid argument: {message}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants: Vec<TensorError> = vec![
+            TensorError::ElementCountMismatch { expected: 4, got: 3 },
+            TensorError::ShapeMismatch { left: vec![2], right: vec![3] },
+            TensorError::MatmulDimMismatch { left: (2, 3), right: (4, 5) },
+            TensorError::NotAMatrix { ndim: 3 },
+            TensorError::IndexOutOfBounds { index: vec![5], shape: vec![2] },
+            TensorError::InvalidPermutation { perm: vec![0, 0], ndim: 2 },
+            TensorError::EmptyShape,
+            TensorError::NoConvergence { algorithm: "svd", iterations: 30 },
+            TensorError::InvalidArgument { message: "x".into() },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,97 @@
+//! Deterministic pseudo-random tensor initialization.
+//!
+//! Every experiment binary in this workspace seeds its RNG explicitly so the
+//! tables in `EXPERIMENTS.md` are exactly reproducible. These helpers take
+//! any [`rand::Rng`], keeping the choice of generator (and seed) at the call
+//! site.
+
+use crate::{Scalar, Tensor};
+use rand::Rng;
+
+/// Uniform initialization in `[-scale, scale]`.
+///
+/// # Panics
+///
+/// Panics on an invalid shape (empty or zero dimension).
+pub fn uniform<T: Scalar, R: Rng>(rng: &mut R, dims: Vec<usize>, scale: f64) -> Tensor<T> {
+    let n: usize = dims.iter().product();
+    let data = (0..n)
+        .map(|_| T::from_f64(rng.gen_range(-scale..=scale)))
+        .collect();
+    Tensor::from_vec(dims, data).expect("valid shape")
+}
+
+/// Standard-normal initialization scaled by `sigma` (Box-Muller).
+///
+/// # Panics
+///
+/// Panics on an invalid shape (empty or zero dimension).
+pub fn normal<T: Scalar, R: Rng>(rng: &mut R, dims: Vec<usize>, sigma: f64) -> Tensor<T> {
+    let n: usize = dims.iter().product();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        // Box-Muller transform: two uniforms -> two normals.
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        data.push(T::from_f64(sigma * r * theta.cos()));
+        if data.len() < n {
+            data.push(T::from_f64(sigma * r * theta.sin()));
+        }
+    }
+    Tensor::from_vec(dims, data).expect("valid shape")
+}
+
+/// Glorot/Xavier-uniform initialization for a weight matrix of shape
+/// `[fan_out, fan_in]` (scale `sqrt(6 / (fan_in + fan_out))`).
+///
+/// # Panics
+///
+/// Panics on an invalid shape.
+pub fn glorot_uniform<T: Scalar, R: Rng>(rng: &mut R, fan_out: usize, fan_in: usize) -> Tensor<T> {
+    let scale = (6.0 / (fan_in + fan_out) as f64).sqrt();
+    uniform(rng, vec![fan_out, fan_in], scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn uniform_respects_bounds_and_seed() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let t: Tensor<f64> = uniform(&mut rng, vec![10, 10], 0.5);
+        assert!(t.data().iter().all(|&v| (-0.5..=0.5).contains(&v)));
+        let mut rng2 = ChaCha8Rng::seed_from_u64(7);
+        let t2: Tensor<f64> = uniform(&mut rng2, vec![10, 10], 0.5);
+        assert_eq!(t, t2, "same seed must give same tensor");
+    }
+
+    #[test]
+    fn normal_has_roughly_right_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let t: Tensor<f64> = normal(&mut rng, vec![10_000], 2.0);
+        let mean = t.sum() / 10_000.0;
+        let var = t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 10_000.0;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn normal_odd_element_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let t: Tensor<f32> = normal(&mut rng, vec![7], 1.0);
+        assert_eq!(t.num_elements(), 7);
+    }
+
+    #[test]
+    fn glorot_scale_shrinks_with_fanin() {
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let t: Tensor<f64> = glorot_uniform(&mut rng, 4, 10_000);
+        assert!(t.max_abs() < 0.03);
+        assert_eq!(t.dims(), &[4, 10_000]);
+    }
+}

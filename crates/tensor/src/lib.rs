@@ -1,0 +1,49 @@
+//! Dense tensor and linear-algebra substrate for the TIE reproduction.
+//!
+//! This crate provides the numeric foundation every other crate in the
+//! workspace builds on:
+//!
+//! * [`Shape`] — dimension bookkeeping with row-major strides,
+//! * [`Tensor`] — an owned, row-major, `d`-dimensional array over any
+//!   [`Scalar`] element type (`f32` / `f64`),
+//! * [`linalg`] — matrix multiplication, Householder QR and one-sided Jacobi
+//!   SVD (including the truncated SVD used by TT-SVD decomposition),
+//! * [`init`] — deterministic pseudo-random initialization helpers.
+//!
+//! The TIE paper (ISCA '19) evaluates tensor-train compressed layers; the
+//! decomposition pipeline in `tie-tt` is a chain of reshapes and truncated
+//! SVDs over these tensors, and the compact inference scheme in `tie-core`
+//! is a chain of matrix multiplications and index transforms.
+//!
+//! # Example
+//!
+//! ```
+//! use tie_tensor::{Tensor, linalg};
+//!
+//! # fn main() -> Result<(), tie_tensor::TensorError> {
+//! let a = Tensor::<f64>::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0])?;
+//! let b = Tensor::<f64>::eye(2);
+//! let c = linalg::matmul(&a, &b)?;
+//! assert_eq!(c.data(), a.data());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod scalar;
+mod shape;
+mod tensor;
+
+pub mod init;
+pub mod linalg;
+
+pub use error::TensorError;
+pub use scalar::Scalar;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience result alias used across the tensor substrate.
+pub type Result<T, E = TensorError> = std::result::Result<T, E>;

@@ -1,0 +1,684 @@
+//! Matrix kernels: multiplication, Householder QR, one-sided Jacobi SVD.
+//!
+//! TT-SVD (in `tie-tt`) repeatedly computes truncated SVDs of unfolding
+//! matrices; the compact inference scheme (in `tie-core`) is a chain of
+//! matrix products. Both are served from here, with no external BLAS/LAPACK
+//! dependency — everything is implemented from scratch per the reproduction
+//! ground rules.
+
+use crate::{Result, Scalar, Tensor, TensorError};
+
+/// Dense matrix product `C = A · B`.
+///
+/// Uses an `i-k-j` loop order so the innermost loop streams rows of `B`
+/// (row-major friendly); this is the workhorse of the whole workspace.
+///
+/// # Errors
+///
+/// Returns [`TensorError::NotAMatrix`] if an operand is not 2-D or
+/// [`TensorError::MatmulDimMismatch`] if the inner dimensions differ.
+///
+/// # Example
+///
+/// ```
+/// use tie_tensor::{Tensor, linalg::matmul};
+/// # fn main() -> Result<(), tie_tensor::TensorError> {
+/// let a = Tensor::<f64>::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.])?;
+/// let b = Tensor::<f64>::from_vec(vec![3, 1], vec![1., 0., -1.])?;
+/// let c = matmul(&a, &b)?;
+/// assert_eq!(c.data(), &[-2.0, -2.0]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> Result<Tensor<T>> {
+    let (m, ka) = (a.nrows()?, a.ncols()?);
+    let (kb, n) = (b.nrows()?, b.ncols()?);
+    if ka != kb {
+        return Err(TensorError::MatmulDimMismatch {
+            left: (m, ka),
+            right: (kb, n),
+        });
+    }
+    let mut out = Tensor::zeros(vec![m, n]);
+    {
+        let ad = a.data();
+        let bd = b.data();
+        let cd = out.data_mut();
+        for i in 0..m {
+            let arow = &ad[i * ka..(i + 1) * ka];
+            let crow = &mut cd[i * n..(i + 1) * n];
+            for (k, &aik) in arow.iter().enumerate() {
+                if aik == T::ZERO {
+                    continue;
+                }
+                let brow = &bd[k * n..(k + 1) * n];
+                for (c, &bkj) in crow.iter_mut().zip(brow) {
+                    *c += aik * bkj;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Matrix-vector product `y = A · x` where `x` is a 1-D tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::NotAMatrix`] / [`TensorError::MatmulDimMismatch`]
+/// on shape problems.
+pub fn matvec<T: Scalar>(a: &Tensor<T>, x: &Tensor<T>) -> Result<Tensor<T>> {
+    let (m, k) = (a.nrows()?, a.ncols()?);
+    if x.ndim() != 1 || x.num_elements() != k {
+        return Err(TensorError::MatmulDimMismatch {
+            left: (m, k),
+            right: (x.num_elements(), 1),
+        });
+    }
+    let mut out = Tensor::zeros(vec![m]);
+    let ad = a.data();
+    let xd = x.data();
+    let yd = out.data_mut();
+    for i in 0..m {
+        let mut acc = T::ZERO;
+        for (j, &xj) in xd.iter().enumerate() {
+            acc += ad[i * k + j] * xj;
+        }
+        yd[i] = acc;
+    }
+    Ok(out)
+}
+
+/// Product `C = Aᵀ · B` without materializing `Aᵀ`.
+///
+/// # Errors
+///
+/// Returns shape errors as in [`matmul`].
+pub fn matmul_tn<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> Result<Tensor<T>> {
+    let (ka, m) = (a.nrows()?, a.ncols()?);
+    let (kb, n) = (b.nrows()?, b.ncols()?);
+    if ka != kb {
+        return Err(TensorError::MatmulDimMismatch {
+            left: (m, ka),
+            right: (kb, n),
+        });
+    }
+    let mut out = Tensor::zeros(vec![m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let cd = out.data_mut();
+    for k in 0..ka {
+        let arow = &ad[k * m..(k + 1) * m];
+        let brow = &bd[k * n..(k + 1) * n];
+        for (i, &aki) in arow.iter().enumerate() {
+            if aki == T::ZERO {
+                continue;
+            }
+            let crow = &mut cd[i * n..(i + 1) * n];
+            for (c, &bkj) in crow.iter_mut().zip(brow) {
+                *c += aki * bkj;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Product `C = A · Bᵀ` without materializing `Bᵀ`.
+///
+/// # Errors
+///
+/// Returns shape errors as in [`matmul`].
+pub fn matmul_nt<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> Result<Tensor<T>> {
+    let (m, ka) = (a.nrows()?, a.ncols()?);
+    let (n, kb) = (b.nrows()?, b.ncols()?);
+    if ka != kb {
+        return Err(TensorError::MatmulDimMismatch {
+            left: (m, ka),
+            right: (kb, n),
+        });
+    }
+    let mut out = Tensor::zeros(vec![m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let cd = out.data_mut();
+    for i in 0..m {
+        let arow = &ad[i * ka..(i + 1) * ka];
+        for j in 0..n {
+            let brow = &bd[j * kb..(j + 1) * kb];
+            let mut acc = T::ZERO;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            cd[i * n + j] = acc;
+        }
+    }
+    Ok(out)
+}
+
+/// Result of a (thin) QR factorization `A = Q · R`.
+#[derive(Debug, Clone)]
+pub struct Qr<T: Scalar> {
+    /// `m × k` matrix with orthonormal columns (`k = min(m, n)`).
+    pub q: Tensor<T>,
+    /// `k × n` upper-triangular factor.
+    pub r: Tensor<T>,
+}
+
+/// Thin Householder QR factorization.
+///
+/// # Errors
+///
+/// Returns [`TensorError::NotAMatrix`] for non-2-D input.
+pub fn qr<T: Scalar>(a: &Tensor<T>) -> Result<Qr<T>> {
+    let (m, n) = (a.nrows()?, a.ncols()?);
+    let k = m.min(n);
+    let mut r = a.clone();
+    // Accumulate Householder reflectors; apply them to an identity to get Q.
+    let mut vs: Vec<Vec<T>> = Vec::with_capacity(k);
+    let rd_len = n;
+    for j in 0..k {
+        // Build reflector for column j below the diagonal.
+        let mut norm2 = T::ZERO;
+        for i in j..m {
+            let v = r.data()[i * rd_len + j];
+            norm2 += v * v;
+        }
+        let norm = norm2.sqrt();
+        let x0 = r.data()[j * rd_len + j];
+        if norm == T::ZERO {
+            vs.push(vec![T::ZERO; m - j]);
+            continue;
+        }
+        let alpha = if x0 >= T::ZERO { -norm } else { norm };
+        let mut v: Vec<T> = (j..m).map(|i| r.data()[i * rd_len + j]).collect();
+        v[0] -= alpha;
+        let vnorm2: T = v.iter().map(|&x| x * x).sum();
+        if vnorm2 > T::ZERO {
+            // Apply H = I - 2 v vᵀ / (vᵀv) to R[j.., j..].
+            for c in j..n {
+                let mut dot = T::ZERO;
+                for (t, &vi) in v.iter().enumerate() {
+                    dot += vi * r.data()[(j + t) * rd_len + c];
+                }
+                let scale = (T::ONE + T::ONE) * dot / vnorm2;
+                for (t, &vi) in v.iter().enumerate() {
+                    let off = (j + t) * rd_len + c;
+                    let cur = r.data()[off];
+                    r.data_mut()[off] = cur - scale * vi;
+                }
+            }
+        }
+        vs.push(v);
+    }
+    // Q = H_0 H_1 … H_{k-1} · I_{m×k}, applied in reverse.
+    let mut q = Tensor::<T>::zeros(vec![m, k]);
+    for j in 0..k {
+        q.data_mut()[j * k + j] = T::ONE;
+    }
+    for j in (0..k).rev() {
+        let v = &vs[j];
+        let vnorm2: T = v.iter().map(|&x| x * x).sum();
+        if vnorm2 == T::ZERO {
+            continue;
+        }
+        for c in 0..k {
+            let mut dot = T::ZERO;
+            for (t, &vi) in v.iter().enumerate() {
+                dot += vi * q.data()[(j + t) * k + c];
+            }
+            let scale = (T::ONE + T::ONE) * dot / vnorm2;
+            for (t, &vi) in v.iter().enumerate() {
+                let off = (j + t) * k + c;
+                let cur = q.data()[off];
+                q.data_mut()[off] = cur - scale * vi;
+            }
+        }
+    }
+    // Truncate R to k×n.
+    let r_thin = r.rows(0, k).unwrap_or(r);
+    Ok(Qr { q, r: r_thin })
+}
+
+/// Result of a singular value decomposition `A = U · diag(S) · Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct Svd<T: Scalar> {
+    /// `m × k` left singular vectors (orthonormal columns).
+    pub u: Tensor<T>,
+    /// `k` singular values, descending.
+    pub s: Vec<T>,
+    /// `k × n` right singular vectors, transposed.
+    pub vt: Tensor<T>,
+}
+
+impl<T: Scalar> Svd<T> {
+    /// Reconstructs `U · diag(S) · Vᵀ`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates matmul shape errors (cannot occur for a well-formed SVD).
+    pub fn reconstruct(&self) -> Result<Tensor<T>> {
+        let mut us = self.u.clone();
+        let k = self.s.len();
+        let m = us.nrows()?;
+        for i in 0..m {
+            for j in 0..k {
+                let off = i * k + j;
+                let cur = us.data()[off];
+                us.data_mut()[off] = cur * self.s[j];
+            }
+        }
+        matmul(&us, &self.vt)
+    }
+
+    /// Keeps only the leading `rank` triplets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `rank` is zero or exceeds
+    /// the stored rank.
+    pub fn truncated(&self, rank: usize) -> Result<Svd<T>> {
+        if rank == 0 || rank > self.s.len() {
+            return Err(TensorError::InvalidArgument {
+                message: format!("rank {rank} out of 1..={}", self.s.len()),
+            });
+        }
+        Ok(Svd {
+            u: self.u.cols(0, rank)?,
+            s: self.s[..rank].to_vec(),
+            vt: self.vt.rows(0, rank)?,
+        })
+    }
+}
+
+const JACOBI_MAX_SWEEPS: usize = 60;
+
+/// One-sided Jacobi SVD.
+///
+/// Orthogonalizes the columns of (a copy of) `A` with Givens rotations; the
+/// accumulated rotations form `V`, the column norms the singular values.
+/// Chosen over bidiagonalization for robustness and simplicity — TT-SVD
+/// calls this on unfolding matrices whose smaller dimension is at most a few
+/// hundred, well within Jacobi's comfortable range.
+///
+/// For `m < n` the decomposition is computed on `Aᵀ` and swapped back, so
+/// the rotation count is always governed by the smaller dimension.
+///
+/// # Errors
+///
+/// Returns [`TensorError::NoConvergence`] if the off-diagonal mass does not
+/// fall below tolerance within 60 sweeps (pathological inputs only), or
+/// shape errors for non-2-D input.
+pub fn svd<T: Scalar>(a: &Tensor<T>) -> Result<Svd<T>> {
+    let (m, n) = (a.nrows()?, a.ncols()?);
+    if m < n {
+        // A = U S Vᵀ  ⇔  Aᵀ = V S Uᵀ
+        let at = a.transposed()?;
+        let svd_t = svd(&at)?;
+        let u = svd_t.vt.transposed()?;
+        let vt = svd_t.u.transposed()?;
+        return Ok(Svd { u, s: svd_t.s, vt });
+    }
+    let k = n;
+    let mut w = a.clone(); // m × n, columns get orthogonalized
+    let mut v = Tensor::<T>::eye(n);
+    let eps = T::EPSILON * T::from_f64(8.0);
+    // Columns whose squared norm is below this are numerical zeros (rank
+    // deficiency); rotating against them only churns noise and prevents
+    // convergence, so they are treated as already orthogonal.
+    let norm = a.frobenius_norm();
+    let tiny = T::from_f64((norm * T::EPSILON.to_f64()).powi(2).max(f64::MIN_POSITIVE));
+    let mut converged = false;
+    for _sweep in 0..JACOBI_MAX_SWEEPS {
+        let mut off = T::ZERO;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                // Compute the 2x2 Gram entries for columns p, q.
+                let (mut app, mut aqq, mut apq) = (T::ZERO, T::ZERO, T::ZERO);
+                for i in 0..m {
+                    let xp = w.data()[i * n + p];
+                    let xq = w.data()[i * n + q];
+                    app += xp * xp;
+                    aqq += xq * xq;
+                    apq += xp * xq;
+                }
+                if app <= tiny || aqq <= tiny || apq.abs() <= eps * (app * aqq).sqrt() {
+                    continue;
+                }
+                off += apq.abs();
+                // Jacobi rotation zeroing the (p,q) Gram entry.
+                let tau = (aqq - app) / ((T::ONE + T::ONE) * apq);
+                let t = {
+                    let sign = if tau >= T::ZERO { T::ONE } else { -T::ONE };
+                    sign / (tau.abs() + (T::ONE + tau * tau).sqrt())
+                };
+                let c = T::ONE / (T::ONE + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let xp = w.data()[i * n + p];
+                    let xq = w.data()[i * n + q];
+                    w.data_mut()[i * n + p] = c * xp - s * xq;
+                    w.data_mut()[i * n + q] = s * xp + c * xq;
+                }
+                for i in 0..n {
+                    let vp = v.data()[i * n + p];
+                    let vq = v.data()[i * n + q];
+                    v.data_mut()[i * n + p] = c * vp - s * vq;
+                    v.data_mut()[i * n + q] = s * vp + c * vq;
+                }
+            }
+        }
+        if off == T::ZERO {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        // One more tolerance check: small residual off-diagonal mass is fine.
+        let mut worst = 0.0f64;
+        let tiny64 = tiny.to_f64();
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let (mut app, mut aqq, mut apq) = (0.0f64, 0.0f64, 0.0f64);
+                for i in 0..m {
+                    let xp = w.data()[i * n + p].to_f64();
+                    let xq = w.data()[i * n + q].to_f64();
+                    app += xp * xp;
+                    aqq += xq * xq;
+                    apq += xp * xq;
+                }
+                if app <= tiny64 || aqq <= tiny64 {
+                    continue;
+                }
+                let denom = (app * aqq).sqrt().max(1e-300);
+                worst = worst.max(apq.abs() / denom);
+            }
+        }
+        if worst > 1e-6 {
+            return Err(TensorError::NoConvergence {
+                algorithm: "one-sided Jacobi SVD",
+                iterations: JACOBI_MAX_SWEEPS,
+            });
+        }
+    }
+    // Column norms are the singular values; normalize columns to get U.
+    let mut order: Vec<usize> = (0..k).collect();
+    let mut sigmas: Vec<T> = Vec::with_capacity(k);
+    for j in 0..k {
+        let mut norm2 = T::ZERO;
+        for i in 0..m {
+            let x = w.data()[i * n + j];
+            norm2 += x * x;
+        }
+        sigmas.push(norm2.sqrt());
+    }
+    order.sort_by(|&a, &b| sigmas[b].partial_cmp(&sigmas[a]).expect("finite singular values"));
+    let mut u = Tensor::<T>::zeros(vec![m, k]);
+    let mut vt = Tensor::<T>::zeros(vec![k, n]);
+    let mut s = Vec::with_capacity(k);
+    for (out_j, &j) in order.iter().enumerate() {
+        let sigma = sigmas[j];
+        s.push(sigma);
+        if sigma > T::ZERO {
+            for i in 0..m {
+                u.data_mut()[i * k + out_j] = w.data()[i * n + j] / sigma;
+            }
+        } else if out_j < m {
+            // Degenerate column: keep U well-formed with a unit vector.
+            u.data_mut()[out_j * k + out_j] = T::ONE;
+        }
+        for i in 0..n {
+            vt.data_mut()[out_j * n + i] = v.data()[i * n + j];
+        }
+    }
+    Ok(Svd { u, s, vt })
+}
+
+/// Rank selection for a truncated SVD.
+///
+/// `max_rank` caps the rank; `frobenius_tol` (absolute) drops trailing
+/// singular values whose squared sum stays below `frobenius_tol²` — the
+/// standard TT-SVD delta-truncation rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Truncation {
+    /// Hard cap on the retained rank (`None` = no cap).
+    pub max_rank: Option<usize>,
+    /// Absolute Frobenius-norm budget for the discarded tail (`0.0` = exact).
+    pub frobenius_tol: f64,
+}
+
+impl Truncation {
+    /// Truncation that keeps at most `rank` singular triplets.
+    pub fn rank(rank: usize) -> Self {
+        Truncation {
+            max_rank: Some(rank),
+            frobenius_tol: 0.0,
+        }
+    }
+
+    /// Truncation by absolute Frobenius tolerance only.
+    pub fn tolerance(tol: f64) -> Self {
+        Truncation {
+            max_rank: None,
+            frobenius_tol: tol,
+        }
+    }
+
+    /// Exact decomposition (keep everything above numerical noise).
+    pub fn none() -> Self {
+        Truncation {
+            max_rank: None,
+            frobenius_tol: 0.0,
+        }
+    }
+
+    /// Number of singular values from `s` (descending) that survive.
+    ///
+    /// Always keeps at least one.
+    pub fn select<T: Scalar>(&self, s: &[T]) -> usize {
+        let mut keep = s.len();
+        if self.frobenius_tol > 0.0 {
+            let budget = self.frobenius_tol * self.frobenius_tol;
+            let mut tail = 0.0f64;
+            // Walk from the smallest singular value, dropping while the
+            // accumulated squared tail stays within budget.
+            while keep > 1 {
+                let sv = s[keep - 1].to_f64();
+                if tail + sv * sv > budget {
+                    break;
+                }
+                tail += sv * sv;
+                keep -= 1;
+            }
+        } else {
+            // Drop exact numerical zeros.
+            while keep > 1 && s[keep - 1].to_f64() == 0.0 {
+                keep -= 1;
+            }
+        }
+        if let Some(cap) = self.max_rank {
+            keep = keep.min(cap.max(1));
+        }
+        keep.max(1)
+    }
+}
+
+/// Truncated SVD: full Jacobi SVD followed by [`Truncation`] selection.
+///
+/// # Errors
+///
+/// Propagates [`svd`] errors.
+pub fn truncated_svd<T: Scalar>(a: &Tensor<T>, trunc: Truncation) -> Result<Svd<T>> {
+    let full = svd(a)?;
+    let keep = trunc.select(&full.s);
+    full.truncated(keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn assert_orthonormal_cols(m: &Tensor<f64>, tol: f64) {
+        let g = matmul_tn(m, m).unwrap();
+        let k = g.nrows().unwrap();
+        for i in 0..k {
+            for j in 0..k {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (g.get(&[i, j]).unwrap() - want).abs() < tol,
+                    "gram[{i},{j}] = {}",
+                    g.get(&[i, j]).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_small_known_result() {
+        let a = Tensor::<f64>::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::<f64>::from_vec(vec![3, 2], vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_rejects_mismatched_inner_dims() {
+        let a = Tensor::<f64>::zeros(vec![2, 3]);
+        let b = Tensor::<f64>::zeros(vec![2, 3]);
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(TensorError::MatmulDimMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a: Tensor<f64> = init::uniform(&mut rng, vec![4, 5], 1.0);
+        let x = init::uniform(&mut rng, vec![5], 1.0);
+        let xm = x.reshaped(vec![5, 1]).unwrap();
+        let y = matvec(&a, &x).unwrap();
+        let ym = matmul(&a, &xm).unwrap();
+        assert!(y.reshaped(vec![4, 1]).unwrap().approx_eq(&ym, 1e-12));
+    }
+
+    #[test]
+    fn matmul_tn_and_nt_match_explicit_transpose() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let a: Tensor<f64> = init::uniform(&mut rng, vec![4, 3], 1.0);
+        let b = init::uniform(&mut rng, vec![4, 5], 1.0);
+        let c1 = matmul_tn(&a, &b).unwrap();
+        let c2 = matmul(&a.transposed().unwrap(), &b).unwrap();
+        assert!(c1.approx_eq(&c2, 1e-12));
+
+        let d: Tensor<f64> = init::uniform(&mut rng, vec![5, 4], 1.0);
+        let e1 = matmul_nt(&a.transposed().unwrap(), &d).unwrap();
+        let e2 = matmul(&a.transposed().unwrap(), &d.transposed().unwrap()).unwrap();
+        assert!(e1.approx_eq(&e2, 1e-12));
+    }
+
+    #[test]
+    fn qr_reconstructs_and_q_is_orthonormal() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for (m, n) in [(5, 3), (3, 5), (4, 4), (1, 3), (6, 1)] {
+            let a = init::uniform(&mut rng, vec![m, n], 1.0);
+            let f = qr(&a).unwrap();
+            let back = matmul(&f.q, &f.r).unwrap();
+            assert!(back.approx_eq(&a, 1e-10), "QR reconstruct failed for {m}x{n}");
+            assert_orthonormal_cols(&f.q, 1e-10);
+            // R upper triangular
+            let k = f.r.nrows().unwrap();
+            for i in 0..k {
+                for j in 0..i.min(f.r.ncols().unwrap()) {
+                    assert!(f.r.get(&[i, j]).unwrap().abs() < 1e-10);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn svd_reconstructs_tall_wide_square() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for (m, n) in [(6, 3), (3, 6), (5, 5), (1, 4), (4, 1)] {
+            let a = init::uniform(&mut rng, vec![m, n], 1.0);
+            let f = svd(&a).unwrap();
+            let back = f.reconstruct().unwrap();
+            assert!(
+                back.approx_eq(&a, 1e-9),
+                "SVD reconstruct failed for {m}x{n}: err {}",
+                back.relative_error(&a).unwrap()
+            );
+            assert_orthonormal_cols(&f.u, 1e-9);
+            assert_orthonormal_cols(&f.vt.transposed().unwrap(), 1e-9);
+            for w in f.s.windows(2) {
+                assert!(w[0] >= w[1], "singular values not sorted: {:?}", f.s);
+            }
+        }
+    }
+
+    #[test]
+    fn svd_of_rank_deficient_matrix() {
+        // rank-1 matrix: outer product
+        let u = Tensor::<f64>::from_vec(vec![4, 1], vec![1., 2., 3., 4.]).unwrap();
+        let v = Tensor::<f64>::from_vec(vec![1, 3], vec![1., 0., -1.]).unwrap();
+        let a = matmul(&u, &v).unwrap();
+        let f = svd(&a).unwrap();
+        assert!(f.s[0] > 1.0);
+        for &sv in &f.s[1..] {
+            assert!(sv < 1e-10, "expected tiny trailing singular values: {:?}", f.s);
+        }
+        assert!(f.reconstruct().unwrap().approx_eq(&a, 1e-10));
+    }
+
+    #[test]
+    fn svd_singular_values_match_known_diagonal() {
+        let a =
+            Tensor::<f64>::from_vec(vec![3, 3], vec![3., 0., 0., 0., 1., 0., 0., 0., 2.]).unwrap();
+        let f = svd(&a).unwrap();
+        assert!((f.s[0] - 3.0).abs() < 1e-12);
+        assert!((f.s[1] - 2.0).abs() < 1e-12);
+        assert!((f.s[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncation_rank_and_tolerance() {
+        let s = [4.0f64, 2.0, 1.0, 0.5];
+        assert_eq!(Truncation::rank(2).select(&s), 2);
+        assert_eq!(Truncation::none().select(&s), 4);
+        // tol 1.2: can drop 0.5 (0.25) and 1.0 (1.0+0.25=1.25 > 1.44? no,
+        // 1.25 <= 1.44 so both dropped); next would add 4.0 -> stop at 2.
+        assert_eq!(Truncation::tolerance(1.2).select(&s), 2);
+        // tol 0.6: 0.25 <= 0.36, adding 1.0 exceeds -> keep 3.
+        assert_eq!(Truncation::tolerance(0.6).select(&s), 3);
+        // Always keeps at least 1.
+        assert_eq!(Truncation::tolerance(1e9).select(&s), 1);
+        assert_eq!(Truncation::rank(0).select(&s), 1);
+    }
+
+    #[test]
+    fn truncated_svd_error_is_bounded_by_dropped_mass() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let a: Tensor<f64> = init::uniform(&mut rng, vec![8, 6], 1.0);
+        let full = svd(&a).unwrap();
+        let t = truncated_svd(&a, Truncation::rank(3)).unwrap();
+        let back = t.reconstruct().unwrap();
+        let err = back.sub(&a).unwrap().frobenius_norm();
+        let bound: f64 = full.s[3..].iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(
+            err <= bound * (1.0 + 1e-8) + 1e-12,
+            "truncation error {err} exceeds bound {bound}"
+        );
+    }
+
+    #[test]
+    fn svd_f32_also_works() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let a64: Tensor<f64> = init::uniform(&mut rng, vec![5, 4], 1.0);
+        let a: Tensor<f32> = a64.cast();
+        let f = svd(&a).unwrap();
+        let back = f.reconstruct().unwrap();
+        assert!(back.approx_eq(&a, 1e-4));
+    }
+}

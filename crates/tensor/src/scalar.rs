@@ -1,0 +1,177 @@
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Floating-point element types usable inside a [`crate::Tensor`].
+///
+/// This is a deliberately small abstraction over `f32` and `f64`: the TIE
+/// software reference pipeline uses `f64` for decomposition (TT-SVD needs the
+/// head-room) and `f32` for neural-network training, while the bit-accurate
+/// simulator in `tie-sim` quantizes down to the 16-bit fixed-point datapath
+/// modeled by `tie-quant`.
+///
+/// The trait is sealed by construction (all methods are required and the impl
+/// surface is exactly `f32` / `f64`); downstream crates are not expected to
+/// implement it.
+pub trait Scalar:
+    Copy
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Machine epsilon of the representation.
+    const EPSILON: Self;
+
+    /// Lossless widening to `f64` (used by accuracy metrics and the SVD
+    /// convergence tests).
+    fn to_f64(self) -> f64;
+    /// Conversion from `f64`, rounding to the nearest representable value.
+    fn from_f64(v: f64) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// `self * a + b` (fused in spirit; precision follows the primitive).
+    fn mul_add(self, a: Self, b: Self) -> Self;
+    /// Natural exponential.
+    fn exp(self) -> Self;
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+    /// Hyperbolic tangent.
+    fn tanh(self) -> Self;
+    /// Euclidean hypotenuse `sqrt(self^2 + other^2)` without overflow.
+    fn hypot(self, other: Self) -> Self;
+    /// Maximum treating NaN as smaller than everything.
+    fn max(self, other: Self) -> Self;
+    /// Minimum treating NaN as larger than everything.
+    fn min(self, other: Self) -> Self;
+    /// True if the value is finite (not NaN / infinity).
+    fn is_finite(self) -> bool;
+    /// Raise to an integer power.
+    fn powi(self, n: i32) -> Self;
+}
+
+macro_rules! impl_scalar {
+    ($t:ty) => {
+        impl Scalar for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const EPSILON: Self = <$t>::EPSILON;
+
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline]
+            fn mul_add(self, a: Self, b: Self) -> Self {
+                self * a + b
+            }
+            #[inline]
+            fn exp(self) -> Self {
+                <$t>::exp(self)
+            }
+            #[inline]
+            fn ln(self) -> Self {
+                <$t>::ln(self)
+            }
+            #[inline]
+            fn tanh(self) -> Self {
+                <$t>::tanh(self)
+            }
+            #[inline]
+            fn hypot(self, other: Self) -> Self {
+                <$t>::hypot(self, other)
+            }
+            #[inline]
+            fn max(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline]
+            fn min(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+            #[inline]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+            #[inline]
+            fn powi(self, n: i32) -> Self {
+                <$t>::powi(self, n)
+            }
+        }
+    };
+}
+
+impl_scalar!(f32);
+impl_scalar!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Scalar>(v: f64) -> f64 {
+        T::from_f64(v).to_f64()
+    }
+
+    #[test]
+    fn constants_are_consistent() {
+        assert_eq!(f32::ZERO + f32::ONE, 1.0f32);
+        assert_eq!(f64::ZERO + f64::ONE, 1.0f64);
+    }
+
+    #[test]
+    fn f64_roundtrip_is_exact() {
+        for v in [0.0, 1.5, -3.25, 1e-12, 1e12] {
+            assert_eq!(roundtrip::<f64>(v), v);
+        }
+    }
+
+    #[test]
+    fn f32_roundtrip_is_close() {
+        for v in [0.0, 1.5, -3.25] {
+            assert_eq!(roundtrip::<f32>(v), v);
+        }
+    }
+
+    #[test]
+    fn helpers_behave_like_std() {
+        assert_eq!(Scalar::abs(-2.0f64), 2.0);
+        assert_eq!(Scalar::sqrt(9.0f64), 3.0);
+        assert_eq!(Scalar::max(1.0f32, 2.0), 2.0);
+        assert_eq!(Scalar::min(1.0f32, 2.0), 1.0);
+        assert_eq!(Scalar::powi(2.0f64, 10), 1024.0);
+        assert!(Scalar::is_finite(1.0f32));
+        assert!(!Scalar::is_finite(f64::INFINITY));
+    }
+}

@@ -1,0 +1,249 @@
+use crate::{Result, TensorError};
+
+/// A tensor shape: the extent of each dimension, in row-major order.
+///
+/// `Shape` owns the dimension list and provides the index arithmetic the rest
+/// of the workspace relies on — row-major strides, flattening/unflattening of
+/// multi-indices, and validity checks. Zero-sized dimensions are rejected at
+/// construction: the TIE data path never produces empty tensors, and allowing
+/// them would riddle the index math with special cases.
+///
+/// # Example
+///
+/// ```
+/// use tie_tensor::Shape;
+///
+/// # fn main() -> Result<(), tie_tensor::TensorError> {
+/// let s = Shape::new(vec![2, 3, 4])?;
+/// assert_eq!(s.num_elements(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// assert_eq!(s.flatten(&[1, 2, 3])?, 23);
+/// assert_eq!(s.unflatten(23), vec![1, 2, 3]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from a dimension list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyShape`] if `dims` is empty or any
+    /// dimension is zero.
+    pub fn new(dims: Vec<usize>) -> Result<Self> {
+        if dims.is_empty() || dims.iter().any(|&d| d == 0) {
+            return Err(TensorError::EmptyShape);
+        }
+        Ok(Shape { dims })
+    }
+
+    /// Creates a 2-D (matrix) shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyShape`] if either dimension is zero.
+    pub fn matrix(rows: usize, cols: usize) -> Result<Self> {
+        Shape::new(vec![rows, cols])
+    }
+
+    /// The dimension list.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions (`d` in the paper's notation).
+    pub fn ndim(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Extent of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.ndim()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Total number of elements (`∏ dims`).
+    pub fn num_elements(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major strides: `strides[k] = ∏_{t>k} dims[t]`.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for k in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[k] = strides[k + 1] * self.dims[k + 1];
+        }
+        strides
+    }
+
+    /// Flattens a multi-index into a row-major linear offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if the index has the wrong
+    /// arity or any coordinate exceeds its dimension.
+    pub fn flatten(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.dims.len()
+            || index.iter().zip(&self.dims).any(|(&i, &d)| i >= d)
+        {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.to_vec(),
+                shape: self.dims.clone(),
+            });
+        }
+        let mut offset = 0;
+        for (i, d) in index.iter().zip(&self.dims) {
+            offset = offset * d + i;
+        }
+        Ok(offset)
+    }
+
+    /// Inverse of [`Shape::flatten`]; `offset` is taken modulo the element
+    /// count, so any `usize` is accepted.
+    pub fn unflatten(&self, offset: usize) -> Vec<usize> {
+        let mut rem = offset % self.num_elements();
+        let mut index = vec![0usize; self.dims.len()];
+        for k in (0..self.dims.len()).rev() {
+            index[k] = rem % self.dims[k];
+            rem /= self.dims[k];
+        }
+        index
+    }
+
+    /// True when `other` has the same element count (reshape-compatible).
+    pub fn is_reshape_compatible(&self, other: &Shape) -> bool {
+        self.num_elements() == other.num_elements()
+    }
+
+    /// Applies a permutation to the axes, producing the transposed shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidPermutation`] if `perm` is not a
+    /// permutation of `0..ndim`.
+    pub fn permute(&self, perm: &[usize]) -> Result<Shape> {
+        validate_permutation(perm, self.ndim())?;
+        Ok(Shape {
+            dims: perm.iter().map(|&p| self.dims[p]).collect(),
+        })
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (k, d) in self.dims.iter().enumerate() {
+            if k > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl TryFrom<Vec<usize>> for Shape {
+    type Error = TensorError;
+
+    fn try_from(dims: Vec<usize>) -> Result<Self> {
+        Shape::new(dims)
+    }
+}
+
+impl AsRef<[usize]> for Shape {
+    fn as_ref(&self) -> &[usize] {
+        &self.dims
+    }
+}
+
+/// Checks that `perm` is a permutation of `0..ndim`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidPermutation`] otherwise.
+pub fn validate_permutation(perm: &[usize], ndim: usize) -> Result<()> {
+    let mut seen = vec![false; ndim];
+    let valid = perm.len() == ndim
+        && perm.iter().all(|&p| {
+            if p < ndim && !seen[p] {
+                seen[p] = true;
+                true
+            } else {
+                false
+            }
+        });
+    if valid {
+        Ok(())
+    } else {
+        Err(TensorError::InvalidPermutation {
+            perm: perm.to_vec(),
+            ndim,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_empty_and_zero() {
+        assert_eq!(Shape::new(vec![]), Err(TensorError::EmptyShape));
+        assert_eq!(Shape::new(vec![2, 0]), Err(TensorError::EmptyShape));
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(vec![3, 4, 5]).unwrap();
+        assert_eq!(s.strides(), vec![20, 5, 1]);
+        let s1 = Shape::new(vec![7]).unwrap();
+        assert_eq!(s1.strides(), vec![1]);
+    }
+
+    #[test]
+    fn flatten_unflatten_roundtrip() {
+        let s = Shape::new(vec![2, 7, 8]).unwrap();
+        for off in 0..s.num_elements() {
+            let idx = s.unflatten(off);
+            assert_eq!(s.flatten(&idx).unwrap(), off);
+        }
+    }
+
+    #[test]
+    fn flatten_checks_bounds() {
+        let s = Shape::new(vec![2, 3]).unwrap();
+        assert!(s.flatten(&[2, 0]).is_err());
+        assert!(s.flatten(&[0]).is_err());
+        assert!(s.flatten(&[0, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn permute_reorders_dims() {
+        let s = Shape::new(vec![2, 3, 4]).unwrap();
+        let p = s.permute(&[2, 0, 1]).unwrap();
+        assert_eq!(p.dims(), &[4, 2, 3]);
+        assert!(s.permute(&[0, 0, 1]).is_err());
+        assert!(s.permute(&[0, 1]).is_err());
+    }
+
+    #[test]
+    fn display_formats_dims() {
+        let s = Shape::new(vec![5, 12]).unwrap();
+        assert_eq!(s.to_string(), "(5x12)");
+    }
+
+    #[test]
+    fn try_from_vec_behaves_like_new() {
+        let s: Shape = vec![4, 4].try_into().unwrap();
+        assert_eq!(s.num_elements(), 16);
+        let e: std::result::Result<Shape, _> = Vec::<usize>::new().try_into();
+        assert!(e.is_err());
+    }
+}

@@ -1,0 +1,333 @@
+//! Arithmetic in the TT format (no densification).
+//!
+//! Standard tensor-train algebra (Oseledets 2011 §4): addition and
+//! Hadamard products concatenate/Kronecker the cores (ranks add /
+//! multiply — recompress with [`crate::TtTensor::rounded`]), inner
+//! products contract a Gram chain, and a TT-matrix applied to a TT-vector
+//! yields a TT-vector with multiplied ranks. These operations round out
+//! the substrate into a general-purpose TT library and power the
+//! extension experiments.
+
+use crate::{TtMatrix, TtTensor};
+use tie_tensor::{Result, Scalar, Tensor, TensorError};
+
+/// TT addition: `C = A + B` with ranks `r^C_k = r^A_k + r^B_k`
+/// (block-diagonal core concatenation; boundary cores concatenate along
+/// the single boundary rank).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if mode sizes differ.
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use tie_tt::{arithmetic::tt_add, TtTensor};
+/// # fn main() -> Result<(), tie_tensor::TensorError> {
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let a = TtTensor::<f64>::random(&mut rng, &[3, 4], &[1, 2, 1], 1.0)?;
+/// let b = TtTensor::<f64>::random(&mut rng, &[3, 4], &[1, 2, 1], 1.0)?;
+/// let c = tt_add(&a, &b)?;
+/// assert_eq!(c.ranks(), vec![1, 4, 1]); // ranks add; round to recompress
+/// let want = a.to_dense()?.add(&b.to_dense()?)?;
+/// assert!(c.to_dense()?.approx_eq(&want, 1e-10));
+/// # Ok(())
+/// # }
+/// ```
+pub fn tt_add<T: Scalar>(a: &TtTensor<T>, b: &TtTensor<T>) -> Result<TtTensor<T>> {
+    if a.mode_sizes() != b.mode_sizes() {
+        return Err(TensorError::ShapeMismatch {
+            left: a.mode_sizes(),
+            right: b.mode_sizes(),
+        });
+    }
+    let d = a.ndim();
+    if d == 1 {
+        // Single core: plain elementwise sum.
+        let sum = a.cores()[0].add(&b.cores()[0])?;
+        return TtTensor::new(vec![sum]);
+    }
+    let mut cores = Vec::with_capacity(d);
+    for k in 0..d {
+        let ca = &a.cores()[k];
+        let cb = &b.cores()[k];
+        let [ra0, n, ra1] = [ca.dims()[0], ca.dims()[1], ca.dims()[2]];
+        let [rb0, _, rb1] = [cb.dims()[0], cb.dims()[1], cb.dims()[2]];
+        let (r0, r1) = if k == 0 {
+            (1, ra1 + rb1)
+        } else if k == d - 1 {
+            (ra0 + rb0, 1)
+        } else {
+            (ra0 + rb0, ra1 + rb1)
+        };
+        let mut core = Tensor::<T>::zeros(vec![r0, n, r1]);
+        // A block at (0..ra0, :, 0..ra1); B block at the diagonal offset.
+        let (a_off0, b_off0) = if k == 0 { (0, 0) } else { (0, ra0) };
+        let (a_off1, b_off1) = if k == d - 1 { (0, 0) } else { (0, ra1) };
+        for j in 0..n {
+            for p in 0..ra0 {
+                for q in 0..ra1 {
+                    let v = ca.get(&[p, j, q])?;
+                    core.set(&[a_off0 + p, j, a_off1 + q], v)?;
+                }
+            }
+            for p in 0..rb0 {
+                for q in 0..rb1 {
+                    let v = cb.get(&[p, j, q])?;
+                    core.set(&[b_off0 + p, j, b_off1 + q], v)?;
+                }
+            }
+        }
+        cores.push(core);
+    }
+    TtTensor::new(cores)
+}
+
+/// TT scalar multiplication (scales the first core only, so ranks are
+/// untouched).
+pub fn tt_scale<T: Scalar>(a: &TtTensor<T>, alpha: T) -> TtTensor<T> {
+    let mut cores: Vec<Tensor<T>> = a.cores().to_vec();
+    cores[0].scale(alpha);
+    TtTensor::new(cores).expect("scaling preserves validity")
+}
+
+/// TT Hadamard (elementwise) product: `C = A ⊙ B` with ranks
+/// `r^C_k = r^A_k · r^B_k` (slice-wise Kronecker products).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if mode sizes differ.
+pub fn tt_hadamard<T: Scalar>(a: &TtTensor<T>, b: &TtTensor<T>) -> Result<TtTensor<T>> {
+    if a.mode_sizes() != b.mode_sizes() {
+        return Err(TensorError::ShapeMismatch {
+            left: a.mode_sizes(),
+            right: b.mode_sizes(),
+        });
+    }
+    let mut cores = Vec::with_capacity(a.ndim());
+    for (ca, cb) in a.cores().iter().zip(b.cores()) {
+        let [ra0, n, ra1] = [ca.dims()[0], ca.dims()[1], ca.dims()[2]];
+        let [rb0, _, rb1] = [cb.dims()[0], cb.dims()[1], cb.dims()[2]];
+        let mut core = Tensor::<T>::zeros(vec![ra0 * rb0, n, ra1 * rb1]);
+        for j in 0..n {
+            for pa in 0..ra0 {
+                for pb in 0..rb0 {
+                    for qa in 0..ra1 {
+                        for qb in 0..rb1 {
+                            let v = ca.get(&[pa, j, qa])? * cb.get(&[pb, j, qb])?;
+                            core.set(&[pa * rb0 + pb, j, qa * rb1 + qb], v)?;
+                        }
+                    }
+                }
+            }
+        }
+        cores.push(core);
+    }
+    TtTensor::new(cores)
+}
+
+/// TT inner product `⟨A, B⟩ = Σ A(j…)·B(j…)`, contracted core-by-core in
+/// `O(d · n · r⁴)` without densifying.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if mode sizes differ.
+pub fn tt_dot<T: Scalar>(a: &TtTensor<T>, b: &TtTensor<T>) -> Result<f64> {
+    if a.mode_sizes() != b.mode_sizes() {
+        return Err(TensorError::ShapeMismatch {
+            left: a.mode_sizes(),
+            right: b.mode_sizes(),
+        });
+    }
+    // gram[p][q] over (r^A_k, r^B_k).
+    let mut gram = vec![vec![1.0f64]];
+    for (ca, cb) in a.cores().iter().zip(b.cores()) {
+        let [ra0, n, ra1] = [ca.dims()[0], ca.dims()[1], ca.dims()[2]];
+        let [rb0, _, rb1] = [cb.dims()[0], cb.dims()[1], cb.dims()[2]];
+        let mut next = vec![vec![0.0f64; rb1]; ra1];
+        for j in 0..n {
+            // next[qa][qb] += Σ_{pa,pb} gram[pa][pb]·A[pa,j,qa]·B[pb,j,qb]
+            for pa in 0..ra0 {
+                for pb in 0..rb0 {
+                    let g = gram[pa][pb];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    for qa in 0..ra1 {
+                        let av = ca.get(&[pa, j, qa])?.to_f64();
+                        if av == 0.0 {
+                            continue;
+                        }
+                        for qb in 0..rb1 {
+                            let bv = cb.get(&[pb, j, qb])?.to_f64();
+                            next[qa][qb] += g * av * bv;
+                        }
+                    }
+                }
+            }
+        }
+        gram = next;
+    }
+    Ok(gram[0][0])
+}
+
+/// Applies a TT matrix to a TT vector: `y = W·x` entirely in TT format,
+/// with output ranks `r^y_k = r^W_k · r^x_k`. This is how TT algebra
+/// composes without ever touching a dense object; recompress the result
+/// with [`crate::TtTensor::rounded`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if the matrix column modes do
+/// not match the vector modes.
+pub fn tt_matvec<T: Scalar>(w: &TtMatrix<T>, x: &TtTensor<T>) -> Result<TtTensor<T>> {
+    let shape = w.shape();
+    if shape.col_modes != x.mode_sizes() {
+        return Err(TensorError::ShapeMismatch {
+            left: shape.col_modes.clone(),
+            right: x.mode_sizes(),
+        });
+    }
+    let mut cores = Vec::with_capacity(w.ndim());
+    for (k, (cw, cx)) in w.cores().iter().zip(x.cores()).enumerate() {
+        let [rw0, m, n, rw1] = [cw.dims()[0], cw.dims()[1], cw.dims()[2], cw.dims()[3]];
+        let [rx0, _, rx1] = [cx.dims()[0], cx.dims()[1], cx.dims()[2]];
+        let mut core = Tensor::<T>::zeros(vec![rw0 * rx0, m, rw1 * rx1]);
+        for i in 0..m {
+            for pw in 0..rw0 {
+                for px in 0..rx0 {
+                    for qw in 0..rw1 {
+                        for qx in 0..rx1 {
+                            let mut acc = T::ZERO;
+                            for j in 0..n {
+                                acc += cw.get(&[pw, i, j, qw])? * cx.get(&[px, j, qx])?;
+                            }
+                            core.set(&[pw * rx0 + px, i, qw * rx1 + qx], acc)?;
+                        }
+                    }
+                }
+            }
+        }
+        let _ = k;
+        cores.push(core);
+    }
+    TtTensor::new(cores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TtShape;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use tie_tensor::linalg::Truncation;
+
+    fn pair(seed: u64) -> (TtTensor<f64>, TtTensor<f64>) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = TtTensor::random(&mut rng, &[3, 4, 2], &[1, 2, 3, 1], 1.0).unwrap();
+        let b = TtTensor::random(&mut rng, &[3, 4, 2], &[1, 3, 2, 1], 1.0).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn add_matches_dense_sum_and_ranks_add() {
+        let (a, b) = pair(600);
+        let c = tt_add(&a, &b).unwrap();
+        let want = a.to_dense().unwrap().add(&b.to_dense().unwrap()).unwrap();
+        assert!(c.to_dense().unwrap().approx_eq(&want, 1e-10));
+        assert_eq!(c.ranks(), vec![1, 5, 5, 1]);
+        // And rounding recompresses the sum back down when possible.
+        let zero_sum = tt_add(&a, &tt_scale(&a, -1.0)).unwrap();
+        let rounded = zero_sum.rounded(Truncation::tolerance(1e-10)).unwrap();
+        assert!(rounded.ranks().iter().all(|&r| r == 1));
+        assert!(rounded.to_dense().unwrap().max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn add_single_core() {
+        let a = TtTensor::new(vec![Tensor::from_vec(vec![1, 3, 1], vec![1., 2., 3.]).unwrap()])
+            .unwrap();
+        let b = TtTensor::new(vec![Tensor::from_vec(vec![1, 3, 1], vec![4., 5., 6.]).unwrap()])
+            .unwrap();
+        let c = tt_add(&a, &b).unwrap();
+        assert_eq!(c.to_dense().unwrap().data(), &[5., 7., 9.]);
+    }
+
+    #[test]
+    fn add_rejects_mode_mismatch() {
+        let mut rng = ChaCha8Rng::seed_from_u64(601);
+        let a = TtTensor::<f64>::random(&mut rng, &[2, 3], &[1, 2, 1], 1.0).unwrap();
+        let b = TtTensor::<f64>::random(&mut rng, &[3, 2], &[1, 2, 1], 1.0).unwrap();
+        assert!(tt_add(&a, &b).is_err());
+        assert!(tt_hadamard(&a, &b).is_err());
+        assert!(tt_dot(&a, &b).is_err());
+    }
+
+    #[test]
+    fn scale_matches_dense() {
+        let (a, _) = pair(602);
+        let s = tt_scale(&a, -2.5);
+        let want = a.to_dense().unwrap().scaled(-2.5);
+        assert!(s.to_dense().unwrap().approx_eq(&want, 1e-10));
+        assert_eq!(s.ranks(), a.ranks(), "scaling must not change ranks");
+    }
+
+    #[test]
+    fn hadamard_matches_dense_and_ranks_multiply() {
+        let (a, b) = pair(603);
+        let c = tt_hadamard(&a, &b).unwrap();
+        let want = a
+            .to_dense()
+            .unwrap()
+            .hadamard(&b.to_dense().unwrap())
+            .unwrap();
+        assert!(c.to_dense().unwrap().approx_eq(&want, 1e-10));
+        assert_eq!(c.ranks(), vec![1, 6, 6, 1]);
+    }
+
+    #[test]
+    fn dot_matches_dense_inner_product() {
+        let (a, b) = pair(604);
+        let got = tt_dot(&a, &b).unwrap();
+        let want: f64 = a
+            .to_dense()
+            .unwrap()
+            .data()
+            .iter()
+            .zip(b.to_dense().unwrap().data())
+            .map(|(&x, &y)| x * y)
+            .sum();
+        assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        // Self inner product equals squared Frobenius norm.
+        let self_dot = tt_dot(&a, &a).unwrap();
+        assert!((self_dot.sqrt() - a.frobenius_norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tt_matvec_matches_dense_path() {
+        let mut rng = ChaCha8Rng::seed_from_u64(605);
+        let shape = TtShape::uniform_rank(vec![2, 3], vec![3, 2], 2).unwrap();
+        let w = TtMatrix::<f64>::random(&mut rng, &shape, 0.8).unwrap();
+        let x = TtTensor::<f64>::random(&mut rng, &[3, 2], &[1, 2, 1], 1.0).unwrap();
+        let y = tt_matvec(&w, &x).unwrap();
+        assert_eq!(y.mode_sizes(), vec![2, 3]);
+        assert_eq!(y.ranks(), vec![1, 4, 1]);
+        // Dense check: y as tensor (m1, m2) vs W_dense · x_dense with
+        // row-major index order on both sides.
+        let dense_w = w.to_dense().unwrap();
+        let dense_x = x.to_dense().unwrap().reshaped(vec![6]).unwrap();
+        let want = tie_tensor::linalg::matvec(&dense_w, &dense_x).unwrap();
+        let got = y.to_dense().unwrap().reshaped(vec![6]).unwrap();
+        assert!(got.approx_eq(&want, 1e-9), "{:?} vs {:?}", got.data(), want.data());
+    }
+
+    #[test]
+    fn tt_matvec_rejects_mode_mismatch() {
+        let mut rng = ChaCha8Rng::seed_from_u64(606);
+        let shape = TtShape::uniform_rank(vec![2, 2], vec![3, 2], 2).unwrap();
+        let w = TtMatrix::<f64>::random(&mut rng, &shape, 0.8).unwrap();
+        let x = TtTensor::<f64>::random(&mut rng, &[2, 3], &[1, 2, 1], 1.0).unwrap();
+        assert!(tt_matvec(&w, &x).is_err());
+    }
+}

@@ -1,0 +1,335 @@
+//! The **naive** TT-format inference scheme (paper Eqn. (2)).
+//!
+//! Every output element `Y(i_1, …, i_d)` is computed independently by the
+//! full sum over `(j_1, …, j_d)` of the core-slice product chain. This is
+//! the scheme the paper identifies as the bottleneck: output elements that
+//! share index prefixes redo identical slice products, so the multiply count
+//! is `M · N · Σ_k r_k r_{k-1}` (Eqn. (3)) — orders of magnitude above the
+//! compact scheme implemented in `tie-core`.
+//!
+//! It is retained here as (a) the ground-truth functional reference for the
+//! compact scheme and the cycle simulator, and (b) the instrumented baseline
+//! for the §3.1 redundancy analysis.
+
+use crate::{matrix::decompose_index, TtMatrix};
+use tie_tensor::{Result, Scalar, Tensor, TensorError};
+
+/// Operation counters recorded while executing an inference scheme.
+///
+/// `mults`/`adds` count scalar arithmetic; `core_reads` counts scalar reads
+/// of tensor-core weights (the paper's memory-access argument: the naive
+/// scheme re-reads every core per output element, the compact scheme reads
+/// each core once per stage).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCount {
+    /// Scalar multiplications executed.
+    pub mults: u64,
+    /// Scalar additions executed.
+    pub adds: u64,
+    /// Scalar weight reads from tensor cores.
+    pub core_reads: u64,
+}
+
+impl OpCount {
+    /// Sum of two counters.
+    pub fn merge(self, other: OpCount) -> OpCount {
+        OpCount {
+            mults: self.mults + other.mults,
+            adds: self.adds + other.adds,
+            core_reads: self.core_reads + other.core_reads,
+        }
+    }
+}
+
+/// Naive TT matrix-vector product `y = W x` per Eqn. (2), with counters.
+///
+/// `x` is the dense input of length `N = ∏ n_k` (row-major mode order,
+/// `j_1` most significant — the same convention as
+/// [`TtMatrix::from_dense`]).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `x` has the wrong length.
+///
+/// # Example
+///
+/// ```
+/// use tie_tensor::{Tensor, linalg::{matvec, Truncation}};
+/// use tie_tt::{TtMatrix, inference::naive_matvec};
+///
+/// # fn main() -> Result<(), tie_tensor::TensorError> {
+/// let w = Tensor::<f64>::from_fn(vec![4, 6], |i| (i[0] * 6 + i[1]) as f64 * 0.1)?;
+/// let x = Tensor::<f64>::from_fn(vec![6], |i| i[0] as f64)?;
+/// let tt = TtMatrix::from_dense(&w, &[2, 2], &[2, 3], Truncation::none())?;
+/// let (y, count) = naive_matvec(&tt, &x)?;
+/// assert!(y.approx_eq(&matvec(&w, &x)?, 1e-9));
+/// assert!(count.mults > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn naive_matvec<T: Scalar>(w: &TtMatrix<T>, x: &Tensor<T>) -> Result<(Tensor<T>, OpCount)> {
+    let shape = w.shape();
+    let (rows, cols) = (shape.num_rows(), shape.num_cols());
+    if x.ndim() != 1 || x.num_elements() != cols {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![rows, cols],
+            right: x.dims().to_vec(),
+        });
+    }
+    let d = shape.ndim();
+    let mut count = OpCount::default();
+    let mut y = Tensor::zeros(vec![rows]);
+    for i in 0..rows {
+        let iks = decompose_index(i, &shape.row_modes);
+        let mut acc = T::ZERO;
+        for j in 0..cols {
+            let jks = decompose_index(j, &shape.col_modes);
+            // Product chain G_1[i1,j1] … G_d[id,jd]: a running 1 × r_k row
+            // vector, exactly the d matrix-vector stages of Fig. 4.
+            let mut v = vec![T::ONE];
+            for k in 0..d {
+                let core = w.cores()[k].data();
+                let [_r0, m, n, r1] = {
+                    let dd = w.cores()[k].dims();
+                    [dd[0], dd[1], dd[2], dd[3]]
+                };
+                let mut next = vec![T::ZERO; r1];
+                for (a, &va) in v.iter().enumerate() {
+                    let base = ((a * m + iks[k]) * n + jks[k]) * r1;
+                    for (b, nb) in next.iter_mut().enumerate() {
+                        *nb += va * core[base + b];
+                        count.mults += 1;
+                        count.adds += 1;
+                        count.core_reads += 1;
+                    }
+                }
+                v = next;
+            }
+            acc += v[0] * x.data()[j];
+            count.mults += 1;
+            count.adds += 1;
+        }
+        y.data_mut()[i] = acc;
+    }
+    Ok((y, count))
+}
+
+/// The **partially parallel** scheme of paper Fig. 5: stage 1 (core `d`)
+/// is computed as one matrix product over all inputs — eliminating the
+/// redundancy involving `G_d` — but the remaining `d − 1` dimensions are
+/// still walked per output element, so their redundancy remains.
+///
+/// This is the paper's pedagogical midpoint between Eqn. (2) and
+/// Algorithm 1; its multiply count sits strictly between them
+/// (see `tie_core::counts` for the closed forms).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `x` has the wrong length.
+pub fn partial_parallel_matvec<T: Scalar>(
+    w: &TtMatrix<T>,
+    x: &Tensor<T>,
+) -> Result<(Tensor<T>, OpCount)> {
+    let shape = w.shape();
+    let (rows, cols) = (shape.num_rows(), shape.num_cols());
+    if x.ndim() != 1 || x.num_elements() != cols {
+        return Err(TensorError::ShapeMismatch {
+            left: vec![rows, cols],
+            right: x.dims().to_vec(),
+        });
+    }
+    let d = shape.ndim();
+    let mut count = OpCount::default();
+    // Stage 1: contract core d against the whole input at once:
+    // V_d[(i_d, t_{d-1}), prefix] = Σ_{j_d} G_d(t, i_d, j_d, 1) · X(prefix, j_d),
+    // where `prefix` is the row-major flat index over (j_1 … j_{d-1}).
+    let n_d = shape.col_modes[d - 1];
+    let m_d = shape.row_modes[d - 1];
+    let r_dm1 = shape.ranks[d - 1];
+    let prefixes = cols / n_d;
+    let core_d = w.cores()[d - 1].data();
+    // vd[(i_d * r + t) * prefixes + p]
+    let mut vd = vec![T::ZERO; m_d * r_dm1 * prefixes];
+    for p in 0..prefixes {
+        for jd in 0..n_d {
+            let xv = x.data()[p * n_d + jd];
+            for id in 0..m_d {
+                for t in 0..r_dm1 {
+                    // 4-D core layout [r_{d-1}, m_d, n_d, 1].
+                    let g = core_d[(t * m_d + id) * n_d + jd];
+                    vd[(id * r_dm1 + t) * prefixes + p] += g * xv;
+                    count.mults += 1;
+                    count.adds += 1;
+                    count.core_reads += 1;
+                }
+            }
+        }
+    }
+    // Remaining dimensions: per output element, per prefix, walk the
+    // slice chain G_1[i1,j1] … G_{d-1}[i_{d-1}, j_{d-1}] · v — the
+    // residual redundancy Fig. 5 leaves in place.
+    let mut y = Tensor::zeros(vec![rows]);
+    let prefix_modes = &shape.col_modes[..d - 1];
+    for i in 0..rows {
+        let iks = decompose_index(i, &shape.row_modes);
+        let id = iks[d - 1];
+        let mut acc = T::ZERO;
+        for p in 0..prefixes {
+            let jks = decompose_index(p, prefix_modes);
+            // Right-to-left chain: start with the r_{d-1} vector from V_d.
+            let mut v: Vec<T> = (0..r_dm1)
+                .map(|t| vd[(id * r_dm1 + t) * prefixes + p])
+                .collect();
+            for k in (0..d - 1).rev() {
+                let core = w.cores()[k].data();
+                let [r0, m, n, r1] = {
+                    let dd = w.cores()[k].dims();
+                    [dd[0], dd[1], dd[2], dd[3]]
+                };
+                let mut next = vec![T::ZERO; r0];
+                for (a, nx) in next.iter_mut().enumerate() {
+                    let base = ((a * m + iks[k]) * n + jks[k]) * r1;
+                    for (b, &vb) in v.iter().enumerate() {
+                        *nx += core[base + b] * vb;
+                        count.mults += 1;
+                        count.adds += 1;
+                        count.core_reads += 1;
+                    }
+                }
+                v = next;
+            }
+            acc += v[0];
+        }
+        y.data_mut()[i] = acc;
+    }
+    Ok((y, count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TtShape;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use tie_tensor::init;
+    use tie_tensor::linalg::matvec;
+
+    #[test]
+    fn naive_matches_dense_matvec() {
+        let mut rng = ChaCha8Rng::seed_from_u64(40);
+        let shape = TtShape::uniform_rank(vec![2, 3, 2], vec![3, 2, 2], 3).unwrap();
+        let tt = TtMatrix::<f64>::random(&mut rng, &shape, 0.5).unwrap();
+        let w = tt.to_dense().unwrap();
+        let x: Tensor<f64> = init::uniform(&mut rng, vec![12], 1.0);
+        let (y, _) = naive_matvec(&tt, &x).unwrap();
+        let want = matvec(&w, &x).unwrap();
+        assert!(
+            y.approx_eq(&want, 1e-10),
+            "naive TT matvec diverges from dense: {:?} vs {:?}",
+            y.data(),
+            want.data()
+        );
+    }
+
+    #[test]
+    fn multiplication_count_matches_eqn3_structure() {
+        // Eqn. (3): MUL = M * N * Σ_k r_k r_{k-1}; our per-element chain
+        // additionally multiplies by x once per (i, j), i.e. + M*N.
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let shape = TtShape::uniform_rank(vec![2, 2], vec![3, 2], 2).unwrap();
+        let tt = TtMatrix::<f64>::random(&mut rng, &shape, 0.5).unwrap();
+        let x: Tensor<f64> = init::uniform(&mut rng, vec![6], 1.0);
+        let (_, count) = naive_matvec(&tt, &x).unwrap();
+        let m = 4u64;
+        let n = 6u64;
+        let rr: u64 = (1 * 2 + 2 * 1) as u64; // r0*r1 + r1*r2
+        assert_eq!(count.mults, m * n * rr + m * n);
+    }
+
+    #[test]
+    fn rejects_wrong_input_length() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let shape = TtShape::uniform_rank(vec![2], vec![3], 1).unwrap();
+        let tt = TtMatrix::<f64>::random(&mut rng, &shape, 0.5).unwrap();
+        let x = Tensor::<f64>::zeros(vec![4]);
+        assert!(naive_matvec(&tt, &x).is_err());
+    }
+
+    #[test]
+    fn partial_parallel_matches_dense_and_sits_between_schemes() {
+        let mut rng = ChaCha8Rng::seed_from_u64(45);
+        let shape = TtShape::uniform_rank(vec![2, 3, 2], vec![3, 2, 2], 3).unwrap();
+        let tt = TtMatrix::<f64>::random(&mut rng, &shape, 0.5).unwrap();
+        let w = tt.to_dense().unwrap();
+        let x: Tensor<f64> = init::uniform(&mut rng, vec![12], 1.0);
+        let (y_partial, c_partial) = partial_parallel_matvec(&tt, &x).unwrap();
+        let want = matvec(&w, &x).unwrap();
+        assert!(
+            y_partial.approx_eq(&want, 1e-10),
+            "partial scheme diverges: {:?} vs {:?}",
+            y_partial.data(),
+            want.data()
+        );
+        // Fig. 5's point: fewer multiplies than naive, more than compact.
+        let (_, c_naive) = naive_matvec(&tt, &x).unwrap();
+        assert!(
+            c_partial.mults < c_naive.mults,
+            "partial {} !< naive {}",
+            c_partial.mults,
+            c_naive.mults
+        );
+        let compact = tie_core_mul_compact_equiv(&shape);
+        assert!(
+            c_partial.mults > compact,
+            "partial {} !> compact {}",
+            c_partial.mults,
+            compact
+        );
+    }
+
+    /// Local copy of the compact-count formula (tie-core depends on this
+    /// crate, so the real function cannot be imported here).
+    fn tie_core_mul_compact_equiv(shape: &TtShape) -> u64 {
+        (1..=shape.ndim())
+            .map(|h| {
+                let n_left: u64 =
+                    shape.col_modes[..h - 1].iter().map(|&v| v as u64).product();
+                let m_right: u64 =
+                    shape.row_modes[h..].iter().map(|&v| v as u64).product();
+                (shape.row_modes[h - 1] * shape.ranks[h - 1]) as u64
+                    * (shape.col_modes[h - 1] * shape.ranks[h]) as u64
+                    * n_left
+                    * m_right
+            })
+            .sum()
+    }
+
+    #[test]
+    fn partial_parallel_count_matches_closed_form() {
+        // mul_partial = r_{d-1}·N·m_d + M·(N/n_d)·Σ_{k<d} r_k r_{k-1}
+        let mut rng = ChaCha8Rng::seed_from_u64(46);
+        let shape = TtShape::uniform_rank(vec![2, 2, 3], vec![2, 3, 4], 2).unwrap();
+        let tt = TtMatrix::<f64>::random(&mut rng, &shape, 0.5).unwrap();
+        let x: Tensor<f64> = init::uniform(&mut rng, vec![24], 1.0);
+        let (_, c) = partial_parallel_matvec(&tt, &x).unwrap();
+        let d = shape.ndim();
+        let (m, n) = (shape.num_rows() as u64, shape.num_cols() as u64);
+        let stage1 =
+            shape.ranks[d - 1] as u64 * n * shape.row_modes[d - 1] as u64;
+        let chain: u64 = (1..d)
+            .map(|k| (shape.ranks[k] * shape.ranks[k - 1]) as u64)
+            .sum();
+        let rest = m * (n / shape.col_modes[d - 1] as u64) * chain;
+        assert_eq!(c.mults, stage1 + rest);
+    }
+
+    #[test]
+    fn opcount_merge_adds_fields() {
+        let a = OpCount { mults: 1, adds: 2, core_reads: 3 };
+        let b = OpCount { mults: 10, adds: 20, core_reads: 30 };
+        assert_eq!(
+            a.merge(b),
+            OpCount { mults: 11, adds: 22, core_reads: 33 }
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Tensor-train (TT) decomposition substrate for the TIE reproduction.
+//!
+//! The TIE paper (ISCA '19) accelerates inference over DNN layers stored in
+//! the TT format of Oseledets (SIAM J. Sci. Comput. 2011), as applied to
+//! neural networks by Novikov et al. (NIPS '15). This crate implements that
+//! representation from scratch:
+//!
+//! * [`TtShape`] — the `(d, m, n, r)` bookkeeping the whole workspace shares
+//!   (it is exactly the per-workload tuple of the paper's Table 4),
+//! * [`TtTensor`] — a `d`-dimensional tensor in TT format (3-D cores
+//!   `r_{k-1} × n_k × r_k`), built by [`decompose::tt_svd`],
+//! * [`TtMatrix`] — a matrix in TT-matrix format (4-D cores
+//!   `r_{k-1} × m_k × n_k × r_k`, Eqn. (2) of the paper),
+//! * [`inference`] — the *naive* TT inference scheme of Eqn. (2), kept as the
+//!   reference (and redundancy-counting) baseline for `tie-core`'s compact
+//!   scheme,
+//! * [`compression`] — parameter-count and compression-ratio arithmetic
+//!   (Tables 1–4),
+//! * [`ring`] — the tensor-ring (TT-ring) variant the paper cites as an
+//!   extension.
+//!
+//! # Example
+//!
+//! ```
+//! use tie_tensor::Tensor;
+//! use tie_tt::{TtMatrix, TtShape};
+//! use tie_tensor::linalg::Truncation;
+//!
+//! # fn main() -> Result<(), tie_tensor::TensorError> {
+//! // A 6x6 weight matrix factored as (2*3) x (3*2), full rank.
+//! let shape = TtShape::new(vec![2, 3], vec![3, 2], vec![1, 6, 1])?;
+//! let w = Tensor::<f64>::from_fn(vec![6, 6], |i| (i[0] * 6 + i[1]) as f64 * 0.1)?;
+//! let tt = TtMatrix::from_dense(&w, &shape.row_modes, &shape.col_modes, Truncation::none())?;
+//! let back = tt.to_dense()?;
+//! assert!(back.approx_eq(&w, 1e-9));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod matrix;
+mod shape;
+mod tensor_train;
+
+pub mod arithmetic;
+pub mod compression;
+pub mod decompose;
+pub mod inference;
+pub mod ring;
+
+pub use matrix::{compose_index, decompose_index, TtMatrix};
+pub use shape::TtShape;
+pub use tensor_train::TtTensor;
+
+pub use tie_tensor::{Result, TensorError};

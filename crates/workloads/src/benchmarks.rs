@@ -1,0 +1,103 @@
+//! The paper's Table 4 benchmark workloads.
+
+use tie_tt::TtShape;
+
+/// Task family of a benchmark layer (Table 4 "Tasks" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Task {
+    /// CNN model for image classification.
+    ImageClassification,
+    /// RNN model for video classification.
+    VideoClassification,
+}
+
+/// One evaluated workload: a TT-compressed layer with its full setting.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Workload name as printed in Table 4.
+    pub name: &'static str,
+    /// The TT layout (`d`, `m`, `n`, `r`).
+    pub shape: TtShape,
+    /// Task family.
+    pub task: Task,
+    /// Compression ratio printed in Table 4 (for cross-checking).
+    pub paper_cr: f64,
+}
+
+impl Benchmark {
+    /// Dense layer size as `(rows, cols)` — Table 4 "Size".
+    pub fn size(&self) -> (usize, usize) {
+        (self.shape.num_rows(), self.shape.num_cols())
+    }
+}
+
+/// All four Table 4 workloads with their printed TT settings.
+///
+/// # Panics
+///
+/// Never: the constant configurations are valid.
+pub fn table4_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "VGG-FC6",
+            shape: TtShape::uniform_rank(vec![4; 6], vec![2, 7, 8, 8, 7, 4], 4)
+                .expect("valid paper config"),
+            task: Task::ImageClassification,
+            paper_cr: 50972.0,
+        },
+        Benchmark {
+            name: "VGG-FC7",
+            shape: TtShape::uniform_rank(vec![4; 6], vec![4; 6], 4).expect("valid paper config"),
+            task: Task::ImageClassification,
+            paper_cr: 14564.0,
+        },
+        Benchmark {
+            name: "LSTM-UCF11",
+            shape: TtShape::uniform_rank(vec![4; 4], vec![8, 20, 20, 18], 4)
+                .expect("valid paper config"),
+            task: Task::VideoClassification,
+            paper_cr: 4954.0,
+        },
+        Benchmark {
+            name: "LSTM-Youtube",
+            shape: TtShape::uniform_rank(vec![4; 4], vec![4, 20, 20, 36], 4)
+                .expect("valid paper config"),
+            task: Task::VideoClassification,
+            paper_cr: 4608.0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_table4() {
+        let b = table4_benchmarks();
+        assert_eq!(b[0].size(), (4096, 25088));
+        assert_eq!(b[1].size(), (4096, 4096));
+        assert_eq!(b[2].size(), (256, 57600));
+        assert_eq!(b[3].size(), (256, 57600));
+    }
+
+    #[test]
+    fn compression_ratios_match_table4_within_2_percent() {
+        for b in table4_benchmarks() {
+            let cr = b.shape.compression_ratio();
+            assert!(
+                (cr - b.paper_cr).abs() / b.paper_cr < 0.02,
+                "{}: computed {cr:.0} vs paper {}",
+                b.name,
+                b.paper_cr
+            );
+        }
+    }
+
+    #[test]
+    fn all_ranks_are_four() {
+        for b in table4_benchmarks() {
+            assert!(b.shape.ranks[1..b.shape.ndim()].iter().all(|&r| r == 4));
+        }
+    }
+}

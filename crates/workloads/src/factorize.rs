@@ -1,0 +1,243 @@
+//! Automatic TT-layout planning.
+//!
+//! The paper chooses `(d, m, n)` factorizations by hand (§2.3, Table 4).
+//! A deployable library should propose them: given a dense layer
+//! `M × N`, a dimension count `d` and a rank budget, find balanced mode
+//! factorizations (balanced modes minimize `Σ n_k r_{k-1} r_k` for fixed
+//! products) and check the result against the accelerator's SRAM
+//! feasibility constraints.
+
+use tie_core::InferencePlan;
+use tie_tensor::{Result, TensorError};
+use tie_tt::TtShape;
+
+/// All factorizations of `value` into exactly `d` factors ≥ 1, in
+/// non-deterministic (recursion) order. Factors of 1 are allowed —
+/// degenerate modes are legal TT layouts (and sometimes necessary, e.g.
+/// a 4-class head as `[2, 2, 1, 1]`).
+pub fn factorizations(value: usize, d: usize) -> Vec<Vec<usize>> {
+    fn rec(value: usize, d: usize, min: usize, acc: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if d == 1 {
+            if value >= min || value == 1 {
+                let mut v = acc.clone();
+                v.push(value);
+                out.push(v);
+            }
+            return;
+        }
+        let mut f = 1usize;
+        while f * f <= value || f == 1 {
+            if value % f == 0 {
+                acc.push(f);
+                rec(value / f, d - 1, 1, acc, out);
+                acc.pop();
+            }
+            f += 1;
+            if f > value {
+                break;
+            }
+        }
+        // Also allow factors above sqrt (the recursion above only walks
+        // f ≤ sqrt(value) for efficiency; walk the complements too).
+        let mut g = 2usize;
+        while g * g <= value {
+            if value % g == 0 {
+                let big = value / g;
+                if big * big > value {
+                    acc.push(big);
+                    rec(g, d - 1, 1, acc, out);
+                    acc.pop();
+                }
+            }
+            g += 1;
+        }
+        // And the trivial complement value itself.
+        if value > 1 {
+            acc.push(value);
+            rec(1, d - 1, 1, acc, out);
+            acc.pop();
+        }
+    }
+    let mut out = Vec::new();
+    let mut acc = Vec::new();
+    rec(value, d, 1, &mut acc, &mut out);
+    // Dedup (the complement walk can duplicate).
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+/// Imbalance score of a factorization: ratio of largest to smallest
+/// non-unit factor (1.0 = perfectly balanced), plus a penalty per unit
+/// factor (wasted dimension).
+pub fn imbalance(factors: &[usize]) -> f64 {
+    let non_unit: Vec<usize> = factors.iter().copied().filter(|&f| f > 1).collect();
+    if non_unit.is_empty() {
+        return 1.0;
+    }
+    let max = *non_unit.iter().max().expect("nonempty") as f64;
+    let min = *non_unit.iter().min().expect("nonempty") as f64;
+    let unit_penalty = (factors.len() - non_unit.len()) as f64 * 0.5;
+    max / min + unit_penalty
+}
+
+/// A proposed TT layout with its figures of merit.
+#[derive(Debug, Clone)]
+pub struct LayoutProposal {
+    /// The proposed layout.
+    pub shape: TtShape,
+    /// Stored parameters.
+    pub params: usize,
+    /// Compression ratio vs dense.
+    pub compression: f64,
+    /// Compact-scheme multiply count.
+    pub muls: u64,
+    /// Peak intermediate elements (working-SRAM requirement).
+    pub peak_intermediate: usize,
+}
+
+/// Proposes TT layouts for an `M × N` layer at dimension `d` and uniform
+/// interior rank `rank`, ranked by compact-scheme multiply count (the
+/// latency proxy) with parameter count as the tie-breaker. Up to
+/// `max_proposals` results.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] if `M` or `N` has no
+/// `d`-factor factorization other than padding with ones and not even
+/// that (i.e. `d == 0`), or if no candidate exists.
+pub fn propose_layouts(
+    rows: usize,
+    cols: usize,
+    d: usize,
+    rank: usize,
+    max_proposals: usize,
+) -> Result<Vec<LayoutProposal>> {
+    if d == 0 || rows == 0 || cols == 0 {
+        return Err(TensorError::InvalidArgument {
+            message: format!("cannot factorize {rows}x{cols} into d={d} modes"),
+        });
+    }
+    // Keep the candidate pool manageable: the most balanced row/col
+    // factorizations.
+    let mut row_cands = factorizations(rows, d);
+    let mut col_cands = factorizations(cols, d);
+    row_cands.sort_by(|a, b| imbalance(a).partial_cmp(&imbalance(b)).expect("finite"));
+    col_cands.sort_by(|a, b| imbalance(a).partial_cmp(&imbalance(b)).expect("finite"));
+    row_cands.truncate(12);
+    col_cands.truncate(12);
+    let mut proposals = Vec::new();
+    for m in &row_cands {
+        for n in &col_cands {
+            let shape = TtShape::uniform_rank(m.clone(), n.clone(), rank)?;
+            let plan = InferencePlan::new(&shape)?;
+            proposals.push(LayoutProposal {
+                params: shape.num_params(),
+                compression: shape.compression_ratio(),
+                muls: plan.total_muls(),
+                peak_intermediate: plan.max_intermediate_elems(),
+                shape,
+            });
+        }
+    }
+    if proposals.is_empty() {
+        return Err(TensorError::InvalidArgument {
+            message: format!("no TT layout candidates for {rows}x{cols} at d={d}"),
+        });
+    }
+    proposals.sort_by(|a, b| a.muls.cmp(&b.muls).then(a.params.cmp(&b.params)));
+    proposals.truncate(max_proposals.max(1));
+    Ok(proposals)
+}
+
+/// Feasibility of a layout on a given SRAM budget (the Table 5
+/// constraints, expressed in elements).
+pub fn fits_budget(
+    proposal: &LayoutProposal,
+    weight_capacity_elems: usize,
+    working_capacity_elems: usize,
+    n_mac: usize,
+) -> bool {
+    let padded_weights: usize = (0..proposal.shape.ndim())
+        .map(|k| {
+            let (r, c) = proposal.shape.unfolded_core_dims(k);
+            r.div_ceil(n_mac) * n_mac * c
+        })
+        .sum();
+    padded_weights <= weight_capacity_elems
+        && proposal.peak_intermediate <= working_capacity_elems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorizations_cover_products() {
+        let fs = factorizations(12, 2);
+        for f in &fs {
+            assert_eq!(f.iter().product::<usize>(), 12);
+            assert_eq!(f.len(), 2);
+        }
+        // 12 = 1*12, 2*6, 3*4, 4*3, 6*2, 12*1
+        assert!(fs.len() >= 6, "{fs:?}");
+        assert!(fs.contains(&vec![3, 4]));
+        assert!(fs.contains(&vec![12, 1]));
+    }
+
+    #[test]
+    fn factorizations_of_one_and_primes() {
+        assert_eq!(factorizations(1, 3), vec![vec![1, 1, 1]]);
+        let fs = factorizations(7, 2);
+        assert!(fs.contains(&vec![1, 7]) && fs.contains(&vec![7, 1]));
+    }
+
+    #[test]
+    fn imbalance_prefers_balanced() {
+        assert!(imbalance(&[4, 4, 4]) < imbalance(&[2, 4, 8]));
+        assert!(imbalance(&[4, 4]) < imbalance(&[16, 1]));
+        assert_eq!(imbalance(&[1, 1]), 1.0);
+    }
+
+    #[test]
+    fn proposals_for_fc7_include_the_paper_layout_family() {
+        // 4096 x 4096 at d=6, r=4: the paper uses m = n = [4; 6]. The
+        // top-ranked balanced proposal must match its cost.
+        let props = propose_layouts(4096, 4096, 6, 4, 5).unwrap();
+        let paper = TtShape::uniform_rank(vec![4; 6], vec![4; 6], 4).unwrap();
+        let paper_muls = tie_core::counts::mul_compact(&paper);
+        assert!(
+            props.iter().any(|p| p.muls <= paper_muls),
+            "planner should find a layout at least as good as the paper's: best {} vs paper {}",
+            props[0].muls,
+            paper_muls
+        );
+        // All proposals factor correctly.
+        for p in &props {
+            assert_eq!(p.shape.num_rows(), 4096);
+            assert_eq!(p.shape.num_cols(), 4096);
+        }
+    }
+
+    #[test]
+    fn proposals_are_sorted_by_cost() {
+        let props = propose_layouts(256, 240, 3, 4, 8).unwrap();
+        for w in props.windows(2) {
+            assert!(w[0].muls <= w[1].muls);
+        }
+    }
+
+    #[test]
+    fn budget_check_matches_table5_constraints() {
+        let props = propose_layouts(4096, 4096, 6, 4, 1).unwrap();
+        assert!(fits_budget(&props[0], 8192, 196_608, 16));
+        // A tiny weight budget rejects everything.
+        assert!(!fits_budget(&props[0], 64, 196_608, 16));
+    }
+
+    #[test]
+    fn errors_on_degenerate_requests() {
+        assert!(propose_layouts(0, 4, 2, 2, 3).is_err());
+        assert!(propose_layouts(4, 4, 0, 2, 3).is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! Benchmark workload definitions for the TIE reproduction.
+//!
+//! * [`benchmarks`] — the paper's Table 4 workloads (VGG-FC6, VGG-FC7,
+//!   LSTM-UCF11, LSTM-Youtube) with their exact TT settings,
+//! * [`vgg_conv`] — the VGG-16 CONV stack as TT workloads (Table 9); the
+//!   paper does not print its CONV TT settings, so the factorization and
+//!   rank choice are documented here and swept in the experiments,
+//! * [`sparsity`] — per-layer weight/activation density profiles for the
+//!   EIE comparison (from the EIE paper's measurements),
+//! * [`sweep`] — rank sweeps (Fig. 13) and random-workload generators for
+//!   property tests and robustness experiments,
+//! * [`factorize`] — automatic TT-layout planning (the paper picks its
+//!   mode factorizations by hand; this searches balanced candidates and
+//!   checks them against the SRAM budgets).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+pub mod factorize;
+pub mod sparsity;
+pub mod sweep;
+pub mod vgg_conv;
+
+pub use benchmarks::{table4_benchmarks, Benchmark, Task};
+
+pub use tie_tensor::{Result, TensorError};

@@ -1,0 +1,61 @@
+//! Sparsity profiles for the EIE comparison (Fig. 12 / Table 7).
+//!
+//! EIE's performance depends on the pruned weight density and the dynamic
+//! activation density of each layer. These profiles follow the EIE
+//! paper's Table IV measurements for the VGG-16 FC layers.
+
+/// Weight/activation density of one layer under EIE's compression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SparsityProfile {
+    /// Layer name.
+    pub name: &'static str,
+    /// Fraction of weights kept after pruning.
+    pub weight_density: f64,
+    /// Fraction of input activations that are nonzero at inference time.
+    pub act_density: f64,
+}
+
+/// VGG-16 FC6 under deep compression (EIE paper: 4% weights, ~18% of the
+/// post-ReLU/pooling inputs nonzero).
+pub const VGG_FC6: SparsityProfile = SparsityProfile {
+    name: "VGG-FC6",
+    weight_density: 0.04,
+    act_density: 0.18,
+};
+
+/// VGG-16 FC7 under deep compression (4% weights, ~37% input activations
+/// nonzero).
+pub const VGG_FC7: SparsityProfile = SparsityProfile {
+    name: "VGG-FC7",
+    weight_density: 0.04,
+    act_density: 0.37,
+};
+
+impl SparsityProfile {
+    /// Expected multiply count for an `rows × cols` layer on EIE:
+    /// `rows · cols · weight_density · act_density`.
+    pub fn expected_macs(&self, rows: usize, cols: usize) -> f64 {
+        rows as f64 * cols as f64 * self.weight_density * self.act_density
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_are_sane() {
+        for p in [VGG_FC6, VGG_FC7] {
+            assert!(p.weight_density > 0.0 && p.weight_density < 0.2);
+            assert!(p.act_density > 0.0 && p.act_density < 1.0);
+        }
+    }
+
+    #[test]
+    fn expected_macs_fc6() {
+        // 4096·25088·0.04·0.18 ≈ 740k MACs — EIE's per-inference work on
+        // FC6, three orders below the dense 103M.
+        let m = VGG_FC6.expected_macs(4096, 25088);
+        assert!((m - 739_860.0).abs() / 739_860.0 < 0.01, "{m}");
+    }
+}

@@ -1,0 +1,70 @@
+//! Parameter sweeps and random workload generation.
+
+use tie_tensor::Result;
+use tie_tt::TtShape;
+
+use rand::Rng;
+
+/// The rank values swept in Fig. 13 (plus the paper default 4).
+pub const FIG13_RANKS: [usize; 5] = [2, 4, 6, 8, 12];
+
+/// Produces the Fig. 13 rank sweep for one workload: the same mode
+/// factorization at every rank in `ranks`.
+///
+/// # Errors
+///
+/// Propagates shape-validation errors (cannot occur for valid inputs).
+pub fn rank_sweep(base: &TtShape, ranks: &[usize]) -> Result<Vec<(usize, TtShape)>> {
+    ranks
+        .iter()
+        .map(|&r| Ok((r, base.with_uniform_rank(r)?)))
+        .collect()
+}
+
+/// Generates a random-but-valid TT layout for property tests: `d ∈ 2..=5`
+/// dimensions, modes in `2..=6`, interior ranks in `1..=4`.
+pub fn random_shape<R: Rng>(rng: &mut R) -> TtShape {
+    let d = rng.gen_range(2..=5usize);
+    let m: Vec<usize> = (0..d).map(|_| rng.gen_range(2..=6)).collect();
+    let n: Vec<usize> = (0..d).map(|_| rng.gen_range(2..=6)).collect();
+    let mut ranks = vec![1usize; d + 1];
+    for r in ranks.iter_mut().take(d).skip(1) {
+        *r = rng.gen_range(1..=4);
+    }
+    TtShape::new(m, n, ranks).expect("generated shape is valid by construction")
+}
+
+/// PE-count ablation points (the paper's architecture is 16×16).
+pub const PE_SWEEP: [usize; 4] = [4, 8, 16, 32];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn rank_sweep_changes_only_ranks() {
+        let base = TtShape::uniform_rank(vec![4; 4], vec![4, 20, 20, 36], 4).unwrap();
+        let sweep = rank_sweep(&base, &FIG13_RANKS).unwrap();
+        assert_eq!(sweep.len(), 5);
+        for (r, s) in &sweep {
+            assert_eq!(s.row_modes, base.row_modes);
+            assert_eq!(s.col_modes, base.col_modes);
+            assert!(s.ranks[1..s.ndim()].iter().all(|v| v == r));
+        }
+    }
+
+    #[test]
+    fn random_shapes_are_valid_and_varied() {
+        let mut rng = ChaCha8Rng::seed_from_u64(400);
+        let mut ds = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let s = random_shape(&mut rng);
+            ds.insert(s.ndim());
+            assert_eq!(s.ranks[0], 1);
+            assert_eq!(s.ranks[s.ndim()], 1);
+        }
+        assert!(ds.len() >= 3, "should cover several d values: {ds:?}");
+    }
+}

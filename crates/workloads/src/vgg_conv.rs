@@ -1,0 +1,131 @@
+//! VGG-16 CONV layers as TT workloads (the paper's Table 9 experiment).
+//!
+//! Per paper Fig. 3, a CONV layer is executed as a matrix multiplication:
+//! the kernel tensor becomes a `C_out × f²C_in` matrix and every output
+//! pixel is one matrix-vector product. The TIE paper does not print its
+//! VGG CONV TT settings; the factorization below uses `d = 3–4` modes and
+//! interior rank 8, the largest uniform rank for which **every** layer's
+//! cores fit the prototype's 16 KB weight SRAM (the binding constraint —
+//! rank 12 already overflows on the 512-channel layers). The experiment
+//! binaries sweep this rank.
+
+use tie_tt::TtShape;
+
+/// A VGG-16 CONV layer as a TIE workload.
+#[derive(Debug, Clone)]
+pub struct ConvWorkload {
+    /// Layer name.
+    pub name: &'static str,
+    /// TT layout of the `C_out × f²C_in` kernel matrix.
+    pub shape: TtShape,
+    /// Output pixels per frame (`H' · W'`) = matrix-vector products per
+    /// frame.
+    pub pixels: usize,
+}
+
+impl ConvWorkload {
+    /// Dense multiply-accumulates of this layer per frame.
+    pub fn dense_macs(&self) -> u64 {
+        (self.shape.num_rows() * self.shape.num_cols() * self.pixels) as u64
+    }
+}
+
+/// The 13 VGG-16 CONV layers as TT workloads with uniform interior rank
+/// `rank`.
+///
+/// # Panics
+///
+/// Never for ranks ≥ 1: all constant factorizations are valid.
+pub fn vgg16_conv_workloads(rank: usize) -> Vec<ConvWorkload> {
+    let mk = |name, m: Vec<usize>, n: Vec<usize>, pixels: usize| ConvWorkload {
+        name,
+        shape: TtShape::uniform_rank(m, n, rank).expect("valid factorization"),
+        pixels,
+    };
+    vec![
+        // name, m (C_out factors), n (f²·C_in factors), H'·W'
+        mk("conv1_1", vec![4, 4, 4], vec![3, 3, 3], 224 * 224),
+        mk("conv1_2", vec![4, 4, 4], vec![8, 8, 9], 224 * 224),
+        mk("conv2_1", vec![8, 4, 4], vec![8, 8, 9], 112 * 112),
+        mk("conv2_2", vec![8, 4, 4], vec![8, 12, 12], 112 * 112),
+        mk("conv3_1", vec![4, 4, 4, 4], vec![2, 8, 8, 9], 56 * 56),
+        mk("conv3_2", vec![4, 4, 4, 4], vec![4, 8, 8, 9], 56 * 56),
+        mk("conv3_3", vec![4, 4, 4, 4], vec![4, 8, 8, 9], 56 * 56),
+        mk("conv4_1", vec![8, 4, 4, 4], vec![4, 8, 8, 9], 28 * 28),
+        mk("conv4_2", vec![8, 4, 4, 4], vec![8, 8, 8, 9], 28 * 28),
+        mk("conv4_3", vec![8, 4, 4, 4], vec![8, 8, 8, 9], 28 * 28),
+        mk("conv5_1", vec![8, 4, 4, 4], vec![8, 8, 8, 9], 14 * 14),
+        mk("conv5_2", vec![8, 4, 4, 4], vec![8, 8, 8, 9], 14 * 14),
+        mk("conv5_3", vec![8, 4, 4, 4], vec![8, 8, 8, 9], 14 * 14),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorizations_match_vgg_dimensions() {
+        let expected: [(usize, usize); 13] = [
+            (64, 27),
+            (64, 576),
+            (128, 576),
+            (128, 1152),
+            (256, 1152),
+            (256, 2304),
+            (256, 2304),
+            (512, 2304),
+            (512, 4608),
+            (512, 4608),
+            (512, 4608),
+            (512, 4608),
+            (512, 4608),
+        ];
+        for (w, (m, n)) in vgg16_conv_workloads(8).iter().zip(expected) {
+            assert_eq!(w.shape.num_rows(), m, "{} rows", w.name);
+            assert_eq!(w.shape.num_cols(), n, "{} cols", w.name);
+        }
+    }
+
+    #[test]
+    fn total_dense_macs_equal_the_known_vgg_conv_count() {
+        let total: u64 = vgg16_conv_workloads(8).iter().map(|w| w.dense_macs()).sum();
+        assert!(
+            (15.0e9..15.8e9).contains(&(total as f64)),
+            "VGG-16 CONV MACs {total}"
+        );
+    }
+
+    #[test]
+    fn rank8_fits_the_prototype_weight_sram() {
+        // The documented constraint: every layer's TT params (padded to
+        // 16-row tiles × 16-element words, the Fig. 9 layout) must fit
+        // 8192 elements.
+        for w in vgg16_conv_workloads(8) {
+            let mut padded = 0usize;
+            for k in 0..w.shape.ndim() {
+                let (rows, cols) = w.shape.unfolded_core_dims(k);
+                padded += rows.div_ceil(16) * 16 * cols;
+            }
+            assert!(
+                padded <= 8192,
+                "{}: padded weight footprint {padded} exceeds 8192",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn rank12_overflows_somewhere_justifying_the_choice() {
+        let mut any_overflow = false;
+        for w in vgg16_conv_workloads(12) {
+            let mut padded = 0usize;
+            for k in 0..w.shape.ndim() {
+                let (rows, cols) = w.shape.unfolded_core_dims(k);
+                padded += rows.div_ceil(16) * 16 * cols;
+            }
+            any_overflow |= padded > 8192;
+        }
+        assert!(any_overflow, "rank 12 should overflow the weight SRAM");
+    }
+}

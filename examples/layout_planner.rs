@@ -1,0 +1,63 @@
+//! Automatic TT-layout planning: the paper hand-picks its (d, m, n)
+//! factorizations; this demo searches balanced candidates for a layer,
+//! checks them against the prototype's SRAM budgets, and validates the
+//! planner's latency proxy against the cycle-accurate simulator.
+//!
+//! ```sh
+//! cargo run --release --example layout_planner
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tie::prelude::*;
+use tie::workloads::factorize::{fits_budget, propose_layouts};
+
+fn main() -> Result<(), tie::TensorError> {
+    let cfg = TieConfig::default();
+    let (rows, cols, d, rank) = (4096usize, 4096usize, 6usize, 4usize);
+    println!("== TT layout planner: {rows}x{cols} layer, d={d}, r={rank} ==\n");
+    let proposals = propose_layouts(rows, cols, d, rank, 6)?;
+    println!(
+        "{:<26} {:<26} {:>8} {:>12} {:>10} {:>10} {:>8}",
+        "m (rows)", "n (cols)", "params", "compression", "muls", "sim cyc", "fits?"
+    );
+    for p in &proposals {
+        let fits = fits_budget(
+            p,
+            cfg.weight_capacity_elems(),
+            cfg.working_capacity_elems(),
+            cfg.n_mac,
+        );
+        // Validate the multiply-count proxy on the real simulator.
+        let sim_cycles = if fits {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            let ttm = TtMatrix::<f64>::random(&mut rng, &p.shape, 0.5)?;
+            let mut tie = TieAccelerator::new(cfg)?;
+            let layer = tie.load_layer(ttm)?;
+            let x = Tensor::<f64>::filled(vec![cols], 0.01)?;
+            let (_, stats) = tie.run(&layer, &x, false)?;
+            stats.cycles().to_string()
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{:<26} {:<26} {:>8} {:>11.0}x {:>10} {:>10} {:>8}",
+            format!("{:?}", p.shape.row_modes),
+            format!("{:?}", p.shape.col_modes),
+            p.params,
+            p.compression,
+            p.muls,
+            sim_cycles,
+            if fits { "yes" } else { "no" }
+        );
+    }
+    let paper = TtShape::uniform_rank(vec![4; 6], vec![4; 6], 4)?;
+    println!(
+        "\npaper's hand-picked FC7 layout: m=n=[4;6], {} muls. The planner finds cheaper\n\
+         layouts by coarsening modes (8s and unit modes shrink the effective d) — a pure\n\
+         compute/compression view; coarser modes at fixed rank lose expressiveness, which\n\
+         is why the paper trains with fine all-4 modes. The planner maps that frontier.",
+        tie::core::counts::mul_compact(&paper)
+    );
+    Ok(())
+}

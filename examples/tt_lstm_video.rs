@@ -1,0 +1,82 @@
+//! TT-LSTM video-style classification (the paper's Table 3/4 RNN
+//! workload family): train a TT-LSTM whose input-to-hidden matrix is
+//! TT-compressed, then execute the trained projection on the TIE
+//! accelerator model.
+//!
+//! ```sh
+//! cargo run --release --example tt_lstm_video
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tie::nn::data::noisy_sequences;
+use tie::nn::rnn::{InputProjection, LstmCell, SequenceClassifier};
+use tie::nn::{accuracy, softmax_cross_entropy, Sgd, Trainable};
+use tie::prelude::*;
+
+fn main() -> Result<(), tie::TensorError> {
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    // "Video": 5 frames of 960-d features, 3 classes.
+    let (classes, t_len, dim, hidden) = (3usize, 5usize, 960usize, 8usize);
+    let all = noisy_sequences(&mut rng, classes, t_len, 16, dim, 1.0);
+    let (train, test) = all.split(0.5);
+
+    // TT input-to-hidden: 960 -> 4H=32, modes (2*4*4) x (8*10*12), r=4.
+    let shape = TtShape::uniform_rank(vec![2, 4, 4], vec![8, 10, 12], 4)?;
+    let dense_params = dim * 4 * hidden;
+    println!("== TT-LSTM video classifier ==");
+    println!(
+        "input-to-hidden: {} dense params -> {} TT params ({:.0}x compression)\n",
+        dense_params,
+        shape.num_params(),
+        dense_params as f64 / shape.num_params() as f64
+    );
+
+    let cell = LstmCell::tt(&mut rng, &shape, hidden)?;
+    let mut clf = SequenceClassifier::new(&mut rng, cell, classes);
+    let mut opt = Sgd::with_momentum(0.05, 0.9);
+    for epoch in 0..40 {
+        let logits = clf.forward(&train.sequences)?;
+        let loss = softmax_cross_entropy(&logits, &train.labels)?;
+        clf.zero_grads();
+        clf.backward(&loss.grad)?;
+        opt.step(&mut clf);
+        if epoch % 10 == 0 || epoch == 39 {
+            let train_acc = accuracy(&logits, &train.labels);
+            let test_logits = clf.forward(&test.sequences)?;
+            let test_acc = accuracy(&test_logits, &test.labels);
+            println!(
+                "epoch {epoch:>3}: loss {:.4}, train acc {:.0}%, test acc {:.0}%",
+                loss.loss,
+                train_acc * 100.0,
+                test_acc * 100.0
+            );
+        }
+    }
+
+    // Deploy the trained input-to-hidden projection on TIE.
+    let InputProjection::Tt { cores, .. } = clf.cell().input_projection() else {
+        unreachable!("cell was built with a TT projection");
+    };
+    let cores64: Vec<Tensor<f64>> = cores.iter().map(Tensor::cast).collect();
+    let ttm = TtMatrix::new(cores64)?;
+    let mut tie = TieAccelerator::new(TieConfig::default())?;
+    let layer = tie.load_layer(ttm)?;
+    // One frame through the accelerator.
+    let frame = Tensor::<f64>::from_vec(
+        vec![dim],
+        test.sequences.data()[..dim].iter().map(|&v| v as f64).collect(),
+    )?;
+    let (gates, stats) = tie.run(&layer, &frame, false)?;
+    let (gates_ref, _) = layer.reference().matvec(&frame)?;
+    println!(
+        "\nTIE executes the trained input projection in {} cycles ({:.2} us @ 1 GHz)",
+        stats.cycles(),
+        stats.latency_seconds(1000.0) * 1e6
+    );
+    println!(
+        "fixed-point gate pre-activations vs float: rel err {:.2e}",
+        gates.relative_error(&gates_ref)?
+    );
+    Ok(())
+}

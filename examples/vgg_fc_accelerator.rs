@@ -1,0 +1,60 @@
+//! Run the paper's VGG-16 FC workloads (Table 4) through the
+//! cycle-accurate TIE accelerator and print the Table-8/Fig-12 style
+//! metrics: latency, dense-equivalent TOPS, utilization, memory traffic
+//! and modeled power.
+//!
+//! ```sh
+//! cargo run --release --example vgg_fc_accelerator
+//! ```
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tie::prelude::*;
+use tie::tensor::init;
+use tie::workloads::table4_benchmarks;
+
+fn main() -> Result<(), tie::TensorError> {
+    let cfg = TieConfig::default();
+    let model = TieAreaPowerModel::paper_prototype();
+    println!("== TIE accelerator on the Table 4 benchmarks ==");
+    println!(
+        "configuration: {} PEs x {} MACs @ {} MHz, {} KB weight + 2 x {} KB working SRAM\n",
+        cfg.n_pe,
+        cfg.n_mac,
+        cfg.freq_mhz,
+        cfg.weight_sram_bytes / 1024,
+        cfg.working_sram_bytes / 1024
+    );
+    println!(
+        "{:<14} {:>10} {:>12} {:>10} {:>11} {:>12} {:>10}",
+        "workload", "cycles", "latency", "eq. TOPS", "utilization", "power (mW)", "TOPS/W"
+    );
+    for (i, b) in table4_benchmarks().iter().enumerate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(40 + i as u64);
+        let ttm = TtMatrix::<f64>::random(&mut rng, &b.shape, 0.5)?;
+        let mut tie = TieAccelerator::new(cfg)?;
+        let layer = tie.load_layer(ttm)?;
+        let x: Tensor<f64> = init::uniform(&mut rng, vec![b.shape.num_cols()], 1.0);
+        let (_, stats) = tie.run(&layer, &x, true)?;
+        let latency = stats.latency_seconds(cfg.freq_mhz);
+        let tops = stats.equivalent_ops_per_sec(layer.plan().dense_equivalent_ops(), cfg.freq_mhz)
+            / 1e12;
+        let util = stats.utilization(cfg.n_pe, cfg.n_mac);
+        let power = model.power_at_utilization(util).total();
+        println!(
+            "{:<14} {:>10} {:>9.2} us {:>10.2} {:>10.0}% {:>12.1} {:>10.1}",
+            b.name,
+            stats.cycles(),
+            latency * 1e6,
+            tops,
+            util * 100.0,
+            power,
+            tops / (power / 1e3)
+        );
+    }
+    println!(
+        "\n(the paper's Table 8 quotes 7.64 TOPS / 72.9 TOPS/W across these workloads;\n\
+         equivalent TOPS counts the dense 2*M*N ops the layer replaces)"
+    );
+    Ok(())
+}

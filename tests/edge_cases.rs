@@ -1,0 +1,196 @@
+//! Degenerate and boundary configurations: `d = 1`, unit modes, unit
+//! ranks, extreme aspect ratios — the places index algebra usually breaks.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tie::core::CompactEngine;
+use tie::prelude::*;
+use tie::tensor::{init, linalg};
+use tie::tt::inference::naive_matvec;
+
+fn check_compact_equals_dense(shape: &TtShape, seed: u64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let ttm = TtMatrix::<f64>::random(&mut rng, shape, 0.8).unwrap();
+    let dense = ttm.to_dense().unwrap();
+    let x: Tensor<f64> = init::uniform(&mut rng, vec![shape.num_cols()], 1.0);
+    let engine = CompactEngine::new(ttm.clone()).unwrap();
+    let (y, _) = engine.matvec(&x).unwrap();
+    let want = linalg::matvec(&dense, &x).unwrap();
+    assert!(
+        y.approx_eq(&want, 1e-9),
+        "compact != dense for {shape}: max diff {}",
+        y.sub(&want).unwrap().max_abs()
+    );
+    let (y_naive, _) = naive_matvec(&ttm, &x).unwrap();
+    assert!(y_naive.approx_eq(&want, 1e-9), "naive != dense for {shape}");
+}
+
+#[test]
+fn d1_layer_degenerates_to_plain_matvec() {
+    check_compact_equals_dense(&TtShape::new(vec![7], vec![5], vec![1, 1]).unwrap(), 1);
+}
+
+#[test]
+fn unit_row_modes() {
+    // M = 1: a dot-product layer.
+    check_compact_equals_dense(
+        &TtShape::new(vec![1, 1, 1], vec![3, 4, 5], vec![1, 2, 2, 1]).unwrap(),
+        2,
+    );
+}
+
+#[test]
+fn unit_col_modes() {
+    // N = 1: an outer-product / broadcast layer.
+    check_compact_equals_dense(
+        &TtShape::new(vec![3, 4, 5], vec![1, 1, 1], vec![1, 2, 2, 1]).unwrap(),
+        3,
+    );
+}
+
+#[test]
+fn mixed_unit_modes_inside_the_chain() {
+    check_compact_equals_dense(
+        &TtShape::new(vec![2, 1, 3], vec![1, 4, 1], vec![1, 3, 2, 1]).unwrap(),
+        4,
+    );
+}
+
+#[test]
+fn all_unit_ranks() {
+    // Rank-1 TT: the matrix is a Kronecker product of d tiny blocks.
+    check_compact_equals_dense(
+        &TtShape::new(vec![2, 3, 2], vec![3, 2, 2], vec![1, 1, 1, 1]).unwrap(),
+        5,
+    );
+}
+
+#[test]
+fn wildly_unbalanced_ranks() {
+    check_compact_equals_dense(
+        &TtShape::new(vec![2, 2, 2], vec![2, 2, 2], vec![1, 4, 1, 1]).unwrap(),
+        6,
+    );
+    check_compact_equals_dense(
+        &TtShape::new(vec![2, 2, 2], vec![2, 2, 2], vec![1, 1, 4, 1]).unwrap(),
+        7,
+    );
+}
+
+#[test]
+fn extreme_aspect_ratio_layers() {
+    // 2 -> 512 and 512 -> 2.
+    check_compact_equals_dense(
+        &TtShape::new(vec![8, 8, 8], vec![2, 1, 1], vec![1, 2, 2, 1]).unwrap(),
+        8,
+    );
+    check_compact_equals_dense(
+        &TtShape::new(vec![2, 1, 1], vec![8, 8, 8], vec![1, 2, 2, 1]).unwrap(),
+        9,
+    );
+}
+
+#[test]
+fn simulator_handles_degenerate_layers() {
+    for (shape, seed) in [
+        (TtShape::new(vec![7], vec![5], vec![1, 1]).unwrap(), 20u64),
+        (
+            TtShape::new(vec![1, 4], vec![3, 1], vec![1, 2, 1]).unwrap(),
+            21,
+        ),
+        (
+            TtShape::new(vec![2, 2], vec![2, 2], vec![1, 1, 1]).unwrap(),
+            22,
+        ),
+    ] {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let ttm = TtMatrix::<f64>::random(&mut rng, &shape, 0.8).unwrap();
+        let engine = CompactEngine::new(ttm.clone()).unwrap();
+        let x: Tensor<f64> = init::uniform(&mut rng, vec![shape.num_cols()], 1.0);
+        let (want, ops) = engine.matvec(&x).unwrap();
+        let mut tie = TieAccelerator::new(TieConfig::default()).unwrap();
+        let layer = tie.load_layer(ttm).unwrap();
+        let (got, stats) = tie.run(&layer, &x, false).unwrap();
+        assert!(
+            got.relative_error(&want).unwrap() < 2e-2,
+            "sim diverges on degenerate {shape}"
+        );
+        assert_eq!(stats.macs(), ops.mults, "MAC count on {shape}");
+    }
+}
+
+#[test]
+fn zero_input_produces_zero_output_everywhere() {
+    let shape = TtShape::uniform_rank(vec![3, 3], vec![3, 3], 2).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(30);
+    let ttm = TtMatrix::<f64>::random(&mut rng, &shape, 0.8).unwrap();
+    let x = Tensor::<f64>::zeros(vec![9]);
+    let engine = CompactEngine::new(ttm.clone()).unwrap();
+    let (y, _) = engine.matvec(&x).unwrap();
+    assert!(y.max_abs() == 0.0);
+    let mut tie = TieAccelerator::new(TieConfig::default()).unwrap();
+    let layer = tie.load_layer(ttm).unwrap();
+    // All-zero input exercises the calibration fallback path too.
+    let (y_hw, _) = tie.run(&layer, &x, false).unwrap();
+    assert!(y_hw.max_abs() == 0.0);
+}
+
+#[test]
+fn zero_weight_layer_is_handled() {
+    // All-zero cores exercise the weight-calibration fallback.
+    let cores = vec![
+        Tensor::<f64>::zeros(vec![1, 2, 3, 2]),
+        Tensor::<f64>::zeros(vec![2, 2, 3, 1]),
+    ];
+    let ttm = TtMatrix::new(cores).unwrap();
+    let mut tie = TieAccelerator::new(TieConfig::default()).unwrap();
+    let layer = tie.load_layer(ttm).unwrap();
+    let x = Tensor::<f64>::filled(vec![9], 1.0).unwrap();
+    let (y, _) = tie.run(&layer, &x, false).unwrap();
+    assert_eq!(y.max_abs(), 0.0);
+}
+
+#[test]
+fn linalg_degenerate_matrices() {
+    // Zero matrix SVD/QR must not blow up.
+    let z = Tensor::<f64>::zeros(vec![4, 3]);
+    let f = linalg::svd(&z).unwrap();
+    assert!(f.s.iter().all(|&s| s == 0.0));
+    assert!(f.reconstruct().unwrap().approx_eq(&z, 1e-12));
+    let q = linalg::qr(&z).unwrap();
+    assert!(linalg::matmul(&q.q, &q.r).unwrap().approx_eq(&z, 1e-12));
+    // 1x1 matrices.
+    let one = Tensor::<f64>::from_vec(vec![1, 1], vec![-3.0]).unwrap();
+    let f1 = linalg::svd(&one).unwrap();
+    assert!((f1.s[0] - 3.0).abs() < 1e-12);
+    assert!(f1.reconstruct().unwrap().approx_eq(&one, 1e-12));
+}
+
+#[test]
+fn tt_arithmetic_on_degenerate_shapes() {
+    use tie::tt::arithmetic::{tt_add, tt_dot, tt_hadamard};
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    // d = 1 tensors.
+    let a = TtTensor::<f64>::random(&mut rng, &[5], &[1, 1], 1.0).unwrap();
+    let b = TtTensor::<f64>::random(&mut rng, &[5], &[1, 1], 1.0).unwrap();
+    let sum = tt_add(&a, &b).unwrap();
+    let want = a.to_dense().unwrap().add(&b.to_dense().unwrap()).unwrap();
+    assert!(sum.to_dense().unwrap().approx_eq(&want, 1e-12));
+    let had = tt_hadamard(&a, &b).unwrap();
+    let wanth = a
+        .to_dense()
+        .unwrap()
+        .hadamard(&b.to_dense().unwrap())
+        .unwrap();
+    assert!(had.to_dense().unwrap().approx_eq(&wanth, 1e-12));
+    let dot = tt_dot(&a, &b).unwrap();
+    let wantd: f64 = a
+        .to_dense()
+        .unwrap()
+        .data()
+        .iter()
+        .zip(b.to_dense().unwrap().data())
+        .map(|(&x, &y)| x * y)
+        .sum();
+    assert!((dot - wantd).abs() < 1e-12);
+}

@@ -1,0 +1,148 @@
+//! Cross-crate integration tests: the full pipeline from dense weights
+//! through TT decomposition, the compact scheme, training, and the
+//! cycle-accurate accelerator.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tie::nn::{Layer, Trainable, TtDense};
+use tie::prelude::*;
+use tie::tensor::{init, linalg};
+use tie::tt::inference::naive_matvec;
+
+/// dense W → TT-SVD → compact scheme → bit-accurate simulator: every
+/// representation agrees.
+#[test]
+fn full_stack_agreement_chain() {
+    let mut rng = ChaCha8Rng::seed_from_u64(9001);
+    let w: Tensor<f64> = init::uniform(&mut rng, vec![24, 36], 1.0);
+    let x: Tensor<f64> = init::uniform(&mut rng, vec![36], 1.0);
+    let y_dense = linalg::matvec(&w, &x).unwrap();
+
+    let ttm = TtMatrix::from_dense(&w, &[2, 3, 4], &[3, 3, 4], Truncation::none()).unwrap();
+    // (1) reconstruction
+    assert!(ttm.to_dense().unwrap().approx_eq(&w, 1e-9));
+    // (2) naive scheme
+    let (y_naive, _) = naive_matvec(&ttm, &x).unwrap();
+    assert!(y_naive.approx_eq(&y_dense, 1e-9));
+    // (3) compact scheme
+    let engine = CompactEngine::new(ttm.clone()).unwrap();
+    let (y_compact, ops) = engine.matvec(&x).unwrap();
+    assert!(y_compact.approx_eq(&y_dense, 1e-9));
+    assert_eq!(ops.mults, engine.plan().total_muls());
+    // (4) the hardware simulator (16-bit datapath)
+    let mut tie = TieAccelerator::new(TieConfig::default()).unwrap();
+    let layer = tie.load_layer(ttm).unwrap();
+    let (y_hw, stats) = tie.run(&layer, &x, false).unwrap();
+    let err = y_hw.relative_error(&y_dense).unwrap();
+    assert!(err < 1e-2, "hardware output off by {err}");
+    assert_eq!(stats.macs(), ops.mults, "simulator MACs == compact multiplies");
+    assert_eq!(stats.saturations(), 0);
+}
+
+/// Train a TT layer with the nn stack, export it, and run the trained
+/// weights on the accelerator — the deployment path a user would take.
+#[test]
+fn train_then_deploy_on_accelerator() {
+    let mut rng = ChaCha8Rng::seed_from_u64(9002);
+    let shape = TtShape::uniform_rank(vec![4, 4], vec![4, 4], 3).unwrap();
+    let mut layer = TtDense::new(&mut rng, &shape);
+    // Fit y = x W₀ᵀ for a *TT-representable* target (rank 3): a random
+    // dense target's best rank-3 approximation error is ~0.9, so only a
+    // realizable target makes convergence measurable.
+    let target: Tensor<f32> = TtMatrix::<f64>::random(&mut rng, &shape, 0.6)
+        .unwrap()
+        .to_dense()
+        .unwrap()
+        .cast();
+    let xs: Tensor<f32> = init::uniform(&mut rng, vec![48, 16], 1.0);
+    let ys = linalg::matmul_nt(&xs, &target).unwrap();
+    for _ in 0..500 {
+        let out = layer.forward(&xs).unwrap();
+        let diff = out.sub(&ys).unwrap();
+        layer.zero_grads();
+        layer.backward(&diff).unwrap();
+        layer.visit_params(&mut |p, g| p.axpy(-0.01, g).unwrap());
+    }
+    // Training must have made real progress toward the target map.
+    let trained: TtMatrix<f64> = layer.to_tt_matrix().unwrap().cast();
+    let learned = trained.to_dense().unwrap();
+    let target64: Tensor<f64> = target.cast();
+    let fit_err = learned.relative_error(&target64).unwrap();
+    assert!(fit_err < 0.35, "training did not converge: rel err {fit_err}");
+    // Deploy: the accelerator must reproduce the *trained* layer's own
+    // linear map (bias lives outside the TT matrix) to 16-bit accuracy.
+    let mut tie = TieAccelerator::new(TieConfig::default()).unwrap();
+    let loaded = tie.load_layer(trained).unwrap();
+    let x: Tensor<f64> = init::uniform(&mut rng, vec![16], 1.0);
+    let (y_hw, _) = tie.run(&loaded, &x, false).unwrap();
+    let want = linalg::matvec(&learned, &x).unwrap();
+    let err = y_hw.relative_error(&want).unwrap();
+    assert!(err < 1e-2, "deployed output err {err}");
+}
+
+/// The accelerator's ReLU path composes with the compact scheme exactly
+/// like the float reference does.
+#[test]
+fn accelerator_relu_matches_float_relu() {
+    let mut rng = ChaCha8Rng::seed_from_u64(9003);
+    let shape = TtShape::uniform_rank(vec![4, 4], vec![4, 4], 4).unwrap();
+    let ttm = TtMatrix::<f64>::random(&mut rng, &shape, 0.6).unwrap();
+    let engine = CompactEngine::new(ttm.clone()).unwrap();
+    let mut tie = TieAccelerator::new(TieConfig::default()).unwrap();
+    let layer = tie.load_layer(ttm).unwrap();
+    let x: Tensor<f64> = init::uniform(&mut rng, vec![16], 1.0);
+    let (y_lin, _) = engine.matvec(&x).unwrap();
+    let y_relu_ref = y_lin.map(|v| v.max(0.0));
+    let (y_hw, _) = tie.run(&layer, &x, true).unwrap();
+    assert!(
+        y_hw.approx_eq(&y_relu_ref, 0.05),
+        "max diff {}",
+        y_hw.sub(&y_relu_ref).unwrap().max_abs()
+    );
+}
+
+/// Batched compact inference equals per-sample inference equals dense —
+/// the path TT CONV layers use.
+#[test]
+fn batched_compact_inference_consistency() {
+    let mut rng = ChaCha8Rng::seed_from_u64(9004);
+    let shape = TtShape::uniform_rank(vec![3, 3], vec![4, 4], 3).unwrap();
+    let ttm = TtMatrix::<f64>::random(&mut rng, &shape, 0.7).unwrap();
+    let dense = ttm.to_dense().unwrap();
+    let engine = CompactEngine::new(ttm).unwrap();
+    let xs: Tensor<f64> = init::uniform(&mut rng, vec![16, 5], 1.0);
+    let (ys, _) = engine.matvec_batch(&xs).unwrap();
+    let want = linalg::matmul(&dense, &xs).unwrap();
+    assert!(ys.approx_eq(&want, 1e-9));
+}
+
+/// Quantized matmul in tie-quant and the PE-array datapath in tie-sim
+/// implement the same arithmetic.
+#[test]
+fn quant_and_sim_datapaths_agree() {
+    use tie::quant::qmatmul;
+    let mut rng = ChaCha8Rng::seed_from_u64(9005);
+    let a64: Tensor<f64> = init::uniform(&mut rng, vec![8, 6], 1.0);
+    let b64: Tensor<f64> = init::uniform(&mut rng, vec![6, 10], 1.0);
+    let fmt = QFormat::new(12).unwrap();
+    let qa = QTensor::quantize(&a64, fmt);
+    let qb = QTensor::quantize(&b64, fmt);
+    let out_fmt = QFormat::new(10).unwrap();
+    let (qc, report) = qmatmul(&qa, &qb, out_fmt).unwrap();
+    assert!(report.is_clean());
+    let want = linalg::matmul(&a64, &b64).unwrap();
+    let got = qc.dequantize();
+    assert!(got.approx_eq(&want, 0.02));
+}
+
+/// Tensor-ring generalization: a TT tensor converted to TR evaluates
+/// identically, and genuine ring ranks still reconstruct consistently.
+#[test]
+fn tensor_ring_extension_round_trip() {
+    use tie::tt::ring::TrTensor;
+    let mut rng = ChaCha8Rng::seed_from_u64(9006);
+    let tt = TtTensor::<f64>::random(&mut rng, &[3, 4, 2], &[1, 3, 2, 1], 1.0).unwrap();
+    let dense = tt.to_dense().unwrap();
+    let tr: TrTensor<f64> = tt.into();
+    assert!(tr.to_dense().unwrap().approx_eq(&dense, 1e-12));
+}

@@ -1,0 +1,206 @@
+//! Assertions of the paper's headline numbers — the reproduction's
+//! acceptance tests. Each test names the table/figure it pins down.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tie::baselines::{eyeriss, specs};
+use tie::core::{counts, InferencePlan};
+use tie::energy::{project, TechNode, TieAreaPowerModel};
+use tie::prelude::*;
+use tie::tensor::init;
+use tie::workloads::table4_benchmarks;
+
+fn run_workload(shape: &TtShape, seed: u64) -> (f64 /* TOPS */, f64 /* util */) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let ttm = TtMatrix::<f64>::random(&mut rng, shape, 0.5).unwrap();
+    let mut tie = TieAccelerator::new(TieConfig::default()).unwrap();
+    let layer = tie.load_layer(ttm).unwrap();
+    let x: Tensor<f64> = init::uniform(&mut rng, vec![shape.num_cols()], 1.0);
+    let (_, stats) = tie.run(&layer, &x, false).unwrap();
+    (
+        stats.equivalent_ops_per_sec(layer.plan().dense_equivalent_ops(), 1000.0) / 1e12,
+        stats.utilization(16, 16),
+    )
+}
+
+/// Table 4: all four compression ratios within 2%.
+#[test]
+fn table4_compression_ratios() {
+    for b in table4_benchmarks() {
+        let cr = b.shape.compression_ratio();
+        assert!(
+            (cr - b.paper_cr).abs() / b.paper_cr < 0.02,
+            "{}: {cr:.0} vs {}",
+            b.name,
+            b.paper_cr
+        );
+    }
+}
+
+/// Table 6: the area/power model reproduces the printed breakdown.
+#[test]
+fn table6_calibration() {
+    let m = TieAreaPowerModel::paper_prototype();
+    assert!((m.power_at_utilization(1.0).total() - 154.8).abs() < 0.01);
+    assert!((m.area().total() - 1.744).abs() < 0.001);
+}
+
+/// Table 7: the projection rule lands EIE at the printed 28 nm numbers.
+#[test]
+fn table7_eie_projection() {
+    let p = project(&specs::eie(), TechNode::NM28);
+    assert!((p.freq_mhz - 1285.0).abs() < 2.0);
+    assert!((p.area_mm2.unwrap() - 15.7).abs() < 0.15);
+    assert_eq!(p.power_mw, 590.0);
+}
+
+/// Table 8: TIE's measured mean equivalent throughput across the Table 4
+/// workloads lands in the paper's regime (7.64 TOPS quoted; the
+/// reproduction accepts 4–15 TOPS) and beats projected CirCNN by ≥ 3×.
+#[test]
+fn table8_throughput_and_advantage() {
+    let mut tops_sum = 0.0;
+    for (i, b) in table4_benchmarks().iter().enumerate() {
+        let (tops, util) = run_workload(&b.shape, 7000 + i as u64);
+        assert!(util > 0.5, "{}: utilization {util}", b.name);
+        tops_sum += tops;
+    }
+    let mean_tops = tops_sum / 4.0;
+    assert!(
+        (4.0..15.0).contains(&mean_tops),
+        "mean equivalent TOPS {mean_tops:.2} outside the paper regime"
+    );
+    let circnn_tops = specs::CIRCNN_TOPS_NATIVE / 1e12 * (45.0 / 28.0);
+    assert!(
+        mean_tops / circnn_tops > 3.0,
+        "TIE advantage over CirCNN only {:.2}x",
+        mean_tops / circnn_tops
+    );
+}
+
+/// Table 9 direction: TIE's TT CONV stack beats projected Eyeriss on
+/// frames/s, frames/s/W and frames/s/mm².
+#[test]
+fn table9_eyeriss_direction() {
+    // Eyeriss projected.
+    let model = eyeriss::EyerissModel::default();
+    let stack = eyeriss::vgg16_conv_stack();
+    let fps_native = model.frames_per_sec(&stack).unwrap();
+    let ey28 = project(&specs::eyeriss(), TechNode::NM28);
+    let fps_proj = fps_native * ey28.freq_mhz / 200.0;
+    // TIE analytic conv model (rank 8).
+    let cfg = TieConfig::default();
+    let mut cycles = 0u64;
+    for w in tie::workloads::vgg_conv::vgg16_conv_workloads(8) {
+        let plan = InferencePlan::new(&w.shape).unwrap();
+        for s in plan.stages() {
+            cycles += (s.gtilde_rows.div_ceil(cfg.n_mac)
+                * (s.v_cols * w.pixels).div_ceil(cfg.n_pe)
+                * s.gtilde_cols) as u64;
+        }
+    }
+    let tie_fps = 1.0 / (cycles as f64 / 1e9);
+    assert!(
+        tie_fps > fps_proj,
+        "TIE {tie_fps:.2} fps must beat projected Eyeriss {fps_proj:.2}"
+    );
+    let tie_model = TieAreaPowerModel::paper_prototype();
+    let tie_fps_w = tie_fps / (tie_model.power_at_utilization(0.8).total() / 1e3);
+    let ey_fps_w = fps_proj / (ey28.power_mw / 1e3);
+    assert!(tie_fps_w > ey_fps_w, "fps/W direction");
+}
+
+/// §3.1: the redundancy of naive TT inference on FC6 is three orders of
+/// magnitude (paper quotes 1073×; printed-formula arithmetic gives ~2×
+/// that — see DESIGN.md).
+#[test]
+fn section31_redundancy_magnitude() {
+    let fc6 = &table4_benchmarks()[0].shape;
+    let ratio = counts::redundancy_ratio(fc6);
+    assert!((1000.0..4000.0).contains(&ratio), "ratio {ratio:.0}");
+    // And the relationship between the three counts holds everywhere.
+    for b in table4_benchmarks() {
+        assert!(counts::mul_theoretical_eqn7(&b.shape) <= counts::mul_compact(&b.shape));
+        assert!(counts::mul_compact(&b.shape) < counts::mul_naive(&b.shape));
+    }
+}
+
+/// §3.2 / Table 5: every benchmark fits the prototype SRAM budget, and
+/// the budget is tight (FC6 needs more than half of the working SRAM).
+#[test]
+fn section32_sram_sizing() {
+    let cfg = TieConfig::default();
+    let mut peak_max = 0usize;
+    for b in table4_benchmarks() {
+        let plan = InferencePlan::new(&b.shape).unwrap();
+        assert!(plan.max_intermediate_elems() <= cfg.working_capacity_elems());
+        peak_max = peak_max.max(plan.max_intermediate_elems());
+    }
+    assert!(
+        peak_max > cfg.working_capacity_elems() / 2,
+        "the 384 KB budget should be tight: peak {peak_max}"
+    );
+}
+
+/// Fig. 12 direction: TIE's area efficiency beats projected EIE by a
+/// large factor on FC7 (paper: 7.22–10.66×; reproduction accepts ≥ 4×).
+#[test]
+fn fig12_area_efficiency_direction() {
+    let (tie_tops, _) = run_workload(&table4_benchmarks()[1].shape, 7100);
+    let tie_area_eff = tie_tops * 1e3 / 1.744; // GOPS/mm²
+    // EIE upper bound: even at TIE-equal throughput, its 15.7 mm² caps
+    // area efficiency.
+    let eie_area_eff_ub = tie_tops * 1e3 / 15.7;
+    assert!(tie_area_eff / eie_area_eff_ub >= 4.0);
+}
+
+/// Table 9's analytic batched-cycle model equals the cycle-accurate
+/// simulator on a real (rank-reduced) VGG CONV layer shape, run as a
+/// pixel batch — validating the model the Table 9 numbers come from.
+#[test]
+fn table9_batched_model_validated_by_simulator() {
+    let cfg = TieConfig::default();
+    // conv5-family factorization at rank 4, a 12-pixel chunk.
+    let shape = TtShape::uniform_rank(vec![8, 4, 4, 4], vec![8, 8, 8, 9], 4).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(7300);
+    let ttm = TtMatrix::<f64>::random(&mut rng, &shape, 0.4).unwrap();
+    let mut tie = TieAccelerator::new(cfg).unwrap();
+    let layer = tie.load_layer(ttm).unwrap();
+    let batch = 12usize;
+    let xs: Tensor<f64> = init::uniform(&mut rng, vec![4608, batch], 0.5);
+    let (ys, stats) = tie.run_batch(&layer, &xs, false).unwrap();
+    // Cycle model.
+    let predicted: u64 = layer
+        .plan()
+        .stages()
+        .iter()
+        .map(|s| {
+            (s.gtilde_rows.div_ceil(cfg.n_mac)
+                * (s.v_cols * batch).div_ceil(cfg.n_pe)
+                * s.gtilde_cols) as u64
+        })
+        .sum();
+    let conflicts: u64 = stats.stages.iter().map(|s| s.conflict_cycles).sum();
+    assert_eq!(stats.cycles(), predicted + conflicts);
+    // Functional spot-check of one pixel column.
+    let x0 = xs.cols(0, 1).unwrap().reshaped(vec![4608]).unwrap();
+    let (want, _) = layer.reference().matvec(&x0).unwrap();
+    let got = ys.cols(0, 1).unwrap().reshaped(vec![512]).unwrap();
+    assert!(got.relative_error(&want).unwrap() < 2e-2);
+}
+
+/// Fig. 13 shape: throughput decreases monotonically with rank on FC7
+/// (more rank = more real work per dense-equivalent op).
+#[test]
+fn fig13_rank_monotonicity() {
+    let base = &table4_benchmarks()[1].shape;
+    let mut last = f64::INFINITY;
+    for r in [2usize, 4, 6, 8] {
+        let (tops, _) = run_workload(&base.with_uniform_rank(r).unwrap(), 7200 + r as u64);
+        assert!(
+            tops < last,
+            "TOPS should fall with rank: r={r} gives {tops:.2} after {last:.2}"
+        );
+        last = tops;
+    }
+}

@@ -1,0 +1,268 @@
+//! Property-based tests (proptest) of the workspace invariants listed in
+//! DESIGN.md §6.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tie::core::transform::{
+    assemble_output, assemble_output_inverse, prepare_input, prepare_input_inverse, TransformMap,
+};
+use tie::core::{counts, CompactEngine, InferencePlan};
+use tie::prelude::*;
+use tie::tensor::{init, linalg};
+use tie::tt::decompose::tt_svd;
+
+/// Strategy: a valid random TT-matrix layout with d in 2..=4, modes in
+/// 2..=5, interior ranks in 1..=4.
+fn tt_shape_strategy() -> impl Strategy<Value = TtShape> {
+    (2usize..=4)
+        .prop_flat_map(|d| {
+            (
+                proptest::collection::vec(2usize..=5, d),
+                proptest::collection::vec(2usize..=5, d),
+                proptest::collection::vec(1usize..=4, d - 1),
+            )
+        })
+        .prop_map(|(m, n, interior)| {
+            let mut ranks = vec![1usize];
+            ranks.extend(interior);
+            ranks.push(1);
+            TtShape::new(m, n, ranks).expect("generated shape is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// DESIGN invariant 2: compact scheme == dense matvec for random
+    /// layouts and weights.
+    #[test]
+    fn compact_scheme_equals_dense(shape in tt_shape_strategy(), seed in 0u64..1000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let ttm = TtMatrix::<f64>::random(&mut rng, &shape, 0.8).unwrap();
+        let dense = ttm.to_dense().unwrap();
+        let x: Tensor<f64> = init::uniform(&mut rng, vec![shape.num_cols()], 1.0);
+        let engine = CompactEngine::new(ttm).unwrap();
+        let (y, ops) = engine.matvec(&x).unwrap();
+        let want = linalg::matvec(&dense, &x).unwrap();
+        prop_assert!(y.approx_eq(&want, 1e-8));
+        // Invariant 4: measured multiplies == closed-form count.
+        prop_assert_eq!(ops.mults, counts::mul_compact(&shape));
+    }
+
+    /// DESIGN invariant 3: every inter-stage transform is a bijection and
+    /// map_inverse inverts map.
+    #[test]
+    fn transforms_are_bijections(shape in tt_shape_strategy()) {
+        for h in 2..=shape.ndim() {
+            let t = TransformMap::new(&shape, h).unwrap();
+            let mut seen = vec![false; t.rows_out * t.cols_out];
+            for p in 0..t.rows_in {
+                for q in 0..t.cols_in {
+                    let (po, qo) = t.map(p, q);
+                    prop_assert_eq!(t.map_inverse(po, qo), (p, q));
+                    let off = po * t.cols_out + qo;
+                    prop_assert!(!seen[off]);
+                    seen[off] = true;
+                }
+            }
+            prop_assert!(seen.iter().all(|&b| b));
+        }
+    }
+
+    /// The paper's literal 4-step Transform (Algorithm 1 pseudocode)
+    /// equals the closed-form Eqn. (10) index map on random layouts.
+    #[test]
+    fn four_step_transform_equals_map(shape in tt_shape_strategy(), seed in 0u64..1000) {
+        use tie::core::transform::four_step_transform;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for h in 2..=shape.ndim() {
+            let t = TransformMap::new(&shape, h).unwrap();
+            let v: Tensor<f64> = init::uniform(&mut rng, vec![t.rows_in, t.cols_in], 1.0);
+            prop_assert_eq!(four_step_transform(&v, &shape, h).unwrap(), t.apply(&v).unwrap());
+        }
+    }
+
+    /// The compact engine is generic over the scalar type: f32 execution
+    /// tracks the f64 reference within single precision.
+    #[test]
+    fn compact_engine_works_in_f32(shape in tt_shape_strategy(), seed in 0u64..1000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let ttm64 = TtMatrix::<f64>::random(&mut rng, &shape, 0.8).unwrap();
+        let x64: Tensor<f64> = init::uniform(&mut rng, vec![shape.num_cols()], 1.0);
+        let (y64, _) = CompactEngine::new(ttm64.clone()).unwrap().matvec(&x64).unwrap();
+        let ttm32: TtMatrix<f32> = ttm64.cast();
+        let x32: Tensor<f32> = x64.cast();
+        let (y32, _) = CompactEngine::new(ttm32).unwrap().matvec(&x32).unwrap();
+        prop_assert!(y32.cast::<f64>().relative_error(&y64).unwrap() < 1e-4);
+    }
+
+    /// Input preparation and output assembly invert exactly.
+    #[test]
+    fn io_permutations_invert(shape in tt_shape_strategy(), seed in 0u64..1000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let x: Tensor<f64> = init::uniform(&mut rng, vec![shape.num_cols()], 1.0);
+        let xp = prepare_input(&x, &shape).unwrap();
+        prop_assert_eq!(prepare_input_inverse(&xp, &shape).unwrap(), x);
+        let y: Tensor<f64> = init::uniform(&mut rng, vec![shape.num_rows()], 1.0);
+        let v1 = assemble_output_inverse(&y, &shape).unwrap();
+        prop_assert_eq!(assemble_output(&v1, &shape).unwrap(), y);
+    }
+
+    /// DESIGN invariant 1: TT-SVD without truncation reconstructs.
+    #[test]
+    fn tt_svd_roundtrip(dims in proptest::collection::vec(2usize..=5, 2..=4), seed in 0u64..1000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a: Tensor<f64> = init::uniform(&mut rng, dims, 1.0);
+        let tt = tt_svd(&a, Truncation::none()).unwrap();
+        let back = tt.to_dense().unwrap();
+        prop_assert!(back.approx_eq(&a, 1e-8), "rel err {}", back.relative_error(&a).unwrap());
+    }
+
+    /// DESIGN invariant 6: quantization round-trip error is at most half
+    /// a step, and saturation is detected rather than silent.
+    #[test]
+    fn quantization_roundtrip_bound(vals in proptest::collection::vec(-7.9f64..7.9, 1..64), frac in 4u32..13) {
+        let fmt = QFormat::new(frac).unwrap();
+        let t = Tensor::from_vec(vec![vals.len()], vals).unwrap();
+        if t.max_abs() < fmt.max_value() {
+            let q = QTensor::quantize(&t, fmt);
+            let back = q.dequantize();
+            prop_assert!(back.approx_eq(&t, fmt.step() / 2.0 + 1e-12));
+        }
+    }
+
+    /// DESIGN invariant 7: SVD factorizes with orthonormal factors and
+    /// sorted singular values.
+    #[test]
+    fn svd_properties(m in 2usize..7, n in 2usize..7, seed in 0u64..1000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a: Tensor<f64> = init::uniform(&mut rng, vec![m, n], 1.0);
+        let f = linalg::svd(&a).unwrap();
+        prop_assert!(f.reconstruct().unwrap().approx_eq(&a, 1e-8));
+        for w in f.s.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        let gram = linalg::matmul_tn(&f.u, &f.u).unwrap();
+        prop_assert!(gram.approx_eq(&Tensor::eye(f.s.len()), 1e-8));
+    }
+
+    /// DESIGN invariant 8: FFT-based circulant multiply equals the dense
+    /// multiply.
+    #[test]
+    fn circulant_multiply_matches_dense(seed in 0u64..1000, log_b in 1u32..4) {
+        use tie::baselines::circnn::BlockCirculantMatrix;
+        let b = 1usize << log_b;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let w = BlockCirculantMatrix::random(&mut rng, 2 * b, 3 * b, b).unwrap();
+        let x: Tensor<f64> = init::uniform(&mut rng, vec![3 * b], 1.0);
+        let (y, _) = w.matvec(&x).unwrap();
+        let want = linalg::matvec(&w.to_dense(), &x).unwrap();
+        prop_assert!(y.approx_eq(&want, 1e-8));
+    }
+
+    /// DESIGN invariant 9: the EIE functional model computes exactly the
+    /// mat-vec of its own decoded matrix.
+    #[test]
+    fn eie_functional_correctness(seed in 0u64..1000) {
+        use tie::baselines::eie::{CscMatrix, EieModel};
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let dense: Tensor<f64> = init::uniform(&mut rng, vec![16, 12], 1.0);
+        let csc = CscMatrix::from_dense(&dense, 0.4, 32).unwrap();
+        let x: Tensor<f64> = init::uniform(&mut rng, vec![12], 1.0);
+        let (y, stats) = EieModel { n_pe: 4 }.run(&csc, &x).unwrap();
+        let want = linalg::matvec(&csc.to_dense(), &x).unwrap();
+        prop_assert!(y.approx_eq(&want, 1e-9));
+        prop_assert!(stats.imbalance() >= 1.0);
+    }
+
+    /// TT arithmetic (extension module): add / Hadamard / dot / matvec all
+    /// agree with their dense counterparts on random shapes.
+    #[test]
+    fn tt_arithmetic_matches_dense(
+        modes in proptest::collection::vec(2usize..=4, 2..=4),
+        seed in 0u64..1000,
+    ) {
+        use tie::tt::arithmetic::{tt_add, tt_dot, tt_hadamard, tt_scale};
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let d = modes.len();
+        let mut ranks_a = vec![1usize];
+        let mut ranks_b = vec![1usize];
+        for _ in 1..d {
+            ranks_a.push(2);
+            ranks_b.push(3);
+        }
+        ranks_a.push(1);
+        ranks_b.push(1);
+        let a = TtTensor::<f64>::random(&mut rng, &modes, &ranks_a, 1.0).unwrap();
+        let b = TtTensor::<f64>::random(&mut rng, &modes, &ranks_b, 1.0).unwrap();
+        let da = a.to_dense().unwrap();
+        let db = b.to_dense().unwrap();
+        prop_assert!(tt_add(&a, &b).unwrap().to_dense().unwrap()
+            .approx_eq(&da.add(&db).unwrap(), 1e-9));
+        prop_assert!(tt_hadamard(&a, &b).unwrap().to_dense().unwrap()
+            .approx_eq(&da.hadamard(&db).unwrap(), 1e-9));
+        prop_assert!(tt_scale(&a, 2.5).to_dense().unwrap()
+            .approx_eq(&da.scaled(2.5), 1e-9));
+        let want: f64 = da.data().iter().zip(db.data()).map(|(&x, &y)| x * y).sum();
+        prop_assert!((tt_dot(&a, &b).unwrap() - want).abs() < 1e-8 * (1.0 + want.abs()));
+    }
+
+    /// TT matrix-times-TT-vector equals the dense product, and rounding
+    /// the (rank-multiplied) result recovers accuracy at reduced rank.
+    #[test]
+    fn tt_matvec_matches_dense(shape in tt_shape_strategy(), seed in 0u64..1000) {
+        use tie::tt::arithmetic::tt_matvec;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let w = TtMatrix::<f64>::random(&mut rng, &shape, 0.8).unwrap();
+        let mut xranks = vec![1usize; shape.ndim() + 1];
+        for r in xranks.iter_mut().take(shape.ndim()).skip(1) {
+            *r = 2;
+        }
+        let x = TtTensor::<f64>::random(&mut rng, &shape.col_modes, &xranks, 1.0).unwrap();
+        let y = tt_matvec(&w, &x).unwrap();
+        let dense_w = w.to_dense().unwrap();
+        let dense_x = x.to_dense().unwrap().reshaped(vec![shape.num_cols()]).unwrap();
+        let want = linalg::matvec(&dense_w, &dense_x).unwrap();
+        let got = y.to_dense().unwrap().reshaped(vec![shape.num_rows()]).unwrap();
+        prop_assert!(got.approx_eq(&want, 1e-8));
+        // Rounding keeps the value while (possibly) shrinking ranks.
+        let rounded = y.rounded(Truncation::tolerance(1e-10)).unwrap();
+        let back = rounded.to_dense().unwrap().reshaped(vec![shape.num_rows()]).unwrap();
+        prop_assert!(back.approx_eq(&want, 1e-7));
+    }
+
+    /// The plan's buffer chain is internally consistent for any layout:
+    /// stage outputs equal next-stage inputs, and the working-set bound
+    /// covers every intermediate.
+    #[test]
+    fn plan_chain_consistency(shape in tt_shape_strategy()) {
+        let plan = InferencePlan::new(&shape).unwrap();
+        for w in plan.stages().windows(2) {
+            prop_assert_eq!(w[0].output_elems(), w[1].input_elems());
+        }
+        for s in plan.stages() {
+            prop_assert!(s.input_elems() <= plan.max_intermediate_elems());
+            prop_assert!(s.output_elems() <= plan.max_intermediate_elems());
+        }
+        prop_assert!(counts::mul_compact(&shape) <= counts::mul_naive(&shape));
+    }
+}
+
+/// DESIGN invariant 5 (deterministic, heavier than a proptest case): the
+/// simulator's read stream reproduces the compact scheme's stage inputs —
+/// functional equality at every stage via the traced reference.
+#[test]
+fn simulator_stage_trace_matches_reference() {
+    let mut rng = ChaCha8Rng::seed_from_u64(9100);
+    let shape = TtShape::new(vec![3, 2, 4], vec![2, 4, 3], vec![1, 3, 2, 1]).unwrap();
+    let ttm = TtMatrix::<f64>::random(&mut rng, &shape, 0.7).unwrap();
+    let engine = CompactEngine::new(ttm.clone()).unwrap();
+    let x: Tensor<f64> = init::uniform(&mut rng, vec![24], 1.0);
+    let (y_ref, trace) = engine.matvec_traced(&x).unwrap();
+    let mut tie = TieAccelerator::new(TieConfig::default()).unwrap();
+    let layer = tie.load_layer(ttm).unwrap();
+    let (y_hw, _) = tie.run(&layer, &x, false).unwrap();
+    assert!(y_hw.relative_error(&y_ref).unwrap() < 1e-2);
+    assert_eq!(trace.stage_outputs.len(), shape.ndim());
+}
