@@ -1,19 +1,29 @@
 //! The executable compact inference scheme ([`CompactEngine`]).
 
 use crate::plan::InferencePlan;
-use crate::transform::{assemble_output, prepare_input, unfold_core, TransformMap};
-use tie_tensor::linalg::matmul;
+use crate::transform::{
+    assemble_output_gather, prepare_input_scatter, unfold_core, TransformMap,
+};
+use std::sync::Mutex;
+use tie_tensor::linalg::gemm_into;
 use tie_tensor::{Result, Scalar, Tensor, TensorError};
 use tie_tt::inference::OpCount;
 use tie_tt::TtMatrix;
 
 /// A prepared compact-scheme executor for one TT-compressed layer.
 ///
-/// Construction unfolds every core into its stage matrix `G̃_h` and builds
-/// the inter-stage [`TransformMap`]s once; [`CompactEngine::matvec`] then
-/// runs the `d` multiply stages. This mirrors TIE hardware, where the
-/// unfolded cores sit in the weight SRAM and the transforms are absorbed
-/// into the working-SRAM read scheme.
+/// Construction unfolds every core into its stage matrix `G̃_h`, builds the
+/// inter-stage [`TransformMap`]s, and materializes all index bijections
+/// (input scatter, per-stage gathers, output gather) **once**;
+/// [`CompactEngine::matvec`] then runs the `d` multiply stages against a
+/// ping-pong scratch workspace held inside the engine. This mirrors TIE
+/// hardware, where the unfolded cores sit in the weight SRAM, the working
+/// SRAMs are ping-ponged between stages, and the transforms are absorbed
+/// into the working-SRAM read scheme (the precomputed index vectors are the
+/// software analogue of the hardware address generators).
+///
+/// After the first call has grown the workspace, steady-state
+/// [`CompactEngine::matvec_into`] performs **no heap allocation**.
 ///
 /// # Example
 ///
@@ -32,7 +42,7 @@ use tie_tt::TtMatrix;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CompactEngine<T: Scalar> {
     matrix: TtMatrix<T>,
     plan: InferencePlan,
@@ -40,6 +50,51 @@ pub struct CompactEngine<T: Scalar> {
     gtildes: Vec<Tensor<T>>,
     /// Transform maps for `h = d, d-1, …, 2` (applied after stages d..2).
     transforms: Vec<TransformMap>,
+    /// Destination-indexed gather vectors, one per transform (same order):
+    /// entry `o` is the flat `V_h` offset whose element lands at flat
+    /// `V'_h` offset `o`.
+    stage_gathers: Vec<Vec<usize>>,
+    /// Source-indexed scatter for the input layout (Eqn. (8)).
+    prep_scatter: Vec<usize>,
+    /// Destination-indexed gather for the output layout.
+    out_gather: Vec<usize>,
+    /// Ping-pong scratch buffers, grown on demand and reused across calls.
+    workspace: Mutex<Workspace<T>>,
+}
+
+/// Reusable scratch for the stage pipeline. Both buffers are sized to the
+/// plan's peak intermediate (× batch width) — the software analogue of the
+/// two working SRAMs in TIE (§3.2 storage bound `2 · max_h |V_h|`).
+#[derive(Debug)]
+struct Workspace<T> {
+    ping: Vec<T>,
+    pong: Vec<T>,
+}
+
+impl<T> Default for Workspace<T> {
+    fn default() -> Self {
+        Workspace {
+            ping: Vec::new(),
+            pong: Vec::new(),
+        }
+    }
+}
+
+impl<T: Scalar> Clone for CompactEngine<T> {
+    fn clone(&self) -> Self {
+        CompactEngine {
+            matrix: self.matrix.clone(),
+            plan: self.plan.clone(),
+            gtildes: self.gtildes.clone(),
+            transforms: self.transforms.clone(),
+            stage_gathers: self.stage_gathers.clone(),
+            prep_scatter: self.prep_scatter.clone(),
+            out_gather: self.out_gather.clone(),
+            // Scratch is per-engine state, not semantic state: the clone
+            // starts with an empty workspace and grows it on first use.
+            workspace: Mutex::new(Workspace::default()),
+        }
+    }
 }
 
 /// Intermediate matrices captured by [`CompactEngine::matvec_traced`]:
@@ -54,8 +109,9 @@ pub struct StageTrace<T: Scalar> {
 }
 
 impl<T: Scalar> CompactEngine<T> {
-    /// Prepares the engine: builds the plan, unfolds all cores, and
-    /// constructs the transform maps.
+    /// Prepares the engine: builds the plan, unfolds all cores, constructs
+    /// the transform maps, and precomputes every index vector the hot path
+    /// needs.
     ///
     /// # Errors
     ///
@@ -72,11 +128,18 @@ impl<T: Scalar> CompactEngine<T> {
             .rev()
             .map(|h| TransformMap::new(matrix.shape(), h))
             .collect::<Result<Vec<_>>>()?;
+        let stage_gathers = transforms.iter().map(TransformMap::gather).collect();
+        let prep_scatter = prepare_input_scatter(matrix.shape());
+        let out_gather = assemble_output_gather(matrix.shape());
         Ok(CompactEngine {
             matrix,
             plan,
             gtildes,
             transforms,
+            stage_gathers,
+            prep_scatter,
+            out_gather,
+            workspace: Mutex::new(Workspace::default()),
         })
     }
 
@@ -97,27 +160,88 @@ impl<T: Scalar> CompactEngine<T> {
 
     /// Compact matrix-vector product `y = W x` with operation counters.
     ///
+    /// Allocates the output vector; use [`CompactEngine::matvec_into`] to
+    /// reuse a caller-owned buffer and stay allocation-free.
+    ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] if `x` has the wrong length.
     pub fn matvec(&self, x: &Tensor<T>) -> Result<(Tensor<T>, OpCount)> {
-        let (y, _, count) = self.run(x, false)?;
+        let n = self.matrix.shape().num_cols();
+        if x.ndim() != 1 || x.num_elements() != n {
+            return Err(TensorError::ShapeMismatch {
+                left: x.dims().to_vec(),
+                right: vec![n],
+            });
+        }
+        let mut y = Tensor::zeros(vec![self.matrix.shape().num_rows()]);
+        let (_, count) = self.run_batched(x.data(), 1, y.data_mut(), false)?;
         Ok((y, count))
+    }
+
+    /// Compact matrix-vector product into a caller-owned buffer.
+    ///
+    /// Steady-state this performs **no heap allocation**: the prepared
+    /// input, every stage product, and every transform run inside the
+    /// engine's ping-pong workspace (grown once, on the first call), and
+    /// the result is gathered straight into `y`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `x` is not `N` elements
+    /// or `y` is not `M` elements.
+    pub fn matvec_into(&self, x: &[T], y: &mut [T]) -> Result<OpCount> {
+        let n = self.matrix.shape().num_cols();
+        let m = self.matrix.shape().num_rows();
+        if x.len() != n {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![x.len()],
+                right: vec![n],
+            });
+        }
+        if y.len() != m {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![y.len()],
+                right: vec![m],
+            });
+        }
+        let (_, count) = self.run_batched(x, 1, y, false)?;
+        Ok(count)
     }
 
     /// Like [`CompactEngine::matvec`] but also returns every intermediate
     /// matrix — used by the cycle-accurate simulator's functional
-    /// cross-checks.
+    /// cross-checks. The intermediates are cloned out of the workspace
+    /// (the only path that clones; the untraced paths never do).
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] if `x` has the wrong length.
     pub fn matvec_traced(&self, x: &Tensor<T>) -> Result<(Tensor<T>, StageTrace<T>)> {
-        let (y, trace, _) = self.run(x, true)?;
+        let n = self.matrix.shape().num_cols();
+        if x.ndim() != 1 || x.num_elements() != n {
+            return Err(TensorError::ShapeMismatch {
+                left: x.dims().to_vec(),
+                right: vec![n],
+            });
+        }
+        let mut y = Tensor::zeros(vec![self.matrix.shape().num_rows()]);
+        let (trace, _) = self.run_batched(x.data(), 1, y.data_mut(), true)?;
         Ok((y, trace.expect("trace requested")))
     }
 
-    /// Batched product: one compact pass per column of `xs (N × B)`.
+    /// Batched product `Y = W X` for `X (N × B)`: **one batch-wide compact
+    /// pass**, not `B` independent passes.
+    ///
+    /// Each of the `d` stages executes as a *single* GEMM
+    /// `G̃_h · [V'_{h+1} for all B columns]` — the batch rides along as an
+    /// inner-most index, so inter-stage transforms and the input/output
+    /// layouts become contiguous `B`-element block copies. Arithmetic
+    /// (`mults`, `adds`) therefore scales by `B`, but `core_reads` is
+    /// counted **once per stage** regardless of `B`: each unfolded core is
+    /// streamed from weight memory a single time and reused across the
+    /// whole batch. This is TIE's working-SRAM amortization argument — the
+    /// larger the batch, the further each weight read is amortized.
     ///
     /// # Errors
     ///
@@ -131,59 +255,135 @@ impl<T: Scalar> CompactEngine<T> {
                 right: vec![n, 0],
             });
         }
-        let b = xs.ncols()?;
+        let b = xs.ncols()?; // ≥ 1: zero-sized tensors are unrepresentable
         let mut out = Tensor::zeros(vec![m, b]);
-        let mut total = OpCount::default();
-        for c in 0..b {
-            let col = xs.cols(c, c + 1)?.reshaped(vec![n])?;
-            let (y, count) = self.matvec(&col)?;
-            total = total.merge(count);
-            for r in 0..m {
-                out.data_mut()[r * b + c] = y.data()[r];
-            }
-        }
-        Ok((out, total))
+        let (_, count) = self.run_batched(xs.data(), b, out.data_mut(), false)?;
+        Ok((out, count))
     }
 
-    fn run(
+    /// Slice-level batched product: `xs` is row-major `N × b`, `ys`
+    /// receives row-major `M × b`. Same single-pass semantics and counter
+    /// conventions as [`CompactEngine::matvec_batch`], but zero-alloc in
+    /// steady state and accepting of the degenerate `b == 0` batch (which
+    /// runs no stages and streams no weights).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `xs` is not `N·b` elements
+    /// or `ys` is not `M·b` elements.
+    pub fn matvec_batch_into(&self, xs: &[T], b: usize, ys: &mut [T]) -> Result<OpCount> {
+        let n = self.matrix.shape().num_cols();
+        let m = self.matrix.shape().num_rows();
+        if xs.len() != n * b {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![xs.len()],
+                right: vec![n * b],
+            });
+        }
+        if ys.len() != m * b {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![ys.len()],
+                right: vec![m * b],
+            });
+        }
+        if b == 0 {
+            // No columns: no stages run, no weights streamed.
+            return Ok(OpCount::default());
+        }
+        let (_, count) = self.run_batched(xs, b, ys, false)?;
+        Ok(count)
+    }
+
+    /// The shared stage pipeline: `xs` is `N` rows of `b` contiguous batch
+    /// elements (row-major `N × b`), `ys` receives the `M × b` result.
+    ///
+    /// All intermediates live in the ping-pong workspace with the batch
+    /// index inner-most: the element at matrix offset `e`, batch column
+    /// `c`, sits at flat `e·b + c`. A stage GEMM then *is* the batched
+    /// stage — `G̃_h (rows × k)` times the intermediate viewed as
+    /// `k × (v_cols·b)` — and every index bijection becomes a contiguous
+    /// `b`-element block copy driven by the precomputed vectors.
+    fn run_batched(
         &self,
-        x: &Tensor<T>,
+        xs: &[T],
+        b: usize,
+        ys: &mut [T],
         capture: bool,
-    ) -> Result<(Tensor<T>, Option<StageTrace<T>>, OpCount)> {
+    ) -> Result<(Option<StageTrace<T>>, OpCount)> {
+        debug_assert!(b > 0);
+        debug_assert!(!capture || b == 1, "tracing is a B=1 path");
         let shape = self.matrix.shape();
         let d = shape.ndim();
         let mut count = OpCount::default();
-        let prepared = prepare_input(x, shape)?;
-        let mut stage_outputs = Vec::new();
-        let mut v = prepared.clone();
-        // Execution order h = d..1; transform after every stage except the
-        // last (whose output is gathered by assemble_output).
-        for (idx, h) in (1..=d).rev().enumerate() {
-            let gt = &self.gtildes[h - 1];
-            let out = matmul(gt, &v)?;
-            let stage = &self.plan.stages()[idx];
-            count.mults += stage.muls();
-            // One multiply-accumulate per multiply (accumulator init at 0).
-            count.adds += stage.muls();
-            // The paper's memory argument: each stage streams its core once.
-            count.core_reads += stage.core_elems() as u64;
-            if capture {
-                stage_outputs.push(out.clone());
-            }
-            v = if h >= 2 {
-                let t = &self.transforms[idx];
-                debug_assert_eq!(t.h, h);
-                t.apply(&out)?
-            } else {
-                out
-            };
+        let mut guard = self
+            .workspace
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let ws = &mut *guard;
+        let peak = self.plan.max_intermediate_elems() * b;
+        if ws.ping.len() < peak {
+            ws.ping.resize(peak, T::ZERO);
         }
-        let y = assemble_output(&v, shape)?;
-        let trace = capture.then_some(StageTrace {
-            prepared_input: prepared,
+        if ws.pong.len() < peak {
+            ws.pong.resize(peak, T::ZERO);
+        }
+        let (mut cur, mut nxt) = (&mut ws.ping, &mut ws.pong);
+        // Prepare the input (Eqn. (8)): pure block copies via the scatter.
+        for (j, &dst) in self.prep_scatter.iter().enumerate() {
+            cur[dst * b..(dst + 1) * b].copy_from_slice(&xs[j * b..(j + 1) * b]);
+        }
+        let prepared_input = if capture {
+            let n = shape.num_cols();
+            let n_d = shape.col_modes[d - 1];
+            Some(Tensor::from_vec(vec![n_d, n / n_d], cur[..n].to_vec())?)
+        } else {
+            None
+        };
+        let mut stage_outputs = Vec::new();
+        // Execution order h = d..1; transform after every stage except the
+        // last (whose output is gathered straight into `ys`).
+        for (idx, h) in (1..=d).rev().enumerate() {
+            let stage = &self.plan.stages()[idx];
+            let (rows, k, cols) = (stage.gtilde_rows, stage.gtilde_cols, stage.v_cols);
+            gemm_into(
+                self.gtildes[h - 1].data(),
+                &cur[..k * cols * b],
+                &mut nxt[..rows * cols * b],
+                rows,
+                k,
+                cols * b,
+            )?;
+            // Arithmetic scales with the batch; each core is streamed from
+            // weight memory once per stage and reused across all B columns
+            // (the paper's working-SRAM amortization).
+            count.mults += stage.muls() * b as u64;
+            count.adds += stage.muls() * b as u64;
+            count.core_reads += stage.core_elems() as u64;
+            std::mem::swap(&mut cur, &mut nxt);
+            if capture {
+                stage_outputs.push(Tensor::from_vec(
+                    vec![rows, cols],
+                    cur[..rows * cols].to_vec(),
+                )?);
+            }
+            if h >= 2 {
+                let gather = &self.stage_gathers[idx];
+                debug_assert_eq!(self.transforms[idx].h, h);
+                for (o, &src) in gather.iter().enumerate() {
+                    nxt[o * b..(o + 1) * b].copy_from_slice(&cur[src * b..(src + 1) * b]);
+                }
+                std::mem::swap(&mut cur, &mut nxt);
+            }
+        }
+        // Gather the output rows straight into the caller's buffer.
+        for (i, &src) in self.out_gather.iter().enumerate() {
+            ys[i * b..(i + 1) * b].copy_from_slice(&cur[src * b..(src + 1) * b]);
+        }
+        let trace = capture.then(|| StageTrace {
+            prepared_input: prepared_input.expect("captured above"),
             stage_outputs,
         });
-        Ok((y, trace, count))
+        Ok((trace, count))
     }
 }
 
@@ -302,9 +502,114 @@ mod tests {
     }
 
     #[test]
+    fn batch_is_bitwise_equal_to_single_column_runs() {
+        // The batched pass and the B=1 pass execute the same per-column
+        // arithmetic (the batch only rides along as an inner index), so
+        // they must agree bitwise, not just approximately.
+        let (engine, _, _) = random_case(80, vec![2, 3, 2], vec![3, 2, 2], 2);
+        let n = engine.matrix().shape().num_cols();
+        let mut rng = ChaCha8Rng::seed_from_u64(81);
+        let xs: Tensor<f64> = init::uniform(&mut rng, vec![n, 3], 1.0);
+        let (ys, _) = engine.matvec_batch(&xs).unwrap();
+        let b = 3;
+        for c in 0..b {
+            let x = xs.cols(c, c + 1).unwrap().reshaped(vec![n]).unwrap();
+            let (y, _) = engine.matvec(&x).unwrap();
+            for r in 0..y.num_elements() {
+                assert_eq!(
+                    ys.data()[r * b + c].to_bits(),
+                    y.data()[r].to_bits(),
+                    "row {r}, column {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_pass_runs_d_gemms_not_d_times_b() {
+        // The acceptance criterion of the batched engine: arithmetic scales
+        // with B but each stage streams its core exactly once — so
+        // core_reads stays at num_params for ANY batch width, while a
+        // per-column loop would report B × num_params.
+        let (engine, _, _) = random_case(82, vec![3, 2, 4], vec![2, 4, 3], 3);
+        let shape = engine.matrix().shape().clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(83);
+        for b in [1usize, 2, 7] {
+            let xs: Tensor<f64> = init::uniform(&mut rng, vec![shape.num_cols(), b], 1.0);
+            let (_, count) = engine.matvec_batch(&xs).unwrap();
+            assert_eq!(
+                count.mults,
+                engine.plan().total_muls() * b as u64,
+                "mults scale with B={b}"
+            );
+            assert_eq!(count.adds, count.mults, "one MAC per multiply (B={b})");
+            assert_eq!(
+                count.core_reads as usize,
+                shape.num_params(),
+                "weights streamed once per stage regardless of B={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_no_work() {
+        // Zero-sized tensors are unrepresentable, so the degenerate batch
+        // goes through the slice API: it must succeed and do nothing.
+        let (engine, _, _) = random_case(84, vec![2, 2], vec![3, 2], 2);
+        let count = engine.matvec_batch_into(&[], 0, &mut []).unwrap();
+        assert_eq!(count, OpCount::default(), "no columns → no stages run");
+    }
+
+    #[test]
+    fn batch_into_matches_tensor_batch() {
+        let (engine, _, _) = random_case(87, vec![2, 3], vec![3, 2], 2);
+        let n = engine.matrix().shape().num_cols();
+        let m = engine.matrix().shape().num_rows();
+        let mut rng = ChaCha8Rng::seed_from_u64(88);
+        let xs: Tensor<f64> = init::uniform(&mut rng, vec![n, 5], 1.0);
+        let (ys, count) = engine.matvec_batch(&xs).unwrap();
+        let mut buf = vec![0.0f64; m * 5];
+        let count2 = engine.matvec_batch_into(xs.data(), 5, &mut buf).unwrap();
+        assert_eq!(count, count2);
+        assert_eq!(buf, ys.data());
+        // Length validation.
+        assert!(engine.matvec_batch_into(xs.data(), 4, &mut buf).is_err());
+        assert!(engine.matvec_batch_into(xs.data(), 5, &mut buf[1..]).is_err());
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec_and_is_reusable() {
+        let (engine, _, x) = random_case(85, vec![2, 3, 2], vec![2, 2, 3], 2);
+        let m = engine.matrix().shape().num_rows();
+        let (y, count) = engine.matvec(&x).unwrap();
+        let mut buf = vec![0.0f64; m];
+        let count2 = engine.matvec_into(x.data(), &mut buf).unwrap();
+        assert_eq!(count, count2);
+        assert_eq!(buf, y.data(), "buffer path bitwise equals allocating path");
+        // Second call reuses the warm workspace and must agree again.
+        buf.fill(-1.0);
+        engine.matvec_into(x.data(), &mut buf).unwrap();
+        assert_eq!(buf, y.data());
+        // Length validation on both sides.
+        assert!(engine.matvec_into(&x.data()[1..], &mut buf).is_err());
+        let mut short = vec![0.0f64; m - 1];
+        assert!(engine.matvec_into(x.data(), &mut short).is_err());
+    }
+
+    #[test]
+    fn cloned_engine_gets_fresh_workspace_and_same_results() {
+        let (engine, _, x) = random_case(86, vec![3, 2], vec![2, 3], 2);
+        let (y1, _) = engine.matvec(&x).unwrap(); // warm the workspace
+        let clone = engine.clone();
+        let (y2, _) = clone.matvec(&x).unwrap();
+        assert!(y1.approx_eq(&y2, 0.0));
+    }
+
+    #[test]
     fn rejects_wrong_input_length() {
         let (engine, _, _) = random_case(72, vec![2, 2], vec![2, 2], 2);
         assert!(engine.matvec(&Tensor::<f64>::zeros(vec![3])).is_err());
+        assert!(engine.matvec_traced(&Tensor::<f64>::zeros(vec![3])).is_err());
     }
 
     #[test]

@@ -133,6 +133,27 @@ impl TransformMap {
         (p, q)
     }
 
+    /// Destination-indexed gather vector: entry `o` (flat offset into
+    /// `V'_h`) holds the flat source offset into `V_h` whose element lands
+    /// at `o`.
+    ///
+    /// This is [`TransformMap::map`] materialized once so the hot path can
+    /// re-lay-out a stage output with plain sequential block copies — the
+    /// software analogue of TIE's working-SRAM read scheme, where the
+    /// permuted addresses are generated instead of the data being moved.
+    /// [`crate::CompactEngine`] precomputes these at construction.
+    #[must_use]
+    pub fn gather(&self) -> Vec<usize> {
+        let mut g = vec![0usize; self.rows_out * self.cols_out];
+        for p in 0..self.rows_in {
+            for q in 0..self.cols_in {
+                let (po, qo) = self.map(p, q);
+                g[po * self.cols_out + qo] = p * self.cols_in + q;
+            }
+        }
+        g
+    }
+
     /// Applies the transform to a materialized `V_h`.
     ///
     /// # Errors
@@ -151,6 +172,57 @@ impl TransformMap {
                 let (po, qo) = self.map(p, q);
                 out.data_mut()[po * self.cols_out + qo] = v.data()[p * self.cols_in + q];
             }
+        }
+        Ok(out)
+    }
+
+    /// Applies the transform to a **batched** `V_h` stored as
+    /// `rows_in × (cols_in · b)` with the batch index inner-most (matrix
+    /// element `(p, q)` of sample `c` at flat `(p·cols_in + q)·b + c`).
+    ///
+    /// Because the batch rides inner-most, the whole permutation becomes
+    /// `rows·cols` contiguous `b`-element block copies — one gather walk
+    /// re-lays-out every sample at once. This is how the batched TT-layer
+    /// in `tie-nn` moves a full minibatch through one transform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `v` has the wrong shape.
+    pub fn apply_batched<T: Scalar>(&self, v: &Tensor<T>, b: usize) -> Result<Tensor<T>> {
+        if v.dims() != [self.rows_in, self.cols_in * b] {
+            return Err(TensorError::ShapeMismatch {
+                left: v.dims().to_vec(),
+                right: vec![self.rows_in, self.cols_in * b],
+            });
+        }
+        let gather = self.gather();
+        let mut out = Tensor::zeros(vec![self.rows_out, self.cols_out * b]);
+        for (o, &src) in gather.iter().enumerate() {
+            out.data_mut()[o * b..(o + 1) * b]
+                .copy_from_slice(&v.data()[src * b..(src + 1) * b]);
+        }
+        Ok(out)
+    }
+
+    /// Adjoint of [`TransformMap::apply_batched`]: routes a batched
+    /// `V'_h`-layout matrix back to the `V_h` layout (the permutation's
+    /// transpose), batch inner-most.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `v` has the wrong shape.
+    pub fn apply_inverse_batched<T: Scalar>(&self, v: &Tensor<T>, b: usize) -> Result<Tensor<T>> {
+        if v.dims() != [self.rows_out, self.cols_out * b] {
+            return Err(TensorError::ShapeMismatch {
+                left: v.dims().to_vec(),
+                right: vec![self.rows_out, self.cols_out * b],
+            });
+        }
+        let gather = self.gather();
+        let mut out = Tensor::zeros(vec![self.rows_in, self.cols_in * b]);
+        for (o, &src) in gather.iter().enumerate() {
+            out.data_mut()[src * b..(src + 1) * b]
+                .copy_from_slice(&v.data()[o * b..(o + 1) * b]);
         }
         Ok(out)
     }
@@ -200,30 +272,46 @@ pub fn prepare_input<T: Scalar>(x: &Tensor<T>, shape: &TtShape) -> Result<Tensor
     let d = shape.ndim();
     let n_d = shape.col_modes[d - 1];
     let cols = n_total / n_d;
+    let scatter = prepare_input_scatter(shape);
     let mut out = Tensor::zeros(vec![n_d, cols]);
     for (j, &val) in x.data().iter().enumerate() {
+        out.data_mut()[scatter[j]] = val;
+    }
+    Ok(out)
+}
+
+/// Source-indexed scatter vector for [`prepare_input`]: entry `j` is the
+/// flat destination offset inside `X' (n_d × N/n_d)` where `x[j]` lands.
+///
+/// `x` is row-major with `j_d` fastest; `X'` rows are `j_d` and columns
+/// `Σ_{l<d} j_l ∏_{i<l} n_i` (`j_1` fastest), per Eqn. (8). Precomputed by
+/// [`crate::CompactEngine`] so the batched pipeline prepares inputs with
+/// pure block copies.
+#[must_use]
+pub fn prepare_input_scatter(shape: &TtShape) -> Vec<usize> {
+    let d = shape.ndim();
+    let n_total = shape.num_cols();
+    let n_d = shape.col_modes[d - 1];
+    let cols = n_total / n_d;
+    // Target stride of digit j_l inside the column index is ∏_{i<l} n_i.
+    let mut strides = vec![1usize; d];
+    for l in 1..d {
+        strides[l] = strides[l - 1] * shape.col_modes[l - 1];
+    }
+    let mut scatter = vec![0usize; n_total];
+    for (j, s) in scatter.iter_mut().enumerate() {
         // Row-major digits: j = Σ j_l ∏_{t>l} n_t (j_d fastest).
         let p = j % n_d;
-        // Little-endian recombination of j_1..j_{d-1} (j_1 fastest).
         let mut rest = j / n_d; // digits j_{d-1} … j_1, j_{d-1} fastest
         let mut q = 0usize;
-        let mut stride = 1usize;
-        // Recover digits j_{d-1}, …, j_1 from `rest` and lay them out with
-        // j_1 at stride 1: walking l = d-1 down to 1 while `rest` yields
-        // digits in that order, the target stride of j_l is ∏_{i<l} n_i.
-        let mut strides = vec![1usize; d];
-        for l in 1..d {
-            strides[l] = strides[l - 1] * shape.col_modes[l - 1];
-        }
         for l in (1..d).rev() {
             let digit = rest % shape.col_modes[l - 1];
             rest /= shape.col_modes[l - 1];
             q += digit * strides[l - 1];
         }
-        let _ = &mut stride;
-        out.data_mut()[p * cols + q] = val;
+        *s = p * cols + q;
     }
-    Ok(out)
+    scatter
 }
 
 /// Gathers the output: `V_1 (m_1 × M/m_1)` with columns
@@ -234,7 +322,6 @@ pub fn prepare_input<T: Scalar>(x: &Tensor<T>, shape: &TtShape) -> Result<Tensor
 ///
 /// Returns [`TensorError::ShapeMismatch`] if `v1` has the wrong shape.
 pub fn assemble_output<T: Scalar>(v1: &Tensor<T>, shape: &TtShape) -> Result<Tensor<T>> {
-    let d = shape.ndim();
     let m_total = shape.num_rows();
     let m_1 = shape.row_modes[0];
     let cols = m_total / m_1;
@@ -244,7 +331,27 @@ pub fn assemble_output<T: Scalar>(v1: &Tensor<T>, shape: &TtShape) -> Result<Ten
             right: vec![m_1, cols],
         });
     }
+    let gather = assemble_output_gather(shape);
     let mut y = Tensor::zeros(vec![m_total]);
+    for (i, out) in y.data_mut().iter_mut().enumerate() {
+        *out = v1.data()[gather[i]];
+    }
+    Ok(y)
+}
+
+/// Destination-indexed gather vector for [`assemble_output`]: entry `i` is
+/// the flat source offset inside `V_1 (m_1 × M/m_1)` holding `y[i]`.
+///
+/// `y` is row-major with `i_d` fastest; `V_1` rows are `i_1` and columns
+/// `Σ_{u≥2} i_u ∏_{t=2}^{u-1} m_t` (`i_2` fastest). Precomputed by
+/// [`crate::CompactEngine`] so the batched pipeline assembles outputs with
+/// pure block copies.
+#[must_use]
+pub fn assemble_output_gather(shape: &TtShape) -> Vec<usize> {
+    let d = shape.ndim();
+    let m_total = shape.num_rows();
+    let m_1 = shape.row_modes[0];
+    let cols = m_total / m_1;
     // Strides of i_u inside the V_1 column index: i_2 fastest.
     let mut strides = vec![0usize; d + 1];
     if d >= 2 {
@@ -253,7 +360,8 @@ pub fn assemble_output<T: Scalar>(v1: &Tensor<T>, shape: &TtShape) -> Result<Ten
             strides[u] = strides[u - 1] * shape.row_modes[u - 2];
         }
     }
-    for i in 0..m_total {
+    let mut gather = vec![0usize; m_total];
+    for (i, g) in gather.iter_mut().enumerate() {
         // Row-major digits of i (i_d fastest).
         let mut rest = i;
         let mut digits = vec![0usize; d + 1]; // 1-based
@@ -262,9 +370,9 @@ pub fn assemble_output<T: Scalar>(v1: &Tensor<T>, shape: &TtShape) -> Result<Ten
             rest /= shape.row_modes[u - 1];
         }
         let col: usize = (2..=d).map(|u| digits[u] * strides[u]).sum();
-        y.data_mut()[i] = v1.data()[digits[1] * cols + col];
+        *g = digits[1] * cols + col;
     }
-    Ok(y)
+    gather
 }
 
 /// The paper's **literal 4-step Transform** (Algorithm 1's `Transform`
@@ -342,23 +450,11 @@ pub fn prepare_input_inverse<T: Scalar>(xp: &Tensor<T>, shape: &TtShape) -> Resu
             right: vec![n_d, cols],
         });
     }
-    // Reuse the forward map: position of x[j] inside X' is deterministic.
-    let probe = Tensor::<T>::from_fn(vec![n_total], |_| T::ZERO)?;
-    let mut out = probe;
-    let mut strides = vec![1usize; d];
-    for l in 1..d {
-        strides[l] = strides[l - 1] * shape.col_modes[l - 1];
-    }
-    for j in 0..n_total {
-        let p = j % n_d;
-        let mut rest = j / n_d;
-        let mut q = 0usize;
-        for l in (1..d).rev() {
-            let digit = rest % shape.col_modes[l - 1];
-            rest /= shape.col_modes[l - 1];
-            q += digit * strides[l - 1];
-        }
-        out.data_mut()[j] = xp.data()[p * cols + q];
+    // Reuse the forward scatter: position of x[j] inside X' is fixed.
+    let scatter = prepare_input_scatter(shape);
+    let mut out = Tensor::zeros(vec![n_total]);
+    for (j, val) in out.data_mut().iter_mut().enumerate() {
+        *val = xp.data()[scatter[j]];
     }
     Ok(out)
 }
@@ -370,7 +466,6 @@ pub fn prepare_input_inverse<T: Scalar>(xp: &Tensor<T>, shape: &TtShape) -> Resu
 ///
 /// Returns [`TensorError::ShapeMismatch`] if `y` has the wrong length.
 pub fn assemble_output_inverse<T: Scalar>(y: &Tensor<T>, shape: &TtShape) -> Result<Tensor<T>> {
-    let d = shape.ndim();
     let m_total = shape.num_rows();
     if y.ndim() != 1 || y.num_elements() != m_total {
         return Err(TensorError::ShapeMismatch {
@@ -380,23 +475,11 @@ pub fn assemble_output_inverse<T: Scalar>(y: &Tensor<T>, shape: &TtShape) -> Res
     }
     let m_1 = shape.row_modes[0];
     let cols = m_total / m_1;
+    // Reuse the forward gather: y[i] lives at gather[i] inside V_1.
+    let gather = assemble_output_gather(shape);
     let mut v1 = Tensor::zeros(vec![m_1, cols]);
-    let mut strides = vec![0usize; d + 1];
-    if d >= 2 {
-        strides[2] = 1;
-        for u in 3..=d {
-            strides[u] = strides[u - 1] * shape.row_modes[u - 2];
-        }
-    }
-    for i in 0..m_total {
-        let mut rest = i;
-        let mut digits = vec![0usize; d + 1];
-        for u in (1..=d).rev() {
-            digits[u] = rest % shape.row_modes[u - 1];
-            rest /= shape.row_modes[u - 1];
-        }
-        let col: usize = (2..=d).map(|u| digits[u] * strides[u]).sum();
-        v1.data_mut()[digits[1] * cols + col] = y.data()[i];
+    for (i, &val) in y.data().iter().enumerate() {
+        v1.data_mut()[gather[i]] = val;
     }
     Ok(v1)
 }
@@ -636,6 +719,41 @@ mod tests {
                     assert_eq!(t.map_inverse(po, qo), (p, q), "h={h} at ({p},{q})");
                 }
             }
+        }
+    }
+
+    #[test]
+    fn apply_batched_matches_per_sample_apply() {
+        let s = TtShape::new(vec![2, 4, 3], vec![3, 2, 2], vec![1, 3, 2, 1]).unwrap();
+        let b = 3usize;
+        for h in 2..=3 {
+            let t = TransformMap::new(&s, h).unwrap();
+            // Build b independent samples, interleave them batch-inner-most.
+            let samples: Vec<Tensor<f64>> = (0..b)
+                .map(|c| {
+                    Tensor::<f64>::from_fn(vec![t.rows_in, t.cols_in], |i| {
+                        (c * 100_000 + i[0] * 100 + i[1]) as f64
+                    })
+                    .unwrap()
+                })
+                .collect();
+            let mut batched = Tensor::<f64>::zeros(vec![t.rows_in, t.cols_in * b]);
+            for (c, sample) in samples.iter().enumerate() {
+                for (e, &val) in sample.data().iter().enumerate() {
+                    batched.data_mut()[e * b + c] = val;
+                }
+            }
+            let out = t.apply_batched(&batched, b).unwrap();
+            for (c, sample) in samples.iter().enumerate() {
+                let want = t.apply(sample).unwrap();
+                for (e, &val) in want.data().iter().enumerate() {
+                    assert_eq!(out.data()[e * b + c], val, "h={h} sample {c} elem {e}");
+                }
+            }
+            // And the adjoint routes everything back.
+            let back = t.apply_inverse_batched(&out, b).unwrap();
+            assert_eq!(back, batched, "h={h}");
+            assert!(t.apply_batched(&Tensor::<f64>::zeros(vec![1, 1]), b).is_err());
         }
     }
 

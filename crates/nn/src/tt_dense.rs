@@ -1,7 +1,6 @@
 use crate::layer::{Layer, Trainable};
 use tie_core::transform::{
-    assemble_output, assemble_output_inverse, fold_core, prepare_input, prepare_input_inverse,
-    unfold_core, TransformMap,
+    assemble_output_gather, fold_core, prepare_input_scatter, unfold_core, TransformMap,
 };
 use tie_tensor::linalg::{matmul, matmul_nt, matmul_tn};
 use tie_tensor::{Result, Tensor, TensorError};
@@ -13,16 +12,23 @@ use rand::Rng;
 /// pass needs).
 #[derive(Debug, Clone)]
 pub struct TtLayerCache {
-    /// `stage_inputs[sample][idx]` is `V'_{h+1}` for execution index `idx`
-    /// (`idx = 0` ⇔ `h = d`).
-    stage_inputs: Vec<Vec<Tensor<f32>>>,
+    /// `stage_inputs[idx]` is the **batched** `V'_{h+1}` for execution
+    /// index `idx` (`idx = 0` ⇔ `h = d`): a `gtilde_cols × (v_cols·B)`
+    /// matrix with the batch index inner-most.
+    stage_inputs: Vec<Tensor<f32>>,
+    /// Batch size the cache was built for.
+    batch: usize,
 }
 
 /// Functional TT-layer forward: `Y = X Wᵀ` where `W` is given by 4-D TT
-/// cores (no bias). Runs the compact inference scheme per sample and
-/// returns the cache for [`tt_layer_backward`].
+/// cores (no bias). Runs **one batch-wide compact pass** — each of the `d`
+/// stages is a single GEMM over the whole minibatch, with the batch index
+/// riding inner-most so the inter-stage transforms are contiguous block
+/// copies — and returns the cache for [`tt_layer_backward`].
 ///
-/// `x` is batch-major `[B, N]`; the result is `[B, M]`.
+/// `x` is batch-major `[B, N]`; the result is `[B, M]`. Per sample, the
+/// arithmetic (and its floating-point order) is identical to running the
+/// compact scheme one sample at a time.
 ///
 /// # Errors
 ///
@@ -45,24 +51,38 @@ pub fn tt_layer_forward(
         .rev()
         .map(|h| TransformMap::new(shape, h))
         .collect::<Result<_>>()?;
-    let mut y = Tensor::zeros(vec![bsz, m]);
-    let mut cache = TtLayerCache {
-        stage_inputs: Vec::with_capacity(bsz),
-    };
+    // Batched prepare (Eqn. (8)): X' with batch inner-most. The input is
+    // batch-major, so this is a scatter per sample.
+    let scatter = prepare_input_scatter(shape);
+    let n_d = shape.col_modes[d - 1];
+    let mut v = Tensor::<f32>::zeros(vec![n_d, (n / n_d) * bsz]);
     for b in 0..bsz {
-        let xb = Tensor::from_vec(vec![n], x.row(b).to_vec())?;
-        let mut v = prepare_input(&xb, shape)?;
-        let mut inputs = Vec::with_capacity(d);
-        for (idx, h) in (1..=d).rev().enumerate() {
-            inputs.push(v.clone());
-            let out = matmul(&gtildes[h - 1], &v)?;
-            v = if h >= 2 { transforms[idx].apply(&out)? } else { out };
+        let row = x.row(b);
+        for (j, &dst) in scatter.iter().enumerate() {
+            v.data_mut()[dst * bsz + b] = row[j];
         }
-        let yb = assemble_output(&v, shape)?;
-        y.data_mut()[b * m..(b + 1) * m].copy_from_slice(yb.data());
-        cache.stage_inputs.push(inputs);
     }
-    Ok((y, cache))
+    let mut stage_inputs = Vec::with_capacity(d);
+    for (idx, h) in (1..=d).rev().enumerate() {
+        stage_inputs.push(v.clone());
+        // One GEMM covers the whole batch: the batched intermediate is
+        // gtilde_cols × (v_cols·B).
+        let out = matmul(&gtildes[h - 1], &v)?;
+        v = if h >= 2 {
+            transforms[idx].apply_batched(&out, bsz)?
+        } else {
+            out
+        };
+    }
+    // Batched assemble: gather each sample's rows out of V_1.
+    let out_gather = assemble_output_gather(shape);
+    let mut y = Tensor::zeros(vec![bsz, m]);
+    for b in 0..bsz {
+        for (i, &src) in out_gather.iter().enumerate() {
+            y.data_mut()[b * m + i] = v.data()[src * bsz + b];
+        }
+    }
+    Ok((y, TtLayerCache { stage_inputs, batch: bsz }))
 }
 
 /// Functional TT-layer backward: given upstream gradients `grad_y [B, M]`
@@ -72,7 +92,10 @@ pub fn tt_layer_forward(
 /// Gradients flow through the *same* stage structure, transposed: the
 /// inter-stage transforms are permutations, so their adjoints are their
 /// inverses, and each stage contributes `dG̃_h = dV_h · V'ᵀ_{h+1}` and
-/// `dV'_{h+1} = G̃ᵀ_h · dV_h`.
+/// `dV'_{h+1} = G̃ᵀ_h · dV_h`. With the batch inner-most in the cached
+/// intermediates, the single product `dV_h · V'ᵀ_{h+1}` **sums over the
+/// batch automatically** — one GEMM per stage yields the minibatch core
+/// gradient, the backward mirror of the batched forward.
 ///
 /// # Errors
 ///
@@ -85,45 +108,50 @@ pub fn tt_layer_backward(
     grad_y: &Tensor<f32>,
 ) -> Result<(Tensor<f32>, Vec<Tensor<f32>>)> {
     let (n, m, d) = (shape.num_cols(), shape.num_rows(), shape.ndim());
-    if grad_y.ndim() != 2 || grad_y.dims()[1] != m || grad_y.dims()[0] != cache.stage_inputs.len()
-    {
+    if grad_y.ndim() != 2 || grad_y.dims()[1] != m || grad_y.dims()[0] != cache.batch {
         return Err(TensorError::ShapeMismatch {
             left: grad_y.dims().to_vec(),
-            right: vec![cache.stage_inputs.len(), m],
+            right: vec![cache.batch, m],
         });
     }
     let bsz = grad_y.dims()[0];
     let gtildes: Vec<Tensor<f32>> = cores.iter().map(unfold_core).collect::<Result<_>>()?;
-    let mut grad_gtildes: Vec<Tensor<f32>> = gtildes
-        .iter()
-        .map(|g| Tensor::zeros(g.dims().to_vec()))
-        .collect();
     let transforms: Vec<TransformMap> = (2..=d)
         .rev()
         .map(|h| TransformMap::new(shape, h))
         .collect::<Result<_>>()?;
-    let mut grad_x = Tensor::zeros(vec![bsz, n]);
+    // dV_1 from the output gather's adjoint, batched (batch inner-most).
+    let out_gather = assemble_output_gather(shape);
+    let m_1 = shape.row_modes[0];
+    let mut dv = Tensor::<f32>::zeros(vec![m_1, (m / m_1) * bsz]);
     for b in 0..bsz {
-        let gyb = Tensor::from_vec(vec![m], grad_y.row(b).to_vec())?;
-        // dV_1 from the output gather's adjoint.
-        let mut dv = assemble_output_inverse(&gyb, shape)?;
-        // Walk stages h = 1 .. d (reverse of execution order).
-        for h in 1..=d {
-            let exec_idx = d - h; // forward execution index of stage h
-            let vin = &cache.stage_inputs[b][exec_idx];
-            let dg = matmul_nt(&dv, vin)?; // dV_h · V'ᵀ_{h+1}
-            grad_gtildes[h - 1].axpy(1.0, &dg)?;
-            let dvin = matmul_tn(&gtildes[h - 1], &dv)?; // G̃ᵀ_h · dV_h
-            if h < d {
-                // dV'_{h+1} → dV_{h+1}: invert the transform applied after
-                // stage h+1 in the forward pass (execution index d-h-1).
-                let t = &transforms[d - h - 1];
-                debug_assert_eq!(t.h, h + 1);
-                dv = t.apply_inverse(&dvin)?;
-            } else {
-                // dX' → dx
-                let dx = prepare_input_inverse(&dvin, shape)?;
-                grad_x.data_mut()[b * n..(b + 1) * n].copy_from_slice(dx.data());
+        let row = grad_y.row(b);
+        for (i, &src) in out_gather.iter().enumerate() {
+            dv.data_mut()[src * bsz + b] = row[i];
+        }
+    }
+    let mut grad_gtildes: Vec<Tensor<f32>> = Vec::with_capacity(d);
+    let mut grad_x = Tensor::zeros(vec![bsz, n]);
+    // Walk stages h = 1 .. d (reverse of execution order).
+    for h in 1..=d {
+        let exec_idx = d - h; // forward execution index of stage h
+        let vin = &cache.stage_inputs[exec_idx];
+        // dV_h · V'ᵀ_{h+1} over the batched columns: sums over the batch.
+        grad_gtildes.push(matmul_nt(&dv, vin)?);
+        let dvin = matmul_tn(&gtildes[h - 1], &dv)?; // G̃ᵀ_h · dV_h
+        if h < d {
+            // dV'_{h+1} → dV_{h+1}: invert the transform applied after
+            // stage h+1 in the forward pass (execution index d-h-1).
+            let t = &transforms[d - h - 1];
+            debug_assert_eq!(t.h, h + 1);
+            dv = t.apply_inverse_batched(&dvin, bsz)?;
+        } else {
+            // dX' → dx: adjoint of the batched prepare scatter.
+            let scatter = prepare_input_scatter(shape);
+            for b in 0..bsz {
+                for (j, &src) in scatter.iter().enumerate() {
+                    grad_x.data_mut()[b * n + j] = dvin.data()[src * bsz + b];
+                }
             }
         }
     }

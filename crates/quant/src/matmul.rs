@@ -1,7 +1,8 @@
 //! Quantized matrix multiplication on the modeled TIE datapath.
 
 use crate::{Accumulator, QFormat, QTensor};
-use tie_tensor::{Result, TensorError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use tie_tensor::{parallel, Result, TensorError};
 
 /// Saturation diagnostics of one quantized matrix multiply.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -79,6 +80,86 @@ pub fn qmatmul(
     let prod_shift = prod_frac - acc_frac;
     let out_shift = acc_frac.saturating_sub(out_format.frac_bits());
     debug_assert!(acc_frac >= out_format.frac_bits(), "acc must cover output precision");
+
+    let mut codes = vec![0i16; m * n];
+    let ad = a.codes();
+    let bd = b.codes();
+    // Saturation semantics are order-dependent (the 24-bit register clamps
+    // mid-accumulation), so any loop restructuring must keep each output's
+    // MAC sequence in ascending k. The i-k-j nest below does exactly that:
+    // a row of accumulators advances in lock-step, each seeing its products
+    // in the same order as the naive per-output loop — bit-identical codes
+    // and reports — while B's rows stream contiguously (cache-friendly)
+    // and output rows split across threads like the float kernels.
+    let acc_saturations = AtomicU64::new(0);
+    let out_saturations = AtomicU64::new(0);
+    let threads = parallel::threads_for(m * ka * n, m);
+    parallel::for_each_row_slab(&mut codes, m, n, threads, |row0, slab| {
+        let mut acc_sat = 0u64;
+        let mut out_sat = 0u64;
+        let mut accs = vec![Accumulator::new(prod_shift); n];
+        for (r, crow) in slab.chunks_mut(n).enumerate() {
+            let i = row0 + r;
+            accs.fill(Accumulator::new(prod_shift));
+            for k in 0..ka {
+                let aik = ad[i * ka + k];
+                let brow = &bd[k * n..(k + 1) * n];
+                for (acc, &bkj) in accs.iter_mut().zip(brow) {
+                    acc.mac(aik, bkj);
+                }
+            }
+            for (out, acc) in crow.iter_mut().zip(&accs) {
+                if acc.saturated() {
+                    acc_sat += 1;
+                }
+                let (v, sat) = acc.to_i16(out_shift);
+                if sat {
+                    out_sat += 1;
+                }
+                *out = v;
+            }
+        }
+        acc_saturations.fetch_add(acc_sat, Ordering::Relaxed);
+        out_saturations.fetch_add(out_sat, Ordering::Relaxed);
+    });
+    let report = QMatmulReport {
+        acc_saturations: acc_saturations.into_inner(),
+        out_saturations: out_saturations.into_inner(),
+        outputs: (m * n) as u64,
+    };
+    let out = QTensor::from_codes(vec![m, n], codes, out_format)?;
+    Ok((out, report))
+}
+
+/// Reference kernel with the naive per-output loop, kept for equivalence
+/// testing against the restructured [`qmatmul`] (which must reproduce its
+/// codes and saturation reports bit-for-bit).
+#[doc(hidden)]
+pub fn qmatmul_naive(
+    a: &QTensor,
+    b: &QTensor,
+    out_format: QFormat,
+) -> Result<(QTensor, QMatmulReport)> {
+    let a_dims = a.shape().dims();
+    let b_dims = b.shape().dims();
+    if a_dims.len() != 2 {
+        return Err(TensorError::NotAMatrix { ndim: a_dims.len() });
+    }
+    if b_dims.len() != 2 {
+        return Err(TensorError::NotAMatrix { ndim: b_dims.len() });
+    }
+    let (m, ka) = (a_dims[0], a_dims[1]);
+    let (kb, n) = (b_dims[0], b_dims[1]);
+    if ka != kb {
+        return Err(TensorError::MatmulDimMismatch {
+            left: (m, ka),
+            right: (kb, n),
+        });
+    }
+    let prod_frac = a.format().frac_bits() + b.format().frac_bits();
+    let acc_frac = prod_frac.min(out_format.frac_bits() + 8);
+    let prod_shift = prod_frac - acc_frac;
+    let out_shift = acc_frac.saturating_sub(out_format.frac_bits());
 
     let mut codes = vec![0i16; m * n];
     let mut report = QMatmulReport {
@@ -164,6 +245,35 @@ mod tests {
         let b = QTensor::from_codes(vec![1, 1], vec![30000], fmt).unwrap();
         let (_, report) = qmatmul(&a, &b, fmt).unwrap();
         assert_eq!(report.acc_saturations, 1);
+    }
+
+    #[test]
+    fn restructured_kernel_bitwise_matches_naive() {
+        // Saturation makes the datapath non-associative, so this is the
+        // load-bearing check: the row-of-accumulators kernel must agree
+        // with the per-output reference on codes AND reports, including
+        // inputs engineered to saturate mid-accumulation, at any thread
+        // count.
+        let mut rng = ChaCha8Rng::seed_from_u64(90);
+        let fmt = QFormat::new(4).unwrap();
+        let big: Tensor<f64> = init::uniform(&mut rng, vec![9, 13], 1800.0);
+        let spread: Tensor<f64> = init::uniform(&mut rng, vec![13, 11], 1500.0);
+        let qa = QTensor::quantize(&big, fmt);
+        let qb = QTensor::quantize(&spread, fmt);
+        for threads in [1usize, 4] {
+            let prev = tie_tensor::parallel::set_num_threads(threads);
+            let (c_fast, r_fast) = qmatmul(&qa, &qb, QFormat::new(2).unwrap()).unwrap();
+            tie_tensor::parallel::set_num_threads(prev);
+            let (c_ref, r_ref) = qmatmul_naive(&qa, &qb, QFormat::new(2).unwrap()).unwrap();
+            assert_eq!(c_fast.codes(), c_ref.codes(), "threads={threads}");
+            assert_eq!(r_fast, r_ref, "threads={threads}");
+        }
+        // The engineered inputs should actually exercise saturation.
+        let (_, r) = qmatmul_naive(&qa, &qb, QFormat::new(2).unwrap()).unwrap();
+        assert!(
+            r.acc_saturations > 0 || r.out_saturations > 0,
+            "test inputs failed to saturate: {r:?}"
+        );
     }
 
     #[test]

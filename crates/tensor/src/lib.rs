@@ -6,8 +6,11 @@
 //! * [`Shape`] — dimension bookkeeping with row-major strides,
 //! * [`Tensor`] — an owned, row-major, `d`-dimensional array over any
 //!   [`Scalar`] element type (`f32` / `f64`),
-//! * [`linalg`] — matrix multiplication, Householder QR and one-sided Jacobi
-//!   SVD (including the truncated SVD used by TT-SVD decomposition),
+//! * [`linalg`] — cache-blocked, optionally multi-threaded matrix
+//!   multiplication, Householder QR and one-sided Jacobi SVD (including the
+//!   truncated SVD used by TT-SVD decomposition),
+//! * [`parallel`] — thread-count control for the dense kernels
+//!   (`TIE_THREADS` env var, runtime override, spawn threshold),
 //! * [`init`] — deterministic pseudo-random initialization helpers.
 //!
 //! The TIE paper (ISCA '19) evaluates tensor-train compressed layers; the
@@ -29,7 +32,12 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the
+// `#[target_feature]` SIMD multiversioning in `linalg` (runtime-dispatched
+// AVX instantiation of the blocked GEMM body). Those functions contain no
+// raw-pointer code — the `unsafe` is solely the target-feature calling
+// contract, discharged by `is_x86_feature_detected!` at the call site.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
@@ -39,6 +47,7 @@ mod tensor;
 
 pub mod init;
 pub mod linalg;
+pub mod parallel;
 
 pub use error::TensorError;
 pub use scalar::Scalar;

@@ -6,12 +6,52 @@
 //! dependency — everything is implemented from scratch per the reproduction
 //! ground rules.
 
-use crate::{Result, Scalar, Tensor, TensorError};
+use crate::{parallel, Result, Scalar, Tensor, TensorError};
+
+/// Rows of `A`/`C` processed per cache block (reuses one `B` panel across a
+/// slab of output rows).
+const BLOCK_M: usize = 128;
+/// Depth (inner dimension) per cache block. Blocks are walked in ascending
+/// order so each output element accumulates its products in the same `k`
+/// order as the naive kernels — see the bit-consistency note on [`matmul`].
+const BLOCK_K: usize = 128;
+/// Columns of `B`/`C` per cache block; `BLOCK_K × BLOCK_N` elements of `B`
+/// (256 KiB at `f64`) stay L2-resident while a row slab streams past, and
+/// the microkernel's `BLOCK_K × TILE` column strips stay L1-resident.
+const BLOCK_N: usize = 256;
+/// Width (in `C` columns) of the register tile held by the NN microkernel
+/// on the portable (128-bit SIMD) path: 8 `f64` = 4 `xmm` accumulators per
+/// row, two rows = 8 in-flight add chains.
+const TILE_J: usize = 8;
+/// Register-tile width on the runtime-detected AVX path: 16 `f64` = 4
+/// `ymm` accumulators per row. The width only changes how many independent
+/// output columns are grouped per pass — each output's accumulation order
+/// is unchanged, so all paths are bit-identical.
+const TILE_J_WIDE: usize = 16;
+/// Register-tile width on the runtime-detected AVX-512 path: 32 `f64` = 4
+/// `zmm` accumulators per row.
+const TILE_J_512: usize = 32;
 
 /// Dense matrix product `C = A · B`.
 ///
-/// Uses an `i-k-j` loop order so the innermost loop streams rows of `B`
-/// (row-major friendly); this is the workhorse of the whole workspace.
+/// Cache-blocked (`BLOCK_M × BLOCK_K × BLOCK_N` tiles) and, above
+/// [`parallel::PARALLEL_MIN_WORK`] multiply-adds, row-partitioned across
+/// `std::thread::scope` workers (count from [`parallel::num_threads`]).
+///
+/// # Bit-consistency
+///
+/// For every output element the products `A[i,k]·B[k,j]` are accumulated in
+/// ascending `k` with plain multiply-then-add, exactly like
+/// [`matmul_naive`]; blocking and threading only reorder *independent*
+/// outputs, so `matmul` and `matmul_naive` agree bit-for-bit at any thread
+/// count. Both kernels skip `A[i,k] == 0.0` terms entirely. On finite
+/// inputs the skip is also bitwise-neutral: the accumulator starts at
+/// `+0.0` and can never become `-0.0` (IEEE 754 sums of zeros of either
+/// sign are `+0.0`), and adding the skipped `±0.0` product to any such
+/// accumulator returns it unchanged. The skip *is* observable when `B`
+/// holds non-finite values (`0.0 · ∞` and `0.0 · NaN` are `NaN`, which the
+/// skip never materializes) — callers that care about NaN propagation from
+/// `B` must not place zeros in `A`.
 ///
 /// # Errors
 ///
@@ -31,6 +71,29 @@ use crate::{Result, Scalar, Tensor, TensorError};
 /// # }
 /// ```
 pub fn matmul<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> Result<Tensor<T>> {
+    let (m, ka) = (a.nrows()?, a.ncols()?);
+    let (kb, n) = (b.nrows()?, b.ncols()?);
+    if ka != kb {
+        return Err(TensorError::MatmulDimMismatch {
+            left: (m, ka),
+            right: (kb, n),
+        });
+    }
+    let mut out = Tensor::zeros(vec![m, n]);
+    gemm_nn_dispatch(m, ka, n, a.data(), b.data(), out.data_mut());
+    Ok(out)
+}
+
+/// Reference `i-k-j` matrix product (the pre-blocking workhorse kernel).
+///
+/// Kept as the ground truth the blocked [`matmul`] is property-tested
+/// against; the innermost loop streams rows of `B` (row-major friendly)
+/// and `A[i,k] == 0.0` terms are skipped.
+///
+/// # Errors
+///
+/// Returns shape errors as in [`matmul`].
+pub fn matmul_naive<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> Result<Tensor<T>> {
     let (m, ka) = (a.nrows()?, a.ncols()?);
     let (kb, n) = (b.nrows()?, b.ncols()?);
     if ka != kb {
@@ -61,7 +124,216 @@ pub fn matmul<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> Result<Tensor<T>> {
     Ok(out)
 }
 
+/// Slice-level `C = A · B` into a caller-owned buffer (no allocation).
+///
+/// `a` is `m × k`, `b` is `k × n`, `c` is `m × n`, all row-major. `c` is
+/// overwritten (zeroed, then accumulated). This is the zero-copy entry
+/// point the compact engine's stage pipeline uses to keep its steady state
+/// allocation-free; numerics are identical to [`matmul`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] if a slice length does not
+/// match its `m`/`k`/`n` dimensions.
+pub fn gemm_into<T: Scalar>(
+    a: &[T],
+    b: &[T],
+    c: &mut [T],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Result<()> {
+    if a.len() != m * k || b.len() != k * n || c.len() != m * n {
+        return Err(TensorError::InvalidArgument {
+            message: format!(
+                "gemm_into: buffer lengths (a={}, b={}, c={}) do not match {m}x{k} · {k}x{n}",
+                a.len(),
+                b.len(),
+                c.len()
+            ),
+        });
+    }
+    c.fill(T::ZERO);
+    gemm_nn_dispatch(m, k, n, a, b, c);
+    Ok(())
+}
+
+/// Threaded front door for the blocked NN kernel: splits output rows into
+/// per-worker slabs (each with its matching rows of `A`), or runs inline
+/// below the spawn threshold. `c` must be pre-zeroed.
+fn gemm_nn_dispatch<T: Scalar>(m: usize, k: usize, n: usize, a: &[T], b: &[T], c: &mut [T]) {
+    let threads = parallel::threads_for(m * k * n, m);
+    parallel::for_each_row_slab(c, m, n, threads, |row0, c_slab| {
+        let rows = c_slab.len() / n.max(1);
+        let a_slab = &a[row0 * k..(row0 + rows) * k];
+        gemm_nn_block(rows, k, n, a_slab, b, c_slab);
+    });
+}
+
+/// Cache-blocked `C += A · B` on one row slab. Ascending `k0`/`kk` keeps
+/// each output's accumulation order identical to the naive kernel.
+///
+/// Dispatches at runtime to an AVX-compiled instantiation (wider register
+/// tile, 256-bit vectors) when the CPU supports it; baseline builds stay on
+/// the portable 128-bit path. Both instantiations share one generic body,
+/// so they are the same arithmetic in the same order.
+fn gemm_nn_block<T: Scalar>(rows: usize, k: usize, n: usize, a: &[T], b: &[T], c: &mut [T]) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: `avx512f` support was just detected on this CPU; the
+            // callee is ordinary safe slice code whose only `unsafe`
+            // obligation is that target-feature availability.
+            #[allow(unsafe_code)]
+            unsafe {
+                gemm_nn_block_avx512(rows, k, n, a, b, c);
+            }
+            return;
+        }
+        if std::arch::is_x86_feature_detected!("avx") {
+            // SAFETY: `avx` support was just detected on this CPU; the
+            // callee is ordinary safe slice code whose only `unsafe`
+            // obligation is that target-feature availability.
+            #[allow(unsafe_code)]
+            unsafe {
+                gemm_nn_block_avx(rows, k, n, a, b, c);
+            }
+            return;
+        }
+    }
+    gemm_nn_block_body::<T, TILE_J, 2>(rows, k, n, a, b, c);
+}
+
+/// AVX instantiation of the blocked NN kernel. `#[target_feature]` lets
+/// LLVM emit 256-bit loads/mul/add for the shared body; FMA contraction is
+/// never enabled, so results stay bit-identical to the portable path.
+/// AVX-512 instantiation of the blocked NN kernel (512-bit vectors, wider
+/// register tile). Same shared body, same arithmetic order.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+#[target_feature(enable = "avx512f")]
+unsafe fn gemm_nn_block_avx512<T: Scalar>(
+    rows: usize,
+    k: usize,
+    n: usize,
+    a: &[T],
+    b: &[T],
+    c: &mut [T],
+) {
+    gemm_nn_block_body::<T, TILE_J_512, 4>(rows, k, n, a, b, c);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+#[target_feature(enable = "avx")]
+unsafe fn gemm_nn_block_avx<T: Scalar>(
+    rows: usize,
+    k: usize,
+    n: usize,
+    a: &[T],
+    b: &[T],
+    c: &mut [T],
+) {
+    gemm_nn_block_body::<T, TILE_J_WIDE, 2>(rows, k, n, a, b, c);
+}
+
+#[inline(always)]
+fn gemm_nn_block_body<T: Scalar, const TJ: usize, const R: usize>(
+    rows: usize,
+    k: usize,
+    n: usize,
+    a: &[T],
+    b: &[T],
+    c: &mut [T],
+) {
+    for i0 in (0..rows).step_by(BLOCK_M) {
+        let i1 = (i0 + BLOCK_M).min(rows);
+        for k0 in (0..k).step_by(BLOCK_K) {
+            let k1 = (k0 + BLOCK_K).min(k);
+            for j0 in (0..n).step_by(BLOCK_N) {
+                let j1 = (j0 + BLOCK_N).min(n);
+                let len = j1 - j0;
+                // R-row × TJ-column register microkernel: the C tiles are
+                // loaded into locals ONCE per k-block, accumulated across
+                // the whole `kk` loop, and stored back once — so steady
+                // state does one B-vector load per R output rows and no C
+                // traffic inside the k loop. The `jt` strip loop sits
+                // OUTSIDE the row loop so one `BLOCK_K × TJ` column strip
+                // of `B` stays L1-resident while every row pair of the slab
+                // sweeps over it. Because k-blocks advance in ascending
+                // order and each tile element adds its products in
+                // ascending `kk`, every output still sees the exact
+                // left-to-right accumulation sequence of the scalar loop,
+                // keeping the kernel bit-identical to `matmul_naive` on
+                // NaN/∞-free inputs (see `matmul`'s zero-skip note:
+                // skipping `aik == 0` is bit-neutral there, so this kernel
+                // simply never skips). The fixed-size tile arrays give the
+                // compiler provable lengths, eliding bounds checks and
+                // vectorizing across the tile.
+                let mut jt = 0;
+                while jt + TJ <= len {
+                    let jb = j0 + jt;
+                    let mut i = i0;
+                    while i + R <= i1 {
+                        let mut t = [[T::ZERO; TJ]; R];
+                        for (r, tr) in t.iter_mut().enumerate() {
+                            tr.copy_from_slice(&c[(i + r) * n + jb..][..TJ]);
+                        }
+                        for kk in k0..k1 {
+                            let bv = &b[kk * n + jb..][..TJ];
+                            for (r, tr) in t.iter_mut().enumerate() {
+                                let ar = a[(i + r) * k + kk];
+                                for (x, &v) in tr.iter_mut().zip(bv) {
+                                    *x = *x + ar * v;
+                                }
+                            }
+                        }
+                        for (r, tr) in t.iter().enumerate() {
+                            c[(i + r) * n + jb..][..TJ].copy_from_slice(tr);
+                        }
+                        i += R;
+                    }
+                    while i < i1 {
+                        let arow = &a[i * k..(i + 1) * k];
+                        let crow = &mut c[i * n + jb..][..TJ];
+                        let mut t0 = [T::ZERO; TJ];
+                        t0.copy_from_slice(crow);
+                        for kk in k0..k1 {
+                            let a0 = arow[kk];
+                            let bv = &b[kk * n + jb..][..TJ];
+                            for (t, &v) in bv.iter().enumerate() {
+                                t0[t] = t0[t] + a0 * v;
+                            }
+                        }
+                        crow.copy_from_slice(&t0);
+                        i += 1;
+                    }
+                    jt += TJ;
+                }
+                // Remainder columns (< TJ wide): plain scalar accumulators,
+                // same ascending-k order.
+                while jt < len {
+                    let jb = j0 + jt;
+                    for i in i0..i1 {
+                        let arow = &a[i * k..(i + 1) * k];
+                        let mut s0 = c[i * n + jb];
+                        for kk in k0..k1 {
+                            s0 += arow[kk] * b[kk * n + jb];
+                        }
+                        c[i * n + jb] = s0;
+                    }
+                    jt += 1;
+                }
+            }
+        }
+    }
+}
+
 /// Matrix-vector product `y = A · x` where `x` is a 1-D tensor.
+///
+/// Row-partitioned across threads above the work threshold; each row's dot
+/// product accumulates in ascending column order (same as the serial
+/// kernel), so results are identical at any thread count.
 ///
 /// # Errors
 ///
@@ -76,25 +348,81 @@ pub fn matvec<T: Scalar>(a: &Tensor<T>, x: &Tensor<T>) -> Result<Tensor<T>> {
         });
     }
     let mut out = Tensor::zeros(vec![m]);
-    let ad = a.data();
-    let xd = x.data();
-    let yd = out.data_mut();
-    for i in 0..m {
-        let mut acc = T::ZERO;
-        for (j, &xj) in xd.iter().enumerate() {
-            acc += ad[i * k + j] * xj;
-        }
-        yd[i] = acc;
-    }
+    matvec_slices(m, k, a.data(), x.data(), out.data_mut());
     Ok(out)
 }
 
+/// Slice-level `y = A · x` into a caller-owned buffer (no allocation).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] on slice-length mismatch.
+pub fn matvec_into<T: Scalar>(a: &[T], x: &[T], y: &mut [T], m: usize, k: usize) -> Result<()> {
+    if a.len() != m * k || x.len() != k || y.len() != m {
+        return Err(TensorError::InvalidArgument {
+            message: format!(
+                "matvec_into: buffer lengths (a={}, x={}, y={}) do not match {m}x{k} · {k}",
+                a.len(),
+                x.len(),
+                y.len()
+            ),
+        });
+    }
+    matvec_slices(m, k, a, x, y);
+    Ok(())
+}
+
+fn matvec_slices<T: Scalar>(m: usize, k: usize, a: &[T], x: &[T], y: &mut [T]) {
+    let threads = parallel::threads_for(m * k, m);
+    parallel::for_each_row_slab(y, m, 1, threads, |row0, y_slab| {
+        for (r, out) in y_slab.iter_mut().enumerate() {
+            let i = row0 + r;
+            let arow = &a[i * k..(i + 1) * k];
+            let mut acc = T::ZERO;
+            for (&aij, &xj) in arow.iter().zip(x) {
+                acc += aij * xj;
+            }
+            *out = acc;
+        }
+    });
+}
+
 /// Product `C = Aᵀ · B` without materializing `Aᵀ`.
+///
+/// Cache-blocked and row-partitioned like [`matmul`]; every output
+/// accumulates in ascending `k`, so results match [`matmul_tn_naive`]
+/// bit-for-bit at any thread count (see the note on [`matmul`]).
 ///
 /// # Errors
 ///
 /// Returns shape errors as in [`matmul`].
 pub fn matmul_tn<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> Result<Tensor<T>> {
+    let (ka, m) = (a.nrows()?, a.ncols()?);
+    let (kb, n) = (b.nrows()?, b.ncols()?);
+    if ka != kb {
+        return Err(TensorError::MatmulDimMismatch {
+            left: (m, ka),
+            right: (kb, n),
+        });
+    }
+    let mut out = Tensor::zeros(vec![m, n]);
+    let ad = a.data();
+    let bd = b.data();
+    let cd = out.data_mut();
+    let threads = parallel::threads_for(m * ka * n, m);
+    parallel::for_each_row_slab(cd, m, n, threads, |row0, c_slab| {
+        let rows = c_slab.len() / n.max(1);
+        gemm_tn_block(row0, rows, ka, m, n, ad, bd, c_slab);
+    });
+    Ok(out)
+}
+
+/// Reference `k-i-j` kernel for `C = Aᵀ · B` (the pre-blocking loop).
+///
+/// # Errors
+///
+/// Returns shape errors as in [`matmul`].
+pub fn matmul_tn_naive<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> Result<Tensor<T>> {
     let (ka, m) = (a.nrows()?, a.ncols()?);
     let (kb, n) = (b.nrows()?, b.ncols()?);
     if ka != kb {
@@ -123,7 +451,50 @@ pub fn matmul_tn<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> Result<Tensor<T>> {
     Ok(out)
 }
 
+/// Blocked `C[i0_global..][..] += Aᵀ · B` on one slab of output rows
+/// (columns `i0_global..i0_global+rows` of `A`). `kk` ascends, matching
+/// the naive kernel's per-output accumulation order.
+#[allow(clippy::too_many_arguments)]
+fn gemm_tn_block<T: Scalar>(
+    i0_global: usize,
+    rows: usize,
+    ka: usize,
+    m: usize,
+    n: usize,
+    a: &[T],
+    b: &[T],
+    c: &mut [T],
+) {
+    for i0 in (0..rows).step_by(BLOCK_M) {
+        let i1 = (i0 + BLOCK_M).min(rows);
+        for k0 in (0..ka).step_by(BLOCK_K) {
+            let k1 = (k0 + BLOCK_K).min(ka);
+            for j0 in (0..n).step_by(BLOCK_N) {
+                let j1 = (j0 + BLOCK_N).min(n);
+                for kk in k0..k1 {
+                    let at_row = &a[kk * m..(kk + 1) * m];
+                    let brow = &b[kk * n + j0..kk * n + j1];
+                    for i in i0..i1 {
+                        let aki = at_row[i0_global + i];
+                        if aki == T::ZERO {
+                            continue;
+                        }
+                        let crow = &mut c[i * n + j0..i * n + j1];
+                        for (cv, &bkj) in crow.iter_mut().zip(brow) {
+                            *cv += aki * bkj;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Product `C = A · Bᵀ` without materializing `Bᵀ`.
+///
+/// Both operands are walked along contiguous rows (dot products), so the
+/// kernel is already cache-friendly; large problems are row-partitioned
+/// across threads with per-output accumulation order unchanged.
 ///
 /// # Errors
 ///
@@ -141,17 +512,20 @@ pub fn matmul_nt<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> Result<Tensor<T>> {
     let ad = a.data();
     let bd = b.data();
     let cd = out.data_mut();
-    for i in 0..m {
-        let arow = &ad[i * ka..(i + 1) * ka];
-        for j in 0..n {
-            let brow = &bd[j * kb..(j + 1) * kb];
-            let mut acc = T::ZERO;
-            for (&x, &y) in arow.iter().zip(brow) {
-                acc += x * y;
+    let threads = parallel::threads_for(m * ka * n, m);
+    parallel::for_each_row_slab(cd, m, n, threads, |row0, c_slab| {
+        for (r, crow) in c_slab.chunks_mut(n).enumerate() {
+            let arow = &ad[(row0 + r) * ka..(row0 + r + 1) * ka];
+            for (j, cv) in crow.iter_mut().enumerate() {
+                let brow = &bd[j * kb..(j + 1) * kb];
+                let mut acc = T::ZERO;
+                for (&x, &y) in arow.iter().zip(brow) {
+                    acc += x * y;
+                }
+                *cv = acc;
             }
-            cd[i * n + j] = acc;
         }
-    }
+    });
     Ok(out)
 }
 

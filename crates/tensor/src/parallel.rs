@@ -1,0 +1,153 @@
+//! Thread-count control and row-partitioned dispatch for the dense kernels.
+//!
+//! The blocked kernels in [`crate::linalg`] split their output rows across
+//! `std::thread::scope` workers once a problem is large enough to amortize
+//! thread spawn/join. The worker count is resolved, in order, from:
+//!
+//! 1. a process-wide runtime override ([`set_num_threads`], used by tests
+//!    to pin determinism checks to specific counts),
+//! 2. the `TIE_THREADS` environment variable (parsed once),
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Small problems never spawn: work below [`PARALLEL_MIN_WORK`] scalar
+//! multiply-adds stays on the calling thread regardless of the configured
+//! count, which keeps the compact engine's many tiny stage products on the
+//! fast path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Minimum number of scalar multiply-adds (`m·k·n` for a GEMM) before a
+/// kernel considers splitting across threads. Below this, spawn/join costs
+/// more than the compute.
+pub const PARALLEL_MIN_WORK: usize = 1 << 17;
+
+/// Runtime override; `0` means "not set" (fall back to env / hardware).
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// `TIE_THREADS` parsed once; `0` means unset or unparsable.
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+fn env_threads() -> usize {
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("TIE_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map_or(0, |n| n.max(1))
+    })
+}
+
+/// Number of worker threads the hardware offers (≥ 1).
+#[must_use]
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Resolved worker count for the dense kernels (≥ 1).
+#[must_use]
+pub fn num_threads() -> usize {
+    let o = OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    let e = env_threads();
+    if e > 0 {
+        return e;
+    }
+    available_parallelism()
+}
+
+/// Overrides the worker count for this process; `0` clears the override
+/// (back to `TIE_THREADS` / hardware). Returns the previous override
+/// (`0` if none), so tests can restore it.
+pub fn set_num_threads(n: usize) -> usize {
+    OVERRIDE.swap(n, Ordering::Relaxed)
+}
+
+/// Worker count for a kernel with `work` scalar multiply-adds spread over
+/// `rows` independent output rows: 1 below the spawn threshold, otherwise
+/// the configured count capped by the row count.
+#[must_use]
+pub fn threads_for(work: usize, rows: usize) -> usize {
+    if work < PARALLEL_MIN_WORK {
+        return 1;
+    }
+    num_threads().min(rows.max(1))
+}
+
+/// Runs `f` over `buf` split into `threads` near-equal row slabs.
+///
+/// `buf` holds `rows` rows of `row_len` elements; each invocation gets the
+/// global index of its first row and the mutable slab. With one thread (or
+/// one slab) this calls `f` inline without spawning.
+pub fn for_each_row_slab<T, F>(buf: &mut [T], rows: usize, row_len: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    debug_assert_eq!(buf.len(), rows * row_len);
+    let slab_rows = rows.div_ceil(threads.max(1)).max(1);
+    if threads <= 1 || slab_rows >= rows {
+        f(0, buf);
+        return;
+    }
+    // Row slabs are disjoint `chunks_mut` regions, so the scoped borrows
+    // are independent; `scope` joins every worker before returning.
+    std::thread::scope(|scope| {
+        for (slab_idx, slab) in buf.chunks_mut(slab_rows * row_len).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(slab_idx * slab_rows, slab));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn num_threads_is_positive_and_overridable() {
+        assert!(num_threads() >= 1);
+        let prev = set_num_threads(3);
+        assert_eq!(num_threads(), 3);
+        set_num_threads(prev);
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn small_work_never_splits() {
+        let prev = set_num_threads(8);
+        assert_eq!(threads_for(PARALLEL_MIN_WORK - 1, 1024), 1);
+        assert_eq!(threads_for(PARALLEL_MIN_WORK, 1024), 8);
+        // Never more threads than rows.
+        assert_eq!(threads_for(PARALLEL_MIN_WORK, 2), 2);
+        set_num_threads(prev);
+    }
+
+    #[test]
+    fn row_slabs_cover_everything_exactly_once() {
+        let rows = 10;
+        let row_len = 3;
+        let mut buf = vec![0u32; rows * row_len];
+        for_each_row_slab(&mut buf, rows, row_len, 4, |row0, slab| {
+            for (r, row) in slab.chunks_mut(row_len).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (row0 + r) as u32 + 1;
+                }
+            }
+        });
+        let want: Vec<u32> = (0..rows)
+            .flat_map(|r| std::iter::repeat_n(r as u32 + 1, row_len))
+            .collect();
+        assert_eq!(buf, want);
+    }
+
+    #[test]
+    fn inline_path_used_for_single_thread() {
+        let mut buf = vec![0u8; 6];
+        for_each_row_slab(&mut buf, 2, 3, 1, |row0, slab| {
+            assert_eq!(row0, 0);
+            assert_eq!(slab.len(), 6);
+        });
+    }
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the TIE reproduction, run at two thread settings.
+#
+# The dense kernels are bit-identical at any thread count (see DESIGN.md
+# §8), so the whole suite must pass both serial (TIE_THREADS=1) and at
+# the default thread count. Usage: scripts/ci.sh [--offline]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CARGO_FLAGS=()
+if [[ "${1:-}" == "--offline" ]]; then
+  CARGO_FLAGS+=(--offline)
+fi
+
+echo "== tier-1: release build =="
+cargo build --release --workspace "${CARGO_FLAGS[@]}"
+
+echo "== tier-1: tests, TIE_THREADS=1 (serial) =="
+TIE_THREADS=1 cargo test -q --workspace "${CARGO_FLAGS[@]}"
+
+echo "== tier-1: tests, default thread count =="
+cargo test -q --workspace "${CARGO_FLAGS[@]}"
+
+echo "ci.sh: all green"

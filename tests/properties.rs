@@ -9,7 +9,7 @@ use tie::core::transform::{
 };
 use tie::core::{counts, CompactEngine, InferencePlan};
 use tie::prelude::*;
-use tie::tensor::{init, linalg};
+use tie::tensor::{init, linalg, parallel};
 use tie::tt::decompose::tt_svd;
 
 /// Strategy: a valid random TT-matrix layout with d in 2..=4, modes in
@@ -246,6 +246,131 @@ proptest! {
             prop_assert!(s.output_elems() <= plan.max_intermediate_elems());
         }
         prop_assert!(counts::mul_compact(&shape) <= counts::mul_naive(&shape));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Performance-layer equivalence suite: the blocked / threaded kernels and the
+// batched compact engine must be *bit-identical* to their reference forms on
+// finite inputs — blocking and batching only reorder independent outputs,
+// never the per-output accumulation (DESIGN §7).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The blocked matmul is bitwise equal to the naive i-k-j reference at
+    /// any configured thread count, including degenerate 1×N / N×1 / 1×1
+    /// shapes (dims start at 1).
+    #[test]
+    fn blocked_matmul_bitwise_equals_naive(
+        m in 1usize..24,
+        k in 1usize..24,
+        n in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a: Tensor<f64> = init::uniform(&mut rng, vec![m, k], 1.0);
+        let b: Tensor<f64> = init::uniform(&mut rng, vec![k, n], 1.0);
+        let want = linalg::matmul_naive(&a, &b).unwrap();
+        for threads in [1usize, 4] {
+            let prev = parallel::set_num_threads(threads);
+            let got = linalg::matmul(&a, &b).unwrap();
+            parallel::set_num_threads(prev);
+            for (x, y) in got.data().iter().zip(want.data()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    /// Same bit-equivalence for the Aᵀ·B kernel used by QR / backprop.
+    #[test]
+    fn blocked_matmul_tn_bitwise_equals_naive(
+        m in 1usize..20,
+        k in 1usize..20,
+        n in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a: Tensor<f64> = init::uniform(&mut rng, vec![k, m], 1.0);
+        let b: Tensor<f64> = init::uniform(&mut rng, vec![k, n], 1.0);
+        let want = linalg::matmul_tn_naive(&a, &b).unwrap();
+        for threads in [1usize, 3] {
+            let prev = parallel::set_num_threads(threads);
+            let got = linalg::matmul_tn(&a, &b).unwrap();
+            parallel::set_num_threads(prev);
+            for (x, y) in got.data().iter().zip(want.data()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    /// matvec is the n = 1 column of the reference matmul, bit for bit.
+    #[test]
+    fn matvec_bitwise_equals_naive_matmul_column(
+        m in 1usize..32,
+        k in 1usize..32,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a: Tensor<f64> = init::uniform(&mut rng, vec![m, k], 1.0);
+        let x: Tensor<f64> = init::uniform(&mut rng, vec![k], 1.0);
+        let y = linalg::matvec(&a, &x).unwrap();
+        let want = linalg::matmul_naive(&a, &x.reshaped(vec![k, 1]).unwrap()).unwrap();
+        for (got, yref) in y.data().iter().zip(want.data()) {
+            prop_assert_eq!(got.to_bits(), yref.to_bits());
+        }
+    }
+
+    /// The batch-wide compact pass is bitwise equal to running each column
+    /// alone, arithmetic scales by B, and weights still stream once per
+    /// stage (`core_reads == num_params` for every B).
+    #[test]
+    fn batched_engine_bitwise_equals_per_column(
+        shape in tt_shape_strategy(),
+        b in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let ttm = TtMatrix::<f64>::random(&mut rng, &shape, 0.8).unwrap();
+        let engine = CompactEngine::new(ttm).unwrap();
+        let n = shape.num_cols();
+        let xs: Tensor<f64> = init::uniform(&mut rng, vec![n, b], 1.0);
+        let (ys, batch_count) = engine.matvec_batch(&xs).unwrap();
+        prop_assert_eq!(batch_count.core_reads as usize, shape.num_params());
+        for c in 0..b {
+            let x = xs.cols(c, c + 1).unwrap().reshaped(vec![n]).unwrap();
+            let (y, single) = engine.matvec(&x).unwrap();
+            prop_assert_eq!(batch_count.mults, single.mults * b as u64);
+            for r in 0..y.num_elements() {
+                prop_assert_eq!(ys.data()[r * b + c].to_bits(), y.data()[r].to_bits());
+            }
+        }
+    }
+}
+
+/// Deterministic, big enough to actually cross the spawn threshold
+/// (proptest shapes stay below it): 80·64·48 = 245 760 multiply-adds ≥
+/// `PARALLEL_MIN_WORK`, so thread counts > 1 genuinely split rows here —
+/// and must still match the naive kernel bit for bit.
+#[test]
+fn threaded_matmul_bitwise_stable_above_spawn_threshold() {
+    let mut rng = ChaCha8Rng::seed_from_u64(9200);
+    let a: Tensor<f64> = init::uniform(&mut rng, vec![80, 64], 1.0);
+    let b: Tensor<f64> = init::uniform(&mut rng, vec![64, 48], 1.0);
+    assert!(80 * 64 * 48 >= parallel::PARALLEL_MIN_WORK);
+    let want = linalg::matmul_naive(&a, &b).unwrap();
+    for threads in [1usize, 2, 5] {
+        let prev = parallel::set_num_threads(threads);
+        let got = linalg::matmul(&a, &b).unwrap();
+        parallel::set_num_threads(prev);
+        assert!(
+            got.data()
+                .iter()
+                .zip(want.data())
+                .all(|(x, y)| x.to_bits() == y.to_bits()),
+            "threads={threads}"
+        );
     }
 }
 

@@ -1,0 +1,88 @@
+//! Steady-state allocation accounting for the compact-engine pipeline.
+//!
+//! The zero-copy stage pipeline promises that after the first call has
+//! grown the engine's ping-pong workspace, `matvec_into` /
+//! `matvec_batch_into` perform **no heap allocation**. This binary installs
+//! a counting global allocator to hold the engine to that promise.
+//!
+//! The counter is thread-local so the test-harness coordinator thread (and
+//! anything else in the process) cannot pollute the measurement; the dense
+//! kernels stay below the spawn threshold at these sizes, so all engine
+//! work happens on the measuring thread.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tie::core::CompactEngine;
+use tie::prelude::*;
+use tie::tensor::init;
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+struct CountingAlloc;
+
+// SAFETY: delegates every operation to `System`; the bookkeeping uses a
+// const-initialized thread-local `Cell`, which never allocates.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs_on_this_thread() -> u64 {
+    THREAD_ALLOCS.with(Cell::get)
+}
+
+#[test]
+fn steady_state_matvec_performs_no_heap_allocation() {
+    let mut rng = ChaCha8Rng::seed_from_u64(4242);
+    let shape = TtShape::uniform_rank(vec![4, 4, 4], vec![4, 4, 4], 3).unwrap();
+    let ttm = TtMatrix::<f64>::random(&mut rng, &shape, 0.8).unwrap();
+    let engine = CompactEngine::new(ttm).unwrap();
+    let (n, m) = (shape.num_cols(), shape.num_rows());
+    let x: Tensor<f64> = init::uniform(&mut rng, vec![n], 1.0);
+    let mut y = vec![0.0f64; m];
+    let b = 4usize;
+    let xs: Tensor<f64> = init::uniform(&mut rng, vec![n, b], 1.0);
+    let mut ys = vec![0.0f64; m * b];
+
+    // Warm-up: the first calls grow the ping-pong workspace (the batched
+    // call needs the larger, B-scaled capacity).
+    engine.matvec_into(x.data(), &mut y).unwrap();
+    engine.matvec_batch_into(xs.data(), b, &mut ys).unwrap();
+
+    let before = allocs_on_this_thread();
+    for _ in 0..16 {
+        engine.matvec_into(x.data(), &mut y).unwrap();
+        engine.matvec_batch_into(xs.data(), b, &mut ys).unwrap();
+    }
+    let after = allocs_on_this_thread();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state compact passes must not allocate"
+    );
+
+    // Sanity: the result is still correct after the counted passes.
+    let dense = engine.matrix().to_dense().unwrap();
+    let want = tie::tensor::linalg::matvec(&dense, &x).unwrap();
+    let y_t = Tensor::from_vec(vec![m], y).unwrap();
+    assert!(y_t.approx_eq(&want, 1e-9));
+}

@@ -1,0 +1,468 @@
+//! Offline stand-in for `proptest`, vendored because the build environment
+//! has no registry access.
+//!
+//! Same programming model as upstream — [`Strategy`] values describe how to
+//! sample inputs, the [`proptest!`] macro turns `fn f(x in strat)` items
+//! into `#[test]` functions, and `prop_assert!`/`prop_assert_eq!` report
+//! failures with the offending case index — but simplified where the
+//! workspace does not need the full engine:
+//!
+//! - sampling is purely random from a **deterministic per-test seed** (the
+//!   FNV-1a hash of the test name), so failures reproduce across runs;
+//! - there is **no shrinking**: a failing case reports its index and seed
+//!   instead of a minimized input.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+
+/// Re-export so `$crate`-based macro expansions can seed the runner RNG.
+pub use rand::SeedableRng;
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand::distributions::SampleUniform;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// A recipe for sampling values of type `Self::Value`.
+    ///
+    /// Unlike upstream (value trees + shrinking), a stand-in strategy is
+    /// just a sampling function over the runner's RNG.
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+
+        /// Samples one value.
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Maps sampled values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Samples a value, builds a dependent strategy from it, and
+        /// samples that.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Boxes this strategy (API compatibility; rarely needed here).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut SmallRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Type-erased strategy, see [`Strategy::boxed`].
+    pub struct BoxedStrategy<T>(Box<dyn ErasedStrategy<Value = T>>);
+
+    trait ErasedStrategy {
+        type Value;
+        fn erased_generate(&self, rng: &mut SmallRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> ErasedStrategy for S {
+        type Value = S::Value;
+        fn erased_generate(&self, rng: &mut SmallRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            self.0.erased_generate(rng)
+        }
+    }
+
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        T: SampleUniform + Copy + PartialOrd,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for std::ops::RangeInclusive<T>
+    where
+        T: SampleUniform + Copy + PartialOrd,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! impl_strategy_tuple {
+        ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_strategy_tuple!(
+        (A: 0),
+        (A: 0, B: 1),
+        (A: 0, B: 1, C: 2),
+        (A: 0, B: 1, C: 2, D: 3),
+        (A: 0, B: 1, C: 2, D: 3, E: 4),
+        (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+    );
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: an exact length or a range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        /// Inclusive upper bound.
+        max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self { min: r.start, max: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self { min: *r.start(), max: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = if self.size.min == self.size.max {
+                self.size.min
+            } else {
+                rng.gen_range(self.size.min..=self.size.max)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test configuration and failure plumbing used by the macros.
+
+    /// Per-block configuration (only `cases` is honoured).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// A failed `prop_assert!`-style check inside a test case.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            Self { message: message.into() }
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+}
+
+/// Deterministic per-test seed: FNV-1a over the test name, so each test
+/// draws an independent but reproducible stream.
+#[must_use]
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `body` for `cases` random cases; panics with the case index and
+/// seed on the first failure. Called from [`proptest!`] expansions.
+pub fn run_cases<F>(test_name: &str, cases: u32, mut body: F)
+where
+    F: FnMut(&mut SmallRng) -> Result<(), test_runner::TestCaseError>,
+{
+    let seed = seed_for(test_name);
+    let mut rng = <SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+    for case in 0..cases {
+        if let Err(e) = body(&mut rng) {
+            panic!(
+                "proptest `{test_name}` failed at case {case}/{cases} (seed {seed:#x}): {e}"
+            );
+        }
+    }
+}
+
+/// Turns `fn name(arg in strategy, ...) { body }` items into `#[test]`
+/// functions that sample each strategy `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@fns ($config); $($rest)*);
+    };
+    (@fns ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            $crate::run_cases(stringify!($name), config.cases, |prop_rng| {
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strat), prop_rng);
+                )+
+                $body
+                Ok(())
+            });
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @fns ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        );
+    };
+}
+
+/// Like `assert!`, but fails only the current case (with context) rather
+/// than aborting without the case index.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Like `assert_eq!`, reporting both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Like `assert_ne!`, reporting both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+pub mod prelude {
+    //! Everything a property test usually imports.
+
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_within_bounds() {
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(7);
+        for _ in 0..200 {
+            let v = (2usize..=4).generate(&mut rng);
+            assert!((2..=4).contains(&v));
+            let f = (-1.5f64..2.5).generate(&mut rng);
+            assert!((-1.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_honours_exact_and_ranged_lengths() {
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(8);
+        let exact = collection::vec(0u64..10, 5).generate(&mut rng);
+        assert_eq!(exact.len(), 5);
+        for _ in 0..50 {
+            let ranged = collection::vec(0u64..10, 1..4).generate(&mut rng);
+            assert!((1..=3).contains(&ranged.len()));
+        }
+    }
+
+    #[test]
+    fn flat_map_builds_dependent_shapes() {
+        let strat = (1usize..=3)
+            .prop_flat_map(|d| collection::vec(0u32..5, d))
+            .prop_map(|v| v.len());
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(9);
+        for _ in 0..50 {
+            let len = strat.generate(&mut rng);
+            assert!((1..=3).contains(&len));
+        }
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_name_dependent() {
+        assert_eq!(seed_a(), seed_a());
+        assert_ne!(crate::seed_for("a"), crate::seed_for("b"));
+    }
+
+    fn seed_a() -> u64 {
+        crate::seed_for("a")
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_generates_runnable_tests(x in 0u64..100, ys in collection::vec(1usize..=3, 2..=4)) {
+            prop_assert!(x < 100);
+            prop_assert!((2..=4).contains(&ys.len()));
+            prop_assert_eq!(ys.len(), ys.iter().count());
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The tie-rs build environment has no access to a crates.io registry, so
+//! the workspace vendors a minimal, std-only implementation of the exact
+//! `rand 0.8` API surface it uses:
+//!
+//! * [`RngCore`] / [`Rng`] / [`SeedableRng`] traits,
+//! * `gen_range` over integer and float ranges (half-open and inclusive),
+//! * `gen_bool`, `gen`, `fill`,
+//! * [`seq::index::sample`] (partial Fisher–Yates without replacement),
+//! * [`rngs::SmallRng`] and [`thread_rng`] conveniences.
+//!
+//! Numerical streams are deterministic per seed but are **not** guaranteed
+//! to be bit-identical to upstream `rand`; every consumer in this workspace
+//! seeds explicitly and asserts mathematical properties, never golden
+//! random values. `SeedableRng::seed_from_u64` uses the same PCG32-based
+//! byte expansion as `rand_core 0.6` so seed handling is structurally
+//! faithful.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level random number generation: sources of raw random words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A type that can be sampled uniformly from a range by [`Rng::gen_range`].
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform sample from `[low, high)`. Caller guarantees `low < high`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform sample from `[low, high]`. Caller guarantees `low <= high`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as $wide).wrapping_sub(low as $wide) as u64;
+                // Multiply-shift rejection-free mapping (Lemire); the tiny
+                // modulo bias (< 2^-64 * span) is irrelevant for testing.
+                let v = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                ((low as $wide).wrapping_add(v as $wide)) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                if high == <$t>::MAX && low == <$t>::MIN {
+                    return rng.next_u64() as $t;
+                }
+                let span = (high as $wide).wrapping_sub(low as $wide) as u64 + 1;
+                let v = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                ((low as $wide).wrapping_add(v as $wide)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                // 53 (resp. 24) mantissa bits of uniformity in [0, 1).
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let v = low as f64 + unit * (high as f64 - low as f64);
+                // Guard against rounding up to `high` exactly.
+                if v as $t >= high { low } else { v as $t }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let unit = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+                (low as f64 + unit * (high as f64 - low as f64)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+pub mod distributions {
+    //! Upstream-path re-exports (`rand::distributions::uniform::…`).
+
+    pub use crate::SampleUniform;
+
+    pub mod uniform {
+        //! Uniform-distribution traits.
+
+        pub use crate::SampleUniform;
+    }
+}
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty inclusive range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+/// Values producible by [`Rng::gen`].
+pub trait Standard {
+    /// Draws one value from the "standard" distribution of the type.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T: SampleUniform, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of [0,1]");
+        f64::standard_sample(self) < p
+    }
+
+    /// A value from the type's standard distribution (`[0,1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Fills a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed with the PCG32 scheme used by
+    /// `rand_core 0.6`, then calls [`SeedableRng::from_seed`].
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let word = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&word.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    /// Index sampling without replacement.
+    pub mod index {
+        use crate::{Rng, RngCore};
+
+        /// The sampled index set (mirrors `rand::seq::index::IndexVec`).
+        #[derive(Debug, Clone)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// The indices as a plain vector.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+            /// Number of sampled indices.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+            /// True when no indices were sampled.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+            /// Iterates the sampled indices.
+            pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+                self.0.iter().copied()
+            }
+        }
+
+        /// Samples `amount` distinct indices from `0..length` (partial
+        /// Fisher–Yates).
+        ///
+        /// # Panics
+        ///
+        /// Panics if `amount > length` (same contract as upstream).
+        pub fn sample<R: RngCore + ?Sized>(
+            rng: &mut R,
+            length: usize,
+            amount: usize,
+        ) -> IndexVec {
+            assert!(
+                amount <= length,
+                "sample: amount {amount} > length {length}"
+            );
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = rng.gen_range(i..length);
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        }
+    }
+}
+
+/// Bundled generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SmallRng {
+        fn next(&mut self) -> u64 {
+            let out = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.next()
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            }
+            // All-zero state is a fixed point of xoshiro; nudge it.
+            if s == [0; 4] {
+                s = [0x9E3779B97F4A7C15, 1, 2, 3];
+            }
+            SmallRng { s }
+        }
+    }
+}
+
+/// A process-global convenience generator (seeded from the system clock —
+/// use an explicit [`SeedableRng`] seed for reproducible experiments).
+pub fn thread_rng() -> rngs::SmallRng {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5EED);
+    <rngs::SmallRng as SeedableRng>::seed_from_u64(nanos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rngs::SmallRng;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&v));
+            let f = rng.gen_range(-2.0f64..=2.0);
+            assert!((-2.0..=2.0).contains(&f));
+            let i = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn sample_is_distinct_and_in_range() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let picked = seq::index::sample(&mut rng, 50, 10).into_vec();
+        assert_eq!(picked.len(), 10);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10, "indices must be distinct");
+        assert!(picked.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn float_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Offline stand-in for `rand_chacha`: a genuine ChaCha block function
+//! driving [`rand::RngCore`], vendored because the build environment has no
+//! registry access.
+//!
+//! The keystream is real ChaCha (8/12/20 rounds, RFC 7539 constants, 64-bit
+//! block counter starting at zero, zero nonce) over the 32-byte seed as the
+//! key. Word order within a block follows the natural state order, which is
+//! deterministic per seed but not promised to be bit-identical to upstream
+//! `rand_chacha`'s SIMD-interleaved stream; all tie-rs consumers rely only
+//! on determinism.
+
+#![forbid(unsafe_code)]
+
+use rand::{RngCore, SeedableRng};
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// A ChaCha-based RNG with `R` double-rounds, generic over the round count.
+#[derive(Debug, Clone)]
+pub struct ChaChaRng<const DOUBLE_ROUNDS: usize> {
+    key: [u32; 8],
+    counter: u64,
+    block: [u32; 16],
+    index: usize,
+}
+
+impl<const DOUBLE_ROUNDS: usize> ChaChaRng<DOUBLE_ROUNDS> {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // nonce words stay zero
+        let input = state;
+        for _ in 0..DOUBLE_ROUNDS {
+            // column round
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // diagonal round
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (out, inp) in state.iter_mut().zip(input) {
+            *out = out.wrapping_add(inp);
+        }
+        self.block = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.index];
+        self.index += 1;
+        w
+    }
+}
+
+impl<const DOUBLE_ROUNDS: usize> RngCore for ChaChaRng<DOUBLE_ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl<const DOUBLE_ROUNDS: usize> SeedableRng for ChaChaRng<DOUBLE_ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *k = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        let mut rng = ChaChaRng {
+            key,
+            counter: 0,
+            block: [0; 16],
+            index: 16,
+        };
+        rng.refill();
+        rng
+    }
+}
+
+/// ChaCha with 8 rounds (4 double-rounds) — the workspace's default RNG.
+pub type ChaCha8Rng = ChaChaRng<4>;
+/// ChaCha with 12 rounds.
+pub type ChaCha12Rng = ChaChaRng<6>;
+/// ChaCha with 20 rounds.
+pub type ChaCha20Rng = ChaChaRng<10>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        let va: Vec<u64> = (0..40).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..40).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        let mut c = ChaCha8Rng::seed_from_u64(8);
+        assert_ne!(va[0], c.next_u64());
+    }
+
+    #[test]
+    fn chacha20_zero_key_first_block_matches_rfc7539_structure() {
+        // With an all-zero key/nonce the first ChaCha20 keystream word is the
+        // well-known 0xade0b876 (RFC 7539 §2.3 test vector, counter 0).
+        let mut rng = ChaCha20Rng::from_seed([0u8; 32]);
+        assert_eq!(rng.next_u32(), 0xade0_b876);
+    }
+
+    #[test]
+    fn streams_span_blocks_without_repeating() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let first: Vec<u32> = (0..64).map(|_| rng.next_u32()).collect();
+        // Four blocks of 16 words: consecutive blocks must differ.
+        assert_ne!(&first[0..16], &first[16..32]);
+        assert_ne!(&first[16..32], &first[32..48]);
+    }
+
+    #[test]
+    fn usable_through_rand_rng_trait() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let v = rng.gen_range(0.0f64..1.0);
+        assert!((0.0..1.0).contains(&v));
+        let n = rng.gen_range(1usize..=6);
+        assert!((1..=6).contains(&n));
+    }
+}

@@ -1,0 +1,116 @@
+//! Offline stand-in for `serde_derive`, written against `proc_macro` alone
+//! (no `syn`/`quote` — the build environment has no registry access).
+//!
+//! Supports exactly the shape the workspace uses: `struct` with named
+//! fields, no generics. Attributes (doc comments included) are skipped;
+//! every field is serialized under its own name. Anything else produces a
+//! clear compile error rather than silently wrong output.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the vendored stand-in trait) for a struct
+/// with named fields.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_struct(input) {
+        Ok((name, fields)) => {
+            let mut entries = String::new();
+            for f in &fields {
+                entries.push_str(&format!(
+                    "(\"{f}\".to_string(), <_ as serde::Serialize>::to_value(&self.{f})),"
+                ));
+            }
+            format!(
+                "impl serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Object(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+            .parse()
+            .expect("generated impl parses")
+        }
+        Err(msg) => format!("compile_error!(\"derive(Serialize) stand-in: {msg}\");")
+            .parse()
+            .expect("error token parses"),
+    }
+}
+
+/// Extracts `(struct_name, field_names)` from the derive input.
+fn parse_struct(input: TokenStream) -> Result<(String, Vec<String>), String> {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes and visibility to find `struct Name { ... }`.
+    let mut name = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next(); // the [...] group
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    _ => return Err("expected struct name".into()),
+                }
+                break;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                return Err("enums are not supported; serialize structs only".into());
+            }
+            _ => {}
+        }
+    }
+    let name = name.ok_or_else(|| "no struct found".to_string())?;
+    // Next significant token must be the brace group (generics unsupported).
+    let body = loop {
+        match iter.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err("generic structs are not supported".into());
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err("tuple structs are not supported".into());
+            }
+            Some(_) => continue,
+            None => return Err("struct has no body".into()),
+        }
+    };
+    // Walk the fields: `(#[attr])* (pub (…)?)? name : Type ,`
+    let mut fields = Vec::new();
+    let mut expect_name = true;
+    let mut angle_depth = 0i32;
+    let mut body_iter = body.into_iter().peekable();
+    while let Some(tt) = body_iter.next() {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '#' if expect_name => {
+                    body_iter.next(); // attribute group
+                }
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => expect_name = true,
+                _ => {}
+            },
+            TokenTree::Ident(id) if expect_name => {
+                let s = id.to_string();
+                if s == "pub" {
+                    // Optional `pub(crate)`-style restriction group follows.
+                    if let Some(TokenTree::Group(g)) = body_iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            body_iter.next();
+                        }
+                    }
+                } else {
+                    match body_iter.next() {
+                        Some(TokenTree::Punct(c)) if c.as_char() == ':' => {
+                            fields.push(s);
+                            expect_name = false;
+                        }
+                        _ => return Err(format!("field `{s}` is not `name: Type`")),
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok((name, fields))
+}

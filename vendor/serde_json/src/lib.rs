@@ -1,0 +1,189 @@
+//! Offline stand-in for `serde_json`: renders the vendored `serde`
+//! [`Value`] tree as JSON text. Only the producer side is implemented —
+//! nothing in the workspace parses JSON back.
+
+#![forbid(unsafe_code)]
+
+pub use serde::Value;
+use serde::Serialize;
+
+/// Serialization error (the stand-in serializer is infallible; the type
+/// exists so call sites keep their `Result` plumbing).
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json serialization error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching upstream.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Renders `value` as compact JSON.
+///
+/// # Errors
+///
+/// Infallible in this stand-in; `Result` is kept for API compatibility.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Renders `value` as human-readable JSON (two-space indentation).
+///
+/// # Errors
+///
+/// Infallible in this stand-in; `Result` is kept for API compatibility.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => out.push_str(&render_f64(*f)),
+        Value::String(s) => render_string(s, out),
+        Value::Array(items) => render_array(items, indent, depth, out),
+        Value::Object(entries) => render_object(entries, indent, depth, out),
+    }
+}
+
+fn newline_indent(indent: Option<usize>, depth: usize, out: &mut String) {
+    if let Some(w) = indent {
+        out.push('\n');
+        for _ in 0..w * depth {
+            out.push(' ');
+        }
+    }
+}
+
+fn render_array(items: &[Value], indent: Option<usize>, depth: usize, out: &mut String) {
+    out.push('[');
+    if !items.is_empty() {
+        for (i, item) in items.iter().enumerate() {
+            newline_indent(indent, depth + 1, out);
+            render(item, indent, depth + 1, out);
+            if i + 1 < items.len() {
+                out.push(',');
+            }
+        }
+        newline_indent(indent, depth, out);
+    }
+    out.push(']');
+}
+
+fn render_object(
+    entries: &[(String, Value)],
+    indent: Option<usize>,
+    depth: usize,
+    out: &mut String,
+) {
+    out.push('{');
+    if !entries.is_empty() {
+        for (i, (k, v)) in entries.iter().enumerate() {
+            newline_indent(indent, depth + 1, out);
+            render_string(k, out);
+            out.push(':');
+            if indent.is_some() {
+                out.push(' ');
+            }
+            render(v, indent, depth + 1, out);
+            if i + 1 < entries.len() {
+                out.push(',');
+            }
+        }
+        newline_indent(indent, depth, out);
+    }
+    out.push('}');
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn render_f64(f: f64) -> String {
+    if f.is_nan() {
+        return "null".to_string();
+    }
+    if f.is_infinite() {
+        return if f > 0.0 { "1e999" } else { "-1e999" }.to_string();
+    }
+    let s = format!("{f}");
+    // Ensure floats keep a float shape ("1.0", not "1") like serde_json.
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Value {
+        Value::Object(vec![
+            ("name".into(), Value::String("tie".into())),
+            ("n".into(), Value::UInt(3)),
+            ("ratio".into(), Value::Float(0.5)),
+            (
+                "rows".into(),
+                Value::Array(vec![Value::Int(-1), Value::Bool(true), Value::Null]),
+            ),
+            ("empty".into(), Value::Array(vec![])),
+        ])
+    }
+
+    #[test]
+    fn compact_rendering() {
+        assert_eq!(
+            to_string(&sample()).unwrap(),
+            r#"{"name":"tie","n":3,"ratio":0.5,"rows":[-1,true,null],"empty":[]}"#
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_indents_two_spaces() {
+        let s = to_string_pretty(&sample()).unwrap();
+        assert!(s.starts_with("{\n  \"name\": \"tie\","));
+        assert!(s.contains("\"rows\": [\n    -1,"));
+        assert!(s.ends_with("\"empty\": []\n}"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = Value::String("a\"b\\c\nd".into());
+        assert_eq!(to_string(&v).unwrap(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn floats_keep_float_shape() {
+        assert_eq!(to_string(&Value::Float(2.0)).unwrap(), "2.0");
+        assert_eq!(to_string(&Value::Float(1.25e-9)).unwrap(), "0.00000000125");
+        assert_eq!(to_string(&Value::Float(-3.5)).unwrap(), "-3.5");
+    }
+}
