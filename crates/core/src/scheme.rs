@@ -97,6 +97,18 @@ impl<T: Scalar> Clone for CompactEngine<T> {
     }
 }
 
+/// Compile-time audit: the engine is shared across the serving layer's
+/// threads behind `Arc`, so it must stay `Send + Sync`. Every field is
+/// immutable after construction except the scratch workspace, which is
+/// `Mutex`-guarded; adding interior mutability outside that `Mutex` (a
+/// `Cell`, an `Rc`, a raw pointer) breaks this assertion at compile time
+/// rather than at a data race.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    let _ = assert_send_sync::<CompactEngine<f64>>;
+    let _ = assert_send_sync::<CompactEngine<f32>>;
+};
+
 /// Intermediate matrices captured by [`CompactEngine::matvec_traced`]:
 /// the prepared input `X'` followed by each stage's output `V_h`
 /// (pre-transform), `h = d … 1`.
@@ -409,6 +421,35 @@ mod tests {
         let dense = tt.to_dense().unwrap();
         let x: Tensor<f64> = init::uniform(&mut rng, vec![shape.num_cols()], 1.0);
         (CompactEngine::new(tt).unwrap(), dense, x)
+    }
+
+    #[test]
+    fn shared_engine_is_thread_safe_and_deterministic() {
+        // The serving layer shares one engine behind `Arc` across worker
+        // threads. Concurrent matvecs through the shared workspace Mutex
+        // must produce bit-identical results to a lone sequential call.
+        let (engine, _dense, x) = random_case(77, vec![3, 3], vec![3, 3], 2);
+        let mut want = vec![0.0f64; engine.matrix().shape().num_rows()];
+        engine.matvec_into(x.data(), &mut want).unwrap();
+
+        let engine = std::sync::Arc::new(engine);
+        let x = std::sync::Arc::new(x.data().to_vec());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let engine = std::sync::Arc::clone(&engine);
+                let x = std::sync::Arc::clone(&x);
+                std::thread::spawn(move || {
+                    let mut y = vec![0.0f64; engine.matrix().shape().num_rows()];
+                    for _ in 0..16 {
+                        engine.matvec_into(&x, &mut y).unwrap();
+                    }
+                    y
+                })
+            })
+            .collect();
+        for handle in handles {
+            assert_eq!(handle.join().unwrap(), want);
+        }
     }
 
     #[test]

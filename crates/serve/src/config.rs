@@ -1,0 +1,97 @@
+//! Service configuration.
+
+use crate::error::ServeError;
+use std::time::Duration;
+
+/// Tuning knobs of an [`crate::InferenceService`].
+///
+/// The two batching knobs implement the classic dynamic-batching contract:
+/// a batch for a layer is dispatched as soon as **either** `max_batch`
+/// requests for that layer are pending **or** the oldest pending request
+/// has waited `max_wait`, whichever comes first. `max_batch = 1` degrades
+/// to immediate per-request dispatch; `max_wait = 0` dispatches whatever
+/// is pending on the next batcher wake-up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Dispatch a layer's batch once this many requests are queued for it
+    /// (≥ 1).
+    pub max_batch: usize,
+    /// Dispatch a layer's batch once its oldest request has waited this
+    /// long, even if the batch is not full.
+    pub max_wait: Duration,
+    /// Capacity of the bounded request queue shared by all clients
+    /// (≥ 1). `try_submit` fails with [`ServeError::QueueFull`] and
+    /// `submit` blocks when it is full — this is the backpressure bound.
+    pub queue_capacity: usize,
+    /// Worker threads executing batches. `0` means auto: resolve from
+    /// [`tie_tensor::parallel::num_threads`] (which honours the
+    /// `TIE_THREADS` environment variable), capped at 8.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 16,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 1024,
+            workers: 0,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] for a zero `max_batch` or a zero
+    /// `queue_capacity`.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.max_batch == 0 {
+            return Err(ServeError::Config("max_batch must be >= 1".into()));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::Config("queue_capacity must be >= 1".into()));
+        }
+        Ok(())
+    }
+
+    /// The actual worker-thread count: `workers`, or the
+    /// `tie_tensor::parallel` resolution capped at 8 when `workers == 0`.
+    #[must_use]
+    pub fn resolved_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            tie_tensor::parallel::num_threads().clamp(1, 8)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(ServeConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_degenerate_knobs() {
+        let cfg = ServeConfig { max_batch: 0, ..ServeConfig::default() };
+        assert!(cfg.validate().is_err());
+        let cfg = ServeConfig { queue_capacity: 0, ..ServeConfig::default() };
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn worker_resolution() {
+        let cfg = ServeConfig { workers: 3, ..ServeConfig::default() };
+        assert_eq!(cfg.resolved_workers(), 3);
+        let auto = ServeConfig { workers: 0, ..ServeConfig::default() };
+        let w = auto.resolved_workers();
+        assert!((1..=8).contains(&w));
+    }
+}

@@ -1,0 +1,71 @@
+//! # tie-serve — dynamic-batching inference service over the compact TT
+//! # engine
+//!
+//! TIE's compact inference scheme (PAPER.md, Eqns. 8/10) turns a TT-layer
+//! forward pass into `d` GEMMs, and its batched form rides the batch
+//! dimension inner-most so a batch of `B` inputs still costs one GEMM per
+//! stage with `core_reads == num_params`. That makes *dynamic batching*
+//! the natural serving strategy: amortise per-request overhead by grouping
+//! concurrent requests for the same layer into one
+//! [`CompactEngine::matvec_batch_into`](tie_core::CompactEngine) call.
+//!
+//! This crate is a self-contained serving layer on `std` threads and
+//! bounded channels — no external dependencies:
+//!
+//! * [`EngineRegistry`] — prepared engines keyed by layer name, shared via
+//!   `Arc`.
+//! * [`InferenceService`] — owns a batcher thread and a worker pool sized
+//!   by [`tie_tensor::parallel`] (workers hold private engine clones, so
+//!   execution never contends on a scratch-workspace lock).
+//! * [`Client`] — cheap cloneable submission handle; blocking
+//!   [`Client::submit`] and non-blocking [`Client::try_submit`] against a
+//!   bounded queue (backpressure).
+//! * [`Ticket`] — per-request future; [`Ticket::wait`] returns the
+//!   [`Response`].
+//! * [`ServiceStats`] — per-request latency and per-batch
+//!   occupancy/throughput counters; after a clean
+//!   [`InferenceService::shutdown`], `submitted == completed + failed`.
+//!
+//! Batching changes *scheduling*, never *numerics*: the batched pass is
+//! bitwise identical to `B` independent single-input calls (proved by the
+//! engine's property suite and re-checked end-to-end by the stress suite).
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use rand_chacha::ChaCha8Rng;
+//! use tie_core::CompactEngine;
+//! use tie_serve::{EngineRegistry, InferenceService, ServeConfig};
+//! use tie_tt::{TtMatrix, TtShape};
+//!
+//! let mut rng = ChaCha8Rng::seed_from_u64(1);
+//! let shape = TtShape::uniform_rank(vec![2, 3], vec![3, 2], 2).unwrap();
+//! let tt = TtMatrix::random(&mut rng, &shape, 0.5).unwrap();
+//!
+//! let mut registry = EngineRegistry::new();
+//! registry.insert("fc", CompactEngine::new(tt).unwrap());
+//!
+//! let service = InferenceService::start(registry, ServeConfig::default()).unwrap();
+//! let client = service.client();
+//! let ticket = client.submit("fc", vec![0.5; 6]).unwrap();
+//! let response = ticket.wait().unwrap();
+//! assert_eq!(response.output.len(), 6);
+//!
+//! let stats = service.shutdown();
+//! assert_eq!(stats.submitted, stats.completed + stats.failed);
+//! ```
+
+mod batcher;
+mod config;
+mod error;
+mod registry;
+mod request;
+mod service;
+mod stats;
+mod worker;
+
+pub use config::ServeConfig;
+pub use error::ServeError;
+pub use registry::EngineRegistry;
+pub use request::{Response, Ticket};
+pub use service::{Client, InferenceService};
+pub use stats::ServiceStats;

@@ -1,0 +1,142 @@
+//! The shared engine registry: prepared [`CompactEngine`]s keyed by layer
+//! name.
+//!
+//! Engines are stored behind [`Arc`] so the service, every client handle,
+//! and every worker can hold the same prepared layer without copying the
+//! unfolded cores or index maps. `CompactEngine` is `Send + Sync` (audited
+//! in `tie-core`): the only mutable state is its `Mutex`-guarded scratch
+//! workspace. Workers that want contention-free scratch clone the engine
+//! (a clone shares nothing mutable — it starts with a fresh workspace).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use tie_core::CompactEngine;
+
+/// Layer-name → prepared-engine map handed to
+/// [`crate::InferenceService::start`].
+#[derive(Debug, Default)]
+pub struct EngineRegistry {
+    engines: HashMap<String, Arc<CompactEngine<f64>>>,
+}
+
+impl EngineRegistry {
+    /// Empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `engine` under `name`, replacing any previous entry with
+    /// that name. Returns `self` for chaining.
+    pub fn insert(&mut self, name: impl Into<String>, engine: CompactEngine<f64>) -> &mut Self {
+        self.engines.insert(name.into(), Arc::new(engine));
+        self
+    }
+
+    /// Registers an already-shared engine under `name`.
+    pub fn insert_shared(
+        &mut self,
+        name: impl Into<String>,
+        engine: Arc<CompactEngine<f64>>,
+    ) -> &mut Self {
+        self.engines.insert(name.into(), engine);
+        self
+    }
+
+    /// The shared engine registered under `name`.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<Arc<CompactEngine<f64>>> {
+        self.engines.get(name).cloned()
+    }
+
+    /// `(rows M, cols N)` of the layer registered under `name`.
+    #[must_use]
+    pub fn dims(&self, name: &str) -> Option<(usize, usize)> {
+        self.engines
+            .get(name)
+            .map(|e| (e.matrix().shape().num_rows(), e.matrix().shape().num_cols()))
+    }
+
+    /// All registered layer names, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.engines.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered layers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// True if no layer is registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+
+    /// One private (fresh-workspace) clone of every engine, for a worker
+    /// that wants to execute without contending on the shared scratch
+    /// `Mutex`. TT compression is what makes this affordable: a cloned
+    /// engine costs `num_params` weights plus the index vectors, orders
+    /// of magnitude below the dense layer it represents.
+    #[must_use]
+    pub fn clone_engines(&self) -> HashMap<String, CompactEngine<f64>> {
+        self.engines
+            .iter()
+            .map(|(name, e)| (name.clone(), (**e).clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use tie_tt::{TtMatrix, TtShape};
+
+    fn engine(seed: u64) -> CompactEngine<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let shape = TtShape::uniform_rank(vec![2, 3], vec![3, 2], 2).unwrap();
+        CompactEngine::new(TtMatrix::random(&mut rng, &shape, 0.5).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn insert_get_dims_names() {
+        let mut reg = EngineRegistry::new();
+        assert!(reg.is_empty());
+        reg.insert("fc1", engine(1)).insert("fc0", engine(2));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.names(), vec!["fc0".to_string(), "fc1".to_string()]);
+        assert_eq!(reg.dims("fc1"), Some((6, 6)));
+        assert!(reg.get("fc1").is_some());
+        assert!(reg.get("nope").is_none());
+        assert_eq!(reg.dims("nope"), None);
+    }
+
+    #[test]
+    fn shared_engine_is_the_same_allocation() {
+        let mut reg = EngineRegistry::new();
+        let shared = Arc::new(engine(3));
+        reg.insert_shared("fc", Arc::clone(&shared));
+        assert!(Arc::ptr_eq(&reg.get("fc").unwrap(), &shared));
+    }
+
+    #[test]
+    fn clone_engines_yields_private_copies() {
+        let mut reg = EngineRegistry::new();
+        reg.insert("fc", engine(4));
+        let clones = reg.clone_engines();
+        assert_eq!(clones.len(), 1);
+        // The clone computes the same results as the shared original.
+        let x = vec![0.5f64; 6];
+        let mut y_shared = vec![0.0f64; 6];
+        let mut y_clone = vec![0.0f64; 6];
+        reg.get("fc").unwrap().matvec_into(&x, &mut y_shared).unwrap();
+        clones["fc"].matvec_into(&x, &mut y_clone).unwrap();
+        assert_eq!(y_shared, y_clone);
+    }
+}

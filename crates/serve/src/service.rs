@@ -1,0 +1,378 @@
+//! The service façade: thread ownership, client handles, shutdown.
+
+use crate::batcher::{run_batcher, Batch, Msg};
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use crate::registry::EngineRegistry;
+use crate::request::{Request, Ticket};
+use crate::stats::{ServiceStats, StatsCore};
+use crate::worker::run_worker;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// A cloneable handle for submitting inference requests.
+///
+/// Clients validate eagerly (layer name against the registry, input length
+/// against the layer's `N`) so the only errors that travel through the
+/// service are operational ones. [`Client::submit`] blocks when the
+/// bounded queue is full — that is the backpressure contract —
+/// while [`Client::try_submit`] returns [`ServeError::QueueFull`] instead.
+#[derive(Debug, Clone)]
+pub struct Client {
+    tx: SyncSender<Msg>,
+    registry: Arc<EngineRegistry>,
+    stats: Arc<StatsCore>,
+    accepting: Arc<AtomicBool>,
+}
+
+impl Client {
+    fn make_request(&self, layer: &str, input: Vec<f64>) -> Result<(Request, Ticket), ServeError> {
+        if !self.accepting.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let (_m, n) = self
+            .registry
+            .dims(layer)
+            .ok_or_else(|| ServeError::UnknownLayer(layer.to_string()))?;
+        if input.len() != n {
+            return Err(ServeError::WrongInputLength { got: input.len(), want: n });
+        }
+        Ok(Request::new(layer.to_string(), input, Arc::clone(&self.stats)))
+    }
+
+    /// Submits a request, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownLayer`], [`ServeError::WrongInputLength`] for
+    /// invalid requests; [`ServeError::ShuttingDown`] once shutdown began.
+    pub fn submit(&self, layer: &str, input: Vec<f64>) -> Result<Ticket, ServeError> {
+        let (req, ticket) = self.make_request(layer, input)?;
+        match self.tx.send(Msg::Request(req)) {
+            Ok(()) => {
+                self.stats.record_submit();
+                Ok(ticket)
+            }
+            Err(e) => {
+                if let Msg::Request(req) = e.0 {
+                    req.defuse();
+                }
+                Err(ServeError::ShuttingDown)
+            }
+        }
+    }
+
+    /// Submits a request without blocking.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit`], plus [`ServeError::QueueFull`] when the
+    /// bounded queue is at capacity (counted in
+    /// [`ServiceStats::rejected`]).
+    pub fn try_submit(&self, layer: &str, input: Vec<f64>) -> Result<Ticket, ServeError> {
+        let (req, ticket) = self.make_request(layer, input)?;
+        match self.tx.try_send(Msg::Request(req)) {
+            Ok(()) => {
+                self.stats.record_submit();
+                Ok(ticket)
+            }
+            Err(TrySendError::Full(msg)) => {
+                if let Msg::Request(req) = msg {
+                    req.defuse();
+                }
+                self.stats.record_reject();
+                Err(ServeError::QueueFull)
+            }
+            Err(TrySendError::Disconnected(msg)) => {
+                if let Msg::Request(req) = msg {
+                    req.defuse();
+                }
+                Err(ServeError::ShuttingDown)
+            }
+        }
+    }
+
+    /// The registry this client validates against.
+    #[must_use]
+    pub fn registry(&self) -> &EngineRegistry {
+        &self.registry
+    }
+
+    /// A point-in-time snapshot of the service counters.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        self.stats.snapshot()
+    }
+}
+
+/// A running dynamic-batching inference service.
+///
+/// Owns the batcher thread and the worker pool. Dropping the service (or
+/// calling [`InferenceService::shutdown`]) stops accepting new requests,
+/// drains everything already queued through the workers, and joins all
+/// threads — no accepted request is ever silently lost.
+#[derive(Debug)]
+pub struct InferenceService {
+    client: Client,
+    tx: SyncSender<Msg>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    accepting: Arc<AtomicBool>,
+    stats: Arc<StatsCore>,
+}
+
+impl InferenceService {
+    /// Starts the service: spawns one batcher thread plus
+    /// [`ServeConfig::resolved_workers`] worker threads, each holding
+    /// private clones of every registered engine.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] for an invalid configuration or an empty
+    /// registry.
+    pub fn start(registry: EngineRegistry, config: ServeConfig) -> Result<Self, ServeError> {
+        config.validate()?;
+        if registry.is_empty() {
+            return Err(ServeError::Config("registry has no layers".into()));
+        }
+        let registry = Arc::new(registry);
+        let stats = Arc::new(StatsCore::new());
+        let accepting = Arc::new(AtomicBool::new(true));
+
+        let (req_tx, req_rx) = sync_channel::<Msg>(config.queue_capacity);
+        let worker_count = config.resolved_workers();
+        let (batch_tx, batch_rx) = sync_channel::<Batch>(worker_count.saturating_mul(2).max(1));
+        let batch_rx = Arc::new(Mutex::new(batch_rx));
+
+        let mut workers = Vec::with_capacity(worker_count);
+        for i in 0..worker_count {
+            let rx = Arc::clone(&batch_rx);
+            let engines = registry.clone_engines();
+            let handle = std::thread::Builder::new()
+                .name(format!("tie-serve-worker-{i}"))
+                .spawn(move || run_worker(rx, engines))
+                .map_err(|e| ServeError::Config(format!("failed to spawn worker: {e}")))?;
+            workers.push(handle);
+        }
+
+        let stats_b = Arc::clone(&stats);
+        let (max_batch, max_wait) = (config.max_batch, config.max_wait);
+        let batcher = std::thread::Builder::new()
+            .name("tie-serve-batcher".into())
+            .spawn(move || run_batcher(req_rx, batch_tx, max_batch, max_wait, stats_b))
+            .map_err(|e| ServeError::Config(format!("failed to spawn batcher: {e}")))?;
+
+        let client = Client {
+            tx: req_tx.clone(),
+            registry,
+            stats: Arc::clone(&stats),
+            accepting: Arc::clone(&accepting),
+        };
+        Ok(InferenceService {
+            client,
+            tx: req_tx,
+            batcher: Some(batcher),
+            workers,
+            accepting,
+            stats,
+        })
+    }
+
+    /// A new client handle. Handles are cheap to clone and outlive the
+    /// service (their submissions then fail with
+    /// [`ServeError::ShuttingDown`]).
+    #[must_use]
+    pub fn client(&self) -> Client {
+        self.client.clone()
+    }
+
+    /// A point-in-time snapshot of the service counters.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        self.stats.snapshot()
+    }
+
+    /// Graceful shutdown protocol:
+    ///
+    /// 1. flip `accepting` so new `submit` calls fail fast,
+    /// 2. push the `Shutdown` sentinel through the request queue (behind
+    ///    any already-queued requests, so they are all still served),
+    /// 3. join the batcher (it drains lanes to the workers and exits,
+    ///    dropping the batch channel),
+    /// 4. join the workers (they finish queued batches, then see the
+    ///    disconnect and exit).
+    ///
+    /// Returns the final counter snapshot, for which
+    /// `submitted == completed + failed` holds.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.shutdown_in_place();
+        self.stats.snapshot()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        let Some(batcher) = self.batcher.take() else {
+            return;
+        };
+        self.accepting.store(false, Ordering::Release);
+        // The sentinel may block while the queue is full; the batcher is
+        // draining it, so this terminates. If the batcher already exited
+        // (queue disconnected) the send fails, which is equally fine.
+        let _ = self.tx.send(Msg::Shutdown);
+        let _ = batcher.join();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for InferenceService {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use std::time::Duration;
+    use tie_core::CompactEngine;
+    use tie_tt::{TtMatrix, TtShape};
+
+    fn registry(seed: u64) -> EngineRegistry {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let shape = TtShape::uniform_rank(vec![2, 3], vec![3, 2], 2).unwrap();
+        let engine = CompactEngine::new(TtMatrix::random(&mut rng, &shape, 0.5).unwrap()).unwrap();
+        let mut reg = EngineRegistry::new();
+        reg.insert("fc", engine);
+        reg
+    }
+
+    #[test]
+    fn start_rejects_empty_registry_and_bad_config() {
+        assert!(matches!(
+            InferenceService::start(EngineRegistry::new(), ServeConfig::default()),
+            Err(ServeError::Config(_))
+        ));
+        let bad = ServeConfig { max_batch: 0, ..ServeConfig::default() };
+        assert!(InferenceService::start(registry(1), bad).is_err());
+    }
+
+    #[test]
+    fn submit_roundtrip_matches_direct_engine_call() {
+        let reg = registry(2);
+        let engine = reg.get("fc").unwrap();
+        let svc = InferenceService::start(
+            reg,
+            ServeConfig { max_batch: 4, max_wait: Duration::from_millis(1), ..Default::default() },
+        )
+        .unwrap();
+        let client = svc.client();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let x: Vec<f64> = (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let resp = client.submit("fc", x.clone()).unwrap().wait().unwrap();
+        let mut direct = vec![0.0; 6];
+        engine.matvec_into(&x, &mut direct).unwrap();
+        assert_eq!(resp.output, direct);
+        let stats = svc.shutdown();
+        assert_eq!(stats.submitted, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.in_flight(), 0);
+    }
+
+    #[test]
+    fn validation_errors_do_not_touch_the_queue() {
+        let svc = InferenceService::start(registry(4), ServeConfig::default()).unwrap();
+        let client = svc.client();
+        assert!(matches!(
+            client.submit("nope", vec![0.0; 6]),
+            Err(ServeError::UnknownLayer(_))
+        ));
+        assert_eq!(
+            client.submit("fc", vec![0.0; 5]).unwrap_err(),
+            ServeError::WrongInputLength { got: 5, want: 6 }
+        );
+        let stats = svc.shutdown();
+        assert_eq!((stats.submitted, stats.completed, stats.failed), (0, 0, 0));
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails_fast() {
+        let svc = InferenceService::start(registry(5), ServeConfig::default()).unwrap();
+        let client = svc.client();
+        svc.shutdown();
+        assert_eq!(client.submit("fc", vec![0.0; 6]).unwrap_err(), ServeError::ShuttingDown);
+        assert_eq!(client.try_submit("fc", vec![0.0; 6]).unwrap_err(), ServeError::ShuttingDown);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_requests() {
+        let reg = registry(6);
+        let engine = reg.get("fc").unwrap();
+        // Huge max_batch + long max_wait: nothing dispatches until drain.
+        let svc = InferenceService::start(
+            reg,
+            ServeConfig {
+                max_batch: 1024,
+                max_wait: Duration::from_secs(60),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let client = svc.client();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let inputs: Vec<Vec<f64>> =
+            (0..9).map(|_| (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        let tickets: Vec<Ticket> =
+            inputs.iter().map(|x| client.submit("fc", x.clone()).unwrap()).collect();
+        let stats = svc.shutdown();
+        for (x, ticket) in inputs.iter().zip(tickets) {
+            let resp = ticket.wait().expect("drained request must be answered");
+            let mut direct = vec![0.0; 6];
+            engine.matvec_into(x, &mut direct).unwrap();
+            assert_eq!(resp.output, direct);
+        }
+        assert_eq!(stats.submitted, 9);
+        assert_eq!(stats.completed + stats.failed, 9);
+        assert!(stats.drain_batches >= 1, "drain must have flushed the lane");
+    }
+
+    #[test]
+    fn try_submit_reports_queue_full_and_disconnect() {
+        // Rig a client around a capacity-1 queue with no batcher draining
+        // it, so the Full and Disconnected paths are deterministic.
+        let stats = Arc::new(StatsCore::new());
+        let (tx, rx) = sync_channel::<Msg>(1);
+        let client = Client {
+            tx,
+            registry: Arc::new(registry(8)),
+            stats: Arc::clone(&stats),
+            accepting: Arc::new(AtomicBool::new(true)),
+        };
+        let _ticket = client.try_submit("fc", vec![0.1; 6]).unwrap();
+        assert_eq!(client.try_submit("fc", vec![0.1; 6]).unwrap_err(), ServeError::QueueFull);
+        let s = stats.snapshot();
+        assert_eq!((s.submitted, s.rejected), (1, 1));
+        drop(rx);
+        assert_eq!(client.try_submit("fc", vec![0.1; 6]).unwrap_err(), ServeError::ShuttingDown);
+        // Neither the rejected nor the disconnected attempt leaks into the
+        // submitted/failed accounting.
+        let s = stats.snapshot();
+        assert_eq!((s.submitted, s.rejected, s.failed), (1, 1, 1));
+    }
+
+    #[test]
+    fn drop_performs_graceful_shutdown() {
+        let svc = InferenceService::start(registry(9), ServeConfig::default()).unwrap();
+        let client = svc.client();
+        let ticket = client.submit("fc", vec![0.2; 6]).unwrap();
+        drop(svc);
+        // The pending request was drained, not lost.
+        assert!(ticket.wait().is_ok());
+        assert_eq!(client.submit("fc", vec![0.2; 6]).unwrap_err(), ServeError::ShuttingDown);
+    }
+}

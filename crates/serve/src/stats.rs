@@ -1,0 +1,227 @@
+//! Service counters: lock-free recording, consistent snapshots.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Why a batch left the batcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DispatchCause {
+    /// `max_batch` requests were pending.
+    Full,
+    /// The oldest pending request hit the `max_wait` deadline.
+    Deadline,
+    /// Shutdown drain.
+    Drain,
+}
+
+/// Shared atomic counters. Workers and the batcher record into this;
+/// [`StatsCore::snapshot`] reads it out as a [`ServiceStats`].
+#[derive(Debug)]
+pub(crate) struct StatsCore {
+    started: Instant,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    full_batches: AtomicU64,
+    deadline_batches: AtomicU64,
+    drain_batches: AtomicU64,
+    batched_requests: AtomicU64,
+    latency_ns_sum: AtomicU64,
+    latency_ns_max: AtomicU64,
+}
+
+impl StatsCore {
+    pub(crate) fn new() -> Self {
+        StatsCore {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            full_batches: AtomicU64::new(0),
+            deadline_batches: AtomicU64::new(0),
+            drain_batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            latency_ns_sum: AtomicU64::new(0),
+            latency_ns_max: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record_submit(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_reject(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_batch(&self, occupancy: usize, cause: DispatchCause) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests.fetch_add(occupancy as u64, Ordering::Relaxed);
+        let counter = match cause {
+            DispatchCause::Full => &self.full_batches,
+            DispatchCause::Deadline => &self.deadline_batches,
+            DispatchCause::Drain => &self.drain_batches,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_response(&self, latency: Duration) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        let ns = u64::try_from(latency.as_nanos()).unwrap_or(u64::MAX);
+        self.latency_ns_sum.fetch_add(ns, Ordering::Relaxed);
+        self.latency_ns_max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_failure(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> ServiceStats {
+        ServiceStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            full_batches: self.full_batches.load(Ordering::Relaxed),
+            deadline_batches: self.deadline_batches.load(Ordering::Relaxed),
+            drain_batches: self.drain_batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            latency_ns_sum: self.latency_ns_sum.load(Ordering::Relaxed),
+            latency_ns_max: self.latency_ns_max.load(Ordering::Relaxed),
+            elapsed: self.started.elapsed(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the service counters
+/// ([`crate::InferenceService::stats`]).
+///
+/// Accounting invariant (asserted by the stress suite): every request
+/// whose submit succeeded ends up in exactly one of `completed` or
+/// `failed`, so after a clean shutdown `submitted == completed + failed`.
+/// `rejected` counts `try_submit` calls that never entered the queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// `try_submit` calls bounced by backpressure.
+    pub rejected: u64,
+    /// Responses delivered (or ready for pickup) with a result.
+    pub completed: u64,
+    /// Accepted requests that were answered with an error (including
+    /// tear-down during shutdown races).
+    pub failed: u64,
+    /// Batches dispatched to the worker pool.
+    pub batches: u64,
+    /// Batches dispatched because `max_batch` was reached.
+    pub full_batches: u64,
+    /// Batches dispatched because `max_wait` expired.
+    pub deadline_batches: u64,
+    /// Batches flushed by the shutdown drain.
+    pub drain_batches: u64,
+    /// Total requests over all dispatched batches.
+    pub batched_requests: u64,
+    /// Sum of per-request latencies (submit → response), nanoseconds.
+    pub latency_ns_sum: u64,
+    /// Maximum per-request latency, nanoseconds.
+    pub latency_ns_max: u64,
+    /// Wall-clock time since the service started.
+    pub elapsed: Duration,
+}
+
+impl ServiceStats {
+    /// Mean requests per dispatched batch (`0` before the first batch).
+    #[must_use]
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean submit→response latency (`0` before the first response).
+    #[must_use]
+    pub fn mean_latency(&self) -> Duration {
+        if self.completed == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(self.latency_ns_sum / self.completed)
+        }
+    }
+
+    /// Maximum submit→response latency.
+    #[must_use]
+    pub fn max_latency(&self) -> Duration {
+        Duration::from_nanos(self.latency_ns_max)
+    }
+
+    /// Completed requests per second of service lifetime.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+
+    /// Accepted requests not yet answered.
+    #[must_use]
+    pub fn in_flight(&self) -> u64 {
+        self.submitted.saturating_sub(self.completed + self.failed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let core = StatsCore::new();
+        core.record_submit();
+        core.record_submit();
+        core.record_reject();
+        core.record_batch(2, DispatchCause::Full);
+        core.record_response(Duration::from_micros(10));
+        core.record_response(Duration::from_micros(30));
+        let s = core.snapshot();
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.failed, 0);
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.full_batches, 1);
+        assert_eq!(s.deadline_batches, 0);
+        assert!((s.mean_occupancy() - 2.0).abs() < 1e-12);
+        assert_eq!(s.mean_latency(), Duration::from_micros(20));
+        assert_eq!(s.max_latency(), Duration::from_micros(30));
+        assert_eq!(s.in_flight(), 0);
+        assert!(s.throughput() > 0.0);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = StatsCore::new().snapshot();
+        assert_eq!(s.mean_occupancy(), 0.0);
+        assert_eq!(s.mean_latency(), Duration::ZERO);
+        assert_eq!(s.in_flight(), 0);
+    }
+
+    #[test]
+    fn cause_counters_split() {
+        let core = StatsCore::new();
+        core.record_batch(1, DispatchCause::Deadline);
+        core.record_batch(3, DispatchCause::Drain);
+        let s = core.snapshot();
+        assert_eq!((s.full_batches, s.deadline_batches, s.drain_batches), (0, 1, 1));
+        assert_eq!(s.batched_requests, 4);
+    }
+}

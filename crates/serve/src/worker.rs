@@ -1,0 +1,173 @@
+//! Worker threads: execute dispatched batches on private engine clones.
+//!
+//! Each worker holds its own clone of every registered engine (fresh
+//! scratch workspace, no shared mutable state — see
+//! [`crate::EngineRegistry::clone_engines`]) plus two reusable interleave
+//! buffers, so steady-state batch execution allocates only the per-request
+//! output vectors it hands back to callers.
+//!
+//! The batch queue receiver sits behind a `Mutex` so the pool shares one
+//! channel: whichever worker is idle grabs the lock, takes the next batch,
+//! and releases the lock *before* executing. Workers exit when the channel
+//! disconnects, which happens exactly when the batcher returns — so
+//! shutdown order is: batcher drains and exits, workers finish the queued
+//! batches, pool joins.
+
+use crate::batcher::Batch;
+use crate::error::ServeError;
+use crate::request::Response;
+use std::collections::HashMap;
+use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Mutex};
+use tie_core::CompactEngine;
+
+/// Worker thread body.
+pub(crate) fn run_worker(
+    batch_rx: Arc<Mutex<Receiver<Batch>>>,
+    engines: HashMap<String, CompactEngine<f64>>,
+) {
+    let mut xs: Vec<f64> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    loop {
+        let batch = {
+            let guard = match batch_rx.lock() {
+                Ok(g) => g,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            match guard.recv() {
+                Ok(b) => b,
+                Err(_) => return, // batcher gone, queue drained
+            }
+        };
+        execute(&engines, batch, &mut xs, &mut ys);
+    }
+}
+
+/// Runs one batch through `matvec_batch_into` and answers every request.
+///
+/// The inputs are interleaved batch-inner-most (`xs[j * b + c]` is element
+/// `j` of request `c`) to match the engine's batched layout, which keeps
+/// the batched pass **bitwise identical** to `b` independent single-input
+/// calls (the property suite proves this for the engine itself).
+fn execute(
+    engines: &HashMap<String, CompactEngine<f64>>,
+    batch: Batch,
+    xs: &mut Vec<f64>,
+    ys: &mut Vec<f64>,
+) {
+    let Some(engine) = engines.get(&batch.layer) else {
+        // Unreachable in practice: clients validate the layer name against
+        // the registry before submitting. Answer rather than panic.
+        for req in batch.requests {
+            let layer = batch.layer.clone();
+            req.respond(Err(ServeError::UnknownLayer(layer)));
+        }
+        return;
+    };
+    let shape = engine.matrix().shape();
+    let (m, n) = (shape.num_rows(), shape.num_cols());
+    let b = batch.requests.len();
+
+    xs.clear();
+    xs.resize(n * b, 0.0);
+    for (c, req) in batch.requests.iter().enumerate() {
+        for (j, &v) in req.input.iter().enumerate() {
+            xs[j * b + c] = v;
+        }
+    }
+    ys.clear();
+    ys.resize(m * b, 0.0);
+
+    match engine.matvec_batch_into(xs, b, ys) {
+        Ok(_ops) => {
+            for (c, req) in batch.requests.into_iter().enumerate() {
+                let output: Vec<f64> = (0..m).map(|r| ys[r * b + c]).collect();
+                let latency = req.submitted_at.elapsed();
+                req.respond(Ok(Response { output, batch_size: b, latency }));
+            }
+        }
+        Err(e) => {
+            let err = ServeError::Engine(e.to_string());
+            for req in batch.requests {
+                req.respond(Err(err.clone()));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::EngineRegistry;
+    use crate::request::Request;
+    use crate::stats::StatsCore;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+    use std::sync::mpsc::sync_channel;
+    use tie_tt::{TtMatrix, TtShape};
+
+    fn registry(seed: u64) -> EngineRegistry {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let shape = TtShape::uniform_rank(vec![2, 3], vec![3, 2], 2).unwrap();
+        let engine = CompactEngine::new(TtMatrix::random(&mut rng, &shape, 0.5).unwrap()).unwrap();
+        let mut reg = EngineRegistry::new();
+        reg.insert("fc", engine);
+        reg
+    }
+
+    #[test]
+    fn batch_results_match_direct_single_calls_bitwise() {
+        let reg = registry(7);
+        let stats = Arc::new(StatsCore::new());
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let engine = reg.get("fc").unwrap();
+        let n = engine.matrix().shape().num_cols();
+
+        let inputs: Vec<Vec<f64>> = (0..5)
+            .map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let mut requests = Vec::new();
+        let mut tickets = Vec::new();
+        for input in &inputs {
+            let (req, ticket) = Request::new("fc".into(), input.clone(), Arc::clone(&stats));
+            requests.push(req);
+            tickets.push(ticket);
+        }
+        let batch = Batch { layer: "fc".into(), requests };
+
+        let (mut xs, mut ys) = (Vec::new(), Vec::new());
+        execute(&reg.clone_engines(), batch, &mut xs, &mut ys);
+
+        let m = engine.matrix().shape().num_rows();
+        for (input, ticket) in inputs.iter().zip(tickets) {
+            let resp = ticket.wait().unwrap();
+            assert_eq!(resp.batch_size, 5);
+            let mut direct = vec![0.0; m];
+            engine.matvec_into(input, &mut direct).unwrap();
+            assert_eq!(resp.output, direct, "batched response must be bit-identical");
+        }
+        assert_eq!(stats.snapshot().completed, 5);
+    }
+
+    #[test]
+    fn unknown_layer_answers_every_request() {
+        let reg = registry(8);
+        let stats = Arc::new(StatsCore::new());
+        let (req, ticket) = Request::new("nope".into(), vec![0.0; 6], Arc::clone(&stats));
+        let batch = Batch { layer: "nope".into(), requests: vec![req] };
+        execute(&reg.clone_engines(), batch, &mut Vec::new(), &mut Vec::new());
+        assert!(matches!(ticket.wait(), Err(ServeError::UnknownLayer(_))));
+        assert_eq!(stats.snapshot().failed, 1);
+    }
+
+    #[test]
+    fn worker_exits_on_disconnect() {
+        let reg = registry(9);
+        let (batch_tx, batch_rx) = sync_channel::<Batch>(4);
+        let rx = Arc::new(Mutex::new(batch_rx));
+        let engines = reg.clone_engines();
+        let handle = std::thread::spawn(move || run_worker(rx, engines));
+        drop(batch_tx);
+        handle.join().unwrap();
+    }
+}

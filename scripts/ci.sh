@@ -21,4 +21,18 @@ TIE_THREADS=1 cargo test -q --workspace "${CARGO_FLAGS[@]}"
 echo "== tier-1: tests, default thread count =="
 cargo test -q --workspace "${CARGO_FLAGS[@]}"
 
+# The verification suites (PR 2) also run above as part of the workspace
+# sweep; this stanza re-runs them by name with a pinned stress seed so a
+# test-filter regression can't silently skip them, and so a failure here
+# is reproducible from the logged seed.
+TIE_STRESS_SEED="${TIE_STRESS_SEED:-3735928559}"
+export TIE_STRESS_SEED
+echo "== tier-2: verification suites (TIE_STRESS_SEED=${TIE_STRESS_SEED}) =="
+for suite in differential golden properties serve_stress; do
+  echo "-- ${suite}, TIE_THREADS=1 --"
+  TIE_THREADS=1 cargo test -q --test "${suite}" "${CARGO_FLAGS[@]}"
+  echo "-- ${suite}, default thread count --"
+  cargo test -q --test "${suite}" "${CARGO_FLAGS[@]}"
+done
+
 echo "ci.sh: all green"

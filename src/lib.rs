@@ -16,6 +16,7 @@
 //! | [`energy`] | `tie-energy` | Table 6-calibrated area/power model, node projection |
 //! | [`baselines`] | `tie-baselines` | EIE, CirCNN (with from-scratch FFT), Eyeriss models |
 //! | [`workloads`] | `tie-workloads` | Table 4 benchmarks, VGG CONV workloads, sweeps |
+//! | [`serve`] | `tie-serve` | dynamic-batching multi-threaded inference service |
 //!
 //! # Quickstart
 //!
@@ -51,6 +52,7 @@ pub use tie_core as core;
 pub use tie_energy as energy;
 pub use tie_nn as nn;
 pub use tie_quant as quant;
+pub use tie_serve as serve;
 pub use tie_sim as sim;
 pub use tie_tensor as tensor;
 pub use tie_tt as tt;
@@ -63,6 +65,7 @@ pub mod prelude {
     pub use tie_core::{CompactEngine, InferencePlan};
     pub use tie_energy::{Metrics, TieAreaPowerModel};
     pub use tie_quant::{QFormat, QTensor};
+    pub use tie_serve::{EngineRegistry, InferenceService, ServeConfig};
     pub use tie_sim::{TieAccelerator, TieConfig};
     pub use tie_tensor::linalg::Truncation;
     pub use tie_tensor::{Scalar, Shape, Tensor};

@@ -1,0 +1,123 @@
+//! Differential suite: the quantized accelerator simulator against the
+//! float compact engine, and the batched engine against independent
+//! single-input calls, on every Table 4 layer shape.
+//!
+//! The simulator runs a 16-bit calibrated datapath, so it is compared in
+//! the calibrated-format tolerance regime the sim crate establishes
+//! (SQNR > 40 dB, relative error < 2e-2). The batched-vs-unbatched
+//! comparison is exact: batching must never change numerics.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tie::core::CompactEngine;
+use tie::prelude::*;
+use tie::quant::error_stats;
+use tie::tensor::init;
+use tie::workloads::table4_benchmarks;
+
+/// Fixed suite seed; layer index is mixed in per benchmark.
+const SEED: u64 = 0x7a11_e4_d1ff;
+
+/// Table 4, quantized vs float: for each benchmark layer, the simulator's
+/// dequantized output must track the float compact engine on the same
+/// random input within the calibrated 16-bit tolerance.
+#[test]
+fn table4_sim_tracks_float_engine() {
+    for (i, b) in table4_benchmarks().iter().enumerate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(SEED + i as u64);
+        let ttm = TtMatrix::<f64>::random(&mut rng, &b.shape, 0.5).unwrap();
+        let mut tie = TieAccelerator::new(TieConfig::default()).unwrap();
+        let layer = tie.load_layer(ttm).unwrap();
+        let x: Tensor<f64> = init::uniform(&mut rng, vec![b.shape.num_cols()], 1.0);
+
+        let (y_float, _) = layer.reference().matvec(&x).unwrap();
+        let (y_sim, stats) = tie.run(&layer, &x, false).unwrap();
+
+        let s = error_stats(&y_sim, &y_float).unwrap();
+        assert!(
+            s.sqnr_db > 40.0,
+            "{}: SQNR {:.1} dB below the calibrated-format floor",
+            b.name,
+            s.sqnr_db
+        );
+        assert!(
+            y_sim.relative_error(&y_float).unwrap() < 2e-2,
+            "{}: relative error too large",
+            b.name
+        );
+        assert_eq!(stats.saturations(), 0, "{}: calibrated run saturated", b.name);
+    }
+}
+
+/// Table 4, batched vs unbatched: the batched compact engine must be
+/// **bit-identical** to `B` independent single-input evaluations — the
+/// guarantee the serving layer's dynamic batching rests on.
+#[test]
+fn table4_batched_engine_is_bit_identical_to_unbatched() {
+    const B: usize = 4;
+    for (i, bench) in table4_benchmarks().iter().enumerate() {
+        let mut rng = ChaCha8Rng::seed_from_u64(SEED + 100 + i as u64);
+        let ttm = TtMatrix::<f64>::random(&mut rng, &bench.shape, 0.5).unwrap();
+        let engine = CompactEngine::new(ttm).unwrap();
+        let n = bench.shape.num_cols();
+        let m = bench.shape.num_rows();
+
+        let inputs: Vec<Tensor<f64>> =
+            (0..B).map(|_| init::uniform(&mut rng, vec![n], 1.0)).collect();
+
+        // Batch-inner-most layout: element j of sample c at xs[j*B + c].
+        let mut xs = vec![0.0f64; n * B];
+        for (c, x) in inputs.iter().enumerate() {
+            for (j, &v) in x.data().iter().enumerate() {
+                xs[j * B + c] = v;
+            }
+        }
+        let mut ys = vec![0.0f64; m * B];
+        engine.matvec_batch_into(&xs, B, &mut ys).unwrap();
+
+        for (c, x) in inputs.iter().enumerate() {
+            let mut y_single = vec![0.0f64; m];
+            engine.matvec_into(x.data(), &mut y_single).unwrap();
+            for (r, &want) in y_single.iter().enumerate() {
+                let got = ys[r * B + c];
+                assert!(
+                    got.to_bits() == want.to_bits(),
+                    "{}: sample {c} row {r}: batched {got:e} != single {want:e}",
+                    bench.name
+                );
+            }
+        }
+    }
+}
+
+/// The simulator's batched path agrees with its own single-input path for
+/// a Table 4 layer. Unlike the float engine, the quantized paths are not
+/// bit-identical — activation formats are calibrated per run, and a batch
+/// calibrates on the whole-batch dynamic range — so the comparison is in
+/// the quantization tolerance regime.
+#[test]
+fn sim_batch_columns_match_single_runs() {
+    let bench = &table4_benchmarks()[2]; // LSTM-UCF11: smallest rows
+    let mut rng = ChaCha8Rng::seed_from_u64(SEED + 200);
+    let ttm = TtMatrix::<f64>::random(&mut rng, &bench.shape, 0.5).unwrap();
+    let mut tie = TieAccelerator::new(TieConfig::default()).unwrap();
+    let layer = tie.load_layer(ttm).unwrap();
+
+    let n = bench.shape.num_cols();
+    let m = bench.shape.num_rows();
+    const B: usize = 3;
+    let xs: Tensor<f64> = init::uniform(&mut rng, vec![n, B], 1.0);
+    let (ys, _) = tie.run_batch(&layer, &xs, false).unwrap();
+    assert_eq!(ys.dims(), &[m, B]);
+
+    for c in 0..B {
+        let x = Tensor::from_fn(vec![n], |idx| xs.get(&[idx[0], c]).unwrap()).unwrap();
+        let (y_single, _) = tie.run(&layer, &x, false).unwrap();
+        let y_batch = Tensor::from_fn(vec![m], |idx| ys.get(&[idx[0], c]).unwrap()).unwrap();
+        let err = y_batch.relative_error(&y_single).unwrap();
+        assert!(
+            err < 2e-2,
+            "column {c}: batch vs single relative error {err:.2e} too large"
+        );
+    }
+}

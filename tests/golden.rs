@@ -1,0 +1,184 @@
+//! Golden-fixture suite: frozen TT cores + inputs + expected outputs,
+//! compared **exactly** (bit-for-bit).
+//!
+//! The fixtures under `tests/fixtures/` pin the compact engine's numerics:
+//! any change to the stage order, transform indexing, or GEMM kernel that
+//! alters even one output ULP fails this suite. Floats survive the JSON
+//! round trip losslessly because the vendored serializer emits shortest
+//! round-trip decimal strings.
+//!
+//! Regenerate after an *intentional* numerics change with:
+//! `cargo test --test golden -- --ignored regenerate`
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde_json::Value;
+use tie::core::CompactEngine;
+use tie::prelude::*;
+use tie::tensor::init;
+
+/// The frozen shapes: (fixture name, seed, row modes, col modes, rank).
+/// One degenerate single-mode layer (d = 1, rank 1: a plain dense matrix
+/// in TT clothing), one small d = 2 layer, one d = 3 layer with rank > 1.
+fn cases() -> Vec<(&'static str, u64, Vec<usize>, Vec<usize>, usize)> {
+    vec![
+        ("single_mode_5x7", 11, vec![5], vec![7], 1),
+        ("d2_6x6_rank2", 12, vec![2, 3], vec![3, 2], 2),
+        ("d3_24x24_rank3", 13, vec![2, 3, 4], vec![4, 3, 2], 3),
+    ]
+}
+
+fn fixture_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(format!("golden_{name}.json"))
+}
+
+fn build_case(seed: u64, m: &[usize], n: &[usize], r: usize) -> (TtMatrix<f64>, Vec<f64>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let shape = TtShape::uniform_rank(m.to_vec(), n.to_vec(), r).unwrap();
+    let ttm = TtMatrix::<f64>::random(&mut rng, &shape, 0.7).unwrap();
+    let x: Tensor<f64> = init::uniform(&mut rng, vec![shape.num_cols()], 1.0);
+    (ttm, x.data().to_vec())
+}
+
+fn floats_to_value(data: &[f64]) -> Value {
+    Value::Array(data.iter().map(|&f| Value::Float(f)).collect())
+}
+
+fn value_to_floats(v: &Value) -> Vec<f64> {
+    v.as_array()
+        .expect("expected a JSON array")
+        .iter()
+        .map(|x| x.as_f64().expect("expected a number"))
+        .collect()
+}
+
+fn usizes_to_value(dims: &[usize]) -> Value {
+    Value::Array(dims.iter().map(|&d| Value::UInt(d as u64)).collect())
+}
+
+fn value_to_usizes(v: &Value) -> Vec<usize> {
+    v.as_array()
+        .expect("expected a JSON array")
+        .iter()
+        .map(|x| x.as_u64().expect("expected an unsigned integer") as usize)
+        .collect()
+}
+
+/// Regenerates every fixture from the frozen seeds. Ignored in normal
+/// runs; the committed fixtures are the source of truth.
+#[test]
+#[ignore = "writes tests/fixtures/; run only after an intentional numerics change"]
+fn regenerate_fixtures() {
+    std::fs::create_dir_all(fixture_path("x").parent().unwrap()).unwrap();
+    for (name, seed, m, n, r) in cases() {
+        let (ttm, x) = build_case(seed, &m, &n, r);
+        let engine = CompactEngine::new(ttm.clone()).unwrap();
+        let mut y = vec![0.0f64; ttm.shape().num_rows()];
+        engine.matvec_into(&x, &mut y).unwrap();
+
+        let cores: Vec<Value> = ttm
+            .cores()
+            .iter()
+            .map(|c| {
+                Value::Object(vec![
+                    ("dims".into(), usizes_to_value(c.dims())),
+                    ("data".into(), floats_to_value(c.data())),
+                ])
+            })
+            .collect();
+        let fixture = Value::Object(vec![
+            ("name".into(), Value::String(name.into())),
+            ("seed".into(), Value::UInt(seed)),
+            ("row_modes".into(), usizes_to_value(&m)),
+            ("col_modes".into(), usizes_to_value(&n)),
+            ("rank".into(), Value::UInt(r as u64)),
+            ("cores".into(), Value::Array(cores)),
+            ("input".into(), floats_to_value(&x)),
+            ("output".into(), floats_to_value(&y)),
+        ]);
+        let text = serde_json::to_string_pretty(&fixture).unwrap();
+        std::fs::write(fixture_path(name), text + "\n").unwrap();
+    }
+}
+
+fn check_fixture(name: &str) {
+    let path = fixture_path(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+    let fixture = serde_json::from_str(&text).unwrap();
+
+    let cores: Vec<Tensor<f64>> = fixture
+        .get("cores")
+        .expect("cores")
+        .as_array()
+        .expect("cores array")
+        .iter()
+        .map(|c| {
+            let dims = value_to_usizes(c.get("dims").expect("dims"));
+            let data = value_to_floats(c.get("data").expect("data"));
+            Tensor::from_vec(dims, data).unwrap()
+        })
+        .collect();
+    let ttm = TtMatrix::new(cores).unwrap();
+    let input = value_to_floats(fixture.get("input").expect("input"));
+    let expected = value_to_floats(fixture.get("output").expect("output"));
+
+    let engine = CompactEngine::new(ttm).unwrap();
+    let mut y = vec![0.0f64; expected.len()];
+    engine.matvec_into(&input, &mut y).unwrap();
+
+    assert_eq!(y.len(), expected.len(), "{name}: output length changed");
+    for (i, (&got, &want)) in y.iter().zip(&expected).enumerate() {
+        assert!(
+            got.to_bits() == want.to_bits(),
+            "{name}: output[{i}] drifted: got {got:e} ({:#x}), fixture {want:e} ({:#x})",
+            got.to_bits(),
+            want.to_bits()
+        );
+    }
+}
+
+#[test]
+fn golden_single_mode_5x7() {
+    check_fixture("single_mode_5x7");
+}
+
+#[test]
+fn golden_d2_6x6_rank2() {
+    check_fixture("d2_6x6_rank2");
+}
+
+#[test]
+fn golden_d3_24x24_rank3() {
+    check_fixture("d3_24x24_rank3");
+}
+
+/// The fixtures themselves must stay self-consistent: seeds + shapes in
+/// the file regenerate the very cores and input stored beside them. This
+/// catches hand-edits that would silently weaken the golden guarantee.
+#[test]
+fn fixtures_are_reproducible_from_their_seeds() {
+    for (name, ..) in cases() {
+        let text = std::fs::read_to_string(fixture_path(name)).unwrap();
+        let fixture = serde_json::from_str(&text).unwrap();
+        let seed = fixture.get("seed").expect("seed").as_u64().unwrap();
+        let m = value_to_usizes(fixture.get("row_modes").expect("row_modes"));
+        let n = value_to_usizes(fixture.get("col_modes").expect("col_modes"));
+        let r = fixture.get("rank").expect("rank").as_u64().unwrap() as usize;
+
+        let (ttm, x) = build_case(seed, &m, &n, r);
+        let stored_input = value_to_floats(fixture.get("input").expect("input"));
+        assert_eq!(x, stored_input, "{name}: stored input diverges from seed");
+        for (k, (core, stored)) in ttm
+            .cores()
+            .iter()
+            .zip(fixture.get("cores").unwrap().as_array().unwrap())
+            .enumerate()
+        {
+            let stored_data = value_to_floats(stored.get("data").expect("data"));
+            assert_eq!(core.data(), stored_data.as_slice(), "{name}: core {k} diverges");
+        }
+    }
+}

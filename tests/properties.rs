@@ -349,6 +349,138 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// I/O-permutation suite over degenerate-inclusive layouts: the serving layer
+// accepts any valid TtShape, so the precomputed scatter/gather index vectors
+// must round-trip even for rank-1, single-mode (d = 1) and unit-mode layouts
+// the main strategy never generates.
+// ---------------------------------------------------------------------------
+
+/// Strategy: a valid TT-matrix layout **including degenerate cases** —
+/// d from 1 (single mode: a plain dense matrix in TT form), modes from 1
+/// (unit modes), interior ranks from 1.
+fn tt_shape_strategy_degenerate() -> impl Strategy<Value = TtShape> {
+    (1usize..=4)
+        .prop_flat_map(|d| {
+            (
+                proptest::collection::vec(1usize..=5, d),
+                proptest::collection::vec(1usize..=5, d),
+                proptest::collection::vec(1usize..=4, d - 1),
+            )
+        })
+        .prop_map(|(m, n, interior)| {
+            let mut ranks = vec![1usize];
+            ranks.extend(interior);
+            ranks.push(1);
+            TtShape::new(m, n, ranks).expect("generated shape is valid")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The precomputed input-scatter is a bijection onto the prepared
+    /// layout, and `prepare_input → prepare_input_inverse` is the exact
+    /// identity, for degenerate layouts included.
+    #[test]
+    fn input_scatter_roundtrips_on_degenerate_shapes(
+        shape in tt_shape_strategy_degenerate(),
+        seed in 0u64..1000,
+    ) {
+        use tie::core::transform::prepare_input_scatter;
+        let n = shape.num_cols();
+        let scatter = prepare_input_scatter(&shape);
+        prop_assert_eq!(scatter.len(), n);
+        let mut seen = vec![false; n];
+        for &dst in &scatter {
+            prop_assert!(dst < n);
+            prop_assert!(!seen[dst], "scatter must be a bijection");
+            seen[dst] = true;
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let x: Tensor<f64> = init::uniform(&mut rng, vec![n], 1.0);
+        let xp = prepare_input(&x, &shape).unwrap();
+        // The scatter vector and the definitional layout agree element-wise.
+        for (j, &dst) in scatter.iter().enumerate() {
+            prop_assert_eq!(xp.data()[dst].to_bits(), x.data()[j].to_bits());
+        }
+        let back = prepare_input_inverse(&xp, &shape).unwrap();
+        prop_assert_eq!(back, x);
+    }
+
+    /// The precomputed output-gather is a bijection, and
+    /// `assemble_output_inverse → assemble_output` is the exact identity.
+    #[test]
+    fn output_gather_roundtrips_on_degenerate_shapes(
+        shape in tt_shape_strategy_degenerate(),
+        seed in 0u64..1000,
+    ) {
+        use tie::core::transform::assemble_output_gather;
+        let m = shape.num_rows();
+        let gather = assemble_output_gather(&shape);
+        prop_assert_eq!(gather.len(), m);
+        let mut seen = vec![false; m];
+        for &src in &gather {
+            prop_assert!(src < m);
+            prop_assert!(!seen[src], "gather must be a bijection");
+            seen[src] = true;
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let y: Tensor<f64> = init::uniform(&mut rng, vec![m], 1.0);
+        let v1 = assemble_output_inverse(&y, &shape).unwrap();
+        for (i, &src) in gather.iter().enumerate() {
+            prop_assert_eq!(v1.data()[src].to_bits(), y.data()[i].to_bits());
+        }
+        let back = assemble_output(&v1, &shape).unwrap();
+        prop_assert_eq!(back, y);
+    }
+
+    /// Each inter-stage TransformMap's precomputed gather vector agrees
+    /// with the closed-form `map`/`map_inverse` pair, and applying the
+    /// transform then its inverse is the exact identity — including unit
+    /// modes and rank-1 interiors.
+    #[test]
+    fn transform_gather_agrees_with_map_on_degenerate_shapes(
+        shape in tt_shape_strategy_degenerate(),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for h in 2..=shape.ndim() {
+            let t = TransformMap::new(&shape, h).unwrap();
+            let gather = t.gather();
+            prop_assert_eq!(gather.len(), t.rows_out * t.cols_out);
+            for po in 0..t.rows_out {
+                for qo in 0..t.cols_out {
+                    let (p, q) = t.map_inverse(po, qo);
+                    prop_assert_eq!(t.map(p, q), (po, qo));
+                    prop_assert_eq!(gather[po * t.cols_out + qo], p * t.cols_in + q);
+                }
+            }
+            let v: Tensor<f64> = init::uniform(&mut rng, vec![t.rows_in, t.cols_in], 1.0);
+            let back = t.apply_inverse(&t.apply(&v).unwrap()).unwrap();
+            prop_assert_eq!(back, v);
+        }
+    }
+
+    /// The compact engine itself handles every degenerate layout: d = 1
+    /// reduces to one dense GEMM, unit modes collapse stages — all must
+    /// still equal the dense matvec.
+    #[test]
+    fn compact_engine_handles_degenerate_shapes(
+        shape in tt_shape_strategy_degenerate(),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let ttm = TtMatrix::<f64>::random(&mut rng, &shape, 0.8).unwrap();
+        let dense = ttm.to_dense().unwrap();
+        let x: Tensor<f64> = init::uniform(&mut rng, vec![shape.num_cols()], 1.0);
+        let engine = CompactEngine::new(ttm).unwrap();
+        let (y, _) = engine.matvec(&x).unwrap();
+        let want = linalg::matvec(&dense, &x).unwrap();
+        prop_assert!(y.approx_eq(&want, 1e-8));
+    }
+}
+
 /// Deterministic, big enough to actually cross the spawn threshold
 /// (proptest shapes stay below it): 80·64·48 = 245 760 multiply-adds ≥
 /// `PARALLEL_MIN_WORK`, so thread counts > 1 genuinely split rows here —

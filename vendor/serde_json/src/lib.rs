@@ -1,14 +1,16 @@
 //! Offline stand-in for `serde_json`: renders the vendored `serde`
-//! [`Value`] tree as JSON text. Only the producer side is implemented —
-//! nothing in the workspace parses JSON back.
+//! [`Value`] tree as JSON text and parses JSON text back into a [`Value`]
+//! tree ([`from_str`]). Numbers written by [`to_string`] round-trip
+//! exactly: Rust's `{}` formatting of `f64` emits the shortest string that
+//! parses back to the same bits, so `from_str(&to_string(v))` reproduces
+//! every finite float bit-for-bit (the golden-fixture tests rely on this).
 
 #![forbid(unsafe_code)]
 
 pub use serde::Value;
 use serde::Serialize;
 
-/// Serialization error (the stand-in serializer is infallible; the type
-/// exists so call sites keep their `Result` plumbing).
+/// Serialization/parse error.
 #[derive(Debug, Clone)]
 pub struct Error {
     message: String,
@@ -125,6 +127,256 @@ fn render_string(s: &str, out: &mut String) {
     out.push('"');
 }
 
+/// Parses JSON text into a [`Value`] tree.
+///
+/// Supports the full JSON grammar as this stand-in's serializer emits it:
+/// objects (as ordered key/value pairs), arrays, strings with the common
+/// escapes plus `\uXXXX` (including surrogate pairs), `true`/`false`/
+/// `null`, and numbers. A number lexeme containing `.`, `e` or `E` parses
+/// as [`Value::Float`]; otherwise it parses as [`Value::Int`] when it fits
+/// an `i64`, falling back to [`Value::UInt`] and then to `Float`.
+///
+/// # Errors
+///
+/// Returns [`Error`] with a byte offset for malformed input or trailing
+/// non-whitespace.
+pub fn from_str(text: &str) -> Result<Value> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error {
+            message: format!("trailing characters at byte {}", p.pos),
+        });
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, what: &str) -> Result<T> {
+        Err(Error {
+            message: format!("{what} at byte {}", self.pos),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected {:?}", byte as char))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            self.err(&format!("expected keyword {word:?}"))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return self.err("invalid low surrogate");
+                                }
+                                let code =
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid unicode escape"),
+                            }
+                            continue; // parse_hex4 already advanced
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so the
+                    // remainder is valid UTF-8).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error { message: "invalid utf-8".into() })?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        if self.pos + 4 > self.bytes.len() {
+            return self.err("truncated \\u escape");
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| Error { message: "invalid utf-8 in \\u escape".into() })?;
+        let v = u32::from_str_radix(hex, 16)
+            .map_err(|_| Error { message: format!("invalid \\u escape {hex:?}") })?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let lexeme = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error { message: "invalid utf-8 in number".into() })?;
+        if lexeme.is_empty() || lexeme == "-" {
+            return self.err("expected a number");
+        }
+        if !is_float {
+            if let Ok(i) = lexeme.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = lexeme.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        lexeme
+            .parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error { message: format!("invalid number {lexeme:?}") })
+    }
+}
+
 fn render_f64(f: f64) -> String {
     if f.is_nan() {
         return "null".to_string();
@@ -185,5 +437,71 @@ mod tests {
         assert_eq!(to_string(&Value::Float(2.0)).unwrap(), "2.0");
         assert_eq!(to_string(&Value::Float(1.25e-9)).unwrap(), "0.00000000125");
         assert_eq!(to_string(&Value::Float(-3.5)).unwrap(), "-3.5");
+    }
+
+    #[test]
+    fn parse_roundtrips_sample() {
+        // Variant note: a small `UInt` re-parses as `Int` (JSON text does
+        // not carry signedness), so compare through the text form.
+        let v = sample();
+        let text = to_string(&v).unwrap();
+        assert_eq!(to_string(&from_str(&text).unwrap()).unwrap(), text);
+        assert_eq!(to_string(&from_str(&to_string_pretty(&v).unwrap()).unwrap()).unwrap(), text);
+    }
+
+    #[test]
+    fn parse_number_variants() {
+        assert_eq!(from_str("42").unwrap(), Value::Int(42));
+        assert_eq!(from_str("-7").unwrap(), Value::Int(-7));
+        assert_eq!(from_str("18446744073709551615").unwrap(), Value::UInt(u64::MAX));
+        assert_eq!(from_str("2.0").unwrap(), Value::Float(2.0));
+        assert_eq!(from_str("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(from_str("-2.5E-2").unwrap(), Value::Float(-0.025));
+    }
+
+    #[test]
+    fn floats_roundtrip_bit_exactly() {
+        for f in [
+            0.1,
+            -1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            1.2345678901234567e-200,
+            -9.87654321e123,
+        ] {
+            let text = to_string(&Value::Float(f)).unwrap();
+            match from_str(&text).unwrap() {
+                Value::Float(g) => assert_eq!(f.to_bits(), g.to_bits(), "{text}"),
+                other => panic!("expected float, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        assert_eq!(
+            from_str(r#""a\"b\\c\ndA😀""#).unwrap(),
+            Value::String("a\"b\\c\ndA😀".into())
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str("").is_err());
+        assert!(from_str("{").is_err());
+        assert!(from_str("[1,]").is_err());
+        assert!(from_str("tru").is_err());
+        assert!(from_str("1 2").is_err());
+        assert!(from_str("\"unterminated").is_err());
+        assert!(from_str("-").is_err());
+    }
+
+    #[test]
+    fn parse_nested_structures() {
+        let v = from_str(r#"{"a":[{"b":[1,2.5,"x"]},null],"c":{}}"#).unwrap();
+        let Value::Object(entries) = &v else { panic!("not an object") };
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, "a");
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":[{"b":[1,2.5,"x"]},null],"c":{}}"#);
     }
 }
