@@ -7,6 +7,8 @@
 //! ground rules.
 
 use crate::{parallel, Result, Scalar, Tensor, TensorError};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
 
 /// Rows of `A`/`C` processed per cache block (reuses one `B` panel across a
 /// slab of output rows).
@@ -529,6 +531,47 @@ pub fn matmul_nt<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> Result<Tensor<T>> {
     Ok(out)
 }
 
+/// Column-block size for [`gram_nt`]: `m` row segments of 512 doubles
+/// (4 KiB each) stay L2-resident while the `m²/2` pairwise dot products
+/// reuse them, so `A` is streamed from memory exactly once.
+const GRAM_BLOCK_K: usize = 512;
+
+/// Gram matrix `G = A · Aᵀ` of a row-major `m × n` matrix, without
+/// materializing `Aᵀ`.
+///
+/// Column-blocked so each block of every row is read once from memory and
+/// reused from cache across all `m²/2` pairwise dot products — the naive
+/// per-pair dot would stream `A` from memory `m` times. Only the lower
+/// triangle is computed; the upper is mirrored, so `G` is exactly
+/// symmetric. Serial and accumulated in ascending-`k` block order, hence
+/// bit-deterministic at any `TIE_THREADS` setting.
+fn gram_nt<T: Scalar>(a: &Tensor<T>) -> Result<Tensor<T>> {
+    let (m, n) = (a.nrows()?, a.ncols()?);
+    let ad = a.data();
+    let mut g = Tensor::zeros(vec![m, m]);
+    let gd = g.data_mut();
+    for k0 in (0..n).step_by(GRAM_BLOCK_K) {
+        let k1 = (k0 + GRAM_BLOCK_K).min(n);
+        for i in 0..m {
+            let arow = &ad[i * n + k0..i * n + k1];
+            for j in 0..=i {
+                let brow = &ad[j * n + k0..j * n + k1];
+                let mut acc = T::ZERO;
+                for (&x, &y) in arow.iter().zip(brow) {
+                    acc += x * y;
+                }
+                gd[i * m + j] += acc;
+            }
+        }
+    }
+    for i in 0..m {
+        for j in i + 1..m {
+            gd[i * m + j] = gd[j * m + i];
+        }
+    }
+    Ok(g)
+}
+
 /// Result of a (thin) QR factorization `A = Q · R`.
 #[derive(Debug, Clone)]
 pub struct Qr<T: Scalar> {
@@ -538,7 +581,55 @@ pub struct Qr<T: Scalar> {
     pub r: Tensor<T>,
 }
 
+/// Applies the Householder reflector `H = I - 2 v vᵀ / (vᵀv)` to the
+/// column block `[c0, cn)` of the row-major `rows × cn` matrix `md`,
+/// acting on rows `j..j+v.len()`. `dots` is caller-provided scratch of
+/// length ≥ `cn`.
+///
+/// Two row-major passes: first `dots[c] = Σ_t v[t]·M[j+t, c]`, then
+/// `M[j+t, c] -= (2·dots[c]/vᵀv)·v[t]`. Every memory walk is along
+/// contiguous rows (the original per-column walk strode by `cn`, which
+/// thrashes the cache on tall-skinny panels — the randomized-SVD hot
+/// path). Per output element the accumulation order over `t` is
+/// unchanged, so results are bit-identical to the per-column form.
+fn apply_reflector<T: Scalar>(
+    md: &mut [T],
+    cn: usize,
+    j: usize,
+    c0: usize,
+    v: &[T],
+    vnorm2: T,
+    dots: &mut [T],
+) {
+    let width = cn - c0;
+    let dots = &mut dots[..width];
+    dots.fill(T::ZERO);
+    for (t, &vi) in v.iter().enumerate() {
+        let row = &md[(j + t) * cn + c0..(j + t) * cn + cn];
+        for (d, &x) in dots.iter_mut().zip(row) {
+            *d += vi * x;
+        }
+    }
+    for d in dots.iter_mut() {
+        *d = (T::ONE + T::ONE) * *d / vnorm2;
+    }
+    for (t, &vi) in v.iter().enumerate() {
+        let row = &mut md[(j + t) * cn + c0..(j + t) * cn + cn];
+        for (x, &d) in row.iter_mut().zip(dots.iter()) {
+            *x -= d * vi;
+        }
+    }
+}
+
 /// Thin Householder QR factorization.
+///
+/// Reflector applications run as contiguous row-major passes (see
+/// [`apply_reflector`]), and `Q` is accumulated directly into the thin
+/// `m × k` matrix touching only columns `j..k` when applying reflector
+/// `j` — columns `c < j` of the partially formed `Q` are still unit
+/// vectors supported above row `j`, so the skipped work is exactly zero.
+/// Tall-skinny panels (the randomized-SVD hot path) therefore cost
+/// `O(m·n·k)` with streaming access instead of strided column walks.
 ///
 /// # Errors
 ///
@@ -547,47 +638,41 @@ pub fn qr<T: Scalar>(a: &Tensor<T>) -> Result<Qr<T>> {
     let (m, n) = (a.nrows()?, a.ncols()?);
     let k = m.min(n);
     let mut r = a.clone();
-    // Accumulate Householder reflectors; apply them to an identity to get Q.
+    // Accumulate Householder reflectors; apply them to a thin identity to
+    // get Q.
     let mut vs: Vec<Vec<T>> = Vec::with_capacity(k);
-    let rd_len = n;
+    let mut dots = vec![T::ZERO; n];
+    let rd = r.data_mut();
     for j in 0..k {
         // Build reflector for column j below the diagonal.
         let mut norm2 = T::ZERO;
         for i in j..m {
-            let v = r.data()[i * rd_len + j];
+            let v = rd[i * n + j];
             norm2 += v * v;
         }
         let norm = norm2.sqrt();
-        let x0 = r.data()[j * rd_len + j];
+        let x0 = rd[j * n + j];
         if norm == T::ZERO {
             vs.push(vec![T::ZERO; m - j]);
             continue;
         }
         let alpha = if x0 >= T::ZERO { -norm } else { norm };
-        let mut v: Vec<T> = (j..m).map(|i| r.data()[i * rd_len + j]).collect();
+        let mut v: Vec<T> = (j..m).map(|i| rd[i * n + j]).collect();
         v[0] -= alpha;
         let vnorm2: T = v.iter().map(|&x| x * x).sum();
         if vnorm2 > T::ZERO {
             // Apply H = I - 2 v vᵀ / (vᵀv) to R[j.., j..].
-            for c in j..n {
-                let mut dot = T::ZERO;
-                for (t, &vi) in v.iter().enumerate() {
-                    dot += vi * r.data()[(j + t) * rd_len + c];
-                }
-                let scale = (T::ONE + T::ONE) * dot / vnorm2;
-                for (t, &vi) in v.iter().enumerate() {
-                    let off = (j + t) * rd_len + c;
-                    let cur = r.data()[off];
-                    r.data_mut()[off] = cur - scale * vi;
-                }
-            }
+            apply_reflector(rd, n, j, j, &v, vnorm2, &mut dots);
         }
         vs.push(v);
     }
-    // Q = H_0 H_1 … H_{k-1} · I_{m×k}, applied in reverse.
+    // Q = H_0 H_1 … H_{k-1} · I_{m×k}, applied in reverse. When H_j is
+    // applied, columns c < j are still e_c (supported at row c < j), so the
+    // update is restricted to columns j..k.
     let mut q = Tensor::<T>::zeros(vec![m, k]);
+    let qd = q.data_mut();
     for j in 0..k {
-        q.data_mut()[j * k + j] = T::ONE;
+        qd[j * k + j] = T::ONE;
     }
     for j in (0..k).rev() {
         let v = &vs[j];
@@ -595,18 +680,7 @@ pub fn qr<T: Scalar>(a: &Tensor<T>) -> Result<Qr<T>> {
         if vnorm2 == T::ZERO {
             continue;
         }
-        for c in 0..k {
-            let mut dot = T::ZERO;
-            for (t, &vi) in v.iter().enumerate() {
-                dot += vi * q.data()[(j + t) * k + c];
-            }
-            let scale = (T::ONE + T::ONE) * dot / vnorm2;
-            for (t, &vi) in v.iter().enumerate() {
-                let off = (j + t) * k + c;
-                let cur = q.data()[off];
-                q.data_mut()[off] = cur - scale * vi;
-            }
-        }
+        apply_reflector(qd, k, j, j, v, vnorm2, &mut dots);
     }
     // Truncate R to k×n.
     let r_thin = r.rows(0, k).unwrap_or(r);
@@ -878,6 +952,11 @@ impl Truncation {
 
 /// Truncated SVD: full Jacobi SVD followed by [`Truncation`] selection.
 ///
+/// Equivalent to [`truncated_svd_with`] pinned to [`SvdMethod::Jacobi`];
+/// callers that want the automatic Jacobi/randomized dispatch (large
+/// rank-capped unfoldings go randomized) should use [`truncated_svd_with`]
+/// with [`SvdMethod::default`].
+///
 /// # Errors
 ///
 /// Propagates [`svd`] errors.
@@ -885,6 +964,302 @@ pub fn truncated_svd<T: Scalar>(a: &Tensor<T>, trunc: Truncation) -> Result<Svd<
     let full = svd(a)?;
     let keep = trunc.select(&full.s);
     full.truncated(keep)
+}
+
+/// Seed used by [`SvdMethod::default`] / [`RsvdParams::default`] so that
+/// decompositions are reproducible without every caller threading a seed.
+pub const DEFAULT_SVD_SEED: u64 = 0x5EED_71E0;
+
+/// Default Gaussian-sketch oversampling (Halko et al. recommend 5–10).
+const RSVD_DEFAULT_OVERSAMPLE: usize = 8;
+/// Default subspace (power) iterations; 2 is enough for the slowly decaying
+/// spectra of weight-matrix unfoldings.
+const RSVD_DEFAULT_POWER_ITERS: usize = 2;
+/// Below this element count [`SvdMethod::Auto`] always picks Jacobi — the
+/// sketch setup would cost more than the exact decomposition.
+const RSVD_MIN_ELEMS: usize = 1 << 14;
+/// [`SvdMethod::Auto`] routes uncapped problems to the exact-sketch
+/// randomized path only when the aspect ratio is at least this extreme
+/// (the Jacobi rotations on such thin matrices stride over enormous rows).
+const RSVD_THIN_ASPECT: usize = 8;
+/// ... and the matrix is at least this large ...
+const RSVD_THIN_MIN_ELEMS: usize = 1 << 20;
+/// ... and the short side is at most this long — the Gram route's Jacobi
+/// finish is `O(k³)` per sweep, which stops being cheap past a few
+/// hundred.
+const RSVD_GRAM_MAX_SIDE: usize = 256;
+
+/// Tuning knobs for [`randomized_svd`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RsvdParams {
+    /// Seed for the Gaussian test matrix. Same seed ⇒ bit-identical
+    /// factors at any thread count (see the determinism note on
+    /// [`randomized_svd`]).
+    pub seed: u64,
+    /// Extra sketch columns beyond the target rank.
+    pub oversample: usize,
+    /// Subspace-iteration count `q` (each adds two large GEMMs and one
+    /// thin QR, and sharpens the basis for slowly decaying spectra).
+    pub power_iters: usize,
+}
+
+impl Default for RsvdParams {
+    fn default() -> Self {
+        RsvdParams {
+            seed: DEFAULT_SVD_SEED,
+            oversample: RSVD_DEFAULT_OVERSAMPLE,
+            power_iters: RSVD_DEFAULT_POWER_ITERS,
+        }
+    }
+}
+
+impl RsvdParams {
+    /// Default parameters with an explicit `seed`.
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        RsvdParams {
+            seed,
+            ..RsvdParams::default()
+        }
+    }
+}
+
+/// Algorithm selector for [`truncated_svd_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SvdMethod {
+    /// Pick per problem: Jacobi for small or near-full-rank matrices,
+    /// [`randomized_svd`] (with this seed and default oversampling/power
+    /// iterations) for large rank-capped ones and for extremely thin
+    /// uncapped ones (exact Gram regime). The exact rule is documented
+    /// on [`truncated_svd_with`].
+    Auto {
+        /// Seed handed to the randomized path when it is chosen.
+        seed: u64,
+    },
+    /// Always the exact one-sided Jacobi [`svd`] (legacy [`truncated_svd`]
+    /// behaviour).
+    Jacobi,
+    /// Always [`randomized_svd`] with these parameters.
+    Randomized(RsvdParams),
+}
+
+impl Default for SvdMethod {
+    fn default() -> Self {
+        SvdMethod::Auto {
+            seed: DEFAULT_SVD_SEED,
+        }
+    }
+}
+
+impl SvdMethod {
+    /// [`SvdMethod::Auto`] with an explicit seed for the randomized path.
+    #[must_use]
+    pub fn auto_seeded(seed: u64) -> Self {
+        SvdMethod::Auto { seed }
+    }
+}
+
+/// Exact truncated SVD of an extreme-aspect matrix via its small Gram
+/// matrix.
+///
+/// With `k = min(m, n)`, forms the `k × k` Gram matrix (`AᵀA` for tall,
+/// `A·Aᵀ` for wide) with one streaming pass over `A`, Jacobi-diagonalizes
+/// it (`G = W Σ² Wᵀ`), and recovers the long singular factor with a single
+/// blocked GEMM: `U = A W Σ⁻¹` (tall) or `Vᵀ = Σ⁻¹ Wᵀ A` (wide). Total
+/// traffic is ~2 passes over `A` and the only `O(k³)` work is on the tiny
+/// Gram matrix — no giant QR, no sketch. Fully deterministic (no RNG).
+///
+/// The price is the usual squared condition number of the normal-equations
+/// route: singular values below `‖A‖₂ · √ε` lose all relative accuracy.
+/// That is exactly the regime [`truncated_svd_with`] routes here — huge
+/// thin unfoldings truncated far above the noise floor — and directions
+/// with `σ ≈ 0` are guarded by leaving their (zero) long-factor columns
+/// unscaled.
+fn gram_svd<T: Scalar>(a: &Tensor<T>, trunc: Truncation) -> Result<Svd<T>> {
+    let (m, n) = (a.nrows()?, a.ncols()?);
+    let tall = m >= n;
+    // Tall: G = AᵀA = V Σ² Vᵀ. Wide: G = A·Aᵀ = U Σ² Uᵀ. matmul_tn(a, a)
+    // streams row-major A once for the tall case; gram_nt for the wide.
+    let g = if tall { matmul_tn(a, a)? } else { gram_nt(a)? };
+    let eig = svd(&g)?;
+    // Eigenvalues of the PSD Gram matrix are squared singular values;
+    // rounding can push tiny ones negative, so clamp before the sqrt.
+    let s: Vec<T> = eig.s.iter().map(|&e| e.max(T::ZERO).sqrt()).collect();
+    let keep = trunc.select(&s);
+    let w = eig.u.cols(0, keep)?; // k × keep eigenbasis of G
+    let s = s[..keep].to_vec();
+    if tall {
+        // U = A W Σ⁻¹ (m × keep), scaling columns.
+        let mut u = matmul(a, &w)?;
+        let ud = u.data_mut();
+        for row in ud.chunks_mut(keep) {
+            for (x, &sj) in row.iter_mut().zip(&s) {
+                if sj > T::ZERO {
+                    *x /= sj;
+                }
+            }
+        }
+        Ok(Svd {
+            u,
+            s,
+            vt: w.transposed()?,
+        })
+    } else {
+        // Vᵀ = Σ⁻¹ Wᵀ A (keep × n), scaling rows.
+        let mut vt = matmul_tn(&w, a)?;
+        let vd = vt.data_mut();
+        for (row, &sj) in vd.chunks_mut(n).zip(&s) {
+            if sj > T::ZERO {
+                for x in row.iter_mut() {
+                    *x /= sj;
+                }
+            }
+        }
+        Ok(Svd { u: w, s, vt })
+    }
+}
+
+/// Randomized truncated SVD (Halko–Martinsson–Tropp range finder with
+/// subspace iteration and a small-core Jacobi finish).
+///
+/// Sketches the range with a seeded Gaussian test matrix of
+/// `ℓ = min(target_rank + oversample, min(m,n))` columns, optionally
+/// sharpens it with `power_iters` QR-reorthogonalized subspace iterations,
+/// projects `A` into the ℓ-dimensional subspace, and runs the exact
+/// [`svd`] on the small projected core. All large products go through the
+/// blocked, multithreaded [`matmul`]/[`matmul_tn`], so the routine
+/// inherits the AVX dispatch and `TIE_THREADS` scaling of the kernel
+/// layer; wide inputs are handled by sketching `Aᵀ` implicitly (via
+/// [`matmul_tn`]) without ever materializing the transpose.
+///
+/// When `ℓ = min(m,n)` a sketch would span the full row/column space, so
+/// the routine skips it and takes the deterministic Gram route instead
+/// (diagonalize the small `k × k` Gram matrix, recover the long factor
+/// with one GEMM) — exact up to roundoff and seed-independent.
+/// [`truncated_svd_with`] uses this regime for huge thin unfoldings where
+/// Jacobi's strided rotations are the bottleneck.
+///
+/// # Determinism
+///
+/// The only randomness is the ChaCha8-generated test matrix seeded from
+/// `params.seed`. Every threaded kernel used here partitions independent
+/// outputs only (see [`matmul`]'s bit-consistency contract), and the
+/// QR/Jacobi finish is serial — so the same seed yields bit-identical
+/// factors at any `TIE_THREADS` setting.
+///
+/// # Errors
+///
+/// Propagates shape errors and [`svd`] convergence failures on the
+/// projected core.
+pub fn randomized_svd<T: Scalar>(
+    a: &Tensor<T>,
+    trunc: Truncation,
+    params: RsvdParams,
+) -> Result<Svd<T>> {
+    let (m, n) = (a.nrows()?, a.ncols()?);
+    let k = m.min(n);
+    let target = trunc.max_rank.unwrap_or(k).max(1).min(k);
+    let l = (target + params.oversample).min(k).max(1);
+    // ℓ = min(m,n): the sketch would span the whole smaller space, so skip
+    // it entirely and take the deterministic Gram route — exact up to
+    // roundoff, one streaming pass instead of a giant sketch + QR.
+    if l == k {
+        return gram_svd(a, trunc);
+    }
+    let iters = params.power_iters;
+    let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+
+    if m >= n {
+        // Tall: find an orthonormal basis Q for the column space of A.
+        let omega: Tensor<T> = crate::init::normal(&mut rng, vec![n, l], 1.0);
+        let mut y = matmul(a, &omega)?; // m × ℓ
+        for _ in 0..iters {
+            let q = qr(&y)?.q;
+            let z = matmul_tn(a, &q)?; // n × ℓ, Aᵀ·Q without transposing A
+            y = matmul(a, &z)?;
+        }
+        let q = qr(&y)?.q; // m × ℓ
+        let b = matmul_tn(&q, a)?; // ℓ × n projected core
+        let small = svd(&b)?;
+        let keep = trunc.select(&small.s);
+        Ok(Svd {
+            u: matmul(&q, &small.u.cols(0, keep)?)?,
+            s: small.s[..keep].to_vec(),
+            vt: small.vt.rows(0, keep)?,
+        })
+    } else {
+        // Wide: run the tall scheme on Aᵀ implicitly. Q spans the row
+        // space of A; the core B = A·Q is m × ℓ (ℓ ≤ m), small for Jacobi.
+        let omega: Tensor<T> = crate::init::normal(&mut rng, vec![m, l], 1.0);
+        let mut y = matmul_tn(a, &omega)?; // n × ℓ
+        for _ in 0..iters {
+            let q = qr(&y)?.q;
+            let z = matmul(a, &q)?; // m × ℓ
+            y = matmul_tn(a, &z)?;
+        }
+        let q = qr(&y)?.q; // n × ℓ
+        let b = matmul(a, &q)?; // m × ℓ
+        let small = svd(&b)?;
+        let keep = trunc.select(&small.s);
+        // A ≈ B Qᵀ = U_B S (Q V_B)ᵀ.
+        let v_small = small.vt.transposed()?.cols(0, keep)?;
+        Ok(Svd {
+            u: small.u.cols(0, keep)?,
+            s: small.s[..keep].to_vec(),
+            vt: matmul(&q, &v_small)?.transposed()?,
+        })
+    }
+}
+
+/// Truncated SVD with explicit algorithm selection.
+///
+/// [`SvdMethod::Auto`] applies this rule (in order):
+///
+/// 1. fewer than 2¹⁴ elements → Jacobi (exact, and faster at this size);
+/// 2. a truncation-friendly problem — `max_rank = r` with
+///    `2·(r + oversample) ≤ min(m,n)` (the paper's rank-capped `r ≤ 16`
+///    compression regime), or uncapped but extremely thin
+///    (`max(m,n) ≥ 8·min(m,n)` and ≥ 2²⁰ elements) — goes to a fast path
+///    chosen by the short side `k = min(m,n)`:
+///    - `k ≤ 256` → the deterministic exact Gram route (diagonalize the
+///      `k × k` Gram matrix, one streaming GEMM to recover the long
+///      factor) — replaces Jacobi's strided giant-row rotations and is
+///      seed-independent;
+///    - `k > 256` (rank-capped only) → the seeded [`randomized_svd`]
+///      sketch, whose cost scales with the target rank rather than `k`;
+/// 3. otherwise → Jacobi.
+///
+/// # Errors
+///
+/// Propagates [`svd`] / [`randomized_svd`] errors.
+pub fn truncated_svd_with<T: Scalar>(
+    a: &Tensor<T>,
+    trunc: Truncation,
+    method: SvdMethod,
+) -> Result<Svd<T>> {
+    match method {
+        SvdMethod::Jacobi => truncated_svd(a, trunc),
+        SvdMethod::Randomized(params) => randomized_svd(a, trunc, params),
+        SvdMethod::Auto { seed } => {
+            let (m, n) = (a.nrows()?, a.ncols()?);
+            let (k, big, elems) = (m.min(n), m.max(n), m * n);
+            let capped_small = trunc
+                .max_rank
+                .is_some_and(|r| 2 * (r + RSVD_DEFAULT_OVERSAMPLE) <= k);
+            let thin = big >= RSVD_THIN_ASPECT * k && elems >= RSVD_THIN_MIN_ELEMS;
+            if elems < RSVD_MIN_ELEMS || !(capped_small || thin) {
+                truncated_svd(a, trunc)
+            } else if k <= RSVD_GRAM_MAX_SIDE {
+                gram_svd(a, trunc)
+            } else if capped_small {
+                randomized_svd(a, trunc, RsvdParams::seeded(seed))
+            } else {
+                // Thin but with a short side too long for the Gram route's
+                // O(k³) Jacobi finish, and no rank cap to sketch against.
+                truncated_svd(a, trunc)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1044,6 +1419,149 @@ mod tests {
             err <= bound * (1.0 + 1e-8) + 1e-12,
             "truncation error {err} exceeds bound {bound}"
         );
+    }
+
+    /// Low-rank matrix plus small noise: `rank`-dominant spectrum so
+    /// randomized truncation has a meaningful tail to drop.
+    fn low_rank_plus_noise(
+        rng: &mut ChaCha8Rng,
+        m: usize,
+        n: usize,
+        rank: usize,
+        noise: f64,
+    ) -> Tensor<f64> {
+        let u: Tensor<f64> = init::uniform(rng, vec![m, rank], 1.0);
+        let v: Tensor<f64> = init::uniform(rng, vec![rank, n], 1.0);
+        let mut a = matmul(&u, &v).unwrap();
+        let e: Tensor<f64> = init::uniform(rng, vec![m, n], noise);
+        a = a.add(&e).unwrap();
+        a
+    }
+
+    #[test]
+    fn randomized_svd_exact_gram_regime_matches_matrix() {
+        // ℓ = min(m,n): the Gram route replaces the sketch, and the result
+        // is exact up to roundoff even for generic (full-rank) input.
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        for (m, n) in [(40, 12), (12, 40), (17, 17)] {
+            let a: Tensor<f64> = init::uniform(&mut rng, vec![m, n], 1.0);
+            let f = randomized_svd(&a, Truncation::none(), RsvdParams::seeded(1)).unwrap();
+            let back = f.reconstruct().unwrap();
+            assert!(
+                back.approx_eq(&a, 1e-9),
+                "exact-regime rSVD failed for {m}x{n}: err {}",
+                back.relative_error(&a).unwrap()
+            );
+            assert_orthonormal_cols(&f.u, 1e-9);
+            assert_orthonormal_cols(&f.vt.transposed().unwrap(), 1e-9);
+        }
+    }
+
+    #[test]
+    fn randomized_svd_rank_capped_within_dropped_mass_bound() {
+        let mut rng = ChaCha8Rng::seed_from_u64(22);
+        for (m, n) in [(60, 30), (30, 60)] {
+            let a = low_rank_plus_noise(&mut rng, m, n, 5, 1e-3);
+            let exact = svd(&a).unwrap();
+            let f = randomized_svd(&a, Truncation::rank(5), RsvdParams::seeded(2)).unwrap();
+            assert_eq!(f.s.len(), 5);
+            let err = f.reconstruct().unwrap().sub(&a).unwrap().frobenius_norm();
+            let bound: f64 = exact.s[5..].iter().map(|v| v * v).sum::<f64>().sqrt();
+            // On a sharply decaying spectrum the sketch captures the
+            // dominant subspace almost perfectly; allow 10% slack.
+            assert!(
+                err <= bound * 1.1 + 1e-12,
+                "rSVD error {err} vs optimal {bound} for {m}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn randomized_svd_same_seed_is_bit_identical_at_any_thread_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let a = low_rank_plus_noise(&mut rng, 96, 48, 6, 1e-2);
+        let trunc = Truncation::rank(6);
+        let params = RsvdParams::seeded(42);
+        let prev = parallel::set_num_threads(1);
+        let serial = randomized_svd(&a, trunc, params).unwrap();
+        parallel::set_num_threads(4);
+        let threaded = randomized_svd(&a, trunc, params).unwrap();
+        parallel::set_num_threads(prev);
+        assert_eq!(serial.u.data(), threaded.u.data());
+        assert_eq!(serial.s, threaded.s);
+        assert_eq!(serial.vt.data(), threaded.vt.data());
+        // And a different seed actually changes the sketch (sanity check
+        // that the seed is wired through).
+        let other = randomized_svd(&a, trunc, RsvdParams::seeded(43)).unwrap();
+        assert_ne!(serial.u.data(), other.u.data());
+    }
+
+    #[test]
+    fn truncated_svd_with_jacobi_matches_legacy_bitwise() {
+        let mut rng = ChaCha8Rng::seed_from_u64(24);
+        let a: Tensor<f64> = init::uniform(&mut rng, vec![12, 9], 1.0);
+        let trunc = Truncation::rank(4);
+        let legacy = truncated_svd(&a, trunc).unwrap();
+        let pinned = truncated_svd_with(&a, trunc, SvdMethod::Jacobi).unwrap();
+        assert_eq!(legacy.u.data(), pinned.u.data());
+        assert_eq!(legacy.s, pinned.s);
+        assert_eq!(legacy.vt.data(), pinned.vt.data());
+        // Auto on a sub-threshold matrix also takes the Jacobi path.
+        let auto = truncated_svd_with(&a, trunc, SvdMethod::default()).unwrap();
+        assert_eq!(legacy.u.data(), auto.u.data());
+    }
+
+    #[test]
+    fn truncated_svd_with_auto_sketches_large_rank_capped() {
+        // 272×320 with rank cap 8: the short side exceeds the Gram
+        // threshold, so Auto must take the seeded sketch and still land
+        // within the optimal-truncation bound (plus slack).
+        let mut rng = ChaCha8Rng::seed_from_u64(25);
+        let a = low_rank_plus_noise(&mut rng, 272, 320, 8, 1e-3);
+        let auto = truncated_svd_with(&a, Truncation::rank(8), SvdMethod::default()).unwrap();
+        let pinned = randomized_svd(
+            &a,
+            Truncation::rank(8),
+            RsvdParams::seeded(DEFAULT_SVD_SEED),
+        )
+        .unwrap();
+        // Auto must be exactly the seeded randomized path (proves dispatch).
+        assert_eq!(auto.u.data(), pinned.u.data());
+        let exact = svd(&a).unwrap();
+        let err = auto.reconstruct().unwrap().sub(&a).unwrap().frobenius_norm();
+        let bound: f64 = exact.s[8..].iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!(err <= bound * 1.1 + 1e-12, "err {err} vs bound {bound}");
+    }
+
+    #[test]
+    fn truncated_svd_with_auto_takes_gram_route_for_short_side() {
+        // 128×2048 with rank cap 8: large, rank-capped, short side ≤ 256 —
+        // Auto must take the exact Gram route, which a forced ℓ = min(m,n)
+        // sketch (oversample ≥ k) also reaches; the two must agree bitwise
+        // and match Jacobi's optimal truncation to roundoff.
+        let mut rng = ChaCha8Rng::seed_from_u64(26);
+        let a = low_rank_plus_noise(&mut rng, 128, 2048, 8, 1e-3);
+        let trunc = Truncation::rank(8);
+        let auto = truncated_svd_with(&a, trunc, SvdMethod::default()).unwrap();
+        let gram = randomized_svd(
+            &a,
+            trunc,
+            RsvdParams {
+                seed: 7, // must be irrelevant: the Gram route is seed-free
+                oversample: 128,
+                power_iters: 0,
+            },
+        )
+        .unwrap();
+        assert_eq!(auto.u.data(), gram.u.data());
+        assert_eq!(auto.vt.data(), gram.vt.data());
+        let exact = truncated_svd(&a, trunc).unwrap();
+        for (sg, sj) in auto.s.iter().zip(&exact.s) {
+            assert!((sg - sj).abs() <= 1e-8 * exact.s[0], "{sg} vs {sj}");
+        }
+        let err = auto.reconstruct().unwrap().sub(&a).unwrap().frobenius_norm();
+        let jerr = exact.reconstruct().unwrap().sub(&a).unwrap().frobenius_norm();
+        assert!(err <= jerr * (1.0 + 1e-6), "gram {err} vs jacobi {jerr}");
     }
 
     #[test]

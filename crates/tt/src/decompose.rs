@@ -6,7 +6,7 @@
 //! the right factor carries on.
 
 use crate::TtTensor;
-use tie_tensor::linalg::{truncated_svd, Truncation};
+use tie_tensor::linalg::{truncated_svd_with, SvdMethod, Truncation};
 use tie_tensor::{Result, Scalar, Tensor};
 
 /// Decomposes a dense tensor into TT format.
@@ -42,19 +42,62 @@ use tie_tensor::{Result, Scalar, Tensor};
 /// # }
 /// ```
 pub fn tt_svd<T: Scalar>(tensor: &Tensor<T>, trunc: Truncation) -> Result<TtTensor<T>> {
+    tt_svd_with(tensor, trunc, SvdMethod::default())
+}
+
+/// [`tt_svd`] with explicit SVD algorithm selection per unfolding.
+///
+/// [`SvdMethod::default`] (`Auto`) sends small unfoldings to exact Jacobi
+/// and large rank-capped or extremely thin ones to the seeded randomized
+/// SVD; pass [`SvdMethod::Jacobi`] to pin the legacy exact path or
+/// [`SvdMethod::Randomized`] to force the sketch with explicit parameters.
+/// The method (and its seed) fully determines the result: the randomized
+/// path is bit-identical for a fixed seed at any `TIE_THREADS` setting.
+///
+/// # Errors
+///
+/// Propagates SVD convergence failures and shape errors from the substrate.
+pub fn tt_svd_with<T: Scalar>(
+    tensor: &Tensor<T>,
+    trunc: Truncation,
+    method: SvdMethod,
+) -> Result<TtTensor<T>> {
+    tt_svd_owned(tensor.clone(), trunc, method)
+}
+
+/// [`tt_svd_with`] taking the tensor by value.
+///
+/// The sweep only ever *reshapes* the remainder between SVDs, which is a
+/// metadata change on a row-major tensor — owning the input lets every
+/// step run copy-free where the borrowed entry points must clone.  For a
+/// paper-scale FC layer (822 MB dense) that removes several full-buffer
+/// memcpys from the compile path; callers that already own the tensor
+/// (e.g. `TtMatrix::from_dense`, which builds the fused tensor itself)
+/// should prefer this entry point.
+///
+/// # Errors
+///
+/// Propagates SVD convergence failures and shape errors from the substrate.
+pub fn tt_svd_owned<T: Scalar>(
+    tensor: Tensor<T>,
+    trunc: Truncation,
+    method: SvdMethod,
+) -> Result<TtTensor<T>> {
     let modes = tensor.dims().to_vec();
     let d = modes.len();
-    let total: usize = modes.iter().product();
     let mut cores = Vec::with_capacity(d);
     // C is the remainder matrix, (r_{k-1} * n_k) × (rest) at step k.
-    let mut c = tensor.reshaped(vec![modes[0], total / modes[0]])?;
+    // All reshapes below are in-place metadata changes, never copies.
+    let mut c = tensor;
     let mut r_prev = 1usize;
     for (k, &nk) in modes.iter().enumerate().take(d - 1) {
         let rest = c.num_elements() / (r_prev * nk);
-        let unfolding = c.reshaped(vec![r_prev * nk, rest])?;
-        let svd = truncated_svd(&unfolding, trunc)?;
+        c.reshape(vec![r_prev * nk, rest])?;
+        let svd = truncated_svd_with(&c, trunc, method)?;
         let rk = svd.s.len();
-        cores.push(svd.u.reshaped(vec![r_prev, nk, rk])?);
+        let mut u = svd.u;
+        u.reshape(vec![r_prev, nk, rk])?;
+        cores.push(u);
         // C ← diag(S) · Vᵀ  (rk × rest)
         let mut sv = svd.vt;
         for i in 0..rk {
@@ -66,12 +109,13 @@ pub fn tt_svd<T: Scalar>(tensor: &Tensor<T>, trunc: Truncation) -> Result<TtTens
         // Prepare for the next step: fold the produced rank into the row
         // dimension of the next unfolding.
         let next_n = modes[k + 1];
-        c = sv.reshaped(vec![rk * next_n, rest / next_n])?;
+        sv.reshape(vec![rk * next_n, rest / next_n])?;
+        c = sv;
         r_prev = rk;
     }
     // Last core is the remainder itself.
-    let last = c.reshaped(vec![r_prev, modes[d - 1], 1])?;
-    cores.push(last);
+    c.reshape(vec![r_prev, modes[d - 1], 1])?;
+    cores.push(c);
     TtTensor::new(cores)
 }
 
@@ -89,13 +133,27 @@ pub fn tt_svd_relative<T: Scalar>(
     rel_tol: f64,
     max_rank: Option<usize>,
 ) -> Result<TtTensor<T>> {
+    tt_svd_relative_with(tensor, rel_tol, max_rank, SvdMethod::default())
+}
+
+/// [`tt_svd_relative`] with explicit SVD algorithm selection.
+///
+/// # Errors
+///
+/// Propagates [`tt_svd_with`] errors.
+pub fn tt_svd_relative_with<T: Scalar>(
+    tensor: &Tensor<T>,
+    rel_tol: f64,
+    max_rank: Option<usize>,
+    method: SvdMethod,
+) -> Result<TtTensor<T>> {
     let d = tensor.ndim().max(2);
     let budget = rel_tol * tensor.frobenius_norm() / ((d - 1) as f64).sqrt();
     let trunc = Truncation {
         max_rank,
         frobenius_tol: budget,
     };
-    tt_svd(tensor, trunc)
+    tt_svd_with(tensor, trunc, method)
 }
 
 #[cfg(test)]

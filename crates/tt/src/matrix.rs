@@ -1,5 +1,5 @@
-use crate::{decompose::tt_svd, TtShape, TtTensor};
-use tie_tensor::linalg::Truncation;
+use crate::{decompose::tt_svd_owned, TtShape, TtTensor};
+use tie_tensor::linalg::{SvdMethod, Truncation};
 use tie_tensor::{Result, Scalar, Tensor, TensorError};
 
 use rand::Rng;
@@ -101,6 +101,26 @@ impl<T: Scalar> TtMatrix<T> {
         col_modes: &[usize],
         trunc: Truncation,
     ) -> Result<Self> {
+        Self::from_dense_with(w, row_modes, col_modes, trunc, SvdMethod::default())
+    }
+
+    /// [`TtMatrix::from_dense`] with explicit SVD algorithm selection for
+    /// the internal TT-SVD (see
+    /// [`tie_tensor::linalg::truncated_svd_with`] for the `Auto` rule;
+    /// the randomized path makes paper-scale layers — VGG FC6 is
+    /// 25088×4096 — compile in seconds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if the factorizations do not
+    /// multiply out to the matrix dimensions, plus any SVD failure.
+    pub fn from_dense_with(
+        w: &Tensor<T>,
+        row_modes: &[usize],
+        col_modes: &[usize],
+        trunc: Truncation,
+        method: SvdMethod,
+    ) -> Result<Self> {
         let (rows, cols) = (w.nrows()?, w.ncols()?);
         if row_modes.iter().product::<usize>() != rows
             || col_modes.iter().product::<usize>() != cols
@@ -113,25 +133,8 @@ impl<T: Scalar> TtMatrix<T> {
                 ),
             });
         }
-        let d = row_modes.len();
-        // Fused tensor B(l_1, …, l_d) with l_k = i_k * n_k + j_k.
-        let fused_modes: Vec<usize> = row_modes
-            .iter()
-            .zip(col_modes)
-            .map(|(&m, &n)| m * n)
-            .collect();
-        let b = Tensor::from_fn(fused_modes, |l| {
-            let mut i = 0usize;
-            let mut j = 0usize;
-            for k in 0..d {
-                let ik = l[k] / col_modes[k];
-                let jk = l[k] % col_modes[k];
-                i = i * row_modes[k] + ik;
-                j = j * col_modes[k] + jk;
-            }
-            w.data()[i * cols + j]
-        })?;
-        let tt = tt_svd(&b, trunc)?;
+        let b = build_fused_tensor(w, row_modes, col_modes)?;
+        let tt = tt_svd_owned(b, trunc, method)?;
         let cores = tt
             .into_cores()
             .into_iter()
@@ -274,6 +277,75 @@ impl<T: Scalar> TtMatrix<T> {
     }
 }
 
+/// Builds the Novikov fused tensor `B(l_1, …, l_d)` with `l_k = i_k·n_k +
+/// j_k` from the dense matrix `w`.
+///
+/// This is a pure data permutation: element `(l_1, …, l_d)` of `B` is
+/// `W(i, j)` with `i = Σ i_k ∏_{t>k} m_t`, `j = Σ j_k ∏_{t>k} n_t`. The
+/// per-element div/mod chain of the naive gather is replaced by per-mode
+/// lookup tables `contrib[k][l_k] = i_k·(row stride)·cols + j_k·(col
+/// stride)` — the source offset is just their sum — walked with an
+/// incremental odometer, so the 10⁸-element fused tensors of the paper's
+/// FC layers build in a single cheap streaming pass.
+fn build_fused_tensor<T: Scalar>(
+    w: &Tensor<T>,
+    row_modes: &[usize],
+    col_modes: &[usize],
+) -> Result<Tensor<T>> {
+    let cols = w.ncols()?;
+    let d = row_modes.len();
+    let fused_modes: Vec<usize> = row_modes
+        .iter()
+        .zip(col_modes)
+        .map(|(&m, &n)| m * n)
+        .collect();
+    // Row-major strides of the row/column digit positions in the flat
+    // source offset i*cols + j.
+    let mut row_stride = vec![1usize; d];
+    let mut col_stride = vec![1usize; d];
+    for k in (0..d.saturating_sub(1)).rev() {
+        row_stride[k] = row_stride[k + 1] * row_modes[k + 1];
+        col_stride[k] = col_stride[k + 1] * col_modes[k + 1];
+    }
+    let contrib: Vec<Vec<usize>> = (0..d)
+        .map(|k| {
+            (0..fused_modes[k])
+                .map(|l| (l / col_modes[k]) * row_stride[k] * cols + (l % col_modes[k]) * col_stride[k])
+                .collect()
+        })
+        .collect();
+    let total: usize = fused_modes.iter().product();
+    let src = w.data();
+    let mut data = Vec::with_capacity(total);
+    let last = &contrib[d - 1];
+    let mut digits = vec![0usize; d.saturating_sub(1)];
+    // Base offset contributed by the (fixed within the inner loop) prefix
+    // digits; updated incrementally as the odometer advances.
+    let mut base = 0usize;
+    loop {
+        for &c in last {
+            data.push(src[base + c]);
+        }
+        // Advance the prefix odometer (digits over modes 0..d-1).
+        let mut k = d.wrapping_sub(2);
+        loop {
+            if k == usize::MAX {
+                // Carried past the most significant digit: done.
+                debug_assert_eq!(data.len(), total);
+                return Tensor::from_vec(fused_modes, data);
+            }
+            base -= contrib[k][digits[k]];
+            digits[k] += 1;
+            if digits[k] < fused_modes[k] {
+                base += contrib[k][digits[k]];
+                break;
+            }
+            digits[k] = 0;
+            k = k.wrapping_sub(1);
+        }
+    }
+}
+
 /// Splits a flat row-major index into per-mode digits (`i_1` first).
 pub fn decompose_index(mut index: usize, modes: &[usize]) -> Vec<usize> {
     let mut digits = vec![0usize; modes.len()];
@@ -406,6 +478,32 @@ mod tests {
         let tt = TtMatrix::from_dense(&w, &[2, 3], &[2, 2], Truncation::tolerance(1e-10)).unwrap();
         assert_eq!(tt.shape().ranks, vec![1, 1, 1], "Kronecker factor => rank 1");
         assert!(tt.to_dense().unwrap().approx_eq(&w, 1e-10));
+    }
+
+    #[test]
+    fn fused_tensor_build_matches_naive_gather() {
+        let mut rng = ChaCha8Rng::seed_from_u64(35);
+        // Asymmetric modes so row/column stride bugs can't cancel out.
+        let (row_modes, col_modes) = (vec![2usize, 3, 2], vec![3usize, 2, 4]);
+        let rows: usize = row_modes.iter().product();
+        let cols: usize = col_modes.iter().product();
+        let w: Tensor<f64> = init::uniform(&mut rng, vec![rows, cols], 1.0);
+        let fast = build_fused_tensor(&w, &row_modes, &col_modes).unwrap();
+        let d = row_modes.len();
+        let naive = Tensor::from_fn(fast.dims().to_vec(), |l| {
+            let mut i = 0usize;
+            let mut j = 0usize;
+            for k in 0..d {
+                i = i * row_modes[k] + l[k] / col_modes[k];
+                j = j * col_modes[k] + l[k] % col_modes[k];
+            }
+            w.data()[i * cols + j]
+        })
+        .unwrap();
+        assert_eq!(fast.data(), naive.data());
+        // Single-mode degenerate case: fused tensor is the flattened matrix.
+        let flat = build_fused_tensor(&w, &[rows], &[cols]).unwrap();
+        assert_eq!(flat.data(), w.data());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! generalizes, and is exercised by the ablation experiments.
 
 use crate::TtTensor;
+use tie_tensor::linalg::{matmul, truncated_svd_with, SvdMethod, Truncation};
 use tie_tensor::{Result, Scalar, Tensor, TensorError};
 
 use rand::Rng;
@@ -174,6 +175,64 @@ impl<T: Scalar> TrTensor<T> {
         let modes = self.mode_sizes();
         Tensor::from_fn(modes, |idx| self.get(idx).expect("index in range"))
     }
+
+    /// TR rounding: re-truncates the *interior* bond ranks `r_1 … r_{d-1}`
+    /// without densifying.
+    ///
+    /// Equivalent to [`TrTensor::rounded_with`] with [`SvdMethod::default`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates SVD convergence or shape errors.
+    pub fn rounded(&self, trunc: Truncation) -> Result<Self> {
+        self.rounded_with(trunc, SvdMethod::default())
+    }
+
+    /// [`TrTensor::rounded`] with explicit SVD algorithm selection.
+    ///
+    /// Sweeps once over the interior bonds: for each bond `k` the adjacent
+    /// cores are contracted into the `(r_{k-1}·n_k) × (n_{k+1}·r_{k+1})`
+    /// bond matrix, truncated with `trunc`, and split back (`U` left,
+    /// `S·Vᵀ` right). The ring-closure rank `r_0 = r_d` is left untouched —
+    /// unlike TT, a ring has no canonical orthogonal form, so this local
+    /// sweep is quasi-optimal rather than globally optimal: each bond's
+    /// truncation is exact for that bond given the current neighbours, and
+    /// exact rank deflation (e.g. zero-padded bonds) is always recovered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates SVD convergence or shape errors.
+    pub fn rounded_with(&self, trunc: Truncation, method: SvdMethod) -> Result<Self> {
+        let d = self.cores.len();
+        if d == 1 {
+            return Ok(self.clone());
+        }
+        let mut cores = self.cores.clone();
+        for k in 0..d - 1 {
+            let [l0, nl, bond] = [cores[k].dims()[0], cores[k].dims()[1], cores[k].dims()[2]];
+            let [_, nr, r1] = [
+                cores[k + 1].dims()[0],
+                cores[k + 1].dims()[1],
+                cores[k + 1].dims()[2],
+            ];
+            let left = cores[k].reshaped(vec![l0 * nl, bond])?;
+            let right = cores[k + 1].reshaped(vec![bond, nr * r1])?;
+            let merged = matmul(&left, &right)?;
+            let svd = truncated_svd_with(&merged, trunc, method)?;
+            let rnew = svd.s.len();
+            cores[k] = svd.u.reshaped(vec![l0, nl, rnew])?;
+            // Absorb diag(S) into the right factor.
+            let mut sv = svd.vt;
+            for i in 0..rnew {
+                let row = &mut sv.data_mut()[i * nr * r1..(i + 1) * nr * r1];
+                for v in row.iter_mut() {
+                    *v *= svd.s[i];
+                }
+            }
+            cores[k + 1] = sv.reshaped(vec![rnew, nr, r1])?;
+        }
+        TrTensor::new(cores)
+    }
 }
 
 impl<T: Scalar> From<TtTensor<T>> for TrTensor<T> {
@@ -235,6 +294,44 @@ mod tests {
         assert_eq!(tr.ranks(), vec![3, 2, 2, 3]);
         assert_eq!(tr.num_params(), 3 * 4 * 2 + 2 * 5 * 2 + 2 * 6 * 3);
         assert_eq!(tr.mode_sizes(), vec![4, 5, 6]);
+    }
+
+    #[test]
+    fn rounding_recovers_zero_padded_bonds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(54);
+        let tr = TrTensor::<f64>::random(&mut rng, &[3, 4, 2], &[2, 2, 2, 2], 1.0).unwrap();
+        let dense = tr.to_dense().unwrap();
+        // Inflate the interior bonds (r_1, r_2) from 2 to 5 with zeros: the
+        // represented tensor is unchanged but the ranks are redundant.
+        let pad = |c: &Tensor<f64>, r0: usize, r1: usize| {
+            let [c0, n, c1] = [c.dims()[0], c.dims()[1], c.dims()[2]];
+            Tensor::<f64>::from_fn(vec![r0, n, r1], |i| {
+                if i[0] < c0 && i[2] < c1 {
+                    c.get(&[i[0], i[1], i[2]]).unwrap()
+                } else {
+                    0.0
+                }
+            })
+            .unwrap()
+        };
+        let inflated = TrTensor::new(vec![
+            pad(&tr.cores()[0], 2, 5),
+            pad(&tr.cores()[1], 5, 5),
+            pad(&tr.cores()[2], 5, 2),
+        ])
+        .unwrap();
+        assert_eq!(inflated.ranks(), vec![2, 5, 5, 2]);
+        assert!(inflated.to_dense().unwrap().approx_eq(&dense, 1e-12));
+        let rounded = inflated.rounded(Truncation::tolerance(1e-10)).unwrap();
+        let r = rounded.ranks();
+        assert_eq!(r[0], 2, "ring-closure rank must be preserved");
+        assert!(r[1] <= 2 && r[2] <= 2, "padded bonds not deflated: {r:?}");
+        assert!(rounded.to_dense().unwrap().approx_eq(&dense, 1e-9));
+        // Pinning the Jacobi path gives the same deflation.
+        let jac = inflated
+            .rounded_with(Truncation::tolerance(1e-10), SvdMethod::Jacobi)
+            .unwrap();
+        assert!(jac.to_dense().unwrap().approx_eq(&dense, 1e-9));
     }
 
     #[test]

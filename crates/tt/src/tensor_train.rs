@@ -1,4 +1,4 @@
-use tie_tensor::linalg::{matmul, qr, truncated_svd, Truncation};
+use tie_tensor::linalg::{matmul, qr, truncated_svd_with, SvdMethod, Truncation};
 use tie_tensor::{Result, Scalar, Tensor, TensorError};
 
 use rand::Rng;
@@ -211,6 +211,17 @@ impl<T: Scalar> TtTensor<T> {
     ///
     /// Propagates SVD convergence or shape errors.
     pub fn rounded(&self, trunc: Truncation) -> Result<Self> {
+        self.rounded_with(trunc, SvdMethod::default())
+    }
+
+    /// [`TtTensor::rounded`] with explicit SVD algorithm selection for the
+    /// right-to-left truncation sweep (see
+    /// [`tie_tensor::linalg::truncated_svd_with`] for the `Auto` rule).
+    ///
+    /// # Errors
+    ///
+    /// Propagates SVD convergence or shape errors.
+    pub fn rounded_with(&self, trunc: Truncation, method: SvdMethod) -> Result<Self> {
         let d = self.ndim();
         if d == 1 {
             return Ok(self.clone());
@@ -236,7 +247,7 @@ impl<T: Scalar> TtTensor<T> {
         for k in (1..d).rev() {
             let [r0, n, r1] = [cores[k].dims()[0], cores[k].dims()[1], cores[k].dims()[2]];
             let unfolded = cores[k].reshaped(vec![r0, n * r1])?;
-            let svd = truncated_svd(&unfolded, trunc)?;
+            let svd = truncated_svd_with(&unfolded, trunc, method)?;
             let rnew = svd.s.len();
             cores[k] = svd.vt.reshaped(vec![rnew, n, r1])?;
             // Absorb U·diag(S) into the previous core.

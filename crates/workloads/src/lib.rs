@@ -11,17 +11,26 @@
 //!   property tests and robustness experiments,
 //! * [`factorize`] — automatic TT-layout planning (the paper picks its
 //!   mode factorizations by hand; this searches balanced candidates and
-//!   checks them against the SRAM budgets).
+//!   checks them against the SRAM budgets),
+//! * [`compile`] — end-to-end model compilation: dense weights → TT-SVD →
+//!   [`tie_core::CompactEngine`] registered in a serving
+//!   `EngineRegistry`, with compression-ratio and reconstruction-error
+//!   reporting against Table 4.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod benchmarks;
+pub mod compile;
 pub mod factorize;
 pub mod sparsity;
 pub mod sweep;
 pub mod vgg_conv;
 
 pub use benchmarks::{table4_benchmarks, Benchmark, Task};
+pub use compile::{
+    compile_dense_layer, compile_table4, synthetic_layer_weights, CompileOptions, CompiledLayer,
+    ErrorCheck, LayerCompileReport,
+};
 
 pub use tie_tensor::{Result, TensorError};

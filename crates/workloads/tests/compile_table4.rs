@@ -1,0 +1,138 @@
+//! Compile-path integration tests.
+//!
+//! The fast test exercises the full compile-to-registry path on a scaled-
+//! down layer so the default `cargo test` sweep covers the wiring. The
+//! `#[ignore]`d tests compile real Table 4 layers at paper scale — they
+//! need a release build to meet their wall-clock budgets and are run
+//! explicitly by `scripts/ci.sh` via `--release ... -- --ignored`.
+//!
+//! Budgets are wall-clock seconds per layer, overridable with
+//! `TIE_COMPILE_BUDGET_S` (default 9: the acceptance criterion is
+//! "single-digit seconds per layer on CI hardware").
+
+use tie_tensor::linalg::SvdMethod;
+use tie_workloads::{
+    compile_dense_layer, compile_table4, synthetic_layer_weights, table4_benchmarks,
+    CompileOptions, ErrorCheck,
+};
+
+fn budget_seconds() -> f64 {
+    std::env::var("TIE_COMPILE_BUDGET_S")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(9.0)
+}
+
+#[test]
+fn scaled_down_layer_compiles_into_registry() {
+    // Same 6-mode structure as VGG-FC6, shrunk to 64×216.
+    let shape = tie_tt::TtShape::uniform_rank(vec![2, 2, 2, 2, 2, 2], vec![2, 3, 2, 3, 2, 3], 4)
+        .expect("valid layout");
+    let w = synthetic_layer_weights(&shape, 1e-5, 3).unwrap();
+    let opts = CompileOptions {
+        error_check: ErrorCheck::Exact,
+        ..CompileOptions::default()
+    };
+    let compiled = compile_dense_layer("mini-fc", &w, &shape, None, &opts).unwrap();
+    assert!(compiled.report.rel_error.unwrap() < 1e-2);
+    let mut registry = tie_serve::EngineRegistry::new();
+    registry.insert("mini-fc", compiled.engine);
+    assert_eq!(registry.dims("mini-fc"), Some((64, 216)));
+}
+
+/// FC6 (4096×25088, the paper's largest FC layer) at paper ranks: must
+/// compile within the wall-clock budget and reproduce the Table 4
+/// compression ratio within 2%.
+#[test]
+#[ignore = "paper-scale: run via scripts/ci.sh with --release"]
+fn fc6_compiles_at_paper_scale_within_budget() {
+    let bench = table4_benchmarks()
+        .into_iter()
+        .find(|b| b.name == "VGG-FC6")
+        .expect("FC6 in Table 4");
+    let w = synthetic_layer_weights(&bench.shape, 1e-4, 100).unwrap();
+    let compiled = compile_dense_layer(
+        "VGG-FC6",
+        &w,
+        &bench.shape,
+        Some(bench.paper_cr),
+        &CompileOptions::default(),
+    )
+    .unwrap();
+    let r = &compiled.report;
+    assert!(
+        r.seconds <= budget_seconds(),
+        "FC6 compile took {:.2}s (budget {:.0}s)",
+        r.seconds,
+        budget_seconds()
+    );
+    assert!(
+        (r.compression_ratio - bench.paper_cr).abs() / bench.paper_cr < 0.02,
+        "compression ratio {:.0} vs paper {:.0}",
+        r.compression_ratio,
+        bench.paper_cr
+    );
+    // Planted rank-4 structure + 1e-4 noise: the rank-capped compile must
+    // sit near the noise floor, far below any rank-starved result.
+    let err = r.rel_error.expect("sampled error check");
+    assert!(err < 1e-2, "reconstruction error {err} above noise floor");
+}
+
+/// Every Table 4 layer compiles to a registered engine within budget.
+#[test]
+#[ignore = "paper-scale: run via scripts/ci.sh with --release"]
+fn all_table4_layers_compile_and_register() {
+    let (registry, reports) = compile_table4(&CompileOptions::default()).unwrap();
+    assert_eq!(registry.len(), 4);
+    for r in &reports {
+        assert!(
+            registry.dims(&r.name) == Some((r.rows, r.cols)),
+            "{} not registered with its dimensions",
+            r.name
+        );
+        assert!(
+            r.seconds <= budget_seconds(),
+            "{} took {:.2}s (budget {:.0}s)",
+            r.name,
+            r.seconds,
+            budget_seconds()
+        );
+        let paper = r.paper_cr.expect("Table 4 layers carry a paper CR");
+        assert!(
+            (r.compression_ratio - paper).abs() / paper < 0.02,
+            "{}: compression ratio {:.0} vs paper {:.0}",
+            r.name,
+            r.compression_ratio,
+            paper
+        );
+        assert!(r.rel_error.expect("sampled check") < 1e-2, "{}", r.name);
+    }
+}
+
+/// The randomized compile path is seeded: two runs with the same options
+/// produce bit-identical engines (paper-scale determinism is asserted in
+/// the unit/property suites; this uses one mid-size layer).
+#[test]
+#[ignore = "paper-scale: run via scripts/ci.sh with --release"]
+fn paper_scale_compile_is_deterministic() {
+    let bench = table4_benchmarks()
+        .into_iter()
+        .find(|b| b.name == "LSTM-UCF11")
+        .expect("LSTM-UCF11 in Table 4");
+    let w = synthetic_layer_weights(&bench.shape, 1e-4, 102).unwrap();
+    let opts = CompileOptions {
+        method: SvdMethod::default(),
+        error_check: ErrorCheck::Skip,
+    };
+    let a = compile_dense_layer("l", &w, &bench.shape, None, &opts).unwrap();
+    let b = compile_dense_layer("l", &w, &bench.shape, None, &opts).unwrap();
+    for (ca, cb) in a
+        .engine
+        .matrix()
+        .cores()
+        .iter()
+        .zip(b.engine.matrix().cores())
+    {
+        assert_eq!(ca.data(), cb.data());
+    }
+}

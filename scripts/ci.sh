@@ -35,4 +35,17 @@ for suite in differential golden properties serve_stress; do
   cargo test -q --test "${suite}" "${CARGO_FLAGS[@]}"
 done
 
+# Compile-path acceptance (PR 3, DESIGN.md §10.5): VGG-FC6 at paper scale
+# must compile into a registered engine within the wall-clock budget and
+# reproduce the Table 4 compression ratio. Needs --release — the budget is
+# real time — and runs at both thread settings like everything else.
+TIE_COMPILE_BUDGET_S="${TIE_COMPILE_BUDGET_S:-9}"
+export TIE_COMPILE_BUDGET_S
+echo "== tier-2: paper-scale FC6 compile (budget ${TIE_COMPILE_BUDGET_S}s), TIE_THREADS=1 =="
+TIE_THREADS=1 cargo test -q --release -p tie-workloads --test compile_table4 \
+  "${CARGO_FLAGS[@]}" fc6_compiles_at_paper_scale_within_budget -- --ignored
+echo "== tier-2: paper-scale FC6 compile (budget ${TIE_COMPILE_BUDGET_S}s), default thread count =="
+cargo test -q --release -p tie-workloads --test compile_table4 \
+  "${CARGO_FLAGS[@]}" fc6_compiles_at_paper_scale_within_budget -- --ignored
+
 echo "ci.sh: all green"

@@ -481,6 +481,120 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Model-compilation suite: the randomized truncated SVD and the
+// SvdMethod-parameterized TT-SVD pipeline behind `TtMatrix::from_dense` /
+// the workloads compiler. Error bounds are checked against the optimal
+// dropped-tail mass; determinism is checked bit-for-bit across thread
+// counts.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The sketch-path randomized SVD lands within the optimal
+    /// dropped-singular-mass bound (with 15% slack) of the exact Jacobi
+    /// truncation on low-rank-plus-noise matrices, both orientations.
+    #[test]
+    fn randomized_svd_within_dropped_mass_bound(
+        m in 24usize..56,
+        n in 24usize..56,
+        rank in 3usize..6,
+        seed in 0u64..1000,
+    ) {
+        use tie::tensor::linalg::{randomized_svd, RsvdParams};
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let u: Tensor<f64> = init::uniform(&mut rng, vec![m, rank], 1.0);
+        let v: Tensor<f64> = init::uniform(&mut rng, vec![rank, n], 1.0);
+        let e: Tensor<f64> = init::uniform(&mut rng, vec![m, n], 1e-3);
+        let a = linalg::matmul(&u, &v).unwrap().add(&e).unwrap();
+        let exact = linalg::svd(&a).unwrap();
+        let f = randomized_svd(&a, Truncation::rank(rank), RsvdParams::seeded(seed)).unwrap();
+        prop_assert_eq!(f.s.len(), rank);
+        let err = f.reconstruct().unwrap().sub(&a).unwrap().frobenius_norm();
+        let bound: f64 = exact.s[rank..].iter().map(|s| s * s).sum::<f64>().sqrt();
+        prop_assert!(
+            err <= bound * 1.15 + 1e-12,
+            "rSVD error {} vs optimal dropped mass {}", err, bound
+        );
+    }
+
+    /// Rank-capped relative-tolerance TT-SVD honours the Oseledets error
+    /// budget under every `SvdMethod` when the cap matches the planted
+    /// structure, and the cap itself is always respected.
+    #[test]
+    fn tt_svd_error_budget_holds_under_every_method(
+        seed in 0u64..500,
+    ) {
+        use tie::tensor::linalg::{RsvdParams, SvdMethod};
+        use tie::tt::decompose::tt_svd_relative_with;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let base = TtTensor::<f64>::random(&mut rng, &[4, 5, 3, 4], &[1, 2, 2, 2, 1], 1.0)
+            .unwrap()
+            .to_dense()
+            .unwrap();
+        let noise: Tensor<f64> = init::uniform(&mut rng, vec![4, 5, 3, 4], 1e-5);
+        let a = base.add(&noise).unwrap();
+        for method in [
+            SvdMethod::Jacobi,
+            SvdMethod::auto_seeded(seed),
+            SvdMethod::Randomized(RsvdParams::seeded(seed)),
+        ] {
+            let tt = tt_svd_relative_with(&a, 1e-2, Some(2), method).unwrap();
+            prop_assert!(tt.ranks().iter().all(|&r| r <= 2), "{:?}", method);
+            let err = tt.to_dense().unwrap().relative_error(&a).unwrap();
+            prop_assert!(err <= 1e-2, "method {:?}: rel error {}", method, err);
+        }
+    }
+}
+
+/// Compilation determinism (deterministic test, sized to cross the thread
+/// spawn threshold): with a pinned randomized method, TT-SVD cores are
+/// bit-identical at any `TIE_THREADS` setting, and the seed is load-
+/// bearing — a different seed produces different cores.
+#[test]
+fn tt_svd_randomized_bit_identical_across_thread_counts() {
+    use tie::tensor::linalg::{RsvdParams, SvdMethod};
+    use tie::tt::decompose::tt_svd_with;
+    let mut rng = ChaCha8Rng::seed_from_u64(9300);
+    // 32×32×32: the first unfolding is 32×1024, whose ℓ = 12 sketch GEMM
+    // (32·1024·12 ≈ 393k multiply-adds) exceeds PARALLEL_MIN_WORK, so
+    // thread counts > 1 genuinely partition the kernels here.
+    let a: Tensor<f64> = init::uniform(&mut rng, vec![32, 32, 32], 1.0);
+    assert!(32 * 1024 * 12 >= parallel::PARALLEL_MIN_WORK);
+    let method = SvdMethod::Randomized(RsvdParams::seeded(7));
+    let reference = tt_svd_with(&a, Truncation::rank(4), method).unwrap();
+    for threads in [1usize, 2, 4] {
+        let prev = parallel::set_num_threads(threads);
+        let got = tt_svd_with(&a, Truncation::rank(4), method).unwrap();
+        parallel::set_num_threads(prev);
+        for (c_got, c_ref) in got.cores().iter().zip(reference.cores()) {
+            assert!(
+                c_got
+                    .data()
+                    .iter()
+                    .zip(c_ref.data())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "cores differ at threads={threads}"
+            );
+        }
+    }
+    let other = tt_svd_with(
+        &a,
+        Truncation::rank(4),
+        SvdMethod::Randomized(RsvdParams::seeded(8)),
+    )
+    .unwrap();
+    assert!(
+        other
+            .cores()
+            .iter()
+            .zip(reference.cores())
+            .any(|(co, cr)| co.data() != cr.data()),
+        "different sketch seeds must produce different factors"
+    );
+}
+
 /// Deterministic, big enough to actually cross the spawn threshold
 /// (proptest shapes stay below it): 80·64·48 = 245 760 multiply-adds ≥
 /// `PARALLEL_MIN_WORK`, so thread counts > 1 genuinely split rows here —
