@@ -2,7 +2,7 @@
 
 use crate::plan::InferencePlan;
 use crate::transform::{
-    assemble_output_gather, prepare_input_scatter, unfold_core, TransformMap,
+    assemble_output_gather, copy_gather_batched, prepare_input_scatter, unfold_core, TransformMap,
 };
 use std::sync::Mutex;
 use tie_tensor::linalg::gemm_into;
@@ -54,8 +54,12 @@ pub struct CompactEngine<T: Scalar> {
     /// entry `o` is the flat `V_h` offset whose element lands at flat
     /// `V'_h` offset `o`.
     stage_gathers: Vec<Vec<usize>>,
-    /// Source-indexed scatter for the input layout (Eqn. (8)).
-    prep_scatter: Vec<usize>,
+    /// Destination-indexed gather for the input layout (Eqn. (8)): entry
+    /// `dst` is the dense-input index whose element lands at flat `X'`
+    /// offset `dst`. Inverted from [`prepare_input_scatter`] at
+    /// construction so the hot path's copy is destination-contiguous and
+    /// can split across the pool like the stage gathers.
+    prep_gather: Vec<usize>,
     /// Destination-indexed gather for the output layout.
     out_gather: Vec<usize>,
     /// Ping-pong scratch buffers, grown on demand and reused across calls.
@@ -88,7 +92,7 @@ impl<T: Scalar> Clone for CompactEngine<T> {
             gtildes: self.gtildes.clone(),
             transforms: self.transforms.clone(),
             stage_gathers: self.stage_gathers.clone(),
-            prep_scatter: self.prep_scatter.clone(),
+            prep_gather: self.prep_gather.clone(),
             out_gather: self.out_gather.clone(),
             // Scratch is per-engine state, not semantic state: the clone
             // starts with an empty workspace and grows it on first use.
@@ -141,7 +145,14 @@ impl<T: Scalar> CompactEngine<T> {
             .map(|h| TransformMap::new(matrix.shape(), h))
             .collect::<Result<Vec<_>>>()?;
         let stage_gathers = transforms.iter().map(TransformMap::gather).collect();
+        // The input-layout bijection is published source-indexed (entry j =
+        // destination of dense element j); invert it once so the hot path
+        // writes destination-contiguous blocks (parallelizable gather).
         let prep_scatter = prepare_input_scatter(matrix.shape());
+        let mut prep_gather = vec![0usize; prep_scatter.len()];
+        for (j, &dst) in prep_scatter.iter().enumerate() {
+            prep_gather[dst] = j;
+        }
         let out_gather = assemble_output_gather(matrix.shape());
         Ok(CompactEngine {
             matrix,
@@ -149,7 +160,7 @@ impl<T: Scalar> CompactEngine<T> {
             gtildes,
             transforms,
             stage_gathers,
-            prep_scatter,
+            prep_gather,
             out_gather,
             workspace: Mutex::new(Workspace::default()),
         })
@@ -340,10 +351,9 @@ impl<T: Scalar> CompactEngine<T> {
             ws.pong.resize(peak, T::ZERO);
         }
         let (mut cur, mut nxt) = (&mut ws.ping, &mut ws.pong);
-        // Prepare the input (Eqn. (8)): pure block copies via the scatter.
-        for (j, &dst) in self.prep_scatter.iter().enumerate() {
-            cur[dst * b..(dst + 1) * b].copy_from_slice(&xs[j * b..(j + 1) * b]);
-        }
+        // Prepare the input (Eqn. (8)): pure block copies via the inverted
+        // gather, destination rows split across the pool for large layers.
+        copy_gather_batched(&self.prep_gather, xs, cur, b);
         let prepared_input = if capture {
             let n = shape.num_cols();
             let n_d = shape.col_modes[d - 1];
@@ -381,16 +391,12 @@ impl<T: Scalar> CompactEngine<T> {
             if h >= 2 {
                 let gather = &self.stage_gathers[idx];
                 debug_assert_eq!(self.transforms[idx].h, h);
-                for (o, &src) in gather.iter().enumerate() {
-                    nxt[o * b..(o + 1) * b].copy_from_slice(&cur[src * b..(src + 1) * b]);
-                }
+                copy_gather_batched(gather, cur, nxt, b);
                 std::mem::swap(&mut cur, &mut nxt);
             }
         }
         // Gather the output rows straight into the caller's buffer.
-        for (i, &src) in self.out_gather.iter().enumerate() {
-            ys[i * b..(i + 1) * b].copy_from_slice(&cur[src * b..(src + 1) * b]);
-        }
+        copy_gather_batched(&self.out_gather, cur, ys, b);
         let trace = capture.then(|| StageTrace {
             prepared_input: prepared_input.expect("captured above"),
             stage_outputs,

@@ -35,8 +35,36 @@
 //! q' = J'·(m_h · MP_{h+1}) + (i_h + m_h · I)
 //! ```
 
-use tie_tensor::{Result, Scalar, Tensor, TensorError};
+use tie_tensor::{parallel, Result, Scalar, Tensor, TensorError};
 use tie_tt::TtShape;
+
+/// Batched destination-indexed permutation copy, the one memory-movement
+/// primitive behind every transform application: row `o` of `dst` (a
+/// contiguous `b`-element batch block) is copied from row `gather[o]` of
+/// `src`.
+///
+/// Large moves split the **destination** rows across the persistent pool
+/// (`tie_tensor::pool` via `for_each_row_slab`); each output block is
+/// written by exactly one slab and reads are side-effect-free, so the
+/// result is bit-identical at any thread count. Below
+/// [`parallel::PARALLEL_MIN_COPY`] moved elements the copy stays on the
+/// calling thread. Allocation-free: everything lives in caller buffers.
+pub(crate) fn copy_gather_batched<T: Scalar>(
+    gather: &[usize],
+    src: &[T],
+    dst: &mut [T],
+    b: usize,
+) {
+    let rows = gather.len();
+    debug_assert!(dst.len() >= rows * b);
+    let threads = parallel::threads_for_copy(rows * b, rows);
+    parallel::for_each_row_slab(&mut dst[..rows * b], rows, b, threads, |o0, slab| {
+        for (r, out) in slab.chunks_mut(b).enumerate() {
+            let s = gather[o0 + r];
+            out.copy_from_slice(&src[s * b..(s + 1) * b]);
+        }
+    });
+}
 
 /// One inter-stage transform `V_h → V'_h` as a reusable index map.
 ///
@@ -154,6 +182,22 @@ impl TransformMap {
         g
     }
 
+    /// Inverse of [`TransformMap::gather`]: entry `s` (flat offset into
+    /// `V_h`) holds the flat destination offset into `V'_h` where the
+    /// element at `s` lands. Since the transform is a bijection, this is
+    /// the gather vector's permutation inverse; it lets the adjoint
+    /// ([`TransformMap::apply_inverse_batched`]) run as a
+    /// destination-indexed — hence parallelizable — copy too.
+    #[must_use]
+    pub fn gather_inverse(&self) -> Vec<usize> {
+        let g = self.gather();
+        let mut inv = vec![0usize; g.len()];
+        for (o, &src) in g.iter().enumerate() {
+            inv[src] = o;
+        }
+        inv
+    }
+
     /// Applies the transform to a materialized `V_h`.
     ///
     /// # Errors
@@ -197,10 +241,7 @@ impl TransformMap {
         }
         let gather = self.gather();
         let mut out = Tensor::zeros(vec![self.rows_out, self.cols_out * b]);
-        for (o, &src) in gather.iter().enumerate() {
-            out.data_mut()[o * b..(o + 1) * b]
-                .copy_from_slice(&v.data()[src * b..(src + 1) * b]);
-        }
+        copy_gather_batched(&gather, v.data(), out.data_mut(), b);
         Ok(out)
     }
 
@@ -218,12 +259,13 @@ impl TransformMap {
                 right: vec![self.rows_out, self.cols_out * b],
             });
         }
-        let gather = self.gather();
+        // The adjoint's natural loop is a scatter (destination rows written
+        // in source order); routing it through the inverse permutation
+        // turns it into a destination-indexed gather so the same parallel
+        // primitive applies.
+        let gather_inv = self.gather_inverse();
         let mut out = Tensor::zeros(vec![self.rows_in, self.cols_in * b]);
-        for (o, &src) in gather.iter().enumerate() {
-            out.data_mut()[src * b..(src + 1) * b]
-                .copy_from_slice(&v.data()[o * b..(o + 1) * b]);
-        }
+        copy_gather_batched(&gather_inv, v.data(), out.data_mut(), b);
         Ok(out)
     }
 

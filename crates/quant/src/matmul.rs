@@ -90,7 +90,10 @@ pub fn qmatmul(
     // a row of accumulators advances in lock-step, each seeing its products
     // in the same order as the naive per-output loop — bit-identical codes
     // and reports — while B's rows stream contiguously (cache-friendly)
-    // and output rows split across threads like the float kernels.
+    // and output rows split across the persistent pool (via
+    // `for_each_row_slab`) like the float kernels — pool stealing only
+    // moves whole row slabs between workers, never the MAC order inside
+    // one, so saturation counts stay bit-identical at any pool size.
     let acc_saturations = AtomicU64::new(0);
     let out_saturations = AtomicU64::new(0);
     let threads = parallel::threads_for(m * ka * n, m);

@@ -25,7 +25,14 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Worker threads executing batches. `0` means auto: resolve from
     /// [`tie_tensor::parallel::num_threads`] (which honours the
-    /// `TIE_THREADS` environment variable), capped at 8.
+    /// `set_num_threads` override and the `TIE_THREADS` environment
+    /// variable), capped at 8.
+    ///
+    /// Serve workers are plain threads, distinct from the kernel pool in
+    /// `tie_tensor::pool`: each worker's `matvec_batch_into` dispatches
+    /// its stage GEMMs and transforms onto that shared pool, which is
+    /// nesting-safe under this fan-out (see DESIGN.md §11.3 and
+    /// `tests/pool_nested_serve.rs`).
     pub workers: usize,
 }
 

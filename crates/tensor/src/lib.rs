@@ -32,11 +32,15 @@
 //! # }
 //! ```
 
-// `deny` rather than `forbid`: the one sanctioned exception is the
+// `deny` rather than `forbid`: two sanctioned exceptions. (1) The
 // `#[target_feature]` SIMD multiversioning in `linalg` (runtime-dispatched
-// AVX instantiation of the blocked GEMM body). Those functions contain no
-// raw-pointer code — the `unsafe` is solely the target-feature calling
-// contract, discharged by `is_x86_feature_detected!` at the call site.
+// AVX instantiation of the blocked GEMM body) — no raw-pointer code, the
+// `unsafe` is solely the target-feature calling contract, discharged by
+// `is_x86_feature_detected!` at the call site. (2) The lifetime-erased job
+// handoff and disjoint slab carving in `pool` — each `unsafe` block there
+// carries a SAFETY comment tying it to the dispatch protocol (a dispatcher
+// never returns while a worker can still reach its job frame, and distinct
+// slab indices map to non-overlapping sub-slices).
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -48,6 +52,7 @@ mod tensor;
 pub mod init;
 pub mod linalg;
 pub mod parallel;
+pub mod pool;
 
 pub use error::TensorError;
 pub use scalar::Scalar;

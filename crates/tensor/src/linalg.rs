@@ -172,6 +172,43 @@ fn gemm_nn_dispatch<T: Scalar>(m: usize, k: usize, n: usize, a: &[T], b: &[T], c
     });
 }
 
+/// [`gemm_into`] over freshly spawned `std::thread::scope` workers instead
+/// of the persistent pool — same slab partition, same blocked kernel, same
+/// bits. Kept solely as the dispatch-latency baseline for the pool benches
+/// and the tier-2 regression gate; production code uses [`gemm_into`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] as [`gemm_into`] does.
+#[doc(hidden)]
+pub fn gemm_into_scoped<T: Scalar>(
+    a: &[T],
+    b: &[T],
+    c: &mut [T],
+    m: usize,
+    k: usize,
+    n: usize,
+) -> Result<()> {
+    if a.len() != m * k || b.len() != k * n || c.len() != m * n {
+        return Err(TensorError::InvalidArgument {
+            message: format!(
+                "gemm_into_scoped: buffer lengths (a={}, b={}, c={}) do not match {m}x{k} · {k}x{n}",
+                a.len(),
+                b.len(),
+                c.len()
+            ),
+        });
+    }
+    c.fill(T::ZERO);
+    let threads = parallel::threads_for(m * k * n, m);
+    parallel::for_each_row_slab_scoped(c, m, n, threads, |row0, c_slab| {
+        let rows = c_slab.len() / n.max(1);
+        let a_slab = &a[row0 * k..(row0 + rows) * k];
+        gemm_nn_block(rows, k, n, a_slab, b, c_slab);
+    });
+    Ok(())
+}
+
 /// Cache-blocked `C += A · B` on one row slab. Ascending `k0`/`kk` keeps
 /// each output's accumulation order identical to the naive kernel.
 ///
@@ -543,27 +580,47 @@ const GRAM_BLOCK_K: usize = 512;
 /// reused from cache across all `m²/2` pairwise dot products — the naive
 /// per-pair dot would stream `A` from memory `m` times. Only the lower
 /// triangle is computed; the upper is mirrored, so `G` is exactly
-/// symmetric. Serial and accumulated in ascending-`k` block order, hence
-/// bit-deterministic at any `TIE_THREADS` setting.
+/// symmetric.
+///
+/// Large problems split the output rows into slabs on the persistent pool,
+/// oversubscribed 4× relative to the thread count: row `i` of the lower
+/// triangle costs `i + 1` dot products, so equal-row slabs would be badly
+/// imbalanced — small slabs let the pool's claim counter rebalance the
+/// triangle dynamically. Every element `G[i][j]` still accumulates its
+/// column blocks in ascending-`k` order inside exactly one slab, hence
+/// bit-deterministic at any `TIE_THREADS` setting (and identical to the
+/// serial path).
 fn gram_nt<T: Scalar>(a: &Tensor<T>) -> Result<Tensor<T>> {
     let (m, n) = (a.nrows()?, a.ncols()?);
     let ad = a.data();
     let mut g = Tensor::zeros(vec![m, m]);
     let gd = g.data_mut();
-    for k0 in (0..n).step_by(GRAM_BLOCK_K) {
-        let k1 = (k0 + GRAM_BLOCK_K).min(n);
-        for i in 0..m {
-            let arow = &ad[i * n + k0..i * n + k1];
-            for j in 0..=i {
-                let brow = &ad[j * n + k0..j * n + k1];
-                let mut acc = T::ZERO;
-                for (&x, &y) in arow.iter().zip(brow) {
-                    acc += x * y;
+    let work = m.saturating_mul(m).saturating_mul(n) / 2;
+    let threads = parallel::threads_for(work, m);
+    let slab_rows = if threads <= 1 {
+        m.max(1)
+    } else {
+        m.div_ceil(threads * 4).max(1)
+    };
+    crate::pool::for_each_slab(gd, slab_rows * m, |slab_idx, g_slab| {
+        let i0 = slab_idx * slab_rows;
+        let rows = g_slab.len() / m.max(1);
+        for k0 in (0..n).step_by(GRAM_BLOCK_K) {
+            let k1 = (k0 + GRAM_BLOCK_K).min(n);
+            for r in 0..rows {
+                let i = i0 + r;
+                let arow = &ad[i * n + k0..i * n + k1];
+                for j in 0..=i {
+                    let brow = &ad[j * n + k0..j * n + k1];
+                    let mut acc = T::ZERO;
+                    for (&x, &y) in arow.iter().zip(brow) {
+                        acc += x * y;
+                    }
+                    g_slab[r * m + j] += acc;
                 }
-                gd[i * m + j] += acc;
             }
         }
-    }
+    });
     for i in 0..m {
         for j in i + 1..m {
             gd[i * m + j] = gd[j * m + i];
@@ -592,6 +649,12 @@ pub struct Qr<T: Scalar> {
 /// thrashes the cache on tall-skinny panels — the randomized-SVD hot
 /// path). Per output element the accumulation order over `t` is
 /// unchanged, so results are bit-identical to the per-column form.
+///
+/// Large panels parallelize on the pool with the partition chosen per
+/// pass to keep determinism free: pass 1 splits the **columns** (each
+/// `dots[c]` sums over `t` in ascending order within one slab — exactly
+/// the serial order), pass 2 splits the **rows** (each output element is
+/// written once). Results are bit-identical at any thread count.
 fn apply_reflector<T: Scalar>(
     md: &mut [T],
     cn: usize,
@@ -604,21 +667,41 @@ fn apply_reflector<T: Scalar>(
     let width = cn - c0;
     let dots = &mut dots[..width];
     dots.fill(T::ZERO);
-    for (t, &vi) in v.iter().enumerate() {
-        let row = &md[(j + t) * cn + c0..(j + t) * cn + cn];
-        for (d, &x) in dots.iter_mut().zip(row) {
-            *d += vi * x;
-        }
-    }
+    let work = v.len().saturating_mul(width);
+    let md_ro: &[T] = md;
+    parallel::for_each_row_slab(
+        dots,
+        width,
+        1,
+        parallel::threads_for(work, width),
+        |col0, dslab| {
+            for (t, &vi) in v.iter().enumerate() {
+                let base = (j + t) * cn + c0 + col0;
+                let row = &md_ro[base..base + dslab.len()];
+                for (d, &x) in dslab.iter_mut().zip(row) {
+                    *d += vi * x;
+                }
+            }
+        },
+    );
     for d in dots.iter_mut() {
         *d = (T::ONE + T::ONE) * *d / vnorm2;
     }
-    for (t, &vi) in v.iter().enumerate() {
-        let row = &mut md[(j + t) * cn + c0..(j + t) * cn + cn];
-        for (x, &d) in row.iter_mut().zip(dots.iter()) {
-            *x -= d * vi;
-        }
-    }
+    let panel = &mut md[j * cn..(j + v.len()) * cn];
+    parallel::for_each_row_slab(
+        panel,
+        v.len(),
+        cn,
+        parallel::threads_for(work, v.len()),
+        |t0, pslab| {
+            for (r, row) in pslab.chunks_mut(cn).enumerate() {
+                let vi = v[t0 + r];
+                for (x, &d) in row[c0..].iter_mut().zip(dots.iter()) {
+                    *x -= d * vi;
+                }
+            }
+        },
+    );
 }
 
 /// Thin Householder QR factorization.

@@ -1,26 +1,52 @@
 //! Thread-count control and row-partitioned dispatch for the dense kernels.
 //!
 //! The blocked kernels in [`crate::linalg`] split their output rows across
-//! `std::thread::scope` workers once a problem is large enough to amortize
-//! thread spawn/join. The worker count is resolved, in order, from:
+//! the persistent worker pool in [`crate::pool`] once a problem is large
+//! enough to amortize dispatch. The worker count is resolved, in order,
+//! from:
 //!
 //! 1. a process-wide runtime override ([`set_num_threads`], used by tests
 //!    to pin determinism checks to specific counts),
 //! 2. the `TIE_THREADS` environment variable (parsed once),
 //! 3. [`std::thread::available_parallelism`].
 //!
-//! Small problems never spawn: work below [`PARALLEL_MIN_WORK`] scalar
+//! # Precedence and the live pool
+//!
+//! The pool never caches a thread count: [`num_threads`] is re-resolved on
+//! **every** dispatch, and the resolved value decides how many slabs the
+//! work is cut into. So a runtime override deterministically wins over a
+//! pool whose workers were spawned under a different `TIE_THREADS` — a
+//! pool grown to 8 workers dispatched after `set_num_threads(2)` produces
+//! exactly 2 slabs (bit-identical to a fresh 2-thread process); the six
+//! idle workers never receive work. Raising the count mid-process likewise
+//! takes effect on the next dispatch (the pool lazily spawns the missing
+//! workers). Clearing the override (`set_num_threads(0)`) falls back to
+//! `TIE_THREADS`, which is parsed once per process.
+//!
+//! Small problems never dispatch: work below [`PARALLEL_MIN_WORK`] scalar
 //! multiply-adds stays on the calling thread regardless of the configured
-//! count, which keeps the compact engine's many tiny stage products on the
-//! fast path.
+//! count. With the persistent pool, warm dispatch costs on the order of a
+//! microsecond instead of the tens of microseconds a `std::thread::scope`
+//! spawn/join cost, so the threshold sits 8x lower than the scoped-spawn
+//! era (`1 << 17`) and mid-size compact-scheme stage GEMMs now
+//! parallelize. Pure copy work (the batched Transform permutations) uses
+//! the separate, element-count-based [`PARALLEL_MIN_COPY`] threshold.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Minimum number of scalar multiply-adds (`m·k·n` for a GEMM) before a
-/// kernel considers splitting across threads. Below this, spawn/join costs
-/// more than the compute.
-pub const PARALLEL_MIN_WORK: usize = 1 << 17;
+/// kernel considers splitting across threads. Below this, even warm-pool
+/// dispatch costs more than the compute. Re-tuned from `1 << 17` when
+/// per-call `std::thread::scope` spawning was replaced by [`crate::pool`].
+pub const PARALLEL_MIN_WORK: usize = 1 << 14;
+
+/// Minimum number of **elements moved** before a pure-copy kernel (the
+/// batched gather/scatter permutations in `tie-core`) splits across
+/// threads. Copies do ~one load+store per element — far less arithmetic
+/// per element than a GEMM row — so the bar is higher than
+/// [`PARALLEL_MIN_WORK`].
+pub const PARALLEL_MIN_COPY: usize = 1 << 15;
 
 /// Runtime override; `0` means "not set" (fall back to env / hardware).
 static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -43,7 +69,8 @@ pub fn available_parallelism() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
-/// Resolved worker count for the dense kernels (≥ 1).
+/// Resolved worker count for the dense kernels (≥ 1). Re-evaluated on
+/// every dispatch; see the module docs for precedence over a live pool.
 #[must_use]
 pub fn num_threads() -> usize {
     let o = OVERRIDE.load(Ordering::Relaxed);
@@ -60,6 +87,11 @@ pub fn num_threads() -> usize {
 /// Overrides the worker count for this process; `0` clears the override
 /// (back to `TIE_THREADS` / hardware). Returns the previous override
 /// (`0` if none), so tests can restore it.
+///
+/// Takes effect on the **next** dispatch: the persistent pool re-resolves
+/// the width per call, so an override set while the pool is warm still
+/// deterministically bounds every subsequent kernel (the pool's spawned
+/// workers are an upper bound on concurrency, never a floor).
 pub fn set_num_threads(n: usize) -> usize {
     OVERRIDE.swap(n, Ordering::Relaxed)
 }
@@ -75,13 +107,55 @@ pub fn threads_for(work: usize, rows: usize) -> usize {
     num_threads().min(rows.max(1))
 }
 
-/// Runs `f` over `buf` split into `threads` near-equal row slabs.
+/// Worker count for a pure-copy kernel moving `elems` elements spread over
+/// `rows` independently movable rows: 1 below [`PARALLEL_MIN_COPY`],
+/// otherwise the configured count capped by the row count.
+#[must_use]
+pub fn threads_for_copy(elems: usize, rows: usize) -> usize {
+    if elems < PARALLEL_MIN_COPY {
+        return 1;
+    }
+    num_threads().min(rows.max(1))
+}
+
+/// Runs `f` over `buf` split into `threads` near-equal row slabs on the
+/// persistent pool.
 ///
 /// `buf` holds `rows` rows of `row_len` elements; each invocation gets the
 /// global index of its first row and the mutable slab. With one thread (or
-/// one slab) this calls `f` inline without spawning.
+/// one slab) this calls `f` inline without dispatching. Slab boundaries
+/// depend only on `(rows, threads)` — never on which thread runs a slab —
+/// and every output element is produced by exactly one invocation, so
+/// results are bit-identical for any pool size and identical to
+/// [`for_each_row_slab_scoped`].
 pub fn for_each_row_slab<T, F>(buf: &mut [T], rows: usize, row_len: usize, threads: usize, f: F)
 where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    debug_assert_eq!(buf.len(), rows * row_len);
+    let slab_rows = rows.div_ceil(threads.max(1)).max(1);
+    if threads <= 1 || slab_rows >= rows {
+        f(0, buf);
+        return;
+    }
+    crate::pool::for_each_slab(buf, slab_rows * row_len, |slab_idx, slab| {
+        f(slab_idx * slab_rows, slab);
+    });
+}
+
+/// The pre-pool implementation of [`for_each_row_slab`]: identical slab
+/// partition, but workers are freshly spawned per call via
+/// `std::thread::scope`. Kept as the dispatch-latency baseline for the
+/// pool benches and the tier-2 regression gate — not used by any kernel.
+#[doc(hidden)]
+pub fn for_each_row_slab_scoped<T, F>(
+    buf: &mut [T],
+    rows: usize,
+    row_len: usize,
+    threads: usize,
+    f: F,
+) where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
@@ -121,6 +195,9 @@ mod tests {
         assert_eq!(threads_for(PARALLEL_MIN_WORK, 1024), 8);
         // Never more threads than rows.
         assert_eq!(threads_for(PARALLEL_MIN_WORK, 2), 2);
+        // Copy threshold is element-based and independent.
+        assert_eq!(threads_for_copy(PARALLEL_MIN_COPY - 1, 1024), 1);
+        assert_eq!(threads_for_copy(PARALLEL_MIN_COPY, 1024), 8);
         set_num_threads(prev);
     }
 
@@ -143,11 +220,60 @@ mod tests {
     }
 
     #[test]
+    fn pooled_and_scoped_partitions_are_identical() {
+        let rows = 37;
+        let row_len = 5;
+        for threads in [2usize, 3, 8] {
+            let mut pooled = vec![0u32; rows * row_len];
+            let mut scoped = vec![0u32; rows * row_len];
+            let fill = |row0: usize, slab: &mut [u32]| {
+                for (r, row) in slab.chunks_mut(row_len).enumerate() {
+                    for (c, v) in row.iter_mut().enumerate() {
+                        *v = ((row0 + r) * 1000 + c) as u32;
+                    }
+                }
+            };
+            for_each_row_slab(&mut pooled, rows, row_len, threads, fill);
+            for_each_row_slab_scoped(&mut scoped, rows, row_len, threads, fill);
+            assert_eq!(pooled, scoped, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn inline_path_used_for_single_thread() {
         let mut buf = vec![0u8; 6];
         for_each_row_slab(&mut buf, 2, 3, 1, |row0, slab| {
             assert_eq!(row0, 0);
             assert_eq!(slab.len(), 6);
         });
+    }
+
+    #[test]
+    fn override_flips_win_over_live_pool_mid_process() {
+        // Warm the pool wide, then force a narrow override: the dispatch
+        // width (observable as the set of distinct slab start rows) must
+        // follow the override immediately, not the pool size.
+        let prev = set_num_threads(0);
+        crate::pool::prewarm(8);
+        let rows = 64;
+        let distinct_slabs = |threads: usize| {
+            let mut buf = vec![0u8; rows];
+            let starts = std::sync::Mutex::new(Vec::new());
+            for_each_row_slab(&mut buf, rows, 1, threads, |row0, _slab| {
+                starts.lock().unwrap().push(row0);
+            });
+            let mut s = starts.into_inner().unwrap();
+            s.sort_unstable();
+            s
+        };
+        set_num_threads(8);
+        assert_eq!(distinct_slabs(super::num_threads().min(rows)).len(), 8);
+        // Narrow mid-process: 8 spawned workers must NOT widen this.
+        set_num_threads(2);
+        assert_eq!(distinct_slabs(super::num_threads().min(rows)).len(), 2);
+        // Widen again on the very next dispatch.
+        set_num_threads(4);
+        assert_eq!(distinct_slabs(super::num_threads().min(rows)).len(), 4);
+        set_num_threads(prev);
     }
 }

@@ -48,4 +48,11 @@ echo "== tier-2: paper-scale FC6 compile (budget ${TIE_COMPILE_BUDGET_S}s), defa
 cargo test -q --release -p tie-workloads --test compile_table4 \
   "${CARGO_FLAGS[@]}" fc6_compiles_at_paper_scale_within_budget -- --ignored
 
+# Pool dispatch regression gate (pool PR, DESIGN.md §11): the persistent
+# pool must not be slower than the old per-call scoped-spawn path on a
+# dispatch-sensitive GEMM (bit-identity of the two paths is asserted inside
+# the test before any timing). Needs --release — it is a wall-clock gate.
+echo "== tier-2: pooled vs scoped GEMM dispatch gate =="
+cargo test -q --release --test pool_perf "${CARGO_FLAGS[@]}" -- --ignored
+
 echo "ci.sh: all green"

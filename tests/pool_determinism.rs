@@ -1,0 +1,118 @@
+//! Bit-determinism of the pooled kernels across pool sizes and dispatches.
+//!
+//! The persistent pool (`tie_tensor::pool`, DESIGN.md §11) promises that
+//! work-stealing only rebalances *who* computes a statically-assigned slab,
+//! never how any output element is accumulated. This suite holds the two
+//! top-of-stack consumers to that promise: the compact engine's batched
+//! inference (`matvec_batch_into`) and TT-SVD compilation
+//! (`TtMatrix::from_dense`) must produce **bit-identical** results at pool
+//! sizes {1, 2, 8} and across repeated dispatches on a warm pool.
+//!
+//! Problem sizes are chosen to sit *above* the re-tuned spawn thresholds
+//! (`PARALLEL_MIN_WORK`, `PARALLEL_MIN_COPY`), so the comparisons exercise
+//! real multi-slab dispatches rather than the inline path.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use tie::core::CompactEngine;
+use tie::prelude::*;
+use tie::tensor::{parallel, pool, Tensor};
+
+const POOL_SIZES: [usize; 3] = [1, 2, 8];
+
+/// A layer big enough that its stage GEMMs (and, at this batch width, its
+/// stage gathers) cross the spawn thresholds: 256×256, d = 4, rank 8.
+fn engine() -> CompactEngine<f64> {
+    let shape = TtShape::uniform_rank(vec![4, 4, 4, 4], vec![4, 4, 4, 4], 8).unwrap();
+    let mut rng = ChaCha8Rng::seed_from_u64(0x5EED_F00D);
+    let ttm = TtMatrix::<f64>::random(&mut rng, &shape, 0.5).unwrap();
+    CompactEngine::new(ttm).unwrap()
+}
+
+fn batch_input(n: usize, b: usize) -> Vec<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xBA7C_4);
+    (0..n * b).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+fn run_batch(engine: &CompactEngine<f64>, xs: &[f64], b: usize) -> Vec<f64> {
+    let m = engine.matrix().shape().num_rows();
+    let mut ys = vec![0.0; m * b];
+    engine.matvec_batch_into(xs, b, &mut ys).unwrap();
+    ys
+}
+
+fn assert_bits_eq(got: &[f64], want: &[f64], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            g.to_bits() == w.to_bits(),
+            "{what}: element {i} differs ({g:e} vs {w:e})"
+        );
+    }
+}
+
+#[test]
+fn matvec_batch_is_bit_identical_across_pool_sizes() {
+    let engine = engine();
+    let n = engine.matrix().shape().num_cols();
+    let b = 16;
+    let xs = batch_input(n, b);
+
+    let prev = parallel::set_num_threads(1);
+    let reference = run_batch(&engine, &xs, b);
+    for threads in POOL_SIZES {
+        parallel::set_num_threads(threads);
+        let got = run_batch(&engine, &xs, b);
+        assert_bits_eq(&got, &reference, &format!("pool size {threads}"));
+    }
+    parallel::set_num_threads(prev);
+}
+
+#[test]
+fn warm_pool_repeated_dispatches_are_bit_stable() {
+    // Same engine, same input, many dispatches on an already-warm pool:
+    // stealing may assign slabs differently every time, results may not.
+    let engine = engine();
+    let n = engine.matrix().shape().num_cols();
+    let b = 16;
+    let xs = batch_input(n, b);
+
+    let prev = parallel::set_num_threads(8);
+    pool::prewarm(8);
+    let first = run_batch(&engine, &xs, b);
+    for rep in 0..16 {
+        let got = run_batch(&engine, &xs, b);
+        assert_bits_eq(&got, &first, &format!("warm repeat {rep}"));
+    }
+    parallel::set_num_threads(prev);
+}
+
+#[test]
+fn tt_svd_cores_are_bit_identical_across_pool_sizes() {
+    // TT-SVD compilation rides the pooled GEMM / QR / Gram kernels; the
+    // factor cores must come out bit-identical at any pool size.
+    let dense = Tensor::<f64>::from_fn(vec![256, 256], |idx| {
+        let i = idx[0] as f64;
+        let j = idx[1] as f64;
+        ((i * 37.0 + j * 113.0) * 0.001).sin() + (i - j) * 1e-4
+    })
+    .unwrap();
+    let row_modes = [4usize, 4, 4, 4];
+    let col_modes = [4usize, 4, 4, 4];
+    let trunc = Truncation::rank(8);
+
+    let prev = parallel::set_num_threads(1);
+    let reference = TtMatrix::from_dense(&dense, &row_modes, &col_modes, trunc).unwrap();
+    for threads in POOL_SIZES {
+        parallel::set_num_threads(threads);
+        let got = TtMatrix::from_dense(&dense, &row_modes, &col_modes, trunc).unwrap();
+        assert_eq!(got.cores().len(), reference.cores().len());
+        for (k, (gc, rc)) in got.cores().iter().zip(reference.cores()).enumerate() {
+            assert_eq!(gc.dims(), rc.dims(), "core {k} dims at {threads} threads");
+            let gbits: Vec<u64> = gc.data().iter().map(|v| v.to_bits()).collect();
+            let rbits: Vec<u64> = rc.data().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(gbits, rbits, "core {k} bits at {threads} threads");
+        }
+    }
+    parallel::set_num_threads(prev);
+}

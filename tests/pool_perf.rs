@@ -1,0 +1,80 @@
+//! Tier-2 regression gate: warm-pool dispatch must beat scoped spawning.
+//!
+//! The whole point of `tie_tensor::pool` is that a parallel kernel no
+//! longer pays a `std::thread::scope` spawn/join per call. This gate runs
+//! the same blocked GEMM through both dispatch paths — `gemm_into` (pool)
+//! vs `gemm_into_scoped` (per-call spawn, kept precisely for this
+//! comparison) — at a size where dispatch overhead matters, and requires
+//! the pooled median to be no slower. Outputs are checked bit-identical
+//! first, so the gate can never pass on wrong results.
+//!
+//! `#[ignore]`d in normal runs: wall-clock gates belong in `--release`
+//! (scripts/ci.sh runs it with `-- --ignored`).
+
+use std::time::Instant;
+use tie::tensor::{linalg, parallel, pool};
+
+const REPS: usize = 50;
+
+fn median_secs(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+#[test]
+#[ignore = "wall-clock gate; run via scripts/ci.sh in --release"]
+fn pooled_gemm_dispatch_beats_scoped_spawn() {
+    // 160³: ~4.1 M multiply-adds — solidly above PARALLEL_MIN_WORK so both
+    // paths go parallel, small enough that per-call spawn/join is a
+    // visible fraction of the runtime (the regime the pool exists for).
+    let (m, k, n) = (160, 160, 160);
+    let a: Vec<f64> = (0..m * k).map(|i| ((i % 97) as f64) * 0.013 - 0.5).collect();
+    let b: Vec<f64> = (0..k * n).map(|i| ((i % 89) as f64) * 0.017 - 0.7).collect();
+    let mut c_pool = vec![0.0; m * n];
+    let mut c_scoped = vec![0.0; m * n];
+
+    let prev = parallel::set_num_threads(4);
+    pool::prewarm(4);
+
+    // Correctness first: identical bits from both dispatch paths.
+    linalg::gemm_into(&a, &b, &mut c_pool, m, k, n).unwrap();
+    linalg::gemm_into_scoped(&a, &b, &mut c_scoped, m, k, n).unwrap();
+    for (i, (p, s)) in c_pool.iter().zip(&c_scoped).enumerate() {
+        assert!(
+            p.to_bits() == s.to_bits(),
+            "element {i}: pooled {p:e} != scoped {s:e}"
+        );
+    }
+
+    // Interleave the two measurements so drift (thermal, scheduler) hits
+    // both paths equally.
+    let mut pooled = Vec::with_capacity(REPS);
+    let mut scoped = Vec::with_capacity(REPS);
+    for _ in 0..REPS {
+        let t = Instant::now();
+        linalg::gemm_into(&a, &b, &mut c_pool, m, k, n).unwrap();
+        pooled.push(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        linalg::gemm_into_scoped(&a, &b, &mut c_scoped, m, k, n).unwrap();
+        scoped.push(t.elapsed().as_secs_f64());
+    }
+    let (p_med, s_med) = (median_secs(pooled), median_secs(scoped));
+    eprintln!(
+        "pool_perf: {m}x{k}x{n} GEMM at 4 threads — pooled median {:.3} ms, \
+         scoped median {:.3} ms ({:.2}x)",
+        p_med * 1e3,
+        s_med * 1e3,
+        s_med / p_med
+    );
+    // 10% slack: the gate is about catching a dispatch-latency regression
+    // (pool an order of magnitude slower would trip this immediately), not
+    // about flaking on CI noise.
+    assert!(
+        p_med <= s_med * 1.10,
+        "warm-pool GEMM dispatch regressed: pooled median {:.3} ms vs scoped {:.3} ms",
+        p_med * 1e3,
+        s_med * 1e3
+    );
+
+    parallel::set_num_threads(prev);
+}
