@@ -82,6 +82,7 @@ pub fn quant_sweep() -> Result<Report> {
                 activation_format: QFormat::new(frac.min(12))?,
                 calibrate_activations: false,
                 calibrate_weights: false,
+                ..QuantConfig::default()
             },
             ..TieConfig::default()
         };

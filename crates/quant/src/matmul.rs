@@ -1,8 +1,47 @@
 //! Quantized matrix multiplication on the modeled TIE datapath.
+//!
+//! # Kernel structure and bit-identity
+//!
+//! Saturation makes the fixed-point datapath non-associative: the 24-bit
+//! register clamps *mid-accumulation*, so every output's MAC sequence must
+//! stay in ascending `k` for any restructured kernel to reproduce the
+//! per-output reference ([`qmatmul_naive`]) bit-for-bit. The vectorized
+//! kernel here keeps that invariant by construction:
+//!
+//! * outputs are produced in column tiles of `TJ` lanes per row; each lane
+//!   is one independent output accumulated over the **full** `k` range in
+//!   ascending order (no `k`-blocking — partial accumulator state can
+//!   never be merged across blocks without changing clamp points),
+//! * each lane emulates the [`Accumulator`] arithmetic in pure `i32`:
+//!   widen the `i16×i16` product, round-shift by `prod_shift`, add, clamp
+//!   to the 24-bit range with a sticky saturation flag, and finally
+//!   round-shift by `out_shift` into a saturating 16-bit code. All of it
+//!   fits `i32` (see the proof on [`qmm_body`]), so the lanes vectorize.
+//!
+//! Because per-output arithmetic is independent of the tile width, *any*
+//! `TJ` produces identical codes and reports — which is what makes the
+//! runtime AVX-512/AVX2/portable dispatch (same idiom as the float GEMMs
+//! in `tie_tensor::linalg`) bit-safe. Row slabs split across the
+//! persistent pool exactly like the float kernels; pool stealing moves
+//! whole slabs, never the MAC order inside one, so results are identical
+//! at any `TIE_THREADS` / pool size.
+//!
+//! The per-output state is two fixed-size stack arrays (`[i32; TJ]` values
+//! and lane flags) living in the pool job frame — steady state performs
+//! **zero heap allocation** (the counting-allocator suite pins this).
 
 use crate::{Accumulator, QFormat, QTensor};
 use std::sync::atomic::{AtomicU64, Ordering};
 use tie_tensor::{parallel, Result, TensorError};
+
+/// Portable column-tile width (vectorizes to 128-bit lanes).
+const QTILE_J: usize = 8;
+/// AVX2 column-tile width (256-bit integer lanes).
+#[cfg(target_arch = "x86_64")]
+const QTILE_J_WIDE: usize = 16;
+/// AVX-512 column-tile width.
+#[cfg(target_arch = "x86_64")]
+const QTILE_J_512: usize = 32;
 
 /// Saturation diagnostics of one quantized matrix multiply.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -20,20 +59,62 @@ impl QMatmulReport {
     pub fn is_clean(&self) -> bool {
         self.acc_saturations == 0 && self.out_saturations == 0
     }
+
+    /// Element-wise sum of two reports (stage-wise aggregation).
+    #[must_use]
+    pub fn merged(&self, other: &QMatmulReport) -> QMatmulReport {
+        QMatmulReport {
+            acc_saturations: self.acc_saturations + other.acc_saturations,
+            out_saturations: self.out_saturations + other.out_saturations,
+            outputs: self.outputs + other.outputs,
+        }
+    }
+}
+
+/// Fixed-point alignment of one quantized GEMM, derived from the operand
+/// and output formats.
+///
+/// Raw products sit at `frac_a + frac_b` fraction bits; the accumulator
+/// working fraction is `min(frac_a + frac_b, out_frac + 8)` — full product
+/// precision when it fits, otherwise 8 guard bits above the output step
+/// (the headroom a 24-bit register offers over the 16-bit output). Each
+/// product is arithmetically shifted right by `prod_shift` before entering
+/// the accumulator, and the final value by `out_shift` on requantization.
+#[must_use]
+pub fn alignment(a: QFormat, b: QFormat, out: QFormat) -> (u32, u32) {
+    let prod_frac = a.frac_bits() + b.frac_bits();
+    let acc_frac = prod_frac.min(out.frac_bits() + 8);
+    let prod_shift = prod_frac - acc_frac;
+    let out_shift = acc_frac.saturating_sub(out.frac_bits());
+    (prod_shift, out_shift)
+}
+
+fn check_dims(a: &QTensor, b: &QTensor) -> Result<(usize, usize, usize)> {
+    let a_dims = a.shape().dims();
+    let b_dims = b.shape().dims();
+    if a_dims.len() != 2 {
+        return Err(TensorError::NotAMatrix { ndim: a_dims.len() });
+    }
+    if b_dims.len() != 2 {
+        return Err(TensorError::NotAMatrix { ndim: b_dims.len() });
+    }
+    let (m, ka) = (a_dims[0], a_dims[1]);
+    let (kb, n) = (b_dims[0], b_dims[1]);
+    if ka != kb {
+        return Err(TensorError::MatmulDimMismatch {
+            left: (m, ka),
+            right: (kb, n),
+        });
+    }
+    Ok((m, ka, n))
 }
 
 /// Quantized product `C = A · B` with TIE datapath semantics.
 ///
-/// Inputs carry formats `Qa` and `Qb`; raw products therefore sit at
-/// `frac_a + frac_b` fraction bits. Each product is shifted right by
-/// `prod_shift = frac_a + frac_b − acc_frac` before entering the 24-bit
-/// accumulator (where `acc_frac` is the accumulator's working fraction),
-/// and results are requantized to `out_format`.
-///
-/// The accumulator working fraction is chosen automatically as
-/// `min(frac_a + frac_b, out_frac + 8)`: full product precision when it
-/// fits, otherwise 8 guard bits above the output step — mirroring the
-/// headroom a 24-bit register offers over the 16-bit output.
+/// Inputs carry formats `Qa` and `Qb`; the fixed-point alignment is chosen
+/// by [`alignment`]. The kernel is the vectorized tile engine described in
+/// the [module docs](self) — bit-identical to [`qmatmul_naive`] in codes
+/// and saturation reports at every dispatch tier and pool size.
 ///
 /// # Errors
 ///
@@ -59,83 +140,294 @@ pub fn qmatmul(
     b: &QTensor,
     out_format: QFormat,
 ) -> Result<(QTensor, QMatmulReport)> {
-    let a_dims = a.shape().dims();
-    let b_dims = b.shape().dims();
-    if a_dims.len() != 2 {
-        return Err(TensorError::NotAMatrix { ndim: a_dims.len() });
-    }
-    if b_dims.len() != 2 {
-        return Err(TensorError::NotAMatrix { ndim: b_dims.len() });
-    }
-    let (m, ka) = (a_dims[0], a_dims[1]);
-    let (kb, n) = (b_dims[0], b_dims[1]);
-    if ka != kb {
-        return Err(TensorError::MatmulDimMismatch {
-            left: (m, ka),
-            right: (kb, n),
-        });
-    }
-    let prod_frac = a.format().frac_bits() + b.format().frac_bits();
-    let acc_frac = prod_frac.min(out_format.frac_bits() + 8);
-    let prod_shift = prod_frac - acc_frac;
-    let out_shift = acc_frac.saturating_sub(out_format.frac_bits());
-    debug_assert!(acc_frac >= out_format.frac_bits(), "acc must cover output precision");
-
+    let (m, _, n) = check_dims(a, b)?;
     let mut codes = vec![0i16; m * n];
-    let ad = a.codes();
-    let bd = b.codes();
-    // Saturation semantics are order-dependent (the 24-bit register clamps
-    // mid-accumulation), so any loop restructuring must keep each output's
-    // MAC sequence in ascending k. The i-k-j nest below does exactly that:
-    // a row of accumulators advances in lock-step, each seeing its products
-    // in the same order as the naive per-output loop — bit-identical codes
-    // and reports — while B's rows stream contiguously (cache-friendly)
-    // and output rows split across the persistent pool (via
-    // `for_each_row_slab`) like the float kernels — pool stealing only
-    // moves whole row slabs between workers, never the MAC order inside
-    // one, so saturation counts stay bit-identical at any pool size.
-    let acc_saturations = AtomicU64::new(0);
-    let out_saturations = AtomicU64::new(0);
-    let threads = parallel::threads_for(m * ka * n, m);
-    parallel::for_each_row_slab(&mut codes, m, n, threads, |row0, slab| {
-        let mut acc_sat = 0u64;
-        let mut out_sat = 0u64;
-        let mut accs = vec![Accumulator::new(prod_shift); n];
-        for (r, crow) in slab.chunks_mut(n).enumerate() {
-            let i = row0 + r;
-            accs.fill(Accumulator::new(prod_shift));
-            for k in 0..ka {
-                let aik = ad[i * ka + k];
-                let brow = &bd[k * n..(k + 1) * n];
-                for (acc, &bkj) in accs.iter_mut().zip(brow) {
-                    acc.mac(aik, bkj);
-                }
-            }
-            for (out, acc) in crow.iter_mut().zip(&accs) {
-                if acc.saturated() {
-                    acc_sat += 1;
-                }
-                let (v, sat) = acc.to_i16(out_shift);
-                if sat {
-                    out_sat += 1;
-                }
-                *out = v;
-            }
-        }
-        acc_saturations.fetch_add(acc_sat, Ordering::Relaxed);
-        out_saturations.fetch_add(out_sat, Ordering::Relaxed);
-    });
-    let report = QMatmulReport {
-        acc_saturations: acc_saturations.into_inner(),
-        out_saturations: out_saturations.into_inner(),
-        outputs: (m * n) as u64,
-    };
+    let report = qmatmul_into(a, b, out_format, &mut codes)?;
     let out = QTensor::from_codes(vec![m, n], codes, out_format)?;
     Ok((out, report))
 }
 
+/// [`qmatmul`] into a caller-owned code buffer: zero heap allocation in
+/// steady state (the accumulator scratch is fixed-size stack tiles inside
+/// the pool job frame — see the [module docs](self)).
+///
+/// `codes` must hold exactly `m·n` elements; it is fully overwritten.
+///
+/// # Errors
+///
+/// Returns shape errors as [`qmatmul`], plus
+/// [`TensorError::ElementCountMismatch`] if `codes` has the wrong length.
+pub fn qmatmul_into(
+    a: &QTensor,
+    b: &QTensor,
+    out_format: QFormat,
+    codes: &mut [i16],
+) -> Result<QMatmulReport> {
+    let (m, ka, n) = check_dims(a, b)?;
+    if codes.len() != m * n {
+        return Err(TensorError::ElementCountMismatch {
+            expected: m * n,
+            got: codes.len(),
+        });
+    }
+    let (prod_shift, out_shift) = alignment(a.format(), b.format(), out_format);
+    debug_assert!(
+        a.format().frac_bits() + b.format().frac_bits() >= out_format.frac_bits().min(15),
+        "alignment keeps acc_frac >= out_frac whenever products can express it"
+    );
+    Ok(qmatmul_raw(
+        a.codes(),
+        b.codes(),
+        m,
+        ka,
+        n,
+        prod_shift,
+        out_shift,
+        codes,
+    ))
+}
+
+/// Raw-slice quantized GEMM: `codes = requant(A · B)` over `m×k · k×n`
+/// code matrices with explicit `prod_shift` / `out_shift` alignment (see
+/// [`alignment`]). This is the engine under [`qmatmul`] — the simulator's
+/// batched stage path and the quantized serving engine call it directly
+/// with their own stage alignment.
+///
+/// # Panics
+///
+/// Panics (via `assert!`) on slice-length mismatches — callers own the
+/// shape bookkeeping on this path.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn qmatmul_raw(
+    a: &[i16],
+    b: &[i16],
+    m: usize,
+    k: usize,
+    n: usize,
+    prod_shift: u32,
+    out_shift: u32,
+    codes: &mut [i16],
+) -> QMatmulReport {
+    assert_eq!(a.len(), m * k, "A is m×k");
+    assert_eq!(b.len(), k * n, "B is k×n");
+    assert_eq!(codes.len(), m * n, "C is m×n");
+    let acc_saturations = AtomicU64::new(0);
+    let out_saturations = AtomicU64::new(0);
+    let threads = parallel::threads_for(m * k * n, m);
+    parallel::for_each_row_slab(codes, m, n, threads, |row0, slab| {
+        let rows = slab.len() / n.max(1);
+        let a_slab = &a[row0 * k..(row0 + rows) * k];
+        let (acc_sat, out_sat) = qmm_block(rows, k, n, prod_shift, out_shift, a_slab, b, slab);
+        acc_saturations.fetch_add(acc_sat, Ordering::Relaxed);
+        out_saturations.fetch_add(out_sat, Ordering::Relaxed);
+    });
+    QMatmulReport {
+        acc_saturations: acc_saturations.into_inner(),
+        out_saturations: out_saturations.into_inner(),
+        outputs: (m * n) as u64,
+    }
+}
+
+/// [`qmatmul_raw`] pinned to the portable tile width, skipping the SIMD
+/// dispatch. The property suite compares it against the dispatched kernel
+/// and the naive reference to prove every tier computes the same codes and
+/// reports on this machine.
+#[doc(hidden)]
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn qmatmul_raw_portable(
+    a: &[i16],
+    b: &[i16],
+    m: usize,
+    k: usize,
+    n: usize,
+    prod_shift: u32,
+    out_shift: u32,
+    codes: &mut [i16],
+) -> QMatmulReport {
+    assert_eq!(a.len(), m * k, "A is m×k");
+    assert_eq!(b.len(), k * n, "B is k×n");
+    assert_eq!(codes.len(), m * n, "C is m×n");
+    let acc_saturations = AtomicU64::new(0);
+    let out_saturations = AtomicU64::new(0);
+    let threads = parallel::threads_for(m * k * n, m);
+    parallel::for_each_row_slab(codes, m, n, threads, |row0, slab| {
+        let rows = slab.len() / n.max(1);
+        let a_slab = &a[row0 * k..(row0 + rows) * k];
+        let (acc_sat, out_sat) =
+            qmm_body::<QTILE_J>(rows, k, n, prod_shift, out_shift, a_slab, b, slab);
+        acc_saturations.fetch_add(acc_sat, Ordering::Relaxed);
+        out_saturations.fetch_add(out_sat, Ordering::Relaxed);
+    });
+    QMatmulReport {
+        acc_saturations: acc_saturations.into_inner(),
+        out_saturations: out_saturations.into_inner(),
+        outputs: (m * n) as u64,
+    }
+}
+
+/// One row slab of the quantized GEMM, dispatched at runtime to the widest
+/// instantiation the CPU supports. All instantiations share [`qmm_body`];
+/// per-output arithmetic is independent of the tile width, so every tier
+/// is bit-identical (integer arithmetic has no contraction analogue of
+/// FMA to worry about).
+#[allow(clippy::too_many_arguments)]
+fn qmm_block(
+    rows: usize,
+    k: usize,
+    n: usize,
+    prod_shift: u32,
+    out_shift: u32,
+    a: &[i16],
+    b: &[i16],
+    c: &mut [i16],
+) -> (u64, u64) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: `avx512f` support was just detected on this CPU; the
+            // callee is ordinary safe slice code whose only `unsafe`
+            // obligation is that target-feature availability.
+            #[allow(unsafe_code)]
+            return unsafe { qmm_avx512(rows, k, n, prod_shift, out_shift, a, b, c) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: `avx2` support was just detected on this CPU (the
+            // integer kernel needs AVX2, not AVX, for 256-bit lanes).
+            #[allow(unsafe_code)]
+            return unsafe { qmm_avx2(rows, k, n, prod_shift, out_shift, a, b, c) };
+        }
+    }
+    qmm_body::<QTILE_J>(rows, k, n, prod_shift, out_shift, a, b, c)
+}
+
+/// AVX-512 instantiation: 512-bit integer lanes over a 32-wide tile.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx512f")]
+unsafe fn qmm_avx512(
+    rows: usize,
+    k: usize,
+    n: usize,
+    prod_shift: u32,
+    out_shift: u32,
+    a: &[i16],
+    b: &[i16],
+    c: &mut [i16],
+) -> (u64, u64) {
+    qmm_body::<QTILE_J_512>(rows, k, n, prod_shift, out_shift, a, b, c)
+}
+
+/// AVX2 instantiation: 256-bit integer lanes over a 16-wide tile.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2")]
+unsafe fn qmm_avx2(
+    rows: usize,
+    k: usize,
+    n: usize,
+    prod_shift: u32,
+    out_shift: u32,
+    a: &[i16],
+    b: &[i16],
+    c: &mut [i16],
+) -> (u64, u64) {
+    qmm_body::<QTILE_J_WIDE>(rows, k, n, prod_shift, out_shift, a, b, c)
+}
+
+/// The shared tile body: `TJ` independent output lanes per tile, each
+/// reproducing [`Accumulator::mac`] + [`Accumulator::to_i16`] exactly.
+///
+/// # Why pure `i32` lanes are exact
+///
+/// The reference accumulator adds in `i64` before clamping; these lanes
+/// add in `i32`, which is only valid because no intermediate can overflow:
+///
+/// * `prod = a·b` with `|a|,|b| ≤ 2^15` gives `|prod| ≤ 2^30`;
+/// * `prod + half` with `half = 2^(prod_shift−1) ≤ 2^29` stays below
+///   `2^31` (and `prod_shift > 0` implies `half ≤ 2^(30−8−1)` for any
+///   alignment produced by [`alignment`], far smaller);
+/// * the running value is always post-clamp, `|value| ≤ 2^23`, so
+///   `value + shifted` is bounded by `2^23 + 2^30 < 2^31 − 1`;
+/// * requantization adds `half ≤ 2^(out_shift−1)` to a value `≤ 2^23`.
+///
+/// So every `i32` add here equals the reference's `i64` add, and the
+/// subsequent clamp lands identically. Returns
+/// `(acc_saturations, out_saturations)`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn qmm_body<const TJ: usize>(
+    rows: usize,
+    k: usize,
+    n: usize,
+    prod_shift: u32,
+    out_shift: u32,
+    a: &[i16],
+    b: &[i16],
+    c: &mut [i16],
+) -> (u64, u64) {
+    let mut acc_sat = 0u64;
+    let mut out_sat = 0u64;
+    // `x >> 0` is the identity and both halves are 0 then, so the shifts
+    // need no branch in the lane loop.
+    let prod_half = if prod_shift > 0 { 1i32 << (prod_shift - 1) } else { 0 };
+    let out_half = if out_shift > 0 { 1i32 << (out_shift - 1) } else { 0 };
+    for i in 0..rows {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        let mut j = 0usize;
+        while j + TJ <= n {
+            // Lane state lives in fixed-size stack arrays: provable
+            // lengths for the vectorizer, no heap scratch.
+            let mut vals = [0i32; TJ];
+            let mut sats = [false; TJ];
+            for (kk, &aik) in arow.iter().enumerate() {
+                let ai = aik as i32;
+                let bv = &b[kk * n + j..][..TJ];
+                for (t, &bkj) in bv.iter().enumerate() {
+                    let shifted = (ai * bkj as i32 + prod_half) >> prod_shift;
+                    let sum = vals[t] + shifted;
+                    let clamped = sum.clamp(Accumulator::MIN, Accumulator::MAX);
+                    sats[t] |= clamped != sum;
+                    vals[t] = clamped;
+                }
+            }
+            for t in 0..TJ {
+                acc_sat += u64::from(sats[t]);
+                let v = (vals[t] + out_half) >> out_shift;
+                let clipped = v.clamp(i16::MIN as i32, i16::MAX as i32);
+                out_sat += u64::from(clipped != v);
+                crow[j + t] = clipped as i16;
+            }
+            j += TJ;
+        }
+        // Remainder columns (< TJ wide): one scalar lane, same arithmetic.
+        while j < n {
+            let mut val = 0i32;
+            let mut sat = false;
+            for (kk, &aik) in arow.iter().enumerate() {
+                let shifted = (aik as i32 * b[kk * n + j] as i32 + prod_half) >> prod_shift;
+                let sum = val + shifted;
+                let clamped = sum.clamp(Accumulator::MIN, Accumulator::MAX);
+                sat |= clamped != sum;
+                val = clamped;
+            }
+            acc_sat += u64::from(sat);
+            let v = (val + out_half) >> out_shift;
+            let clipped = v.clamp(i16::MIN as i32, i16::MAX as i32);
+            out_sat += u64::from(clipped != v);
+            crow[j] = clipped as i16;
+            j += 1;
+        }
+    }
+    (acc_sat, out_sat)
+}
+
 /// Reference kernel with the naive per-output loop, kept for equivalence
-/// testing against the restructured [`qmatmul`] (which must reproduce its
+/// testing against the vectorized [`qmatmul`] (which must reproduce its
 /// codes and saturation reports bit-for-bit).
 #[doc(hidden)]
 pub fn qmatmul_naive(
@@ -143,26 +435,8 @@ pub fn qmatmul_naive(
     b: &QTensor,
     out_format: QFormat,
 ) -> Result<(QTensor, QMatmulReport)> {
-    let a_dims = a.shape().dims();
-    let b_dims = b.shape().dims();
-    if a_dims.len() != 2 {
-        return Err(TensorError::NotAMatrix { ndim: a_dims.len() });
-    }
-    if b_dims.len() != 2 {
-        return Err(TensorError::NotAMatrix { ndim: b_dims.len() });
-    }
-    let (m, ka) = (a_dims[0], a_dims[1]);
-    let (kb, n) = (b_dims[0], b_dims[1]);
-    if ka != kb {
-        return Err(TensorError::MatmulDimMismatch {
-            left: (m, ka),
-            right: (kb, n),
-        });
-    }
-    let prod_frac = a.format().frac_bits() + b.format().frac_bits();
-    let acc_frac = prod_frac.min(out_format.frac_bits() + 8);
-    let prod_shift = prod_frac - acc_frac;
-    let out_shift = acc_frac.saturating_sub(out_format.frac_bits());
+    let (m, ka, n) = check_dims(a, b)?;
+    let (prod_shift, out_shift) = alignment(a.format(), b.format(), out_format);
 
     let mut codes = vec![0i16; m * n];
     let mut report = QMatmulReport {
@@ -253,10 +527,9 @@ mod tests {
     #[test]
     fn restructured_kernel_bitwise_matches_naive() {
         // Saturation makes the datapath non-associative, so this is the
-        // load-bearing check: the row-of-accumulators kernel must agree
-        // with the per-output reference on codes AND reports, including
-        // inputs engineered to saturate mid-accumulation, at any thread
-        // count.
+        // load-bearing check: the vectorized tile kernel must agree with
+        // the per-output reference on codes AND reports, including inputs
+        // engineered to saturate mid-accumulation, at any thread count.
         let mut rng = ChaCha8Rng::seed_from_u64(90);
         let fmt = QFormat::new(4).unwrap();
         let big: Tensor<f64> = init::uniform(&mut rng, vec![9, 13], 1800.0);
@@ -277,6 +550,43 @@ mod tests {
             r.acc_saturations > 0 || r.out_saturations > 0,
             "test inputs failed to saturate: {r:?}"
         );
+    }
+
+    #[test]
+    fn into_variant_matches_allocating_variant() {
+        let mut rng = ChaCha8Rng::seed_from_u64(91);
+        let fmt = QFormat::new(6).unwrap();
+        let a: Tensor<f64> = init::uniform(&mut rng, vec![7, 10], 40.0);
+        let b: Tensor<f64> = init::uniform(&mut rng, vec![10, 9], 40.0);
+        let qa = QTensor::quantize(&a, fmt);
+        let qb = QTensor::quantize(&b, fmt);
+        let out_fmt = QFormat::new(3).unwrap();
+        let (c, r) = qmatmul(&qa, &qb, out_fmt).unwrap();
+        let mut codes = vec![0i16; 7 * 9];
+        let r2 = qmatmul_into(&qa, &qb, out_fmt, &mut codes).unwrap();
+        assert_eq!(c.codes(), &codes[..]);
+        assert_eq!(r, r2);
+        // Wrong buffer length is rejected, not truncated.
+        let mut short = vec![0i16; 7 * 9 - 1];
+        assert!(qmatmul_into(&qa, &qb, out_fmt, &mut short).is_err());
+    }
+
+    #[test]
+    fn portable_tile_matches_dispatched_kernel() {
+        // Same body, different tile width: must be bit-identical.
+        let mut rng = ChaCha8Rng::seed_from_u64(92);
+        let fmt = QFormat::new(4).unwrap();
+        let a: Tensor<f64> = init::uniform(&mut rng, vec![11, 17], 1700.0);
+        let b: Tensor<f64> = init::uniform(&mut rng, vec![17, 19], 1700.0);
+        let qa = QTensor::quantize(&a, fmt);
+        let qb = QTensor::quantize(&b, fmt);
+        let (ps, os) = alignment(fmt, fmt, QFormat::new(2).unwrap());
+        let mut c1 = vec![0i16; 11 * 19];
+        let mut c2 = vec![0i16; 11 * 19];
+        let r1 = qmatmul_raw(qa.codes(), qb.codes(), 11, 17, 19, ps, os, &mut c1);
+        let r2 = qmatmul_raw_portable(qa.codes(), qb.codes(), 11, 17, 19, ps, os, &mut c2);
+        assert_eq!(c1, c2);
+        assert_eq!(r1, r2);
     }
 
     #[test]

@@ -13,7 +13,13 @@
 //! bounded channels — no external dependencies:
 //!
 //! * [`EngineRegistry`] — prepared engines keyed by layer name, shared via
-//!   `Arc`.
+//!   `Arc`. Two backends coexist: float `CompactEngine`s
+//!   ([`EngineRegistry::insert`]) and bit-accurate fixed-point
+//!   [`tie_sim::QuantizedEngine`]s
+//!   ([`EngineRegistry::insert_quantized`]) — clients submit the same
+//!   `f64` requests either way, and quantized batches feed the
+//!   `quant_*` saturation counters in [`ServiceStats`]
+//!   (see [`ServiceStats::quant_saturation_rate`]).
 //! * [`InferenceService`] — owns a batcher thread and a worker pool sized
 //!   by [`tie_tensor::parallel`] (workers hold private engine clones, so
 //!   execution never contends on a scratch-workspace lock).

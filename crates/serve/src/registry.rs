@@ -1,22 +1,31 @@
-//! The shared engine registry: prepared [`CompactEngine`]s keyed by layer
-//! name.
+//! The shared engine registry: prepared engines keyed by layer name.
+//!
+//! Two backends coexist under one namespace: float [`CompactEngine`]s and
+//! bit-accurate fixed-point [`QuantizedEngine`]s — a name maps to exactly
+//! one of the two, and clients neither know nor care which (same submit
+//! API, same `f64` responses; the quantized backend additionally feeds the
+//! saturation counters in [`crate::ServiceStats`]).
 //!
 //! Engines are stored behind [`Arc`] so the service, every client handle,
 //! and every worker can hold the same prepared layer without copying the
-//! unfolded cores or index maps. `CompactEngine` is `Send + Sync` (audited
-//! in `tie-core`): the only mutable state is its `Mutex`-guarded scratch
-//! workspace. Workers that want contention-free scratch clone the engine
-//! (a clone shares nothing mutable — it starts with a fresh workspace).
+//! unfolded cores or index maps. Both engine types are `Send + Sync`
+//! (audited in their crates): the only mutable state is a `Mutex`-guarded
+//! scratch workspace. Workers that want contention-free scratch clone the
+//! engine (a clone shares nothing mutable — it starts with a fresh
+//! workspace).
 
+use crate::worker::WorkerEngine;
 use std::collections::HashMap;
 use std::sync::Arc;
 use tie_core::CompactEngine;
+use tie_sim::QuantizedEngine;
 
 /// Layer-name → prepared-engine map handed to
 /// [`crate::InferenceService::start`].
 #[derive(Debug, Default)]
 pub struct EngineRegistry {
     engines: HashMap<String, Arc<CompactEngine<f64>>>,
+    quantized: HashMap<String, Arc<QuantizedEngine>>,
 }
 
 impl EngineRegistry {
@@ -26,67 +35,125 @@ impl EngineRegistry {
         Self::default()
     }
 
-    /// Registers `engine` under `name`, replacing any previous entry with
-    /// that name. Returns `self` for chaining.
+    /// Registers a float `engine` under `name`, replacing any previous
+    /// entry (of either backend) with that name. Returns `self` for
+    /// chaining.
     pub fn insert(&mut self, name: impl Into<String>, engine: CompactEngine<f64>) -> &mut Self {
-        self.engines.insert(name.into(), Arc::new(engine));
-        self
+        self.insert_shared(name, Arc::new(engine))
     }
 
-    /// Registers an already-shared engine under `name`.
+    /// Registers an already-shared float engine under `name`.
     pub fn insert_shared(
         &mut self,
         name: impl Into<String>,
         engine: Arc<CompactEngine<f64>>,
     ) -> &mut Self {
-        self.engines.insert(name.into(), engine);
+        let name = name.into();
+        self.quantized.remove(&name);
+        self.engines.insert(name, engine);
         self
     }
 
-    /// The shared engine registered under `name`.
+    /// Registers a fixed-point `engine` under `name`, replacing any
+    /// previous entry (of either backend) with that name. Requests to this
+    /// layer run the bit-accurate TIE datapath and feed the
+    /// `quant_*` counters in [`crate::ServiceStats`].
+    pub fn insert_quantized(
+        &mut self,
+        name: impl Into<String>,
+        engine: QuantizedEngine,
+    ) -> &mut Self {
+        self.insert_quantized_shared(name, Arc::new(engine))
+    }
+
+    /// Registers an already-shared fixed-point engine under `name`.
+    pub fn insert_quantized_shared(
+        &mut self,
+        name: impl Into<String>,
+        engine: Arc<QuantizedEngine>,
+    ) -> &mut Self {
+        let name = name.into();
+        self.engines.remove(&name);
+        self.quantized.insert(name, engine);
+        self
+    }
+
+    /// The shared float engine registered under `name` (`None` if the name
+    /// is unregistered or quantized).
     #[must_use]
     pub fn get(&self, name: &str) -> Option<Arc<CompactEngine<f64>>> {
         self.engines.get(name).cloned()
     }
 
-    /// `(rows M, cols N)` of the layer registered under `name`.
+    /// The shared fixed-point engine registered under `name` (`None` if
+    /// the name is unregistered or float).
     #[must_use]
-    pub fn dims(&self, name: &str) -> Option<(usize, usize)> {
-        self.engines
-            .get(name)
-            .map(|e| (e.matrix().shape().num_rows(), e.matrix().shape().num_cols()))
+    pub fn get_quantized(&self, name: &str) -> Option<Arc<QuantizedEngine>> {
+        self.quantized.get(name).cloned()
     }
 
-    /// All registered layer names, sorted.
+    /// True if `name` is registered with the fixed-point backend.
+    #[must_use]
+    pub fn is_quantized(&self, name: &str) -> bool {
+        self.quantized.contains_key(name)
+    }
+
+    /// `(rows M, cols N)` of the layer registered under `name`, either
+    /// backend.
+    #[must_use]
+    pub fn dims(&self, name: &str) -> Option<(usize, usize)> {
+        if let Some(e) = self.engines.get(name) {
+            return Some((e.matrix().shape().num_rows(), e.matrix().shape().num_cols()));
+        }
+        self.quantized.get(name).map(|e| (e.num_rows(), e.num_cols()))
+    }
+
+    /// All registered layer names (both backends), sorted.
     #[must_use]
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.engines.keys().cloned().collect();
+        let mut names: Vec<String> =
+            self.engines.keys().chain(self.quantized.keys()).cloned().collect();
         names.sort();
         names
     }
 
-    /// Number of registered layers.
+    /// Number of registered layers (both backends).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.engines.len()
+        self.engines.len() + self.quantized.len()
     }
 
     /// True if no layer is registered.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.engines.is_empty()
+        self.engines.is_empty() && self.quantized.is_empty()
     }
 
-    /// One private (fresh-workspace) clone of every engine, for a worker
-    /// that wants to execute without contending on the shared scratch
-    /// `Mutex`. TT compression is what makes this affordable: a cloned
-    /// engine costs `num_params` weights plus the index vectors, orders
-    /// of magnitude below the dense layer it represents.
+    /// One private (fresh-workspace) clone of every float engine, for a
+    /// worker that wants to execute without contending on the shared
+    /// scratch `Mutex`. TT compression is what makes this affordable: a
+    /// cloned engine costs `num_params` weights plus the index vectors,
+    /// orders of magnitude below the dense layer it represents.
     #[must_use]
     pub fn clone_engines(&self) -> HashMap<String, CompactEngine<f64>> {
         self.engines
             .iter()
             .map(|(name, e)| (name.clone(), (**e).clone()))
+            .collect()
+    }
+
+    /// Private clones of **every** engine, both backends, wrapped for the
+    /// worker loop.
+    #[must_use]
+    pub(crate) fn worker_engines(&self) -> HashMap<String, WorkerEngine> {
+        self.engines
+            .iter()
+            .map(|(name, e)| (name.clone(), WorkerEngine::Float((**e).clone())))
+            .chain(
+                self.quantized
+                    .iter()
+                    .map(|(name, e)| (name.clone(), WorkerEngine::Quantized((**e).clone()))),
+            )
             .collect()
     }
 }
@@ -123,6 +190,31 @@ mod tests {
         let shared = Arc::new(engine(3));
         reg.insert_shared("fc", Arc::clone(&shared));
         assert!(Arc::ptr_eq(&reg.get("fc").unwrap(), &shared));
+    }
+
+    #[test]
+    fn quantized_and_float_share_one_namespace() {
+        use tie_sim::QuantConfig;
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let shape = TtShape::uniform_rank(vec![2, 3], vec![3, 2], 2).unwrap();
+        let q = QuantizedEngine::new(
+            TtMatrix::random(&mut rng, &shape, 0.5).unwrap(),
+            QuantConfig::default(),
+        )
+        .unwrap();
+        let mut reg = EngineRegistry::new();
+        reg.insert("fc", engine(10)).insert_quantized("qfc", q.clone());
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.names(), vec!["fc".to_string(), "qfc".to_string()]);
+        assert_eq!(reg.dims("qfc"), Some((6, 6)));
+        assert!(reg.is_quantized("qfc") && !reg.is_quantized("fc"));
+        assert!(reg.get_quantized("qfc").is_some() && reg.get("qfc").is_none());
+        // Re-registering a name under the other backend replaces it.
+        reg.insert_quantized("fc", q);
+        assert_eq!(reg.len(), 2);
+        assert!(reg.is_quantized("fc") && reg.get("fc").is_none());
+        assert_eq!(reg.worker_engines().len(), 2);
+        assert_eq!(reg.clone_engines().len(), 0); // float-only view
     }
 
     #[test]

@@ -149,10 +149,11 @@ impl InferenceService {
         let mut workers = Vec::with_capacity(worker_count);
         for i in 0..worker_count {
             let rx = Arc::clone(&batch_rx);
-            let engines = registry.clone_engines();
+            let engines = registry.worker_engines();
+            let stats_w = Arc::clone(&stats);
             let handle = std::thread::Builder::new()
                 .name(format!("tie-serve-worker-{i}"))
-                .spawn(move || run_worker(rx, engines))
+                .spawn(move || run_worker(rx, engines, stats_w))
                 .map_err(|e| ServeError::Config(format!("failed to spawn worker: {e}")))?;
             workers.push(handle);
         }
@@ -282,6 +283,35 @@ mod tests {
         assert_eq!(stats.completed, 1);
         assert_eq!(stats.failed, 0);
         assert_eq!(stats.in_flight(), 0);
+    }
+
+    #[test]
+    fn quantized_backend_roundtrip_and_saturation_counters() {
+        use tie_sim::{QuantConfig, QuantizedEngine};
+        let mut rng = ChaCha8Rng::seed_from_u64(20);
+        let shape = TtShape::uniform_rank(vec![2, 3], vec![3, 2], 2).unwrap();
+        let engine = QuantizedEngine::new(
+            TtMatrix::random(&mut rng, &shape, 0.5).unwrap(),
+            QuantConfig::default(),
+        )
+        .unwrap();
+        let mut reg = EngineRegistry::new();
+        reg.insert_quantized("qfc", engine.clone());
+        let svc = InferenceService::start(
+            reg,
+            ServeConfig { max_batch: 4, max_wait: Duration::from_millis(1), ..Default::default() },
+        )
+        .unwrap();
+        let client = svc.client();
+        let x: Vec<f64> = (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let resp = client.submit("qfc", x.clone()).unwrap().wait().unwrap();
+        let mut direct = vec![0.0; 6];
+        engine.matvec_batch_into(&x, 1, &mut direct).unwrap();
+        assert_eq!(resp.output, direct);
+        let stats = svc.shutdown();
+        assert_eq!(stats.completed, 1);
+        assert!(stats.quant_outputs > 0);
+        assert_eq!(stats.quant_saturation_rate(), 0.0);
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub(crate) struct StatsCore {
     batched_requests: AtomicU64,
     latency_ns_sum: AtomicU64,
     latency_ns_max: AtomicU64,
+    quant_outputs: AtomicU64,
+    quant_acc_saturations: AtomicU64,
+    quant_out_saturations: AtomicU64,
 }
 
 impl StatsCore {
@@ -47,6 +50,9 @@ impl StatsCore {
             batched_requests: AtomicU64::new(0),
             latency_ns_sum: AtomicU64::new(0),
             latency_ns_max: AtomicU64::new(0),
+            quant_outputs: AtomicU64::new(0),
+            quant_acc_saturations: AtomicU64::new(0),
+            quant_out_saturations: AtomicU64::new(0),
         }
     }
 
@@ -80,6 +86,13 @@ impl StatsCore {
         self.failed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Folds one quantized batch's saturation report into the counters.
+    pub(crate) fn record_quant(&self, outputs: u64, acc_saturations: u64, out_saturations: u64) {
+        self.quant_outputs.fetch_add(outputs, Ordering::Relaxed);
+        self.quant_acc_saturations.fetch_add(acc_saturations, Ordering::Relaxed);
+        self.quant_out_saturations.fetch_add(out_saturations, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> ServiceStats {
         ServiceStats {
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -93,6 +106,9 @@ impl StatsCore {
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             latency_ns_sum: self.latency_ns_sum.load(Ordering::Relaxed),
             latency_ns_max: self.latency_ns_max.load(Ordering::Relaxed),
+            quant_outputs: self.quant_outputs.load(Ordering::Relaxed),
+            quant_acc_saturations: self.quant_acc_saturations.load(Ordering::Relaxed),
+            quant_out_saturations: self.quant_out_saturations.load(Ordering::Relaxed),
             elapsed: self.started.elapsed(),
         }
     }
@@ -130,6 +146,14 @@ pub struct ServiceStats {
     pub latency_ns_sum: u64,
     /// Maximum per-request latency, nanoseconds.
     pub latency_ns_max: u64,
+    /// Fixed-point stage-GEMM outputs produced by quantized-backend
+    /// batches (zero when only float engines are registered).
+    pub quant_outputs: u64,
+    /// Quantized outputs whose 24-bit accumulator saturated
+    /// mid-accumulation (see `tie_quant::QMatmulReport`).
+    pub quant_acc_saturations: u64,
+    /// Quantized outputs clipped during the final 16-bit requantization.
+    pub quant_out_saturations: u64,
     /// Wall-clock time since the service started.
     pub elapsed: Duration,
 }
@@ -177,6 +201,21 @@ impl ServiceStats {
     pub fn in_flight(&self) -> u64 {
         self.submitted.saturating_sub(self.completed + self.failed)
     }
+
+    /// Fraction of quantized stage-GEMM outputs that saturated anywhere in
+    /// the datapath (`0` when no quantized batch ran). A persistently
+    /// nonzero rate means the one-shot calibration no longer covers the
+    /// live traffic — re-load the layer with fresh probes or a wider
+    /// margin.
+    #[must_use]
+    pub fn quant_saturation_rate(&self) -> f64 {
+        if self.quant_outputs == 0 {
+            0.0
+        } else {
+            (self.quant_acc_saturations + self.quant_out_saturations) as f64
+                / self.quant_outputs as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -213,6 +252,19 @@ mod tests {
         assert_eq!(s.mean_occupancy(), 0.0);
         assert_eq!(s.mean_latency(), Duration::ZERO);
         assert_eq!(s.in_flight(), 0);
+    }
+
+    #[test]
+    fn quant_counters_accumulate() {
+        let core = StatsCore::new();
+        assert_eq!(core.snapshot().quant_saturation_rate(), 0.0);
+        core.record_quant(100, 2, 3);
+        core.record_quant(100, 0, 0);
+        let s = core.snapshot();
+        assert_eq!(s.quant_outputs, 200);
+        assert_eq!(s.quant_acc_saturations, 2);
+        assert_eq!(s.quant_out_saturations, 3);
+        assert!((s.quant_saturation_rate() - 0.025).abs() < 1e-12);
     }
 
     #[test]

@@ -16,15 +16,54 @@
 use crate::batcher::Batch;
 use crate::error::ServeError;
 use crate::request::Response;
+use crate::stats::StatsCore;
 use std::collections::HashMap;
 use std::sync::mpsc::Receiver;
 use std::sync::{Arc, Mutex};
 use tie_core::CompactEngine;
+use tie_sim::QuantizedEngine;
+use tie_tensor::Result;
+
+/// A worker's private copy of one registered layer: either the float
+/// reference engine or the bit-accurate fixed-point engine. Both expose
+/// the same batch-inner-most `matvec_batch_into` contract, so the worker
+/// loop is backend-agnostic; the quantized backend additionally reports
+/// saturation counts, which the worker folds into the service stats.
+#[derive(Debug)]
+pub(crate) enum WorkerEngine {
+    Float(CompactEngine<f64>),
+    Quantized(QuantizedEngine),
+}
+
+impl WorkerEngine {
+    /// `(rows M, cols N)` of the layer.
+    fn dims(&self) -> (usize, usize) {
+        match self {
+            WorkerEngine::Float(e) => {
+                let shape = e.matrix().shape();
+                (shape.num_rows(), shape.num_cols())
+            }
+            WorkerEngine::Quantized(e) => (e.num_rows(), e.num_cols()),
+        }
+    }
+
+    /// Batched matvec; returns `(outputs, acc_sat, out_sat)` quantization
+    /// counters (all zero on the float backend).
+    fn matvec_batch_into(&self, xs: &[f64], b: usize, ys: &mut [f64]) -> Result<(u64, u64, u64)> {
+        match self {
+            WorkerEngine::Float(e) => e.matvec_batch_into(xs, b, ys).map(|_ops| (0, 0, 0)),
+            WorkerEngine::Quantized(e) => e
+                .matvec_batch_into(xs, b, ys)
+                .map(|r| (r.outputs, r.acc_saturations, r.out_saturations)),
+        }
+    }
+}
 
 /// Worker thread body.
 pub(crate) fn run_worker(
     batch_rx: Arc<Mutex<Receiver<Batch>>>,
-    engines: HashMap<String, CompactEngine<f64>>,
+    engines: HashMap<String, WorkerEngine>,
+    stats: Arc<StatsCore>,
 ) {
     let mut xs: Vec<f64> = Vec::new();
     let mut ys: Vec<f64> = Vec::new();
@@ -39,7 +78,7 @@ pub(crate) fn run_worker(
                 Err(_) => return, // batcher gone, queue drained
             }
         };
-        execute(&engines, batch, &mut xs, &mut ys);
+        execute(&engines, &stats, batch, &mut xs, &mut ys);
     }
 }
 
@@ -48,9 +87,10 @@ pub(crate) fn run_worker(
 /// The inputs are interleaved batch-inner-most (`xs[j * b + c]` is element
 /// `j` of request `c`) to match the engine's batched layout, which keeps
 /// the batched pass **bitwise identical** to `b` independent single-input
-/// calls (the property suite proves this for the engine itself).
+/// calls (the property suite proves this for both backends).
 fn execute(
-    engines: &HashMap<String, CompactEngine<f64>>,
+    engines: &HashMap<String, WorkerEngine>,
+    stats: &StatsCore,
     batch: Batch,
     xs: &mut Vec<f64>,
     ys: &mut Vec<f64>,
@@ -64,8 +104,7 @@ fn execute(
         }
         return;
     };
-    let shape = engine.matrix().shape();
-    let (m, n) = (shape.num_rows(), shape.num_cols());
+    let (m, n) = engine.dims();
     let b = batch.requests.len();
 
     xs.clear();
@@ -79,7 +118,10 @@ fn execute(
     ys.resize(m * b, 0.0);
 
     match engine.matvec_batch_into(xs, b, ys) {
-        Ok(_ops) => {
+        Ok((outputs, acc_sat, out_sat)) => {
+            if outputs > 0 {
+                stats.record_quant(outputs, acc_sat, out_sat);
+            }
             for (c, req) in batch.requests.into_iter().enumerate() {
                 let output: Vec<f64> = (0..m).map(|r| ys[r * b + c]).collect();
                 let latency = req.submitted_at.elapsed();
@@ -136,7 +178,7 @@ mod tests {
         let batch = Batch { layer: "fc".into(), requests };
 
         let (mut xs, mut ys) = (Vec::new(), Vec::new());
-        execute(&reg.clone_engines(), batch, &mut xs, &mut ys);
+        execute(&reg.worker_engines(), &stats, batch, &mut xs, &mut ys);
 
         let m = engine.matrix().shape().num_rows();
         for (input, ticket) in inputs.iter().zip(tickets) {
@@ -155,7 +197,7 @@ mod tests {
         let stats = Arc::new(StatsCore::new());
         let (req, ticket) = Request::new("nope".into(), vec![0.0; 6], Arc::clone(&stats));
         let batch = Batch { layer: "nope".into(), requests: vec![req] };
-        execute(&reg.clone_engines(), batch, &mut Vec::new(), &mut Vec::new());
+        execute(&reg.worker_engines(), &stats, batch, &mut Vec::new(), &mut Vec::new());
         assert!(matches!(ticket.wait(), Err(ServeError::UnknownLayer(_))));
         assert_eq!(stats.snapshot().failed, 1);
     }
@@ -165,9 +207,50 @@ mod tests {
         let reg = registry(9);
         let (batch_tx, batch_rx) = sync_channel::<Batch>(4);
         let rx = Arc::new(Mutex::new(batch_rx));
-        let engines = reg.clone_engines();
-        let handle = std::thread::spawn(move || run_worker(rx, engines));
+        let engines = reg.worker_engines();
+        let stats = Arc::new(StatsCore::new());
+        let handle = std::thread::spawn(move || run_worker(rx, engines, stats));
         drop(batch_tx);
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn quantized_batch_matches_direct_engine_and_records_counters() {
+        use tie_sim::{QuantConfig, QuantizedEngine};
+        use tie_tt::{TtMatrix, TtShape};
+        let mut rng = ChaCha8Rng::seed_from_u64(10);
+        let shape = TtShape::uniform_rank(vec![2, 3], vec![3, 2], 2).unwrap();
+        let engine = QuantizedEngine::new(
+            TtMatrix::random(&mut rng, &shape, 0.5).unwrap(),
+            QuantConfig::default(),
+        )
+        .unwrap();
+        let mut reg = EngineRegistry::new();
+        reg.insert_quantized("qfc", engine.clone());
+        let stats = Arc::new(StatsCore::new());
+
+        let inputs: Vec<Vec<f64>> = (0..4)
+            .map(|_| (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let mut requests = Vec::new();
+        let mut tickets = Vec::new();
+        for input in &inputs {
+            let (req, ticket) = Request::new("qfc".into(), input.clone(), Arc::clone(&stats));
+            requests.push(req);
+            tickets.push(ticket);
+        }
+        let batch = Batch { layer: "qfc".into(), requests };
+        execute(&reg.worker_engines(), &stats, batch, &mut Vec::new(), &mut Vec::new());
+
+        for (input, ticket) in inputs.iter().zip(tickets) {
+            let resp = ticket.wait().unwrap();
+            let mut direct = vec![0.0; 6];
+            engine.matvec_batch_into(input, 1, &mut direct).unwrap();
+            assert_eq!(resp.output, direct, "quantized batch must be bit-identical");
+        }
+        let s = stats.snapshot();
+        assert_eq!(s.completed, 4);
+        assert!(s.quant_outputs > 0, "quantized batches must feed the counters");
+        assert_eq!(s.quant_acc_saturations + s.quant_out_saturations, 0);
     }
 }

@@ -1,27 +1,102 @@
 //! The full TIE engine: main controller, weight SRAM, ping-pong working
 //! SRAMs and the PE array (paper Fig. 8).
 
-use crate::config::TieConfig;
-use crate::pe_array::PeArray;
+use crate::config::{CalibrationMode, TieConfig};
+use crate::pe_array::{PeArray, StageOutcome};
 use crate::sram::{WeightSram, WorkingSram};
 use crate::stats::{RunStats, StageStats};
 use tie_core::transform::{assemble_output, prepare_input, TransformMap};
 use tie_core::{CompactEngine, InferencePlan};
-use tie_quant::{QFormat, QTensor};
+use tie_quant::{qmatmul_raw, QFormat, QTensor};
 use tie_tensor::{Result, Tensor, TensorError};
 use tie_tt::{TtMatrix, TtShape};
+
+/// Deterministic probe generator for one-shot calibration (xorshift64 —
+/// self-contained so calibration needs no RNG dependency and the probe
+/// set is a pure function of `QuantConfig::probe_seed`).
+struct ProbeRng(u64);
+
+impl ProbeRng {
+    fn new(seed: u64) -> Self {
+        // xorshift has a fixed point at 0; mixing with an odd constant
+        // keeps every seed (including 0) on a full-period orbit.
+        ProbeRng(seed ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Next value, uniform in `[-1, 1)`.
+    fn next_unit(&mut self) -> f64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        ((self.0 >> 11) as f64) * (2.0 / (1u64 << 53) as f64) - 1.0
+    }
+
+    fn vector(&mut self, len: usize, amplitude: f64) -> Result<Tensor<f64>> {
+        Tensor::from_vec(
+            vec![len],
+            (0..len).map(|_| amplitude * self.next_unit()).collect(),
+        )
+    }
+}
+
+/// The seeded probe set for one-shot calibration of a layer with `len`
+/// inputs.
+pub(crate) fn probe_vectors(
+    seed: u64,
+    count: usize,
+    len: usize,
+    amplitude: f64,
+) -> Result<Vec<Tensor<f64>>> {
+    let mut rng = ProbeRng::new(seed);
+    (0..count).map(|_| rng.vector(len, amplitude)).collect()
+}
+
+/// Traces `probes` through the float reference engine, returning
+/// `(input_max, stage_max, probe_outputs)`. The outputs let network loads
+/// propagate the probe set layer to layer, so deeper layers calibrate at
+/// realistic amplitudes. Outputs are propagated *linearly* (no ReLU):
+/// ReLU only shrinks magnitudes, so the resulting formats cover both the
+/// linear and the rectified runtime paths.
+pub(crate) fn probe_maxima(
+    engine: &CompactEngine<f64>,
+    probes: &[Tensor<f64>],
+) -> Result<(f64, Vec<f64>, Vec<Tensor<f64>>)> {
+    let d = engine.plan().stages().len();
+    let mut input_max = 0.0f64;
+    let mut stage_max = vec![0.0f64; d];
+    let mut outputs = Vec::with_capacity(probes.len());
+    for p in probes {
+        let (y, trace) = engine.matvec_traced(p)?;
+        input_max = input_max.max(trace.prepared_input.max_abs());
+        for (sm, out) in stage_max.iter_mut().zip(&trace.stage_outputs) {
+            *sm = sm.max(out.max_abs());
+        }
+        outputs.push(y);
+    }
+    Ok((input_max, stage_max, outputs))
+}
 
 /// A TT layer resident in the accelerator's weight SRAM.
 ///
 /// Holds the layout, the per-core quantization formats chosen at load
-/// time, and the float reference engine used for activation-format
-/// calibration and functional cross-checking.
+/// time, the **memoized activation formats** from one-shot probe
+/// calibration, and the float reference engine used for calibration and
+/// functional cross-checking.
 #[derive(Debug)]
 pub struct LoadedLayer {
     shape: TtShape,
     plan: InferencePlan,
     weight_formats: Vec<QFormat>,
     engine: CompactEngine<f64>,
+    /// Prepared-input format chosen at load time (probe calibration, or
+    /// the configured fallback when calibration is off / per-batch).
+    input_format: QFormat,
+    /// Per-stage `V_h` output formats, in plan-stage order.
+    stage_formats: Vec<QFormat>,
+    /// Probe maxima behind `input_format` (0 when probes were skipped).
+    input_max: f64,
+    /// Probe maxima behind `stage_formats`, in plan-stage order.
+    stage_max: Vec<f64>,
 }
 
 impl LoadedLayer {
@@ -43,6 +118,27 @@ impl LoadedLayer {
     /// The float reference engine.
     pub fn reference(&self) -> &CompactEngine<f64> {
         &self.engine
+    }
+
+    /// Prepared-input activation format memoized at load time.
+    pub fn input_format(&self) -> QFormat {
+        self.input_format
+    }
+
+    /// Per-stage activation formats memoized at load time (plan order).
+    pub fn stage_formats(&self) -> &[QFormat] {
+        &self.stage_formats
+    }
+
+    /// Max-abs of the prepared input over the calibration probe set
+    /// (0 when probe calibration was skipped).
+    pub fn probe_input_max(&self) -> f64 {
+        self.input_max
+    }
+
+    /// Per-stage max-abs over the calibration probe set (plan order).
+    pub fn probe_stage_max(&self) -> &[f64] {
+        &self.stage_max
     }
 }
 
@@ -95,6 +191,13 @@ pub struct TieAccelerator {
     pe: PeArray,
     weight_sram: WeightSram,
     working: [WorkingSram; 2],
+    /// Float reference traces performed for activation calibration
+    /// (probe traces at load time + per-batch refresh traces). Lets
+    /// tests assert that steady-state `run_batch` does zero float work.
+    calibration_traces: u64,
+    /// Stage-GEMM output scratch reused across runs (zero-alloc steady
+    /// state for the batched fast path).
+    stage_scratch: Vec<i16>,
 }
 
 impl TieAccelerator {
@@ -113,6 +216,8 @@ impl TieAccelerator {
                 WorkingSram::new(config.working_sram_banks, config.working_capacity_elems()),
             ],
             config,
+            calibration_traces: 0,
+            stage_scratch: Vec::new(),
         })
     }
 
@@ -124,6 +229,54 @@ impl TieAccelerator {
     /// Current weight SRAM occupancy in elements (padded words).
     pub fn weight_sram_used(&self) -> usize {
         self.weight_sram.used_elems()
+    }
+
+    /// Float reference traces performed for activation calibration since
+    /// construction. With the default [`CalibrationMode::OneShot`] this
+    /// grows only at `load_layer` / `load_network` time (probe set); with
+    /// [`CalibrationMode::PerBatch`] it also grows by up to 8 per batch.
+    pub fn calibration_traces(&self) -> u64 {
+        self.calibration_traces
+    }
+
+    /// Chooses an activation format from a traced max-abs, falling back
+    /// to the configured `activation_format`.
+    fn select_format(&self, max_abs: f64, margin: f64) -> QFormat {
+        if self.config.quant.calibrate_activations && max_abs > 0.0 {
+            QFormat::calibrate(max_abs * margin).unwrap_or(self.config.quant.activation_format)
+        } else {
+            self.config.quant.activation_format
+        }
+    }
+
+    /// Whether load-time probe calibration is active.
+    fn one_shot(&self) -> bool {
+        self.config.quant.calibrate_activations
+            && self.config.quant.calibration == CalibrationMode::OneShot
+            && self.config.quant.probe_count > 0
+    }
+
+    /// Derives the memoized load-time formats for one layer: probe
+    /// calibration under [`CalibrationMode::OneShot`], the configured
+    /// fallback otherwise. Returns the layer's calibration fields plus
+    /// the probe outputs (empty when probes were skipped).
+    #[allow(clippy::type_complexity)]
+    fn calibrate_layer(
+        &mut self,
+        engine: &CompactEngine<f64>,
+        probes: &[Tensor<f64>],
+    ) -> Result<(QFormat, Vec<QFormat>, f64, Vec<f64>, Vec<Tensor<f64>>)> {
+        let d = engine.plan().stages().len();
+        let (input_max, stage_max, outputs) = if self.one_shot() {
+            self.calibration_traces += probes.len() as u64;
+            probe_maxima(engine, probes)?
+        } else {
+            (0.0, vec![0.0f64; d], Vec::new())
+        };
+        let margin = self.config.quant.probe_margin;
+        let input_format = self.select_format(input_max, margin);
+        let stage_formats = stage_max.iter().map(|&m| self.select_format(m, margin)).collect();
+        Ok((input_format, stage_formats, input_max, stage_max, outputs))
     }
 
     /// Quantizes and loads one TT layer into the weight SRAM (replacing
@@ -159,12 +312,28 @@ impl TieAccelerator {
             formats.push(q.format());
             quantized.push(q);
         }
+        // One-shot activation calibration over the seeded probe set: the
+        // formats are fixed here, so steady-state runs do zero float
+        // reference work and batched runs are bit-identical to the same
+        // samples run one at a time.
+        let probes = if self.one_shot() {
+            let q = &self.config.quant;
+            probe_vectors(q.probe_seed, q.probe_count, shape.num_cols(), q.probe_amplitude)?
+        } else {
+            Vec::new()
+        };
+        let (input_format, stage_formats, input_max, stage_max, _) =
+            self.calibrate_layer(&engine, &probes)?;
         self.weight_sram.load(quantized)?;
         Ok(LoadedLayer {
             shape,
             plan,
             weight_formats: formats,
             engine,
+            input_format,
+            stage_formats,
+            input_max,
+            stage_max,
         })
     }
 
@@ -202,6 +371,11 @@ impl TieAccelerator {
     /// extra `V` columns of every stage — exactly how TIE executes CONV
     /// layers, where each output pixel is one column (paper Fig. 3).
     ///
+    /// Each stage executes as **one quantized GEMM** over the whole
+    /// batch (the fast path); the cycle/traffic model is fed the exact
+    /// activity counts the cycle-level PE walk would produce, and the
+    /// codes are bit-identical to it (see [`TieAccelerator::run_batch_walk`]).
+    ///
     /// # Errors
     ///
     /// As [`TieAccelerator::run`], plus a capacity error if the batched
@@ -213,6 +387,21 @@ impl TieAccelerator {
         relu: bool,
     ) -> Result<(Tensor<f64>, RunStats)> {
         self.run_batch_layer(layer, xs, relu, 0)
+    }
+
+    /// Cycle-level reference executor: identical semantics (outputs,
+    /// stats) to [`TieAccelerator::run_batch`], but every MAC is walked
+    /// through the PE-array schedule one gather/broadcast at a time.
+    /// Kept as the differential oracle for the fast path and as the
+    /// before-side baseline of the quantized throughput bench.
+    #[doc(hidden)]
+    pub fn run_batch_walk(
+        &mut self,
+        layer: &LoadedLayer,
+        xs: &Tensor<f64>,
+        relu: bool,
+    ) -> Result<(Tensor<f64>, RunStats)> {
+        self.run_batch_inner(layer, xs, relu, 0, true)
     }
 
     fn run_layer(
@@ -235,6 +424,54 @@ impl TieAccelerator {
         relu: bool,
         core_base: usize,
     ) -> Result<(Tensor<f64>, RunStats)> {
+        self.run_batch_inner(layer, xs, relu, core_base, false)
+    }
+
+    /// Activation formats for one batch: the memoized load-time formats
+    /// under [`CalibrationMode::OneShot`] (zero float work), or a fresh
+    /// float-trace refresh over up to 8 samples under
+    /// [`CalibrationMode::PerBatch`].
+    fn formats_for_batch(
+        &mut self,
+        layer: &LoadedLayer,
+        xs: &Tensor<f64>,
+        batch: usize,
+    ) -> Result<(QFormat, Vec<QFormat>)> {
+        let quant = self.config.quant;
+        if !(quant.calibrate_activations && quant.calibration == CalibrationMode::PerBatch) {
+            return Ok((layer.input_format, layer.stage_formats.clone()));
+        }
+        let d = layer.shape.ndim();
+        let n = layer.shape.num_cols();
+        // The format must cover every sample; tracing is capped at 8
+        // samples with extra headroom standing in for the rest.
+        let traced = batch.min(8);
+        let mut input_max = 0.0f64;
+        let mut stage_max = vec![0.0f64; d];
+        for b in 0..traced {
+            let col = xs.cols(b, b + 1)?.reshaped(vec![n])?;
+            let (_, trace) = layer.engine.matvec_traced(&col)?;
+            self.calibration_traces += 1;
+            input_max = input_max.max(trace.prepared_input.max_abs());
+            for (sm, out) in stage_max.iter_mut().zip(&trace.stage_outputs) {
+                *sm = sm.max(out.max_abs());
+            }
+        }
+        let margin = if traced < batch { 1.25 } else { 1.05 };
+        let input_format = self.select_format(input_max, margin);
+        let stage_formats = stage_max.iter().map(|&m| self.select_format(m, margin)).collect();
+        Ok((input_format, stage_formats))
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run_batch_inner(
+        &mut self,
+        layer: &LoadedLayer,
+        xs: &Tensor<f64>,
+        relu: bool,
+        core_base: usize,
+        walk: bool,
+    ) -> Result<(Tensor<f64>, RunStats)> {
         let shape = &layer.shape;
         let d = shape.ndim();
         let n = shape.num_cols();
@@ -245,37 +482,7 @@ impl TieAccelerator {
             });
         }
         let batch = xs.dims()[1];
-        // Activation-format calibration from float traces (offline
-        // fixed-point scaling in a real flow). For batches, the format
-        // must cover every sample; tracing is capped at 8 samples with
-        // extra headroom standing in for the rest.
-        let traced = batch.min(8);
-        let mut input_max = 0.0f64;
-        let mut stage_max = vec![0.0f64; d];
-        let mut samples = Vec::with_capacity(batch);
-        for b in 0..batch {
-            let col = xs.cols(b, b + 1)?.reshaped(vec![n])?;
-            if b < traced {
-                let (_, trace) = layer.engine.matvec_traced(&col)?;
-                input_max = input_max.max(trace.prepared_input.max_abs());
-                for (sm, out) in stage_max.iter_mut().zip(&trace.stage_outputs) {
-                    *sm = sm.max(out.max_abs());
-                }
-            }
-            samples.push(col);
-        }
-        let fallback = self.config.quant.activation_format;
-        let margin = if traced < batch { 1.25 } else { 1.05 };
-        let calibrated = |max_abs: f64| -> QFormat {
-            if self.config.quant.calibrate_activations && max_abs > 0.0 {
-                QFormat::calibrate(max_abs * margin).unwrap_or(fallback)
-            } else {
-                fallback
-            }
-        };
-        let input_format = calibrated(input_max);
-        let stage_formats: Vec<QFormat> =
-            stage_max.iter().map(|&m| calibrated(m)).collect();
+        let (input_format, stage_formats) = self.formats_for_batch(layer, xs, batch)?;
 
         // Stage the prepared inputs block-wise (sample-major columns) in
         // working SRAM 0.
@@ -283,8 +490,9 @@ impl TieAccelerator {
         let cols_single = n / n_d;
         {
             let mut staged = Tensor::<f64>::zeros(vec![n_d, cols_single * batch]);
-            for (b, col) in samples.iter().enumerate() {
-                let xp = prepare_input(col, shape)?;
+            for b in 0..batch {
+                let col = xs.cols(b, b + 1)?.reshaped(vec![n])?;
+                let xp = prepare_input(&col, shape)?;
                 for r in 0..n_d {
                     for c in 0..cols_single {
                         staged.data_mut()[r * cols_single * batch + b * cols_single + c] =
@@ -353,7 +561,8 @@ impl TieAccelerator {
             let n_pe = self.config.n_pe;
             let n_mac = self.config.n_mac;
             let core_idx = core_base + h - 1;
-            let outcome = {
+            let apply_relu = relu && h == 1;
+            let outcome = if walk {
                 let mut read_weights =
                     |rt: usize, col: usize| weight_sram.read_column(core_idx, rt, col);
                 let src_ref = &mut *src;
@@ -377,7 +586,6 @@ impl TieAccelerator {
                     (row, cycles)
                 };
                 let dst_ref = &mut *dst;
-                let apply_relu = relu && h == 1;
                 let tmap_ref = &tmap_out;
                 let mut write_block = |rt: usize, pt: usize, block: &[Vec<i16>]| {
                     let live_rows = (gr - rt * n_mac).min(n_mac);
@@ -413,6 +621,79 @@ impl TieAccelerator {
                     out_shift,
                     self.config.pass_overhead_cycles,
                 )
+            } else {
+                // Fast path: the whole stage as one quantized GEMM over
+                // the batch, bit-identical to the walk (same ascending-k
+                // MAC order, same 24-bit clamp and requantization — see
+                // `tie_quant::qmatmul`), with the cycle/traffic model fed
+                // the closed-form activity counts of the Fig. 7 schedule.
+                let row_tiles = gr.div_ceil(n_mac);
+                let pe_tiles = vc_total.div_ceil(n_pe);
+                debug_assert_eq!(
+                    src.dims(),
+                    (gc, vc_total),
+                    "stage source must be the transformed V'_{{h+1}} matrix"
+                );
+                let need = gr * vc_total;
+                let scratch = &mut self.stage_scratch;
+                if scratch.len() < need {
+                    scratch.resize(need, 0);
+                }
+                let report = qmatmul_raw(
+                    weight_sram.cores()[core_idx].codes(),
+                    src.contents(),
+                    gr,
+                    gc,
+                    vc_total,
+                    prod_shift,
+                    out_shift,
+                    &mut scratch[..need],
+                );
+                // Traffic the walk would generate: one weight word per
+                // (row_tile, pe_tile, gcol) broadcast, one element read
+                // per live V' operand. The gathers are same-row
+                // consecutive-column reads, so under the skewed banking
+                // (validated n_banks >= n_pe) they are conflict-free by
+                // construction — zero extra cycles, like the walk.
+                weight_sram.charge_reads((row_tiles * pe_tiles * gc) as u64);
+                src.charge_reads((row_tiles * gc * vc_total) as u64);
+                // Replay the walk's write-back exactly: same per-pass
+                // write_scatter calls, same ReArranged positions — this
+                // both stores V_h for the next stage and reproduces the
+                // bank-word write counts.
+                let mut items: Vec<(usize, usize, i16)> = Vec::with_capacity(n_mac * n_pe);
+                for rt in 0..row_tiles {
+                    let live_rows = (gr - rt * n_mac).min(n_mac);
+                    for pt in 0..pe_tiles {
+                        items.clear();
+                        for j in 0..n_pe {
+                            let col = pt * n_pe + j;
+                            if col >= vc_total {
+                                continue;
+                            }
+                            let (blk, q_local) = (col / vc, col % vc);
+                            for i in 0..live_rows {
+                                let mut v = scratch[(rt * n_mac + i) * vc_total + col];
+                                if apply_relu && v < 0 {
+                                    v = 0;
+                                }
+                                let (pr, qc) = match &tmap_out {
+                                    Some(t) => t.map(rt * n_mac + i, q_local),
+                                    None => (rt * n_mac + i, q_local),
+                                };
+                                items.push((pr, blk * out_block_cols + qc, v));
+                            }
+                        }
+                        dst.write_scatter(&items);
+                    }
+                }
+                StageOutcome {
+                    cycles: (row_tiles * pe_tiles) as u64
+                        * (gc as u64 + self.config.pass_overhead_cycles),
+                    macs: (gr * gc * vc_total) as u64,
+                    acc_saturations: report.acc_saturations,
+                    out_saturations: report.out_saturations,
+                }
             };
             stats.stages.push(StageStats {
                 h,
@@ -481,6 +762,20 @@ impl TieAccelerator {
         let mut bases = Vec::with_capacity(matrices.len());
         let mut all_cores = Vec::new();
         let mut base = 0usize;
+        // One-shot calibration probes chain through the stack: layer i+1
+        // is calibrated on layer i's probe outputs, so every layer sees
+        // realistic input amplitudes.
+        let mut probes = if self.one_shot() {
+            let q = &self.config.quant;
+            probe_vectors(
+                q.probe_seed,
+                q.probe_count,
+                matrices[0].shape().num_cols(),
+                q.probe_amplitude,
+            )?
+        } else {
+            Vec::new()
+        };
         for matrix in matrices {
             let shape = matrix.shape().clone();
             let plan = InferencePlan::new(&shape)?;
@@ -504,6 +799,9 @@ impl TieAccelerator {
                 formats.push(q.format());
                 all_cores.push(q);
             }
+            let (input_format, stage_formats, input_max, stage_max, probe_outputs) =
+                self.calibrate_layer(&engine, &probes)?;
+            probes = probe_outputs;
             bases.push(base);
             base += shape.ndim();
             layers.push(LoadedLayer {
@@ -511,6 +809,10 @@ impl TieAccelerator {
                 plan,
                 weight_formats: formats,
                 engine,
+                input_format,
+                stage_formats,
+                input_max,
+                stage_max,
             });
         }
         self.weight_sram.load(all_cores)?;

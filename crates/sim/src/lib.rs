@@ -37,11 +37,13 @@
 mod accelerator;
 mod config;
 mod pe_array;
+mod qengine;
 mod sram;
 mod stats;
 
 pub use accelerator::{LoadedLayer, LoadedNetwork, TieAccelerator};
-pub use config::{QuantConfig, TieConfig};
+pub use config::{CalibrationMode, QuantConfig, TieConfig};
+pub use qengine::QuantizedEngine;
 pub use pe_array::PeArray;
 pub use sram::{WeightSram, WorkingSram};
 pub use stats::{RunStats, StageStats};

@@ -130,6 +130,14 @@ impl WeightSram {
     pub fn reads(&self) -> u64 {
         self.reads
     }
+
+    /// Charges `n` word reads without touching data — used by the batched
+    /// fast path in `TieAccelerator`, which computes whole stages with one
+    /// GEMM but must report the same traffic the cycle-level walk (one
+    /// [`WeightSram::read_column`] per `(row_tile, pe_tile, gcol)`) would.
+    pub fn charge_reads(&mut self, n: u64) {
+        self.reads += n;
+    }
 }
 
 /// One working SRAM copy (the design has two, used as a ping-pong pair).
@@ -299,6 +307,15 @@ impl WorkingSram {
     /// Element reads so far.
     pub fn reads(&self) -> u64 {
         self.reads
+    }
+
+    /// Charges `n` element reads without touching data — used by the
+    /// batched fast path in `TieAccelerator` to report the same gather
+    /// traffic the cycle-level walk would (the walk's gathers are
+    /// sequential same-row reads, conflict-free by construction when
+    /// `n_banks >= n_pe`, so only the count needs replaying).
+    pub fn charge_reads(&mut self, n: u64) {
+        self.reads += n;
     }
 
     /// Word writes so far.

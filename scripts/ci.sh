@@ -28,7 +28,7 @@ cargo test -q --workspace "${CARGO_FLAGS[@]}"
 TIE_STRESS_SEED="${TIE_STRESS_SEED:-3735928559}"
 export TIE_STRESS_SEED
 echo "== tier-2: verification suites (TIE_STRESS_SEED=${TIE_STRESS_SEED}) =="
-for suite in differential golden properties serve_stress; do
+for suite in differential golden properties serve_stress quant_kernels zero_alloc; do
   echo "-- ${suite}, TIE_THREADS=1 --"
   TIE_THREADS=1 cargo test -q --test "${suite}" "${CARGO_FLAGS[@]}"
   echo "-- ${suite}, default thread count --"
@@ -47,6 +47,20 @@ TIE_THREADS=1 cargo test -q --release -p tie-workloads --test compile_table4 \
 echo "== tier-2: paper-scale FC6 compile (budget ${TIE_COMPILE_BUDGET_S}s), default thread count =="
 cargo test -q --release -p tie-workloads --test compile_table4 \
   "${CARGO_FLAGS[@]}" fc6_compiles_at_paper_scale_within_budget -- --ignored
+
+# Quantized fast-path gate (quantized-path PR, DESIGN.md §12): a VGG-FC7
+# batch-16 simulated run must finish inside the wall-clock budget — the
+# one-shot-calibrated batched stage-GEMM path must never regress toward
+# the per-sample MAC-walk cost. Needs --release; both thread settings,
+# since the GEMM rides the pool.
+TIE_QUANT_BUDGET_S="${TIE_QUANT_BUDGET_S:-5}"
+export TIE_QUANT_BUDGET_S
+echo "== tier-2: FC7 quantized batch budget (${TIE_QUANT_BUDGET_S}s), TIE_THREADS=1 =="
+TIE_THREADS=1 cargo test -q --release --test quant_kernels \
+  "${CARGO_FLAGS[@]}" fc7_quantized_batch_runs_within_budget -- --ignored
+echo "== tier-2: FC7 quantized batch budget (${TIE_QUANT_BUDGET_S}s), default thread count =="
+cargo test -q --release --test quant_kernels \
+  "${CARGO_FLAGS[@]}" fc7_quantized_batch_runs_within_budget -- --ignored
 
 # Pool dispatch regression gate (pool PR, DESIGN.md §11): the persistent
 # pool must not be slower than the old per-call scoped-spawn path on a

@@ -86,3 +86,59 @@ fn steady_state_matvec_performs_no_heap_allocation() {
     let y_t = Tensor::from_vec(vec![m], y).unwrap();
     assert!(y_t.approx_eq(&want, 1e-9));
 }
+
+/// The quantized kernel's caller-owned-scratch entry point must not
+/// allocate either: the accumulators are fixed-size stack tiles inside the
+/// kernel frame, and below the pool's spawn threshold the whole product
+/// runs inline on the calling thread.
+#[test]
+fn steady_state_qmatmul_into_performs_no_heap_allocation() {
+    use tie::quant::{qmatmul_into, QTensor};
+    let mut rng = ChaCha8Rng::seed_from_u64(4243);
+    // 16 * 24 * 20 = 7680 < the 1<<14 spawn threshold: runs inline.
+    let (m, k, n) = (16usize, 24usize, 20usize);
+    let a_f: Tensor<f64> = init::uniform(&mut rng, vec![m, k], 1.0);
+    let b_f: Tensor<f64> = init::uniform(&mut rng, vec![k, n], 1.0);
+    let a = QTensor::quantize(&a_f, QFormat::new(12).unwrap());
+    let b = QTensor::quantize(&b_f, QFormat::new(8).unwrap());
+    let out = QFormat::new(8).unwrap();
+    let mut codes = vec![0i16; m * n];
+
+    qmatmul_into(&a, &b, out, &mut codes).unwrap(); // warm-up (paranoia; needs none)
+    let before = allocs_on_this_thread();
+    let mut report = tie::quant::QMatmulReport::default();
+    for _ in 0..16 {
+        report = qmatmul_into(&a, &b, out, &mut codes).unwrap();
+    }
+    let after = allocs_on_this_thread();
+    assert_eq!(after - before, 0, "steady-state qmatmul_into must not allocate");
+    assert_eq!(report.outputs, (m * n) as u64);
+}
+
+/// The quantized serving engine keeps the same promise as the float one:
+/// after the first call grows the i16 ping-pong workspace, batched
+/// execution performs no heap allocation.
+#[test]
+fn steady_state_quantized_engine_performs_no_heap_allocation() {
+    use tie::sim::{QuantConfig, QuantizedEngine};
+    let mut rng = ChaCha8Rng::seed_from_u64(4244);
+    let shape = TtShape::uniform_rank(vec![4, 4, 4], vec![4, 4, 4], 3).unwrap();
+    let ttm = TtMatrix::<f64>::random(&mut rng, &shape, 0.8).unwrap();
+    let engine = QuantizedEngine::new(ttm, QuantConfig::default()).unwrap();
+    let (n, m) = (shape.num_cols(), shape.num_rows());
+    let b = 4usize;
+    let xs: Tensor<f64> = init::uniform(&mut rng, vec![n * b], 1.0);
+    let mut ys = vec![0.0f64; m * b];
+
+    engine.matvec_batch_into(xs.data(), b, &mut ys).unwrap(); // warm-up
+    let before = allocs_on_this_thread();
+    for _ in 0..16 {
+        engine.matvec_batch_into(xs.data(), b, &mut ys).unwrap();
+    }
+    let after = allocs_on_this_thread();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state quantized batched passes must not allocate"
+    );
+}
