@@ -28,6 +28,10 @@
 //!   inter-stage transform (Eqn. 10), output assembly; all exposed both as
 //!   tensor operations and as raw index maps (the cycle simulator in
 //!   `tie-sim` replays the same maps through its SRAM read scheme).
+//! * [`indexmap`] — the symbolic indexing-map compiler: every Transform
+//!   step as a strided affine map, composed into a single map per stage
+//!   and lowered into the fused GEMM write epilogues (`DestMap`) and
+//!   minimal cold-path copy plans ([`indexmap::CopyPlan`]).
 //! * [`plan`] — [`plan::InferencePlan`]: per-stage dimensions, multiply
 //!   counts and buffer sizes computed from a [`TtShape`] alone.
 //! * [`counts`] — the paper's analytical formulas: Eqn. (3) naive count,
@@ -59,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod counts;
+pub mod indexmap;
 pub mod plan;
 pub mod scheme;
 pub mod transform;

@@ -116,6 +116,20 @@ impl InferencePlan {
         2 * self.max_intermediate_elems()
     }
 
+    /// Largest stage *input*, in elements: `max_h |V'_{h+1}|` (including
+    /// the prepared input `N`). With the Transform fused into the GEMM
+    /// write epilogue each workspace buffer only ever holds a stage input
+    /// (the final stage writes straight into the caller's output), so this
+    /// — not [`Self::max_intermediate_elems`] — sizes the fused ping-pong
+    /// buffers. Always `≤ max_intermediate_elems()`.
+    pub fn max_stage_input_elems(&self) -> usize {
+        self.stages
+            .iter()
+            .map(StagePlan::input_elems)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Total weight elements across all unfolded cores (weight-SRAM
     /// footprint in elements).
     pub fn total_core_elems(&self) -> usize {
@@ -190,6 +204,25 @@ mod tests {
         assert_eq!(p.working_set_elems(), 2 * p.max_intermediate_elems());
         // FC6: peak intermediate exceeds both M and N (rank inflation).
         assert!(p.max_intermediate_elems() >= 25088);
+    }
+
+    #[test]
+    fn fused_buffer_bound_is_tighter_than_legacy() {
+        // Never larger than the legacy bound anywhere…
+        for s in [
+            fc7_shape(),
+            TtShape::uniform_rank(vec![4; 6], vec![2, 7, 8, 8, 7, 4], 4).unwrap(),
+            TtShape::uniform_rank(vec![4; 4], vec![8, 20, 20, 18], 4).unwrap(),
+        ] {
+            let p = InferencePlan::new(&s).unwrap();
+            assert!(p.max_stage_input_elems() <= p.max_intermediate_elems());
+        }
+        // …and strictly smaller when the peak is a final-stage output: here
+        // V_1 is 16 elements but no stage input exceeds 4.
+        let s = TtShape::uniform_rank(vec![8, 2], vec![2, 2], 1).unwrap();
+        let p = InferencePlan::new(&s).unwrap();
+        assert_eq!(p.max_intermediate_elems(), 16);
+        assert_eq!(p.max_stage_input_elems(), 4);
     }
 
     #[test]

@@ -1,26 +1,34 @@
 //! The executable compact inference scheme ([`CompactEngine`]).
 
+use crate::indexmap::{assemble_dest_map, prepare_copy_plan, stage_dest_map, CopyPlan};
 use crate::plan::InferencePlan;
 use crate::transform::{
     assemble_output_gather, copy_gather_batched, prepare_input_scatter, unfold_core, TransformMap,
 };
 use std::sync::Mutex;
-use tie_tensor::linalg::gemm_into;
+use tie_tensor::linalg::{gemm_into, gemm_into_mapped, DestMap};
 use tie_tensor::{Result, Scalar, Tensor, TensorError};
 use tie_tt::inference::OpCount;
 use tie_tt::TtMatrix;
 
 /// A prepared compact-scheme executor for one TT-compressed layer.
 ///
-/// Construction unfolds every core into its stage matrix `G̃_h`, builds the
-/// inter-stage [`TransformMap`]s, and materializes all index bijections
-/// (input scatter, per-stage gathers, output gather) **once**;
-/// [`CompactEngine::matvec`] then runs the `d` multiply stages against a
-/// ping-pong scratch workspace held inside the engine. This mirrors TIE
-/// hardware, where the unfolded cores sit in the weight SRAM, the working
-/// SRAMs are ping-ponged between stages, and the transforms are absorbed
-/// into the working-SRAM read scheme (the precomputed index vectors are the
-/// software analogue of the hardware address generators).
+/// Construction unfolds every core into its stage matrix `G̃_h` and compiles
+/// every index bijection of the scheme **symbolically**
+/// ([`crate::indexmap`]): the inter-stage Transform of each stage composes
+/// into a single affine map, lowered into a [`DestMap`] that the blocked
+/// GEMM evaluates inside its write loop. [`CompactEngine::matvec`] then
+/// runs the `d` multiply stages against a ping-pong scratch workspace held
+/// inside the engine, each stage scattering its output **directly into the
+/// next stage's layout** — the separate permutation pass (and its
+/// intermediate buffer) no longer exists. This mirrors TIE hardware, where
+/// the unfolded cores sit in the weight SRAM, the working SRAMs are
+/// ping-ponged between stages, and the transforms are absorbed into the
+/// working-SRAM access scheme rather than moving data.
+///
+/// The input preparation (Eqn. 8) — the one bijection that cannot fuse
+/// into a GEMM because no GEMM precedes it — runs as the provably-minimal
+/// block-copy [`CopyPlan`] derived from the same composed map.
 ///
 /// After the first call has grown the workspace, steady-state
 /// [`CompactEngine::matvec_into`] performs **no heap allocation**.
@@ -48,27 +56,28 @@ pub struct CompactEngine<T: Scalar> {
     plan: InferencePlan,
     /// Unfolded stage matrices, indexed by 0-based core index `k = h-1`.
     gtildes: Vec<Tensor<T>>,
-    /// Transform maps for `h = d, d-1, …, 2` (applied after stages d..2).
+    /// Transform maps for `h = d, d-1, …, 2` — kept for the traced run and
+    /// the gather-table differential oracle
+    /// ([`CompactEngine::matvec_batch_into_gather`]); the hot path never
+    /// touches them.
     transforms: Vec<TransformMap>,
-    /// Destination-indexed gather vectors, one per transform (same order):
-    /// entry `o` is the flat `V_h` offset whose element lands at flat
-    /// `V'_h` offset `o`.
-    stage_gathers: Vec<Vec<usize>>,
-    /// Destination-indexed gather for the input layout (Eqn. (8)): entry
-    /// `dst` is the dense-input index whose element lands at flat `X'`
-    /// offset `dst`. Inverted from [`prepare_input_scatter`] at
-    /// construction so the hot path's copy is destination-contiguous and
-    /// can split across the pool like the stage gathers.
-    prep_gather: Vec<usize>,
-    /// Destination-indexed gather for the output layout.
-    out_gather: Vec<usize>,
+    /// Fused write epilogues, one per stage in execution order: the
+    /// composed Transform map for `h = d … 2`, the output-assembly map for
+    /// the final `h = 1` stage (which scatters straight into the caller's
+    /// buffer).
+    dest_maps: Vec<DestMap>,
+    /// Minimal block-copy plan of the input preparation (Eqn. (8)),
+    /// compiled from the inverted affine map.
+    prep_plan: CopyPlan,
     /// Ping-pong scratch buffers, grown on demand and reused across calls.
     workspace: Mutex<Workspace<T>>,
 }
 
-/// Reusable scratch for the stage pipeline. Both buffers are sized to the
-/// plan's peak intermediate (× batch width) — the software analogue of the
-/// two working SRAMs in TIE (§3.2 storage bound `2 · max_h |V_h|`).
+/// Reusable scratch for the stage pipeline. With fused writes each buffer
+/// only ever holds a stage *input* (`max_stage_input_elems × batch`) — the
+/// Transform intermediate of the legacy pipeline no longer exists, and the
+/// final stage bypasses the workspace entirely. `pong` stays empty for
+/// single-stage layers.
 #[derive(Debug)]
 struct Workspace<T> {
     ping: Vec<T>,
@@ -91,9 +100,8 @@ impl<T: Scalar> Clone for CompactEngine<T> {
             plan: self.plan.clone(),
             gtildes: self.gtildes.clone(),
             transforms: self.transforms.clone(),
-            stage_gathers: self.stage_gathers.clone(),
-            prep_gather: self.prep_gather.clone(),
-            out_gather: self.out_gather.clone(),
+            dest_maps: self.dest_maps.clone(),
+            prep_plan: self.prep_plan.clone(),
             // Scratch is per-engine state, not semantic state: the clone
             // starts with an empty workspace and grows it on first use.
             workspace: Mutex::new(Workspace::default()),
@@ -125,9 +133,9 @@ pub struct StageTrace<T: Scalar> {
 }
 
 impl<T: Scalar> CompactEngine<T> {
-    /// Prepares the engine: builds the plan, unfolds all cores, constructs
-    /// the transform maps, and precomputes every index vector the hot path
-    /// needs.
+    /// Prepares the engine: builds the plan, unfolds all cores, and
+    /// compiles every index bijection symbolically — the per-stage fused
+    /// write epilogues and the minimal input-preparation copy plan.
     ///
     /// # Errors
     ///
@@ -144,24 +152,21 @@ impl<T: Scalar> CompactEngine<T> {
             .rev()
             .map(|h| TransformMap::new(matrix.shape(), h))
             .collect::<Result<Vec<_>>>()?;
-        let stage_gathers = transforms.iter().map(TransformMap::gather).collect();
-        // The input-layout bijection is published source-indexed (entry j =
-        // destination of dense element j); invert it once so the hot path
-        // writes destination-contiguous blocks (parallelizable gather).
-        let prep_scatter = prepare_input_scatter(matrix.shape());
-        let mut prep_gather = vec![0usize; prep_scatter.len()];
-        for (j, &dst) in prep_scatter.iter().enumerate() {
-            prep_gather[dst] = j;
+        // Fused epilogues in execution order: composed Transform maps for
+        // h = d … 2, then the output-assembly map for the final stage.
+        let mut dest_maps = Vec::with_capacity(d);
+        for h in (2..=d).rev() {
+            dest_maps.push(stage_dest_map(matrix.shape(), h)?);
         }
-        let out_gather = assemble_output_gather(matrix.shape());
+        dest_maps.push(assemble_dest_map(matrix.shape())?);
+        let prep_plan = prepare_copy_plan(matrix.shape())?;
         Ok(CompactEngine {
             matrix,
             plan,
             gtildes,
             transforms,
-            stage_gathers,
-            prep_gather,
-            out_gather,
+            dest_maps,
+            prep_plan,
             workspace: Mutex::new(Workspace::default()),
         })
     }
@@ -198,7 +203,7 @@ impl<T: Scalar> CompactEngine<T> {
             });
         }
         let mut y = Tensor::zeros(vec![self.matrix.shape().num_rows()]);
-        let (_, count) = self.run_batched(x.data(), 1, y.data_mut(), false)?;
+        let count = self.run_batched(x.data(), 1, y.data_mut())?;
         Ok((y, count))
     }
 
@@ -228,8 +233,7 @@ impl<T: Scalar> CompactEngine<T> {
                 right: vec![m],
             });
         }
-        let (_, count) = self.run_batched(x, 1, y, false)?;
-        Ok(count)
+        self.run_batched(x, 1, y)
     }
 
     /// Like [`CompactEngine::matvec`] but also returns every intermediate
@@ -249,7 +253,7 @@ impl<T: Scalar> CompactEngine<T> {
             });
         }
         let mut y = Tensor::zeros(vec![self.matrix.shape().num_rows()]);
-        let (trace, _) = self.run_batched(x.data(), 1, y.data_mut(), true)?;
+        let (trace, _) = self.run_batched_gather(x.data(), 1, y.data_mut(), true)?;
         Ok((y, trace.expect("trace requested")))
     }
 
@@ -280,7 +284,7 @@ impl<T: Scalar> CompactEngine<T> {
         }
         let b = xs.ncols()?; // ≥ 1: zero-sized tensors are unrepresentable
         let mut out = Tensor::zeros(vec![m, b]);
-        let (_, count) = self.run_batched(xs.data(), b, out.data_mut(), false)?;
+        let count = self.run_batched(xs.data(), b, out.data_mut())?;
         Ok((out, count))
     }
 
@@ -313,20 +317,129 @@ impl<T: Scalar> CompactEngine<T> {
             // No columns: no stages run, no weights streamed.
             return Ok(OpCount::default());
         }
-        let (_, count) = self.run_batched(xs, b, ys, false)?;
+        self.run_batched(xs, b, ys)
+    }
+
+    /// The legacy gather-table pipeline, kept as the **differential
+    /// oracle** for the fused path: every stage GEMM writes plainly and a
+    /// separate permutation pass re-lays the output out via gather tables
+    /// materialized from the [`TransformMap`]s. Bit-identical to
+    /// [`CompactEngine::matvec_batch_into`] (tested — it runs the same
+    /// GEMM arithmetic, only the writes differ), but allocates its
+    /// buffers and tables per call: a cold path by design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `xs` is not `N·b`
+    /// elements or `ys` is not `M·b` elements.
+    pub fn matvec_batch_into_gather(&self, xs: &[T], b: usize, ys: &mut [T]) -> Result<OpCount> {
+        let n = self.matrix.shape().num_cols();
+        let m = self.matrix.shape().num_rows();
+        if xs.len() != n * b || ys.len() != m * b {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![xs.len(), ys.len()],
+                right: vec![n * b, m * b],
+            });
+        }
+        if b == 0 {
+            return Ok(OpCount::default());
+        }
+        let (_, count) = self.run_batched_gather(xs, b, ys, false)?;
         Ok(count)
     }
 
-    /// The shared stage pipeline: `xs` is `N` rows of `b` contiguous batch
+    /// Bytes of inter-stage and output-assembly traffic the fused write
+    /// epilogues eliminate per sample: the legacy pipeline re-wrote every
+    /// post-GEMM intermediate (`V_h`, `h ≥ 2`) plus the assembled output
+    /// through a separate permutation pass; the fused pipeline writes each
+    /// element exactly once.
+    pub fn transform_elided_bytes_per_sample(&self) -> u64 {
+        let elem = std::mem::size_of::<T>() as u64;
+        let stage_elems: u64 = self
+            .plan
+            .stages()
+            .iter()
+            .filter(|s| s.h >= 2)
+            .map(|s| s.output_elems() as u64)
+            .sum();
+        (stage_elems + self.matrix.shape().num_rows() as u64) * elem
+    }
+
+    /// Bytes still moved per sample by pure copying — the Eqn. (8) input
+    /// preparation, the one bijection with no producing GEMM to fuse into.
+    pub fn bytes_moved_per_sample(&self) -> u64 {
+        self.matrix.shape().num_cols() as u64 * std::mem::size_of::<T>() as u64
+    }
+
+    /// The fused stage pipeline: `xs` is `N` rows of `b` contiguous batch
     /// elements (row-major `N × b`), `ys` receives the `M × b` result.
     ///
     /// All intermediates live in the ping-pong workspace with the batch
     /// index inner-most: the element at matrix offset `e`, batch column
     /// `c`, sits at flat `e·b + c`. A stage GEMM then *is* the batched
     /// stage — `G̃_h (rows × k)` times the intermediate viewed as
-    /// `k × (v_cols·b)` — and every index bijection becomes a contiguous
-    /// `b`-element block copy driven by the precomputed vectors.
-    fn run_batched(
+    /// `k × (v_cols·b)` — and its write loop evaluates the stage's
+    /// composed Transform map, scattering each output straight into
+    /// `V'_h` layout (or, for the final stage, straight into `ys` in
+    /// assembled order). No permutation pass, no transform intermediate.
+    fn run_batched(&self, xs: &[T], b: usize, ys: &mut [T]) -> Result<OpCount> {
+        debug_assert!(b > 0);
+        let shape = self.matrix.shape();
+        let d = shape.ndim();
+        let mut count = OpCount::default();
+        let mut guard = self
+            .workspace
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let ws = &mut *guard;
+        // Each buffer only ever holds a stage input; the final stage
+        // writes into `ys`, so `pong` is needed only when d ≥ 2.
+        let per_buf = self.plan.max_stage_input_elems() * b;
+        if ws.ping.len() < per_buf {
+            ws.ping.resize(per_buf, T::ZERO);
+        }
+        if d >= 2 && ws.pong.len() < per_buf {
+            ws.pong.resize(per_buf, T::ZERO);
+        }
+        let (mut cur, mut nxt) = (&mut ws.ping, &mut ws.pong);
+        // Prepare the input (Eqn. (8)): minimal contiguous block copies.
+        self.prep_plan.apply_batched(xs, cur, b);
+        for (idx, h) in (1..=d).rev().enumerate() {
+            let stage = &self.plan.stages()[idx];
+            let (rows, k, cols) = (stage.gtilde_rows, stage.gtilde_cols, stage.v_cols);
+            let a = self.gtildes[h - 1].data();
+            let map = &self.dest_maps[idx];
+            if h >= 2 {
+                gemm_into_mapped(
+                    a,
+                    &cur[..k * cols * b],
+                    &mut nxt[..rows * cols * b],
+                    rows,
+                    k,
+                    cols,
+                    b,
+                    map,
+                )?;
+                std::mem::swap(&mut cur, &mut nxt);
+            } else {
+                gemm_into_mapped(a, &cur[..k * cols * b], ys, rows, k, cols, b, map)?;
+            }
+            // Arithmetic scales with the batch; each core is streamed from
+            // weight memory once per stage and reused across all B columns
+            // (the paper's working-SRAM amortization).
+            count.mults += stage.muls() * b as u64;
+            count.adds += stage.muls() * b as u64;
+            count.core_reads += stage.core_elems() as u64;
+        }
+        Ok(count)
+    }
+
+    /// The legacy pipeline body (see
+    /// [`CompactEngine::matvec_batch_into_gather`]): GEMM into a scratch
+    /// buffer, then a separate gather-table permutation pass per stage.
+    /// Also the only path that can capture pre-transform intermediates
+    /// (`capture` ⇒ `b == 1`), which the fused path never materializes.
+    fn run_batched_gather(
         &self,
         xs: &[T],
         b: usize,
@@ -338,22 +451,18 @@ impl<T: Scalar> CompactEngine<T> {
         let shape = self.matrix.shape();
         let d = shape.ndim();
         let mut count = OpCount::default();
-        let mut guard = self
-            .workspace
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let ws = &mut *guard;
+        // Cold path: local buffers and gather tables, materialized per
+        // call (the engine no longer stores any index tables).
         let peak = self.plan.max_intermediate_elems() * b;
-        if ws.ping.len() < peak {
-            ws.ping.resize(peak, T::ZERO);
+        let mut ping = vec![T::ZERO; peak];
+        let mut pong = vec![T::ZERO; peak];
+        let (mut cur, mut nxt) = (&mut ping, &mut pong);
+        let prep_scatter = prepare_input_scatter(shape);
+        let mut prep_gather = vec![0usize; prep_scatter.len()];
+        for (j, &dst) in prep_scatter.iter().enumerate() {
+            prep_gather[dst] = j;
         }
-        if ws.pong.len() < peak {
-            ws.pong.resize(peak, T::ZERO);
-        }
-        let (mut cur, mut nxt) = (&mut ws.ping, &mut ws.pong);
-        // Prepare the input (Eqn. (8)): pure block copies via the inverted
-        // gather, destination rows split across the pool for large layers.
-        copy_gather_batched(&self.prep_gather, xs, cur, b);
+        copy_gather_batched(&prep_gather, xs, cur, b);
         let prepared_input = if capture {
             let n = shape.num_cols();
             let n_d = shape.col_modes[d - 1];
@@ -375,9 +484,6 @@ impl<T: Scalar> CompactEngine<T> {
                 k,
                 cols * b,
             )?;
-            // Arithmetic scales with the batch; each core is streamed from
-            // weight memory once per stage and reused across all B columns
-            // (the paper's working-SRAM amortization).
             count.mults += stage.muls() * b as u64;
             count.adds += stage.muls() * b as u64;
             count.core_reads += stage.core_elems() as u64;
@@ -389,14 +495,15 @@ impl<T: Scalar> CompactEngine<T> {
                 )?);
             }
             if h >= 2 {
-                let gather = &self.stage_gathers[idx];
                 debug_assert_eq!(self.transforms[idx].h, h);
-                copy_gather_batched(gather, cur, nxt, b);
+                let gather = self.transforms[idx].gather();
+                copy_gather_batched(&gather, cur, nxt, b);
                 std::mem::swap(&mut cur, &mut nxt);
             }
         }
         // Gather the output rows straight into the caller's buffer.
-        copy_gather_batched(&self.out_gather, cur, ys, b);
+        let out_gather = assemble_output_gather(shape);
+        copy_gather_batched(&out_gather, cur, ys, b);
         let trace = capture.then(|| StageTrace {
             prepared_input: prepared_input.expect("captured above"),
             stage_outputs,
@@ -650,6 +757,63 @@ mod tests {
         let clone = engine.clone();
         let (y2, _) = clone.matvec(&x).unwrap();
         assert!(y1.approx_eq(&y2, 0.0));
+    }
+
+    #[test]
+    fn fused_path_is_bitwise_equal_to_gather_oracle() {
+        // The tentpole acceptance check at engine level: the fused write
+        // epilogue must reproduce the legacy gather-table pipeline
+        // bit-for-bit, at any pool size, including degenerate shapes.
+        for (seed, m, n, r) in [
+            (90, vec![2, 3, 2], vec![3, 2, 2], 2),
+            (91, vec![4, 4], vec![4, 4], 4),
+            (92, vec![5], vec![7], 1),
+            (93, vec![1, 4], vec![3, 1], 1),
+            (94, vec![8, 2], vec![2, 2], 1),
+        ] {
+            let (engine, _, _) = random_case(seed, m, n, r);
+            let nn = engine.matrix().shape().num_cols();
+            let mm = engine.matrix().shape().num_rows();
+            let mut rng = ChaCha8Rng::seed_from_u64(seed + 1000);
+            for b in [1usize, 3] {
+                let xs: Tensor<f64> = init::uniform(&mut rng, vec![nn, b], 1.0);
+                let mut fused = vec![0.0f64; mm * b];
+                let mut oracle = vec![0.0f64; mm * b];
+                let c1 = engine.matvec_batch_into(xs.data(), b, &mut fused).unwrap();
+                let c2 = engine
+                    .matvec_batch_into_gather(xs.data(), b, &mut oracle)
+                    .unwrap();
+                assert_eq!(c1, c2, "op counts agree (seed {seed}, b={b})");
+                for (i, (f, o)) in fused.iter().zip(&oracle).enumerate() {
+                    assert_eq!(
+                        f.to_bits(),
+                        o.to_bits(),
+                        "element {i} (seed {seed}, b={b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_accounting_matches_plan() {
+        let (engine, _, _) = random_case(95, vec![2, 3, 2], vec![3, 2, 2], 2);
+        let shape = engine.matrix().shape();
+        let stage_elems: u64 = engine
+            .plan()
+            .stages()
+            .iter()
+            .filter(|s| s.h >= 2)
+            .map(|s| s.output_elems() as u64)
+            .sum();
+        assert_eq!(
+            engine.transform_elided_bytes_per_sample(),
+            (stage_elems + shape.num_rows() as u64) * 8
+        );
+        assert_eq!(
+            engine.bytes_moved_per_sample(),
+            shape.num_cols() as u64 * 8
+        );
     }
 
     #[test]

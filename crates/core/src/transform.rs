@@ -46,9 +46,14 @@ use tie_tt::TtShape;
 /// Large moves split the **destination** rows across the persistent pool
 /// (`tie_tensor::pool` via `for_each_row_slab`); each output block is
 /// written by exactly one slab and reads are side-effect-free, so the
-/// result is bit-identical at any thread count. Below
-/// [`parallel::PARALLEL_MIN_COPY`] moved elements the copy stays on the
-/// calling thread. Allocation-free: everything lives in caller buffers.
+/// result is bit-identical at any thread count. Small moves (below the
+/// [`parallel::threads_for`] spawn threshold) stay on the calling thread.
+/// Allocation-free: everything lives in caller buffers.
+///
+/// Since the fused write epilogue took over the steady-state inter-stage
+/// traffic this runs only on cold paths (traced runs, the gather-table
+/// oracle), so it shares the kernels' work threshold instead of carrying
+/// its own copy-specific tuning constant.
 pub(crate) fn copy_gather_batched<T: Scalar>(
     gather: &[usize],
     src: &[T],
@@ -57,7 +62,7 @@ pub(crate) fn copy_gather_batched<T: Scalar>(
 ) {
     let rows = gather.len();
     debug_assert!(dst.len() >= rows * b);
-    let threads = parallel::threads_for_copy(rows * b, rows);
+    let threads = parallel::threads_for(rows * b, rows);
     parallel::for_each_row_slab(&mut dst[..rows * b], rows, b, threads, |o0, slab| {
         for (r, out) in slab.chunks_mut(b).enumerate() {
             let s = gather[o0 + r];

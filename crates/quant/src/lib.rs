@@ -46,8 +46,8 @@ pub mod stats;
 pub use accumulator::Accumulator;
 pub use format::QFormat;
 pub use matmul::{
-    alignment, qmatmul, qmatmul_into, qmatmul_naive, qmatmul_raw, qmatmul_raw_portable,
-    QMatmulReport,
+    alignment, qmatmul, qmatmul_into, qmatmul_naive, qmatmul_raw, qmatmul_raw_mapped,
+    qmatmul_raw_portable, QMatmulReport,
 };
 pub use qtensor::QTensor;
 pub use stats::error_stats;

@@ -32,6 +32,7 @@
 
 use crate::{Accumulator, QFormat, QTensor};
 use std::sync::atomic::{AtomicU64, Ordering};
+use tie_tensor::linalg::DestMap;
 use tie_tensor::{parallel, Result, TensorError};
 
 /// Portable column-tile width (vectorizes to 128-bit lanes).
@@ -265,6 +266,248 @@ pub fn qmatmul_raw_portable(
         out_saturations: out_saturations.into_inner(),
         outputs: (m * n) as u64,
     }
+}
+
+/// [`qmatmul_raw`] with a fused destination-map write epilogue — the
+/// quantized twin of `tie_tensor::linalg::gemm_into_mapped`, used by the
+/// quantized serving engine and the simulator's batched fast path to fold
+/// the inter-stage Transform into the store.
+///
+/// `b` is `k × (n_mat·bsz)` with logical columns batch-inner; output
+/// element `(i, q·bsz + cb)` lands at `(map.row[i] + map.col[q])·bsz + cb`
+/// of `codes`. The lane arithmetic is [`qmm_body`] verbatim (same MAC
+/// order, same clamp points), only the final store is redirected, so codes
+/// *and* the saturation report are bit-identical to [`qmatmul_raw`]
+/// followed by a permutation, at any tile width and pool size.
+///
+/// # Panics
+///
+/// Panics (via `assert!`) on slice-length / map-extent mismatches.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn qmatmul_raw_mapped(
+    a: &[i16],
+    b: &[i16],
+    m: usize,
+    k: usize,
+    n_mat: usize,
+    bsz: usize,
+    prod_shift: u32,
+    out_shift: u32,
+    codes: &mut [i16],
+    map: &DestMap,
+) -> QMatmulReport {
+    let n = n_mat * bsz;
+    assert!(bsz > 0, "batch width must be positive");
+    assert_eq!(map.rows(), m, "map rows are m");
+    assert_eq!(map.cols(), n_mat, "map cols are n_mat");
+    assert_eq!(a.len(), m * k, "A is m×k");
+    assert_eq!(b.len(), k * n, "B is k×(n_mat·bsz)");
+    assert_eq!(codes.len(), m * n, "C is m×(n_mat·bsz)");
+    let acc_saturations = AtomicU64::new(0);
+    let out_saturations = AtomicU64::new(0);
+    let threads = parallel::threads_for(m * k * n, m);
+    let cp = SendPtr(codes.as_mut_ptr());
+    parallel::for_each_row_span(m, threads, |row0, rows| {
+        let (acc_sat, out_sat) = qmm_block_mapped(
+            row0, rows, k, n_mat, bsz, prod_shift, out_shift, a, b, cp.get(), map,
+        );
+        acc_saturations.fetch_add(acc_sat, Ordering::Relaxed);
+        out_saturations.fetch_add(out_sat, Ordering::Relaxed);
+    });
+    QMatmulReport {
+        acc_saturations: acc_saturations.into_inner(),
+        out_saturations: out_saturations.into_inner(),
+        outputs: (m * n) as u64,
+    }
+}
+
+/// Shareable raw code pointer for the mapped kernel's scatter stores.
+struct SendPtr(*mut i16);
+
+#[allow(unsafe_code)]
+// SAFETY: dereferenced only at offsets from a validated `DestMap`
+// bijection, with output rows partitioned across workers — no two threads
+// write the same element, and the caller's `&mut` outlives the dispatch.
+unsafe impl Send for SendPtr {}
+#[allow(unsafe_code)]
+// SAFETY: as above; shared references only hand out the raw pointer.
+unsafe impl Sync for SendPtr {}
+
+impl SendPtr {
+    fn get(&self) -> *mut i16 {
+        self.0
+    }
+}
+
+/// Runtime SIMD dispatch for the mapped quantized kernel — mirrors
+/// [`qmm_block`] so both kernels pick the same tile width on one CPU.
+#[allow(clippy::too_many_arguments)]
+fn qmm_block_mapped(
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n_mat: usize,
+    bsz: usize,
+    prod_shift: u32,
+    out_shift: u32,
+    a: &[i16],
+    b: &[i16],
+    c: *mut i16,
+    map: &DestMap,
+) -> (u64, u64) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: `avx512f` was just detected; the callee's scatter
+            // stores are in-bounds and disjoint by the map bijection.
+            #[allow(unsafe_code)]
+            return unsafe {
+                qmm_mapped_avx512(row0, rows, k, n_mat, bsz, prod_shift, out_shift, a, b, c, map)
+            };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: as above, for `avx2`.
+            #[allow(unsafe_code)]
+            return unsafe {
+                qmm_mapped_avx2(row0, rows, k, n_mat, bsz, prod_shift, out_shift, a, b, c, map)
+            };
+        }
+    }
+    qmm_body_mapped::<QTILE_J>(row0, rows, k, n_mat, bsz, prod_shift, out_shift, a, b, c, map)
+}
+
+/// AVX-512 instantiation of the mapped body.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx512f")]
+unsafe fn qmm_mapped_avx512(
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n_mat: usize,
+    bsz: usize,
+    prod_shift: u32,
+    out_shift: u32,
+    a: &[i16],
+    b: &[i16],
+    c: *mut i16,
+    map: &DestMap,
+) -> (u64, u64) {
+    qmm_body_mapped::<QTILE_J_512>(row0, rows, k, n_mat, bsz, prod_shift, out_shift, a, b, c, map)
+}
+
+/// AVX2 instantiation of the mapped body.
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+#[allow(clippy::too_many_arguments)]
+#[target_feature(enable = "avx2")]
+unsafe fn qmm_mapped_avx2(
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n_mat: usize,
+    bsz: usize,
+    prod_shift: u32,
+    out_shift: u32,
+    a: &[i16],
+    b: &[i16],
+    c: *mut i16,
+    map: &DestMap,
+) -> (u64, u64) {
+    qmm_body_mapped::<QTILE_J_WIDE>(row0, rows, k, n_mat, bsz, prod_shift, out_shift, a, b, c, map)
+}
+
+/// [`qmm_body`] with the final store redirected through the destination
+/// map: lane `j + t` (GEMM column `q·bsz + cb`) lands at
+/// `(row[i] + col[q])·bsz + cb`, with the `(q, cb)` odometer advanced by
+/// increment-and-wrap — one div/mod per tile, none per element. All
+/// accumulator arithmetic is identical to [`qmm_body`].
+#[allow(unsafe_code)]
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn qmm_body_mapped<const TJ: usize>(
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n_mat: usize,
+    bsz: usize,
+    prod_shift: u32,
+    out_shift: u32,
+    a: &[i16],
+    b: &[i16],
+    c: *mut i16,
+    map: &DestMap,
+) -> (u64, u64) {
+    let n = n_mat * bsz;
+    let col = map.col_offsets();
+    let mut acc_sat = 0u64;
+    let mut out_sat = 0u64;
+    let prod_half = if prod_shift > 0 { 1i32 << (prod_shift - 1) } else { 0 };
+    let out_half = if out_shift > 0 { 1i32 << (out_shift - 1) } else { 0 };
+    for i in row0..row0 + rows {
+        let arow = &a[i * k..(i + 1) * k];
+        let base = map.row_offsets()[i];
+        let mut j = 0usize;
+        while j + TJ <= n {
+            let mut vals = [0i32; TJ];
+            let mut sats = [false; TJ];
+            for (kk, &aik) in arow.iter().enumerate() {
+                let ai = aik as i32;
+                let bv = &b[kk * n + j..][..TJ];
+                for (t, &bkj) in bv.iter().enumerate() {
+                    let shifted = (ai * bkj as i32 + prod_half) >> prod_shift;
+                    let sum = vals[t] + shifted;
+                    let clamped = sum.clamp(Accumulator::MIN, Accumulator::MAX);
+                    sats[t] |= clamped != sum;
+                    vals[t] = clamped;
+                }
+            }
+            let mut q = j / bsz;
+            let mut cb = j - q * bsz;
+            for t in 0..TJ {
+                acc_sat += u64::from(sats[t]);
+                let v = (vals[t] + out_half) >> out_shift;
+                let clipped = v.clamp(i16::MIN as i32, i16::MAX as i32);
+                out_sat += u64::from(clipped != v);
+                // SAFETY: `(base + col[q])·bsz + cb < m·n` by the `DestMap`
+                // bijection; rows of this span are written by this worker
+                // only (offsets of distinct rows never collide).
+                unsafe {
+                    *c.add((base + col[q]) * bsz + cb) = clipped as i16;
+                }
+                cb += 1;
+                if cb == bsz {
+                    cb = 0;
+                    q += 1;
+                }
+            }
+            j += TJ;
+        }
+        while j < n {
+            let mut val = 0i32;
+            let mut sat = false;
+            for (kk, &aik) in arow.iter().enumerate() {
+                let shifted = (aik as i32 * b[kk * n + j] as i32 + prod_half) >> prod_shift;
+                let sum = val + shifted;
+                let clamped = sum.clamp(Accumulator::MIN, Accumulator::MAX);
+                sat |= clamped != sum;
+                val = clamped;
+            }
+            acc_sat += u64::from(sat);
+            let v = (val + out_half) >> out_shift;
+            let clipped = v.clamp(i16::MIN as i32, i16::MAX as i32);
+            out_sat += u64::from(clipped != v);
+            let q = j / bsz;
+            // SAFETY: single in-range offset, as above.
+            unsafe {
+                *c.add((base + col[q]) * bsz + (j - q * bsz)) = clipped as i16;
+            }
+            j += 1;
+        }
+    }
+    (acc_sat, out_sat)
 }
 
 /// One row slab of the quantized GEMM, dispatched at runtime to the widest
@@ -587,6 +830,65 @@ mod tests {
         let r2 = qmatmul_raw_portable(qa.codes(), qb.codes(), 11, 17, 19, ps, os, &mut c2);
         assert_eq!(c1, c2);
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn mapped_kernel_matches_raw_then_permute_with_saturation() {
+        // Saturating inputs: the mapped store must not disturb the clamp
+        // points, so codes AND reports must match raw-then-permute exactly,
+        // for identity and transposed maps, at several pool sizes.
+        let mut rng = ChaCha8Rng::seed_from_u64(93);
+        let fmt = QFormat::new(4).unwrap();
+        let (m, k, n_mat) = (9usize, 13usize, 11usize);
+        let a_f: Tensor<f64> = init::uniform(&mut rng, vec![m, k], 1800.0);
+        let qa = QTensor::quantize(&a_f, fmt);
+        let (ps, os) = alignment(fmt, fmt, QFormat::new(2).unwrap());
+        let tmap = DestMap::new(
+            (0..m).collect(),
+            (0..n_mat).map(|q| q * m).collect(),
+        )
+        .unwrap();
+        for bsz in [1usize, 2, 3] {
+            let b_f: Tensor<f64> = init::uniform(&mut rng, vec![k, n_mat * bsz], 1500.0);
+            let qb = QTensor::quantize(&b_f, fmt);
+            let mut plain = vec![0i16; m * n_mat * bsz];
+            let r_plain =
+                qmatmul_raw(qa.codes(), qb.codes(), m, k, n_mat * bsz, ps, os, &mut plain);
+            assert!(
+                r_plain.acc_saturations > 0 || r_plain.out_saturations > 0,
+                "test inputs failed to saturate"
+            );
+            for (map, name) in [(DestMap::identity(m, n_mat), "id"), (tmap.clone(), "t")] {
+                let mut want = vec![0i16; m * n_mat * bsz];
+                for i in 0..m {
+                    for q in 0..n_mat {
+                        for cb in 0..bsz {
+                            want[map.offset(i, q) * bsz + cb] =
+                                plain[i * n_mat * bsz + q * bsz + cb];
+                        }
+                    }
+                }
+                for threads in [1usize, 2, 8] {
+                    let prev = tie_tensor::parallel::set_num_threads(threads);
+                    let mut got = vec![0i16; m * n_mat * bsz];
+                    let r = qmatmul_raw_mapped(
+                        qa.codes(),
+                        qb.codes(),
+                        m,
+                        k,
+                        n_mat,
+                        bsz,
+                        ps,
+                        os,
+                        &mut got,
+                        &map,
+                    );
+                    tie_tensor::parallel::set_num_threads(prev);
+                    assert_eq!(got, want, "{name} bsz={bsz} threads={threads}");
+                    assert_eq!(r, r_plain, "{name} bsz={bsz} threads={threads}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -33,6 +33,8 @@ pub(crate) struct StatsCore {
     quant_outputs: AtomicU64,
     quant_acc_saturations: AtomicU64,
     quant_out_saturations: AtomicU64,
+    bytes_moved: AtomicU64,
+    transform_elided_bytes: AtomicU64,
 }
 
 impl StatsCore {
@@ -53,6 +55,8 @@ impl StatsCore {
             quant_outputs: AtomicU64::new(0),
             quant_acc_saturations: AtomicU64::new(0),
             quant_out_saturations: AtomicU64::new(0),
+            bytes_moved: AtomicU64::new(0),
+            transform_elided_bytes: AtomicU64::new(0),
         }
     }
 
@@ -93,6 +97,15 @@ impl StatsCore {
         self.quant_out_saturations.fetch_add(out_saturations, Ordering::Relaxed);
     }
 
+    /// Folds one batch's copy-traffic accounting into the counters:
+    /// `bytes_moved` actually copied (input preparation), and
+    /// `transform_elided_bytes` of permutation traffic the fused write
+    /// epilogues avoided.
+    pub(crate) fn record_traffic(&self, bytes_moved: u64, transform_elided_bytes: u64) {
+        self.bytes_moved.fetch_add(bytes_moved, Ordering::Relaxed);
+        self.transform_elided_bytes.fetch_add(transform_elided_bytes, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> ServiceStats {
         ServiceStats {
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -109,6 +122,8 @@ impl StatsCore {
             quant_outputs: self.quant_outputs.load(Ordering::Relaxed),
             quant_acc_saturations: self.quant_acc_saturations.load(Ordering::Relaxed),
             quant_out_saturations: self.quant_out_saturations.load(Ordering::Relaxed),
+            bytes_moved: self.bytes_moved.load(Ordering::Relaxed),
+            transform_elided_bytes: self.transform_elided_bytes.load(Ordering::Relaxed),
             elapsed: self.started.elapsed(),
         }
     }
@@ -154,6 +169,14 @@ pub struct ServiceStats {
     pub quant_acc_saturations: u64,
     /// Quantized outputs clipped during the final 16-bit requantization.
     pub quant_out_saturations: u64,
+    /// Activation bytes actually copied across all executed batches — the
+    /// Eqn. (8) input preparation, the one permutation with no producing
+    /// GEMM to fuse into.
+    pub bytes_moved: u64,
+    /// Bytes of inter-stage Transform and output-assembly traffic the
+    /// fused GEMM write epilogues eliminated across all executed batches
+    /// (what the legacy pipeline would have re-copied).
+    pub transform_elided_bytes: u64,
     /// Wall-clock time since the service started.
     pub elapsed: Duration,
 }
@@ -207,6 +230,20 @@ impl ServiceStats {
     /// nonzero rate means the one-shot calibration no longer covers the
     /// live traffic — re-load the layer with fresh probes or a wider
     /// margin.
+    /// Fraction of the pipeline's copy traffic the fused Transform
+    /// eliminated: `elided / (elided + moved)` (`0` before any batch).
+    /// The legacy pipeline would have copied both terms; the fused one
+    /// only copies `bytes_moved`.
+    #[must_use]
+    pub fn transform_elided_fraction(&self) -> f64 {
+        let total = self.transform_elided_bytes + self.bytes_moved;
+        if total == 0 {
+            0.0
+        } else {
+            self.transform_elided_bytes as f64 / total as f64
+        }
+    }
+
     #[must_use]
     pub fn quant_saturation_rate(&self) -> f64 {
         if self.quant_outputs == 0 {
@@ -265,6 +302,18 @@ mod tests {
         assert_eq!(s.quant_acc_saturations, 2);
         assert_eq!(s.quant_out_saturations, 3);
         assert!((s.quant_saturation_rate() - 0.025).abs() < 1e-12);
+    }
+
+    #[test]
+    fn traffic_counters_accumulate() {
+        let core = StatsCore::new();
+        assert_eq!(core.snapshot().transform_elided_fraction(), 0.0);
+        core.record_traffic(100, 300);
+        core.record_traffic(50, 150);
+        let s = core.snapshot();
+        assert_eq!(s.bytes_moved, 150);
+        assert_eq!(s.transform_elided_bytes, 450);
+        assert!((s.transform_elided_fraction() - 0.75).abs() < 1e-12);
     }
 
     #[test]

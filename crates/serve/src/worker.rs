@@ -47,6 +47,21 @@ impl WorkerEngine {
         }
     }
 
+    /// Per-sample copy traffic `(bytes_moved, transform_elided_bytes)`:
+    /// what the engine still copies (input preparation) and what its fused
+    /// write epilogues no longer re-copy (inter-stage Transform + output
+    /// assembly).
+    fn traffic_per_sample(&self) -> (u64, u64) {
+        match self {
+            WorkerEngine::Float(e) => {
+                (e.bytes_moved_per_sample(), e.transform_elided_bytes_per_sample())
+            }
+            WorkerEngine::Quantized(e) => {
+                (e.bytes_moved_per_sample(), e.transform_elided_bytes_per_sample())
+            }
+        }
+    }
+
     /// Batched matvec; returns `(outputs, acc_sat, out_sat)` quantization
     /// counters (all zero on the float backend).
     fn matvec_batch_into(&self, xs: &[f64], b: usize, ys: &mut [f64]) -> Result<(u64, u64, u64)> {
@@ -122,6 +137,8 @@ fn execute(
             if outputs > 0 {
                 stats.record_quant(outputs, acc_sat, out_sat);
             }
+            let (moved, elided) = engine.traffic_per_sample();
+            stats.record_traffic(moved * b as u64, elided * b as u64);
             for (c, req) in batch.requests.into_iter().enumerate() {
                 let output: Vec<f64> = (0..m).map(|r| ys[r * b + c]).collect();
                 let latency = req.submitted_at.elapsed();
@@ -188,7 +205,11 @@ mod tests {
             engine.matvec_into(input, &mut direct).unwrap();
             assert_eq!(resp.output, direct, "batched response must be bit-identical");
         }
-        assert_eq!(stats.snapshot().completed, 5);
+        let s = stats.snapshot();
+        assert_eq!(s.completed, 5);
+        assert_eq!(s.bytes_moved, 5 * engine.bytes_moved_per_sample());
+        assert_eq!(s.transform_elided_bytes, 5 * engine.transform_elided_bytes_per_sample());
+        assert!(s.transform_elided_fraction() > 0.0);
     }
 
     #[test]
@@ -252,5 +273,7 @@ mod tests {
         assert_eq!(s.completed, 4);
         assert!(s.quant_outputs > 0, "quantized batches must feed the counters");
         assert_eq!(s.quant_acc_saturations + s.quant_out_saturations, 0);
+        assert_eq!(s.bytes_moved, 4 * engine.bytes_moved_per_sample());
+        assert_eq!(s.transform_elided_bytes, 4 * engine.transform_elided_bytes_per_sample());
     }
 }

@@ -5,11 +5,36 @@ use crate::config::{CalibrationMode, TieConfig};
 use crate::pe_array::{PeArray, StageOutcome};
 use crate::sram::{WeightSram, WorkingSram};
 use crate::stats::{RunStats, StageStats};
+use tie_core::indexmap::stage_transform_map;
 use tie_core::transform::{assemble_output, prepare_input, TransformMap};
 use tie_core::{CompactEngine, InferencePlan};
-use tie_quant::{qmatmul_raw, QFormat, QTensor};
+use tie_quant::{qmatmul_raw_mapped, QFormat, QTensor};
+use tie_tensor::linalg::DestMap;
 use tie_tensor::{Result, Tensor, TensorError};
 use tie_tt::{TtMatrix, TtShape};
+
+/// The fused fast path's destination map for one stage over the batched
+/// working-SRAM layout: `V_h` element `(p, col)` (with `col = blk·v_cols +
+/// q_local` — sample-major column blocks) lands at row `p'`, column
+/// `blk·cols_out + q'` of the destination SRAM, where `(p', q') =
+/// TransformMap::map(p, q_local)`. Built from the composed affine map's
+/// separable offset tables: the single-sample row/column contributions
+/// split exactly at the `cols_out` place (no carries — the column part of
+/// a destination offset is always `< cols_out`), so the batched tables are
+/// a pure re-basing of the single-sample ones.
+fn batched_stage_dest_map(shape: &TtShape, h: usize, batch: usize) -> Result<DestMap> {
+    let t = TransformMap::new(shape, h)?;
+    let map = stage_transform_map(shape, h)?;
+    let (r0, c0) = map.offset_tables(t.rows_in, t.cols_in)?;
+    let w = t.cols_out;
+    let rebase = |v: usize, blk: usize| (v / w) * w * batch + blk * w + v % w;
+    let row: Vec<usize> = r0.iter().map(|&v| rebase(v, 0)).collect();
+    let mut col = Vec::with_capacity(c0.len() * batch);
+    for blk in 0..batch {
+        col.extend(c0.iter().map(|&v| rebase(v, blk)));
+    }
+    DestMap::new(row, col)
+}
 
 /// Deterministic probe generator for one-shot calibration (xorshift64 —
 /// self-contained so calibration needs no RNG dependency and the probe
@@ -195,9 +220,6 @@ pub struct TieAccelerator {
     /// (probe traces at load time + per-batch refresh traces). Lets
     /// tests assert that steady-state `run_batch` does zero float work.
     calibration_traces: u64,
-    /// Stage-GEMM output scratch reused across runs (zero-alloc steady
-    /// state for the batched fast path).
-    stage_scratch: Vec<i16>,
 }
 
 impl TieAccelerator {
@@ -217,7 +239,6 @@ impl TieAccelerator {
             ],
             config,
             calibration_traces: 0,
-            stage_scratch: Vec::new(),
         })
     }
 
@@ -622,11 +643,15 @@ impl TieAccelerator {
                     self.config.pass_overhead_cycles,
                 )
             } else {
-                // Fast path: the whole stage as one quantized GEMM over
-                // the batch, bit-identical to the walk (same ascending-k
-                // MAC order, same 24-bit clamp and requantization — see
-                // `tie_quant::qmatmul`), with the cycle/traffic model fed
-                // the closed-form activity counts of the Fig. 7 schedule.
+                // Fused fast path: the whole stage as one quantized GEMM
+                // over the batch, bit-identical to the walk (same
+                // ascending-k MAC order, same 24-bit clamp and
+                // requantization — see `tie_quant::qmatmul`), with the
+                // ReArrange evaluated inside the GEMM's write loop: every
+                // produced code is stored straight at its transformed
+                // position in the destination SRAM. No stage scratch, no
+                // replay copy — the cycle/traffic model is fed the
+                // closed-form activity counts of the Fig. 7 schedule.
                 let row_tiles = gr.div_ceil(n_mac);
                 let pe_tiles = vc_total.div_ceil(n_pe);
                 debug_assert_eq!(
@@ -634,21 +659,32 @@ impl TieAccelerator {
                     (gc, vc_total),
                     "stage source must be the transformed V'_{{h+1}} matrix"
                 );
-                let need = gr * vc_total;
-                let scratch = &mut self.stage_scratch;
-                if scratch.len() < need {
-                    scratch.resize(need, 0);
-                }
-                let report = qmatmul_raw(
+                let dmap = match &tmap_out {
+                    Some(_) => batched_stage_dest_map(shape, h, batch)?,
+                    None => DestMap::identity(gr, vc_total),
+                };
+                let report = qmatmul_raw_mapped(
                     weight_sram.cores()[core_idx].codes(),
                     src.contents(),
                     gr,
                     gc,
                     vc_total,
+                    1,
                     prod_shift,
                     out_shift,
-                    &mut scratch[..need],
+                    dst.contents_mut(),
+                    &dmap,
                 );
+                if apply_relu {
+                    // The walk clamps each code before its store; clamping
+                    // the fully written matrix afterwards is bit-identical
+                    // because the map writes every destination exactly once.
+                    for v in dst.contents_mut() {
+                        if *v < 0 {
+                            *v = 0;
+                        }
+                    }
+                }
                 // Traffic the walk would generate: one weight word per
                 // (row_tile, pe_tile, gcol) broadcast, one element read
                 // per live V' operand. The gathers are same-row
@@ -657,36 +693,35 @@ impl TieAccelerator {
                 // construction — zero extra cycles, like the walk.
                 weight_sram.charge_reads((row_tiles * pe_tiles * gc) as u64);
                 src.charge_reads((row_tiles * gc * vc_total) as u64);
-                // Replay the walk's write-back exactly: same per-pass
-                // write_scatter calls, same ReArranged positions — this
-                // both stores V_h for the next stage and reproduces the
-                // bank-word write counts.
-                let mut items: Vec<(usize, usize, i16)> = Vec::with_capacity(n_mac * n_pe);
+                // Write-word accounting replayed from the map alone: the
+                // walk issues one `write_scatter` per (row-tile, pe-tile)
+                // pass and pays one word per distinct bank that pass
+                // touches. Same positions, same counts — no data moves.
+                let w_cols = out_block_cols * batch;
+                let mut banks = vec![false; self.config.working_sram_banks];
+                let mut words = 0u64;
                 for rt in 0..row_tiles {
                     let live_rows = (gr - rt * n_mac).min(n_mac);
                     for pt in 0..pe_tiles {
-                        items.clear();
+                        banks.fill(false);
                         for j in 0..n_pe {
                             let col = pt * n_pe + j;
                             if col >= vc_total {
                                 continue;
                             }
-                            let (blk, q_local) = (col / vc, col % vc);
                             for i in 0..live_rows {
-                                let mut v = scratch[(rt * n_mac + i) * vc_total + col];
-                                if apply_relu && v < 0 {
-                                    v = 0;
+                                let flat = dmap.offset(rt * n_mac + i, col);
+                                let pr = flat / w_cols;
+                                let bank = dst.bank_of(pr, flat - pr * w_cols);
+                                if !banks[bank] {
+                                    banks[bank] = true;
+                                    words += 1;
                                 }
-                                let (pr, qc) = match &tmap_out {
-                                    Some(t) => t.map(rt * n_mac + i, q_local),
-                                    None => (rt * n_mac + i, q_local),
-                                };
-                                items.push((pr, blk * out_block_cols + qc, v));
                             }
                         }
-                        dst.write_scatter(&items);
                     }
                 }
+                dst.charge_writes(words);
                 StageOutcome {
                     cycles: (row_tiles * pe_tiles) as u64
                         * (gc as u64 + self.config.pass_overhead_cycles),

@@ -12,14 +12,19 @@
 //!
 //! Its codes are produced by the same `qmatmul` kernel family the
 //! simulator's fast path uses, so its outputs are bit-identical to the
-//! accelerator run with the same formats.
+//! accelerator run with the same formats. Since the fused-epilogue
+//! rework, the inter-stage Transforms no longer exist as copies at all:
+//! each stage's quantized GEMM scatters its codes straight into the next
+//! stage's layout through the composed affine map of
+//! [`tie_core::indexmap`].
 
 use crate::accelerator::{probe_maxima, probe_vectors};
 use crate::config::QuantConfig;
 use std::sync::Mutex;
-use tie_core::transform::{assemble_output_gather, prepare_input_scatter, TransformMap};
+use tie_core::indexmap::{assemble_dest_map, prepare_copy_plan, stage_dest_map, CopyPlan};
 use tie_core::{CompactEngine, InferencePlan};
-use tie_quant::{qmatmul_raw, QFormat, QMatmulReport, QTensor};
+use tie_quant::{qmatmul_raw_mapped, QFormat, QMatmulReport, QTensor};
+use tie_tensor::linalg::DestMap;
 use tie_tensor::{Result, TensorError};
 use tie_tt::{TtMatrix, TtShape};
 
@@ -56,12 +61,11 @@ pub struct QuantizedEngine {
     /// clamping — fixed at construction, so every batch is bit-identical
     /// to the same samples run one at a time.
     stage_formats: Vec<QFormat>,
-    /// Destination-indexed gathers for the transforms after stages d..2.
-    stage_gathers: Vec<Vec<usize>>,
-    /// Destination-indexed gather for the input layout (Eqn. (8)).
-    prep_gather: Vec<usize>,
-    /// Destination-indexed gather for the output layout.
-    out_gather: Vec<usize>,
+    /// Fused write epilogues, one per stage in execution order: composed
+    /// Transform maps for `h = d … 2`, the output-assembly map last.
+    dest_maps: Vec<DestMap>,
+    /// Minimal block-copy plan for the input layout (Eqn. (8)).
+    prep_plan: CopyPlan,
     /// Ping-pong code scratch, grown on demand and reused across calls.
     workspace: Mutex<QWorkspace>,
 }
@@ -81,9 +85,8 @@ impl Clone for QuantizedEngine {
             cores: self.cores.clone(),
             input_format: self.input_format,
             stage_formats: self.stage_formats.clone(),
-            stage_gathers: self.stage_gathers.clone(),
-            prep_gather: self.prep_gather.clone(),
-            out_gather: self.out_gather.clone(),
+            dest_maps: self.dest_maps.clone(),
+            prep_plan: self.prep_plan.clone(),
             // Scratch is per-engine state, not semantic state.
             workspace: Mutex::new(QWorkspace::default()),
         }
@@ -167,17 +170,12 @@ impl QuantizedEngine {
             in_frac = f.frac_bits();
         }
 
-        let transforms = (2..=d)
-            .rev()
-            .map(|h| TransformMap::new(&shape, h))
-            .collect::<Result<Vec<_>>>()?;
-        let stage_gathers = transforms.iter().map(TransformMap::gather).collect();
-        let prep_scatter = prepare_input_scatter(&shape);
-        let mut prep_gather = vec![0usize; prep_scatter.len()];
-        for (j, &dst) in prep_scatter.iter().enumerate() {
-            prep_gather[dst] = j;
+        let mut dest_maps = Vec::with_capacity(d);
+        for h in (2..=d).rev() {
+            dest_maps.push(stage_dest_map(&shape, h)?);
         }
-        let out_gather = assemble_output_gather(&shape);
+        dest_maps.push(assemble_dest_map(&shape)?);
+        let prep_plan = prepare_copy_plan(&shape)?;
 
         Ok(QuantizedEngine {
             shape,
@@ -185,9 +183,8 @@ impl QuantizedEngine {
             cores,
             input_format,
             stage_formats,
-            stage_gathers,
-            prep_gather,
-            out_gather,
+            dest_maps,
+            prep_plan,
             workspace: Mutex::new(QWorkspace::default()),
         })
     }
@@ -210,6 +207,29 @@ impl QuantizedEngine {
     /// Input length `N`.
     pub fn num_cols(&self) -> usize {
         self.shape.num_cols()
+    }
+
+    /// Bytes of inter-stage and output-assembly traffic the fused write
+    /// epilogues eliminate per sample: every post-GEMM intermediate
+    /// (`V_h`, `h ≥ 2`) plus the assembled output — one `i16` code each —
+    /// no longer passes through a separate permutation copy.
+    pub fn transform_elided_bytes_per_sample(&self) -> u64 {
+        let elem = std::mem::size_of::<i16>() as u64;
+        let stage_elems: u64 = self
+            .plan
+            .stages()
+            .iter()
+            .filter(|s| s.h >= 2)
+            .map(|s| s.output_elems() as u64)
+            .sum();
+        (stage_elems + self.shape.num_rows() as u64) * elem
+    }
+
+    /// Bytes still moved per sample by pure copying — the Eqn. (8) input
+    /// preparation (quantize-on-copy), the one bijection with no producing
+    /// GEMM to fuse into.
+    pub fn bytes_moved_per_sample(&self) -> u64 {
+        self.shape.num_cols() as u64 * std::mem::size_of::<i16>() as u64
     }
 
     /// Prepared-input activation format.
@@ -272,18 +292,23 @@ impl QuantizedEngine {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         let ws = &mut *guard;
-        let peak = self.plan.max_intermediate_elems() * b;
-        if ws.ping.len() < peak {
-            ws.ping.resize(peak, 0);
+        // Each buffer only ever holds a stage input, except that the final
+        // stage parks its assembled codes (`M·b`) before the contiguous
+        // dequantize — hence the `max(…, m)` term.
+        let per_buf = self.plan.max_stage_input_elems().max(m) * b;
+        if ws.ping.len() < per_buf {
+            ws.ping.resize(per_buf, 0);
         }
-        if ws.pong.len() < peak {
-            ws.pong.resize(peak, 0);
+        if ws.pong.len() < per_buf {
+            ws.pong.resize(per_buf, 0);
         }
         let (mut cur, mut nxt) = (&mut ws.ping, &mut ws.pong);
-        // Quantize straight into the prepared-input layout (Eqn. (8)).
-        for (dst, &src) in self.prep_gather.iter().enumerate() {
-            for c in 0..b {
-                cur[dst * b + c] = self.input_format.quantize(xs[src * b + c]);
+        // Quantize straight into the prepared-input layout (Eqn. (8)):
+        // minimal contiguous blocks, quantizing as we place.
+        let rb = self.prep_plan.run * b;
+        for (i, &src) in self.prep_plan.src_starts.iter().enumerate() {
+            for e in 0..rb {
+                cur[i * rb + e] = self.input_format.quantize(xs[src * b + e]);
             }
         }
         let mut in_format = self.input_format;
@@ -293,38 +318,31 @@ impl QuantizedEngine {
             let out_format = self.stage_formats[idx];
             let (prod_shift, out_shift) =
                 tie_quant::alignment(self.cores[h - 1].format(), in_format, out_format);
-            let stage_report = qmatmul_raw(
+            // The GEMM's write loop evaluates the stage's composed
+            // Transform map (or, for h = 1, the output-assembly map): the
+            // codes land directly in the next stage's layout and the
+            // separate permutation pass of the legacy pipeline is gone.
+            let out_elems = rows * cols * b;
+            let stage_report = qmatmul_raw_mapped(
                 self.cores[h - 1].codes(),
                 &cur[..k * cols * b],
                 rows,
                 k,
-                cols * b,
+                cols,
+                b,
                 prod_shift,
                 out_shift,
-                &mut nxt[..rows * cols * b],
+                &mut nxt[..out_elems],
+                &self.dest_maps[idx],
             );
             report = report.merged(&stage_report);
             std::mem::swap(&mut cur, &mut nxt);
-            if h >= 2 {
-                // Inter-stage Transform: contiguous b-element block copies
-                // through the precomputed gather (the write-side ReArrange
-                // of the hardware, done read-side here).
-                let gather = &self.stage_gathers[idx];
-                for (o, &g) in gather.iter().enumerate() {
-                    let (dst, src) = (o * b, g * b);
-                    for c in 0..b {
-                        nxt[dst + c] = cur[src + c];
-                    }
-                }
-                std::mem::swap(&mut cur, &mut nxt);
-            }
             in_format = out_format;
         }
-        // Dequantize the output rows straight into the caller's buffer.
-        for (r, &g) in self.out_gather.iter().enumerate() {
-            for c in 0..b {
-                ys[r * b + c] = in_format.dequantize(cur[g * b + c]);
-            }
+        // The final stage wrote its codes in assembled order: dequantize
+        // contiguously into the caller's buffer.
+        for (y, &code) in ys.iter_mut().zip(cur[..m * b].iter()) {
+            *y = in_format.dequantize(code);
         }
         Ok(report)
     }

@@ -323,6 +323,23 @@ impl WorkingSram {
         self.writes
     }
 
+    /// Charges `n` write words without touching data — the write-side
+    /// counterpart of [`WorkingSram::charge_reads`], used by the fused
+    /// fast path in `TieAccelerator`: the mapped GEMM kernel stores codes
+    /// straight into [`WorkingSram::contents_mut`], and the distinct-bank
+    /// word counts the cycle-level walk would have produced are replayed
+    /// through this method.
+    pub fn charge_writes(&mut self, n: u64) {
+        self.writes += n;
+    }
+
+    /// Mutable access to the stored codes, row-major, without traffic
+    /// accounting — the fused fast path's write target (traffic is
+    /// replayed via [`WorkingSram::charge_writes`]).
+    pub fn contents_mut(&mut self) -> &mut [i16] {
+        &mut self.data
+    }
+
     /// Extra cycles lost to bank conflicts.
     pub fn conflict_extra_cycles(&self) -> u64 {
         self.conflict_extra_cycles

@@ -32,7 +32,7 @@
 //! # }
 //! ```
 
-// `deny` rather than `forbid`: two sanctioned exceptions. (1) The
+// `deny` rather than `forbid`: three sanctioned exceptions. (1) The
 // `#[target_feature]` SIMD multiversioning in `linalg` (runtime-dispatched
 // AVX instantiation of the blocked GEMM body) — no raw-pointer code, the
 // `unsafe` is solely the target-feature calling contract, discharged by
@@ -40,7 +40,11 @@
 // handoff and disjoint slab carving in `pool` — each `unsafe` block there
 // carries a SAFETY comment tying it to the dispatch protocol (a dispatcher
 // never returns while a worker can still reach its job frame, and distinct
-// slab indices map to non-overlapping sub-slices).
+// slab indices map to non-overlapping sub-slices). (3) The mapped GEMM
+// write epilogue in `linalg` — scatter stores through a `DestMap` whose
+// constructor *proves* the destination offsets form a bijection, so the
+// raw writes are in-bounds and disjoint across the row-partitioned
+// workers by construction.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 

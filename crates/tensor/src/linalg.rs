@@ -368,6 +368,394 @@ fn gemm_nn_block_body<T: Scalar, const TJ: usize, const R: usize>(
     }
 }
 
+/// A separable destination map: the write epilogue of the mapped GEMM
+/// kernels ([`gemm_into_mapped`]).
+///
+/// A plain GEMM stores output element `(i, q)` of an `rows × cols` product
+/// at row-major offset `i·cols + q`. A mapped GEMM instead stores it at
+/// `row[i] + col[q]` — any permutation of the output that *separates* into
+/// independent row and column contributions can be fused into the store,
+/// eliminating the follow-up permutation pass entirely. The inter-stage
+/// Transform of the TIE compact scheme (Eqns. 8/10) is exactly such a map:
+/// `tie-core`'s indexing-map compiler composes the transpose/reshape chain
+/// into one strided affine map and splits it at the row/column boundary
+/// into these two offset tables.
+///
+/// Construction validates full bijectivity — every `row[i] + col[q]` must
+/// hit `[0, rows·cols)` exactly once — so the kernels can scatter through
+/// the tables without bounds checks and without pre-zeroing the output.
+///
+/// # Batched destinations
+///
+/// The tables are in *logical element* units. The kernels take a separate
+/// batch width `bsz`: GEMM column `q·bsz + cb` (sample `cb` of logical
+/// column `q`, the batch-innermost layout the compact engine uses) lands at
+/// `(row[i] + col[q])·bsz + cb`. One single-sample map therefore serves
+/// every batch size with no per-batch table rebuild.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DestMap {
+    row: Vec<usize>,
+    col: Vec<usize>,
+}
+
+impl DestMap {
+    /// Builds a map from per-row and per-column destination offsets,
+    /// verifying that `(i, q) ↦ row[i] + col[q]` is a bijection onto
+    /// `[0, row.len()·col.len())`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if any combined offset is
+    /// out of range or duplicated.
+    pub fn new(row: Vec<usize>, col: Vec<usize>) -> Result<Self> {
+        let total = row.len() * col.len();
+        let mut seen = vec![false; total];
+        for (i, &r) in row.iter().enumerate() {
+            for (q, &c) in col.iter().enumerate() {
+                let off = r + c;
+                if off >= total || seen[off] {
+                    return Err(TensorError::InvalidArgument {
+                        message: format!(
+                            "DestMap: offset {off} for ({i}, {q}) is {} (space {total})",
+                            if off >= total { "out of range" } else { "duplicated" }
+                        ),
+                    });
+                }
+                seen[off] = true;
+            }
+        }
+        Ok(DestMap { row, col })
+    }
+
+    /// The identity map: `(i, q) ↦ i·cols + q`, i.e. plain row-major
+    /// storage. A mapped kernel with this map is bitwise the unmapped one.
+    #[must_use]
+    pub fn identity(rows: usize, cols: usize) -> Self {
+        DestMap {
+            row: (0..rows).map(|i| i * cols).collect(),
+            col: (0..cols).collect(),
+        }
+    }
+
+    /// Number of logical output rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.row.len()
+    }
+
+    /// Number of logical output columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.col.len()
+    }
+
+    /// Destination offset of logical element `(i, q)`, in elements.
+    #[must_use]
+    pub fn offset(&self, i: usize, q: usize) -> usize {
+        self.row[i] + self.col[q]
+    }
+
+    /// The per-row offset table (validated at construction).
+    #[must_use]
+    pub fn row_offsets(&self) -> &[usize] {
+        &self.row
+    }
+
+    /// The per-column offset table (validated at construction).
+    #[must_use]
+    pub fn col_offsets(&self) -> &[usize] {
+        &self.col
+    }
+}
+
+/// Shareable raw destination pointer for the mapped kernels' scatter
+/// stores: spans write bijection-disjoint offsets, so no two workers touch
+/// the same element (see the safety notes on [`gemm_into_mapped`]).
+struct SendPtr<T>(*mut T);
+
+#[allow(unsafe_code)]
+// SAFETY: the pointer is only dereferenced at offsets derived from a
+// validated `DestMap` bijection, partitioned by output row across workers —
+// no two threads ever write the same element, and the buffer outlives the
+// dispatch (the caller holds `&mut` across the pool join).
+unsafe impl<T> Send for SendPtr<T> {}
+#[allow(unsafe_code)]
+// SAFETY: as above — shared references to the wrapper only hand out the
+// raw pointer; disjointness is guaranteed by the row partition.
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Scatters one row of a register tile: `vals[t]` is GEMM column `jt + t`
+/// of a row whose destination row offset is `base_row`. The `(q, cb)`
+/// odometer advances without per-element division — one div/mod at entry,
+/// then increment-and-wrap.
+///
+/// # Safety
+///
+/// `c` must point at a buffer of `map_rows·map_cols·bsz` elements, `col`
+/// must come from a validated [`DestMap`] whose combined offsets with
+/// `base_row` stay in range, and no other thread may write the same
+/// offsets (guaranteed by the per-row span partition).
+#[allow(unsafe_code)]
+#[inline(always)]
+unsafe fn scatter_store<T: Scalar>(
+    c: *mut T,
+    base_row: usize,
+    col: &[usize],
+    bsz: usize,
+    jt: usize,
+    vals: &[T],
+) {
+    let mut q = jt / bsz;
+    let mut cb = jt - q * bsz;
+    for &v in vals {
+        // SAFETY: `(base_row + col[q])·bsz + cb` is inside the destination
+        // buffer by the `DestMap` bijection invariant (see fn docs).
+        unsafe {
+            *c.add((base_row + col[q]) * bsz + cb) = v;
+        }
+        cb += 1;
+        if cb == bsz {
+            cb = 0;
+            q += 1;
+        }
+    }
+}
+
+/// `C = A · B` with a fused destination-map write epilogue — the software
+/// realization of TIE's zero-cost Transform: the permutation that used to
+/// be a separate gather pass happens *inside* the GEMM's store.
+///
+/// `a` is `m × k`, `b` is `k × (n_mat·bsz)` (logical columns batch-inner),
+/// and output element `(i, q·bsz + cb)` is stored at
+/// `(map.row[i] + map.col[q])·bsz + cb` of `c`. With
+/// [`DestMap::identity`] this is exactly [`gemm_into`].
+///
+/// # Bit-consistency
+///
+/// Every output accumulates its products in ascending `k` with plain
+/// multiply-then-add — the same sequence as [`gemm_into`] (whose cache
+/// blocking stores and reloads exact partial sums, a bitwise no-op) — and
+/// the row-span partition matches the unmapped kernel's slab partition, so
+/// `gemm_into_mapped` is bit-identical to [`gemm_into`]-then-permute at
+/// any thread count, on every SIMD path.
+///
+/// No pre-zero: the map's bijection guarantees every element of `c` is
+/// written exactly once.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] on slice-length or map-extent
+/// mismatch, or `bsz == 0`.
+pub fn gemm_into_mapped<T: Scalar>(
+    a: &[T],
+    b: &[T],
+    c: &mut [T],
+    m: usize,
+    k: usize,
+    n_mat: usize,
+    bsz: usize,
+    map: &DestMap,
+) -> Result<()> {
+    let n = n_mat * bsz;
+    if bsz == 0 || map.rows() != m || map.cols() != n_mat {
+        return Err(TensorError::InvalidArgument {
+            message: format!(
+                "gemm_into_mapped: map {}x{} (bsz {bsz}) does not match {m}x{n_mat}",
+                map.rows(),
+                map.cols()
+            ),
+        });
+    }
+    if a.len() != m * k || b.len() != k * n || c.len() != m * n {
+        return Err(TensorError::InvalidArgument {
+            message: format!(
+                "gemm_into_mapped: buffer lengths (a={}, b={}, c={}) do not match {m}x{k} · {k}x{n}",
+                a.len(),
+                b.len(),
+                c.len()
+            ),
+        });
+    }
+    let threads = parallel::threads_for(m * k * n, m);
+    let cp = SendPtr(c.as_mut_ptr());
+    parallel::for_each_row_span(m, threads, |row0, rows| {
+        gemm_nn_mapped_block(row0, rows, k, n_mat, bsz, a, b, cp.get(), map);
+    });
+    Ok(())
+}
+
+/// Runtime SIMD dispatch for the mapped NN kernel — mirrors
+/// [`gemm_nn_block`] so the mapped and unmapped kernels always pick the
+/// same tile width on the same CPU.
+fn gemm_nn_mapped_block<T: Scalar>(
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n_mat: usize,
+    bsz: usize,
+    a: &[T],
+    b: &[T],
+    c: *mut T,
+    map: &DestMap,
+) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            // SAFETY: `avx512f` support was just detected on this CPU; the
+            // callee's extra obligations (raw scatter stores) are
+            // discharged by the `DestMap` bijection (see `scatter_store`).
+            #[allow(unsafe_code)]
+            unsafe {
+                gemm_nn_mapped_avx512(row0, rows, k, n_mat, bsz, a, b, c, map);
+            }
+            return;
+        }
+        if std::arch::is_x86_feature_detected!("avx") {
+            // SAFETY: as above, for `avx`.
+            #[allow(unsafe_code)]
+            unsafe {
+                gemm_nn_mapped_avx(row0, rows, k, n_mat, bsz, a, b, c, map);
+            }
+            return;
+        }
+    }
+    gemm_nn_mapped_body::<T, TILE_J, 2>(row0, rows, k, n_mat, bsz, a, b, c, map);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+#[target_feature(enable = "avx512f")]
+unsafe fn gemm_nn_mapped_avx512<T: Scalar>(
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n_mat: usize,
+    bsz: usize,
+    a: &[T],
+    b: &[T],
+    c: *mut T,
+    map: &DestMap,
+) {
+    gemm_nn_mapped_body::<T, TILE_J_512, 4>(row0, rows, k, n_mat, bsz, a, b, c, map);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[allow(unsafe_code)]
+#[target_feature(enable = "avx")]
+unsafe fn gemm_nn_mapped_avx<T: Scalar>(
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n_mat: usize,
+    bsz: usize,
+    a: &[T],
+    b: &[T],
+    c: *mut T,
+    map: &DestMap,
+) {
+    gemm_nn_mapped_body::<T, TILE_J_WIDE, 2>(row0, rows, k, n_mat, bsz, a, b, c, map);
+}
+
+/// Shared body of the mapped NN kernel: `R`-row × `TJ`-column register
+/// tiles accumulated across the **whole** `k` extent (no k-blocking — the
+/// tile never round-trips through `c`, which the scattered layout could
+/// not reload cheaply anyway; since the blocked kernel's partial-sum
+/// store/reload is exact, full-`k` accumulation produces identical bits),
+/// then scattered through the map by [`scatter_store`].
+#[allow(unsafe_code)]
+#[inline(always)]
+fn gemm_nn_mapped_body<T: Scalar, const TJ: usize, const R: usize>(
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n_mat: usize,
+    bsz: usize,
+    a: &[T],
+    b: &[T],
+    c: *mut T,
+    map: &DestMap,
+) {
+    let n = n_mat * bsz;
+    let col = map.col_offsets();
+    let i1 = row0 + rows;
+    let mut i = row0;
+    while i + R <= i1 {
+        let mut jt = 0;
+        while jt + TJ <= n {
+            let mut t = [[T::ZERO; TJ]; R];
+            for kk in 0..k {
+                let bv = &b[kk * n + jt..][..TJ];
+                for (r, tr) in t.iter_mut().enumerate() {
+                    let ar = a[(i + r) * k + kk];
+                    for (x, &v) in tr.iter_mut().zip(bv) {
+                        *x = *x + ar * v;
+                    }
+                }
+            }
+            for (r, tr) in t.iter().enumerate() {
+                // SAFETY: see `scatter_store` — offsets stay in range by
+                // the map bijection; rows `i..i+R` belong to this span.
+                unsafe {
+                    scatter_store(c, map.row_offsets()[i + r], col, bsz, jt, tr);
+                }
+            }
+            jt += TJ;
+        }
+        while jt < n {
+            for r in 0..R {
+                let arow = &a[(i + r) * k..(i + r + 1) * k];
+                let mut s0 = T::ZERO;
+                for (kk, &ar) in arow.iter().enumerate() {
+                    s0 += ar * b[kk * n + jt];
+                }
+                // SAFETY: single in-range offset, as above.
+                unsafe {
+                    scatter_store(c, map.row_offsets()[i + r], col, bsz, jt, &[s0]);
+                }
+            }
+            jt += 1;
+        }
+        i += R;
+    }
+    while i < i1 {
+        let arow = &a[i * k..(i + 1) * k];
+        let base = map.row_offsets()[i];
+        let mut jt = 0;
+        while jt + TJ <= n {
+            let mut t0 = [T::ZERO; TJ];
+            for (kk, &ar) in arow.iter().enumerate() {
+                let bv = &b[kk * n + jt..][..TJ];
+                for (x, &v) in t0.iter_mut().zip(bv) {
+                    *x = *x + ar * v;
+                }
+            }
+            // SAFETY: see `scatter_store`.
+            unsafe {
+                scatter_store(c, base, col, bsz, jt, &t0);
+            }
+            jt += TJ;
+        }
+        while jt < n {
+            let mut s0 = T::ZERO;
+            for (kk, &ar) in arow.iter().enumerate() {
+                s0 += ar * b[kk * n + jt];
+            }
+            // SAFETY: see `scatter_store`.
+            unsafe {
+                scatter_store(c, base, col, bsz, jt, &[s0]);
+            }
+            jt += 1;
+        }
+        i += 1;
+    }
+}
+
 /// Matrix-vector product `y = A · x` where `x` is a 1-D tensor.
 ///
 /// Row-partitioned across threads above the work threshold; each row's dot
@@ -1655,5 +2043,91 @@ mod tests {
         let f = svd(&a).unwrap();
         let back = f.reconstruct().unwrap();
         assert!(back.approx_eq(&a, 1e-4));
+    }
+
+    #[test]
+    fn dest_map_rejects_non_bijections() {
+        // Duplicate offset.
+        assert!(DestMap::new(vec![0, 0], vec![0, 1]).is_err());
+        // Out of range.
+        assert!(DestMap::new(vec![0, 4], vec![0, 1]).is_err());
+        // A genuine transpose of a 2x3 output into 3x2 storage.
+        let t = DestMap::new(vec![0, 1], vec![0, 2, 4]).unwrap();
+        assert_eq!(t.offset(1, 2), 5);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 3);
+    }
+
+    #[test]
+    fn gemm_mapped_identity_is_bitwise_gemm_into() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        for (m, k, n_mat, bsz) in [(7, 5, 6, 1), (16, 24, 10, 3), (33, 9, 17, 4)] {
+            let a: Tensor<f64> = init::uniform(&mut rng, vec![m, k], 1.0);
+            let b: Tensor<f64> = init::uniform(&mut rng, vec![k, n_mat * bsz], 1.0);
+            let mut plain = vec![0.0f64; m * n_mat * bsz];
+            gemm_into(a.data(), b.data(), &mut plain, m, k, n_mat * bsz).unwrap();
+            let map = DestMap::identity(m, n_mat);
+            let mut mapped = vec![f64::NAN; m * n_mat * bsz];
+            gemm_into_mapped(a.data(), b.data(), &mut mapped, m, k, n_mat, bsz, &map).unwrap();
+            for (x, y) in mapped.iter().zip(&plain) {
+                assert_eq!(x.to_bits(), y.to_bits(), "m={m} k={k} n={n_mat} bsz={bsz}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_mapped_transpose_matches_gemm_then_permute_at_any_pool_size() {
+        let mut rng = ChaCha8Rng::seed_from_u64(32);
+        let (m, k, n_mat) = (12, 20, 9);
+        // Transposed destination: (i, q) -> q*m + i.
+        let map = DestMap::new(
+            (0..m).collect(),
+            (0..n_mat).map(|q| q * m).collect(),
+        )
+        .unwrap();
+        for bsz in [1usize, 2, 5] {
+            let a: Tensor<f64> = init::uniform(&mut rng, vec![m, k], 1.0);
+            let b: Tensor<f64> = init::uniform(&mut rng, vec![k, n_mat * bsz], 1.0);
+            let mut plain = vec![0.0f64; m * n_mat * bsz];
+            gemm_into(a.data(), b.data(), &mut plain, m, k, n_mat * bsz).unwrap();
+            let mut want = vec![0.0f64; m * n_mat * bsz];
+            for i in 0..m {
+                for q in 0..n_mat {
+                    for cb in 0..bsz {
+                        want[(q * m + i) * bsz + cb] = plain[i * n_mat * bsz + q * bsz + cb];
+                    }
+                }
+            }
+            let prev = parallel::set_num_threads(1);
+            let mut serial = vec![f64::NAN; m * n_mat * bsz];
+            gemm_into_mapped(a.data(), b.data(), &mut serial, m, k, n_mat, bsz, &map).unwrap();
+            for threads in [2usize, 8] {
+                parallel::set_num_threads(threads);
+                let mut pooled = vec![f64::NAN; m * n_mat * bsz];
+                gemm_into_mapped(a.data(), b.data(), &mut pooled, m, k, n_mat, bsz, &map)
+                    .unwrap();
+                for (x, y) in pooled.iter().zip(&serial) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "bsz={bsz} threads={threads}");
+                }
+            }
+            parallel::set_num_threads(prev);
+            for (x, y) in serial.iter().zip(&want) {
+                assert_eq!(x.to_bits(), y.to_bits(), "bsz={bsz}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_mapped_rejects_mismatched_map_and_lengths() {
+        let a = [0.0f64; 6];
+        let b = [0.0f64; 6];
+        let mut c = [0.0f64; 4];
+        let map = DestMap::identity(2, 2);
+        // k*n mismatch for b.
+        assert!(gemm_into_mapped(&a, &b, &mut c, 2, 3, 2, 1, &map).is_ok());
+        assert!(gemm_into_mapped(&a, &b, &mut c, 2, 3, 2, 2, &map).is_err());
+        let map3 = DestMap::identity(3, 2);
+        assert!(gemm_into_mapped(&a, &b, &mut c, 2, 3, 2, 1, &map3).is_err());
+        assert!(gemm_into_mapped(&a, &b, &mut c, 2, 3, 2, 0, &map).is_err());
     }
 }

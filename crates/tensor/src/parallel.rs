@@ -29,8 +29,11 @@
 //! microsecond instead of the tens of microseconds a `std::thread::scope`
 //! spawn/join cost, so the threshold sits 8x lower than the scoped-spawn
 //! era (`1 << 17`) and mid-size compact-scheme stage GEMMs now
-//! parallelize. Pure copy work (the batched Transform permutations) uses
-//! the separate, element-count-based [`PARALLEL_MIN_COPY`] threshold.
+//! parallelize. The remaining cold-path copies (engine construction, the
+//! prepared-input staging) share the same threshold through
+//! [`threads_for`] — the separate element-count copy threshold died with
+//! the read-side Transform permutation pass, whose hot-loop copies are now
+//! fused into the GEMM write epilogue.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
@@ -40,13 +43,6 @@ use std::sync::OnceLock;
 /// dispatch costs more than the compute. Re-tuned from `1 << 17` when
 /// per-call `std::thread::scope` spawning was replaced by [`crate::pool`].
 pub const PARALLEL_MIN_WORK: usize = 1 << 14;
-
-/// Minimum number of **elements moved** before a pure-copy kernel (the
-/// batched gather/scatter permutations in `tie-core`) splits across
-/// threads. Copies do ~one load+store per element — far less arithmetic
-/// per element than a GEMM row — so the bar is higher than
-/// [`PARALLEL_MIN_WORK`].
-pub const PARALLEL_MIN_COPY: usize = 1 << 15;
 
 /// Runtime override; `0` means "not set" (fall back to env / hardware).
 static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -107,17 +103,6 @@ pub fn threads_for(work: usize, rows: usize) -> usize {
     num_threads().min(rows.max(1))
 }
 
-/// Worker count for a pure-copy kernel moving `elems` elements spread over
-/// `rows` independently movable rows: 1 below [`PARALLEL_MIN_COPY`],
-/// otherwise the configured count capped by the row count.
-#[must_use]
-pub fn threads_for_copy(elems: usize, rows: usize) -> usize {
-    if elems < PARALLEL_MIN_COPY {
-        return 1;
-    }
-    num_threads().min(rows.max(1))
-}
-
 /// Runs `f` over `buf` split into `threads` near-equal row slabs on the
 /// persistent pool.
 ///
@@ -141,6 +126,34 @@ where
     }
     crate::pool::for_each_slab(buf, slab_rows * row_len, |slab_idx, slab| {
         f(slab_idx * slab_rows, slab);
+    });
+}
+
+/// Runs `f(row0, rows_in_span)` for each of `threads` near-equal row spans
+/// on the persistent pool — the *range-only* form of
+/// [`for_each_row_slab`], for kernels whose outputs are **scattered** (a
+/// destination-mapped GEMM epilogue writes each span's rows to
+/// non-contiguous, bijection-disjoint positions, so no `&mut` slab can be
+/// carved out up front).
+///
+/// Span boundaries are the same `rows.div_ceil(threads)` partition as
+/// [`for_each_row_slab`] — they depend only on `(rows, threads)`, so a
+/// mapped kernel splits its rows identically to its unmapped twin and
+/// stays bit-identical at any pool size. With one thread (or one span)
+/// `f` runs inline on the calling thread.
+pub fn for_each_row_span<F>(rows: usize, threads: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let slab_rows = rows.div_ceil(threads.max(1)).max(1);
+    if threads <= 1 || slab_rows >= rows {
+        f(0, rows);
+        return;
+    }
+    let spans = rows.div_ceil(slab_rows);
+    crate::pool::dispatch(spans, |idx| {
+        let row0 = idx * slab_rows;
+        f(row0, (row0 + slab_rows).min(rows) - row0);
     });
 }
 
@@ -195,10 +208,31 @@ mod tests {
         assert_eq!(threads_for(PARALLEL_MIN_WORK, 1024), 8);
         // Never more threads than rows.
         assert_eq!(threads_for(PARALLEL_MIN_WORK, 2), 2);
-        // Copy threshold is element-based and independent.
-        assert_eq!(threads_for_copy(PARALLEL_MIN_COPY - 1, 1024), 1);
-        assert_eq!(threads_for_copy(PARALLEL_MIN_COPY, 1024), 8);
         set_num_threads(prev);
+    }
+
+    #[test]
+    fn row_spans_match_row_slab_partition() {
+        // The scatter-write form must cut rows exactly where the
+        // contiguous form does, at every thread count.
+        for rows in [1usize, 2, 10, 37] {
+            for threads in [1usize, 2, 3, 8] {
+                let spans = std::sync::Mutex::new(Vec::new());
+                for_each_row_span(rows, threads, |row0, len| {
+                    spans.lock().unwrap().push((row0, len));
+                });
+                let mut got = spans.into_inner().unwrap();
+                got.sort_unstable();
+                let slabs = std::sync::Mutex::new(Vec::new());
+                let mut buf = vec![0u8; rows];
+                for_each_row_slab(&mut buf, rows, 1, threads, |row0, slab| {
+                    slabs.lock().unwrap().push((row0, slab.len()));
+                });
+                let mut want = slabs.into_inner().unwrap();
+                want.sort_unstable();
+                assert_eq!(got, want, "rows={rows} threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -28,7 +28,7 @@ cargo test -q --workspace "${CARGO_FLAGS[@]}"
 TIE_STRESS_SEED="${TIE_STRESS_SEED:-3735928559}"
 export TIE_STRESS_SEED
 echo "== tier-2: verification suites (TIE_STRESS_SEED=${TIE_STRESS_SEED}) =="
-for suite in differential golden properties serve_stress quant_kernels zero_alloc; do
+for suite in differential golden properties serve_stress quant_kernels zero_alloc indexmap_fused; do
   echo "-- ${suite}, TIE_THREADS=1 --"
   TIE_THREADS=1 cargo test -q --test "${suite}" "${CARGO_FLAGS[@]}"
   echo "-- ${suite}, default thread count --"
@@ -61,6 +61,20 @@ TIE_THREADS=1 cargo test -q --release --test quant_kernels \
 echo "== tier-2: FC7 quantized batch budget (${TIE_QUANT_BUDGET_S}s), default thread count =="
 cargo test -q --release --test quant_kernels \
   "${CARGO_FLAGS[@]}" fc7_quantized_batch_runs_within_budget -- --ignored
+
+# Fused-Transform gate (fused-transform PR, DESIGN.md §13): fused FC7
+# batch-16 on the float compact engine must finish inside the wall-clock
+# budget — the write-epilogue fusion must never regress toward the
+# two-pass (GEMM + permutation copy) cost. Needs --release; both thread
+# settings, since the mapped GEMM rides the pool.
+TIE_TRANSFORM_BUDGET_S="${TIE_TRANSFORM_BUDGET_S:-2}"
+export TIE_TRANSFORM_BUDGET_S
+echo "== tier-2: fused FC7 batch budget (${TIE_TRANSFORM_BUDGET_S}s), TIE_THREADS=1 =="
+TIE_THREADS=1 cargo test -q --release --test indexmap_fused \
+  "${CARGO_FLAGS[@]}" fused_fc7_batch16_meets_wall_clock_budget -- --ignored
+echo "== tier-2: fused FC7 batch budget (${TIE_TRANSFORM_BUDGET_S}s), default thread count =="
+cargo test -q --release --test indexmap_fused \
+  "${CARGO_FLAGS[@]}" fused_fc7_batch16_meets_wall_clock_budget -- --ignored
 
 # Pool dispatch regression gate (pool PR, DESIGN.md §11): the persistent
 # pool must not be slower than the old per-call scoped-spawn path on a

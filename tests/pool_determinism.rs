@@ -8,9 +8,9 @@
 //! (`TtMatrix::from_dense`) must produce **bit-identical** results at pool
 //! sizes {1, 2, 8} and across repeated dispatches on a warm pool.
 //!
-//! Problem sizes are chosen to sit *above* the re-tuned spawn thresholds
-//! (`PARALLEL_MIN_WORK`, `PARALLEL_MIN_COPY`), so the comparisons exercise
-//! real multi-slab dispatches rather than the inline path.
+//! Problem sizes are chosen to sit *above* the re-tuned spawn threshold
+//! (`PARALLEL_MIN_WORK`), so the comparisons exercise real multi-slab
+//! dispatches rather than the inline path.
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;

@@ -1,9 +1,11 @@
 //! Steady-state allocation accounting for the compact-engine pipeline.
 //!
-//! The zero-copy stage pipeline promises that after the first call has
-//! grown the engine's ping-pong workspace, `matvec_into` /
-//! `matvec_batch_into` perform **no heap allocation**. This binary installs
-//! a counting global allocator to hold the engine to that promise.
+//! The fused stage pipeline (Transform evaluated inside the GEMM write
+//! epilogue — both the float `CompactEngine` and the fixed-point
+//! `QuantizedEngine`) promises that after the first call has grown the
+//! engine's ping-pong workspace, `matvec_into` / `matvec_batch_into`
+//! perform **no heap allocation**. This binary installs a counting global
+//! allocator to hold both engines to that promise.
 //!
 //! The counter is thread-local so the test-harness coordinator thread (and
 //! anything else in the process) cannot pollute the measurement; the dense
@@ -140,5 +142,47 @@ fn steady_state_quantized_engine_performs_no_heap_allocation() {
         after - before,
         0,
         "steady-state quantized batched passes must not allocate"
+    );
+}
+
+/// Batch-size changes must not re-allocate either: the fused ping-pong
+/// buffers are sized `max_stage_input · b`, so once a workspace has seen
+/// the largest batch, smaller (and repeated largest) batches shrink/grow
+/// within retained capacity on both the float and the quantized engine.
+#[test]
+fn steady_state_fused_paths_hold_across_batch_sizes() {
+    use tie::sim::{QuantConfig, QuantizedEngine};
+    let mut rng = ChaCha8Rng::seed_from_u64(4245);
+    let shape = TtShape::uniform_rank(vec![4, 4, 4], vec![4, 4, 4], 3).unwrap();
+    let ttm = TtMatrix::<f64>::random(&mut rng, &shape, 0.8).unwrap();
+    let fengine = CompactEngine::new(ttm.clone()).unwrap();
+    let qengine = QuantizedEngine::new(ttm, QuantConfig::default()).unwrap();
+    let (n, m) = (shape.num_cols(), shape.num_rows());
+    // Largest batch that keeps every stage GEMM under the pool's spawn
+    // threshold, so all work stays on the measuring thread.
+    let bmax = 4usize;
+    let xs: Tensor<f64> = init::uniform(&mut rng, vec![n * bmax], 1.0);
+    let mut ys = vec![0.0f64; m * bmax];
+
+    // Warm-up at the largest batch grows both workspaces to capacity.
+    fengine.matvec_batch_into(xs.data(), bmax, &mut ys).unwrap();
+    qengine.matvec_batch_into(xs.data(), bmax, &mut ys).unwrap();
+
+    let before = allocs_on_this_thread();
+    for &b in &[1usize, 2, 4] {
+        for _ in 0..4 {
+            fengine
+                .matvec_batch_into(&xs.data()[..n * b], b, &mut ys[..m * b])
+                .unwrap();
+            qengine
+                .matvec_batch_into(&xs.data()[..n * b], b, &mut ys[..m * b])
+                .unwrap();
+        }
+    }
+    let after = allocs_on_this_thread();
+    assert_eq!(
+        after - before,
+        0,
+        "fused engines must not allocate at any batch size once warmed"
     );
 }
