@@ -76,6 +76,73 @@ impl ServeConfig {
     }
 }
 
+/// Tuning knobs of a [`crate::ShardedService`].
+///
+/// A sharded service is `shards × replicas` independent
+/// [`crate::InferenceService`]s behind one consistent-hash router: each
+/// shard owns the registry partition the [`crate::HashRing`] assigns to
+/// it, and each of its replicas runs the full batching/backpressure/drain
+/// discipline of a single service over that partition (bounded queue of
+/// [`ServeConfig::queue_capacity`] per replica).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Number of shards the registry is partitioned into (≥ 1).
+    pub shards: usize,
+    /// Replicas per shard (≥ 1). Every replica of a shard holds the same
+    /// partition; the router spreads load across them round-robin.
+    pub replicas: usize,
+    /// Ring points per shard on the [`crate::HashRing`] (≥ 1). More
+    /// vnodes → more uniform key spread; 64 keeps shard load within a
+    /// small factor of ideal (property-tested).
+    pub vnodes: usize,
+    /// Per-replica service configuration (batching knobs, queue bound,
+    /// worker threads).
+    pub replica: ServeConfig,
+    /// How many bounded-backoff retry rounds
+    /// [`crate::ShardedClient::submit`] performs when every replica of
+    /// the target shard reports a full queue, before giving up with
+    /// [`ServeError::QueueFull`]. `0` disables retrying.
+    pub submit_retries: usize,
+    /// Base backoff slept between retry rounds; round `k` (1-based)
+    /// sleeps `k × retry_backoff` (linear backoff, bounded by
+    /// `submit_retries`).
+    pub retry_backoff: Duration,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 4,
+            replicas: 2,
+            vnodes: 64,
+            replica: ServeConfig::default(),
+            submit_retries: 8,
+            retry_backoff: Duration::from_micros(50),
+        }
+    }
+}
+
+impl ShardConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Config`] for zero `shards`, `replicas` or
+    /// `vnodes`, or an invalid per-replica [`ServeConfig`].
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.shards == 0 {
+            return Err(ServeError::Config("shards must be >= 1".into()));
+        }
+        if self.replicas == 0 {
+            return Err(ServeError::Config("replicas must be >= 1".into()));
+        }
+        if self.vnodes == 0 {
+            return Err(ServeError::Config("vnodes must be >= 1".into()));
+        }
+        self.replica.validate()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +150,22 @@ mod tests {
     #[test]
     fn default_is_valid() {
         assert!(ServeConfig::default().validate().is_ok());
+        assert!(ShardConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn shard_config_rejects_degenerate_knobs() {
+        for bad in [
+            ShardConfig { shards: 0, ..ShardConfig::default() },
+            ShardConfig { replicas: 0, ..ShardConfig::default() },
+            ShardConfig { vnodes: 0, ..ShardConfig::default() },
+            ShardConfig {
+                replica: ServeConfig { max_batch: 0, ..ServeConfig::default() },
+                ..ShardConfig::default()
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} must be rejected");
+        }
     }
 
     #[test]

@@ -23,6 +23,14 @@ pub enum ServeError {
     /// still in flight; the ticket is consumed, so the eventual response
     /// is dropped.
     ResponseTimeout,
+    /// Every replica of the target shard is draining or retired: the
+    /// router fails fast instead of queueing onto a shard that can no
+    /// longer accept work. Re-register the shard
+    /// ([`crate::ShardedService::reregister_replica`]) to bring it back.
+    ShardUnavailable {
+        /// The shard the layer key routed to.
+        shard: usize,
+    },
     /// An invalid [`crate::ServeConfig`] field.
     Config(String),
     /// The engine rejected the batch (cannot happen for requests that
@@ -40,6 +48,9 @@ impl std::fmt::Display for ServeError {
             ServeError::QueueFull => write!(f, "request queue full"),
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
             ServeError::ResponseTimeout => write!(f, "timed out waiting for the response"),
+            ServeError::ShardUnavailable { shard } => {
+                write!(f, "all replicas of shard {shard} are draining or retired")
+            }
             ServeError::Config(msg) => write!(f, "invalid service config: {msg}"),
             ServeError::Engine(msg) => write!(f, "engine error: {msg}"),
         }
@@ -64,6 +75,7 @@ mod tests {
         assert!(e.to_string().contains('3') && e.to_string().contains("16"));
         assert!(ServeError::UnknownLayer("fc6".into()).to_string().contains("fc6"));
         assert!(ServeError::QueueFull.to_string().contains("full"));
+        assert!(ServeError::ShardUnavailable { shard: 3 }.to_string().contains('3'));
     }
 
     #[test]

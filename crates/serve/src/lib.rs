@@ -31,6 +31,14 @@
 //! * [`ServiceStats`] — per-request latency and per-batch
 //!   occupancy/throughput counters; after a clean
 //!   [`InferenceService::shutdown`], `submitted == completed + failed`.
+//! * [`ShardedService`] / [`ShardedClient`] — the scale-out layer: a
+//!   deterministic consistent-hash [`HashRing`] partitions the registry
+//!   into shards, each served by `R` replica [`InferenceService`]s with
+//!   their own bounded queues; the client routes by layer key, retries a
+//!   fully-backpressured shard with bounded backoff, and fails fast when
+//!   a shard is draining. [`ShardedStats`] rolls per-replica counters up
+//!   into per-shard ([`ShardStats`]) and global views whose books always
+//!   balance (see `shard.rs` module docs for the failure semantics).
 //!
 //! Batching changes *scheduling*, never *numerics*: the batched pass is
 //! bitwise identical to `B` independent single-input calls (proved by the
@@ -65,13 +73,17 @@ mod config;
 mod error;
 mod registry;
 mod request;
+mod router;
 mod service;
+mod shard;
 mod stats;
 mod worker;
 
-pub use config::ServeConfig;
+pub use config::{ServeConfig, ShardConfig};
 pub use error::ServeError;
 pub use registry::EngineRegistry;
 pub use request::{Response, Ticket};
+pub use router::HashRing;
 pub use service::{Client, InferenceService};
-pub use stats::ServiceStats;
+pub use shard::{ShardedClient, ShardedService};
+pub use stats::{ServiceStats, ShardStats, ShardedStats};

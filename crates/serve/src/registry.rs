@@ -22,7 +22,11 @@ use tie_sim::QuantizedEngine;
 
 /// Layer-name → prepared-engine map handed to
 /// [`crate::InferenceService::start`].
-#[derive(Debug, Default)]
+///
+/// Cloning a registry clones only the `Arc` handles, never the engines —
+/// the sharded layer leans on this to hand every replica of a shard its
+/// own registry value over the same shared engines.
+#[derive(Debug, Default, Clone)]
 pub struct EngineRegistry {
     engines: HashMap<String, Arc<CompactEngine<f64>>>,
     quantized: HashMap<String, Arc<QuantizedEngine>>,
@@ -142,6 +146,30 @@ impl EngineRegistry {
             .collect()
     }
 
+    /// Partitions the registry into `parts` sub-registries by routing
+    /// every layer name through the ring: layer `name` lands in partition
+    /// `ring.shard_for(name)`. Engines are shared by `Arc`, so
+    /// partitioning copies nothing but the map entries — each replica of
+    /// the owning shard later takes its own private clones exactly like a
+    /// single service's workers do.
+    ///
+    /// Partitions of shards that own no registered layer come back empty;
+    /// the sharded service simply starts no replicas for them (a valid
+    /// layer key can never route there — it would have been partitioned
+    /// there in the first place).
+    #[must_use]
+    pub fn partition(&self, ring: &crate::HashRing) -> Vec<EngineRegistry> {
+        let max_shard = ring.shards().iter().copied().max().unwrap_or(0);
+        let mut parts: Vec<EngineRegistry> = (0..=max_shard).map(|_| EngineRegistry::new()).collect();
+        for (name, engine) in &self.engines {
+            parts[ring.shard_for(name)].insert_shared(name.clone(), Arc::clone(engine));
+        }
+        for (name, engine) in &self.quantized {
+            parts[ring.shard_for(name)].insert_quantized_shared(name.clone(), Arc::clone(engine));
+        }
+        parts
+    }
+
     /// Private clones of **every** engine, both backends, wrapped for the
     /// worker loop.
     #[must_use]
@@ -215,6 +243,26 @@ mod tests {
         assert!(reg.is_quantized("fc") && reg.get("fc").is_none());
         assert_eq!(reg.worker_engines().len(), 2);
         assert_eq!(reg.clone_engines().len(), 0); // float-only view
+    }
+
+    #[test]
+    fn partition_routes_every_layer_to_its_ring_shard() {
+        use crate::HashRing;
+        let mut reg = EngineRegistry::new();
+        for i in 0..12 {
+            reg.insert(format!("fc{i}"), engine(i));
+        }
+        let ring = HashRing::new(4, 64).unwrap();
+        let parts = reg.partition(&ring);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts.iter().map(EngineRegistry::len).sum::<usize>(), reg.len());
+        for (s, part) in parts.iter().enumerate() {
+            for name in part.names() {
+                assert_eq!(ring.shard_for(&name), s, "{name} in wrong partition");
+                // Arc-shared, not deep-copied.
+                assert!(Arc::ptr_eq(&part.get(&name).unwrap(), &reg.get(&name).unwrap()));
+            }
+        }
     }
 
     #[test]

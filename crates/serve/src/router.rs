@@ -1,0 +1,239 @@
+//! The consistent-hash layer→shard map.
+//!
+//! Sharding the registry needs a key→shard function that is
+//!
+//! 1. **deterministic** — the same layer name must land on the same shard
+//!    in every process of a deployment, with no per-process hash seeds
+//!    (`std::collections::HashMap`'s `RandomState` is exactly what we must
+//!    *not* use), and
+//! 2. **stable under resharding** — growing a deployment from `S` to
+//!    `S + 1` shards must remap only the keys that move *to* the new
+//!    shard, never shuffle keys between surviving shards (each remapped
+//!    key invalidates a shard's warm engine clones and any layer-local
+//!    cache state).
+//!
+//! Both come from the classic consistent-hash ring: every shard owns
+//! [`HashRing::vnodes`] pseudo-random points on the `u64` circle, and a
+//! key belongs to the shard owning the first point at or clockwise after
+//! the key's hash. The hash is FNV-1a finished with the SplitMix64
+//! avalanche, so single-character key differences spread across the whole
+//! circle; `vnodes` points per shard keep the arc lengths — and therefore
+//! the key load — balanced within a small factor (property-tested in
+//! `tests/properties.rs`, pinned for the Table 4 layer set in
+//! `tests/golden.rs`).
+
+/// FNV-1a over the key bytes, finished with the SplitMix64 avalanche so
+/// short, similar keys (`"fc6"`, `"fc7"`) still land far apart on the
+/// ring.
+#[must_use]
+fn hash_key(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // SplitMix64 finalizer.
+    h = (h ^ (h >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// A consistent-hash ring mapping layer keys to shard ids.
+///
+/// Construction is pure arithmetic on `(shard id, vnode index)` pairs:
+/// two rings built with the same shard set and `vnodes` are identical,
+/// across processes and across runs.
+///
+/// ```
+/// use tie_serve::HashRing;
+/// let ring = HashRing::new(4, 64).unwrap();
+/// let s = ring.shard_for("VGG-FC6");
+/// assert!(s < 4);
+/// assert_eq!(s, HashRing::new(4, 64).unwrap().shard_for("VGG-FC6"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashRing {
+    /// `(point, shard)` sorted by point; ties broken by shard id so the
+    /// ring is a pure function of the shard set.
+    points: Vec<(u64, usize)>,
+    /// Sorted live shard ids.
+    shards: Vec<usize>,
+    /// Ring points per shard.
+    vnodes: usize,
+}
+
+impl HashRing {
+    /// A ring over shards `0..num_shards`, each with `vnodes` points.
+    ///
+    /// # Errors
+    ///
+    /// `Err` when `num_shards == 0` or `vnodes == 0`.
+    pub fn new(num_shards: usize, vnodes: usize) -> Result<Self, String> {
+        Self::with_shards((0..num_shards).collect(), vnodes)
+    }
+
+    /// A ring over an explicit shard-id set (ids need not be contiguous —
+    /// a removed shard leaves a hole).
+    ///
+    /// # Errors
+    ///
+    /// `Err` when `shard_ids` is empty, contains duplicates, or
+    /// `vnodes == 0`.
+    pub fn with_shards(mut shard_ids: Vec<usize>, vnodes: usize) -> Result<Self, String> {
+        if shard_ids.is_empty() {
+            return Err("hash ring needs at least one shard".into());
+        }
+        if vnodes == 0 {
+            return Err("hash ring needs at least one vnode per shard".into());
+        }
+        shard_ids.sort_unstable();
+        if shard_ids.windows(2).any(|w| w[0] == w[1]) {
+            return Err("duplicate shard id".into());
+        }
+        let mut ring = HashRing { points: Vec::new(), shards: shard_ids, vnodes };
+        for i in 0..ring.shards.len() {
+            let shard = ring.shards[i];
+            ring.insert_points(shard);
+        }
+        ring.points.sort_unstable();
+        Ok(ring)
+    }
+
+    /// Appends (unsorted) the `vnodes` ring points of one shard.
+    fn insert_points(&mut self, shard: usize) {
+        for v in 0..self.vnodes {
+            // The point key mixes shard id and vnode index through the
+            // same avalanche as layer keys; collisions across shards are
+            // broken deterministically by the (point, shard) sort order.
+            let mut key = [0u8; 16];
+            key[..8].copy_from_slice(&(shard as u64).to_le_bytes());
+            key[8..].copy_from_slice(&(v as u64).to_le_bytes());
+            self.points.push((hash_key(&key), shard));
+        }
+    }
+
+    /// The shard owning `key`: the first ring point at or clockwise after
+    /// `hash(key)`, wrapping at the top of the `u64` circle.
+    #[must_use]
+    pub fn shard_for(&self, key: &str) -> usize {
+        let h = hash_key(key.as_bytes());
+        let idx = self.points.partition_point(|&(p, _)| p < h);
+        let (_, shard) = self.points[idx % self.points.len()];
+        shard
+    }
+
+    /// Adds a shard to the ring. Only keys whose arc the new shard's
+    /// points split move (to the new shard); all other assignments are
+    /// untouched — the minimal-remapping property.
+    ///
+    /// # Errors
+    ///
+    /// `Err` when `shard` is already on the ring.
+    pub fn add_shard(&mut self, shard: usize) -> Result<(), String> {
+        if self.shards.contains(&shard) {
+            return Err(format!("shard {shard} already on the ring"));
+        }
+        self.shards.push(shard);
+        self.shards.sort_unstable();
+        self.insert_points(shard);
+        self.points.sort_unstable();
+        Ok(())
+    }
+
+    /// Removes a shard from the ring. Keys it owned redistribute to the
+    /// survivors; keys it did not own are untouched.
+    ///
+    /// # Errors
+    ///
+    /// `Err` when `shard` is not on the ring or is the last shard.
+    pub fn remove_shard(&mut self, shard: usize) -> Result<(), String> {
+        if !self.shards.contains(&shard) {
+            return Err(format!("shard {shard} not on the ring"));
+        }
+        if self.shards.len() == 1 {
+            return Err("cannot remove the last shard".into());
+        }
+        self.shards.retain(|&s| s != shard);
+        self.points.retain(|&(_, s)| s != shard);
+        Ok(())
+    }
+
+    /// Sorted live shard ids.
+    #[must_use]
+    pub fn shards(&self) -> &[usize] {
+        &self.shards
+    }
+
+    /// Ring points per shard.
+    #[must_use]
+    pub fn vnodes(&self) -> usize {
+        self.vnodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_rings() {
+        assert!(HashRing::new(0, 64).is_err());
+        assert!(HashRing::new(4, 0).is_err());
+        assert!(HashRing::with_shards(vec![1, 1], 8).is_err());
+        assert!(HashRing::with_shards(vec![], 8).is_err());
+    }
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let a = HashRing::new(5, 32).unwrap();
+        let b = HashRing::new(5, 32).unwrap();
+        assert_eq!(a, b);
+        for i in 0..200 {
+            let key = format!("layer-{i}");
+            let s = a.shard_for(&key);
+            assert!(s < 5);
+            assert_eq!(s, b.shard_for(&key));
+        }
+    }
+
+    #[test]
+    fn every_shard_owns_keys_at_reasonable_vnode_counts() {
+        let ring = HashRing::new(4, 64).unwrap();
+        let mut hit = [false; 4];
+        for i in 0..1000 {
+            hit[ring.shard_for(&format!("k{i}"))] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "4 shards x 64 vnodes must all own keys: {hit:?}");
+    }
+
+    #[test]
+    fn add_then_remove_round_trips() {
+        let mut ring = HashRing::new(3, 16).unwrap();
+        let before: Vec<usize> = (0..500).map(|i| ring.shard_for(&format!("k{i}"))).collect();
+        ring.add_shard(3).unwrap();
+        assert!(ring.add_shard(3).is_err());
+        for (i, &b) in before.iter().enumerate() {
+            let now = ring.shard_for(&format!("k{i}"));
+            assert!(now == b || now == 3, "key k{i} moved {b} -> {now}, not to the new shard");
+        }
+        ring.remove_shard(3).unwrap();
+        assert!(ring.remove_shard(3).is_err());
+        let after: Vec<usize> = (0..500).map(|i| ring.shard_for(&format!("k{i}"))).collect();
+        assert_eq!(before, after, "add+remove must restore every assignment");
+    }
+
+    #[test]
+    fn cannot_remove_last_shard() {
+        let mut ring = HashRing::new(1, 8).unwrap();
+        assert!(ring.remove_shard(0).is_err());
+    }
+
+    #[test]
+    fn shard_ids_need_not_be_contiguous() {
+        let ring = HashRing::with_shards(vec![0, 2, 7], 16).unwrap();
+        assert_eq!(ring.shards(), &[0, 2, 7]);
+        for i in 0..100 {
+            assert!([0, 2, 7].contains(&ring.shard_for(&format!("k{i}"))));
+        }
+    }
+}

@@ -234,6 +234,26 @@ impl Drop for InferenceService {
     }
 }
 
+/// A client around a bare bounded channel with no batcher draining it —
+/// the deterministic way for in-crate tests to exercise the `QueueFull`
+/// and `Disconnected` paths (timing-free: the queue stays exactly as full
+/// as the test leaves it).
+#[cfg(test)]
+pub(crate) fn rigged_client(
+    registry: Arc<EngineRegistry>,
+    stats: Arc<StatsCore>,
+    capacity: usize,
+) -> (Client, std::sync::mpsc::Receiver<Msg>) {
+    let (tx, rx) = sync_channel::<Msg>(capacity);
+    let client = Client {
+        tx,
+        registry,
+        stats,
+        accepting: Arc::new(AtomicBool::new(true)),
+    };
+    (client, rx)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

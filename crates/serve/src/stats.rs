@@ -129,6 +129,138 @@ impl StatsCore {
     }
 }
 
+/// Router-side counters of one shard: lock-free recording by every
+/// [`crate::ShardedClient`], snapshot into [`ShardStats`].
+#[derive(Debug, Default)]
+pub(crate) struct RouteCore {
+    routed: AtomicU64,
+    retried: AtomicU64,
+    rejected: AtomicU64,
+    drained: AtomicU64,
+}
+
+impl RouteCore {
+    pub(crate) fn record_routed(&self) {
+        self.routed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_retry(&self) {
+        self.retried.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_drained(&self) {
+        self.drained.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, shard: usize, replicas: Vec<ServiceStats>) -> ShardStats {
+        ShardStats {
+            shard,
+            routed: self.routed.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            drained: self.drained.load(Ordering::Relaxed),
+            replicas,
+        }
+    }
+}
+
+/// Per-shard accounting of a [`crate::ShardedService`]: the router's
+/// counters for this shard plus one [`ServiceStats`] per replica that ever
+/// served it (drained/killed replicas keep their final snapshot, so the
+/// shard's history always adds up).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard id (ring position).
+    pub shard: usize,
+    /// Requests the router successfully handed to one of this shard's
+    /// replica queues. At quiescence `routed == service().submitted`.
+    pub routed: u64,
+    /// Bounded-backoff retry rounds the router performed because every
+    /// replica reported a full queue.
+    pub retried: u64,
+    /// Submissions the router gave up on after exhausting its retry
+    /// budget (surfaced to the caller as `QueueFull`).
+    pub rejected: u64,
+    /// Submissions that failed fast because every replica of this shard
+    /// was draining or retired (surfaced as `ShardUnavailable`).
+    pub drained: u64,
+    /// One snapshot per replica, in registration order: live replicas
+    /// first at their creation slots, retired replicas retain their final
+    /// counters.
+    pub replicas: Vec<ServiceStats>,
+}
+
+impl ShardStats {
+    /// The shard's replica counters summed into one [`ServiceStats`].
+    #[must_use]
+    pub fn service(&self) -> ServiceStats {
+        let mut total = ServiceStats::default();
+        for r in &self.replicas {
+            total.absorb(r);
+        }
+        total
+    }
+}
+
+/// A point-in-time snapshot of a whole [`crate::ShardedService`]:
+/// [`ShardStats`] per shard plus the derived global view.
+///
+/// Two invariants hold after a clean shutdown (asserted by the stress and
+/// chaos suites):
+///
+/// 1. per shard, `routed == service().submitted` and
+///    `submitted == completed + failed` — the router hands a request to
+///    exactly one replica queue, and every accepted request resolves
+///    exactly once;
+/// 2. the global view is the exact sum of the per-shard views — no
+///    counter is double-reported or dropped in aggregation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedStats {
+    /// Per-shard accounting, indexed by shard id.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ShardedStats {
+    /// All replica counters of all shards summed into one
+    /// [`ServiceStats`].
+    #[must_use]
+    pub fn global(&self) -> ServiceStats {
+        let mut total = ServiceStats::default();
+        for shard in &self.shards {
+            total.absorb(&shard.service());
+        }
+        total
+    }
+
+    /// Total requests routed into replica queues.
+    #[must_use]
+    pub fn routed(&self) -> u64 {
+        self.shards.iter().map(|s| s.routed).sum()
+    }
+
+    /// Total bounded-backoff retry rounds.
+    #[must_use]
+    pub fn retried(&self) -> u64 {
+        self.shards.iter().map(|s| s.retried).sum()
+    }
+
+    /// Total submissions rejected after retry exhaustion.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.shards.iter().map(|s| s.rejected).sum()
+    }
+
+    /// Total submissions failed fast on a draining shard.
+    #[must_use]
+    pub fn drained(&self) -> u64 {
+        self.shards.iter().map(|s| s.drained).sum()
+    }
+}
+
 /// A point-in-time snapshot of the service counters
 /// ([`crate::InferenceService::stats`]).
 ///
@@ -136,7 +268,7 @@ impl StatsCore {
 /// whose submit succeeded ends up in exactly one of `completed` or
 /// `failed`, so after a clean shutdown `submitted == completed + failed`.
 /// `rejected` counts `try_submit` calls that never entered the queue.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServiceStats {
     /// Requests accepted into the queue.
     pub submitted: u64,
@@ -182,6 +314,32 @@ pub struct ServiceStats {
 }
 
 impl ServiceStats {
+    /// Folds `other` into `self`: counters and latency sums add, latency
+    /// maxima and `elapsed` take the max. This is the aggregation the
+    /// sharded layer uses to roll replica snapshots up into per-shard and
+    /// global views ([`ShardStats::service`], [`ShardedStats::global`]),
+    /// so `absorb` preserves the accounting invariant: if both operands
+    /// satisfy `submitted == completed + failed`, so does the sum.
+    pub fn absorb(&mut self, other: &ServiceStats) {
+        self.submitted += other.submitted;
+        self.rejected += other.rejected;
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.batches += other.batches;
+        self.full_batches += other.full_batches;
+        self.deadline_batches += other.deadline_batches;
+        self.drain_batches += other.drain_batches;
+        self.batched_requests += other.batched_requests;
+        self.latency_ns_sum += other.latency_ns_sum;
+        self.latency_ns_max = self.latency_ns_max.max(other.latency_ns_max);
+        self.quant_outputs += other.quant_outputs;
+        self.quant_acc_saturations += other.quant_acc_saturations;
+        self.quant_out_saturations += other.quant_out_saturations;
+        self.bytes_moved += other.bytes_moved;
+        self.transform_elided_bytes += other.transform_elided_bytes;
+        self.elapsed = self.elapsed.max(other.elapsed);
+    }
+
     /// Mean requests per dispatched batch (`0` before the first batch).
     #[must_use]
     pub fn mean_occupancy(&self) -> f64 {
@@ -314,6 +472,74 @@ mod tests {
         assert_eq!(s.bytes_moved, 150);
         assert_eq!(s.transform_elided_bytes, 450);
         assert!((s.transform_elided_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_maxes_latency() {
+        let core = StatsCore::new();
+        core.record_submit();
+        core.record_response(Duration::from_micros(10));
+        let a = core.snapshot();
+        let core2 = StatsCore::new();
+        core2.record_submit();
+        core2.record_submit();
+        core2.record_response(Duration::from_micros(40));
+        core2.record_failure();
+        let b = core2.snapshot();
+        let mut total = ServiceStats::default();
+        total.absorb(&a);
+        total.absorb(&b);
+        assert_eq!(total.submitted, 3);
+        assert_eq!(total.completed, 2);
+        assert_eq!(total.failed, 1);
+        assert_eq!(total.submitted, total.completed + total.failed);
+        assert_eq!(total.max_latency(), Duration::from_micros(40));
+        assert_eq!(total.latency_ns_sum, a.latency_ns_sum + b.latency_ns_sum);
+        assert_eq!(total.elapsed, a.elapsed.max(b.elapsed));
+    }
+
+    #[test]
+    fn route_core_snapshots_into_shard_stats() {
+        let route = RouteCore::default();
+        route.record_routed();
+        route.record_routed();
+        route.record_retry();
+        route.record_rejected();
+        route.record_drained();
+        let core = StatsCore::new();
+        core.record_submit();
+        core.record_submit();
+        core.record_response(Duration::from_micros(3));
+        core.record_response(Duration::from_micros(5));
+        let shard = route.snapshot(2, vec![core.snapshot()]);
+        assert_eq!((shard.shard, shard.routed, shard.retried), (2, 2, 1));
+        assert_eq!((shard.rejected, shard.drained), (1, 1));
+        assert_eq!(shard.service().submitted, 2);
+        assert_eq!(shard.routed, shard.service().submitted);
+    }
+
+    #[test]
+    fn sharded_stats_global_is_exact_sum_of_shards() {
+        let mk = |routed: u64, submitted: u64| {
+            let route = RouteCore::default();
+            for _ in 0..routed {
+                route.record_routed();
+            }
+            let core = StatsCore::new();
+            for _ in 0..submitted {
+                core.record_submit();
+                core.record_response(Duration::from_micros(1));
+            }
+            route.snapshot(0, vec![core.snapshot()])
+        };
+        let stats = ShardedStats { shards: vec![mk(3, 3), mk(5, 5)] };
+        assert_eq!(stats.routed(), 8);
+        assert_eq!(stats.global().submitted, 8);
+        assert_eq!(stats.global().completed, 8);
+        assert_eq!(
+            stats.global().submitted,
+            stats.shards.iter().map(|s| s.service().submitted).sum::<u64>()
+        );
     }
 
     #[test]

@@ -68,7 +68,9 @@ pub mod prelude {
     pub use tie_core::{CompactEngine, InferencePlan};
     pub use tie_energy::{Metrics, TieAreaPowerModel};
     pub use tie_quant::{QFormat, QTensor};
-    pub use tie_serve::{EngineRegistry, InferenceService, ServeConfig};
+    pub use tie_serve::{
+        EngineRegistry, HashRing, InferenceService, ServeConfig, ShardConfig, ShardedService,
+    };
     pub use tie_sim::{TieAccelerator, TieConfig};
     pub use tie_tensor::linalg::Truncation;
     pub use tie_tensor::{Scalar, Shape, Tensor};

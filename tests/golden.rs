@@ -182,3 +182,85 @@ fn fixtures_are_reproducible_from_their_seeds() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Shard-map golden fixture: the consistent-hash ring's layer→shard
+// assignment for the Table 4 layer set is part of the serving contract —
+// a silent change to the hash or ring layout would reshuffle every
+// deployed registry partition.
+// ---------------------------------------------------------------------------
+
+/// The pinned ring configurations: vnodes is the `ShardConfig` default.
+const SHARD_MAP_SHARD_COUNTS: [usize; 3] = [2, 4, 8];
+const SHARD_MAP_VNODES: usize = 64;
+
+fn table4_layer_names() -> Vec<String> {
+    tie::workloads::table4_benchmarks()
+        .iter()
+        .map(|b| b.name.to_string())
+        .collect()
+}
+
+fn shard_map_value() -> Value {
+    let maps: Vec<Value> = SHARD_MAP_SHARD_COUNTS
+        .iter()
+        .map(|&shards| {
+            let ring = HashRing::new(shards, SHARD_MAP_VNODES).unwrap();
+            let assignments: Vec<Value> = table4_layer_names()
+                .iter()
+                .map(|name| {
+                    Value::Object(vec![
+                        ("layer".into(), Value::String(name.clone())),
+                        ("shard".into(), Value::UInt(ring.shard_for(name) as u64)),
+                    ])
+                })
+                .collect();
+            Value::Object(vec![
+                ("shards".into(), Value::UInt(shards as u64)),
+                ("vnodes".into(), Value::UInt(SHARD_MAP_VNODES as u64)),
+                ("assignments".into(), Value::Array(assignments)),
+            ])
+        })
+        .collect();
+    Value::Object(vec![("maps".into(), Value::Array(maps))])
+}
+
+/// Regenerate `golden_shard_map.json` after an *intentional* ring change.
+#[test]
+#[ignore = "writes tests/fixtures/; run only after an intentional ring change"]
+fn regenerate_shard_map_fixture() {
+    std::fs::create_dir_all(fixture_path("x").parent().unwrap()).unwrap();
+    let text = serde_json::to_string_pretty(&shard_map_value()).unwrap();
+    std::fs::write(fixture_path("shard_map"), text + "\n").unwrap();
+}
+
+#[test]
+fn golden_shard_map_table4() {
+    let path = fixture_path("shard_map");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+    let fixture: Value = serde_json::from_str(&text).unwrap();
+    let maps = fixture.get("maps").expect("maps").as_array().expect("array");
+    assert_eq!(maps.len(), SHARD_MAP_SHARD_COUNTS.len());
+    for map in maps {
+        let shards = map.get("shards").expect("shards").as_u64().unwrap() as usize;
+        let vnodes = map.get("vnodes").expect("vnodes").as_u64().unwrap() as usize;
+        let ring = HashRing::new(shards, vnodes).unwrap();
+        let assignments = map.get("assignments").expect("assignments").as_array().unwrap();
+        assert_eq!(
+            assignments.len(),
+            table4_layer_names().len(),
+            "every Table 4 layer must be pinned"
+        );
+        for a in assignments {
+            let layer = a.get("layer").expect("layer").as_str().expect("string");
+            let want = a.get("shard").expect("shard").as_u64().unwrap() as usize;
+            assert_eq!(
+                ring.shard_for(layer),
+                want,
+                "layer {layer} moved off shard {want} ({shards} shards): \
+                 the hash ring's placement contract changed"
+            );
+        }
+    }
+}

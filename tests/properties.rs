@@ -637,3 +637,111 @@ fn simulator_stage_trace_matches_reference() {
     assert!(y_hw.relative_error(&y_ref).unwrap() < 1e-2);
     assert_eq!(trace.stage_outputs.len(), shape.ndim());
 }
+
+// ---------------------------------------------------------------------------
+// Consistent-hash ring (tie-serve sharding layer)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Keys spread across shards within tolerance of the ideal share.
+    /// With 128 vnodes per shard the arc lengths concentrate well enough
+    /// that generous bounds (max ≤ 2.5× ideal, min ≥ ideal / 4) hold for
+    /// any shard count and key family.
+    #[test]
+    fn hash_ring_distribution_within_tolerance(
+        shards in 2usize..=8,
+        salt in 0u64..1_000_000_000,
+    ) {
+        let ring = HashRing::new(shards, 128).unwrap();
+        const KEYS: usize = 4096;
+        let mut counts = vec![0usize; shards];
+        for i in 0..KEYS {
+            counts[ring.shard_for(&format!("key-{salt:x}-{i}"))] += 1;
+        }
+        let ideal = KEYS as f64 / shards as f64;
+        for (shard, &c) in counts.iter().enumerate() {
+            prop_assert!(
+                (c as f64) <= 2.5 * ideal,
+                "shard {shard} owns {c} of {KEYS} keys (ideal {ideal:.0})"
+            );
+            prop_assert!(
+                (c as f64) >= ideal / 4.0,
+                "shard {shard} owns only {c} of {KEYS} keys (ideal {ideal:.0})"
+            );
+        }
+    }
+
+    /// Adding a shard only moves keys *onto* the new shard; every key that
+    /// stays off it keeps its exact assignment. The moved fraction is near
+    /// 1/(n+1), bounded loosely here.
+    #[test]
+    fn hash_ring_add_shard_remaps_minimally(
+        shards in 2usize..=8,
+        salt in 0u64..1_000_000_000,
+    ) {
+        let before = HashRing::new(shards, 128).unwrap();
+        let mut after = HashRing::new(shards, 128).unwrap();
+        after.add_shard(shards).unwrap();
+        const KEYS: usize = 2048;
+        let mut moved = 0usize;
+        for i in 0..KEYS {
+            let key = format!("key-{salt:x}-{i}");
+            let (b, a) = (before.shard_for(&key), after.shard_for(&key));
+            if a != b {
+                prop_assert_eq!(a, shards);
+                moved += 1;
+            }
+        }
+        let expected = KEYS as f64 / (shards + 1) as f64;
+        prop_assert!(
+            (moved as f64) <= 2.5 * expected,
+            "add moved {moved} keys; consistent hashing expects ≈{expected:.0}"
+        );
+        prop_assert!(moved > 0, "the new shard must receive some keys");
+    }
+
+    /// Removing a shard only moves the keys it owned; all other keys keep
+    /// their exact assignment (the mirror property of the add case).
+    #[test]
+    fn hash_ring_remove_shard_remaps_minimally(
+        shards in 3usize..=8,
+        victim_ix in 0usize..8,
+        salt in 0u64..1_000_000_000,
+    ) {
+        let victim = victim_ix % shards;
+        let before = HashRing::new(shards, 128).unwrap();
+        let mut after = HashRing::new(shards, 128).unwrap();
+        after.remove_shard(victim).unwrap();
+        const KEYS: usize = 2048;
+        for i in 0..KEYS {
+            let key = format!("key-{salt:x}-{i}");
+            let b = before.shard_for(&key);
+            let a = after.shard_for(&key);
+            if b == victim {
+                prop_assert_ne!(a, victim);
+            } else {
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+
+    /// The ring is a pure function of (shard set, vnodes): independently
+    /// constructed rings agree on every key, so distributed routers need
+    /// no coordination to agree on placement.
+    #[test]
+    fn hash_ring_deterministic_across_constructions(
+        shards in 1usize..=8,
+        vnodes in 1usize..=128,
+        keys in proptest::collection::vec(0u64..1_000_000_000, 1..32),
+    ) {
+        let a = HashRing::new(shards, vnodes).unwrap();
+        let b = HashRing::new(shards, vnodes).unwrap();
+        prop_assert_eq!(a.shards(), b.shards());
+        for &k in &keys {
+            let key = format!("layer-{k}");
+            prop_assert_eq!(a.shard_for(&key), b.shard_for(&key));
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Stress suite for the sharded serving layer: thousands of concurrent
+//! nonce-keyed requests across ≥ 4 shards × 2 replicas.
+//!
+//! Correctness bar (ISSUE 7 acceptance):
+//!
+//! * ≥ 1000 requests concurrently in flight (every client thread submits
+//!   its whole budget — fan-out through a `Barrier` — before any thread
+//!   starts waiting on tickets);
+//! * every response **bit-identical** to a direct
+//!   `CompactEngine::matvec_batch_into` call on that request's input —
+//!   inputs are derived from a per-request nonce, so a lost, duplicated
+//!   or cross-wired response cannot pass the comparison;
+//! * the per-shard counters sum exactly to the global totals, with the
+//!   airtight invariant `routed == submitted == completed + failed` per
+//!   shard and globally;
+//! * all of it at kernel-pool sizes {1, 8} (the sharded layer fans out
+//!   into the nesting-safe `tie_tensor::pool`).
+//!
+//! The run is reproducible: set `TIE_STRESS_SEED` to replay a failure
+//! (the seed in use is printed on stderr).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+use tie::core::CompactEngine;
+use tie::serve::{
+    EngineRegistry, HashRing, ServeConfig, ServeError, ShardConfig, ShardedService, Ticket,
+};
+use tie::tensor::parallel;
+use tie::tt::{TtMatrix, TtShape};
+
+const CLIENTS: usize = 8;
+const REQUESTS_PER_CLIENT: usize = 160; // 8 × 160 = 1280 ≥ 1000 in flight
+const POOL_SIZES: [usize; 2] = [1, 8];
+
+fn suite_seed() -> u64 {
+    let seed = std::env::var("TIE_STRESS_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0xC0FF_EE00_5EED);
+    eprintln!("shard_stress: TIE_STRESS_SEED={seed}");
+    seed
+}
+
+/// Builds layers until every shard of the ring owns at least one, so the
+/// load genuinely spreads across all `shards` shards. Shapes cycle
+/// through three distinct dimensions, so a cross-layer mix-up would also
+/// show up as a wrong-length output.
+fn layers_covering_all_shards(
+    seed: u64,
+    ring: &HashRing,
+) -> Vec<(String, Arc<CompactEngine<f64>>)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let shapes = [
+        TtShape::uniform_rank(vec![2, 3], vec![3, 2], 2).unwrap(),
+        TtShape::uniform_rank(vec![2, 2, 2], vec![2, 3, 2], 2).unwrap(),
+        TtShape::uniform_rank(vec![4], vec![9], 1).unwrap(),
+    ];
+    let mut owned = vec![0usize; ring.shards().len()];
+    let mut layers = Vec::new();
+    for i in 0..256 {
+        let name = format!("layer{i}");
+        let shard = ring.shard_for(&name);
+        let pos = ring.shards().iter().position(|&s| s == shard).unwrap();
+        // Keep adding until full coverage, then stop at a modest count.
+        if owned.iter().all(|&c| c > 0) && layers.len() >= 2 * ring.shards().len() {
+            break;
+        }
+        owned[pos] += 1;
+        let shape = &shapes[i % shapes.len()];
+        let ttm = TtMatrix::<f64>::random(&mut rng, shape, 0.6).unwrap();
+        layers.push((name, Arc::new(CompactEngine::new(ttm).unwrap())));
+    }
+    assert!(
+        owned.iter().all(|&c| c > 0),
+        "256 candidate names must cover every shard (vnodes too low?)"
+    );
+    layers
+}
+
+/// The per-request input: derived from the nonce alone, so every request
+/// carries a unique, reproducible payload.
+fn input_for(nonce: u64, n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ nonce.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+/// Direct single-sample reference through the exact engine entry point
+/// the service workers use (`matvec_batch_into`, b = 1).
+fn direct_eval(engine: &CompactEngine<f64>, x: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0; engine.matrix().shape().num_rows()];
+    engine.matvec_batch_into(x, 1, &mut y).unwrap();
+    y
+}
+
+/// One full stress round at the given randomized config.
+fn run_round(seed: u64, round: u64, config: ShardConfig) {
+    let ring = HashRing::new(config.shards, config.vnodes).unwrap();
+    let layers = layers_covering_all_shards(seed.wrapping_add(round), &ring);
+    eprintln!(
+        "shard_stress round {round}: shards={} replicas={} max_batch={} max_wait={:?} \
+         queue={} workers={} layers={}",
+        config.shards,
+        config.replicas,
+        config.replica.max_batch,
+        config.replica.max_wait,
+        config.replica.queue_capacity,
+        config.replica.workers,
+        layers.len()
+    );
+
+    let mut registry = EngineRegistry::new();
+    for (name, engine) in &layers {
+        registry.insert_shared(name.clone(), Arc::clone(engine));
+    }
+    let service = ShardedService::start(registry, config.clone()).unwrap();
+    let layers = Arc::new(layers);
+    // All clients finish submitting before any client starts waiting:
+    // the whole load (≥ 1000 tickets) is concurrently in flight.
+    let submitted_barrier = Arc::new(Barrier::new(CLIENTS));
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            let client = service.client();
+            let layers = Arc::clone(&layers);
+            let barrier = Arc::clone(&submitted_barrier);
+            std::thread::spawn(move || {
+                let mut tickets: Vec<(u64, usize, Ticket)> =
+                    Vec::with_capacity(REQUESTS_PER_CLIENT);
+                for i in 0..REQUESTS_PER_CLIENT {
+                    let nonce = (t * REQUESTS_PER_CLIENT + i) as u64;
+                    let li = nonce as usize % layers.len();
+                    let (name, engine) = &layers[li];
+                    let n = engine.matrix().shape().num_cols();
+                    let x = input_for(nonce, n, seed);
+                    // The router's bounded backoff may still give up under
+                    // a tiny queue; the client keeps offering (real load
+                    // does not evaporate on backpressure).
+                    let ticket = loop {
+                        match client.submit(name, x.clone()) {
+                            Ok(ticket) => break ticket,
+                            Err(ServeError::QueueFull) => {
+                                std::thread::sleep(Duration::from_micros(100));
+                            }
+                            Err(e) => panic!("nonce {nonce}: unexpected submit error {e}"),
+                        }
+                    };
+                    tickets.push((nonce, li, ticket));
+                }
+                barrier.wait();
+                let in_flight = tickets.len();
+                for (nonce, li, ticket) in tickets {
+                    let (_, engine) = &layers[li];
+                    let x = input_for(nonce, engine.matrix().shape().num_cols(), seed);
+                    let resp = ticket
+                        .wait()
+                        .unwrap_or_else(|e| panic!("nonce {nonce}: response lost to {e}"));
+                    let want = direct_eval(engine, &x);
+                    assert_eq!(
+                        resp.output.len(),
+                        want.len(),
+                        "nonce {nonce}: output length (cross-layer wiring?)"
+                    );
+                    for (r, (&got, &exp)) in resp.output.iter().zip(&want).enumerate() {
+                        assert!(
+                            got.to_bits() == exp.to_bits(),
+                            "nonce {nonce} row {r}: {got:e} != direct {exp:e} \
+                             (lost/cross-wired response)"
+                        );
+                    }
+                }
+                in_flight as u64
+            })
+        })
+        .collect();
+
+    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(total, (CLIENTS * REQUESTS_PER_CLIENT) as u64);
+    assert!(total >= 1000, "the load must be ≥ 1000 concurrently in-flight requests");
+
+    let stats = service.shutdown();
+    let global = stats.global();
+
+    // Global balance.
+    assert_eq!(global.submitted, global.completed + global.failed, "counter balance");
+    assert_eq!(global.failed, 0, "no request may fail in a clean run");
+    assert_eq!(global.completed, total, "every checked response is accounted exactly once");
+    assert_eq!(global.batched_requests, global.submitted, "each request rode one batch");
+
+    // Router ↔ replica reconciliation, per shard and in aggregate.
+    assert_eq!(stats.routed(), global.submitted, "router routed == replicas accepted");
+    assert_eq!(stats.drained(), 0, "no shard ever drained in a clean run");
+    let mut shards_with_traffic = 0usize;
+    let mut summed = tie::serve::ServiceStats::default();
+    for shard in &stats.shards {
+        let service_view = shard.service();
+        assert_eq!(
+            shard.routed, service_view.submitted,
+            "shard {}: routed vs replica-accepted",
+            shard.shard
+        );
+        assert_eq!(
+            service_view.submitted,
+            service_view.completed + service_view.failed,
+            "shard {} balance",
+            shard.shard
+        );
+        if shard.routed > 0 {
+            shards_with_traffic += 1;
+        }
+        summed.absorb(&service_view);
+    }
+    assert!(
+        shards_with_traffic >= 4.min(config.shards),
+        "load must spread across ≥ 4 shards (got {shards_with_traffic})"
+    );
+    // The per-shard views sum exactly to the global totals.
+    assert_eq!(summed.submitted, global.submitted);
+    assert_eq!(summed.completed, global.completed);
+    assert_eq!(summed.failed, global.failed);
+    assert_eq!(summed.batches, global.batches);
+    assert_eq!(summed.batched_requests, global.batched_requests);
+    assert_eq!(summed.latency_ns_sum, global.latency_ns_sum);
+}
+
+/// Randomized configs per pool size; max_batch 1 and 8 are both always
+/// exercised (the pool-size acceptance matrix), the remaining knobs come
+/// from the seeded RNG.
+#[test]
+fn stress_sharded_thousands_in_flight_bit_identical() {
+    let seed = suite_seed();
+    let mut cfg_rng = ChaCha8Rng::seed_from_u64(seed.wrapping_add(1));
+    let prev = parallel::set_num_threads(0);
+
+    for &pool in &POOL_SIZES {
+        parallel::set_num_threads(pool);
+        eprintln!("shard_stress: kernel pool size {pool}");
+        for (round, &max_batch) in [1usize, 8].iter().enumerate() {
+            let config = ShardConfig {
+                shards: 4 + cfg_rng.gen_range(0..2usize), // 4 or 5
+                replicas: 2,
+                vnodes: 64,
+                replica: ServeConfig {
+                    max_batch,
+                    max_wait: Duration::from_micros(cfg_rng.gen_range(0..2000u64)),
+                    queue_capacity: cfg_rng.gen_range(128..512usize),
+                    workers: cfg_rng.gen_range(1..4usize),
+                },
+                submit_retries: cfg_rng.gen_range(4..12usize),
+                retry_backoff: Duration::from_micros(cfg_rng.gen_range(10..200u64)),
+            };
+            run_round(seed, (pool * 10 + round) as u64, config);
+        }
+    }
+
+    parallel::set_num_threads(prev);
+}
