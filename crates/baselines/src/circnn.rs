@@ -162,7 +162,7 @@ impl BlockCirculantMatrix {
         cols: usize,
         block: usize,
     ) -> Result<Self> {
-        if block == 0 || block & (block - 1) != 0 || rows % block != 0 || cols % block != 0 {
+        if block == 0 || block & (block - 1) != 0 || !rows.is_multiple_of(block) || !cols.is_multiple_of(block) {
             return Err(TensorError::InvalidArgument {
                 message: format!(
                     "block {block} must be a power of two dividing {rows}x{cols}"

@@ -207,7 +207,7 @@ fn write_json() {
     for (i, bench) in table4_benchmarks().iter().enumerate() {
         let w = synthetic_layer_weights(&bench.shape, 1e-4, 100 + i as u64).unwrap();
         let compiled =
-            compile_dense_layer(&bench.name, &w, &bench.shape, Some(bench.paper_cr), &opts)
+            compile_dense_layer(bench.name, &w, &bench.shape, Some(bench.paper_cr), &opts)
                 .unwrap();
         report.row([
             format!("compile_{}", bench.name),

@@ -151,7 +151,7 @@ impl AffineMap {
             .copied()
             .filter(|d| d.extent > 1)
             .collect();
-        digs.sort_by(|a, b| b.stride.cmp(&a.stride));
+        digs.sort_by_key(|d| std::cmp::Reverse(d.stride));
         let mut place = 1usize;
         for d in digs.iter().rev() {
             if d.stride != place {
@@ -325,7 +325,7 @@ impl AffineMap {
             // Straddling digit: the lower `f` values belong to the column
             // part, the upper `extent / f` to the row part.
             let f = cols / trailing;
-            if cols % trailing != 0 || d.extent % f != 0 {
+            if !cols.is_multiple_of(trailing) || d.extent % f != 0 {
                 return Err(invalid(format!(
                     "offset_tables: digit of extent {} straddles the column boundary {cols} \
                      indivisibly",
@@ -375,7 +375,7 @@ fn route_digit(
     // Find the g digit this stride addresses: places[j] | stride with a
     // multiplier below the radix.
     let Some(j) = (0..g_digits.len()).find(|&j| {
-        d.stride % places[j] == 0 && (d.stride / places[j]) < g_digits[j].extent && d.stride >= places[j]
+        d.stride.is_multiple_of(places[j]) && (d.stride / places[j]) < g_digits[j].extent && d.stride >= places[j]
     }) else {
         return Err(invalid(format!(
             "then: no destination digit admits stride {}",
@@ -398,7 +398,7 @@ fn route_digit(
     // stay within digit j (requires c | extent_j so the boundary aligns),
     // the upper part advances at the next coarser place.
     let e_lo = g_digits[j].extent / c;
-    if g_digits[j].extent % c != 0 || d.extent % e_lo != 0 {
+    if !g_digits[j].extent.is_multiple_of(c) || !d.extent.is_multiple_of(e_lo) {
         return Err(invalid(format!(
             "then: digit of extent {} (stride {}) cannot split at radix {} cleanly",
             d.extent, d.stride, g_digits[j].extent

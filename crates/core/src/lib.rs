@@ -39,6 +39,11 @@
 //!   working-set bound.
 //! * [`scheme`] — [`scheme::CompactEngine`]: the executable scheme with
 //!   operation counters.
+//! * [`pipeline`] — pipeline-parallel execution of one layer's stage
+//!   chain: a cut-point planner balancing per-stage MAC/SRAM costs and a
+//!   [`pipeline::StagePipeline`] executor streaming micro-batched `V'_h`
+//!   chunks through bounded channels on dedicated stage threads,
+//!   bit-identical to the sequential engine at any cut count.
 //!
 //! # Example
 //!
@@ -64,10 +69,12 @@
 
 pub mod counts;
 pub mod indexmap;
+pub mod pipeline;
 pub mod plan;
 pub mod scheme;
 pub mod transform;
 
+pub use pipeline::{CutPlan, FloatChain, PipelineConfig, StagePipeline};
 pub use plan::InferencePlan;
 pub use scheme::CompactEngine;
 pub use tie_tensor::{Result, TensorError};

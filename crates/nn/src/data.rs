@@ -241,13 +241,13 @@ mod tests {
         let mut counts = [0usize; 2];
         for i in 0..d.len() {
             counts[d.labels[i]] += 1;
-            for j in 0..dim {
-                centers[d.labels[i]][j] += d.features.data()[i * dim + j] as f64;
+            for (j, c) in centers[d.labels[i]].iter_mut().enumerate() {
+                *c += d.features.data()[i * dim + j] as f64;
             }
         }
-        for k in 0..2 {
-            for j in 0..dim {
-                centers[k][j] /= counts[k] as f64;
+        for (center, &count) in centers.iter_mut().zip(&counts) {
+            for c in center.iter_mut() {
+                *c /= count as f64;
             }
         }
         let mut correct = 0;

@@ -50,21 +50,21 @@ pub fn softmax_cross_entropy(logits: &Tensor<f32>, labels: &[usize]) -> Result<L
     let (bsz, k) = (logits.dims()[0], logits.dims()[1]);
     let mut grad = Tensor::zeros(vec![bsz, k]);
     let mut loss = 0.0f64;
-    for b in 0..bsz {
-        if labels[b] >= k {
+    for (b, &label) in labels.iter().enumerate() {
+        if label >= k {
             return Err(TensorError::InvalidArgument {
-                message: format!("label {} out of 0..{k}", labels[b]),
+                message: format!("label {label} out of 0..{k}"),
             });
         }
         let row = logits.row(b);
         let max = row.iter().fold(f32::NEG_INFINITY, |a, &v| a.max(v));
         let exps: Vec<f64> = row.iter().map(|&v| ((v - max) as f64).exp()).collect();
         let z: f64 = exps.iter().sum();
-        for c in 0..k {
-            let p = exps[c] / z;
-            let onehot = if c == labels[b] { 1.0 } else { 0.0 };
+        for (c, &e) in exps.iter().enumerate() {
+            let p = e / z;
+            let onehot = if c == label { 1.0 } else { 0.0 };
             grad.data_mut()[b * k + c] = ((p - onehot) / bsz as f64) as f32;
-            if c == labels[b] {
+            if c == label {
                 loss -= (p.max(1e-300)).ln();
             }
         }
@@ -84,7 +84,7 @@ pub fn accuracy(logits: &Tensor<f32>, labels: &[usize]) -> f64 {
     let (bsz, k) = (logits.dims()[0], logits.dims()[1]);
     assert_eq!(bsz, labels.len(), "label count mismatch");
     let mut correct = 0usize;
-    for b in 0..bsz {
+    for (b, &label) in labels.iter().enumerate() {
         let row = logits.row(b);
         let mut best = 0usize;
         for c in 1..k {
@@ -92,7 +92,7 @@ pub fn accuracy(logits: &Tensor<f32>, labels: &[usize]) -> f64 {
                 best = c;
             }
         }
-        if best == labels[b] {
+        if best == label {
             correct += 1;
         }
     }

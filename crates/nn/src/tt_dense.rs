@@ -373,6 +373,7 @@ mod tests {
         layer.backward(&y).unwrap();
         let analytic: Vec<Tensor<f32>> = layer.grad_cores.clone();
         let eps = 1e-2f32;
+        #[allow(clippy::needless_range_loop)] // k indexes layer.cores (mutated) and analytic together
         for k in 0..layer.cores.len() {
             for i in 0..layer.cores[k].num_elements() {
                 let orig = layer.cores[k].data()[i];

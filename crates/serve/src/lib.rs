@@ -13,13 +13,19 @@
 //! bounded channels — no external dependencies:
 //!
 //! * [`EngineRegistry`] — prepared engines keyed by layer name, shared via
-//!   `Arc`. Two backends coexist: float `CompactEngine`s
-//!   ([`EngineRegistry::insert`]) and bit-accurate fixed-point
+//!   `Arc`. Three backends coexist: float `CompactEngine`s
+//!   ([`EngineRegistry::insert`]), bit-accurate fixed-point
 //!   [`tie_sim::QuantizedEngine`]s
-//!   ([`EngineRegistry::insert_quantized`]) — clients submit the same
-//!   `f64` requests either way, and quantized batches feed the
-//!   `quant_*` saturation counters in [`ServiceStats`]
-//!   (see [`ServiceStats::quant_saturation_rate`]).
+//!   ([`EngineRegistry::insert_quantized`]), and pipeline-parallel
+//!   [`tie_sim::PipelinedEngine`]s wrapping either datapath
+//!   ([`EngineRegistry::insert_pipelined`]) — clients submit the same
+//!   `f64` requests every way, quantized batches feed the `quant_*`
+//!   saturation counters in [`ServiceStats`]
+//!   (see [`ServiceStats::quant_saturation_rate`]), and pipelined batches
+//!   feed the `pipeline_*` occupancy/stall/handoff counters (see
+//!   [`ServiceStats::pipeline_stall_fraction`]; the books reconcile
+//!   exactly: `pipeline_stage_chunks == pipeline_chunks +
+//!   pipeline_handoffs`).
 //! * [`InferenceService`] — owns a batcher thread and a worker pool sized
 //!   by [`tie_tensor::parallel`] (workers hold private engine clones, so
 //!   execution never contends on a scratch-workspace lock).

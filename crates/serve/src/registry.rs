@@ -1,10 +1,12 @@
 //! The shared engine registry: prepared engines keyed by layer name.
 //!
-//! Two backends coexist under one namespace: float [`CompactEngine`]s and
-//! bit-accurate fixed-point [`QuantizedEngine`]s — a name maps to exactly
-//! one of the two, and clients neither know nor care which (same submit
-//! API, same `f64` responses; the quantized backend additionally feeds the
-//! saturation counters in [`crate::ServiceStats`]).
+//! Three backends coexist under one namespace: float [`CompactEngine`]s,
+//! bit-accurate fixed-point [`QuantizedEngine`]s, and pipeline-parallel
+//! [`PipelinedEngine`]s (which wrap either datapath) — a name maps to
+//! exactly one of the three, and clients neither know nor care which
+//! (same submit API, same `f64` responses; the quantized backends feed
+//! the saturation counters in [`crate::ServiceStats`], the pipelined one
+//! additionally feeds the `pipeline_*` occupancy/stall/handoff counters).
 //!
 //! Engines are stored behind [`Arc`] so the service, every client handle,
 //! and every worker can hold the same prepared layer without copying the
@@ -18,7 +20,7 @@ use crate::worker::WorkerEngine;
 use std::collections::HashMap;
 use std::sync::Arc;
 use tie_core::CompactEngine;
-use tie_sim::QuantizedEngine;
+use tie_sim::{PipelinedEngine, QuantizedEngine};
 
 /// Layer-name → prepared-engine map handed to
 /// [`crate::InferenceService::start`].
@@ -30,6 +32,7 @@ use tie_sim::QuantizedEngine;
 pub struct EngineRegistry {
     engines: HashMap<String, Arc<CompactEngine<f64>>>,
     quantized: HashMap<String, Arc<QuantizedEngine>>,
+    pipelined: HashMap<String, Arc<PipelinedEngine>>,
 }
 
 impl EngineRegistry {
@@ -54,6 +57,7 @@ impl EngineRegistry {
     ) -> &mut Self {
         let name = name.into();
         self.quantized.remove(&name);
+        self.pipelined.remove(&name);
         self.engines.insert(name, engine);
         self
     }
@@ -78,7 +82,34 @@ impl EngineRegistry {
     ) -> &mut Self {
         let name = name.into();
         self.engines.remove(&name);
+        self.pipelined.remove(&name);
         self.quantized.insert(name, engine);
+        self
+    }
+
+    /// Registers a pipeline-parallel `engine` under `name`, replacing any
+    /// previous entry (of any backend) with that name. Requests to this
+    /// layer stream through the engine's stage pipeline and feed the
+    /// `pipeline_*` counters in [`crate::ServiceStats`] (plus the
+    /// `quant_*` counters when the wrapped datapath is quantized).
+    pub fn insert_pipelined(
+        &mut self,
+        name: impl Into<String>,
+        engine: PipelinedEngine,
+    ) -> &mut Self {
+        self.insert_pipelined_shared(name, Arc::new(engine))
+    }
+
+    /// Registers an already-shared pipeline-parallel engine under `name`.
+    pub fn insert_pipelined_shared(
+        &mut self,
+        name: impl Into<String>,
+        engine: Arc<PipelinedEngine>,
+    ) -> &mut Self {
+        let name = name.into();
+        self.engines.remove(&name);
+        self.quantized.remove(&name);
+        self.pipelined.insert(name, engine);
         self
     }
 
@@ -96,10 +127,25 @@ impl EngineRegistry {
         self.quantized.get(name).cloned()
     }
 
-    /// True if `name` is registered with the fixed-point backend.
+    /// The shared pipeline-parallel engine registered under `name`
+    /// (`None` if the name is unregistered or sequential).
+    #[must_use]
+    pub fn get_pipelined(&self, name: &str) -> Option<Arc<PipelinedEngine>> {
+        self.pipelined.get(name).cloned()
+    }
+
+    /// True if `name` is registered with the fixed-point backend (either
+    /// the sequential quantized engine or a pipelined wrapper around one).
     #[must_use]
     pub fn is_quantized(&self, name: &str) -> bool {
         self.quantized.contains_key(name)
+            || self.pipelined.get(name).is_some_and(|e| e.is_quantized())
+    }
+
+    /// True if `name` is registered with the pipeline-parallel backend.
+    #[must_use]
+    pub fn is_pipelined(&self, name: &str) -> bool {
+        self.pipelined.contains_key(name)
     }
 
     /// `(rows M, cols N)` of the layer registered under `name`, either
@@ -109,28 +155,36 @@ impl EngineRegistry {
         if let Some(e) = self.engines.get(name) {
             return Some((e.matrix().shape().num_rows(), e.matrix().shape().num_cols()));
         }
-        self.quantized.get(name).map(|e| (e.num_rows(), e.num_cols()))
+        if let Some(e) = self.quantized.get(name) {
+            return Some((e.num_rows(), e.num_cols()));
+        }
+        self.pipelined.get(name).map(|e| (e.num_rows(), e.num_cols()))
     }
 
-    /// All registered layer names (both backends), sorted.
+    /// All registered layer names (every backend), sorted.
     #[must_use]
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> =
-            self.engines.keys().chain(self.quantized.keys()).cloned().collect();
+        let mut names: Vec<String> = self
+            .engines
+            .keys()
+            .chain(self.quantized.keys())
+            .chain(self.pipelined.keys())
+            .cloned()
+            .collect();
         names.sort();
         names
     }
 
-    /// Number of registered layers (both backends).
+    /// Number of registered layers (every backend).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.engines.len() + self.quantized.len()
+        self.engines.len() + self.quantized.len() + self.pipelined.len()
     }
 
     /// True if no layer is registered.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.engines.is_empty() && self.quantized.is_empty()
+        self.engines.is_empty() && self.quantized.is_empty() && self.pipelined.is_empty()
     }
 
     /// One private (fresh-workspace) clone of every float engine, for a
@@ -167,11 +221,17 @@ impl EngineRegistry {
         for (name, engine) in &self.quantized {
             parts[ring.shard_for(name)].insert_quantized_shared(name.clone(), Arc::clone(engine));
         }
+        for (name, engine) in &self.pipelined {
+            parts[ring.shard_for(name)].insert_pipelined_shared(name.clone(), Arc::clone(engine));
+        }
         parts
     }
 
-    /// Private clones of **every** engine, both backends, wrapped for the
-    /// worker loop.
+    /// Private clones of **every** engine, all backends, wrapped for the
+    /// worker loop. A pipelined clone spawns its own `depth − 1` stage
+    /// threads and channel slabs (sharing the immutable chain), so each
+    /// worker streams its batches through a private pipeline with no
+    /// cross-worker contention.
     #[must_use]
     pub(crate) fn worker_engines(&self) -> HashMap<String, WorkerEngine> {
         self.engines
@@ -181,6 +241,11 @@ impl EngineRegistry {
                 self.quantized
                     .iter()
                     .map(|(name, e)| (name.clone(), WorkerEngine::Quantized((**e).clone()))),
+            )
+            .chain(
+                self.pipelined
+                    .iter()
+                    .map(|(name, e)| (name.clone(), WorkerEngine::Pipelined((**e).clone()))),
             )
             .collect()
     }
@@ -243,6 +308,41 @@ mod tests {
         assert!(reg.is_quantized("fc") && reg.get("fc").is_none());
         assert_eq!(reg.worker_engines().len(), 2);
         assert_eq!(reg.clone_engines().len(), 0); // float-only view
+    }
+
+    #[test]
+    fn pipelined_engines_share_the_namespace_and_partition() {
+        use crate::HashRing;
+        use tie_core::PipelineConfig;
+        use tie_sim::PipelinedEngine;
+        let float = engine(20);
+        let pipelined =
+            PipelinedEngine::float(&float, PipelineConfig::default()).unwrap();
+        let mut reg = EngineRegistry::new();
+        reg.insert("fc", engine(21)).insert_pipelined("pfc", pipelined.clone());
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.names(), vec!["fc".to_string(), "pfc".to_string()]);
+        assert_eq!(reg.dims("pfc"), Some((6, 6)));
+        assert!(reg.is_pipelined("pfc") && !reg.is_pipelined("fc"));
+        assert!(!reg.is_quantized("pfc"), "float pipeline is not quantized");
+        assert!(reg.get_pipelined("pfc").is_some() && reg.get("pfc").is_none());
+        // Re-registering a pipelined name as float replaces it.
+        reg.insert("pfc", engine(22));
+        assert_eq!(reg.len(), 2);
+        assert!(!reg.is_pipelined("pfc") && reg.get("pfc").is_some());
+        // And the other direction.
+        reg.insert_pipelined("fc", pipelined);
+        assert!(reg.is_pipelined("fc"));
+        assert_eq!(reg.worker_engines().len(), 2);
+        // Partitioning carries pipelined layers to their ring shards.
+        let ring = HashRing::new(3, 32).unwrap();
+        let parts = reg.partition(&ring);
+        assert_eq!(parts.iter().map(EngineRegistry::len).sum::<usize>(), 2);
+        let owner = &parts[ring.shard_for("fc")];
+        assert!(Arc::ptr_eq(
+            &owner.get_pipelined("fc").unwrap(),
+            &reg.get_pipelined("fc").unwrap()
+        ));
     }
 
     #[test]

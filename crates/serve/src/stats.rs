@@ -35,6 +35,12 @@ pub(crate) struct StatsCore {
     quant_out_saturations: AtomicU64,
     bytes_moved: AtomicU64,
     transform_elided_bytes: AtomicU64,
+    pipeline_batches: AtomicU64,
+    pipeline_chunks: AtomicU64,
+    pipeline_stage_chunks: AtomicU64,
+    pipeline_handoffs: AtomicU64,
+    pipeline_send_stalls: AtomicU64,
+    pipeline_recv_stalls: AtomicU64,
 }
 
 impl StatsCore {
@@ -57,6 +63,12 @@ impl StatsCore {
             quant_out_saturations: AtomicU64::new(0),
             bytes_moved: AtomicU64::new(0),
             transform_elided_bytes: AtomicU64::new(0),
+            pipeline_batches: AtomicU64::new(0),
+            pipeline_chunks: AtomicU64::new(0),
+            pipeline_stage_chunks: AtomicU64::new(0),
+            pipeline_handoffs: AtomicU64::new(0),
+            pipeline_send_stalls: AtomicU64::new(0),
+            pipeline_recv_stalls: AtomicU64::new(0),
         }
     }
 
@@ -106,6 +118,27 @@ impl StatsCore {
         self.transform_elided_bytes.fetch_add(transform_elided_bytes, Ordering::Relaxed);
     }
 
+    /// Folds one pipelined batch's scheduling telemetry into the
+    /// counters. `stage_chunks` is the summed per-stage occupancy
+    /// (`chunks × depth` for this run), so the exact reconciliation
+    /// `pipeline_stage_chunks == pipeline_chunks + pipeline_handoffs`
+    /// holds layer-depth-independently.
+    pub(crate) fn record_pipeline(
+        &self,
+        chunks: u64,
+        stage_chunks: u64,
+        handoffs: u64,
+        send_stalls: u64,
+        recv_stalls: u64,
+    ) {
+        self.pipeline_batches.fetch_add(1, Ordering::Relaxed);
+        self.pipeline_chunks.fetch_add(chunks, Ordering::Relaxed);
+        self.pipeline_stage_chunks.fetch_add(stage_chunks, Ordering::Relaxed);
+        self.pipeline_handoffs.fetch_add(handoffs, Ordering::Relaxed);
+        self.pipeline_send_stalls.fetch_add(send_stalls, Ordering::Relaxed);
+        self.pipeline_recv_stalls.fetch_add(recv_stalls, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> ServiceStats {
         ServiceStats {
             submitted: self.submitted.load(Ordering::Relaxed),
@@ -124,6 +157,12 @@ impl StatsCore {
             quant_out_saturations: self.quant_out_saturations.load(Ordering::Relaxed),
             bytes_moved: self.bytes_moved.load(Ordering::Relaxed),
             transform_elided_bytes: self.transform_elided_bytes.load(Ordering::Relaxed),
+            pipeline_batches: self.pipeline_batches.load(Ordering::Relaxed),
+            pipeline_chunks: self.pipeline_chunks.load(Ordering::Relaxed),
+            pipeline_stage_chunks: self.pipeline_stage_chunks.load(Ordering::Relaxed),
+            pipeline_handoffs: self.pipeline_handoffs.load(Ordering::Relaxed),
+            pipeline_send_stalls: self.pipeline_send_stalls.load(Ordering::Relaxed),
+            pipeline_recv_stalls: self.pipeline_recv_stalls.load(Ordering::Relaxed),
             elapsed: self.started.elapsed(),
         }
     }
@@ -309,6 +348,28 @@ pub struct ServiceStats {
     /// fused GEMM write epilogues eliminated across all executed batches
     /// (what the legacy pipeline would have re-copied).
     pub transform_elided_bytes: u64,
+    /// Batches executed by a pipelined backend (zero when only sequential
+    /// engines are registered).
+    pub pipeline_batches: u64,
+    /// Micro-batch chunks streamed through pipelined layers (counted once
+    /// per chunk, not per stage).
+    pub pipeline_chunks: u64,
+    /// Summed per-stage occupancy in chunk units: every pipeline stage's
+    /// chunk executions. Exact reconciliation against the channel
+    /// counters, regardless of per-layer depth:
+    /// `pipeline_stage_chunks == pipeline_chunks + pipeline_handoffs`
+    /// (each chunk runs once on the first stage and once more per
+    /// boundary it crosses).
+    pub pipeline_stage_chunks: u64,
+    /// Chunk handoffs across pipeline cut boundaries — each one a `V'_h`
+    /// slab streamed downstream (`chunks × (depth − 1)` per batch).
+    pub pipeline_handoffs: u64,
+    /// Handoffs where the producer stalled waiting for a recycled slab
+    /// (downstream backpressure).
+    pub pipeline_send_stalls: u64,
+    /// Handoffs where the consumer stalled waiting for the producer
+    /// (upstream starvation).
+    pub pipeline_recv_stalls: u64,
     /// Wall-clock time since the service started.
     pub elapsed: Duration,
 }
@@ -337,6 +398,12 @@ impl ServiceStats {
         self.quant_out_saturations += other.quant_out_saturations;
         self.bytes_moved += other.bytes_moved;
         self.transform_elided_bytes += other.transform_elided_bytes;
+        self.pipeline_batches += other.pipeline_batches;
+        self.pipeline_chunks += other.pipeline_chunks;
+        self.pipeline_stage_chunks += other.pipeline_stage_chunks;
+        self.pipeline_handoffs += other.pipeline_handoffs;
+        self.pipeline_send_stalls += other.pipeline_send_stalls;
+        self.pipeline_recv_stalls += other.pipeline_recv_stalls;
         self.elapsed = self.elapsed.max(other.elapsed);
     }
 
@@ -353,11 +420,9 @@ impl ServiceStats {
     /// Mean submit→response latency (`0` before the first response).
     #[must_use]
     pub fn mean_latency(&self) -> Duration {
-        if self.completed == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_nanos(self.latency_ns_sum / self.completed)
-        }
+        self.latency_ns_sum
+            .checked_div(self.completed)
+            .map_or(Duration::ZERO, Duration::from_nanos)
     }
 
     /// Maximum submit→response latency.
@@ -399,6 +464,20 @@ impl ServiceStats {
             0.0
         } else {
             self.transform_elided_bytes as f64 / total as f64
+        }
+    }
+
+    /// Fraction of pipeline handoffs where either side stalled (`0`
+    /// before any pipelined batch). High send-stall rates mean the cut
+    /// plan's downstream runs are the bottleneck; high recv-stall rates
+    /// mean the upstream runs are.
+    #[must_use]
+    pub fn pipeline_stall_fraction(&self) -> f64 {
+        if self.pipeline_handoffs == 0 {
+            0.0
+        } else {
+            (self.pipeline_send_stalls + self.pipeline_recv_stalls) as f64
+                / self.pipeline_handoffs as f64
         }
     }
 
@@ -540,6 +619,30 @@ mod tests {
             stats.global().submitted,
             stats.shards.iter().map(|s| s.service().submitted).sum::<u64>()
         );
+    }
+
+    #[test]
+    fn pipeline_counters_accumulate_and_reconcile() {
+        let core = StatsCore::new();
+        assert_eq!(core.snapshot().pipeline_stall_fraction(), 0.0);
+        // Depth-3 run of 8 chunks, then a depth-2 run of 4 chunks.
+        core.record_pipeline(8, 24, 16, 3, 2);
+        core.record_pipeline(4, 8, 4, 0, 1);
+        let s = core.snapshot();
+        assert_eq!(s.pipeline_batches, 2);
+        assert_eq!(s.pipeline_chunks, 12);
+        assert_eq!(s.pipeline_stage_chunks, 32);
+        assert_eq!(s.pipeline_handoffs, 20);
+        // The depth-independent reconciliation invariant.
+        assert_eq!(s.pipeline_stage_chunks, s.pipeline_chunks + s.pipeline_handoffs);
+        assert_eq!((s.pipeline_send_stalls, s.pipeline_recv_stalls), (3, 3));
+        assert!((s.pipeline_stall_fraction() - 0.3).abs() < 1e-12);
+        // absorb carries the pipeline counters.
+        let mut total = ServiceStats::default();
+        total.absorb(&s);
+        total.absorb(&s);
+        assert_eq!(total.pipeline_handoffs, 40);
+        assert_eq!(total.pipeline_stage_chunks, total.pipeline_chunks + total.pipeline_handoffs);
     }
 
     #[test]

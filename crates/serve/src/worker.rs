@@ -21,18 +21,33 @@ use std::collections::HashMap;
 use std::sync::mpsc::Receiver;
 use std::sync::{Arc, Mutex};
 use tie_core::CompactEngine;
-use tie_sim::QuantizedEngine;
+use tie_sim::{PipelinedEngine, QuantizedEngine};
 use tie_tensor::Result;
 
-/// A worker's private copy of one registered layer: either the float
-/// reference engine or the bit-accurate fixed-point engine. Both expose
-/// the same batch-inner-most `matvec_batch_into` contract, so the worker
-/// loop is backend-agnostic; the quantized backend additionally reports
-/// saturation counts, which the worker folds into the service stats.
+/// Per-batch accounting a worker folds into the service stats: the
+/// quantized saturation counters (zero on the float datapath) and, for
+/// the pipelined backend, the run's scheduling telemetry.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct BatchAccounting {
+    pub outputs: u64,
+    pub acc_saturations: u64,
+    pub out_saturations: u64,
+    /// `Some` iff the batch ran on a pipelined engine:
+    /// `(chunks, stage_chunks, handoffs, send_stalls, recv_stalls)`.
+    pub pipeline: Option<(u64, u64, u64, u64, u64)>,
+}
+
+/// A worker's private copy of one registered layer: the float reference
+/// engine, the bit-accurate fixed-point engine, or the pipeline-parallel
+/// wrapper around either. All expose the same batch-inner-most
+/// `matvec_batch_into` contract, so the worker loop is backend-agnostic;
+/// the quantized and pipelined backends additionally report counters,
+/// which the worker folds into the service stats.
 #[derive(Debug)]
 pub(crate) enum WorkerEngine {
     Float(CompactEngine<f64>),
     Quantized(QuantizedEngine),
+    Pipelined(PipelinedEngine),
 }
 
 impl WorkerEngine {
@@ -44,6 +59,7 @@ impl WorkerEngine {
                 (shape.num_rows(), shape.num_cols())
             }
             WorkerEngine::Quantized(e) => (e.num_rows(), e.num_cols()),
+            WorkerEngine::Pipelined(e) => (e.num_rows(), e.num_cols()),
         }
     }
 
@@ -59,17 +75,46 @@ impl WorkerEngine {
             WorkerEngine::Quantized(e) => {
                 (e.bytes_moved_per_sample(), e.transform_elided_bytes_per_sample())
             }
+            WorkerEngine::Pipelined(e) => {
+                (e.bytes_moved_per_sample(), e.transform_elided_bytes_per_sample())
+            }
         }
     }
 
-    /// Batched matvec; returns `(outputs, acc_sat, out_sat)` quantization
-    /// counters (all zero on the float backend).
-    fn matvec_batch_into(&self, xs: &[f64], b: usize, ys: &mut [f64]) -> Result<(u64, u64, u64)> {
+    /// Batched matvec; returns the batch's stats-facing accounting.
+    fn matvec_batch_into(
+        &self,
+        xs: &[f64],
+        b: usize,
+        ys: &mut [f64],
+    ) -> Result<BatchAccounting> {
         match self {
-            WorkerEngine::Float(e) => e.matvec_batch_into(xs, b, ys).map(|_ops| (0, 0, 0)),
-            WorkerEngine::Quantized(e) => e
-                .matvec_batch_into(xs, b, ys)
-                .map(|r| (r.outputs, r.acc_saturations, r.out_saturations)),
+            WorkerEngine::Float(e) => {
+                e.matvec_batch_into(xs, b, ys).map(|_ops| BatchAccounting::default())
+            }
+            WorkerEngine::Quantized(e) => e.matvec_batch_into(xs, b, ys).map(|r| BatchAccounting {
+                outputs: r.outputs,
+                acc_saturations: r.acc_saturations,
+                out_saturations: r.out_saturations,
+                pipeline: None,
+            }),
+            WorkerEngine::Pipelined(e) => e.matvec_batch_into(xs, b, ys).map(|r| {
+                let run = r.run;
+                BatchAccounting {
+                    outputs: r.quant.outputs,
+                    acc_saturations: r.quant.acc_saturations,
+                    out_saturations: r.quant.out_saturations,
+                    pipeline: Some((
+                        run.chunks,
+                        // Summed per-stage occupancy of this run: every
+                        // chunk occupies every stage exactly once.
+                        run.chunks * run.depth,
+                        run.handoffs,
+                        run.send_stalls,
+                        run.recv_stalls,
+                    )),
+                }
+            }),
         }
     }
 }
@@ -133,9 +178,14 @@ fn execute(
     ys.resize(m * b, 0.0);
 
     match engine.matvec_batch_into(xs, b, ys) {
-        Ok((outputs, acc_sat, out_sat)) => {
-            if outputs > 0 {
-                stats.record_quant(outputs, acc_sat, out_sat);
+        Ok(acct) => {
+            if acct.outputs > 0 {
+                stats.record_quant(acct.outputs, acct.acc_saturations, acct.out_saturations);
+            }
+            if let Some((chunks, stage_chunks, handoffs, send_stalls, recv_stalls)) =
+                acct.pipeline
+            {
+                stats.record_pipeline(chunks, stage_chunks, handoffs, send_stalls, recv_stalls);
             }
             let (moved, elided) = engine.traffic_per_sample();
             stats.record_traffic(moved * b as u64, elided * b as u64);
@@ -233,6 +283,59 @@ mod tests {
         let handle = std::thread::spawn(move || run_worker(rx, engines, stats));
         drop(batch_tx);
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn pipelined_batch_matches_direct_engine_and_reconciles_counters() {
+        use tie_core::PipelineConfig;
+        use tie_sim::{PipelinedEngine, QuantConfig, QuantizedEngine};
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let shape = TtShape::uniform_rank(vec![2, 3, 2], vec![2, 3, 2], 2).unwrap();
+        let qengine = QuantizedEngine::new(
+            TtMatrix::random(&mut rng, &shape, 0.5).unwrap(),
+            QuantConfig::default(),
+        )
+        .unwrap();
+        let pipelined = PipelinedEngine::quantized(
+            &qengine,
+            PipelineConfig { depth: 3, micro_batch: 1 },
+        )
+        .unwrap();
+        let depth = pipelined.depth() as u64;
+        let mut reg = EngineRegistry::new();
+        reg.insert_pipelined("pfc", pipelined);
+        let stats = Arc::new(StatsCore::new());
+
+        let b = 5usize;
+        let inputs: Vec<Vec<f64>> = (0..b)
+            .map(|_| (0..12).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let mut requests = Vec::new();
+        let mut tickets = Vec::new();
+        for input in &inputs {
+            let (req, ticket) = Request::new("pfc".into(), input.clone(), Arc::clone(&stats));
+            requests.push(req);
+            tickets.push(ticket);
+        }
+        let batch = Batch { layer: "pfc".into(), requests };
+        execute(&reg.worker_engines(), &stats, batch, &mut Vec::new(), &mut Vec::new());
+
+        for (input, ticket) in inputs.iter().zip(tickets) {
+            let resp = ticket.wait().unwrap();
+            let mut direct = vec![0.0; 12];
+            qengine.matvec_batch_into(input, 1, &mut direct).unwrap();
+            assert_eq!(resp.output, direct, "pipelined batch must be bit-identical");
+        }
+        let s = stats.snapshot();
+        assert_eq!(s.completed, b as u64);
+        assert!(s.quant_outputs > 0, "quantized pipeline feeds quant counters");
+        // Stall counters reconcile exactly against handoffs.
+        assert_eq!(s.pipeline_batches, 1);
+        assert_eq!(s.pipeline_chunks, b as u64);
+        assert_eq!(s.pipeline_handoffs, b as u64 * (depth - 1));
+        assert_eq!(s.pipeline_stage_chunks, s.pipeline_chunks + s.pipeline_handoffs);
+        assert!(s.pipeline_send_stalls <= s.pipeline_handoffs);
+        assert!(s.pipeline_recv_stalls <= s.pipeline_handoffs);
     }
 
     #[test]

@@ -209,17 +209,13 @@ mod tests {
 
     #[test]
     fn validation_rejects_degenerate_configs() {
-        let mut c = TieConfig::default();
-        c.n_pe = 0;
+        let c = TieConfig { n_pe: 0, ..TieConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = TieConfig::default();
-        c.working_sram_banks = 8;
+        let c = TieConfig { working_sram_banks: 8, ..TieConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = TieConfig::default();
-        c.freq_mhz = 0.0;
+        let c = TieConfig { freq_mhz: 0.0, ..TieConfig::default() };
         assert!(c.validate().is_err());
-        let mut c = TieConfig::default();
-        c.weight_sram_bytes = 0;
+        let c = TieConfig { weight_sram_bytes: 0, ..TieConfig::default() };
         assert!(c.validate().is_err());
     }
 

@@ -38,12 +38,14 @@ mod accelerator;
 mod config;
 mod pe_array;
 mod qengine;
+mod qpipeline;
 mod sram;
 mod stats;
 
 pub use accelerator::{LoadedLayer, LoadedNetwork, TieAccelerator};
 pub use config::{CalibrationMode, QuantConfig, TieConfig};
 pub use qengine::QuantizedEngine;
+pub use qpipeline::{PipeReport, PipelinedEngine, QuantChain};
 pub use pe_array::PeArray;
 pub use sram::{WeightSram, WorkingSram};
 pub use stats::{RunStats, StageStats};

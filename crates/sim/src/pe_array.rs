@@ -64,6 +64,7 @@ impl PeArray {
     /// models pipeline fill/drain per pass (0 = the paper's idealized
     /// steady state).
     #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::type_complexity)] // the callbacks model SRAM ports: (codes, conflict cycles)
     pub fn run_stage(
         &self,
         gtilde_rows: usize,

@@ -247,6 +247,22 @@ impl QuantizedEngine {
         self.cores.iter().map(QTensor::format).collect()
     }
 
+    /// Quantized unfolded cores (0-based core index) — the pipelined
+    /// executor shares these verbatim so its arithmetic is the engine's.
+    pub(crate) fn cores(&self) -> &[QTensor] {
+        &self.cores
+    }
+
+    /// Fused write epilogues in execution order.
+    pub(crate) fn dest_maps(&self) -> &[DestMap] {
+        &self.dest_maps
+    }
+
+    /// The Eqn. (8) input copy plan.
+    pub(crate) fn prep_plan(&self) -> &CopyPlan {
+        &self.prep_plan
+    }
+
     /// Batched quantized product: `xs` is row-major `N × b` (batch
     /// inner-most, the [`CompactEngine::matvec_batch_into`] convention),
     /// `ys` receives row-major `M × b`. Inputs are quantized to the

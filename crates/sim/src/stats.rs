@@ -86,6 +86,29 @@ impl RunStats {
     pub fn equivalent_ops_per_sec(&self, dense_ops: u64, freq_mhz: f64) -> f64 {
         dense_ops as f64 / self.latency_seconds(freq_mhz)
     }
+
+    /// Cycle model of the same run executed as a stage pipeline under
+    /// `cut` with `chunks` streamed micro-batch chunks: fill latency (one
+    /// chunk crossing every pipeline stage) plus steady-state drain at the
+    /// bottleneck stage's rate. Chunk scale-down is exact because every
+    /// per-stage cycle term in the Fig. 7 model is linear in the column
+    /// count; with `depth == 1` or `chunks == 1` this degenerates to
+    /// [`RunStats::cycles`].
+    pub fn pipelined_cycles(&self, cut: &tie_core::pipeline::CutPlan, chunks: u64) -> u64 {
+        if chunks == 0 {
+            return 0;
+        }
+        let bottleneck = cut
+            .runs()
+            .iter()
+            .map(|r| self.stages[r.lo..r.hi].iter().map(|s| s.cycles).sum::<u64>())
+            .max()
+            .unwrap_or(0);
+        // fill/chunks + (chunks-1)·bottleneck/chunks, in one exact ceil:
+        // one chunk crosses every stage, the remaining chunks drain at the
+        // bottleneck stage's per-chunk rate.
+        (self.cycles() + (chunks - 1) * bottleneck).div_ceil(chunks)
+    }
 }
 
 #[cfg(test)]

@@ -32,7 +32,7 @@
 //! # }
 //! ```
 
-// `deny` rather than `forbid`: three sanctioned exceptions. (1) The
+// `deny` rather than `forbid`: four sanctioned exceptions. (1) The
 // `#[target_feature]` SIMD multiversioning in `linalg` (runtime-dispatched
 // AVX instantiation of the blocked GEMM body) — no raw-pointer code, the
 // `unsafe` is solely the target-feature calling contract, discharged by
@@ -44,7 +44,8 @@
 // write epilogue in `linalg` — scatter stores through a `DestMap` whose
 // constructor *proves* the destination offsets form a bijection, so the
 // raw writes are in-bounds and disjoint across the row-partitioned
-// workers by construction.
+// workers by construction. (4) The same lifetime-erased job handoff, in
+// barrier form, for the dedicated stage-pipeline threads in `pipeline`.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -56,6 +57,7 @@ mod tensor;
 pub mod init;
 pub mod linalg;
 pub mod parallel;
+pub mod pipeline;
 pub mod pool;
 
 pub use error::TensorError;

@@ -323,7 +323,7 @@ fn gemm_nn_block_body<T: Scalar, const TJ: usize, const R: usize>(
                             for (r, tr) in t.iter_mut().enumerate() {
                                 let ar = a[(i + r) * k + kk];
                                 for (x, &v) in tr.iter_mut().zip(bv) {
-                                    *x = *x + ar * v;
+                                    *x += ar * v;
                                 }
                             }
                         }
@@ -341,7 +341,7 @@ fn gemm_nn_block_body<T: Scalar, const TJ: usize, const R: usize>(
                             let a0 = arow[kk];
                             let bv = &b[kk * n + jb..][..TJ];
                             for (t, &v) in bv.iter().enumerate() {
-                                t0[t] = t0[t] + a0 * v;
+                                t0[t] += a0 * v;
                             }
                         }
                         crow.copy_from_slice(&t0);
@@ -552,6 +552,7 @@ unsafe fn scatter_store<T: Scalar>(
 ///
 /// Returns [`TensorError::InvalidArgument`] on slice-length or map-extent
 /// mismatch, or `bsz == 0`.
+#[allow(clippy::too_many_arguments)] // GEMM kernel ABI: dims + slices are positional by design
 pub fn gemm_into_mapped<T: Scalar>(
     a: &[T],
     b: &[T],
@@ -593,6 +594,7 @@ pub fn gemm_into_mapped<T: Scalar>(
 /// Runtime SIMD dispatch for the mapped NN kernel — mirrors
 /// [`gemm_nn_block`] so the mapped and unmapped kernels always pick the
 /// same tile width on the same CPU.
+#[allow(clippy::too_many_arguments)] // GEMM kernel ABI: dims + slices are positional by design
 fn gemm_nn_mapped_block<T: Scalar>(
     row0: usize,
     rows: usize,
@@ -631,6 +633,7 @@ fn gemm_nn_mapped_block<T: Scalar>(
 #[cfg(target_arch = "x86_64")]
 #[allow(unsafe_code)]
 #[target_feature(enable = "avx512f")]
+#[allow(clippy::too_many_arguments)] // GEMM kernel ABI: dims + slices are positional by design
 unsafe fn gemm_nn_mapped_avx512<T: Scalar>(
     row0: usize,
     rows: usize,
@@ -648,6 +651,7 @@ unsafe fn gemm_nn_mapped_avx512<T: Scalar>(
 #[cfg(target_arch = "x86_64")]
 #[allow(unsafe_code)]
 #[target_feature(enable = "avx")]
+#[allow(clippy::too_many_arguments)] // GEMM kernel ABI: dims + slices are positional by design
 unsafe fn gemm_nn_mapped_avx<T: Scalar>(
     row0: usize,
     rows: usize,
@@ -670,6 +674,7 @@ unsafe fn gemm_nn_mapped_avx<T: Scalar>(
 /// then scattered through the map by [`scatter_store`].
 #[allow(unsafe_code)]
 #[inline(always)]
+#[allow(clippy::too_many_arguments)] // GEMM kernel ABI: dims + slices are positional by design
 fn gemm_nn_mapped_body<T: Scalar, const TJ: usize, const R: usize>(
     row0: usize,
     rows: usize,
@@ -694,7 +699,7 @@ fn gemm_nn_mapped_body<T: Scalar, const TJ: usize, const R: usize>(
                 for (r, tr) in t.iter_mut().enumerate() {
                     let ar = a[(i + r) * k + kk];
                     for (x, &v) in tr.iter_mut().zip(bv) {
-                        *x = *x + ar * v;
+                        *x += ar * v;
                     }
                 }
             }
@@ -732,7 +737,7 @@ fn gemm_nn_mapped_body<T: Scalar, const TJ: usize, const R: usize>(
             for (kk, &ar) in arow.iter().enumerate() {
                 let bv = &b[kk * n + jt..][..TJ];
                 for (x, &v) in t0.iter_mut().zip(bv) {
-                    *x = *x + ar * v;
+                    *x += ar * v;
                 }
             }
             // SAFETY: see `scatter_store`.

@@ -35,7 +35,7 @@ impl Shape {
     /// Returns [`TensorError::EmptyShape`] if `dims` is empty or any
     /// dimension is zero.
     pub fn new(dims: Vec<usize>) -> Result<Self> {
-        if dims.is_empty() || dims.iter().any(|&d| d == 0) {
+        if dims.is_empty() || dims.contains(&0) {
             return Err(TensorError::EmptyShape);
         }
         Ok(Shape { dims })

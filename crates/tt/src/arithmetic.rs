@@ -148,6 +148,7 @@ pub fn tt_dot<T: Scalar>(a: &TtTensor<T>, b: &TtTensor<T>) -> Result<f64> {
         let mut next = vec![vec![0.0f64; rb1]; ra1];
         for j in 0..n {
             // next[qa][qb] += Σ_{pa,pb} gram[pa][pb]·A[pa,j,qa]·B[pb,j,qb]
+            #[allow(clippy::needless_range_loop)] // rank indices address gram and both cores symmetrically
             for pa in 0..ra0 {
                 for pb in 0..rb0 {
                     let g = gram[pa][pb];

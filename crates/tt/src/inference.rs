@@ -242,7 +242,7 @@ mod tests {
         let (_, count) = naive_matvec(&tt, &x).unwrap();
         let m = 4u64;
         let n = 6u64;
-        let rr: u64 = (1 * 2 + 2 * 1) as u64; // r0*r1 + r1*r2
+        let rr: u64 = 4; // r0*r1 + r1*r2 = 1*2 + 2*1
         assert_eq!(count.mults, m * n * rr + m * n);
     }
 

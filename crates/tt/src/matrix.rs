@@ -252,16 +252,16 @@ impl<T: Scalar> TtMatrix<T> {
             .collect::<Result<Vec<_>>>()?;
         let b = TtTensor::new(fused)?.to_dense()?;
         let (rows, cols) = (self.shape.num_rows(), self.shape.num_cols());
-        let d = self.ndim();
         let mut w = Tensor::zeros(vec![rows, cols]);
         let fused_shape = b.shape().clone();
         for off in 0..b.num_elements() {
             let l = fused_shape.unflatten(off);
             let mut i = 0usize;
             let mut j = 0usize;
-            for k in 0..d {
-                i = i * self.shape.row_modes[k] + l[k] / self.shape.col_modes[k];
-                j = j * self.shape.col_modes[k] + l[k] % self.shape.col_modes[k];
+            let modes = self.shape.row_modes.iter().zip(&self.shape.col_modes);
+            for (&lk, (&rm, &cm)) in l.iter().zip(modes) {
+                i = i * rm + lk / cm;
+                j = j * cm + lk % cm;
             }
             w.data_mut()[i * cols + j] = b.data()[off];
         }

@@ -338,7 +338,7 @@ mod tests {
         assert_eq!(tt.ndim(), 3);
         assert_eq!(tt.mode_sizes(), vec![3, 4, 5]);
         assert_eq!(tt.ranks(), vec![1, 2, 3, 1]);
-        assert_eq!(tt.num_params(), 1 * 3 * 2 + 2 * 4 * 3 + 3 * 5 * 1);
+        assert_eq!(tt.num_params(), 6 + 24 + 15); // 1*3*2 + 2*4*3 + 3*5*1
         assert_eq!(tt.dense_elements(), 60);
     }
 

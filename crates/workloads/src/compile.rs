@@ -62,7 +62,7 @@ impl Default for CompileOptions {
             method: SvdMethod::default(),
             error_check: ErrorCheck::Sampled {
                 entries: 1 << 14,
-                seed: 0xC0FF_EE,
+                seed: 0x00C0_FFEE,
             },
         }
     }

@@ -27,7 +27,7 @@ pub fn factorizations(value: usize, d: usize) -> Vec<Vec<usize>> {
         }
         let mut f = 1usize;
         while f * f <= value || f == 1 {
-            if value % f == 0 {
+            if value.is_multiple_of(f) {
                 acc.push(f);
                 rec(value / f, d - 1, 1, acc, out);
                 acc.pop();
@@ -41,7 +41,7 @@ pub fn factorizations(value: usize, d: usize) -> Vec<Vec<usize>> {
         // f ≤ sqrt(value) for efficiency; walk the complements too).
         let mut g = 2usize;
         while g * g <= value {
-            if value % g == 0 {
+            if value.is_multiple_of(g) {
                 let big = value / g;
                 if big * big > value {
                     acc.push(big);

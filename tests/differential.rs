@@ -16,7 +16,7 @@ use tie::tensor::init;
 use tie::workloads::table4_benchmarks;
 
 /// Fixed suite seed; layer index is mixed in per benchmark.
-const SEED: u64 = 0x7a11_e4_d1ff;
+const SEED: u64 = 0x7a_11e4_d1ff;
 
 /// Table 4, quantized vs float: for each benchmark layer, the simulator's
 /// dequantized output must track the float compact engine on the same

@@ -17,10 +17,13 @@ use tie::core::CompactEngine;
 use tie::prelude::*;
 use tie::tensor::init;
 
-/// The frozen shapes: (fixture name, seed, row modes, col modes, rank).
-/// One degenerate single-mode layer (d = 1, rank 1: a plain dense matrix
-/// in TT clothing), one small d = 2 layer, one d = 3 layer with rank > 1.
-fn cases() -> Vec<(&'static str, u64, Vec<usize>, Vec<usize>, usize)> {
+/// A frozen shape: (fixture name, seed, row modes, col modes, rank).
+type GoldenCase = (&'static str, u64, Vec<usize>, Vec<usize>, usize);
+
+/// The frozen shapes: one degenerate single-mode layer (d = 1, rank 1: a
+/// plain dense matrix in TT clothing), one small d = 2 layer, one d = 3
+/// layer with rank > 1.
+fn cases() -> Vec<GoldenCase> {
     vec![
         ("single_mode_5x7", 11, vec![5], vec![7], 1),
         ("d2_6x6_rank2", 12, vec![2, 3], vec![3, 2], 2),
@@ -232,6 +235,76 @@ fn regenerate_shard_map_fixture() {
     std::fs::create_dir_all(fixture_path("x").parent().unwrap()).unwrap();
     let text = serde_json::to_string_pretty(&shard_map_value()).unwrap();
     std::fs::write(fixture_path("shard_map"), text + "\n").unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline-cut golden fixture: the cut-point planner's stage partition for
+// every Table 4 layer is part of the pipelined-serving contract — a silent
+// change to the cost model or the DP tie-break would re-balance deployed
+// pipelines (and shift their per-stage SRAM footprints) without anyone
+// noticing.
+// ---------------------------------------------------------------------------
+
+/// The pinned pipeline depths.
+const PIPELINE_CUT_DEPTHS: [usize; 2] = [2, 4];
+
+fn pipeline_cuts_value() -> Value {
+    use tie::core::pipeline::plan_cuts;
+    let layers: Vec<Value> = tie::workloads::table4_benchmarks()
+        .iter()
+        .map(|b| {
+            let plan = InferencePlan::new(&b.shape).unwrap();
+            let plans: Vec<Value> = PIPELINE_CUT_DEPTHS
+                .iter()
+                .map(|&depth| {
+                    let cut = plan_cuts(&plan, depth);
+                    Value::Object(vec![
+                        ("depth".into(), Value::UInt(depth as u64)),
+                        ("cuts".into(), usizes_to_value(&cut.cuts())),
+                        ("bottleneck_cost".into(), Value::UInt(cut.bottleneck_cost())),
+                        ("total_cost".into(), Value::UInt(cut.total_cost())),
+                    ])
+                })
+                .collect();
+            Value::Object(vec![
+                ("layer".into(), Value::String(b.name.into())),
+                ("stages".into(), Value::UInt(b.shape.ndim() as u64)),
+                ("plans".into(), Value::Array(plans)),
+            ])
+        })
+        .collect();
+    Value::Object(vec![("layers".into(), Value::Array(layers))])
+}
+
+/// Regenerate `golden_pipeline_cuts.json` after an *intentional* planner
+/// change.
+#[test]
+#[ignore = "writes tests/fixtures/; run only after an intentional planner change"]
+fn regenerate_pipeline_cuts_fixture() {
+    std::fs::create_dir_all(fixture_path("x").parent().unwrap()).unwrap();
+    let text = serde_json::to_string_pretty(&pipeline_cuts_value()).unwrap();
+    std::fs::write(fixture_path("pipeline_cuts"), text + "\n").unwrap();
+}
+
+#[test]
+fn golden_pipeline_cuts_table4() {
+    let path = fixture_path("pipeline_cuts");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
+    let fixture: Value = serde_json::from_str(&text).unwrap();
+    let want = pipeline_cuts_value();
+    assert_eq!(
+        serde_json::to_string_pretty(&fixture).unwrap(),
+        serde_json::to_string_pretty(&want).unwrap(),
+        "the cut planner's Table 4 partition drifted from the committed fixture"
+    );
+    // The stored layer set must cover all of Table 4 at every pinned depth.
+    let layers = fixture.get("layers").expect("layers").as_array().unwrap();
+    assert_eq!(layers.len(), table4_layer_names().len());
+    for layer in layers {
+        let plans = layer.get("plans").expect("plans").as_array().unwrap();
+        assert_eq!(plans.len(), PIPELINE_CUT_DEPTHS.len());
+    }
 }
 
 #[test]

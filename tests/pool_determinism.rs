@@ -30,7 +30,7 @@ fn engine() -> CompactEngine<f64> {
 }
 
 fn batch_input(n: usize, b: usize) -> Vec<f64> {
-    let mut rng = ChaCha8Rng::seed_from_u64(0xBA7C_4);
+    let mut rng = ChaCha8Rng::seed_from_u64(0xB_A7C4);
     (0..n * b).map(|_| rng.gen_range(-1.0..1.0)).collect()
 }
 

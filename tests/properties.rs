@@ -561,7 +561,7 @@ fn tt_svd_randomized_bit_identical_across_thread_counts() {
     // (32·1024·12 ≈ 393k multiply-adds) exceeds PARALLEL_MIN_WORK, so
     // thread counts > 1 genuinely partition the kernels here.
     let a: Tensor<f64> = init::uniform(&mut rng, vec![32, 32, 32], 1.0);
-    assert!(32 * 1024 * 12 >= parallel::PARALLEL_MIN_WORK);
+    const { assert!(32 * 1024 * 12 >= parallel::PARALLEL_MIN_WORK) };
     let method = SvdMethod::Randomized(RsvdParams::seeded(7));
     let reference = tt_svd_with(&a, Truncation::rank(4), method).unwrap();
     for threads in [1usize, 2, 4] {
@@ -604,7 +604,7 @@ fn threaded_matmul_bitwise_stable_above_spawn_threshold() {
     let mut rng = ChaCha8Rng::seed_from_u64(9200);
     let a: Tensor<f64> = init::uniform(&mut rng, vec![80, 64], 1.0);
     let b: Tensor<f64> = init::uniform(&mut rng, vec![64, 48], 1.0);
-    assert!(80 * 64 * 48 >= parallel::PARALLEL_MIN_WORK);
+    const { assert!(80 * 64 * 48 >= parallel::PARALLEL_MIN_WORK) };
     let want = linalg::matmul_naive(&a, &b).unwrap();
     for threads in [1usize, 2, 5] {
         let prev = parallel::set_num_threads(threads);

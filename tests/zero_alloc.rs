@@ -145,6 +145,54 @@ fn steady_state_quantized_engine_performs_no_heap_allocation() {
     );
 }
 
+/// The pipeline-parallel executor preallocates every channel slab,
+/// ping-pong scratch, and park buffer at construction (sized by the
+/// micro-batch, not the batch), so a warmed `StagePipeline` run is
+/// allocation-free on the calling thread — which drives the *final*
+/// pipeline segment through the same chunk choreography (channel recv,
+/// stage GEMMs, slab recycling, output assembly) every worker segment
+/// runs. Cut count > 1 so chunks genuinely stream across threads.
+#[test]
+fn steady_state_pipelined_engines_perform_no_heap_allocation() {
+    use tie::core::pipeline::PipelineConfig;
+    use tie::sim::{PipelinedEngine, QuantConfig, QuantizedEngine};
+    let mut rng = ChaCha8Rng::seed_from_u64(4246);
+    let shape = TtShape::uniform_rank(vec![4, 4, 4], vec![4, 4, 4], 3).unwrap();
+    let ttm = TtMatrix::<f64>::random(&mut rng, &shape, 0.8).unwrap();
+    let fengine = CompactEngine::new(ttm.clone()).unwrap();
+    let qengine = QuantizedEngine::new(ttm, QuantConfig::default()).unwrap();
+    let cfg = PipelineConfig { depth: 3, micro_batch: 2 };
+    let fpipe = PipelinedEngine::float(&fengine, cfg).unwrap();
+    let qpipe = PipelinedEngine::quantized(&qengine, cfg).unwrap();
+    assert!(fpipe.depth() > 1 && qpipe.depth() > 1);
+
+    let (n, m) = (shape.num_cols(), shape.num_rows());
+    let b = 4usize;
+    let xs: Tensor<f64> = init::uniform(&mut rng, vec![n * b], 1.0);
+    let mut ys = vec![0.0f64; m * b];
+
+    // Warm-up: the first call may touch lazily-initialized thread/channel
+    // state; everything after must reuse the preallocated slabs.
+    fpipe.matvec_batch_into(xs.data(), b, &mut ys).unwrap();
+    qpipe.matvec_batch_into(xs.data(), b, &mut ys).unwrap();
+
+    let before = allocs_on_this_thread();
+    let mut chunks = 0u64;
+    for _ in 0..16 {
+        let fr = fpipe.matvec_batch_into(xs.data(), b, &mut ys).unwrap();
+        let qr = qpipe.matvec_batch_into(xs.data(), b, &mut ys).unwrap();
+        chunks += fr.run.chunks + qr.run.chunks;
+    }
+    let after = allocs_on_this_thread();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state pipelined passes must not allocate on the driving thread"
+    );
+    // Both pipelines really streamed b/micro = 2 chunks per run.
+    assert_eq!(chunks, 16 * 2 * 2);
+}
+
 /// Batch-size changes must not re-allocate either: the fused ping-pong
 /// buffers are sized `max_stage_input · b`, so once a workspace has seen
 /// the largest batch, smaller (and repeated largest) batches shrink/grow
