@@ -156,17 +156,14 @@ impl BlockCirculantMatrix {
     ///
     /// Returns [`TensorError::InvalidArgument`] if `block` is not a
     /// power of two or does not divide both dimensions.
-    pub fn random<R: Rng>(
-        rng: &mut R,
-        rows: usize,
-        cols: usize,
-        block: usize,
-    ) -> Result<Self> {
-        if block == 0 || block & (block - 1) != 0 || !rows.is_multiple_of(block) || !cols.is_multiple_of(block) {
+    pub fn random<R: Rng>(rng: &mut R, rows: usize, cols: usize, block: usize) -> Result<Self> {
+        if block == 0
+            || block & (block - 1) != 0
+            || !rows.is_multiple_of(block)
+            || !cols.is_multiple_of(block)
+        {
             return Err(TensorError::InvalidArgument {
-                message: format!(
-                    "block {block} must be a power of two dividing {rows}x{cols}"
-                ),
+                message: format!("block {block} must be a power of two dividing {rows}x{cols}"),
             });
         }
         let blocks = (0..rows / block)
@@ -204,8 +201,7 @@ impl BlockCirculantMatrix {
             for (bj, w) in brow.iter().enumerate() {
                 for r in 0..b {
                     for c in 0..b {
-                        out.data_mut()[(bi * b + r) * self.cols + bj * b + c] =
-                            w[(r + b - c) % b];
+                        out.data_mut()[(bi * b + r) * self.cols + bj * b + c] = w[(r + b - c) % b];
                     }
                 }
             }

@@ -307,10 +307,10 @@ impl EieModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tie_tensor::linalg::matvec;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
     use tie_tensor::init;
+    use tie_tensor::linalg::matvec;
 
     #[test]
     fn csc_from_dense_hits_target_density() {
@@ -367,14 +367,8 @@ mod tests {
     #[test]
     fn load_imbalance_is_at_least_one_and_visible_when_skewed() {
         // All nonzeros on PE 0's rows: imbalance = n_pe at full columns.
-        let dense = Tensor::<f64>::from_fn(vec![8, 4], |i| {
-            if i[0] == 0 {
-                1.0
-            } else {
-                0.0
-            }
-        })
-        .unwrap();
+        let dense =
+            Tensor::<f64>::from_fn(vec![8, 4], |i| if i[0] == 0 { 1.0 } else { 0.0 }).unwrap();
         let csc = CscMatrix::from_dense(&dense, 0.125, 16).unwrap();
         let x = Tensor::<f64>::filled(vec![4], 1.0).unwrap();
         let model = EieModel { n_pe: 4 };

@@ -171,10 +171,7 @@ mod tests {
         let layer = vgg16_conv_stack()[0];
         // 12 rows / 3-row strips = 4 strips, no idle rows.
         assert_eq!(model.mapping_utilization(&layer), 1.0);
-        let five = ConvLayerShape {
-            kernel: 5,
-            ..layer
-        };
+        let five = ConvLayerShape { kernel: 5, ..layer };
         // 2 strips × 5 rows = 10 of 12.
         assert!((model.mapping_utilization(&five) - 10.0 / 12.0).abs() < 1e-12);
         let tall = ConvLayerShape {

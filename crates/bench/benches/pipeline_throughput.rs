@@ -45,16 +45,27 @@ fn build_layers() -> Vec<Layer> {
                 CompactEngine::new(TtMatrix::random(&mut rng, &b.shape, 0.5).unwrap()).unwrap();
             let n = b.shape.num_cols();
             let xs: Vec<f64> = (0..n * BATCH).map(|_| rng.gen_range(-1.0..1.0)).collect();
-            Layer { name: b.name, engine, xs, rows: b.shape.num_rows() }
+            Layer {
+                name: b.name,
+                engine,
+                xs,
+                rows: b.shape.num_rows(),
+            }
         })
         .collect()
 }
 
 fn sequential_secs_per_pass(layer: &Layer, ys: &mut [f64]) -> f64 {
-    layer.engine.matvec_batch_into(&layer.xs, BATCH, ys).unwrap(); // warm-up
+    layer
+        .engine
+        .matvec_batch_into(&layer.xs, BATCH, ys)
+        .unwrap(); // warm-up
     let started = Instant::now();
     for _ in 0..ITERS {
-        layer.engine.matvec_batch_into(&layer.xs, BATCH, ys).unwrap();
+        layer
+            .engine
+            .matvec_batch_into(&layer.xs, BATCH, ys)
+            .unwrap();
     }
     started.elapsed().as_secs_f64() / f64::from(ITERS)
 }
@@ -92,15 +103,28 @@ fn bench(c: &mut Criterion) {
     for layer in &layers {
         let mut ys = vec![0.0f64; layer.rows * BATCH];
         group.bench_function(BenchmarkId::new("sequential", layer.name), |bch| {
-            bch.iter(|| layer.engine.matvec_batch_into(&layer.xs, BATCH, &mut ys).unwrap());
+            bch.iter(|| {
+                layer
+                    .engine
+                    .matvec_batch_into(&layer.xs, BATCH, &mut ys)
+                    .unwrap()
+            });
         });
         for &depth in &DEPTHS {
-            let pipe =
-                PipelinedEngine::float(&layer.engine, PipelineConfig { depth, micro_batch: 1 })
-                    .unwrap();
-            group.bench_function(BenchmarkId::new(format!("depth{depth}"), layer.name), |bch| {
-                bch.iter(|| pipe.matvec_batch_into(&layer.xs, BATCH, &mut ys).unwrap());
-            });
+            let pipe = PipelinedEngine::float(
+                &layer.engine,
+                PipelineConfig {
+                    depth,
+                    micro_batch: 1,
+                },
+            )
+            .unwrap();
+            group.bench_function(
+                BenchmarkId::new(format!("depth{depth}"), layer.name),
+                |bch| {
+                    bch.iter(|| pipe.matvec_batch_into(&layer.xs, BATCH, &mut ys).unwrap());
+                },
+            );
         }
     }
     group.finish();
@@ -145,9 +169,14 @@ fn write_json(layers: &[Layer]) {
             ]);
             let mut ys = vec![0.0f64; layer.rows * BATCH];
             for &depth in &DEPTHS {
-                let pipe =
-                    PipelinedEngine::float(&layer.engine, PipelineConfig { depth, micro_batch: 1 })
-                        .unwrap();
+                let pipe = PipelinedEngine::float(
+                    &layer.engine,
+                    PipelineConfig {
+                        depth,
+                        micro_batch: 1,
+                    },
+                )
+                .unwrap();
                 let (secs, handoffs, send, recv) =
                     pipelined_secs_per_pass(layer, &pipe, &want, &mut ys);
                 report.row([

@@ -42,8 +42,12 @@ struct GemmRow {
 /// bit-identity check up front.
 fn measure_gemm(size: usize) -> GemmRow {
     let (m, k, n) = (size, size, size);
-    let a: Vec<f64> = (0..m * k).map(|i| ((i % 97) as f64) * 0.013 - 0.5).collect();
-    let b: Vec<f64> = (0..k * n).map(|i| ((i % 89) as f64) * 0.017 - 0.7).collect();
+    let a: Vec<f64> = (0..m * k)
+        .map(|i| ((i % 97) as f64) * 0.013 - 0.5)
+        .collect();
+    let b: Vec<f64> = (0..k * n)
+        .map(|i| ((i % 89) as f64) * 0.017 - 0.7)
+        .collect();
     let mut c_pool = vec![0.0; m * n];
     let mut c_scoped = vec![0.0; m * n];
 

@@ -31,8 +31,12 @@ use tie_tensor::{init, Tensor};
 use tie_tt::TtMatrix;
 use tie_workloads::benchmarks::table4_benchmarks;
 
-const KERNEL_SHAPES: [(usize, usize, usize); 4] =
-    [(64, 64, 64), (128, 128, 128), (256, 256, 256), (64, 256, 1024)];
+const KERNEL_SHAPES: [(usize, usize, usize); 4] = [
+    (64, 64, 64),
+    (128, 128, 128),
+    (256, 256, 256),
+    (64, 256, 1024),
+];
 const KERNEL_REPS: usize = 30;
 const BATCH: usize = 16;
 const WALK_REPS: usize = 3;
@@ -58,7 +62,11 @@ fn measure_kernel(m: usize, k: usize, n: usize) -> (f64, f64) {
 
     let (c_fast, r_fast) = qmatmul(&a, &b, out).unwrap();
     let (c_naive, r_naive) = qmatmul_naive(&a, &b, out).unwrap();
-    assert_eq!(c_fast.codes(), c_naive.codes(), "{m}x{k}x{n}: codes diverge");
+    assert_eq!(
+        c_fast.codes(),
+        c_naive.codes(),
+        "{m}x{k}x{n}: codes diverge"
+    );
     assert_eq!(r_fast, r_naive, "{m}x{k}x{n}: saturation reports diverge");
 
     let mut fast = Vec::with_capacity(KERNEL_REPS);
@@ -111,7 +119,9 @@ fn measure_sim(name: &str) -> (f64, f64) {
     let mut before = Vec::with_capacity(WALK_REPS);
     for _ in 0..WALK_REPS {
         let t = Instant::now();
-        let (ys, _) = before_tie.run_batch_walk(&before_layer, &xs, false).unwrap();
+        let (ys, _) = before_tie
+            .run_batch_walk(&before_layer, &xs, false)
+            .unwrap();
         before.push(t.elapsed().as_secs_f64());
         assert!(ys.data().iter().all(|v| v.is_finite()));
     }

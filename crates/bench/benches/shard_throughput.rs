@@ -68,7 +68,11 @@ fn replica_config() -> ServeConfig {
 
 /// Drives the fixed load through `submit`; the closure abstracts over
 /// the plain `Client` and the `ShardedClient`.
-fn drive<C, F>(make_client: C, layers: &[(String, std::sync::Arc<CompactEngine<f64>>)], per_client: usize) -> f64
+fn drive<C, F>(
+    make_client: C,
+    layers: &[(String, std::sync::Arc<CompactEngine<f64>>)],
+    per_client: usize,
+) -> f64
 where
     C: Fn() -> F,
     F: FnMut(&str, Vec<f64>) -> tie_serve::Ticket + Send + 'static,
@@ -78,8 +82,10 @@ where
         .map(|t| {
             let mut submit = make_client();
             let names: Vec<String> = layers.iter().map(|(n, _)| n.clone()).collect();
-            let cols: Vec<usize> =
-                layers.iter().map(|(_, e)| e.matrix().shape().num_cols()).collect();
+            let cols: Vec<usize> = layers
+                .iter()
+                .map(|(_, e)| e.matrix().shape().num_cols())
+                .collect();
             std::thread::spawn(move || {
                 let mut in_flight = std::collections::VecDeque::new();
                 for i in 0..per_client {
@@ -166,7 +172,13 @@ fn write_json(layers: &[(String, std::sync::Arc<CompactEngine<f64>>)]) {
         "not a paper figure — acceptance evidence for the sharding PR \
          (the router must cost little at S=1 and scale with independent shards)",
     );
-    report.headers(["topology", "req_per_s", "mean_occupancy", "mean_latency_us", "speedup_vs_single"]);
+    report.headers([
+        "topology",
+        "req_per_s",
+        "mean_occupancy",
+        "mean_latency_us",
+        "speedup_vs_single",
+    ]);
 
     let (stats, elapsed) = run_single(layers, REQUESTS_PER_CLIENT);
     assert_eq!(stats.completed, total as u64);

@@ -59,7 +59,9 @@ fn measure(name: &'static str) -> Row {
     let mut oracle = vec![0.0f64; m * BATCH];
 
     engine.matvec_batch_into(&xs, BATCH, &mut fused).unwrap();
-    engine.matvec_batch_into_gather(&xs, BATCH, &mut oracle).unwrap();
+    engine
+        .matvec_batch_into_gather(&xs, BATCH, &mut oracle)
+        .unwrap();
     for (i, (f, o)) in fused.iter().zip(&oracle).enumerate() {
         assert!(f.to_bits() == o.to_bits(), "{name}: element {i} diverges");
     }
@@ -71,7 +73,9 @@ fn measure(name: &'static str) -> Row {
         engine.matvec_batch_into(&xs, BATCH, &mut fused).unwrap();
         fused_t.push(t.elapsed().as_secs_f64());
         let t = Instant::now();
-        engine.matvec_batch_into_gather(&xs, BATCH, &mut oracle).unwrap();
+        engine
+            .matvec_batch_into_gather(&xs, BATCH, &mut oracle)
+            .unwrap();
         gather_t.push(t.elapsed().as_secs_f64());
     }
 
@@ -104,7 +108,11 @@ fn bench(c: &mut Criterion) {
         bch.iter(|| engine.matvec_batch_into(&xs, BATCH, &mut ys).unwrap())
     });
     group.bench_function("fc7_batch16_gather_oracle", |bch| {
-        bch.iter(|| engine.matvec_batch_into_gather(&xs, BATCH, &mut ys).unwrap())
+        bch.iter(|| {
+            engine
+                .matvec_batch_into_gather(&xs, BATCH, &mut ys)
+                .unwrap()
+        })
     });
     group.finish();
 

@@ -22,7 +22,9 @@ use tie_bench::report::{fnum, Report};
 use tie_tensor::linalg::{self, truncated_svd, truncated_svd_with, SvdMethod, Truncation};
 use tie_tensor::{init, Tensor};
 use tie_tt::{decompose::tt_svd, TtMatrix};
-use tie_workloads::{compile_dense_layer, synthetic_layer_weights, table4_benchmarks, CompileOptions, ErrorCheck};
+use tie_workloads::{
+    compile_dense_layer, synthetic_layer_weights, table4_benchmarks, CompileOptions, ErrorCheck,
+};
 
 const REPS: usize = 3;
 
@@ -41,7 +43,13 @@ fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
 /// Planted rank-`r` matrix plus uniform noise — the spectrum every
 /// compression-regime bench uses: `r` dominant directions, then a flat
 /// noise tail whose mass is the optimal truncation error.
-fn low_rank_plus_noise(rng: &mut ChaCha8Rng, m: usize, n: usize, r: usize, noise: f64) -> Tensor<f64> {
+fn low_rank_plus_noise(
+    rng: &mut ChaCha8Rng,
+    m: usize,
+    n: usize,
+    r: usize,
+    noise: f64,
+) -> Tensor<f64> {
     let u: Tensor<f64> = init::uniform(rng, vec![m, r], 1.0);
     let v: Tensor<f64> = init::uniform(rng, vec![r, n], 1.0);
     let e: Tensor<f64> = init::uniform(rng, vec![m, n], noise);
@@ -97,7 +105,12 @@ fn time_pair(a: &Tensor<f64>, rank: usize, method: SvdMethod) -> (f64, f64, f64,
     let fast_s = best_of(REPS, || truncated_svd_with(a, trunc, method).unwrap());
     let fast = truncated_svd_with(a, trunc, method).unwrap();
     let err = fast.reconstruct().unwrap().sub(a).unwrap().frobenius_norm();
-    let jerr = exact.reconstruct().unwrap().sub(a).unwrap().frobenius_norm();
+    let jerr = exact
+        .reconstruct()
+        .unwrap()
+        .sub(a)
+        .unwrap()
+        .frobenius_norm();
     (jacobi_s, fast_s, err, jerr)
 }
 
@@ -162,13 +175,23 @@ fn write_json() {
     let trunc = Truncation::rank(16);
     let f_s = best_of(REPS, || truncated_svd_with(&big, trunc, method).unwrap());
     let fast = truncated_svd_with(&big, trunc, method).unwrap();
-    let err = fast.reconstruct().unwrap().sub(&big).unwrap().frobenius_norm();
+    let err = fast
+        .reconstruct()
+        .unwrap()
+        .sub(&big)
+        .unwrap()
+        .frobenius_norm();
     let rel = err / big.frobenius_norm();
     if std::env::var("TIE_BENCH_PAPER").as_deref() == Ok("1") {
         let t = Instant::now();
         let exact = truncated_svd(&big, trunc).unwrap();
         let j_s = t.elapsed().as_secs_f64();
-        let jerr = exact.reconstruct().unwrap().sub(&big).unwrap().frobenius_norm();
+        let jerr = exact
+            .reconstruct()
+            .unwrap()
+            .sub(&big)
+            .unwrap()
+            .frobenius_norm();
         report.row([
             "unfold_4096x4096_r16_rsvd".to_string(),
             fnum(j_s * 1e3),
@@ -207,8 +230,7 @@ fn write_json() {
     for (i, bench) in table4_benchmarks().iter().enumerate() {
         let w = synthetic_layer_weights(&bench.shape, 1e-4, 100 + i as u64).unwrap();
         let compiled =
-            compile_dense_layer(bench.name, &w, &bench.shape, Some(bench.paper_cr), &opts)
-                .unwrap();
+            compile_dense_layer(bench.name, &w, &bench.shape, Some(bench.paper_cr), &opts).unwrap();
         report.row([
             format!("compile_{}", bench.name),
             "-".to_string(),
@@ -220,7 +242,9 @@ fn write_json() {
         "compile_* rows time TtMatrix::from_dense + CompactEngine::new on \
          synthetic planted-rank Table 4 weights (single run, no baseline)",
     );
-    report.note(format!("svd pairs: best-of-{REPS} wall clock, one warm-up call"));
+    report.note(format!(
+        "svd pairs: best-of-{REPS} wall clock, one warm-up call"
+    ));
 
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     report.save_json(&root).expect("write BENCH_decompose.json");

@@ -74,7 +74,12 @@ pub fn quant_sweep() -> Result<Report> {
         "Ablation: datapath precision on VGG-FC7",
         "(extension) the prototype quantizes to 16 bits; the sweep shows the margin",
     );
-    r.headers(["weight frac bits", "SQNR (dB)", "max abs error", "saturations"]);
+    r.headers([
+        "weight frac bits",
+        "SQNR (dB)",
+        "max abs error",
+        "saturations",
+    ]);
     for frac in [4u32, 6, 8, 10, 12, 14] {
         let cfg = TieConfig {
             quant: QuantConfig {
@@ -159,7 +164,12 @@ pub fn overhead_sweep() -> Result<Report> {
         "Ablation: pipeline fill/drain overhead per tile pass (VGG-FC7)",
         "(extension) the paper's Fig. 7 schedule assumes steady state; this bounds the error of that assumption",
     );
-    r.headers(["overhead (cyc/pass)", "cycles", "eq. TOPS", "throughput loss"]);
+    r.headers([
+        "overhead (cyc/pass)",
+        "cycles",
+        "eq. TOPS",
+        "throughput loss",
+    ]);
     let mut base_tops = None;
     for overhead in [0u64, 1, 2, 4, 8] {
         let cfg = TieConfig {

@@ -36,12 +36,7 @@ fn eval_acc(net: &mut Sequential, data: &Dataset) -> Result<f64> {
     Ok(tie_nn::loss::accuracy(&logits, &data.labels))
 }
 
-fn train_net(
-    net: &mut Sequential,
-    train: &Dataset,
-    epochs: usize,
-    lr: f32,
-) -> Result<()> {
+fn train_net(net: &mut Sequential, train: &Dataset, epochs: usize, lr: f32) -> Result<()> {
     let mut opt = Sgd::with_momentum(lr, 0.9);
     for _ in 0..epochs {
         let logits = net.forward(&train.features)?;
@@ -97,9 +92,8 @@ pub fn conv_comparison(seed: u64) -> Result<AccuracyComparison> {
     // 1×8×8 images, 3 classes.
     let data = gaussian_blobs(&mut rng, 3, 64, 50, 0.7);
     let (train, test) = data.split(0.6);
-    let as_images = |d: &Dataset| -> Result<Tensor<f32>> {
-        d.features.reshaped(vec![d.len(), 1, 8, 8])
-    };
+    let as_images =
+        |d: &Dataset| -> Result<Tensor<f32>> { d.features.reshaped(vec![d.len(), 1, 8, 8]) };
     let train_x = as_images(&train)?;
     let test_x = as_images(&test)?;
     let geo = tie_nn::conv::ConvGeometry {

@@ -26,7 +26,14 @@ pub fn table7() -> Result<Report> {
         "Table 7: EIE and TIE design comparison",
         "EIE: 45 nm / 800 MHz / 40.8 mm2 / 590 mW -> projected 28 nm / 1285 MHz / 15.7 mm2 / 590 mW; TIE: 28 nm / 1000 MHz / 1.74 mm2 / 154.8 mW",
     );
-    r.headers(["design", "tech", "freq (MHz)", "area (mm2)", "power (mW)", "quantization"]);
+    r.headers([
+        "design",
+        "tech",
+        "freq (MHz)",
+        "area (mm2)",
+        "power (mW)",
+        "quantization",
+    ]);
     r.row([
         "EIE (reported)".to_string(),
         "45 nm".into(),
@@ -137,8 +144,7 @@ pub fn table8() -> Result<Report> {
     let cfg = TieConfig::default();
     let circnn = specs::circnn();
     let circnn28 = project(&circnn, TechNode::NM28);
-    let circnn_tops =
-        specs::CIRCNN_TOPS_NATIVE * circnn28.freq_mhz / circnn.freq_mhz / 1e12;
+    let circnn_tops = specs::CIRCNN_TOPS_NATIVE * circnn28.freq_mhz / circnn.freq_mhz / 1e12;
     let circnn_eff = circnn_tops / (circnn28.power_mw / 1e3);
 
     // TIE: mean equivalent throughput across the Table 4 workloads.
@@ -160,7 +166,13 @@ pub fn table8() -> Result<Report> {
         "Table 8: CirCNN and TIE comparison",
         "CirCNN projected 1.28 TOPS / 16 TOPS/W; TIE 7.64 TOPS / 72.9 TOPS/W -> 5.96x and 4.56x",
     );
-    r.headers(["design", "freq (MHz)", "power (mW)", "throughput (TOPS)", "energy eff (TOPS/W)"]);
+    r.headers([
+        "design",
+        "freq (MHz)",
+        "power (mW)",
+        "throughput (TOPS)",
+        "energy eff (TOPS/W)",
+    ]);
     r.row([
         "CirCNN (reported, 45 nm)".to_string(),
         fnum(circnn.freq_mhz),
@@ -312,6 +324,9 @@ mod tests {
         let r = table9().unwrap();
         let last = r.rows.last().unwrap();
         let fps_adv: f64 = last[4].trim_end_matches('x').parse().unwrap();
-        assert!(fps_adv > 1.0, "TIE must outperform projected Eyeriss: {fps_adv}");
+        assert!(
+            fps_adv > 1.0,
+            "TIE must outperform projected Eyeriss: {fps_adv}"
+        );
     }
 }

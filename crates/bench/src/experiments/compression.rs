@@ -21,7 +21,12 @@ pub fn table1() -> Result<Report> {
     let fc_cr = zoo::vgg16_fc_group_ratio(&net);
     let overall = net.overall_ratio();
     let acc = accuracy::fc_comparison(42)?;
-    r.headers(["model", "accuracy (synthetic analog)", "CR for FC layers", "CR overall"]);
+    r.headers([
+        "model",
+        "accuracy (synthetic analog)",
+        "CR for FC layers",
+        "CR overall",
+    ]);
     r.row([
         "dense baseline".to_string(),
         format!("{:.1}%", acc.dense_acc * 100.0),
@@ -60,7 +65,12 @@ pub fn table2() -> Result<Report> {
     let conv_cr = net.compressed_layers_ratio();
     let overall = net.overall_ratio();
     let acc = accuracy::conv_comparison(43)?;
-    r.headers(["model", "accuracy (synthetic analog)", "CR for CONV layers", "CR overall"]);
+    r.headers([
+        "model",
+        "accuracy (synthetic analog)",
+        "CR for CONV layers",
+        "CR overall",
+    ]);
     r.row([
         "dense CNN".to_string(),
         format!("{:.1}%", acc.dense_acc * 100.0),
@@ -102,7 +112,12 @@ pub fn table3() -> Result<Report> {
     let lstm = zoo::tt_rnn_compression(4, 47);
     let gru = zoo::tt_rnn_compression(3, 47);
     let acc = accuracy::rnn_comparison(44)?;
-    r.headers(["model", "accuracy (synthetic analog)", "CR for FC layers", "CR overall"]);
+    r.headers([
+        "model",
+        "accuracy (synthetic analog)",
+        "CR for FC layers",
+        "CR overall",
+    ]);
     r.row([
         "LSTM (dense)".to_string(),
         format!("{:.1}%", acc.dense_acc * 100.0),
@@ -140,7 +155,16 @@ pub fn table4() -> Result<Report> {
         "Table 4: evaluated benchmarks",
         "CRs: 50972x (VGG-FC6), 14564x (VGG-FC7), 4954x (LSTM-UCF11), 4608x (LSTM-Youtube)",
     );
-    r.headers(["layer", "size", "d", "n", "m", "r", "CR (computed)", "CR (paper)"]);
+    r.headers([
+        "layer",
+        "size",
+        "d",
+        "n",
+        "m",
+        "r",
+        "CR (computed)",
+        "CR (paper)",
+    ]);
     for b in table4_benchmarks() {
         let (rows, cols) = b.size();
         r.row([

@@ -33,8 +33,7 @@ pub fn fig13() -> Result<Report> {
                 Ok(m) => {
                     cells.push(fnum(m.equivalent_ops_per_sec / 1e12));
                     if rank == 2 {
-                        let conflicts: u64 =
-                            m.stats.stages.iter().map(|s| s.conflict_cycles).sum();
+                        let conflicts: u64 = m.stats.stages.iter().map(|s| s.conflict_cycles).sum();
                         conflict_note = format!(
                             "{:.1}%",
                             100.0 * conflicts as f64 / m.stats.cycles().max(1) as f64
@@ -89,7 +88,10 @@ pub fn analysis_redundancy() -> Result<Report> {
             fnum(counts::mul_compact(s) as f64),
             fnum(counts::mul_theoretical_eqn7(s) as f64),
             ratio(counts::redundancy_ratio(s)),
-            format!("{:.4}", counts::mul_compact(s) as f64 / counts::mul_dense(s) as f64),
+            format!(
+                "{:.4}",
+                counts::mul_compact(s) as f64 / counts::mul_dense(s) as f64
+            ),
         ]);
     }
     r.note("Eqn. (7) as printed undercounts slightly (it yields (m-1)n at d=1 where a mat-vec needs mn); the compact scheme's count is the executable minimum. The FC6 naive/compact ratio is ~2x the paper's 1073x under the printed formulas — same three-orders-of-magnitude conclusion (see DESIGN.md)");

@@ -36,10 +36,7 @@ pub fn table5() -> Result<Report> {
     ]);
     r.row([
         "working SRAM",
-        &format!(
-            "2 x {} KB (ping-pong)",
-            cfg.working_sram_bytes / 1024
-        ),
+        &format!("2 x {} KB (ping-pong)", cfg.working_sram_bytes / 1024),
     ]);
     r.row(["frequency", &format!("{} MHz", cfg.freq_mhz)]);
     r.row([
@@ -66,8 +63,16 @@ pub fn table6() -> Result<Report> {
     r.headers(["component", "power (mW)", "area (mm2)"]);
     r.row(["memory", &fnum(p.memory), &fnum(a.memory)]);
     r.row(["register", &fnum(p.register), &fnum(a.register)]);
-    r.row(["combinational", &fnum(p.combinational), &fnum(a.combinational)]);
-    r.row(["clock network", &fnum(p.clock_network), &fnum(a.clock_network)]);
+    r.row([
+        "combinational",
+        &fnum(p.combinational),
+        &fnum(a.combinational),
+    ]);
+    r.row([
+        "clock network",
+        &fnum(p.clock_network),
+        &fnum(a.clock_network),
+    ]);
     r.row(["other", "-", &fnum(a.other)]);
     r.row(["total", &fnum(p.total()), &fnum(a.total())]);
     r.note("the component model is calibrated to these Table 6 values and extrapolates for the PE/SRAM ablations — the CAD-flow substitution of DESIGN.md");

@@ -36,11 +36,7 @@ pub struct TieMeasurement {
 /// # Errors
 ///
 /// Propagates simulator errors (capacity, shapes).
-pub fn measure_tie_layer(
-    config: &TieConfig,
-    shape: &TtShape,
-    seed: u64,
-) -> Result<TieMeasurement> {
+pub fn measure_tie_layer(config: &TieConfig, shape: &TtShape, seed: u64) -> Result<TieMeasurement> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let matrix = TtMatrix::<f64>::random(&mut rng, shape, 0.5)?;
     let mut tie = TieAccelerator::new(*config)?;
@@ -166,14 +162,7 @@ mod tests {
 
     #[test]
     fn eie_measurement_fc7_scale() {
-        let m = measure_eie(
-            512,
-            512,
-            &tie_workloads::sparsity::VGG_FC7,
-            800.0,
-            7,
-        )
-        .unwrap();
+        let m = measure_eie(512, 512, &tie_workloads::sparsity::VGG_FC7, 800.0, 7).unwrap();
         assert!(m.stats.cycles > 0);
         assert!(m.equivalent_ops_per_sec > 0.0);
     }

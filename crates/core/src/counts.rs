@@ -65,8 +65,7 @@ pub fn mul_theoretical_eqn7(shape: &TtShape) -> u64 {
             let m_right: u64 = shape.row_modes[l..].iter().map(|&v| v as u64).product();
             let inner: u64 = (1..=l)
                 .map(|i| {
-                    let n_prefix: u64 =
-                        shape.col_modes[..i].iter().map(|&v| v as u64).product();
+                    let n_prefix: u64 = shape.col_modes[..i].iter().map(|&v| v as u64).product();
                     (shape.ranks[i] * shape.ranks[i - 1]) as u64 * n_prefix
                 })
                 .sum();

@@ -68,7 +68,10 @@ impl AffineMap {
     pub fn identity(dims: &[usize]) -> Self {
         let mut digits: Vec<Digit> = dims
             .iter()
-            .map(|&e| Digit { extent: e, stride: 0 })
+            .map(|&e| Digit {
+                extent: e,
+                stride: 0,
+            })
             .collect();
         let mut place = 1usize;
         for d in digits.iter_mut().rev() {
@@ -89,13 +92,21 @@ impl AffineMap {
     pub fn transpose(dims: &[usize], perm: &[usize]) -> Result<Self> {
         let n = dims.len();
         let mut seen = vec![false; n];
-        if perm.len() != n || perm.iter().any(|&p| p >= n || std::mem::replace(&mut seen[p], true))
+        if perm.len() != n
+            || perm
+                .iter()
+                .any(|&p| p >= n || std::mem::replace(&mut seen[p], true))
         {
-            return Err(invalid(format!("transpose: {perm:?} is not a permutation of 0..{n}")));
+            return Err(invalid(format!(
+                "transpose: {perm:?} is not a permutation of 0..{n}"
+            )));
         }
         let mut digits: Vec<Digit> = dims
             .iter()
-            .map(|&e| Digit { extent: e, stride: 0 })
+            .map(|&e| Digit {
+                extent: e,
+                stride: 0,
+            })
             .collect();
         let mut place = 1usize;
         for &src in perm.iter().rev() {
@@ -332,7 +343,10 @@ impl AffineMap {
                     d.extent
                 )));
             }
-            col_digits.push(Digit { extent: f, stride: d.stride });
+            col_digits.push(Digit {
+                extent: f,
+                stride: d.stride,
+            });
             row_digits.push(Digit {
                 extent: d.extent / f,
                 stride: d.stride * f,
@@ -369,13 +383,18 @@ fn route_digit(
     used: &mut [usize],
 ) -> Result<()> {
     if d.extent <= 1 {
-        out.push(Digit { extent: d.extent.max(1), stride: 0 });
+        out.push(Digit {
+            extent: d.extent.max(1),
+            stride: 0,
+        });
         return Ok(());
     }
     // Find the g digit this stride addresses: places[j] | stride with a
     // multiplier below the radix.
     let Some(j) = (0..g_digits.len()).find(|&j| {
-        d.stride.is_multiple_of(places[j]) && (d.stride / places[j]) < g_digits[j].extent && d.stride >= places[j]
+        d.stride.is_multiple_of(places[j])
+            && (d.stride / places[j]) < g_digits[j].extent
+            && d.stride >= places[j]
     }) else {
         return Err(invalid(format!(
             "then: no destination digit admits stride {}",
@@ -384,7 +403,10 @@ fn route_digit(
     };
     let c = d.stride / places[j];
     if c == 0 {
-        return Err(invalid(format!("then: zero stride on extent-{} digit", d.extent)));
+        return Err(invalid(format!(
+            "then: zero stride on extent-{} digit",
+            d.extent
+        )));
     }
     if (d.extent - 1) * c < g_digits[j].extent {
         used[j] += (d.extent - 1) * c;
@@ -646,9 +668,7 @@ pub fn prepare_copy_plan(shape: &TtShape) -> Result<CopyPlan> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::transform::{
-        assemble_output_gather, four_step_transform, prepare_input_scatter,
-    };
+    use crate::transform::{assemble_output_gather, four_step_transform, prepare_input_scatter};
     use tie_tensor::Tensor;
 
     fn shape(rows: Vec<usize>, cols: Vec<usize>, rank: usize) -> TtShape {

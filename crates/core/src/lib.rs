@@ -77,5 +77,6 @@ pub mod transform;
 pub use pipeline::{CutPlan, FloatChain, PipelineConfig, StagePipeline};
 pub use plan::InferencePlan;
 pub use scheme::CompactEngine;
+pub use tie_tensor::tile::Activation;
 pub use tie_tensor::{Result, TensorError};
 pub use tie_tt::TtShape;

@@ -41,8 +41,9 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
-use tie_tensor::linalg::{gemm_into_mapped, DestMap};
+use tie_tensor::linalg::{gemm_into_mapped, gemm_into_mapped_fused, DestMap};
 use tie_tensor::pipeline::PipelineHost;
+use tie_tensor::tile::Activation;
 use tie_tensor::{Result, Tensor, TensorError};
 use tie_tt::inference::OpCount;
 
@@ -56,7 +57,9 @@ use crate::scheme::CompactEngine;
 const CHANNEL_SLOTS: usize = 2;
 
 fn invalid(message: impl Into<String>) -> TensorError {
-    TensorError::InvalidArgument { message: message.into() }
+    TensorError::InvalidArgument {
+        message: message.into(),
+    }
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -218,7 +221,11 @@ pub fn plan_cuts(plan: &InferencePlan, depth: usize) -> CutPlan {
     bounds.reverse();
     let runs = bounds
         .windows(2)
-        .map(|win| StageRun { lo: win[0], hi: win[1], cost: run_cost(win[0], win[1]) })
+        .map(|win| StageRun {
+            lo: win[0],
+            hi: win[1],
+            cost: run_cost(win[0], win[1]),
+        })
         .collect();
     CutPlan { runs }
 }
@@ -327,8 +334,14 @@ impl<T: Copy + Default> ChunkChannel<T> {
         let mut free = lock(&self.free);
         let stalled = free.is_empty();
         while free.is_empty() {
-            assert!(!self.poisoned.load(Ordering::Acquire), "stage pipeline poisoned by a peer panic");
-            free = self.space.wait(free).unwrap_or_else(std::sync::PoisonError::into_inner);
+            assert!(
+                !self.poisoned.load(Ordering::Acquire),
+                "stage pipeline poisoned by a peer panic"
+            );
+            free = self
+                .space
+                .wait(free)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
         (free.pop().expect("non-empty free list"), stalled)
     }
@@ -348,8 +361,14 @@ impl<T: Copy + Default> ChunkChannel<T> {
         let mut data = lock(&self.data);
         let stalled = data.is_empty();
         while data.is_empty() {
-            assert!(!self.poisoned.load(Ordering::Acquire), "stage pipeline poisoned by a peer panic");
-            data = self.avail.wait(data).unwrap_or_else(std::sync::PoisonError::into_inner);
+            assert!(
+                !self.poisoned.load(Ordering::Acquire),
+                "stage pipeline poisoned by a peer panic"
+            );
+            data = self
+                .avail
+                .wait(data)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
         (data.pop_front().expect("non-empty data queue"), stalled)
     }
@@ -486,7 +505,10 @@ pub struct PipelineConfig {
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        PipelineConfig { depth: 2, micro_batch: 1 }
+        PipelineConfig {
+            depth: 2,
+            micro_batch: 1,
+        }
     }
 }
 
@@ -536,7 +558,11 @@ impl<C: StageChain> StagePipeline<C> {
             .iter()
             .enumerate()
             .map(|(s, run)| {
-                let inbuf = if s == 0 { stages[0].input_elems() * micro } else { 0 };
+                let inbuf = if s == 0 {
+                    stages[0].input_elems() * micro
+                } else {
+                    0
+                };
                 let interior = (run.lo + 1..run.hi)
                     .map(|idx| stages[idx].input_elems())
                     .max()
@@ -557,7 +583,9 @@ impl<C: StageChain> StagePipeline<C> {
             })
             .collect();
         let counters = (0..depth).map(|_| SegCounters::default()).collect();
-        let reports = (0..depth).map(|_| Mutex::new(C::Report::default())).collect();
+        let reports = (0..depth)
+            .map(|_| Mutex::new(C::Report::default()))
+            .collect();
         Ok(StagePipeline {
             chain,
             cut,
@@ -635,10 +663,16 @@ impl<C: StageChain> StagePipeline<C> {
             return Err(invalid("batch size must be at least 1"));
         }
         if xs.len() != n * b {
-            return Err(TensorError::ElementCountMismatch { expected: n * b, got: xs.len() });
+            return Err(TensorError::ElementCountMismatch {
+                expected: n * b,
+                got: xs.len(),
+            });
         }
         if ys.len() != m * b {
-            return Err(TensorError::ElementCountMismatch { expected: m * b, got: ys.len() });
+            return Err(TensorError::ElementCountMismatch {
+                expected: m * b,
+                got: ys.len(),
+            });
         }
 
         let _call = lock(&self.call_lock);
@@ -694,7 +728,11 @@ impl<C: StageChain> StagePipeline<C> {
         let mut report = C::Report::default();
         let mut ws_guard = lock(&self.segs[s]);
         let ws = &mut *ws_guard;
-        let mut ys_guard = if s + 1 == depth { Some(lock(ys_cell)) } else { None };
+        let mut ys_guard = if s + 1 == depth {
+            Some(lock(ys_cell))
+        } else {
+            None
+        };
 
         for c in 0..chunks {
             let c0 = c * self.micro;
@@ -727,25 +765,37 @@ impl<C: StageChain> StagePipeline<C> {
             // a bug, and panicking poisons the channels (see the caller).
             let run_ok = "stage dimensions validated at construction";
             if seg.len() == 1 {
-                self.chain.run_stage(seg.lo, &cur, &mut out, w, &mut report).expect(run_ok);
+                self.chain
+                    .run_stage(seg.lo, &cur, &mut out, w, &mut report)
+                    .expect(run_ok);
             } else {
                 let mut ping = mem::take(&mut ws.scratch_a);
                 let mut pong = mem::take(&mut ws.scratch_b);
-                self.chain.run_stage(seg.lo, &cur, &mut ping, w, &mut report).expect(run_ok);
+                self.chain
+                    .run_stage(seg.lo, &cur, &mut ping, w, &mut report)
+                    .expect(run_ok);
                 let mut src_is_ping = true;
                 for idx in seg.lo + 1..seg.hi - 1 {
                     if src_is_ping {
-                        self.chain.run_stage(idx, &ping, &mut pong, w, &mut report).expect(run_ok);
+                        self.chain
+                            .run_stage(idx, &ping, &mut pong, w, &mut report)
+                            .expect(run_ok);
                     } else {
-                        self.chain.run_stage(idx, &pong, &mut ping, w, &mut report).expect(run_ok);
+                        self.chain
+                            .run_stage(idx, &pong, &mut ping, w, &mut report)
+                            .expect(run_ok);
                     }
                     src_is_ping = !src_is_ping;
                 }
                 let last = seg.hi - 1;
                 if src_is_ping {
-                    self.chain.run_stage(last, &ping, &mut out, w, &mut report).expect(run_ok);
+                    self.chain
+                        .run_stage(last, &ping, &mut out, w, &mut report)
+                        .expect(run_ok);
                 } else {
-                    self.chain.run_stage(last, &pong, &mut out, w, &mut report).expect(run_ok);
+                    self.chain
+                        .run_stage(last, &pong, &mut out, w, &mut report)
+                        .expect(run_ok);
                 }
                 ws.scratch_a = ping;
                 ws.scratch_b = pong;
@@ -761,7 +811,9 @@ impl<C: StageChain> StagePipeline<C> {
                 counters.handoffs.fetch_add(1, Ordering::Relaxed);
                 self.channels[s].send(ChunkMsg { slab: out, w });
             } else {
-                let ys = ys_guard.as_mut().expect("final segment holds the output lock");
+                let ys = ys_guard
+                    .as_mut()
+                    .expect("final segment holds the output lock");
                 self.chain.finish(&out, ys, b, c0, w);
                 ws.park = out;
             }
@@ -779,7 +831,10 @@ impl<C: StageChain> Clone for StagePipeline<C> {
     fn clone(&self) -> Self {
         Self::from_arc(
             Arc::clone(&self.chain),
-            PipelineConfig { depth: self.cut.depth(), micro_batch: self.micro },
+            PipelineConfig {
+                depth: self.cut.depth(),
+                micro_batch: self.micro,
+            },
         )
         .expect("cloning a validated pipeline cannot fail")
     }
@@ -803,6 +858,11 @@ pub struct FloatChain {
     prep: CopyPlan,
     rows: usize,
     cols: usize,
+    /// Final-stage fused epilogue, copied from the engine: the pipelined
+    /// pass applies bias + activation inside the last stage's GEMM store,
+    /// exactly like the sequential engine (bit-identical at any cut).
+    bias: Option<Vec<f64>>,
+    activation: Activation,
 }
 
 impl FloatChain {
@@ -827,6 +887,8 @@ impl FloatChain {
             prep: prepare_copy_plan(shape)?,
             rows: shape.num_rows(),
             cols: shape.num_cols(),
+            bias: engine.bias().map(<[f64]>::to_vec),
+            activation: engine.activation(),
         })
     }
 }
@@ -870,16 +932,35 @@ impl StageChain for FloatChain {
     ) -> Result<()> {
         let stage = &self.plan.stages()[idx];
         let (rows, k, cols) = (stage.gtilde_rows, stage.gtilde_cols, stage.v_cols);
-        gemm_into_mapped(
-            self.gtildes[stage.h - 1].data(),
-            &input[..k * cols * w],
-            &mut output[..rows * cols * w],
-            rows,
-            k,
-            cols,
-            w,
-            &self.dest_maps[idx],
-        )?;
+        if idx + 1 == self.plan.stages().len() {
+            // Final stage: the bias/activation epilogue fuses into the
+            // same store that assembles the output. The epilogue indexes
+            // the logical destination element, so chunking the batch
+            // cannot perturb it.
+            gemm_into_mapped_fused(
+                self.gtildes[stage.h - 1].data(),
+                &input[..k * cols * w],
+                &mut output[..rows * cols * w],
+                rows,
+                k,
+                cols,
+                w,
+                &self.dest_maps[idx],
+                self.bias.as_deref(),
+                self.activation,
+            )?;
+        } else {
+            gemm_into_mapped(
+                self.gtildes[stage.h - 1].data(),
+                &input[..k * cols * w],
+                &mut output[..rows * cols * w],
+                rows,
+                k,
+                cols,
+                w,
+                &self.dest_maps[idx],
+            )?;
+        }
         report.mults += stage.muls() * w as u64;
         report.adds += stage.muls() * w as u64;
         // Unlike the one-GEMM-per-batch sequential pass, a pipelined stage
@@ -964,8 +1045,14 @@ mod tests {
         e.matvec_batch_into(xs.data(), b, &mut want).unwrap();
 
         let chain = FloatChain::new(e).unwrap();
-        let pipe =
-            StagePipeline::new(chain, PipelineConfig { depth, micro_batch: micro }).unwrap();
+        let pipe = StagePipeline::new(
+            chain,
+            PipelineConfig {
+                depth,
+                micro_batch: micro,
+            },
+        )
+        .unwrap();
         let mut got = vec![0.0f64; m * b];
         let (ops, stats) = pipe.matvec_batch_into(xs.data(), b, &mut got).unwrap();
         for (i, (&g, &w)) in got.iter().zip(&want).enumerate() {
@@ -999,6 +1086,26 @@ mod tests {
     }
 
     #[test]
+    fn fused_epilogue_survives_pipelining_bitwise() {
+        // The final-stage bias+ReLU epilogue must not perturb pipelined
+        // execution: every depth/micro/batch combination stays bitwise
+        // equal to the sequential fused engine.
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let base = engine(9, vec![2, 3, 4], vec![4, 3, 2], 3);
+        let m = base.matrix().shape().num_rows();
+        let bias: Tensor<f64> = init::uniform(&mut rng, vec![m], 0.5);
+        let e = base
+            .with_activation(Activation::Relu)
+            .with_bias(bias.data().to_vec())
+            .unwrap();
+        for depth in [1, 2, 3] {
+            for micro in [1, 3] {
+                assert_pipeline_matches(&e, depth, micro, 5);
+            }
+        }
+    }
+
+    #[test]
     fn single_stage_layer_degenerates_cleanly() {
         let e = engine(5, vec![5], vec![7], 1);
         assert_pipeline_matches(&e, 4, 2, 3);
@@ -1009,7 +1116,10 @@ mod tests {
         let e = engine(6, vec![2, 3, 4], vec![4, 3, 2], 3);
         let pipe = StagePipeline::new(
             FloatChain::new(&e).unwrap(),
-            PipelineConfig { depth: 3, micro_batch: 1 },
+            PipelineConfig {
+                depth: 3,
+                micro_batch: 1,
+            },
         )
         .unwrap();
         let (n, m) = (e.matrix().shape().num_cols(), e.matrix().shape().num_rows());
@@ -1036,23 +1146,26 @@ mod tests {
     #[test]
     fn rejects_bad_arguments() {
         let e = engine(7, vec![2, 3], vec![3, 2], 2);
-        let pipe = StagePipeline::new(
-            FloatChain::new(&e).unwrap(),
-            PipelineConfig::default(),
-        )
-        .unwrap();
+        let pipe =
+            StagePipeline::new(FloatChain::new(&e).unwrap(), PipelineConfig::default()).unwrap();
         let mut ys = vec![0.0f64; 6];
         assert!(pipe.matvec_batch_into(&[0.0; 6], 0, &mut ys).is_err());
         assert!(pipe.matvec_batch_into(&[0.0; 5], 1, &mut ys).is_err());
         assert!(pipe.matvec_batch_into(&[0.0; 6], 1, &mut ys[..5]).is_err());
         assert!(StagePipeline::new(
             FloatChain::new(&e).unwrap(),
-            PipelineConfig { depth: 0, micro_batch: 1 }
+            PipelineConfig {
+                depth: 0,
+                micro_batch: 1
+            }
         )
         .is_err());
         assert!(StagePipeline::new(
             FloatChain::new(&e).unwrap(),
-            PipelineConfig { depth: 2, micro_batch: 0 }
+            PipelineConfig {
+                depth: 2,
+                micro_batch: 0
+            }
         )
         .is_err());
     }
@@ -1062,7 +1175,10 @@ mod tests {
         let e = engine(8, vec![2, 3], vec![3, 2], 2);
         let pipe = StagePipeline::new(
             FloatChain::new(&e).unwrap(),
-            PipelineConfig { depth: 2, micro_batch: 1 },
+            PipelineConfig {
+                depth: 2,
+                micro_batch: 1,
+            },
         )
         .unwrap();
         let clone = pipe.clone();

@@ -2,6 +2,7 @@
 //! simulator) needs to know about a workload, computed from the
 //! [`TtShape`] alone — no weights required.
 
+use tie_tensor::tile::Activation;
 use tie_tensor::{Result, TensorError};
 use tie_tt::TtShape;
 
@@ -46,10 +47,17 @@ impl StagePlan {
 }
 
 /// The full execution plan of the compact scheme for one layer.
+///
+/// Besides the per-stage dimensions, the plan carries the layer's **fused
+/// epilogue**: the [`Activation`] applied inside the final stage's GEMM
+/// write loop (the TIE PE applies requantization/activation in the same
+/// output pass — see `tie_tensor::tile`). Stages `h ≥ 2` never carry an
+/// epilogue; their write loop is the inter-stage Transform scatter.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InferencePlan {
     shape: TtShape,
     stages: Vec<StagePlan>,
+    activation: Activation,
 }
 
 impl InferencePlan {
@@ -78,7 +86,20 @@ impl InferencePlan {
         Ok(InferencePlan {
             shape: shape.clone(),
             stages,
+            activation: Activation::Identity,
         })
+    }
+
+    /// Sets the final-stage fused activation (builder style).
+    #[must_use]
+    pub fn with_activation(mut self, activation: Activation) -> Self {
+        self.activation = activation;
+        self
+    }
+
+    /// The activation fused into the final stage's write epilogue.
+    pub fn activation(&self) -> Activation {
+        self.activation
     }
 
     /// The layout this plan was built for.

@@ -6,7 +6,8 @@ use crate::transform::{
     assemble_output_gather, copy_gather_batched, prepare_input_scatter, unfold_core, TransformMap,
 };
 use std::sync::Mutex;
-use tie_tensor::linalg::{gemm_into, gemm_into_mapped, DestMap};
+use tie_tensor::linalg::{gemm_into, gemm_into_mapped, gemm_into_mapped_fused, DestMap};
+use tie_tensor::tile::Activation;
 use tie_tensor::{Result, Scalar, Tensor, TensorError};
 use tie_tt::inference::OpCount;
 use tie_tt::TtMatrix;
@@ -69,6 +70,11 @@ pub struct CompactEngine<T: Scalar> {
     /// Minimal block-copy plan of the input preparation (Eqn. (8)),
     /// compiled from the inverted affine map.
     prep_plan: CopyPlan,
+    /// Optional per-output-neuron bias (`M` elements), fused into the
+    /// final stage's write epilogue.
+    bias: Option<Vec<T>>,
+    /// Activation fused into the final stage's write epilogue.
+    activation: Activation,
     /// Ping-pong scratch buffers, grown on demand and reused across calls.
     workspace: Mutex<Workspace<T>>,
 }
@@ -102,6 +108,8 @@ impl<T: Scalar> Clone for CompactEngine<T> {
             transforms: self.transforms.clone(),
             dest_maps: self.dest_maps.clone(),
             prep_plan: self.prep_plan.clone(),
+            bias: self.bias.clone(),
+            activation: self.activation,
             // Scratch is per-engine state, not semantic state: the clone
             // starts with an empty workspace and grows it on first use.
             workspace: Mutex::new(Workspace::default()),
@@ -167,8 +175,50 @@ impl<T: Scalar> CompactEngine<T> {
             transforms,
             dest_maps,
             prep_plan,
+            bias: None,
+            activation: Activation::Identity,
             workspace: Mutex::new(Workspace::default()),
         })
+    }
+
+    /// Attaches a per-output-neuron bias (`M` elements), fused into the
+    /// final stage's GEMM write epilogue — the output gets `y + bias`
+    /// without a second pass over `y` (builder style).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `bias` is not `M`
+    /// elements.
+    pub fn with_bias(mut self, bias: Vec<T>) -> Result<Self> {
+        let m = self.matrix.shape().num_rows();
+        if bias.len() != m {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![bias.len()],
+                right: vec![m],
+            });
+        }
+        self.bias = Some(bias);
+        Ok(self)
+    }
+
+    /// Selects the activation fused into the final stage's write epilogue
+    /// (builder style). Applied after the bias, inside the GEMM store —
+    /// never as a separate pass.
+    #[must_use]
+    pub fn with_activation(mut self, activation: Activation) -> Self {
+        self.activation = activation;
+        self.plan = self.plan.clone().with_activation(activation);
+        self
+    }
+
+    /// The fused per-output bias, if any.
+    pub fn bias(&self) -> Option<&[T]> {
+        self.bias.as_deref()
+    }
+
+    /// The fused final-stage activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
     }
 
     /// The underlying TT matrix.
@@ -422,7 +472,20 @@ impl<T: Scalar> CompactEngine<T> {
                 )?;
                 std::mem::swap(&mut cur, &mut nxt);
             } else {
-                gemm_into_mapped(a, &cur[..k * cols * b], ys, rows, k, cols, b, map)?;
+                // Final stage: bias + activation fuse into the same write
+                // loop that assembles the output — one store per element.
+                gemm_into_mapped_fused(
+                    a,
+                    &cur[..k * cols * b],
+                    ys,
+                    rows,
+                    k,
+                    cols,
+                    b,
+                    map,
+                    self.bias.as_deref(),
+                    self.activation,
+                )?;
             }
             // Arithmetic scales with the batch; each core is streamed from
             // weight memory once per stage and reused across all B columns
@@ -504,6 +567,24 @@ impl<T: Scalar> CompactEngine<T> {
         // Gather the output rows straight into the caller's buffer.
         let out_gather = assemble_output_gather(shape);
         copy_gather_batched(&out_gather, cur, ys, b);
+        // The oracle applies bias + activation as the *separate* output
+        // pass the fused epilogue eliminates — same scalar operations in
+        // the same order, so the comparison stays bitwise.
+        if self.bias.is_some() || self.activation == Activation::Relu {
+            let m = shape.num_rows();
+            for o in 0..m {
+                for cb in 0..b {
+                    let mut v = ys[o * b + cb];
+                    if let Some(bias) = &self.bias {
+                        v += bias[o];
+                    }
+                    if self.activation == Activation::Relu {
+                        v = if v > T::ZERO { v } else { T::ZERO };
+                    }
+                    ys[o * b + cb] = v;
+                }
+            }
+        }
         let trace = capture.then(|| StageTrace {
             prepared_input: prepared_input.expect("captured above"),
             stage_outputs,
@@ -599,7 +680,10 @@ mod tests {
         let (engine, _, x) = random_case(66, vec![3, 2, 4], vec![2, 4, 3], 3);
         let (_, count) = engine.matvec(&x).unwrap();
         assert_eq!(count.mults, engine.plan().total_muls());
-        assert_eq!(count.mults, crate::counts::mul_compact(engine.matrix().shape()));
+        assert_eq!(
+            count.mults,
+            crate::counts::mul_compact(engine.matrix().shape())
+        );
     }
 
     #[test]
@@ -652,7 +736,9 @@ mod tests {
             let got = ys.cols(c, c + 1).unwrap().reshaped(vec![6]).unwrap();
             assert!(got.approx_eq(&want, 1e-9), "column {c}");
         }
-        assert!(engine.matvec_batch(&Tensor::<f64>::zeros(vec![5, 2])).is_err());
+        assert!(engine
+            .matvec_batch(&Tensor::<f64>::zeros(vec![5, 2]))
+            .is_err());
     }
 
     #[test]
@@ -728,7 +814,9 @@ mod tests {
         assert_eq!(buf, ys.data());
         // Length validation.
         assert!(engine.matvec_batch_into(xs.data(), 4, &mut buf).is_err());
-        assert!(engine.matvec_batch_into(xs.data(), 5, &mut buf[1..]).is_err());
+        assert!(engine
+            .matvec_batch_into(xs.data(), 5, &mut buf[1..])
+            .is_err());
     }
 
     #[test]
@@ -785,14 +873,52 @@ mod tests {
                     .unwrap();
                 assert_eq!(c1, c2, "op counts agree (seed {seed}, b={b})");
                 for (i, (f, o)) in fused.iter().zip(&oracle).enumerate() {
-                    assert_eq!(
-                        f.to_bits(),
-                        o.to_bits(),
-                        "element {i} (seed {seed}, b={b})"
-                    );
+                    assert_eq!(f.to_bits(), o.to_bits(), "element {i} (seed {seed}, b={b})");
                 }
             }
         }
+    }
+
+    #[test]
+    fn fused_bias_relu_is_bitwise_equal_to_separate_epilogue_pass() {
+        // The epilogue acceptance check: bias + ReLU fused into the final
+        // GEMM store must bit-match the oracle's GEMM-then-separate-pass,
+        // for every (bias?, activation) combination and batch width.
+        let mut rng = ChaCha8Rng::seed_from_u64(96);
+        let (engine, _, _) = random_case(97, vec![2, 3, 2], vec![3, 2, 2], 2);
+        let nn = engine.matrix().shape().num_cols();
+        let mm = engine.matrix().shape().num_rows();
+        let bias_t: Tensor<f64> = init::uniform(&mut rng, vec![mm], 0.5);
+        for act in [Activation::Identity, Activation::Relu] {
+            for with_bias in [false, true] {
+                let mut e = engine.clone().with_activation(act);
+                if with_bias {
+                    e = e.with_bias(bias_t.data().to_vec()).unwrap();
+                }
+                assert_eq!(e.activation(), act);
+                assert_eq!(e.plan().activation(), act);
+                for b in [1usize, 4] {
+                    let xs: Tensor<f64> = init::uniform(&mut rng, vec![nn, b], 1.0);
+                    let mut fused = vec![0.0f64; mm * b];
+                    let mut oracle = vec![0.0f64; mm * b];
+                    e.matvec_batch_into(xs.data(), b, &mut fused).unwrap();
+                    e.matvec_batch_into_gather(xs.data(), b, &mut oracle)
+                        .unwrap();
+                    for (i, (f, o)) in fused.iter().zip(&oracle).enumerate() {
+                        assert_eq!(
+                            f.to_bits(),
+                            o.to_bits(),
+                            "element {i} (act {act:?}, bias {with_bias}, b={b})"
+                        );
+                    }
+                    if act == Activation::Relu {
+                        assert!(fused.iter().all(|&v| v >= 0.0));
+                    }
+                }
+            }
+        }
+        // Bias length is validated.
+        assert!(engine.clone().with_bias(vec![0.0; mm + 1]).is_err());
     }
 
     #[test]
@@ -810,17 +936,16 @@ mod tests {
             engine.transform_elided_bytes_per_sample(),
             (stage_elems + shape.num_rows() as u64) * 8
         );
-        assert_eq!(
-            engine.bytes_moved_per_sample(),
-            shape.num_cols() as u64 * 8
-        );
+        assert_eq!(engine.bytes_moved_per_sample(), shape.num_cols() as u64 * 8);
     }
 
     #[test]
     fn rejects_wrong_input_length() {
         let (engine, _, _) = random_case(72, vec![2, 2], vec![2, 2], 2);
         assert!(engine.matvec(&Tensor::<f64>::zeros(vec![3])).is_err());
-        assert!(engine.matvec_traced(&Tensor::<f64>::zeros(vec![3])).is_err());
+        assert!(engine
+            .matvec_traced(&Tensor::<f64>::zeros(vec![3]))
+            .is_err());
     }
 
     #[test]

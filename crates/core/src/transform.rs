@@ -54,12 +54,7 @@ use tie_tt::TtShape;
 /// traffic this runs only on cold paths (traced runs, the gather-table
 /// oracle), so it shares the kernels' work threshold instead of carrying
 /// its own copy-specific tuning constant.
-pub(crate) fn copy_gather_batched<T: Scalar>(
-    gather: &[usize],
-    src: &[T],
-    dst: &mut [T],
-    b: usize,
-) {
+pub(crate) fn copy_gather_batched<T: Scalar>(gather: &[usize], src: &[T], dst: &mut [T], b: usize) {
     let rows = gather.len();
     debug_assert!(dst.len() >= rows * b);
     let threads = parallel::threads_for(rows * b, rows);
@@ -554,9 +549,7 @@ pub fn fold_core<T: Scalar>(
         });
     }
     // reshape (m r0 n r1) then permute [1,0,2,3] back to (r0 m n r1)
-    gtilde
-        .reshaped(vec![m, r0, n, r1])?
-        .permuted(&[1, 0, 2, 3])
+    gtilde.reshaped(vec![m, r0, n, r1])?.permuted(&[1, 0, 2, 3])
 }
 
 /// Unfolds a 4-D core `G_h (r_{h-1} × m_h × n_h × r_h)` into the stage
@@ -618,7 +611,10 @@ mod tests {
             for p in 0..t.rows_in {
                 for q in 0..t.cols_in {
                     let (po, qo) = t.map(p, q);
-                    assert!(po < t.rows_out && qo < t.cols_out, "h={h} maps out of range");
+                    assert!(
+                        po < t.rows_out && qo < t.cols_out,
+                        "h={h} maps out of range"
+                    );
                     let off = po * t.cols_out + qo;
                     assert!(!seen[off], "h={h} collision at ({p},{q})");
                     seen[off] = true;
@@ -632,10 +628,8 @@ mod tests {
     fn transform_preserves_multiset_of_values() {
         let s = shape_3d();
         let t = TransformMap::new(&s, 3).unwrap();
-        let v = Tensor::<f64>::from_fn(vec![t.rows_in, t.cols_in], |i| {
-            (i[0] * 100 + i[1]) as f64
-        })
-        .unwrap();
+        let v = Tensor::<f64>::from_fn(vec![t.rows_in, t.cols_in], |i| (i[0] * 100 + i[1]) as f64)
+            .unwrap();
         let out = t.apply(&v).unwrap();
         let mut a: Vec<i64> = v.data().iter().map(|&x| x as i64).collect();
         let mut b: Vec<i64> = out.data().iter().map(|&x| x as i64).collect();
@@ -681,10 +675,7 @@ mod tests {
             for j2 in 0..2 {
                 for j3 in 0..2 {
                     let q = j1 + 2 * j2;
-                    assert_eq!(
-                        xp.get(&[j3, q]).unwrap(),
-                        (j1 * 4 + j2 * 2 + j3) as f64
-                    );
+                    assert_eq!(xp.get(&[j3, q]).unwrap(), (j1 * 4 + j2 * 2 + j3) as f64);
                 }
             }
         }
@@ -729,7 +720,11 @@ mod tests {
         // reshape, split, assemble) and the Eqn. (10) index map describe
         // the same permutation — the key fidelity check.
         for (m, n, r) in [
-            (vec![2usize, 3, 2], vec![3usize, 2, 3], vec![1usize, 2, 2, 1]),
+            (
+                vec![2usize, 3, 2],
+                vec![3usize, 2, 3],
+                vec![1usize, 2, 2, 1],
+            ),
             (vec![4, 4], vec![4, 4], vec![1, 3, 1]),
             (vec![2, 4, 3, 2], vec![3, 2, 2, 4], vec![1, 3, 2, 2, 1]),
         ] {
@@ -800,7 +795,9 @@ mod tests {
             // And the adjoint routes everything back.
             let back = t.apply_inverse_batched(&out, b).unwrap();
             assert_eq!(back, batched, "h={h}");
-            assert!(t.apply_batched(&Tensor::<f64>::zeros(vec![1, 1]), b).is_err());
+            assert!(t
+                .apply_batched(&Tensor::<f64>::zeros(vec![1, 1]), b)
+                .is_err());
         }
     }
 
@@ -809,10 +806,9 @@ mod tests {
         let s = TtShape::new(vec![2, 4, 3], vec![3, 2, 2], vec![1, 3, 2, 1]).unwrap();
         for h in 2..=3 {
             let t = TransformMap::new(&s, h).unwrap();
-            let v = Tensor::<f64>::from_fn(vec![t.rows_in, t.cols_in], |i| {
-                (i[0] * 1000 + i[1]) as f64
-            })
-            .unwrap();
+            let v =
+                Tensor::<f64>::from_fn(vec![t.rows_in, t.cols_in], |i| (i[0] * 1000 + i[1]) as f64)
+                    .unwrap();
             let there = t.apply(&v).unwrap();
             let back = t.apply_inverse(&there).unwrap();
             assert_eq!(back, v, "h={h}");

@@ -149,7 +149,7 @@ impl TieAreaPowerModel {
     pub fn energy_per_mac_pj(&self) -> f64 {
         let p = self.power_at_utilization(1.0);
         let switching = p.register + p.combinational; // datapath share
-        // mW / (lanes × MHz × 1e6) = mJ/op → ×1e9 pJ/op
+                                                      // mW / (lanes × MHz × 1e6) = mJ/op → ×1e9 pJ/op
         switching / (self.mac_lanes as f64 * self.freq_mhz * 1e6) * 1e9
     }
 }
@@ -194,7 +194,10 @@ mod tests {
         let half_lanes = TieAreaPowerModel::new(128, 784.0, 1000.0);
         let p = half_lanes.power_at_utilization(1.0);
         assert!((p.combinational - 27.0).abs() < 1e-9);
-        assert!((p.memory - 60.8).abs() < 1e-9, "SRAM power independent of lanes");
+        assert!(
+            (p.memory - 60.8).abs() < 1e-9,
+            "SRAM power independent of lanes"
+        );
         let half_sram = TieAreaPowerModel::new(256, 392.0, 1000.0);
         assert!((half_sram.area().memory - 0.645).abs() < 1e-9);
     }

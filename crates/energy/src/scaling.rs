@@ -77,7 +77,11 @@ mod tests {
         let eie = AcceleratorSpec::new("EIE", TechNode::NM45, 800.0, Some(40.8), 590.0);
         let p = project(&eie, TechNode::NM28);
         assert!((p.freq_mhz - 1285.0).abs() < 2.0, "freq {}", p.freq_mhz);
-        assert!((p.area_mm2.unwrap() - 15.7).abs() < 0.15, "area {:?}", p.area_mm2);
+        assert!(
+            (p.area_mm2.unwrap() - 15.7).abs() < 0.15,
+            "area {:?}",
+            p.area_mm2
+        );
         assert_eq!(p.power_mw, 590.0);
     }
 
@@ -96,7 +100,11 @@ mod tests {
         let e = AcceleratorSpec::new("Eyeriss", TechNode::NM65, 200.0, Some(12.25), 236.0);
         let p = project(&e, TechNode::NM28);
         assert!((p.freq_mhz - 464.0).abs() < 2.0, "freq {}", p.freq_mhz);
-        assert!((p.area_mm2.unwrap() - 2.27).abs() < 0.03, "area {:?}", p.area_mm2);
+        assert!(
+            (p.area_mm2.unwrap() - 2.27).abs() < 0.03,
+            "area {:?}",
+            p.area_mm2
+        );
         assert_eq!(p.power_mw, 236.0);
     }
 

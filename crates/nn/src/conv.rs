@@ -36,10 +36,16 @@ impl ConvGeometry {
         let we = w + 2 * self.padding;
         if he < self.kernel || we < self.kernel || self.stride == 0 {
             return Err(TensorError::InvalidArgument {
-                message: format!("kernel {}x{} does not fit input {h}x{w}", self.kernel, self.kernel),
+                message: format!(
+                    "kernel {}x{} does not fit input {h}x{w}",
+                    self.kernel, self.kernel
+                ),
             });
         }
-        Ok(((he - self.kernel) / self.stride + 1, (we - self.kernel) / self.stride + 1))
+        Ok((
+            (he - self.kernel) / self.stride + 1,
+            (we - self.kernel) / self.stride + 1,
+        ))
     }
 
     /// Rows of the im2col matrix: `f² · C_in` (paper Fig. 3).
@@ -102,7 +108,12 @@ pub fn im2col(x: &Tensor<f32>, geo: &ConvGeometry) -> Result<Tensor<f32>> {
 /// # Errors
 ///
 /// Returns shape errors if `cols` does not match the geometry.
-pub fn col2im(cols_mat: &Tensor<f32>, geo: &ConvGeometry, h: usize, w: usize) -> Result<Tensor<f32>> {
+pub fn col2im(
+    cols_mat: &Tensor<f32>,
+    geo: &ConvGeometry,
+    h: usize,
+    w: usize,
+) -> Result<Tensor<f32>> {
     let (ho, wo) = geo.output_hw(h, w)?;
     if cols_mat.dims() != [geo.patch_len(), ho * wo] {
         return Err(TensorError::ShapeMismatch {
@@ -161,10 +172,9 @@ pub fn conv2d_direct(
                             let ix = (ox * geo.stride + kx) as isize - pad;
                             if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
                                 acc += x.data()[(c * h + iy as usize) * w + ix as usize]
-                                    * kernel.data()
-                                        [((co * geo.in_channels + c) * geo.kernel + ky)
-                                            * geo.kernel
-                                            + kx];
+                                    * kernel.data()[((co * geo.in_channels + c) * geo.kernel + ky)
+                                        * geo.kernel
+                                        + kx];
                             }
                         }
                     }
@@ -333,8 +343,8 @@ pub struct TtConv2d {
 
 #[derive(Debug, Clone)]
 struct TtConvCache {
-    cols: Vec<Tensor<f32>>,       // per-sample im2col (patch-major: [H'W', f²C])
-    tt: Vec<TtLayerCache>,        // per-sample TT caches
+    cols: Vec<Tensor<f32>>, // per-sample im2col (patch-major: [H'W', f²C])
+    tt: Vec<TtLayerCache>,  // per-sample TT caches
     input_hw: (usize, usize),
 }
 
@@ -464,8 +474,7 @@ impl Layer for TtConv2d {
                     self.grad_bias.data_mut()[co] += g;
                 }
             }
-            let (gcols, gcores) =
-                tt_layer_backward(&self.cores, &self.shape, &cache.tt[bi], &gy)?;
+            let (gcols, gcores) = tt_layer_backward(&self.cores, &self.shape, &cache.tt[bi], &gy)?;
             for (acc, g) in self.grad_cores.iter_mut().zip(&gcores) {
                 acc.axpy(1.0, g)?;
             }

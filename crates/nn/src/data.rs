@@ -285,8 +285,10 @@ mod tests {
         standardize(&mut d.features);
         let (n, dim) = (d.len(), 4);
         for j in 0..dim {
-            let mean: f64 =
-                (0..n).map(|i| d.features.data()[i * dim + j] as f64).sum::<f64>() / n as f64;
+            let mean: f64 = (0..n)
+                .map(|i| d.features.data()[i * dim + j] as f64)
+                .sum::<f64>()
+                / n as f64;
             let var: f64 = (0..n)
                 .map(|i| (d.features.data()[i * dim + j] as f64 - mean).powi(2))
                 .sum::<f64>()

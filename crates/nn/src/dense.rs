@@ -106,9 +106,12 @@ impl Layer for Dense {
     }
 
     fn backward(&mut self, grad_out: &Tensor<f32>) -> Result<Tensor<f32>> {
-        let x = self.cached_input.as_ref().ok_or(TensorError::InvalidArgument {
-            message: "backward called before forward".into(),
-        })?;
+        let x = self
+            .cached_input
+            .as_ref()
+            .ok_or(TensorError::InvalidArgument {
+                message: "backward called before forward".into(),
+            })?;
         if grad_out.ndim() != 2 || grad_out.dims()[1] != self.out_features() {
             return Err(TensorError::ShapeMismatch {
                 left: grad_out.dims().to_vec(),
@@ -140,11 +143,7 @@ mod tests {
     use tie_tensor::init;
 
     /// Central-difference gradient check utility shared by layer tests.
-    pub(crate) fn check_input_gradient<L: Layer>(
-        layer: &mut L,
-        x: &Tensor<f32>,
-        tol: f64,
-    ) {
+    pub(crate) fn check_input_gradient<L: Layer>(layer: &mut L, x: &Tensor<f32>, tol: f64) {
         let y = layer.forward(x).unwrap();
         // Loss = 0.5 Σ y², so dL/dy = y.
         let gx = layer.backward(&y).unwrap();

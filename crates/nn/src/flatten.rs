@@ -33,9 +33,12 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_out: &Tensor<f32>) -> Result<Tensor<f32>> {
-        let dims = self.cached_dims.clone().ok_or(TensorError::InvalidArgument {
-            message: "backward called before forward".into(),
-        })?;
+        let dims = self
+            .cached_dims
+            .clone()
+            .ok_or(TensorError::InvalidArgument {
+                message: "backward called before forward".into(),
+            })?;
         grad_out.reshaped(dims)
     }
 

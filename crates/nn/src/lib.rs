@@ -45,14 +45,16 @@ pub mod zoo;
 
 pub use activations::{Relu, Sigmoid, Tanh};
 pub use adam::Adam;
-pub use flatten::Flatten;
 pub use conv::{Conv2d, ConvGeometry, TtConv2d};
 pub use dense::Dense;
+pub use flatten::Flatten;
 pub use layer::{Layer, Trainable};
 pub use loss::{accuracy, mse_loss, softmax_cross_entropy, LossValue};
 pub use network::Sequential;
 pub use optimizer::Sgd;
 pub use pool::MaxPool2d;
-pub use tt_dense::{tt_layer_backward, tt_layer_forward, TtDense, TtLayerCache};
+pub use tt_dense::{
+    tt_layer_backward, tt_layer_forward, tt_layer_forward_fused, TtDense, TtLayerCache,
+};
 
 pub use tie_tensor::{Result, TensorError};

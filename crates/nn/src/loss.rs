@@ -26,7 +26,12 @@ pub fn mse_loss(pred: &Tensor<f32>, target: &Tensor<f32>) -> Result<LossValue> {
     }
     let n = pred.num_elements() as f64;
     let diff = pred.sub(target)?;
-    let loss = diff.data().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() / n;
+    let loss = diff
+        .data()
+        .iter()
+        .map(|&v| (v as f64) * (v as f64))
+        .sum::<f64>()
+        / n;
     let grad = diff.scaled(2.0 / n as f32);
     Ok(LossValue { loss, grad })
 }
@@ -160,8 +165,7 @@ mod tests {
 
     #[test]
     fn accuracy_counts_argmax_hits() {
-        let logits =
-            Tensor::<f32>::from_vec(vec![2, 2], vec![0.9, 0.1, 0.2, 0.8]).unwrap();
+        let logits = Tensor::<f32>::from_vec(vec![2, 2], vec![0.9, 0.1, 0.2, 0.8]).unwrap();
         assert_eq!(accuracy(&logits, &[0, 1]), 1.0);
         assert_eq!(accuracy(&logits, &[1, 1]), 0.5);
     }

@@ -117,11 +117,7 @@ mod tests {
         net.push(Dense::new(&mut rng, 2, 16));
         net.push(Relu::new());
         net.push(Dense::new(&mut rng, 16, 2));
-        let x = Tensor::<f32>::from_vec(
-            vec![4, 2],
-            vec![0., 0., 0., 1., 1., 0., 1., 1.],
-        )
-        .unwrap();
+        let x = Tensor::<f32>::from_vec(vec![4, 2], vec![0., 0., 0., 1., 1., 0., 1., 1.]).unwrap();
         let labels = [0usize, 1, 1, 0];
         let mut opt = Sgd::with_momentum(0.1, 0.9);
         let mut final_loss = f64::INFINITY;

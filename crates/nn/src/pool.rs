@@ -24,7 +24,10 @@ impl MaxPool2d {
     ///
     /// Panics if `window` or `stride` is zero.
     pub fn new(window: usize, stride: usize) -> Self {
-        assert!(window > 0 && stride > 0, "window and stride must be nonzero");
+        assert!(
+            window > 0 && stride > 0,
+            "window and stride must be nonzero"
+        );
         MaxPool2d {
             window,
             stride,
@@ -38,7 +41,10 @@ impl MaxPool2d {
                 message: format!("pool window {} does not fit input {h}x{w}", self.window),
             });
         }
-        Ok(((h - self.window) / self.stride + 1, (w - self.window) / self.stride + 1))
+        Ok((
+            (h - self.window) / self.stride + 1,
+            (w - self.window) / self.stride + 1,
+        ))
     }
 }
 
@@ -108,7 +114,10 @@ impl Layer for MaxPool2d {
     }
 
     fn describe(&self) -> String {
-        format!("maxpool {}x{} stride {}", self.window, self.window, self.stride)
+        format!(
+            "maxpool {}x{} stride {}",
+            self.window, self.window, self.stride
+        )
     }
 }
 
@@ -148,11 +157,8 @@ mod tests {
     fn overlapping_windows_accumulate_gradient() {
         let mut p = MaxPool2d::new(2, 1);
         // Single peak in the middle wins all four overlapping windows.
-        let x = Tensor::<f32>::from_vec(
-            vec![1, 1, 3, 3],
-            vec![0., 0., 0., 0., 9., 0., 0., 0., 0.],
-        )
-        .unwrap();
+        let x = Tensor::<f32>::from_vec(vec![1, 1, 3, 3], vec![0., 0., 0., 0., 9., 0., 0., 0., 0.])
+            .unwrap();
         let y = p.forward(&x).unwrap();
         assert!(y.data().iter().all(|&v| v == 9.0));
         let g = Tensor::<f32>::filled(vec![1, 1, 2, 2], 1.0).unwrap();

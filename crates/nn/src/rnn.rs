@@ -121,7 +121,14 @@ impl InputProjection {
                 grad.axpy(1.0, &dw)?;
                 matmul(dy, w)
             }
-            (InputProjection::Tt { shape, cores, grads }, ProjectionCache::Tt(tt_cache)) => {
+            (
+                InputProjection::Tt {
+                    shape,
+                    cores,
+                    grads,
+                },
+                ProjectionCache::Tt(tt_cache),
+            ) => {
                 let (dx, dcores) = tt_layer_backward(cores, shape, tt_cache, dy)?;
                 for (g, d) in grads.iter_mut().zip(&dcores) {
                     g.axpy(1.0, d)?;
@@ -520,7 +527,8 @@ impl RecurrentCell for GruCell {
         for b in 0..bsz {
             for j in 0..hsz {
                 let xb = b * 3 * hsz;
-                let rv = sigmoid(xw.data()[xb + j] + hw_rz.data()[b * 2 * hsz + j] + self.b.data()[j]);
+                let rv =
+                    sigmoid(xw.data()[xb + j] + hw_rz.data()[b * 2 * hsz + j] + self.b.data()[j]);
                 let zv = sigmoid(
                     xw.data()[xb + hsz + j]
                         + hw_rz.data()[b * 2 * hsz + hsz + j]
@@ -567,7 +575,11 @@ impl RecurrentCell for GruCell {
         for b in 0..bsz {
             for j in 0..hsz {
                 let idx = b * hsz + j;
-                let (rv, zv, nv) = (cache.r.data()[idx], cache.z.data()[idx], cache.n.data()[idx]);
+                let (rv, zv, nv) = (
+                    cache.r.data()[idx],
+                    cache.z.data()[idx],
+                    cache.n.data()[idx],
+                );
                 let dh = grad.dh.data()[idx];
                 let dz = dh * (cache.h_in.data()[idx] - nv);
                 let dn = dh * (1.0 - zv);
@@ -768,9 +780,8 @@ mod tests {
                 sp[t].data_mut()[i] += eps;
                 let mut sm = seq.clone();
                 sm[t].data_mut()[i] -= eps;
-                let numeric =
-                    (lstm_loss(&mut cell, &sp, bsz) - lstm_loss(&mut cell, &sm, bsz))
-                        / (2.0 * eps as f64);
+                let numeric = (lstm_loss(&mut cell, &sp, bsz) - lstm_loss(&mut cell, &sm, bsz))
+                    / (2.0 * eps as f64);
                 let analytic = dxs[t].data()[i] as f64;
                 assert!(
                     (numeric - analytic).abs() <= 2e-2 * (1.0 + numeric.abs()),

@@ -1,8 +1,10 @@
 use crate::layer::{Layer, Trainable};
+use tie_core::indexmap::{assemble_dest_map, stage_dest_map};
 use tie_core::transform::{
     assemble_output_gather, fold_core, prepare_input_scatter, unfold_core, TransformMap,
 };
-use tie_tensor::linalg::{matmul, matmul_nt, matmul_tn};
+use tie_core::{Activation, InferencePlan};
+use tie_tensor::linalg::{gemm_into_mapped, gemm_into_mapped_fused, matmul, matmul_nt, matmul_tn};
 use tie_tensor::{Result, Tensor, TensorError};
 use tie_tt::{TtMatrix, TtShape};
 
@@ -82,7 +84,123 @@ pub fn tt_layer_forward(
             y.data_mut()[b * m + i] = v.data()[src * bsz + b];
         }
     }
-    Ok((y, TtLayerCache { stage_inputs, batch: bsz }))
+    Ok((
+        y,
+        TtLayerCache {
+            stage_inputs,
+            batch: bsz,
+        },
+    ))
+}
+
+/// [`tt_layer_forward`] with the bias and activation **fused into the
+/// final stage's GEMM write loop** — the TIE PE's one-pass output scheme.
+/// Every stage GEMM scatters straight into the next stage's layout through
+/// the composed [`tie_core::indexmap`] map (no transform pass), and the
+/// `h = 1` stage applies `bias` + `activation` at the finished accumulator
+/// while assembling the output, so the separate bias/activation sweep over
+/// `Y` no longer exists. One transpose converts the assembled element-major
+/// codes to the layer's batch-major `[B, M]`.
+///
+/// Per output element the scalar arithmetic (and its order) is identical
+/// to [`tt_layer_forward`] followed by a separate `+ bias` / ReLU pass, so
+/// outputs and the backward cache are **bit-identical** to that
+/// composition.
+///
+/// # Errors
+///
+/// Returns shape errors for mismatched inputs or a bias that is not `M`
+/// elements.
+pub fn tt_layer_forward_fused(
+    cores: &[Tensor<f32>],
+    shape: &TtShape,
+    x: &Tensor<f32>,
+    bias: Option<&[f32]>,
+    activation: Activation,
+) -> Result<(Tensor<f32>, TtLayerCache)> {
+    let (n, m, d) = (shape.num_cols(), shape.num_rows(), shape.ndim());
+    if x.ndim() != 2 || x.dims()[1] != n {
+        return Err(TensorError::ShapeMismatch {
+            left: x.dims().to_vec(),
+            right: vec![0, n],
+        });
+    }
+    if let Some(bias) = bias {
+        if bias.len() != m {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![bias.len()],
+                right: vec![m],
+            });
+        }
+    }
+    let bsz = x.dims()[0];
+    let gtildes: Vec<Tensor<f32>> = cores.iter().map(unfold_core).collect::<Result<_>>()?;
+    let plan = InferencePlan::new(shape)?.with_activation(activation);
+    // Batched prepare (Eqn. (8)): X' with batch inner-most.
+    let scatter = prepare_input_scatter(shape);
+    let n_d = shape.col_modes[d - 1];
+    let mut v = Tensor::<f32>::zeros(vec![n_d, (n / n_d) * bsz]);
+    for b in 0..bsz {
+        let row = x.row(b);
+        for (j, &dst) in scatter.iter().enumerate() {
+            v.data_mut()[dst * bsz + b] = row[j];
+        }
+    }
+    let mut stage_inputs = Vec::with_capacity(d);
+    // Assembled element-major M × bsz output; transposed to [B, M] below.
+    let mut assembled = vec![0.0f32; m * bsz];
+    for (idx, h) in (1..=d).rev().enumerate() {
+        let stage = &plan.stages()[idx];
+        let (rows, k, cols) = (stage.gtilde_rows, stage.gtilde_cols, stage.v_cols);
+        stage_inputs.push(v.clone());
+        if h >= 2 {
+            // The GEMM's write loop evaluates the composed Transform map:
+            // codes land directly in the next stage's V' layout.
+            let map = stage_dest_map(shape, h)?;
+            let next = &plan.stages()[idx + 1];
+            let mut out = Tensor::<f32>::zeros(vec![next.gtilde_cols, next.v_cols * bsz]);
+            gemm_into_mapped(
+                gtildes[h - 1].data(),
+                &v.data()[..k * cols * bsz],
+                out.data_mut(),
+                rows,
+                k,
+                cols,
+                bsz,
+                &map,
+            )?;
+            v = out;
+        } else {
+            // Final stage: bias + activation fuse into the same store that
+            // assembles the output.
+            let map = assemble_dest_map(shape)?;
+            gemm_into_mapped_fused(
+                gtildes[h - 1].data(),
+                &v.data()[..k * cols * bsz],
+                &mut assembled,
+                rows,
+                k,
+                cols,
+                bsz,
+                &map,
+                bias,
+                activation,
+            )?;
+        }
+    }
+    let mut y = Tensor::zeros(vec![bsz, m]);
+    for b in 0..bsz {
+        for o in 0..m {
+            y.data_mut()[b * m + o] = assembled[o * bsz + b];
+        }
+    }
+    Ok((
+        y,
+        TtLayerCache {
+            stage_inputs,
+            batch: bsz,
+        },
+    ))
 }
 
 /// Functional TT-layer backward: given upstream gradients `grad_y [B, M]`
@@ -176,6 +294,11 @@ pub struct TtDense {
     grad_cores: Vec<Tensor<f32>>,
     grad_bias: Tensor<f32>,
     cache: Option<TtLayerCache>,
+    /// Activation fused into the final stage's GEMM write loop.
+    activation: Activation,
+    /// Post-activation output cached when `activation` needs it for the
+    /// backward mask (`ReLU`: `1[y > 0]`).
+    out: Option<Tensor<f32>>,
 }
 
 impl TtDense {
@@ -205,6 +328,8 @@ impl TtDense {
             grad_cores,
             grad_bias: Tensor::zeros(vec![shape.num_rows()]),
             cache: None,
+            activation: Activation::Identity,
+            out: None,
         }
     }
 
@@ -225,7 +350,25 @@ impl TtDense {
             grad_cores,
             grad_bias: Tensor::zeros(vec![m]),
             cache: None,
+            activation: Activation::Identity,
+            out: None,
         }
+    }
+
+    /// Selects the activation fused into the final TT stage's GEMM write
+    /// loop (builder style). The backward pass masks gradients through it
+    /// (`ReLU`: `1[y > 0]`), so the layer trains exactly like
+    /// TT-dense-then-activation — without the separate activation sweep in
+    /// the forward pass.
+    #[must_use]
+    pub fn with_activation(mut self, activation: Activation) -> Self {
+        self.activation = activation;
+        self
+    }
+
+    /// The fused activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
     }
 
     /// The layer's TT layout.
@@ -259,14 +402,17 @@ impl Trainable for TtDense {
 
 impl Layer for TtDense {
     fn forward(&mut self, x: &Tensor<f32>) -> Result<Tensor<f32>> {
-        let (mut y, cache) = tt_layer_forward(&self.cores, &self.shape, x)?;
-        let (bsz, m) = (y.dims()[0], y.dims()[1]);
-        for b in 0..bsz {
-            for o in 0..m {
-                y.data_mut()[b * m + o] += self.bias.data()[o];
-            }
-        }
+        // Bias (and the optional activation) ride the final stage's GEMM
+        // write loop — no second pass over the output.
+        let (y, cache) = tt_layer_forward_fused(
+            &self.cores,
+            &self.shape,
+            x,
+            Some(self.bias.data()),
+            self.activation,
+        )?;
         self.cache = Some(cache);
+        self.out = (self.activation == Activation::Relu).then(|| y.clone());
         Ok(y)
     }
 
@@ -274,15 +420,32 @@ impl Layer for TtDense {
         let cache = self.cache.as_ref().ok_or(TensorError::InvalidArgument {
             message: "backward called before forward".into(),
         })?;
-        let (grad_x, grad_cores) =
-            tt_layer_backward(&self.cores, &self.shape, cache, grad_out)?;
+        // Gradient through the fused activation first: ReLU's derivative
+        // from its own output is `1[y > 0]`.
+        let masked;
+        let grad_z = if self.activation == Activation::Relu {
+            let y = self.out.as_ref().ok_or(TensorError::InvalidArgument {
+                message: "backward called before forward".into(),
+            })?;
+            let mut g = grad_out.clone();
+            for (gv, &yv) in g.data_mut().iter_mut().zip(y.data()) {
+                if yv <= 0.0 {
+                    *gv = 0.0;
+                }
+            }
+            masked = g;
+            &masked
+        } else {
+            grad_out
+        };
+        let (grad_x, grad_cores) = tt_layer_backward(&self.cores, &self.shape, cache, grad_z)?;
         for (g, dg) in self.grad_cores.iter_mut().zip(&grad_cores) {
             g.axpy(1.0, dg)?;
         }
-        let (bsz, m) = (grad_out.dims()[0], grad_out.dims()[1]);
+        let (bsz, m) = (grad_z.dims()[0], grad_z.dims()[1]);
         for b in 0..bsz {
             for o in 0..m {
-                self.grad_bias.data_mut()[o] += grad_out.data()[b * m + o];
+                self.grad_bias.data_mut()[o] += grad_z.data()[b * m + o];
             }
         }
         Ok(grad_x)
@@ -373,7 +536,8 @@ mod tests {
         layer.backward(&y).unwrap();
         let analytic: Vec<Tensor<f32>> = layer.grad_cores.clone();
         let eps = 1e-2f32;
-        #[allow(clippy::needless_range_loop)] // k indexes layer.cores (mutated) and analytic together
+        #[allow(clippy::needless_range_loop)]
+        // k indexes layer.cores (mutated) and analytic together
         for k in 0..layer.cores.len() {
             for i in 0..layer.cores[k].num_elements() {
                 let orig = layer.cores[k].data()[i];
@@ -420,8 +584,12 @@ mod tests {
         for _ in 0..300 {
             let out = layer.forward(&xs).unwrap();
             let diff = out.sub(&ys).unwrap();
-            let loss: f64 =
-                diff.data().iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>() / 16.0;
+            let loss: f64 = diff
+                .data()
+                .iter()
+                .map(|&v| (v as f64) * (v as f64))
+                .sum::<f64>()
+                / 16.0;
             first_loss.get_or_insert(loss);
             last_loss = loss;
             layer.zero_grads();
@@ -460,14 +628,96 @@ mod tests {
     }
 
     #[test]
+    fn fused_forward_is_bitwise_equal_to_unfused_plus_separate_pass() {
+        let mut rng = ChaCha8Rng::seed_from_u64(107);
+        let shape = small_shape();
+        let layer = TtDense::new(&mut rng, &shape);
+        let bias: Vec<f32> = (0..shape.num_rows())
+            .map(|o| (o as f32 - 2.5) * 0.3)
+            .collect();
+        let x: Tensor<f32> = init::uniform(&mut rng, vec![4, 6], 1.0);
+        for act in [Activation::Identity, Activation::Relu] {
+            let (fused, fused_cache) =
+                tt_layer_forward_fused(&layer.cores, &shape, &x, Some(&bias), act).unwrap();
+            // Oracle: the unfused forward, then bias and activation as a
+            // separate output pass.
+            let (mut want, cache) = tt_layer_forward(&layer.cores, &shape, &x).unwrap();
+            let m = shape.num_rows();
+            for b in 0..4 {
+                for (o, &bo) in bias.iter().enumerate() {
+                    let mut v = want.data()[b * m + o] + bo;
+                    if act == Activation::Relu {
+                        v = if v > 0.0 { v } else { 0.0 };
+                    }
+                    want.data_mut()[b * m + o] = v;
+                }
+            }
+            for (got, want) in fused.data().iter().zip(want.data()) {
+                assert_eq!(got.to_bits(), want.to_bits(), "act {act:?}");
+            }
+            // The cache feeding backward must be identical too.
+            assert_eq!(fused_cache.stage_inputs.len(), cache.stage_inputs.len());
+            for (a, b) in fused_cache.stage_inputs.iter().zip(&cache.stage_inputs) {
+                for (va, vb) in a.data().iter().zip(b.data()) {
+                    assert_eq!(va.to_bits(), vb.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_relu_backward_matches_masked_identity_backward() {
+        let mut rng = ChaCha8Rng::seed_from_u64(108);
+        let shape = small_shape();
+        let mut plain = TtDense::new(&mut rng, &shape);
+        for (i, v) in plain.bias.data_mut().iter_mut().enumerate() {
+            *v = (i as f32 - 2.0) * 0.4;
+        }
+        let mut fused = plain.clone().with_activation(Activation::Relu);
+        assert_eq!(fused.activation(), Activation::Relu);
+
+        let x: Tensor<f32> = init::uniform(&mut rng, vec![3, 6], 1.0);
+        let y_plain = plain.forward(&x).unwrap();
+        let y_fused = fused.forward(&x).unwrap();
+        // ReLU must have actually clipped something for the mask to matter.
+        assert!(y_plain.data().iter().any(|&v| v <= 0.0));
+        for (yf, yp) in y_fused.data().iter().zip(y_plain.data()) {
+            let want = if *yp > 0.0 { *yp } else { 0.0 };
+            assert_eq!(yf.to_bits(), want.to_bits());
+        }
+
+        let gout: Tensor<f32> = init::uniform(&mut rng, vec![3, shape.num_rows()], 1.0);
+        // Oracle: mask the upstream gradient by 1[y > 0] and push it
+        // through the Identity layer.
+        let mut masked = gout.clone();
+        for (g, &y) in masked.data_mut().iter_mut().zip(y_plain.data()) {
+            if y <= 0.0 {
+                *g = 0.0;
+            }
+        }
+        plain.zero_grads();
+        fused.zero_grads();
+        let gx_plain = plain.backward(&masked).unwrap();
+        let gx_fused = fused.backward(&gout).unwrap();
+        for (a, b) in gx_fused.data().iter().zip(gx_plain.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in fused.grad_bias.data().iter().zip(plain.grad_bias.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (gf, gp) in fused.grad_cores.iter().zip(&plain.grad_cores) {
+            for (a, b) in gf.data().iter().zip(gp.data()) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
     fn stored_params_reflect_compression() {
         let mut rng = ChaCha8Rng::seed_from_u64(106);
         let shape = TtShape::uniform_rank(vec![4, 4, 4], vec![4, 4, 4], 2).unwrap();
         let mut layer = TtDense::new(&mut rng, &shape);
         assert!(layer.stored_params() < shape.dense_params());
-        assert_eq!(
-            layer.num_params(),
-            shape.num_params() + shape.num_rows()
-        );
+        assert_eq!(layer.num_params(), shape.num_params() + shape.num_rows());
     }
 }

@@ -115,13 +115,38 @@ pub fn cifar_cnn_tt_convs() -> Vec<TtConvConfig> {
     };
     vec![
         // layer 2: m=[3,4,4,4], n=[3,4,4,4], r=[22,20,20]
-        mk("conv2", vec![3, 4, 4, 4], vec![3, 4, 4, 4], vec![1, 22, 20, 20, 1]),
+        mk(
+            "conv2",
+            vec![3, 4, 4, 4],
+            vec![3, 4, 4, 4],
+            vec![1, 22, 20, 20, 1],
+        ),
         // layer 3: m=[3,4,8,4], n=[3,4,4,4], r=[27,22,22]
-        mk("conv3", vec![3, 4, 8, 4], vec![3, 4, 4, 4], vec![1, 27, 22, 22, 1]),
+        mk(
+            "conv3",
+            vec![3, 4, 8, 4],
+            vec![3, 4, 4, 4],
+            vec![1, 27, 22, 22, 1],
+        ),
         // layers 4-6: m=[3,4,8,4], n=[3,4,8,4], r=[23,23,23]
-        mk("conv4", vec![3, 4, 8, 4], vec![3, 4, 8, 4], vec![1, 23, 23, 23, 1]),
-        mk("conv5", vec![3, 4, 8, 4], vec![3, 4, 8, 4], vec![1, 23, 23, 23, 1]),
-        mk("conv6", vec![3, 4, 8, 4], vec![3, 4, 8, 4], vec![1, 23, 23, 23, 1]),
+        mk(
+            "conv4",
+            vec![3, 4, 8, 4],
+            vec![3, 4, 8, 4],
+            vec![1, 23, 23, 23, 1],
+        ),
+        mk(
+            "conv5",
+            vec![3, 4, 8, 4],
+            vec![3, 4, 8, 4],
+            vec![1, 23, 23, 23, 1],
+        ),
+        mk(
+            "conv6",
+            vec![3, 4, 8, 4],
+            vec![3, 4, 8, 4],
+            vec![1, 23, 23, 23, 1],
+        ),
     ]
 }
 

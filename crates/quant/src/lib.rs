@@ -29,10 +29,11 @@
 //! # }
 //! ```
 
-// `deny`, not `forbid`: the vectorized `qmatmul` uses the same runtime
-// `#[target_feature]` dispatch as the float GEMMs in `tie-tensor`, whose
-// call sites carry narrowly scoped `#[allow(unsafe_code)]` + SAFETY
-// comments. Everything else in the crate stays safe code.
+// Since the Tile/Stage/Global refactor the vectorized `qmatmul` is an
+// instantiation of `tie_tensor::tile`'s streaming stage (which owns the
+// sanctioned `#[target_feature]` / scatter-store unsafety); this crate
+// itself contains **zero** `unsafe` code, so `forbid` would also hold —
+// `deny` is kept for symmetry with the rest of the workspace.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -47,7 +48,8 @@ pub use accumulator::Accumulator;
 pub use format::QFormat;
 pub use matmul::{
     alignment, qmatmul, qmatmul_into, qmatmul_naive, qmatmul_raw, qmatmul_raw_mapped,
-    qmatmul_raw_portable, QMatmulReport,
+    qmatmul_raw_mapped_relu, qmatmul_raw_portable, qmatmul_raw_relu, qmatmul_raw_relu_portable,
+    QMatmulReport, QuantPath,
 };
 pub use qtensor::QTensor;
 pub use stats::error_stats;

@@ -5,44 +5,51 @@
 //! Saturation makes the fixed-point datapath non-associative: the 24-bit
 //! register clamps *mid-accumulation*, so every output's MAC sequence must
 //! stay in ascending `k` for any restructured kernel to reproduce the
-//! per-output reference ([`qmatmul_naive`]) bit-for-bit. The vectorized
-//! kernel here keeps that invariant by construction:
+//! per-output reference ([`qmatmul_naive`]) bit-for-bit. Since the
+//! Tile/Stage/Global refactor the kernel is an instantiation of
+//! `tie_tensor::tile`'s streaming stage with the [`QuantPath`] datapath,
+//! which keeps that invariant by construction:
 //!
 //! * outputs are produced in column tiles of `TJ` lanes per row; each lane
 //!   is one independent output accumulated over the **full** `k` range in
-//!   ascending order (no `k`-blocking — partial accumulator state can
-//!   never be merged across blocks without changing clamp points),
+//!   ascending order (the streaming stage never `k`-blocks — partial
+//!   accumulator state can never be merged across blocks without changing
+//!   clamp points),
 //! * each lane emulates the [`Accumulator`] arithmetic in pure `i32`:
 //!   widen the `i16×i16` product, round-shift by `prod_shift`, add, clamp
 //!   to the 24-bit range with a sticky saturation flag, and finally
 //!   round-shift by `out_shift` into a saturating 16-bit code. All of it
-//!   fits `i32` (see the proof on [`qmm_body`]), so the lanes vectorize.
+//!   fits `i32` (see the proof on [`QuantPath`]), so the lanes vectorize.
 //!
 //! Because per-output arithmetic is independent of the tile width, *any*
 //! `TJ` produces identical codes and reports — which is what makes the
-//! runtime AVX-512/AVX2/portable dispatch (same idiom as the float GEMMs
-//! in `tie_tensor::linalg`) bit-safe. Row slabs split across the
+//! runtime AVX-512/AVX2/portable dispatch (`tie_tensor::tile::IntAuto`,
+//! the same idiom as the float GEMMs) bit-safe. Row spans split across the
 //! persistent pool exactly like the float kernels; pool stealing moves
-//! whole slabs, never the MAC order inside one, so results are identical
+//! whole spans, never the MAC order inside one, so results are identical
 //! at any `TIE_THREADS` / pool size.
 //!
 //! The per-output state is two fixed-size stack arrays (`[i32; TJ]` values
-//! and lane flags) living in the pool job frame — steady state performs
-//! **zero heap allocation** (the counting-allocator suite pins this).
+//! and lane flags, structure-of-arrays for the vectorizer) living in the
+//! pool job frame — steady state performs **zero heap allocation** (the
+//! counting-allocator suite pins this).
+//!
+//! Epilogues ([`Requant`], [`RequantRelu`]) apply at the clipped `i32`
+//! code *before* narrowing, after both saturation counters have been
+//! taken — so [`qmatmul_raw_relu`] reports are bit-identical to
+//! requant-then-relu run separately.
 
 use crate::{Accumulator, QFormat, QTensor};
-use std::sync::atomic::{AtomicU64, Ordering};
 use tie_tensor::linalg::DestMap;
-use tie_tensor::{parallel, Result, TensorError};
+use tie_tensor::tile::{
+    stream_gemm, Datapath, Dest, Epilogue, IntAuto, Mapped, PortableTile, Requant, RequantRelu,
+    RowMajor, SatSink, TileKernel,
+};
+use tie_tensor::{Result, TensorError};
 
-/// Portable column-tile width (vectorizes to 128-bit lanes).
+/// Portable column-tile width (vectorizes to 128-bit lanes) — the pinned
+/// instantiation behind [`qmatmul_raw_portable`].
 const QTILE_J: usize = 8;
-/// AVX2 column-tile width (256-bit integer lanes).
-#[cfg(target_arch = "x86_64")]
-const QTILE_J_WIDE: usize = 16;
-/// AVX-512 column-tile width.
-#[cfg(target_arch = "x86_64")]
-const QTILE_J_512: usize = 32;
 
 /// Saturation diagnostics of one quantized matrix multiply.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -88,6 +95,146 @@ pub fn alignment(a: QFormat, b: QFormat, out: QFormat) -> (u32, u32) {
     let prod_shift = prod_frac - acc_frac;
     let out_shift = acc_frac.saturating_sub(out.frac_bits());
     (prod_shift, out_shift)
+}
+
+/// The saturating fixed-point datapath of the streaming tile stage — one
+/// `i32` lane per output, reproducing [`Accumulator::mac`] +
+/// [`Accumulator::to_i16`] exactly.
+///
+/// # Why pure `i32` lanes are exact
+///
+/// The reference accumulator adds in `i64` before clamping; these lanes
+/// add in `i32`, which is only valid because no intermediate can overflow:
+///
+/// * `prod = a·b` with `|a|,|b| ≤ 2^15` gives `|prod| ≤ 2^30`;
+/// * `prod + half` with `half = 2^(prod_shift−1) ≤ 2^29` stays below
+///   `2^31` (and `prod_shift > 0` implies `half ≤ 2^(30−8−1)` for any
+///   alignment produced by [`alignment`], far smaller);
+/// * the running value is always post-clamp, `|value| ≤ 2^23`, so
+///   `value + shifted` is bounded by `2^23 + 2^30 < 2^31 − 1`;
+/// * requantization adds `half ≤ 2^(out_shift−1)` to a value `≤ 2^23`.
+///
+/// So every `i32` add here equals the reference's `i64` add, and the
+/// subsequent clamp lands identically.
+///
+/// `x >> 0` is the identity and both halves are 0 then, so the shifts
+/// need no branch in the lane loop. Epilogues see the post-clip `i32`
+/// code (both saturation counters already taken); [`RequantRelu`]'s
+/// `max(0)` there equals `max(0)` on the narrowed `i16`.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantPath {
+    prod_shift: u32,
+    out_shift: u32,
+    prod_half: i32,
+    out_half: i32,
+}
+
+impl QuantPath {
+    /// Datapath for the given [`alignment`] shifts.
+    #[must_use]
+    pub fn new(prod_shift: u32, out_shift: u32) -> Self {
+        QuantPath {
+            prod_shift,
+            out_shift,
+            prod_half: if prod_shift > 0 {
+                1i32 << (prod_shift - 1)
+            } else {
+                0
+            },
+            out_half: if out_shift > 0 {
+                1i32 << (out_shift - 1)
+            } else {
+                0
+            },
+        }
+    }
+}
+
+impl Datapath for QuantPath {
+    type In = i16;
+    type Out = i16;
+    type Lane = i32;
+    type Sat = bool;
+    type EpiV = i32;
+    type Stats = (u64, u64);
+    type Sink = SatSink;
+
+    #[inline(always)]
+    fn lane_zero(self) -> i32 {
+        0
+    }
+    #[inline(always)]
+    fn sat_zero(self) -> bool {
+        false
+    }
+    #[inline(always)]
+    fn mac(self, lane: &mut i32, sat: &mut bool, a: i16, b: i16) {
+        let shifted = (a as i32 * b as i32 + self.prod_half) >> self.prod_shift;
+        let sum = *lane + shifted;
+        let clamped = sum.clamp(Accumulator::MIN, Accumulator::MAX);
+        *sat |= clamped != sum;
+        *lane = clamped;
+    }
+    #[inline(always)]
+    fn finish<E: Epilogue<i32>>(
+        self,
+        lane: i32,
+        sat: bool,
+        e: usize,
+        epi: &E,
+        stats: &mut (u64, u64),
+    ) -> i16 {
+        stats.0 += u64::from(sat);
+        let v = (lane + self.out_half) >> self.out_shift;
+        let clipped = v.clamp(i16::MIN as i32, i16::MAX as i32);
+        stats.1 += u64::from(clipped != v);
+        epi.apply(clipped, e) as i16
+    }
+    #[inline(always)]
+    fn stats_add(sink: &SatSink, stats: (u64, u64)) {
+        sink.add(stats.0, stats.1);
+    }
+    #[inline(always)]
+    fn stats_take(sink: SatSink) -> (u64, u64) {
+        sink.take()
+    }
+}
+
+/// Drives one quantized streaming GEMM and folds the saturation totals
+/// into a [`QMatmulReport`].
+#[allow(clippy::too_many_arguments)]
+fn qmm_stream<K: TileKernel, D: Dest, E: Epilogue<i32>>(
+    kern: K,
+    a: &[i16],
+    b: &[i16],
+    codes: &mut [i16],
+    m: usize,
+    k: usize,
+    n_mat: usize,
+    bsz: usize,
+    prod_shift: u32,
+    out_shift: u32,
+    dest: &D,
+    epi: &E,
+) -> QMatmulReport {
+    let (acc_saturations, out_saturations) = stream_gemm(
+        QuantPath::new(prod_shift, out_shift),
+        kern,
+        a,
+        b,
+        codes,
+        m,
+        k,
+        n_mat,
+        bsz,
+        dest,
+        epi,
+    );
+    QMatmulReport {
+        acc_saturations,
+        out_saturations,
+        outputs: (m * n_mat * bsz) as u64,
+    }
 }
 
 fn check_dims(a: &QTensor, b: &QTensor) -> Result<(usize, usize, usize)> {
@@ -136,11 +283,7 @@ fn check_dims(a: &QTensor, b: &QTensor) -> Result<(usize, usize, usize)> {
 /// # Ok(())
 /// # }
 /// ```
-pub fn qmatmul(
-    a: &QTensor,
-    b: &QTensor,
-    out_format: QFormat,
-) -> Result<(QTensor, QMatmulReport)> {
+pub fn qmatmul(a: &QTensor, b: &QTensor, out_format: QFormat) -> Result<(QTensor, QMatmulReport)> {
     let (m, _, n) = check_dims(a, b)?;
     let mut codes = vec![0i16; m * n];
     let report = qmatmul_into(a, b, out_format, &mut codes)?;
@@ -213,21 +356,60 @@ pub fn qmatmul_raw(
     assert_eq!(a.len(), m * k, "A is m×k");
     assert_eq!(b.len(), k * n, "B is k×n");
     assert_eq!(codes.len(), m * n, "C is m×n");
-    let acc_saturations = AtomicU64::new(0);
-    let out_saturations = AtomicU64::new(0);
-    let threads = parallel::threads_for(m * k * n, m);
-    parallel::for_each_row_slab(codes, m, n, threads, |row0, slab| {
-        let rows = slab.len() / n.max(1);
-        let a_slab = &a[row0 * k..(row0 + rows) * k];
-        let (acc_sat, out_sat) = qmm_block(rows, k, n, prod_shift, out_shift, a_slab, b, slab);
-        acc_saturations.fetch_add(acc_sat, Ordering::Relaxed);
-        out_saturations.fetch_add(out_sat, Ordering::Relaxed);
-    });
-    QMatmulReport {
-        acc_saturations: acc_saturations.into_inner(),
-        out_saturations: out_saturations.into_inner(),
-        outputs: (m * n) as u64,
-    }
+    qmm_stream(
+        IntAuto,
+        a,
+        b,
+        codes,
+        m,
+        k,
+        n,
+        1,
+        prod_shift,
+        out_shift,
+        &RowMajor::new(m, n),
+        &Requant,
+    )
+}
+
+/// [`qmatmul_raw`] with ReLU fused into the requantization epilogue:
+/// `codes = max(requant(A · B), 0)`, applied at the clipped `i32` code
+/// before narrowing. Codes equal [`qmatmul_raw`]-then-`max(0)` and the
+/// saturation report is **bit-identical** to [`qmatmul_raw`]'s — both
+/// counters are taken before the epilogue runs.
+///
+/// # Panics
+///
+/// Panics (via `assert!`) on slice-length mismatches.
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn qmatmul_raw_relu(
+    a: &[i16],
+    b: &[i16],
+    m: usize,
+    k: usize,
+    n: usize,
+    prod_shift: u32,
+    out_shift: u32,
+    codes: &mut [i16],
+) -> QMatmulReport {
+    assert_eq!(a.len(), m * k, "A is m×k");
+    assert_eq!(b.len(), k * n, "B is k×n");
+    assert_eq!(codes.len(), m * n, "C is m×n");
+    qmm_stream(
+        IntAuto,
+        a,
+        b,
+        codes,
+        m,
+        k,
+        n,
+        1,
+        prod_shift,
+        out_shift,
+        &RowMajor::new(m, n),
+        &RequantRelu,
+    )
 }
 
 /// [`qmatmul_raw`] pinned to the portable tile width, skipping the SIMD
@@ -250,22 +432,55 @@ pub fn qmatmul_raw_portable(
     assert_eq!(a.len(), m * k, "A is m×k");
     assert_eq!(b.len(), k * n, "B is k×n");
     assert_eq!(codes.len(), m * n, "C is m×n");
-    let acc_saturations = AtomicU64::new(0);
-    let out_saturations = AtomicU64::new(0);
-    let threads = parallel::threads_for(m * k * n, m);
-    parallel::for_each_row_slab(codes, m, n, threads, |row0, slab| {
-        let rows = slab.len() / n.max(1);
-        let a_slab = &a[row0 * k..(row0 + rows) * k];
-        let (acc_sat, out_sat) =
-            qmm_body::<QTILE_J>(rows, k, n, prod_shift, out_shift, a_slab, b, slab);
-        acc_saturations.fetch_add(acc_sat, Ordering::Relaxed);
-        out_saturations.fetch_add(out_sat, Ordering::Relaxed);
-    });
-    QMatmulReport {
-        acc_saturations: acc_saturations.into_inner(),
-        out_saturations: out_saturations.into_inner(),
-        outputs: (m * n) as u64,
-    }
+    qmm_stream(
+        PortableTile::<QTILE_J, 1>,
+        a,
+        b,
+        codes,
+        m,
+        k,
+        n,
+        1,
+        prod_shift,
+        out_shift,
+        &RowMajor::new(m, n),
+        &Requant,
+    )
+}
+
+/// [`qmatmul_raw_relu`] pinned to the portable tile width, skipping the
+/// SIMD dispatch — the fused-ReLU twin of [`qmatmul_raw_portable`], for
+/// the differential lattice.
+#[doc(hidden)]
+#[allow(clippy::too_many_arguments)]
+#[must_use]
+pub fn qmatmul_raw_relu_portable(
+    a: &[i16],
+    b: &[i16],
+    m: usize,
+    k: usize,
+    n: usize,
+    prod_shift: u32,
+    out_shift: u32,
+    codes: &mut [i16],
+) -> QMatmulReport {
+    assert_eq!(a.len(), m * k, "A is m×k");
+    assert_eq!(b.len(), k * n, "B is k×n");
+    assert_eq!(codes.len(), m * n, "C is m×n");
+    qmm_stream(
+        PortableTile::<QTILE_J, 1>,
+        a,
+        b,
+        codes,
+        m,
+        k,
+        n,
+        1,
+        prod_shift,
+        out_shift,
+        &RowMajor::new(m, n),
+        &RequantRelu,
+    )
 }
 
 /// [`qmatmul_raw`] with a fused destination-map write epilogue — the
@@ -275,7 +490,7 @@ pub fn qmatmul_raw_portable(
 ///
 /// `b` is `k × (n_mat·bsz)` with logical columns batch-inner; output
 /// element `(i, q·bsz + cb)` lands at `(map.row[i] + map.col[q])·bsz + cb`
-/// of `codes`. The lane arithmetic is [`qmm_body`] verbatim (same MAC
+/// of `codes`. The lane arithmetic is [`QuantPath`] verbatim (same MAC
 /// order, same clamp points), only the final store is redirected, so codes
 /// *and* the saturation report are bit-identical to [`qmatmul_raw`]
 /// followed by a permutation, at any tile width and pool size.
@@ -304,369 +519,65 @@ pub fn qmatmul_raw_mapped(
     assert_eq!(a.len(), m * k, "A is m×k");
     assert_eq!(b.len(), k * n, "B is k×(n_mat·bsz)");
     assert_eq!(codes.len(), m * n, "C is m×(n_mat·bsz)");
-    let acc_saturations = AtomicU64::new(0);
-    let out_saturations = AtomicU64::new(0);
-    let threads = parallel::threads_for(m * k * n, m);
-    let cp = SendPtr(codes.as_mut_ptr());
-    parallel::for_each_row_span(m, threads, |row0, rows| {
-        let (acc_sat, out_sat) = qmm_block_mapped(
-            row0, rows, k, n_mat, bsz, prod_shift, out_shift, a, b, cp.get(), map,
-        );
-        acc_saturations.fetch_add(acc_sat, Ordering::Relaxed);
-        out_saturations.fetch_add(out_sat, Ordering::Relaxed);
-    });
-    QMatmulReport {
-        acc_saturations: acc_saturations.into_inner(),
-        out_saturations: out_saturations.into_inner(),
-        outputs: (m * n) as u64,
-    }
+    qmm_stream(
+        IntAuto,
+        a,
+        b,
+        codes,
+        m,
+        k,
+        n_mat,
+        bsz,
+        prod_shift,
+        out_shift,
+        &Mapped::new(map),
+        &Requant,
+    )
 }
 
-/// Shareable raw code pointer for the mapped kernel's scatter stores.
-struct SendPtr(*mut i16);
-
-#[allow(unsafe_code)]
-// SAFETY: dereferenced only at offsets from a validated `DestMap`
-// bijection, with output rows partitioned across workers — no two threads
-// write the same element, and the caller's `&mut` outlives the dispatch.
-unsafe impl Send for SendPtr {}
-#[allow(unsafe_code)]
-// SAFETY: as above; shared references only hand out the raw pointer.
-unsafe impl Sync for SendPtr {}
-
-impl SendPtr {
-    fn get(&self) -> *mut i16 {
-        self.0
-    }
-}
-
-/// Runtime SIMD dispatch for the mapped quantized kernel — mirrors
-/// [`qmm_block`] so both kernels pick the same tile width on one CPU.
+/// [`qmatmul_raw_mapped`] with ReLU fused into the requantization epilogue
+/// (see [`qmatmul_raw_relu`]) — the quantized engines' final-stage path,
+/// which folds the inter-stage Transform *and* the activation into one
+/// store loop. Report bit-identical to [`qmatmul_raw_mapped`]'s.
+///
+/// # Panics
+///
+/// Panics (via `assert!`) on slice-length / map-extent mismatches.
 #[allow(clippy::too_many_arguments)]
-fn qmm_block_mapped(
-    row0: usize,
-    rows: usize,
+#[must_use]
+pub fn qmatmul_raw_mapped_relu(
+    a: &[i16],
+    b: &[i16],
+    m: usize,
     k: usize,
     n_mat: usize,
     bsz: usize,
     prod_shift: u32,
     out_shift: u32,
-    a: &[i16],
-    b: &[i16],
-    c: *mut i16,
+    codes: &mut [i16],
     map: &DestMap,
-) -> (u64, u64) {
-    #[cfg(target_arch = "x86_64")]
-    {
-        if std::arch::is_x86_feature_detected!("avx512f") {
-            // SAFETY: `avx512f` was just detected; the callee's scatter
-            // stores are in-bounds and disjoint by the map bijection.
-            #[allow(unsafe_code)]
-            return unsafe {
-                qmm_mapped_avx512(row0, rows, k, n_mat, bsz, prod_shift, out_shift, a, b, c, map)
-            };
-        }
-        if std::arch::is_x86_feature_detected!("avx2") {
-            // SAFETY: as above, for `avx2`.
-            #[allow(unsafe_code)]
-            return unsafe {
-                qmm_mapped_avx2(row0, rows, k, n_mat, bsz, prod_shift, out_shift, a, b, c, map)
-            };
-        }
-    }
-    qmm_body_mapped::<QTILE_J>(row0, rows, k, n_mat, bsz, prod_shift, out_shift, a, b, c, map)
-}
-
-/// AVX-512 instantiation of the mapped body.
-#[cfg(target_arch = "x86_64")]
-#[allow(unsafe_code)]
-#[allow(clippy::too_many_arguments)]
-#[target_feature(enable = "avx512f")]
-unsafe fn qmm_mapped_avx512(
-    row0: usize,
-    rows: usize,
-    k: usize,
-    n_mat: usize,
-    bsz: usize,
-    prod_shift: u32,
-    out_shift: u32,
-    a: &[i16],
-    b: &[i16],
-    c: *mut i16,
-    map: &DestMap,
-) -> (u64, u64) {
-    qmm_body_mapped::<QTILE_J_512>(row0, rows, k, n_mat, bsz, prod_shift, out_shift, a, b, c, map)
-}
-
-/// AVX2 instantiation of the mapped body.
-#[cfg(target_arch = "x86_64")]
-#[allow(unsafe_code)]
-#[allow(clippy::too_many_arguments)]
-#[target_feature(enable = "avx2")]
-unsafe fn qmm_mapped_avx2(
-    row0: usize,
-    rows: usize,
-    k: usize,
-    n_mat: usize,
-    bsz: usize,
-    prod_shift: u32,
-    out_shift: u32,
-    a: &[i16],
-    b: &[i16],
-    c: *mut i16,
-    map: &DestMap,
-) -> (u64, u64) {
-    qmm_body_mapped::<QTILE_J_WIDE>(row0, rows, k, n_mat, bsz, prod_shift, out_shift, a, b, c, map)
-}
-
-/// [`qmm_body`] with the final store redirected through the destination
-/// map: lane `j + t` (GEMM column `q·bsz + cb`) lands at
-/// `(row[i] + col[q])·bsz + cb`, with the `(q, cb)` odometer advanced by
-/// increment-and-wrap — one div/mod per tile, none per element. All
-/// accumulator arithmetic is identical to [`qmm_body`].
-#[allow(unsafe_code)]
-#[inline(always)]
-#[allow(clippy::too_many_arguments)]
-fn qmm_body_mapped<const TJ: usize>(
-    row0: usize,
-    rows: usize,
-    k: usize,
-    n_mat: usize,
-    bsz: usize,
-    prod_shift: u32,
-    out_shift: u32,
-    a: &[i16],
-    b: &[i16],
-    c: *mut i16,
-    map: &DestMap,
-) -> (u64, u64) {
+) -> QMatmulReport {
     let n = n_mat * bsz;
-    let col = map.col_offsets();
-    let mut acc_sat = 0u64;
-    let mut out_sat = 0u64;
-    let prod_half = if prod_shift > 0 { 1i32 << (prod_shift - 1) } else { 0 };
-    let out_half = if out_shift > 0 { 1i32 << (out_shift - 1) } else { 0 };
-    for i in row0..row0 + rows {
-        let arow = &a[i * k..(i + 1) * k];
-        let base = map.row_offsets()[i];
-        let mut j = 0usize;
-        while j + TJ <= n {
-            let mut vals = [0i32; TJ];
-            let mut sats = [false; TJ];
-            for (kk, &aik) in arow.iter().enumerate() {
-                let ai = aik as i32;
-                let bv = &b[kk * n + j..][..TJ];
-                for (t, &bkj) in bv.iter().enumerate() {
-                    let shifted = (ai * bkj as i32 + prod_half) >> prod_shift;
-                    let sum = vals[t] + shifted;
-                    let clamped = sum.clamp(Accumulator::MIN, Accumulator::MAX);
-                    sats[t] |= clamped != sum;
-                    vals[t] = clamped;
-                }
-            }
-            let mut q = j / bsz;
-            let mut cb = j - q * bsz;
-            for t in 0..TJ {
-                acc_sat += u64::from(sats[t]);
-                let v = (vals[t] + out_half) >> out_shift;
-                let clipped = v.clamp(i16::MIN as i32, i16::MAX as i32);
-                out_sat += u64::from(clipped != v);
-                // SAFETY: `(base + col[q])·bsz + cb < m·n` by the `DestMap`
-                // bijection; rows of this span are written by this worker
-                // only (offsets of distinct rows never collide).
-                unsafe {
-                    *c.add((base + col[q]) * bsz + cb) = clipped as i16;
-                }
-                cb += 1;
-                if cb == bsz {
-                    cb = 0;
-                    q += 1;
-                }
-            }
-            j += TJ;
-        }
-        while j < n {
-            let mut val = 0i32;
-            let mut sat = false;
-            for (kk, &aik) in arow.iter().enumerate() {
-                let shifted = (aik as i32 * b[kk * n + j] as i32 + prod_half) >> prod_shift;
-                let sum = val + shifted;
-                let clamped = sum.clamp(Accumulator::MIN, Accumulator::MAX);
-                sat |= clamped != sum;
-                val = clamped;
-            }
-            acc_sat += u64::from(sat);
-            let v = (val + out_half) >> out_shift;
-            let clipped = v.clamp(i16::MIN as i32, i16::MAX as i32);
-            out_sat += u64::from(clipped != v);
-            let q = j / bsz;
-            // SAFETY: single in-range offset, as above.
-            unsafe {
-                *c.add((base + col[q]) * bsz + (j - q * bsz)) = clipped as i16;
-            }
-            j += 1;
-        }
-    }
-    (acc_sat, out_sat)
-}
-
-/// One row slab of the quantized GEMM, dispatched at runtime to the widest
-/// instantiation the CPU supports. All instantiations share [`qmm_body`];
-/// per-output arithmetic is independent of the tile width, so every tier
-/// is bit-identical (integer arithmetic has no contraction analogue of
-/// FMA to worry about).
-#[allow(clippy::too_many_arguments)]
-fn qmm_block(
-    rows: usize,
-    k: usize,
-    n: usize,
-    prod_shift: u32,
-    out_shift: u32,
-    a: &[i16],
-    b: &[i16],
-    c: &mut [i16],
-) -> (u64, u64) {
-    #[cfg(target_arch = "x86_64")]
-    {
-        if std::arch::is_x86_feature_detected!("avx512f") {
-            // SAFETY: `avx512f` support was just detected on this CPU; the
-            // callee is ordinary safe slice code whose only `unsafe`
-            // obligation is that target-feature availability.
-            #[allow(unsafe_code)]
-            return unsafe { qmm_avx512(rows, k, n, prod_shift, out_shift, a, b, c) };
-        }
-        if std::arch::is_x86_feature_detected!("avx2") {
-            // SAFETY: `avx2` support was just detected on this CPU (the
-            // integer kernel needs AVX2, not AVX, for 256-bit lanes).
-            #[allow(unsafe_code)]
-            return unsafe { qmm_avx2(rows, k, n, prod_shift, out_shift, a, b, c) };
-        }
-    }
-    qmm_body::<QTILE_J>(rows, k, n, prod_shift, out_shift, a, b, c)
-}
-
-/// AVX-512 instantiation: 512-bit integer lanes over a 32-wide tile.
-#[cfg(target_arch = "x86_64")]
-#[allow(unsafe_code)]
-#[allow(clippy::too_many_arguments)]
-#[target_feature(enable = "avx512f")]
-unsafe fn qmm_avx512(
-    rows: usize,
-    k: usize,
-    n: usize,
-    prod_shift: u32,
-    out_shift: u32,
-    a: &[i16],
-    b: &[i16],
-    c: &mut [i16],
-) -> (u64, u64) {
-    qmm_body::<QTILE_J_512>(rows, k, n, prod_shift, out_shift, a, b, c)
-}
-
-/// AVX2 instantiation: 256-bit integer lanes over a 16-wide tile.
-#[cfg(target_arch = "x86_64")]
-#[allow(unsafe_code)]
-#[allow(clippy::too_many_arguments)]
-#[target_feature(enable = "avx2")]
-unsafe fn qmm_avx2(
-    rows: usize,
-    k: usize,
-    n: usize,
-    prod_shift: u32,
-    out_shift: u32,
-    a: &[i16],
-    b: &[i16],
-    c: &mut [i16],
-) -> (u64, u64) {
-    qmm_body::<QTILE_J_WIDE>(rows, k, n, prod_shift, out_shift, a, b, c)
-}
-
-/// The shared tile body: `TJ` independent output lanes per tile, each
-/// reproducing [`Accumulator::mac`] + [`Accumulator::to_i16`] exactly.
-///
-/// # Why pure `i32` lanes are exact
-///
-/// The reference accumulator adds in `i64` before clamping; these lanes
-/// add in `i32`, which is only valid because no intermediate can overflow:
-///
-/// * `prod = a·b` with `|a|,|b| ≤ 2^15` gives `|prod| ≤ 2^30`;
-/// * `prod + half` with `half = 2^(prod_shift−1) ≤ 2^29` stays below
-///   `2^31` (and `prod_shift > 0` implies `half ≤ 2^(30−8−1)` for any
-///   alignment produced by [`alignment`], far smaller);
-/// * the running value is always post-clamp, `|value| ≤ 2^23`, so
-///   `value + shifted` is bounded by `2^23 + 2^30 < 2^31 − 1`;
-/// * requantization adds `half ≤ 2^(out_shift−1)` to a value `≤ 2^23`.
-///
-/// So every `i32` add here equals the reference's `i64` add, and the
-/// subsequent clamp lands identically. Returns
-/// `(acc_saturations, out_saturations)`.
-#[inline(always)]
-#[allow(clippy::too_many_arguments)]
-fn qmm_body<const TJ: usize>(
-    rows: usize,
-    k: usize,
-    n: usize,
-    prod_shift: u32,
-    out_shift: u32,
-    a: &[i16],
-    b: &[i16],
-    c: &mut [i16],
-) -> (u64, u64) {
-    let mut acc_sat = 0u64;
-    let mut out_sat = 0u64;
-    // `x >> 0` is the identity and both halves are 0 then, so the shifts
-    // need no branch in the lane loop.
-    let prod_half = if prod_shift > 0 { 1i32 << (prod_shift - 1) } else { 0 };
-    let out_half = if out_shift > 0 { 1i32 << (out_shift - 1) } else { 0 };
-    for i in 0..rows {
-        let arow = &a[i * k..(i + 1) * k];
-        let crow = &mut c[i * n..(i + 1) * n];
-        let mut j = 0usize;
-        while j + TJ <= n {
-            // Lane state lives in fixed-size stack arrays: provable
-            // lengths for the vectorizer, no heap scratch.
-            let mut vals = [0i32; TJ];
-            let mut sats = [false; TJ];
-            for (kk, &aik) in arow.iter().enumerate() {
-                let ai = aik as i32;
-                let bv = &b[kk * n + j..][..TJ];
-                for (t, &bkj) in bv.iter().enumerate() {
-                    let shifted = (ai * bkj as i32 + prod_half) >> prod_shift;
-                    let sum = vals[t] + shifted;
-                    let clamped = sum.clamp(Accumulator::MIN, Accumulator::MAX);
-                    sats[t] |= clamped != sum;
-                    vals[t] = clamped;
-                }
-            }
-            for t in 0..TJ {
-                acc_sat += u64::from(sats[t]);
-                let v = (vals[t] + out_half) >> out_shift;
-                let clipped = v.clamp(i16::MIN as i32, i16::MAX as i32);
-                out_sat += u64::from(clipped != v);
-                crow[j + t] = clipped as i16;
-            }
-            j += TJ;
-        }
-        // Remainder columns (< TJ wide): one scalar lane, same arithmetic.
-        while j < n {
-            let mut val = 0i32;
-            let mut sat = false;
-            for (kk, &aik) in arow.iter().enumerate() {
-                let shifted = (aik as i32 * b[kk * n + j] as i32 + prod_half) >> prod_shift;
-                let sum = val + shifted;
-                let clamped = sum.clamp(Accumulator::MIN, Accumulator::MAX);
-                sat |= clamped != sum;
-                val = clamped;
-            }
-            acc_sat += u64::from(sat);
-            let v = (val + out_half) >> out_shift;
-            let clipped = v.clamp(i16::MIN as i32, i16::MAX as i32);
-            out_sat += u64::from(clipped != v);
-            crow[j] = clipped as i16;
-            j += 1;
-        }
-    }
-    (acc_sat, out_sat)
+    assert!(bsz > 0, "batch width must be positive");
+    assert_eq!(map.rows(), m, "map rows are m");
+    assert_eq!(map.cols(), n_mat, "map cols are n_mat");
+    assert_eq!(a.len(), m * k, "A is m×k");
+    assert_eq!(b.len(), k * n, "B is k×(n_mat·bsz)");
+    assert_eq!(codes.len(), m * n, "C is m×(n_mat·bsz)");
+    qmm_stream(
+        IntAuto,
+        a,
+        b,
+        codes,
+        m,
+        k,
+        n_mat,
+        bsz,
+        prod_shift,
+        out_shift,
+        &Mapped::new(map),
+        &RequantRelu,
+    )
 }
 
 /// Reference kernel with the naive per-output loop, kept for equivalence
@@ -833,6 +744,31 @@ mod tests {
     }
 
     #[test]
+    fn fused_relu_matches_requant_then_relu_with_saturation() {
+        // The fused epilogue must not disturb clamp points or counters:
+        // codes equal requant-then-max(0), reports equal the plain run's.
+        let mut rng = ChaCha8Rng::seed_from_u64(94);
+        let fmt = QFormat::new(4).unwrap();
+        let (m, k, n) = (9usize, 13usize, 11usize);
+        let a_f: Tensor<f64> = init::uniform(&mut rng, vec![m, k], 1800.0);
+        let b_f: Tensor<f64> = init::uniform(&mut rng, vec![k, n], 1500.0);
+        let qa = QTensor::quantize(&a_f, fmt);
+        let qb = QTensor::quantize(&b_f, fmt);
+        let (ps, os) = alignment(fmt, fmt, QFormat::new(2).unwrap());
+        let mut plain = vec![0i16; m * n];
+        let r_plain = qmatmul_raw(qa.codes(), qb.codes(), m, k, n, ps, os, &mut plain);
+        assert!(
+            r_plain.acc_saturations > 0 || r_plain.out_saturations > 0,
+            "test inputs failed to saturate"
+        );
+        let want: Vec<i16> = plain.iter().map(|&v| v.max(0)).collect();
+        let mut fused = vec![0i16; m * n];
+        let r_fused = qmatmul_raw_relu(qa.codes(), qb.codes(), m, k, n, ps, os, &mut fused);
+        assert_eq!(fused, want);
+        assert_eq!(r_fused, r_plain);
+    }
+
+    #[test]
     fn mapped_kernel_matches_raw_then_permute_with_saturation() {
         // Saturating inputs: the mapped store must not disturb the clamp
         // points, so codes AND reports must match raw-then-permute exactly,
@@ -843,17 +779,21 @@ mod tests {
         let a_f: Tensor<f64> = init::uniform(&mut rng, vec![m, k], 1800.0);
         let qa = QTensor::quantize(&a_f, fmt);
         let (ps, os) = alignment(fmt, fmt, QFormat::new(2).unwrap());
-        let tmap = DestMap::new(
-            (0..m).collect(),
-            (0..n_mat).map(|q| q * m).collect(),
-        )
-        .unwrap();
+        let tmap = DestMap::new((0..m).collect(), (0..n_mat).map(|q| q * m).collect()).unwrap();
         for bsz in [1usize, 2, 3] {
             let b_f: Tensor<f64> = init::uniform(&mut rng, vec![k, n_mat * bsz], 1500.0);
             let qb = QTensor::quantize(&b_f, fmt);
             let mut plain = vec![0i16; m * n_mat * bsz];
-            let r_plain =
-                qmatmul_raw(qa.codes(), qb.codes(), m, k, n_mat * bsz, ps, os, &mut plain);
+            let r_plain = qmatmul_raw(
+                qa.codes(),
+                qb.codes(),
+                m,
+                k,
+                n_mat * bsz,
+                ps,
+                os,
+                &mut plain,
+            );
             assert!(
                 r_plain.acc_saturations > 0 || r_plain.out_saturations > 0,
                 "test inputs failed to saturate"
@@ -886,6 +826,24 @@ mod tests {
                     tie_tensor::parallel::set_num_threads(prev);
                     assert_eq!(got, want, "{name} bsz={bsz} threads={threads}");
                     assert_eq!(r, r_plain, "{name} bsz={bsz} threads={threads}");
+                    // The fused-ReLU mapped variant: same report, relu'd
+                    // codes.
+                    let mut got_relu = vec![0i16; m * n_mat * bsz];
+                    let rr = qmatmul_raw_mapped_relu(
+                        qa.codes(),
+                        qb.codes(),
+                        m,
+                        k,
+                        n_mat,
+                        bsz,
+                        ps,
+                        os,
+                        &mut got_relu,
+                        &map,
+                    );
+                    let want_relu: Vec<i16> = want.iter().map(|&v| v.max(0)).collect();
+                    assert_eq!(got_relu, want_relu, "{name} bsz={bsz}");
+                    assert_eq!(rr, r_plain, "{name} bsz={bsz}");
                 }
             }
         }

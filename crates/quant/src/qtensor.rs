@@ -18,7 +18,11 @@ impl QTensor {
     pub fn quantize<T: Scalar>(t: &Tensor<T>, format: QFormat) -> Self {
         QTensor {
             shape: t.shape().clone(),
-            data: t.data().iter().map(|v| format.quantize(v.to_f64())).collect(),
+            data: t
+                .data()
+                .iter()
+                .map(|v| format.quantize(v.to_f64()))
+                .collect(),
             format,
         }
     }
@@ -48,7 +52,11 @@ impl QTensor {
                 got: data.len(),
             });
         }
-        Ok(QTensor { shape, data, format })
+        Ok(QTensor {
+            shape,
+            data,
+            format,
+        })
     }
 
     /// The tensor shape.
@@ -80,7 +88,10 @@ impl QTensor {
     pub fn dequantize(&self) -> Tensor<f64> {
         Tensor::from_vec(
             self.shape.dims().to_vec(),
-            self.data.iter().map(|&q| self.format.dequantize(q)).collect(),
+            self.data
+                .iter()
+                .map(|&q| self.format.dequantize(q))
+                .collect(),
         )
         .expect("shape matches data by construction")
     }
@@ -111,8 +122,8 @@ mod tests {
 
     #[test]
     fn quantize_dequantize_error_bounded_by_half_step() {
-        let t = Tensor::<f64>::from_vec(vec![2, 3], vec![0.1, -0.2, 0.33, 1.5, -2.75, 3.1])
-            .unwrap();
+        let t =
+            Tensor::<f64>::from_vec(vec![2, 3], vec![0.1, -0.2, 0.33, 1.5, -2.75, 3.1]).unwrap();
         let fmt = QFormat::new(12).unwrap();
         let q = QTensor::quantize(&t, fmt);
         let back = q.dequantize();

@@ -87,8 +87,8 @@ mod tests {
     #[test]
     fn finer_format_gives_higher_sqnr() {
         use crate::{QFormat, QTensor};
-        let t = Tensor::<f64>::from_fn(vec![64], |i| ((i[0] * 37 % 97) as f64 / 97.0) - 0.5)
-            .unwrap();
+        let t =
+            Tensor::<f64>::from_fn(vec![64], |i| ((i[0] * 37 % 97) as f64 / 97.0) - 0.5).unwrap();
         let coarse = QTensor::quantize(&t, QFormat::new(6).unwrap()).dequantize();
         let fine = QTensor::quantize(&t, QFormat::new(14).unwrap()).dequantize();
         let s_coarse = error_stats(&coarse, &t).unwrap();

@@ -120,7 +120,10 @@ impl Batcher {
 
     /// Earliest `formed_at + max_wait` over all lanes.
     fn next_deadline(&self) -> Option<Instant> {
-        self.lanes.values().map(|l| l.formed_at + self.max_wait).min()
+        self.lanes
+            .values()
+            .map(|l| l.formed_at + self.max_wait)
+            .min()
     }
 }
 
@@ -199,7 +202,11 @@ mod tests {
         max_batch: usize,
         max_wait: Duration,
         stats: Arc<StatsCore>,
-    ) -> (SyncSender<Msg>, Receiver<Batch>, std::thread::JoinHandle<()>) {
+    ) -> (
+        SyncSender<Msg>,
+        Receiver<Batch>,
+        std::thread::JoinHandle<()>,
+    ) {
         let (req_tx, req_rx) = sync_channel(64);
         let (batch_tx, batch_rx) = sync_channel(64);
         let handle =
@@ -279,7 +286,11 @@ mod tests {
             run_batcher(req_rx, batch_tx, 64, Duration::from_secs(60), stats2)
         });
         let batch = batch_rx.recv_timeout(Duration::from_secs(5)).unwrap();
-        assert_eq!(batch.requests.len(), 2, "the post-sentinel request is honoured");
+        assert_eq!(
+            batch.requests.len(),
+            2,
+            "the post-sentinel request is honoured"
+        );
         handle.join().unwrap();
     }
 }

@@ -156,11 +156,23 @@ mod tests {
     #[test]
     fn shard_config_rejects_degenerate_knobs() {
         for bad in [
-            ShardConfig { shards: 0, ..ShardConfig::default() },
-            ShardConfig { replicas: 0, ..ShardConfig::default() },
-            ShardConfig { vnodes: 0, ..ShardConfig::default() },
             ShardConfig {
-                replica: ServeConfig { max_batch: 0, ..ServeConfig::default() },
+                shards: 0,
+                ..ShardConfig::default()
+            },
+            ShardConfig {
+                replicas: 0,
+                ..ShardConfig::default()
+            },
+            ShardConfig {
+                vnodes: 0,
+                ..ShardConfig::default()
+            },
+            ShardConfig {
+                replica: ServeConfig {
+                    max_batch: 0,
+                    ..ServeConfig::default()
+                },
                 ..ShardConfig::default()
             },
         ] {
@@ -170,17 +182,29 @@ mod tests {
 
     #[test]
     fn rejects_degenerate_knobs() {
-        let cfg = ServeConfig { max_batch: 0, ..ServeConfig::default() };
+        let cfg = ServeConfig {
+            max_batch: 0,
+            ..ServeConfig::default()
+        };
         assert!(cfg.validate().is_err());
-        let cfg = ServeConfig { queue_capacity: 0, ..ServeConfig::default() };
+        let cfg = ServeConfig {
+            queue_capacity: 0,
+            ..ServeConfig::default()
+        };
         assert!(cfg.validate().is_err());
     }
 
     #[test]
     fn worker_resolution() {
-        let cfg = ServeConfig { workers: 3, ..ServeConfig::default() };
+        let cfg = ServeConfig {
+            workers: 3,
+            ..ServeConfig::default()
+        };
         assert_eq!(cfg.resolved_workers(), 3);
-        let auto = ServeConfig { workers: 0, ..ServeConfig::default() };
+        let auto = ServeConfig {
+            workers: 0,
+            ..ServeConfig::default()
+        };
         let w = auto.resolved_workers();
         assert!((1..=8).contains(&w));
     }

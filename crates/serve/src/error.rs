@@ -73,14 +73,21 @@ mod tests {
     fn displays_are_informative() {
         let e = ServeError::WrongInputLength { got: 3, want: 16 };
         assert!(e.to_string().contains('3') && e.to_string().contains("16"));
-        assert!(ServeError::UnknownLayer("fc6".into()).to_string().contains("fc6"));
+        assert!(ServeError::UnknownLayer("fc6".into())
+            .to_string()
+            .contains("fc6"));
         assert!(ServeError::QueueFull.to_string().contains("full"));
-        assert!(ServeError::ShardUnavailable { shard: 3 }.to_string().contains('3'));
+        assert!(ServeError::ShardUnavailable { shard: 3 }
+            .to_string()
+            .contains('3'));
     }
 
     #[test]
     fn converts_tensor_errors() {
-        let te = TensorError::ShapeMismatch { left: vec![1], right: vec![2] };
+        let te = TensorError::ShapeMismatch {
+            left: vec![1],
+            right: vec![2],
+        };
         match ServeError::from(te) {
             ServeError::Engine(msg) => assert!(!msg.is_empty()),
             other => panic!("wrong variant {other:?}"),

@@ -93,3 +93,4 @@ pub use router::HashRing;
 pub use service::{Client, InferenceService};
 pub use shard::{ShardedClient, ShardedService};
 pub use stats::{ServiceStats, ShardStats, ShardedStats};
+pub use tie_core::Activation;

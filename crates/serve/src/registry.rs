@@ -19,7 +19,7 @@
 use crate::worker::WorkerEngine;
 use std::collections::HashMap;
 use std::sync::Arc;
-use tie_core::CompactEngine;
+use tie_core::{Activation, CompactEngine};
 use tie_sim::{PipelinedEngine, QuantizedEngine};
 
 /// Layer-name → prepared-engine map handed to
@@ -49,6 +49,19 @@ impl EngineRegistry {
         self.insert_shared(name, Arc::new(engine))
     }
 
+    /// Registers a float `engine` under `name` with `activation` fused
+    /// into its final-stage GEMM epilogue (so served responses come back
+    /// post-activation without a separate output pass). Equivalent to
+    /// `insert(name, engine.with_activation(activation))`.
+    pub fn insert_with_activation(
+        &mut self,
+        name: impl Into<String>,
+        engine: CompactEngine<f64>,
+        activation: Activation,
+    ) -> &mut Self {
+        self.insert(name, engine.with_activation(activation))
+    }
+
     /// Registers an already-shared float engine under `name`.
     pub fn insert_shared(
         &mut self,
@@ -72,6 +85,20 @@ impl EngineRegistry {
         engine: QuantizedEngine,
     ) -> &mut Self {
         self.insert_quantized_shared(name, Arc::new(engine))
+    }
+
+    /// Registers a fixed-point `engine` under `name` with `activation`
+    /// fused into its final requantization epilogue (applied to the
+    /// clipped 32-bit code before narrowing; saturation counters are
+    /// unchanged). Equivalent to
+    /// `insert_quantized(name, engine.with_activation(activation))`.
+    pub fn insert_quantized_with_activation(
+        &mut self,
+        name: impl Into<String>,
+        engine: QuantizedEngine,
+        activation: Activation,
+    ) -> &mut Self {
+        self.insert_quantized(name, engine.with_activation(activation))
     }
 
     /// Registers an already-shared fixed-point engine under `name`.
@@ -158,7 +185,9 @@ impl EngineRegistry {
         if let Some(e) = self.quantized.get(name) {
             return Some((e.num_rows(), e.num_cols()));
         }
-        self.pipelined.get(name).map(|e| (e.num_rows(), e.num_cols()))
+        self.pipelined
+            .get(name)
+            .map(|e| (e.num_rows(), e.num_cols()))
     }
 
     /// All registered layer names (every backend), sorted.
@@ -214,7 +243,8 @@ impl EngineRegistry {
     #[must_use]
     pub fn partition(&self, ring: &crate::HashRing) -> Vec<EngineRegistry> {
         let max_shard = ring.shards().iter().copied().max().unwrap_or(0);
-        let mut parts: Vec<EngineRegistry> = (0..=max_shard).map(|_| EngineRegistry::new()).collect();
+        let mut parts: Vec<EngineRegistry> =
+            (0..=max_shard).map(|_| EngineRegistry::new()).collect();
         for (name, engine) in &self.engines {
             parts[ring.shard_for(name)].insert_shared(name.clone(), Arc::clone(engine));
         }
@@ -296,7 +326,8 @@ mod tests {
         )
         .unwrap();
         let mut reg = EngineRegistry::new();
-        reg.insert("fc", engine(10)).insert_quantized("qfc", q.clone());
+        reg.insert("fc", engine(10))
+            .insert_quantized("qfc", q.clone());
         assert_eq!(reg.len(), 2);
         assert_eq!(reg.names(), vec!["fc".to_string(), "qfc".to_string()]);
         assert_eq!(reg.dims("qfc"), Some((6, 6)));
@@ -316,10 +347,10 @@ mod tests {
         use tie_core::PipelineConfig;
         use tie_sim::PipelinedEngine;
         let float = engine(20);
-        let pipelined =
-            PipelinedEngine::float(&float, PipelineConfig::default()).unwrap();
+        let pipelined = PipelinedEngine::float(&float, PipelineConfig::default()).unwrap();
         let mut reg = EngineRegistry::new();
-        reg.insert("fc", engine(21)).insert_pipelined("pfc", pipelined.clone());
+        reg.insert("fc", engine(21))
+            .insert_pipelined("pfc", pipelined.clone());
         assert_eq!(reg.len(), 2);
         assert_eq!(reg.names(), vec!["fc".to_string(), "pfc".to_string()]);
         assert_eq!(reg.dims("pfc"), Some((6, 6)));
@@ -355,14 +386,62 @@ mod tests {
         let ring = HashRing::new(4, 64).unwrap();
         let parts = reg.partition(&ring);
         assert_eq!(parts.len(), 4);
-        assert_eq!(parts.iter().map(EngineRegistry::len).sum::<usize>(), reg.len());
+        assert_eq!(
+            parts.iter().map(EngineRegistry::len).sum::<usize>(),
+            reg.len()
+        );
         for (s, part) in parts.iter().enumerate() {
             for name in part.names() {
                 assert_eq!(ring.shard_for(&name), s, "{name} in wrong partition");
                 // Arc-shared, not deep-copied.
-                assert!(Arc::ptr_eq(&part.get(&name).unwrap(), &reg.get(&name).unwrap()));
+                assert!(Arc::ptr_eq(
+                    &part.get(&name).unwrap(),
+                    &reg.get(&name).unwrap()
+                ));
             }
         }
+    }
+
+    #[test]
+    fn insert_with_activation_fuses_relu_into_the_served_engine() {
+        let mut reg = EngineRegistry::new();
+        reg.insert("plain", engine(30)).insert_with_activation(
+            "relu",
+            engine(30),
+            Activation::Relu,
+        );
+        assert_eq!(reg.get("relu").unwrap().activation(), Activation::Relu);
+        let x: Vec<f64> = (0..6).map(|i| (i as f64 - 3.0) * 0.7).collect();
+        let mut y_plain = vec![0.0f64; 6];
+        let mut y_relu = vec![0.0f64; 6];
+        reg.get("plain")
+            .unwrap()
+            .matvec_into(&x, &mut y_plain)
+            .unwrap();
+        reg.get("relu")
+            .unwrap()
+            .matvec_into(&x, &mut y_relu)
+            .unwrap();
+        assert!(y_plain.iter().any(|&v| v < 0.0), "need a clipped output");
+        for (r, p) in y_relu.iter().zip(&y_plain) {
+            let want = if *p > 0.0 { *p } else { 0.0 };
+            assert_eq!(r.to_bits(), want.to_bits());
+        }
+
+        // Quantized path: fused ReLU on the served fixed-point engine.
+        use tie_sim::QuantConfig;
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let shape = TtShape::uniform_rank(vec![2, 3], vec![3, 2], 2).unwrap();
+        let q = QuantizedEngine::new(
+            TtMatrix::random(&mut rng, &shape, 0.5).unwrap(),
+            QuantConfig::default(),
+        )
+        .unwrap();
+        reg.insert_quantized_with_activation("qrelu", q, Activation::Relu);
+        assert_eq!(
+            reg.get_quantized("qrelu").unwrap().activation(),
+            Activation::Relu
+        );
     }
 
     #[test]
@@ -375,7 +454,10 @@ mod tests {
         let x = vec![0.5f64; 6];
         let mut y_shared = vec![0.0f64; 6];
         let mut y_clone = vec![0.0f64; 6];
-        reg.get("fc").unwrap().matvec_into(&x, &mut y_shared).unwrap();
+        reg.get("fc")
+            .unwrap()
+            .matvec_into(&x, &mut y_shared)
+            .unwrap();
         clones["fc"].matvec_into(&x, &mut y_clone).unwrap();
         assert_eq!(y_shared, y_clone);
     }

@@ -34,11 +34,7 @@ pub(crate) struct Request {
 }
 
 impl Request {
-    pub(crate) fn new(
-        layer: String,
-        input: Vec<f64>,
-        stats: Arc<StatsCore>,
-    ) -> (Self, Ticket) {
+    pub(crate) fn new(layer: String, input: Vec<f64>, stats: Arc<StatsCore>) -> (Self, Ticket) {
         // Buffer of 1: the worker's send never blocks even if the caller
         // has not reached `wait` yet (or never does).
         let (tx, rx) = std::sync::mpsc::sync_channel(1);

@@ -90,7 +90,11 @@ impl HashRing {
         if shard_ids.windows(2).any(|w| w[0] == w[1]) {
             return Err("duplicate shard id".into());
         }
-        let mut ring = HashRing { points: Vec::new(), shards: shard_ids, vnodes };
+        let mut ring = HashRing {
+            points: Vec::new(),
+            shards: shard_ids,
+            vnodes,
+        };
         for i in 0..ring.shards.len() {
             let shard = ring.shards[i];
             ring.insert_points(shard);
@@ -203,7 +207,10 @@ mod tests {
         for i in 0..1000 {
             hit[ring.shard_for(&format!("k{i}"))] = true;
         }
-        assert!(hit.iter().all(|&h| h), "4 shards x 64 vnodes must all own keys: {hit:?}");
+        assert!(
+            hit.iter().all(|&h| h),
+            "4 shards x 64 vnodes must all own keys: {hit:?}"
+        );
     }
 
     #[test]
@@ -214,7 +221,10 @@ mod tests {
         assert!(ring.add_shard(3).is_err());
         for (i, &b) in before.iter().enumerate() {
             let now = ring.shard_for(&format!("k{i}"));
-            assert!(now == b || now == 3, "key k{i} moved {b} -> {now}, not to the new shard");
+            assert!(
+                now == b || now == 3,
+                "key k{i} moved {b} -> {now}, not to the new shard"
+            );
         }
         ring.remove_shard(3).unwrap();
         assert!(ring.remove_shard(3).is_err());

@@ -37,9 +37,16 @@ impl Client {
             .dims(layer)
             .ok_or_else(|| ServeError::UnknownLayer(layer.to_string()))?;
         if input.len() != n {
-            return Err(ServeError::WrongInputLength { got: input.len(), want: n });
+            return Err(ServeError::WrongInputLength {
+                got: input.len(),
+                want: n,
+            });
         }
-        Ok(Request::new(layer.to_string(), input, Arc::clone(&self.stats)))
+        Ok(Request::new(
+            layer.to_string(),
+            input,
+            Arc::clone(&self.stats),
+        ))
     }
 
     /// Submits a request, blocking while the queue is full.
@@ -278,7 +285,10 @@ mod tests {
             InferenceService::start(EngineRegistry::new(), ServeConfig::default()),
             Err(ServeError::Config(_))
         ));
-        let bad = ServeConfig { max_batch: 0, ..ServeConfig::default() };
+        let bad = ServeConfig {
+            max_batch: 0,
+            ..ServeConfig::default()
+        };
         assert!(InferenceService::start(registry(1), bad).is_err());
     }
 
@@ -288,7 +298,11 @@ mod tests {
         let engine = reg.get("fc").unwrap();
         let svc = InferenceService::start(
             reg,
-            ServeConfig { max_batch: 4, max_wait: Duration::from_millis(1), ..Default::default() },
+            ServeConfig {
+                max_batch: 4,
+                max_wait: Duration::from_millis(1),
+                ..Default::default()
+            },
         )
         .unwrap();
         let client = svc.client();
@@ -319,7 +333,11 @@ mod tests {
         reg.insert_quantized("qfc", engine.clone());
         let svc = InferenceService::start(
             reg,
-            ServeConfig { max_batch: 4, max_wait: Duration::from_millis(1), ..Default::default() },
+            ServeConfig {
+                max_batch: 4,
+                max_wait: Duration::from_millis(1),
+                ..Default::default()
+            },
         )
         .unwrap();
         let client = svc.client();
@@ -355,8 +373,14 @@ mod tests {
         let svc = InferenceService::start(registry(5), ServeConfig::default()).unwrap();
         let client = svc.client();
         svc.shutdown();
-        assert_eq!(client.submit("fc", vec![0.0; 6]).unwrap_err(), ServeError::ShuttingDown);
-        assert_eq!(client.try_submit("fc", vec![0.0; 6]).unwrap_err(), ServeError::ShuttingDown);
+        assert_eq!(
+            client.submit("fc", vec![0.0; 6]).unwrap_err(),
+            ServeError::ShuttingDown
+        );
+        assert_eq!(
+            client.try_submit("fc", vec![0.0; 6]).unwrap_err(),
+            ServeError::ShuttingDown
+        );
     }
 
     #[test]
@@ -375,10 +399,13 @@ mod tests {
         .unwrap();
         let client = svc.client();
         let mut rng = ChaCha8Rng::seed_from_u64(7);
-        let inputs: Vec<Vec<f64>> =
-            (0..9).map(|_| (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
-        let tickets: Vec<Ticket> =
-            inputs.iter().map(|x| client.submit("fc", x.clone()).unwrap()).collect();
+        let inputs: Vec<Vec<f64>> = (0..9)
+            .map(|_| (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect();
+        let tickets: Vec<Ticket> = inputs
+            .iter()
+            .map(|x| client.submit("fc", x.clone()).unwrap())
+            .collect();
         let stats = svc.shutdown();
         for (x, ticket) in inputs.iter().zip(tickets) {
             let resp = ticket.wait().expect("drained request must be answered");
@@ -404,11 +431,17 @@ mod tests {
             accepting: Arc::new(AtomicBool::new(true)),
         };
         let _ticket = client.try_submit("fc", vec![0.1; 6]).unwrap();
-        assert_eq!(client.try_submit("fc", vec![0.1; 6]).unwrap_err(), ServeError::QueueFull);
+        assert_eq!(
+            client.try_submit("fc", vec![0.1; 6]).unwrap_err(),
+            ServeError::QueueFull
+        );
         let s = stats.snapshot();
         assert_eq!((s.submitted, s.rejected), (1, 1));
         drop(rx);
-        assert_eq!(client.try_submit("fc", vec![0.1; 6]).unwrap_err(), ServeError::ShuttingDown);
+        assert_eq!(
+            client.try_submit("fc", vec![0.1; 6]).unwrap_err(),
+            ServeError::ShuttingDown
+        );
         // Neither the rejected nor the disconnected attempt leaks into the
         // submitted/failed accounting.
         let s = stats.snapshot();
@@ -423,6 +456,9 @@ mod tests {
         drop(svc);
         // The pending request was drained, not lost.
         assert!(ticket.wait().is_ok());
-        assert_eq!(client.submit("fc", vec![0.2; 6]).unwrap_err(), ServeError::ShuttingDown);
+        assert_eq!(
+            client.submit("fc", vec![0.2; 6]).unwrap_err(),
+            ServeError::ShuttingDown
+        );
     }
 }

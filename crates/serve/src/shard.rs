@@ -45,11 +45,13 @@ use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Duration;
 
 fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
-    lock.read().unwrap_or_else(std::sync::PoisonError::into_inner)
+    lock.read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
-    lock.write().unwrap_or_else(std::sync::PoisonError::into_inner)
+    lock.write()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// One replica slot. A retired replica (drained or killed) keeps its
@@ -65,7 +67,10 @@ struct Replica {
 impl Replica {
     fn start(registry: &EngineRegistry, config: &crate::ServeConfig) -> Result<Self, ServeError> {
         let service = InferenceService::start(registry.clone(), config.clone())?;
-        Ok(Replica { client: service.client(), service: Some(service) })
+        Ok(Replica {
+            client: service.client(),
+            service: Some(service),
+        })
     }
 }
 
@@ -127,10 +132,14 @@ impl SharedState {
                 Ok(ticket) => return Ok(RoutePass::Accepted(ticket)),
                 Err(ServeError::QueueFull) => saw_full = true,
                 Err(ServeError::ShuttingDown) => {} // draining/retired: skip
-                Err(e) => return Err(e), // validation — cannot depend on the replica
+                Err(e) => return Err(e),            // validation — cannot depend on the replica
             }
         }
-        Ok(if saw_full { RoutePass::Full } else { RoutePass::Draining })
+        Ok(if saw_full {
+            RoutePass::Full
+        } else {
+            RoutePass::Draining
+        })
     }
 
     /// Shared submit body: validate, route, retry on full, fail fast on a
@@ -144,7 +153,10 @@ impl SharedState {
             .dims(layer)
             .ok_or_else(|| ServeError::UnknownLayer(layer.to_string()))?;
         if input.len() != n {
-            return Err(ServeError::WrongInputLength { got: input.len(), want: n });
+            return Err(ServeError::WrongInputLength {
+                got: input.len(),
+                want: n,
+            });
         }
         let shard_id = self.ring.shard_for(layer);
         let shard = &self.shards[shard_id];
@@ -182,7 +194,9 @@ impl SharedState {
             .enumerate()
             .map(|(s, shard)| {
                 let replicas = read_lock(&shard.replicas);
-                shard.route.snapshot(s, replicas.iter().map(|r| r.client.stats()).collect())
+                shard
+                    .route
+                    .snapshot(s, replicas.iter().map(|r| r.client.stats()).collect())
             })
             .collect();
         ShardedStats { shards }
@@ -342,7 +356,9 @@ impl ShardedService {
     /// [`ServeError::ShuttingDown`]).
     #[must_use]
     pub fn client(&self) -> ShardedClient {
-        ShardedClient { state: Arc::clone(&self.state) }
+        ShardedClient {
+            state: Arc::clone(&self.state),
+        }
     }
 
     /// The consistent-hash ring in use.
@@ -455,13 +471,18 @@ impl ShardedService {
         };
         let services: Vec<InferenceService> = {
             let mut replicas = write_lock(&st.replicas);
-            replicas.iter_mut().filter_map(|r| r.service.take()).collect()
+            replicas
+                .iter_mut()
+                .filter_map(|r| r.service.take())
+                .collect()
         };
         for service in services {
             service.shutdown();
         }
         let replicas = read_lock(&st.replicas);
-        Ok(st.route.snapshot(shard, replicas.iter().map(|r| r.client.stats()).collect()))
+        Ok(st
+            .route
+            .snapshot(shard, replicas.iter().map(|r| r.client.stats()).collect()))
     }
 
     /// Graceful shutdown of the whole service: stop accepting, drain
@@ -478,7 +499,10 @@ impl ShardedService {
         for st in &self.state.shards {
             let services: Vec<InferenceService> = {
                 let mut replicas = write_lock(&st.replicas);
-                replicas.iter_mut().filter_map(|r| r.service.take()).collect()
+                replicas
+                    .iter_mut()
+                    .filter_map(|r| r.service.take())
+                    .collect()
             };
             for service in services {
                 service.shutdown();
@@ -492,10 +516,14 @@ impl ShardedService {
         };
         let mut replicas = write_lock(&st.replicas);
         let Some(replica) = replicas.get_mut(slot) else {
-            return Err(ServeError::Config(format!("shard {shard} has no slot {slot}")));
+            return Err(ServeError::Config(format!(
+                "shard {shard} has no slot {slot}"
+            )));
         };
         replica.service.take().ok_or_else(|| {
-            ServeError::Config(format!("replica {slot} of shard {shard} is already retired"))
+            ServeError::Config(format!(
+                "replica {slot} of shard {shard} is already retired"
+            ))
         })
     }
 }
@@ -549,7 +577,10 @@ mod tests {
             ShardedService::start(EngineRegistry::new(), ShardConfig::default()),
             Err(ServeError::Config(_))
         ));
-        let bad = ShardConfig { shards: 0, ..ShardConfig::default() };
+        let bad = ShardConfig {
+            shards: 0,
+            ..ShardConfig::default()
+        };
         assert!(ShardedService::start(registry(3), bad).is_err());
     }
 
@@ -564,7 +595,10 @@ mod tests {
             let x: Vec<f64> = (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect();
             let resp = client.submit(&name, x.clone()).unwrap().wait().unwrap();
             let mut direct = vec![0.0; 6];
-            reg.get(&name).unwrap().matvec_batch_into(&x, 1, &mut direct).unwrap();
+            reg.get(&name)
+                .unwrap()
+                .matvec_batch_into(&x, 1, &mut direct)
+                .unwrap();
             assert_eq!(resp.output, direct, "{name}");
             assert_eq!(client.shard_for(&name), svc.ring().shard_for(&name));
         }
@@ -575,7 +609,12 @@ mod tests {
         assert_eq!(global.failed, 0);
         assert_eq!(stats.routed(), 8);
         for shard in &stats.shards {
-            assert_eq!(shard.routed, shard.service().submitted, "shard {}", shard.shard);
+            assert_eq!(
+                shard.routed,
+                shard.service().submitted,
+                "shard {}",
+                shard.shard
+            );
         }
     }
 
@@ -583,7 +622,10 @@ mod tests {
     fn validation_errors_bypass_routing() {
         let svc = ShardedService::start(registry(3), fast_config(2, 1)).unwrap();
         let client = svc.client();
-        assert!(matches!(client.submit("nope", vec![0.0; 6]), Err(ServeError::UnknownLayer(_))));
+        assert!(matches!(
+            client.submit("nope", vec![0.0; 6]),
+            Err(ServeError::UnknownLayer(_))
+        ));
         assert_eq!(
             client.submit("fc0", vec![0.0; 5]).unwrap_err(),
             ServeError::WrongInputLength { got: 5, want: 6 }
@@ -602,8 +644,14 @@ mod tests {
         assert_eq!(svc.live_replicas(shard), 2);
 
         let final_stats = svc.drain_replica(shard, 0).unwrap();
-        assert_eq!(final_stats.submitted, final_stats.completed + final_stats.failed);
-        assert!(svc.drain_replica(shard, 0).is_err(), "double drain must fail");
+        assert_eq!(
+            final_stats.submitted,
+            final_stats.completed + final_stats.failed
+        );
+        assert!(
+            svc.drain_replica(shard, 0).is_err(),
+            "double drain must fail"
+        );
         svc.kill_replica(shard, 1).unwrap();
         assert_eq!(svc.live_replicas(shard), 0);
 
@@ -651,8 +699,14 @@ mod tests {
         let svc = ShardedService::start(registry(3), fast_config(2, 1)).unwrap();
         let client = svc.client();
         svc.shutdown();
-        assert_eq!(client.submit("fc0", vec![0.0; 6]).unwrap_err(), ServeError::ShuttingDown);
-        assert_eq!(client.try_submit("fc0", vec![0.0; 6]).unwrap_err(), ServeError::ShuttingDown);
+        assert_eq!(
+            client.submit("fc0", vec![0.0; 6]).unwrap_err(),
+            ServeError::ShuttingDown
+        );
+        assert_eq!(
+            client.try_submit("fc0", vec![0.0; 6]).unwrap_err(),
+            ServeError::ShuttingDown
+        );
     }
 
     #[test]
@@ -672,7 +726,10 @@ mod tests {
             registry,
             shards: vec![ShardState {
                 registry: EngineRegistry::new(),
-                replicas: RwLock::new(vec![Replica { client, service: None }]),
+                replicas: RwLock::new(vec![Replica {
+                    client,
+                    service: None,
+                }]),
                 route: RouteCore::default(),
                 cursor: AtomicUsize::new(0),
             }],
@@ -685,9 +742,15 @@ mod tests {
         // First submission fills the only queue slot.
         let _ticket = state.submit("fc", &[0.2; 6], 2).unwrap();
         // Second: every pass sees Full, retries twice, then gives up.
-        assert_eq!(state.submit("fc", &[0.2; 6], 2).unwrap_err(), ServeError::QueueFull);
+        assert_eq!(
+            state.submit("fc", &[0.2; 6], 2).unwrap_err(),
+            ServeError::QueueFull
+        );
         // try_submit semantics: zero retry rounds.
-        assert_eq!(state.submit("fc", &[0.2; 6], 0).unwrap_err(), ServeError::QueueFull);
+        assert_eq!(
+            state.submit("fc", &[0.2; 6], 0).unwrap_err(),
+            ServeError::QueueFull
+        );
 
         let snapshot = state.stats();
         let shard = &snapshot.shards[0];
@@ -705,7 +768,10 @@ mod tests {
         let ticket = client.submit("fc0", vec![0.2; 6]).unwrap();
         drop(svc);
         assert!(ticket.wait().is_ok(), "pending request drained, not lost");
-        assert_eq!(client.submit("fc0", vec![0.2; 6]).unwrap_err(), ServeError::ShuttingDown);
+        assert_eq!(
+            client.submit("fc0", vec![0.2; 6]).unwrap_err(),
+            ServeError::ShuttingDown
+        );
     }
 
     #[test]
@@ -719,7 +785,8 @@ mod tests {
         )
         .unwrap();
         let mut reg = EngineRegistry::new();
-        reg.insert("fc", engine(2)).insert_quantized("qfc", qe.clone());
+        reg.insert("fc", engine(2))
+            .insert_quantized("qfc", qe.clone());
         let svc = ShardedService::start(reg, fast_config(3, 1)).unwrap();
         let client = svc.client();
         let x: Vec<f64> = (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect();

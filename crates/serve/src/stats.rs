@@ -82,7 +82,8 @@ impl StatsCore {
 
     pub(crate) fn record_batch(&self, occupancy: usize, cause: DispatchCause) {
         self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batched_requests.fetch_add(occupancy as u64, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(occupancy as u64, Ordering::Relaxed);
         let counter = match cause {
             DispatchCause::Full => &self.full_batches,
             DispatchCause::Deadline => &self.deadline_batches,
@@ -105,8 +106,10 @@ impl StatsCore {
     /// Folds one quantized batch's saturation report into the counters.
     pub(crate) fn record_quant(&self, outputs: u64, acc_saturations: u64, out_saturations: u64) {
         self.quant_outputs.fetch_add(outputs, Ordering::Relaxed);
-        self.quant_acc_saturations.fetch_add(acc_saturations, Ordering::Relaxed);
-        self.quant_out_saturations.fetch_add(out_saturations, Ordering::Relaxed);
+        self.quant_acc_saturations
+            .fetch_add(acc_saturations, Ordering::Relaxed);
+        self.quant_out_saturations
+            .fetch_add(out_saturations, Ordering::Relaxed);
     }
 
     /// Folds one batch's copy-traffic accounting into the counters:
@@ -115,7 +118,8 @@ impl StatsCore {
     /// epilogues avoided.
     pub(crate) fn record_traffic(&self, bytes_moved: u64, transform_elided_bytes: u64) {
         self.bytes_moved.fetch_add(bytes_moved, Ordering::Relaxed);
-        self.transform_elided_bytes.fetch_add(transform_elided_bytes, Ordering::Relaxed);
+        self.transform_elided_bytes
+            .fetch_add(transform_elided_bytes, Ordering::Relaxed);
     }
 
     /// Folds one pipelined batch's scheduling telemetry into the
@@ -133,10 +137,14 @@ impl StatsCore {
     ) {
         self.pipeline_batches.fetch_add(1, Ordering::Relaxed);
         self.pipeline_chunks.fetch_add(chunks, Ordering::Relaxed);
-        self.pipeline_stage_chunks.fetch_add(stage_chunks, Ordering::Relaxed);
-        self.pipeline_handoffs.fetch_add(handoffs, Ordering::Relaxed);
-        self.pipeline_send_stalls.fetch_add(send_stalls, Ordering::Relaxed);
-        self.pipeline_recv_stalls.fetch_add(recv_stalls, Ordering::Relaxed);
+        self.pipeline_stage_chunks
+            .fetch_add(stage_chunks, Ordering::Relaxed);
+        self.pipeline_handoffs
+            .fetch_add(handoffs, Ordering::Relaxed);
+        self.pipeline_send_stalls
+            .fetch_add(send_stalls, Ordering::Relaxed);
+        self.pipeline_recv_stalls
+            .fetch_add(recv_stalls, Ordering::Relaxed);
     }
 
     pub(crate) fn snapshot(&self) -> ServiceStats {
@@ -611,13 +619,19 @@ mod tests {
             }
             route.snapshot(0, vec![core.snapshot()])
         };
-        let stats = ShardedStats { shards: vec![mk(3, 3), mk(5, 5)] };
+        let stats = ShardedStats {
+            shards: vec![mk(3, 3), mk(5, 5)],
+        };
         assert_eq!(stats.routed(), 8);
         assert_eq!(stats.global().submitted, 8);
         assert_eq!(stats.global().completed, 8);
         assert_eq!(
             stats.global().submitted,
-            stats.shards.iter().map(|s| s.service().submitted).sum::<u64>()
+            stats
+                .shards
+                .iter()
+                .map(|s| s.service().submitted)
+                .sum::<u64>()
         );
     }
 
@@ -634,7 +648,10 @@ mod tests {
         assert_eq!(s.pipeline_stage_chunks, 32);
         assert_eq!(s.pipeline_handoffs, 20);
         // The depth-independent reconciliation invariant.
-        assert_eq!(s.pipeline_stage_chunks, s.pipeline_chunks + s.pipeline_handoffs);
+        assert_eq!(
+            s.pipeline_stage_chunks,
+            s.pipeline_chunks + s.pipeline_handoffs
+        );
         assert_eq!((s.pipeline_send_stalls, s.pipeline_recv_stalls), (3, 3));
         assert!((s.pipeline_stall_fraction() - 0.3).abs() < 1e-12);
         // absorb carries the pipeline counters.
@@ -642,7 +659,10 @@ mod tests {
         total.absorb(&s);
         total.absorb(&s);
         assert_eq!(total.pipeline_handoffs, 40);
-        assert_eq!(total.pipeline_stage_chunks, total.pipeline_chunks + total.pipeline_handoffs);
+        assert_eq!(
+            total.pipeline_stage_chunks,
+            total.pipeline_chunks + total.pipeline_handoffs
+        );
     }
 
     #[test]
@@ -651,7 +671,10 @@ mod tests {
         core.record_batch(1, DispatchCause::Deadline);
         core.record_batch(3, DispatchCause::Drain);
         let s = core.snapshot();
-        assert_eq!((s.full_batches, s.deadline_batches, s.drain_batches), (0, 1, 1));
+        assert_eq!(
+            (s.full_batches, s.deadline_batches, s.drain_batches),
+            (0, 1, 1)
+        );
         assert_eq!(s.batched_requests, 4);
     }
 }

@@ -69,29 +69,27 @@ impl WorkerEngine {
     /// assembly).
     fn traffic_per_sample(&self) -> (u64, u64) {
         match self {
-            WorkerEngine::Float(e) => {
-                (e.bytes_moved_per_sample(), e.transform_elided_bytes_per_sample())
-            }
-            WorkerEngine::Quantized(e) => {
-                (e.bytes_moved_per_sample(), e.transform_elided_bytes_per_sample())
-            }
-            WorkerEngine::Pipelined(e) => {
-                (e.bytes_moved_per_sample(), e.transform_elided_bytes_per_sample())
-            }
+            WorkerEngine::Float(e) => (
+                e.bytes_moved_per_sample(),
+                e.transform_elided_bytes_per_sample(),
+            ),
+            WorkerEngine::Quantized(e) => (
+                e.bytes_moved_per_sample(),
+                e.transform_elided_bytes_per_sample(),
+            ),
+            WorkerEngine::Pipelined(e) => (
+                e.bytes_moved_per_sample(),
+                e.transform_elided_bytes_per_sample(),
+            ),
         }
     }
 
     /// Batched matvec; returns the batch's stats-facing accounting.
-    fn matvec_batch_into(
-        &self,
-        xs: &[f64],
-        b: usize,
-        ys: &mut [f64],
-    ) -> Result<BatchAccounting> {
+    fn matvec_batch_into(&self, xs: &[f64], b: usize, ys: &mut [f64]) -> Result<BatchAccounting> {
         match self {
-            WorkerEngine::Float(e) => {
-                e.matvec_batch_into(xs, b, ys).map(|_ops| BatchAccounting::default())
-            }
+            WorkerEngine::Float(e) => e
+                .matvec_batch_into(xs, b, ys)
+                .map(|_ops| BatchAccounting::default()),
             WorkerEngine::Quantized(e) => e.matvec_batch_into(xs, b, ys).map(|r| BatchAccounting {
                 outputs: r.outputs,
                 acc_saturations: r.acc_saturations,
@@ -182,8 +180,7 @@ fn execute(
             if acct.outputs > 0 {
                 stats.record_quant(acct.outputs, acct.acc_saturations, acct.out_saturations);
             }
-            if let Some((chunks, stage_chunks, handoffs, send_stalls, recv_stalls)) =
-                acct.pipeline
+            if let Some((chunks, stage_chunks, handoffs, send_stalls, recv_stalls)) = acct.pipeline
             {
                 stats.record_pipeline(chunks, stage_chunks, handoffs, send_stalls, recv_stalls);
             }
@@ -192,7 +189,11 @@ fn execute(
             for (c, req) in batch.requests.into_iter().enumerate() {
                 let output: Vec<f64> = (0..m).map(|r| ys[r * b + c]).collect();
                 let latency = req.submitted_at.elapsed();
-                req.respond(Ok(Response { output, batch_size: b, latency }));
+                req.respond(Ok(Response {
+                    output,
+                    batch_size: b,
+                    latency,
+                }));
             }
         }
         Err(e) => {
@@ -242,7 +243,10 @@ mod tests {
             requests.push(req);
             tickets.push(ticket);
         }
-        let batch = Batch { layer: "fc".into(), requests };
+        let batch = Batch {
+            layer: "fc".into(),
+            requests,
+        };
 
         let (mut xs, mut ys) = (Vec::new(), Vec::new());
         execute(&reg.worker_engines(), &stats, batch, &mut xs, &mut ys);
@@ -253,12 +257,18 @@ mod tests {
             assert_eq!(resp.batch_size, 5);
             let mut direct = vec![0.0; m];
             engine.matvec_into(input, &mut direct).unwrap();
-            assert_eq!(resp.output, direct, "batched response must be bit-identical");
+            assert_eq!(
+                resp.output, direct,
+                "batched response must be bit-identical"
+            );
         }
         let s = stats.snapshot();
         assert_eq!(s.completed, 5);
         assert_eq!(s.bytes_moved, 5 * engine.bytes_moved_per_sample());
-        assert_eq!(s.transform_elided_bytes, 5 * engine.transform_elided_bytes_per_sample());
+        assert_eq!(
+            s.transform_elided_bytes,
+            5 * engine.transform_elided_bytes_per_sample()
+        );
         assert!(s.transform_elided_fraction() > 0.0);
     }
 
@@ -267,8 +277,17 @@ mod tests {
         let reg = registry(8);
         let stats = Arc::new(StatsCore::new());
         let (req, ticket) = Request::new("nope".into(), vec![0.0; 6], Arc::clone(&stats));
-        let batch = Batch { layer: "nope".into(), requests: vec![req] };
-        execute(&reg.worker_engines(), &stats, batch, &mut Vec::new(), &mut Vec::new());
+        let batch = Batch {
+            layer: "nope".into(),
+            requests: vec![req],
+        };
+        execute(
+            &reg.worker_engines(),
+            &stats,
+            batch,
+            &mut Vec::new(),
+            &mut Vec::new(),
+        );
         assert!(matches!(ticket.wait(), Err(ServeError::UnknownLayer(_))));
         assert_eq!(stats.snapshot().failed, 1);
     }
@@ -298,7 +317,10 @@ mod tests {
         .unwrap();
         let pipelined = PipelinedEngine::quantized(
             &qengine,
-            PipelineConfig { depth: 3, micro_batch: 1 },
+            PipelineConfig {
+                depth: 3,
+                micro_batch: 1,
+            },
         )
         .unwrap();
         let depth = pipelined.depth() as u64;
@@ -317,8 +339,17 @@ mod tests {
             requests.push(req);
             tickets.push(ticket);
         }
-        let batch = Batch { layer: "pfc".into(), requests };
-        execute(&reg.worker_engines(), &stats, batch, &mut Vec::new(), &mut Vec::new());
+        let batch = Batch {
+            layer: "pfc".into(),
+            requests,
+        };
+        execute(
+            &reg.worker_engines(),
+            &stats,
+            batch,
+            &mut Vec::new(),
+            &mut Vec::new(),
+        );
 
         for (input, ticket) in inputs.iter().zip(tickets) {
             let resp = ticket.wait().unwrap();
@@ -328,12 +359,18 @@ mod tests {
         }
         let s = stats.snapshot();
         assert_eq!(s.completed, b as u64);
-        assert!(s.quant_outputs > 0, "quantized pipeline feeds quant counters");
+        assert!(
+            s.quant_outputs > 0,
+            "quantized pipeline feeds quant counters"
+        );
         // Stall counters reconcile exactly against handoffs.
         assert_eq!(s.pipeline_batches, 1);
         assert_eq!(s.pipeline_chunks, b as u64);
         assert_eq!(s.pipeline_handoffs, b as u64 * (depth - 1));
-        assert_eq!(s.pipeline_stage_chunks, s.pipeline_chunks + s.pipeline_handoffs);
+        assert_eq!(
+            s.pipeline_stage_chunks,
+            s.pipeline_chunks + s.pipeline_handoffs
+        );
         assert!(s.pipeline_send_stalls <= s.pipeline_handoffs);
         assert!(s.pipeline_recv_stalls <= s.pipeline_handoffs);
     }
@@ -363,8 +400,17 @@ mod tests {
             requests.push(req);
             tickets.push(ticket);
         }
-        let batch = Batch { layer: "qfc".into(), requests };
-        execute(&reg.worker_engines(), &stats, batch, &mut Vec::new(), &mut Vec::new());
+        let batch = Batch {
+            layer: "qfc".into(),
+            requests,
+        };
+        execute(
+            &reg.worker_engines(),
+            &stats,
+            batch,
+            &mut Vec::new(),
+            &mut Vec::new(),
+        );
 
         for (input, ticket) in inputs.iter().zip(tickets) {
             let resp = ticket.wait().unwrap();
@@ -374,9 +420,15 @@ mod tests {
         }
         let s = stats.snapshot();
         assert_eq!(s.completed, 4);
-        assert!(s.quant_outputs > 0, "quantized batches must feed the counters");
+        assert!(
+            s.quant_outputs > 0,
+            "quantized batches must feed the counters"
+        );
         assert_eq!(s.quant_acc_saturations + s.quant_out_saturations, 0);
         assert_eq!(s.bytes_moved, 4 * engine.bytes_moved_per_sample());
-        assert_eq!(s.transform_elided_bytes, 4 * engine.transform_elided_bytes_per_sample());
+        assert_eq!(
+            s.transform_elided_bytes,
+            4 * engine.transform_elided_bytes_per_sample()
+        );
     }
 }

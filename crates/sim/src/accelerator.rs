@@ -296,7 +296,10 @@ impl TieAccelerator {
         };
         let margin = self.config.quant.probe_margin;
         let input_format = self.select_format(input_max, margin);
-        let stage_formats = stage_max.iter().map(|&m| self.select_format(m, margin)).collect();
+        let stage_formats = stage_max
+            .iter()
+            .map(|&m| self.select_format(m, margin))
+            .collect();
         Ok((input_format, stage_formats, input_max, stage_max, outputs))
     }
 
@@ -339,7 +342,12 @@ impl TieAccelerator {
         // samples run one at a time.
         let probes = if self.one_shot() {
             let q = &self.config.quant;
-            probe_vectors(q.probe_seed, q.probe_count, shape.num_cols(), q.probe_amplitude)?
+            probe_vectors(
+                q.probe_seed,
+                q.probe_count,
+                shape.num_cols(),
+                q.probe_amplitude,
+            )?
         } else {
             Vec::new()
         };
@@ -480,7 +488,10 @@ impl TieAccelerator {
         }
         let margin = if traced < batch { 1.25 } else { 1.05 };
         let input_format = self.select_format(input_max, margin);
-        let stage_formats = stage_max.iter().map(|&m| self.select_format(m, margin)).collect();
+        let stage_formats = stage_max
+            .iter()
+            .map(|&m| self.select_format(m, margin))
+            .collect();
         Ok((input_format, stage_formats))
     }
 
@@ -962,8 +973,8 @@ mod tests {
         let loaded = tie.load_layer(layer).unwrap();
         let x = Tensor::<f64>::filled(vec![4096], 0.01).unwrap();
         let (_, stats) = tie.run(&loaded, &x, false).unwrap();
-        let tops = stats.equivalent_ops_per_sec(loaded.plan().dense_equivalent_ops(), 1000.0)
-            / 1e12;
+        let tops =
+            stats.equivalent_ops_per_sec(loaded.plan().dense_equivalent_ops(), 1000.0) / 1e12;
         assert!(
             (2.0..20.0).contains(&tops),
             "FC7 equivalent throughput {tops:.2} TOPS out of expected range"
@@ -995,7 +1006,10 @@ mod tests {
         let x: Tensor<f64> = init::uniform(&mut rng, vec![4], 1.0);
         let (y_lin, _) = tie.run(&loaded, &x, false).unwrap();
         let (y_relu, _) = tie.run(&loaded, &x, true).unwrap();
-        assert!(y_lin.data().iter().any(|&v| v < 0.0), "test needs a negative output");
+        assert!(
+            y_lin.data().iter().any(|&v| v < 0.0),
+            "test needs a negative output"
+        );
         for (a, b) in y_lin.data().iter().zip(y_relu.data()) {
             let want = a.max(0.0);
             assert!((want - b).abs() < 1e-9 + want.abs() * 1e-6);
@@ -1030,8 +1044,6 @@ mod tests {
             );
         }
     }
-
-
 
     #[test]
     fn pass_overhead_charges_per_tile_pass() {
@@ -1144,14 +1156,19 @@ mod tests {
         let mut tie = accel();
         assert!(tie.load_network(vec![]).is_err());
         // 16 -> 16 followed by a layer expecting 64 inputs: mismatch.
-        let a = random_layer(211, &TtShape::uniform_rank(vec![4, 4], vec![4, 4], 2).unwrap());
-        let b = random_layer(212, &TtShape::uniform_rank(vec![4, 4], vec![8, 8], 2).unwrap());
+        let a = random_layer(
+            211,
+            &TtShape::uniform_rank(vec![4, 4], vec![4, 4], 2).unwrap(),
+        );
+        let b = random_layer(
+            212,
+            &TtShape::uniform_rank(vec![4, 4], vec![8, 8], 2).unwrap(),
+        );
         assert!(tie.load_network(vec![a.clone(), b]).is_err());
         // Too many layers for the 16 KB weight SRAM (each 256->256 r=4
         // layer pads to 832 elements; 12 of them exceed 8192).
         let big = TtShape::uniform_rank(vec![4; 4], vec![4; 4], 4).unwrap();
-        let stack: Vec<TtMatrix<f64>> =
-            (0..12).map(|i| random_layer(220 + i, &big)).collect();
+        let stack: Vec<TtMatrix<f64>> = (0..12).map(|i| random_layer(220 + i, &big)).collect();
         assert!(tie.load_network(stack).is_err());
         // A single layer still loads fine afterwards.
         assert!(tie.load_layer(a).is_ok());

@@ -209,13 +209,25 @@ mod tests {
 
     #[test]
     fn validation_rejects_degenerate_configs() {
-        let c = TieConfig { n_pe: 0, ..TieConfig::default() };
+        let c = TieConfig {
+            n_pe: 0,
+            ..TieConfig::default()
+        };
         assert!(c.validate().is_err());
-        let c = TieConfig { working_sram_banks: 8, ..TieConfig::default() };
+        let c = TieConfig {
+            working_sram_banks: 8,
+            ..TieConfig::default()
+        };
         assert!(c.validate().is_err());
-        let c = TieConfig { freq_mhz: 0.0, ..TieConfig::default() };
+        let c = TieConfig {
+            freq_mhz: 0.0,
+            ..TieConfig::default()
+        };
         assert!(c.validate().is_err());
-        let c = TieConfig { weight_sram_bytes: 0, ..TieConfig::default() };
+        let c = TieConfig {
+            weight_sram_bytes: 0,
+            ..TieConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -44,9 +44,9 @@ mod stats;
 
 pub use accelerator::{LoadedLayer, LoadedNetwork, TieAccelerator};
 pub use config::{CalibrationMode, QuantConfig, TieConfig};
+pub use pe_array::PeArray;
 pub use qengine::QuantizedEngine;
 pub use qpipeline::{PipeReport, PipelinedEngine, QuantChain};
-pub use pe_array::PeArray;
 pub use sram::{WeightSram, WorkingSram};
 pub use stats::{RunStats, StageStats};
 

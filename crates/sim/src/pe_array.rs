@@ -85,8 +85,7 @@ impl PeArray {
             for pt in 0..pe_tiles {
                 outcome.cycles += pass_overhead;
                 let live_cols = (v_cols - pt * self.n_pe).min(self.n_pe);
-                let mut accs =
-                    vec![vec![Accumulator::new(prod_shift); self.n_pe]; self.n_mac];
+                let mut accs = vec![vec![Accumulator::new(prod_shift); self.n_pe]; self.n_mac];
                 for gcol in 0..gtilde_cols {
                     let w = read_weights(rt, gcol);
                     debug_assert_eq!(w.len(), self.n_mac);
@@ -128,8 +127,8 @@ mod tests {
     /// Runs a stage with in-memory matrices and no conflicts.
     fn run_simple(
         pe: &PeArray,
-        g: &[Vec<i16>],  // rows × cols
-        v: &[Vec<i16>],  // cols × w
+        g: &[Vec<i16>], // rows × cols
+        v: &[Vec<i16>], // cols × w
     ) -> (Vec<Vec<i32>>, StageOutcome) {
         let rows = g.len();
         let cols = g[0].len();

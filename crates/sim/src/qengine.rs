@@ -22,8 +22,8 @@ use crate::accelerator::{probe_maxima, probe_vectors};
 use crate::config::QuantConfig;
 use std::sync::Mutex;
 use tie_core::indexmap::{assemble_dest_map, prepare_copy_plan, stage_dest_map, CopyPlan};
-use tie_core::{CompactEngine, InferencePlan};
-use tie_quant::{qmatmul_raw_mapped, QFormat, QMatmulReport, QTensor};
+use tie_core::{Activation, CompactEngine, InferencePlan};
+use tie_quant::{qmatmul_raw_mapped, qmatmul_raw_mapped_relu, QFormat, QMatmulReport, QTensor};
 use tie_tensor::linalg::DestMap;
 use tie_tensor::{Result, TensorError};
 use tie_tt::{TtMatrix, TtShape};
@@ -66,6 +66,10 @@ pub struct QuantizedEngine {
     dest_maps: Vec<DestMap>,
     /// Minimal block-copy plan for the input layout (Eqn. (8)).
     prep_plan: CopyPlan,
+    /// Activation fused into the final stage's requantization epilogue —
+    /// applied to the clipped 32-bit code before narrowing, exactly like
+    /// the TIE PE's output pass. Saturation reports are unchanged by it.
+    activation: Activation,
     /// Ping-pong code scratch, grown on demand and reused across calls.
     workspace: Mutex<QWorkspace>,
 }
@@ -87,6 +91,7 @@ impl Clone for QuantizedEngine {
             stage_formats: self.stage_formats.clone(),
             dest_maps: self.dest_maps.clone(),
             prep_plan: self.prep_plan.clone(),
+            activation: self.activation,
             // Scratch is per-engine state, not semantic state.
             workspace: Mutex::new(QWorkspace::default()),
         }
@@ -132,23 +137,21 @@ impl QuantizedEngine {
             cores.push(q);
         }
 
-        let (input_max, stage_max) =
-            if quant.calibrate_activations && quant.probe_count > 0 {
-                let probes = probe_vectors(
-                    quant.probe_seed,
-                    quant.probe_count,
-                    shape.num_cols(),
-                    quant.probe_amplitude,
-                )?;
-                let (im, sm, _) = probe_maxima(&reference, &probes)?;
-                (im, sm)
-            } else {
-                (0.0, vec![0.0f64; d])
-            };
+        let (input_max, stage_max) = if quant.calibrate_activations && quant.probe_count > 0 {
+            let probes = probe_vectors(
+                quant.probe_seed,
+                quant.probe_count,
+                shape.num_cols(),
+                quant.probe_amplitude,
+            )?;
+            let (im, sm, _) = probe_maxima(&reference, &probes)?;
+            (im, sm)
+        } else {
+            (0.0, vec![0.0f64; d])
+        };
         let select = |max_abs: f64| -> QFormat {
             if quant.calibrate_activations && max_abs > 0.0 {
-                QFormat::calibrate(max_abs * quant.probe_margin)
-                    .unwrap_or(quant.activation_format)
+                QFormat::calibrate(max_abs * quant.probe_margin).unwrap_or(quant.activation_format)
             } else {
                 quant.activation_format
             }
@@ -185,8 +188,25 @@ impl QuantizedEngine {
             stage_formats,
             dest_maps,
             prep_plan,
+            activation: Activation::Identity,
             workspace: Mutex::new(QWorkspace::default()),
         })
+    }
+
+    /// Selects the activation fused into the final stage's requantization
+    /// epilogue (builder style). ReLU applies to the clipped 32-bit code
+    /// before narrowing, so the saturation report is bit-identical to the
+    /// unfused engine's.
+    #[must_use]
+    pub fn with_activation(mut self, activation: Activation) -> Self {
+        self.activation = activation;
+        self.plan = self.plan.clone().with_activation(activation);
+        self
+    }
+
+    /// The fused final-stage activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
     }
 
     /// The layer's TT layout.
@@ -278,12 +298,7 @@ impl QuantizedEngine {
     ///
     /// Returns [`TensorError::ShapeMismatch`] if `xs` is not `N·b`
     /// elements or `ys` is not `M·b` elements.
-    pub fn matvec_batch_into(
-        &self,
-        xs: &[f64],
-        b: usize,
-        ys: &mut [f64],
-    ) -> Result<QMatmulReport> {
+    pub fn matvec_batch_into(&self, xs: &[f64], b: usize, ys: &mut [f64]) -> Result<QMatmulReport> {
         let n = self.shape.num_cols();
         let m = self.shape.num_rows();
         if xs.len() != n * b {
@@ -339,18 +354,36 @@ impl QuantizedEngine {
             // codes land directly in the next stage's layout and the
             // separate permutation pass of the legacy pipeline is gone.
             let out_elems = rows * cols * b;
-            let stage_report = qmatmul_raw_mapped(
-                self.cores[h - 1].codes(),
-                &cur[..k * cols * b],
-                rows,
-                k,
-                cols,
-                b,
-                prod_shift,
-                out_shift,
-                &mut nxt[..out_elems],
-                &self.dest_maps[idx],
-            );
+            // The final stage (h = 1) additionally fuses the activation
+            // into the requantization epilogue — no separate pass over
+            // the assembled codes.
+            let stage_report = if h == 1 && self.activation == Activation::Relu {
+                qmatmul_raw_mapped_relu(
+                    self.cores[h - 1].codes(),
+                    &cur[..k * cols * b],
+                    rows,
+                    k,
+                    cols,
+                    b,
+                    prod_shift,
+                    out_shift,
+                    &mut nxt[..out_elems],
+                    &self.dest_maps[idx],
+                )
+            } else {
+                qmatmul_raw_mapped(
+                    self.cores[h - 1].codes(),
+                    &cur[..k * cols * b],
+                    rows,
+                    k,
+                    cols,
+                    b,
+                    prod_shift,
+                    out_shift,
+                    &mut nxt[..out_elems],
+                    &self.dest_maps[idx],
+                )
+            };
             report = report.merged(&stage_report);
             std::mem::swap(&mut cur, &mut nxt);
             in_format = out_format;
@@ -405,7 +438,9 @@ mod tests {
         let xs: Tensor<f64> = init::uniform(&mut rng, vec![16 * b], 1.0);
         // Interleave element-major: xs[j*b + c].
         let mut batch_ys = vec![0.0f64; 9 * b];
-        engine.matvec_batch_into(xs.data(), b, &mut batch_ys).unwrap();
+        engine
+            .matvec_batch_into(xs.data(), b, &mut batch_ys)
+            .unwrap();
         for c in 0..b {
             let x1: Vec<f64> = (0..16).map(|j| xs.data()[j * b + c]).collect();
             let mut y1 = vec![0.0f64; 9];
@@ -441,13 +476,46 @@ mod tests {
     }
 
     #[test]
+    fn fused_relu_matches_separate_relu_pass_bitwise() {
+        // ReLU fused into the final requantization must equal the unfused
+        // engine followed by a separate relu pass — outputs bitwise, and
+        // the saturation report untouched by the epilogue.
+        let shape = TtShape::uniform_rank(vec![3, 3], vec![4, 4], 3).unwrap();
+        let layer = random_layer(308, &shape);
+        let plain = QuantizedEngine::new(layer.clone(), QuantConfig::default()).unwrap();
+        let fused = QuantizedEngine::new(layer, QuantConfig::default())
+            .unwrap()
+            .with_activation(Activation::Relu);
+        assert_eq!(fused.activation(), Activation::Relu);
+        assert_eq!(fused.plan().activation(), Activation::Relu);
+        let mut rng = ChaCha8Rng::seed_from_u64(309);
+        for b in [1usize, 4] {
+            let xs: Tensor<f64> = init::uniform(&mut rng, vec![16 * b], 1.0);
+            let mut want = vec![0.0f64; 9 * b];
+            let r_plain = plain.matvec_batch_into(xs.data(), b, &mut want).unwrap();
+            for v in &mut want {
+                *v = if *v > 0.0 { *v } else { 0.0 };
+            }
+            let mut got = vec![0.0f64; 9 * b];
+            let r_fused = fused.matvec_batch_into(xs.data(), b, &mut got).unwrap();
+            assert_eq!(r_fused, r_plain, "reports must be epilogue-invariant");
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.to_bits(), w.to_bits(), "b={b}");
+            }
+            assert!(got.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
     fn rejects_wrong_lengths_and_accepts_empty_batch() {
         let shape = TtShape::uniform_rank(vec![2, 2], vec![2, 2], 2).unwrap();
         let engine =
             QuantizedEngine::new(random_layer(306, &shape), QuantConfig::default()).unwrap();
         let mut ys = vec![0.0f64; 4];
         assert!(engine.matvec_batch_into(&[0.0; 3], 1, &mut ys).is_err());
-        assert!(engine.matvec_batch_into(&[0.0; 4], 1, &mut ys[..3]).is_err());
+        assert!(engine
+            .matvec_batch_into(&[0.0; 4], 1, &mut ys[..3])
+            .is_err());
         let report = engine.matvec_batch_into(&[], 0, &mut []).unwrap();
         assert_eq!(report.outputs, 0);
     }

@@ -17,8 +17,10 @@
 use tie_core::pipeline::{
     FloatChain, PipeRunStats, PipelineConfig, StageChain, StageCounterSnapshot, StagePipeline,
 };
-use tie_core::{CompactEngine, CutPlan, InferencePlan};
-use tie_quant::{alignment, qmatmul_raw_mapped, QFormat, QMatmulReport, QTensor};
+use tie_core::{Activation, CompactEngine, CutPlan, InferencePlan};
+use tie_quant::{
+    alignment, qmatmul_raw_mapped, qmatmul_raw_mapped_relu, QFormat, QMatmulReport, QTensor,
+};
 use tie_tensor::linalg::DestMap;
 use tie_tensor::Result;
 use tie_tt::inference::OpCount;
@@ -42,6 +44,9 @@ pub struct QuantChain {
     output_format: QFormat,
     rows: usize,
     cols: usize,
+    /// Final-stage fused activation, copied from the engine — applied
+    /// inside the last stage's requantization epilogue at any cut.
+    activation: Activation,
 }
 
 impl QuantChain {
@@ -58,7 +63,11 @@ impl QuantChain {
         let mut in_format = engine.input_format();
         for (idx, stage) in plan.stages().iter().enumerate() {
             let out_format = engine.stage_formats()[idx];
-            shifts.push(alignment(engine.cores()[stage.h - 1].format(), in_format, out_format));
+            shifts.push(alignment(
+                engine.cores()[stage.h - 1].format(),
+                in_format,
+                out_format,
+            ));
             in_format = out_format;
         }
         let prep = engine.prep_plan();
@@ -72,6 +81,7 @@ impl QuantChain {
             output_format: *engine.stage_formats().last().expect("d >= 1"),
             rows: engine.num_rows(),
             cols: engine.num_cols(),
+            activation: engine.activation(),
             plan,
         })
     }
@@ -120,18 +130,34 @@ impl StageChain for QuantChain {
         let stage = &self.plan.stages()[idx];
         let (rows, k, cols) = (stage.gtilde_rows, stage.gtilde_cols, stage.v_cols);
         let (prod_shift, out_shift) = self.shifts[idx];
-        let stage_report = qmatmul_raw_mapped(
-            self.cores[stage.h - 1].codes(),
-            &input[..k * cols * w],
-            rows,
-            k,
-            cols,
-            w,
-            prod_shift,
-            out_shift,
-            &mut output[..rows * cols * w],
-            &self.dest_maps[idx],
-        );
+        let last = idx + 1 == self.plan.stages().len();
+        let stage_report = if last && self.activation == Activation::Relu {
+            qmatmul_raw_mapped_relu(
+                self.cores[stage.h - 1].codes(),
+                &input[..k * cols * w],
+                rows,
+                k,
+                cols,
+                w,
+                prod_shift,
+                out_shift,
+                &mut output[..rows * cols * w],
+                &self.dest_maps[idx],
+            )
+        } else {
+            qmatmul_raw_mapped(
+                self.cores[stage.h - 1].codes(),
+                &input[..k * cols * w],
+                rows,
+                k,
+                cols,
+                w,
+                prod_shift,
+                out_shift,
+                &mut output[..rows * cols * w],
+                &self.dest_maps[idx],
+            )
+        };
         *report = report.merged(&stage_report);
         Ok(())
     }
@@ -189,8 +215,7 @@ impl PipelinedEngine {
     ///
     /// Propagates invalid [`PipelineConfig`] values.
     pub fn float(engine: &CompactEngine<f64>, config: PipelineConfig) -> Result<Self> {
-        let park = engine.matrix().shape().num_rows() as u64
-            * std::mem::size_of::<f64>() as u64;
+        let park = engine.matrix().shape().num_rows() as u64 * std::mem::size_of::<f64>() as u64;
         Ok(PipelinedEngine {
             inner: Inner::Float(StagePipeline::new(FloatChain::new(engine)?, config)?),
             bytes_moved: engine.bytes_moved_per_sample() + park,
@@ -299,11 +324,19 @@ impl PipelinedEngine {
         match &self.inner {
             Inner::Float(p) => {
                 let (ops, run) = p.matvec_batch_into(xs, b, ys)?;
-                Ok(PipeReport { ops, quant: QMatmulReport::default(), run })
+                Ok(PipeReport {
+                    ops,
+                    quant: QMatmulReport::default(),
+                    run,
+                })
             }
             Inner::Quant(p) => {
                 let (quant, run) = p.matvec_batch_into(xs, b, ys)?;
-                Ok(PipeReport { ops: OpCount::default(), quant, run })
+                Ok(PipeReport {
+                    ops: OpCount::default(),
+                    quant,
+                    run,
+                })
             }
         }
     }
@@ -333,7 +366,10 @@ mod tests {
             for micro in [1, 4] {
                 let pipe = PipelinedEngine::quantized(
                     &engine,
-                    PipelineConfig { depth, micro_batch: micro },
+                    PipelineConfig {
+                        depth,
+                        micro_batch: micro,
+                    },
                 )
                 .unwrap();
                 let b = 6;
@@ -354,12 +390,51 @@ mod tests {
     }
 
     #[test]
+    fn fused_relu_quant_pipeline_matches_sequential_bitwise() {
+        // The final-stage ReLU epilogue must survive pipelining: codes and
+        // saturation reports stay bitwise equal to the sequential fused
+        // engine at every cut.
+        let engine = QuantizedEngine::new(layer(45), QuantConfig::default())
+            .unwrap()
+            .with_activation(tie_core::Activation::Relu);
+        let (n, m) = (engine.num_cols(), engine.num_rows());
+        let mut rng = ChaCha8Rng::seed_from_u64(46);
+        let b = 5;
+        let xs: Tensor<f64> = init::uniform(&mut rng, vec![n * b], 1.0);
+        let mut want = vec![0.0f64; m * b];
+        let seq = engine.matvec_batch_into(xs.data(), b, &mut want).unwrap();
+        for depth in [1, 2, 3] {
+            let pipe = PipelinedEngine::quantized(
+                &engine,
+                PipelineConfig {
+                    depth,
+                    micro_batch: 2,
+                },
+            )
+            .unwrap();
+            let mut got = vec![0.0f64; m * b];
+            let rep = pipe.matvec_batch_into(xs.data(), b, &mut got).unwrap();
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.to_bits(), w.to_bits(), "depth {depth}");
+            }
+            assert_eq!(rep.quant, seq);
+            assert!(got.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
     fn float_pipeline_engine_matches_compact_engine() {
         let engine = CompactEngine::new(layer(42)).unwrap();
         let shape = engine.matrix().shape();
         let (n, m) = (shape.num_cols(), shape.num_rows());
-        let pipe =
-            PipelinedEngine::float(&engine, PipelineConfig { depth: 3, micro_batch: 2 }).unwrap();
+        let pipe = PipelinedEngine::float(
+            &engine,
+            PipelineConfig {
+                depth: 3,
+                micro_batch: 2,
+            },
+        )
+        .unwrap();
         assert!(!pipe.is_quantized());
         assert_eq!((pipe.num_rows(), pipe.num_cols()), (m, n));
         let mut rng = ChaCha8Rng::seed_from_u64(43);
@@ -386,7 +461,11 @@ mod tests {
             .plan()
             .stages()
             .iter()
-            .map(|s| StageStats { h: s.h, cycles: s.muls(), ..StageStats::default() })
+            .map(|s| StageStats {
+                h: s.h,
+                cycles: s.muls(),
+                ..StageStats::default()
+            })
             .collect();
         let run = RunStats { stages };
         // depth 1 or a single chunk: no overlap, the sequential count.

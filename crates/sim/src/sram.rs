@@ -90,7 +90,10 @@ impl WeightSram {
         let c = &self.cores[core];
         let dims = c.shape().dims();
         let (rows, cols) = (dims[0], dims[1]);
-        assert!(col < cols && row_tile * self.n_mac < rows, "weight address out of range");
+        assert!(
+            col < cols && row_tile * self.n_mac < rows,
+            "weight address out of range"
+        );
         self.reads += 1;
         (0..self.n_mac)
             .map(|i| {
@@ -238,7 +241,10 @@ impl WorkingSram {
         let mut banks_touched = vec![false; self.n_banks];
         let mut words = 0u64;
         for &(r, c, v) in items {
-            assert!(r < self.rows && c < self.cols, "working SRAM write out of range");
+            assert!(
+                r < self.rows && c < self.cols,
+                "working SRAM write out of range"
+            );
             self.data[r * self.cols + c] = v;
             let b = self.bank_of(r, c);
             if !banks_touched[b] {
@@ -262,7 +268,10 @@ impl WorkingSram {
         let values = positions
             .iter()
             .map(|&(r, c)| {
-                assert!(r < self.rows && c < self.cols, "working SRAM read out of range");
+                assert!(
+                    r < self.rows && c < self.cols,
+                    "working SRAM read out of range"
+                );
                 per_bank[self.bank_of(r, c)] += 1;
                 self.data[r * self.cols + c]
             })
@@ -360,8 +369,7 @@ mod tests {
     use tie_tensor::Tensor;
 
     fn q(rows: usize, cols: usize) -> QTensor {
-        let t = Tensor::<f64>::from_fn(vec![rows, cols], |i| (i[0] * cols + i[1]) as f64)
-            .unwrap();
+        let t = Tensor::<f64>::from_fn(vec![rows, cols], |i| (i[0] * cols + i[1]) as f64).unwrap();
         QTensor::quantize(&t, QFormat::new(0).unwrap())
     }
 

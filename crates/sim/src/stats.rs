@@ -101,7 +101,12 @@ impl RunStats {
         let bottleneck = cut
             .runs()
             .iter()
-            .map(|r| self.stages[r.lo..r.hi].iter().map(|s| s.cycles).sum::<u64>())
+            .map(|r| {
+                self.stages[r.lo..r.hi]
+                    .iter()
+                    .map(|s| s.cycles)
+                    .sum::<u64>()
+            })
             .max()
             .unwrap_or(0);
         // fill/chunks + (chunks-1)·bottleneck/chunks, in one exact ceil:

@@ -70,7 +70,10 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::ElementCountMismatch { expected, got } => {
-                write!(f, "element count mismatch: shape requires {expected}, got {got}")
+                write!(
+                    f,
+                    "element count mismatch: shape requires {expected}, got {got}"
+                )
             }
             TensorError::ShapeMismatch { left, right } => {
                 write!(f, "shape mismatch: {left:?} vs {right:?}")
@@ -90,8 +93,14 @@ impl fmt::Display for TensorError {
                 write!(f, "invalid permutation {perm:?} for {ndim} dimensions")
             }
             TensorError::EmptyShape => write!(f, "empty shape is not allowed here"),
-            TensorError::NoConvergence { algorithm, iterations } => {
-                write!(f, "{algorithm} failed to converge after {iterations} iterations")
+            TensorError::NoConvergence {
+                algorithm,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{algorithm} failed to converge after {iterations} iterations"
+                )
             }
             TensorError::InvalidArgument { message } => write!(f, "invalid argument: {message}"),
         }
@@ -107,15 +116,35 @@ mod tests {
     #[test]
     fn display_is_nonempty_for_all_variants() {
         let variants: Vec<TensorError> = vec![
-            TensorError::ElementCountMismatch { expected: 4, got: 3 },
-            TensorError::ShapeMismatch { left: vec![2], right: vec![3] },
-            TensorError::MatmulDimMismatch { left: (2, 3), right: (4, 5) },
+            TensorError::ElementCountMismatch {
+                expected: 4,
+                got: 3,
+            },
+            TensorError::ShapeMismatch {
+                left: vec![2],
+                right: vec![3],
+            },
+            TensorError::MatmulDimMismatch {
+                left: (2, 3),
+                right: (4, 5),
+            },
             TensorError::NotAMatrix { ndim: 3 },
-            TensorError::IndexOutOfBounds { index: vec![5], shape: vec![2] },
-            TensorError::InvalidPermutation { perm: vec![0, 0], ndim: 2 },
+            TensorError::IndexOutOfBounds {
+                index: vec![5],
+                shape: vec![2],
+            },
+            TensorError::InvalidPermutation {
+                perm: vec![0, 0],
+                ndim: 2,
+            },
             TensorError::EmptyShape,
-            TensorError::NoConvergence { algorithm: "svd", iterations: 30 },
-            TensorError::InvalidArgument { message: "x".into() },
+            TensorError::NoConvergence {
+                algorithm: "svd",
+                iterations: 30,
+            },
+            TensorError::InvalidArgument {
+                message: "x".into(),
+            },
         ];
         for v in variants {
             assert!(!v.to_string().is_empty());

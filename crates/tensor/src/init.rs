@@ -75,7 +75,12 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(8);
         let t: Tensor<f64> = normal(&mut rng, vec![10_000], 2.0);
         let mean = t.sum() / 10_000.0;
-        let var = t.data().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 10_000.0;
+        let var = t
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / 10_000.0;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
     }

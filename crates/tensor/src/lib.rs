@@ -32,20 +32,24 @@
 //! # }
 //! ```
 
-// `deny` rather than `forbid`: four sanctioned exceptions. (1) The
-// `#[target_feature]` SIMD multiversioning in `linalg` (runtime-dispatched
-// AVX instantiation of the blocked GEMM body) — no raw-pointer code, the
-// `unsafe` is solely the target-feature calling contract, discharged by
-// `is_x86_feature_detected!` at the call site. (2) The lifetime-erased job
-// handoff and disjoint slab carving in `pool` — each `unsafe` block there
-// carries a SAFETY comment tying it to the dispatch protocol (a dispatcher
-// never returns while a worker can still reach its job frame, and distinct
-// slab indices map to non-overlapping sub-slices). (3) The mapped GEMM
-// write epilogue in `linalg` — scatter stores through a `DestMap` whose
-// constructor *proves* the destination offsets form a bijection, so the
-// raw writes are in-bounds and disjoint across the row-partitioned
-// workers by construction. (4) The same lifetime-erased job handoff, in
+// `deny` rather than `forbid`: five sanctioned exceptions. (1) The
+// `#[target_feature]` SIMD multiversioning in `tile` (runtime-dispatched
+// AVX/AVX2/AVX-512 instantiations of the shared tile-job bodies) — no
+// raw-pointer code, the `unsafe` is solely the target-feature calling
+// contract, discharged by `is_x86_feature_detected!` at the call site.
+// (2) The lifetime-erased job handoff and disjoint slab carving in `pool`
+// — each `unsafe` block there carries a SAFETY comment tying it to the
+// dispatch protocol (a dispatcher never returns while a worker can still
+// reach its job frame, and distinct slab indices map to non-overlapping
+// sub-slices). (3) The streaming stage's scatter store in `tile` — raw
+// writes through a `Dest` whose **unsafe trait** contract demands a
+// proven bijection (`DestMap::new` validates it; `RowMajor` holds it by
+// construction), so the stores are in-bounds and disjoint across the
+// row-partitioned workers. (4) The same lifetime-erased job handoff, in
 // barrier form, for the dedicated stage-pipeline threads in `pipeline`.
+// (5) The per-span row-slab carving in `tile`'s k-blocked and Gram
+// stages — `from_raw_parts_mut` over disjoint row spans handed out by
+// the global driver's partition.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -59,6 +63,7 @@ pub mod linalg;
 pub mod parallel;
 pub mod pipeline;
 pub mod pool;
+pub mod tile;
 
 pub use error::TensorError;
 pub use scalar::Scalar;

@@ -6,33 +6,13 @@
 //! dependency — everything is implemented from scratch per the reproduction
 //! ground rules.
 
+use crate::tile::{
+    self, Activation, Bias, BiasRelu, FloatAuto, FloatPath, Identity, Mapped, Relu, RowMajor,
+    BLOCK_K, BLOCK_M, BLOCK_N,
+};
 use crate::{parallel, Result, Scalar, Tensor, TensorError};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-
-/// Rows of `A`/`C` processed per cache block (reuses one `B` panel across a
-/// slab of output rows).
-const BLOCK_M: usize = 128;
-/// Depth (inner dimension) per cache block. Blocks are walked in ascending
-/// order so each output element accumulates its products in the same `k`
-/// order as the naive kernels — see the bit-consistency note on [`matmul`].
-const BLOCK_K: usize = 128;
-/// Columns of `B`/`C` per cache block; `BLOCK_K × BLOCK_N` elements of `B`
-/// (256 KiB at `f64`) stay L2-resident while a row slab streams past, and
-/// the microkernel's `BLOCK_K × TILE` column strips stay L1-resident.
-const BLOCK_N: usize = 256;
-/// Width (in `C` columns) of the register tile held by the NN microkernel
-/// on the portable (128-bit SIMD) path: 8 `f64` = 4 `xmm` accumulators per
-/// row, two rows = 8 in-flight add chains.
-const TILE_J: usize = 8;
-/// Register-tile width on the runtime-detected AVX path: 16 `f64` = 4
-/// `ymm` accumulators per row. The width only changes how many independent
-/// output columns are grouped per pass — each output's accumulation order
-/// is unchanged, so all paths are bit-identical.
-const TILE_J_WIDE: usize = 16;
-/// Register-tile width on the runtime-detected AVX-512 path: 32 `f64` = 4
-/// `zmm` accumulators per row.
-const TILE_J_512: usize = 32;
 
 /// Dense matrix product `C = A · B`.
 ///
@@ -82,7 +62,7 @@ pub fn matmul<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> Result<Tensor<T>> {
         });
     }
     let mut out = Tensor::zeros(vec![m, n]);
-    gemm_nn_dispatch(m, ka, n, a.data(), b.data(), out.data_mut());
+    tile::kblocked_gemm(FloatAuto, a.data(), b.data(), out.data_mut(), m, ka, n);
     Ok(out)
 }
 
@@ -156,20 +136,8 @@ pub fn gemm_into<T: Scalar>(
         });
     }
     c.fill(T::ZERO);
-    gemm_nn_dispatch(m, k, n, a, b, c);
+    tile::kblocked_gemm(FloatAuto, a, b, c, m, k, n);
     Ok(())
-}
-
-/// Threaded front door for the blocked NN kernel: splits output rows into
-/// per-worker slabs (each with its matching rows of `A`), or runs inline
-/// below the spawn threshold. `c` must be pre-zeroed.
-fn gemm_nn_dispatch<T: Scalar>(m: usize, k: usize, n: usize, a: &[T], b: &[T], c: &mut [T]) {
-    let threads = parallel::threads_for(m * k * n, m);
-    parallel::for_each_row_slab(c, m, n, threads, |row0, c_slab| {
-        let rows = c_slab.len() / n.max(1);
-        let a_slab = &a[row0 * k..(row0 + rows) * k];
-        gemm_nn_block(rows, k, n, a_slab, b, c_slab);
-    });
 }
 
 /// [`gemm_into`] over freshly spawned `std::thread::scope` workers instead
@@ -204,168 +172,9 @@ pub fn gemm_into_scoped<T: Scalar>(
     parallel::for_each_row_slab_scoped(c, m, n, threads, |row0, c_slab| {
         let rows = c_slab.len() / n.max(1);
         let a_slab = &a[row0 * k..(row0 + rows) * k];
-        gemm_nn_block(rows, k, n, a_slab, b, c_slab);
+        tile::kblocked_span(FloatAuto, rows, k, n, a_slab, b, c_slab);
     });
     Ok(())
-}
-
-/// Cache-blocked `C += A · B` on one row slab. Ascending `k0`/`kk` keeps
-/// each output's accumulation order identical to the naive kernel.
-///
-/// Dispatches at runtime to an AVX-compiled instantiation (wider register
-/// tile, 256-bit vectors) when the CPU supports it; baseline builds stay on
-/// the portable 128-bit path. Both instantiations share one generic body,
-/// so they are the same arithmetic in the same order.
-fn gemm_nn_block<T: Scalar>(rows: usize, k: usize, n: usize, a: &[T], b: &[T], c: &mut [T]) {
-    #[cfg(target_arch = "x86_64")]
-    {
-        if std::arch::is_x86_feature_detected!("avx512f") {
-            // SAFETY: `avx512f` support was just detected on this CPU; the
-            // callee is ordinary safe slice code whose only `unsafe`
-            // obligation is that target-feature availability.
-            #[allow(unsafe_code)]
-            unsafe {
-                gemm_nn_block_avx512(rows, k, n, a, b, c);
-            }
-            return;
-        }
-        if std::arch::is_x86_feature_detected!("avx") {
-            // SAFETY: `avx` support was just detected on this CPU; the
-            // callee is ordinary safe slice code whose only `unsafe`
-            // obligation is that target-feature availability.
-            #[allow(unsafe_code)]
-            unsafe {
-                gemm_nn_block_avx(rows, k, n, a, b, c);
-            }
-            return;
-        }
-    }
-    gemm_nn_block_body::<T, TILE_J, 2>(rows, k, n, a, b, c);
-}
-
-/// AVX instantiation of the blocked NN kernel. `#[target_feature]` lets
-/// LLVM emit 256-bit loads/mul/add for the shared body; FMA contraction is
-/// never enabled, so results stay bit-identical to the portable path.
-/// AVX-512 instantiation of the blocked NN kernel (512-bit vectors, wider
-/// register tile). Same shared body, same arithmetic order.
-#[cfg(target_arch = "x86_64")]
-#[allow(unsafe_code)]
-#[target_feature(enable = "avx512f")]
-unsafe fn gemm_nn_block_avx512<T: Scalar>(
-    rows: usize,
-    k: usize,
-    n: usize,
-    a: &[T],
-    b: &[T],
-    c: &mut [T],
-) {
-    gemm_nn_block_body::<T, TILE_J_512, 4>(rows, k, n, a, b, c);
-}
-
-#[cfg(target_arch = "x86_64")]
-#[allow(unsafe_code)]
-#[target_feature(enable = "avx")]
-unsafe fn gemm_nn_block_avx<T: Scalar>(
-    rows: usize,
-    k: usize,
-    n: usize,
-    a: &[T],
-    b: &[T],
-    c: &mut [T],
-) {
-    gemm_nn_block_body::<T, TILE_J_WIDE, 2>(rows, k, n, a, b, c);
-}
-
-#[inline(always)]
-fn gemm_nn_block_body<T: Scalar, const TJ: usize, const R: usize>(
-    rows: usize,
-    k: usize,
-    n: usize,
-    a: &[T],
-    b: &[T],
-    c: &mut [T],
-) {
-    for i0 in (0..rows).step_by(BLOCK_M) {
-        let i1 = (i0 + BLOCK_M).min(rows);
-        for k0 in (0..k).step_by(BLOCK_K) {
-            let k1 = (k0 + BLOCK_K).min(k);
-            for j0 in (0..n).step_by(BLOCK_N) {
-                let j1 = (j0 + BLOCK_N).min(n);
-                let len = j1 - j0;
-                // R-row × TJ-column register microkernel: the C tiles are
-                // loaded into locals ONCE per k-block, accumulated across
-                // the whole `kk` loop, and stored back once — so steady
-                // state does one B-vector load per R output rows and no C
-                // traffic inside the k loop. The `jt` strip loop sits
-                // OUTSIDE the row loop so one `BLOCK_K × TJ` column strip
-                // of `B` stays L1-resident while every row pair of the slab
-                // sweeps over it. Because k-blocks advance in ascending
-                // order and each tile element adds its products in
-                // ascending `kk`, every output still sees the exact
-                // left-to-right accumulation sequence of the scalar loop,
-                // keeping the kernel bit-identical to `matmul_naive` on
-                // NaN/∞-free inputs (see `matmul`'s zero-skip note:
-                // skipping `aik == 0` is bit-neutral there, so this kernel
-                // simply never skips). The fixed-size tile arrays give the
-                // compiler provable lengths, eliding bounds checks and
-                // vectorizing across the tile.
-                let mut jt = 0;
-                while jt + TJ <= len {
-                    let jb = j0 + jt;
-                    let mut i = i0;
-                    while i + R <= i1 {
-                        let mut t = [[T::ZERO; TJ]; R];
-                        for (r, tr) in t.iter_mut().enumerate() {
-                            tr.copy_from_slice(&c[(i + r) * n + jb..][..TJ]);
-                        }
-                        for kk in k0..k1 {
-                            let bv = &b[kk * n + jb..][..TJ];
-                            for (r, tr) in t.iter_mut().enumerate() {
-                                let ar = a[(i + r) * k + kk];
-                                for (x, &v) in tr.iter_mut().zip(bv) {
-                                    *x += ar * v;
-                                }
-                            }
-                        }
-                        for (r, tr) in t.iter().enumerate() {
-                            c[(i + r) * n + jb..][..TJ].copy_from_slice(tr);
-                        }
-                        i += R;
-                    }
-                    while i < i1 {
-                        let arow = &a[i * k..(i + 1) * k];
-                        let crow = &mut c[i * n + jb..][..TJ];
-                        let mut t0 = [T::ZERO; TJ];
-                        t0.copy_from_slice(crow);
-                        for kk in k0..k1 {
-                            let a0 = arow[kk];
-                            let bv = &b[kk * n + jb..][..TJ];
-                            for (t, &v) in bv.iter().enumerate() {
-                                t0[t] += a0 * v;
-                            }
-                        }
-                        crow.copy_from_slice(&t0);
-                        i += 1;
-                    }
-                    jt += TJ;
-                }
-                // Remainder columns (< TJ wide): plain scalar accumulators,
-                // same ascending-k order.
-                while jt < len {
-                    let jb = j0 + jt;
-                    for i in i0..i1 {
-                        let arow = &a[i * k..(i + 1) * k];
-                        let mut s0 = c[i * n + jb];
-                        for kk in k0..k1 {
-                            s0 += arow[kk] * b[kk * n + jb];
-                        }
-                        c[i * n + jb] = s0;
-                    }
-                    jt += 1;
-                }
-            }
-        }
-    }
 }
 
 /// A separable destination map: the write epilogue of the mapped GEMM
@@ -417,7 +226,11 @@ impl DestMap {
                     return Err(TensorError::InvalidArgument {
                         message: format!(
                             "DestMap: offset {off} for ({i}, {q}) is {} (space {total})",
-                            if off >= total { "out of range" } else { "duplicated" }
+                            if off >= total {
+                                "out of range"
+                            } else {
+                                "duplicated"
+                            }
                         ),
                     });
                 }
@@ -465,65 +278,6 @@ impl DestMap {
     #[must_use]
     pub fn col_offsets(&self) -> &[usize] {
         &self.col
-    }
-}
-
-/// Shareable raw destination pointer for the mapped kernels' scatter
-/// stores: spans write bijection-disjoint offsets, so no two workers touch
-/// the same element (see the safety notes on [`gemm_into_mapped`]).
-struct SendPtr<T>(*mut T);
-
-#[allow(unsafe_code)]
-// SAFETY: the pointer is only dereferenced at offsets derived from a
-// validated `DestMap` bijection, partitioned by output row across workers —
-// no two threads ever write the same element, and the buffer outlives the
-// dispatch (the caller holds `&mut` across the pool join).
-unsafe impl<T> Send for SendPtr<T> {}
-#[allow(unsafe_code)]
-// SAFETY: as above — shared references to the wrapper only hand out the
-// raw pointer; disjointness is guaranteed by the row partition.
-unsafe impl<T> Sync for SendPtr<T> {}
-
-impl<T> SendPtr<T> {
-    fn get(&self) -> *mut T {
-        self.0
-    }
-}
-
-/// Scatters one row of a register tile: `vals[t]` is GEMM column `jt + t`
-/// of a row whose destination row offset is `base_row`. The `(q, cb)`
-/// odometer advances without per-element division — one div/mod at entry,
-/// then increment-and-wrap.
-///
-/// # Safety
-///
-/// `c` must point at a buffer of `map_rows·map_cols·bsz` elements, `col`
-/// must come from a validated [`DestMap`] whose combined offsets with
-/// `base_row` stay in range, and no other thread may write the same
-/// offsets (guaranteed by the per-row span partition).
-#[allow(unsafe_code)]
-#[inline(always)]
-unsafe fn scatter_store<T: Scalar>(
-    c: *mut T,
-    base_row: usize,
-    col: &[usize],
-    bsz: usize,
-    jt: usize,
-    vals: &[T],
-) {
-    let mut q = jt / bsz;
-    let mut cb = jt - q * bsz;
-    for &v in vals {
-        // SAFETY: `(base_row + col[q])·bsz + cb` is inside the destination
-        // buffer by the `DestMap` bijection invariant (see fn docs).
-        unsafe {
-            *c.add((base_row + col[q]) * bsz + cb) = v;
-        }
-        cb += 1;
-        if cb == bsz {
-            cb = 0;
-            q += 1;
-        }
     }
 }
 
@@ -583,182 +337,211 @@ pub fn gemm_into_mapped<T: Scalar>(
             ),
         });
     }
-    let threads = parallel::threads_for(m * k * n, m);
-    let cp = SendPtr(c.as_mut_ptr());
-    parallel::for_each_row_span(m, threads, |row0, rows| {
-        gemm_nn_mapped_block(row0, rows, k, n_mat, bsz, a, b, cp.get(), map);
-    });
+    tile::stream_gemm(
+        FloatPath::<T>::new(),
+        FloatAuto,
+        a,
+        b,
+        c,
+        m,
+        k,
+        n_mat,
+        bsz,
+        &Mapped::new(map),
+        &Identity,
+    );
     Ok(())
 }
 
-/// Runtime SIMD dispatch for the mapped NN kernel — mirrors
-/// [`gemm_nn_block`] so the mapped and unmapped kernels always pick the
-/// same tile width on the same CPU.
+/// [`gemm_into_mapped`] with a fused bias/activation epilogue applied at
+/// the accumulator, inside the GEMM's store loop — the last TT stage's
+/// bias add + ReLU cost zero extra output passes.
+///
+/// `bias` (when present) is indexed by **logical destination element**
+/// `map.row[i] + map.col[q]` — for the engines' final assemble maps, the
+/// output-neuron index — and must have `m·n_mat` elements.
+///
+/// # Bit-consistency
+///
+/// The epilogue transforms each output's *finished* full-`k` accumulator,
+/// so the result is bit-identical to [`gemm_into_mapped`] followed by a
+/// separate bias/activation pass, at any thread count.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] as [`gemm_into_mapped`] does,
+/// or if `bias` length differs from `m·n_mat`.
 #[allow(clippy::too_many_arguments)] // GEMM kernel ABI: dims + slices are positional by design
-fn gemm_nn_mapped_block<T: Scalar>(
-    row0: usize,
-    rows: usize,
+pub fn gemm_into_mapped_fused<T: Scalar>(
+    a: &[T],
+    b: &[T],
+    c: &mut [T],
+    m: usize,
     k: usize,
     n_mat: usize,
     bsz: usize,
-    a: &[T],
-    b: &[T],
-    c: *mut T,
     map: &DestMap,
-) {
-    #[cfg(target_arch = "x86_64")]
-    {
-        if std::arch::is_x86_feature_detected!("avx512f") {
-            // SAFETY: `avx512f` support was just detected on this CPU; the
-            // callee's extra obligations (raw scatter stores) are
-            // discharged by the `DestMap` bijection (see `scatter_store`).
-            #[allow(unsafe_code)]
-            unsafe {
-                gemm_nn_mapped_avx512(row0, rows, k, n_mat, bsz, a, b, c, map);
-            }
-            return;
-        }
-        if std::arch::is_x86_feature_detected!("avx") {
-            // SAFETY: as above, for `avx`.
-            #[allow(unsafe_code)]
-            unsafe {
-                gemm_nn_mapped_avx(row0, rows, k, n_mat, bsz, a, b, c, map);
-            }
-            return;
-        }
-    }
-    gemm_nn_mapped_body::<T, TILE_J, 2>(row0, rows, k, n_mat, bsz, a, b, c, map);
-}
-
-#[cfg(target_arch = "x86_64")]
-#[allow(unsafe_code)]
-#[target_feature(enable = "avx512f")]
-#[allow(clippy::too_many_arguments)] // GEMM kernel ABI: dims + slices are positional by design
-unsafe fn gemm_nn_mapped_avx512<T: Scalar>(
-    row0: usize,
-    rows: usize,
-    k: usize,
-    n_mat: usize,
-    bsz: usize,
-    a: &[T],
-    b: &[T],
-    c: *mut T,
-    map: &DestMap,
-) {
-    gemm_nn_mapped_body::<T, TILE_J_512, 4>(row0, rows, k, n_mat, bsz, a, b, c, map);
-}
-
-#[cfg(target_arch = "x86_64")]
-#[allow(unsafe_code)]
-#[target_feature(enable = "avx")]
-#[allow(clippy::too_many_arguments)] // GEMM kernel ABI: dims + slices are positional by design
-unsafe fn gemm_nn_mapped_avx<T: Scalar>(
-    row0: usize,
-    rows: usize,
-    k: usize,
-    n_mat: usize,
-    bsz: usize,
-    a: &[T],
-    b: &[T],
-    c: *mut T,
-    map: &DestMap,
-) {
-    gemm_nn_mapped_body::<T, TILE_J_WIDE, 2>(row0, rows, k, n_mat, bsz, a, b, c, map);
-}
-
-/// Shared body of the mapped NN kernel: `R`-row × `TJ`-column register
-/// tiles accumulated across the **whole** `k` extent (no k-blocking — the
-/// tile never round-trips through `c`, which the scattered layout could
-/// not reload cheaply anyway; since the blocked kernel's partial-sum
-/// store/reload is exact, full-`k` accumulation produces identical bits),
-/// then scattered through the map by [`scatter_store`].
-#[allow(unsafe_code)]
-#[inline(always)]
-#[allow(clippy::too_many_arguments)] // GEMM kernel ABI: dims + slices are positional by design
-fn gemm_nn_mapped_body<T: Scalar, const TJ: usize, const R: usize>(
-    row0: usize,
-    rows: usize,
-    k: usize,
-    n_mat: usize,
-    bsz: usize,
-    a: &[T],
-    b: &[T],
-    c: *mut T,
-    map: &DestMap,
-) {
+    bias: Option<&[T]>,
+    act: Activation,
+) -> Result<()> {
     let n = n_mat * bsz;
-    let col = map.col_offsets();
-    let i1 = row0 + rows;
-    let mut i = row0;
-    while i + R <= i1 {
-        let mut jt = 0;
-        while jt + TJ <= n {
-            let mut t = [[T::ZERO; TJ]; R];
-            for kk in 0..k {
-                let bv = &b[kk * n + jt..][..TJ];
-                for (r, tr) in t.iter_mut().enumerate() {
-                    let ar = a[(i + r) * k + kk];
-                    for (x, &v) in tr.iter_mut().zip(bv) {
-                        *x += ar * v;
-                    }
-                }
-            }
-            for (r, tr) in t.iter().enumerate() {
-                // SAFETY: see `scatter_store` — offsets stay in range by
-                // the map bijection; rows `i..i+R` belong to this span.
-                unsafe {
-                    scatter_store(c, map.row_offsets()[i + r], col, bsz, jt, tr);
-                }
-            }
-            jt += TJ;
-        }
-        while jt < n {
-            for r in 0..R {
-                let arow = &a[(i + r) * k..(i + r + 1) * k];
-                let mut s0 = T::ZERO;
-                for (kk, &ar) in arow.iter().enumerate() {
-                    s0 += ar * b[kk * n + jt];
-                }
-                // SAFETY: single in-range offset, as above.
-                unsafe {
-                    scatter_store(c, map.row_offsets()[i + r], col, bsz, jt, &[s0]);
-                }
-            }
-            jt += 1;
-        }
-        i += R;
+    if bsz == 0 || map.rows() != m || map.cols() != n_mat {
+        return Err(TensorError::InvalidArgument {
+            message: format!(
+                "gemm_into_mapped_fused: map {}x{} (bsz {bsz}) does not match {m}x{n_mat}",
+                map.rows(),
+                map.cols()
+            ),
+        });
     }
-    while i < i1 {
-        let arow = &a[i * k..(i + 1) * k];
-        let base = map.row_offsets()[i];
-        let mut jt = 0;
-        while jt + TJ <= n {
-            let mut t0 = [T::ZERO; TJ];
-            for (kk, &ar) in arow.iter().enumerate() {
-                let bv = &b[kk * n + jt..][..TJ];
-                for (x, &v) in t0.iter_mut().zip(bv) {
-                    *x += ar * v;
-                }
-            }
-            // SAFETY: see `scatter_store`.
-            unsafe {
-                scatter_store(c, base, col, bsz, jt, &t0);
-            }
-            jt += TJ;
-        }
-        while jt < n {
-            let mut s0 = T::ZERO;
-            for (kk, &ar) in arow.iter().enumerate() {
-                s0 += ar * b[kk * n + jt];
-            }
-            // SAFETY: see `scatter_store`.
-            unsafe {
-                scatter_store(c, base, col, bsz, jt, &[s0]);
-            }
-            jt += 1;
-        }
-        i += 1;
+    if a.len() != m * k || b.len() != k * n || c.len() != m * n {
+        return Err(TensorError::InvalidArgument {
+            message: format!(
+                "gemm_into_mapped_fused: buffer lengths (a={}, b={}, c={}) do not match {m}x{k} · {k}x{n}",
+                a.len(),
+                b.len(),
+                c.len()
+            ),
+        });
     }
+    if let Some(bias) = bias {
+        if bias.len() != m * n_mat {
+            return Err(TensorError::InvalidArgument {
+                message: format!(
+                    "gemm_into_mapped_fused: bias length {} does not match {m}x{n_mat} output",
+                    bias.len()
+                ),
+            });
+        }
+    }
+    let path = FloatPath::<T>::new();
+    let dest = Mapped::new(map);
+    match (bias, act) {
+        (None, Activation::Identity) => {
+            tile::stream_gemm(path, FloatAuto, a, b, c, m, k, n_mat, bsz, &dest, &Identity);
+        }
+        (None, Activation::Relu) => {
+            tile::stream_gemm(path, FloatAuto, a, b, c, m, k, n_mat, bsz, &dest, &Relu);
+        }
+        (Some(bias), Activation::Identity) => {
+            tile::stream_gemm(
+                path,
+                FloatAuto,
+                a,
+                b,
+                c,
+                m,
+                k,
+                n_mat,
+                bsz,
+                &dest,
+                &Bias::new(bias),
+            );
+        }
+        (Some(bias), Activation::Relu) => {
+            tile::stream_gemm(
+                path,
+                FloatAuto,
+                a,
+                b,
+                c,
+                m,
+                k,
+                n_mat,
+                bsz,
+                &dest,
+                &BiasRelu::new(bias),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Row-major streaming GEMM with a fused bias/activation epilogue:
+/// [`gemm_into`] + bias + activation in one pass, with batch-inner column
+/// layout (`b` is `k × (n_mat·bsz)`, output element `(i, q·bsz + cb)` at
+/// `(i·n_mat + q)·bsz + cb`). `bias` is indexed by `i·n_mat + q` and must
+/// have `m·n_mat` elements. With `bsz == 1`, `bias == None`,
+/// `act == Identity` this is bitwise [`gemm_into`].
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] on length mismatch or
+/// `bsz == 0`.
+#[allow(clippy::too_many_arguments)] // GEMM kernel ABI: dims + slices are positional by design
+pub fn gemm_into_fused<T: Scalar>(
+    a: &[T],
+    b: &[T],
+    c: &mut [T],
+    m: usize,
+    k: usize,
+    n_mat: usize,
+    bsz: usize,
+    bias: Option<&[T]>,
+    act: Activation,
+) -> Result<()> {
+    let n = n_mat * bsz;
+    if bsz == 0 || a.len() != m * k || b.len() != k * n || c.len() != m * n {
+        return Err(TensorError::InvalidArgument {
+            message: format!(
+                "gemm_into_fused: buffer lengths (a={}, b={}, c={}) do not match {m}x{k} · {k}x{n} (bsz {bsz})",
+                a.len(),
+                b.len(),
+                c.len()
+            ),
+        });
+    }
+    if let Some(bias) = bias {
+        if bias.len() != m * n_mat {
+            return Err(TensorError::InvalidArgument {
+                message: format!(
+                    "gemm_into_fused: bias length {} does not match {m}x{n_mat} output",
+                    bias.len()
+                ),
+            });
+        }
+    }
+    let path = FloatPath::<T>::new();
+    let dest = RowMajor::new(m, n_mat);
+    match (bias, act) {
+        (None, Activation::Identity) => {
+            tile::stream_gemm(path, FloatAuto, a, b, c, m, k, n_mat, bsz, &dest, &Identity);
+        }
+        (None, Activation::Relu) => {
+            tile::stream_gemm(path, FloatAuto, a, b, c, m, k, n_mat, bsz, &dest, &Relu);
+        }
+        (Some(bias), Activation::Identity) => {
+            tile::stream_gemm(
+                path,
+                FloatAuto,
+                a,
+                b,
+                c,
+                m,
+                k,
+                n_mat,
+                bsz,
+                &dest,
+                &Bias::new(bias),
+            );
+        }
+        (Some(bias), Activation::Relu) => {
+            tile::stream_gemm(
+                path,
+                FloatAuto,
+                a,
+                b,
+                c,
+                m,
+                k,
+                n_mat,
+                bsz,
+                &dest,
+                &BiasRelu::new(bias),
+            );
+        }
+    }
+    Ok(())
 }
 
 /// Matrix-vector product `y = A · x` where `x` is a 1-D tensor.
@@ -961,11 +744,6 @@ pub fn matmul_nt<T: Scalar>(a: &Tensor<T>, b: &Tensor<T>) -> Result<Tensor<T>> {
     Ok(out)
 }
 
-/// Column-block size for [`gram_nt`]: `m` row segments of 512 doubles
-/// (4 KiB each) stay L2-resident while the `m²/2` pairwise dot products
-/// reuse them, so `A` is streamed from memory exactly once.
-const GRAM_BLOCK_K: usize = 512;
-
 /// Gram matrix `G = A · Aᵀ` of a row-major `m × n` matrix, without
 /// materializing `Aᵀ`.
 ///
@@ -985,35 +763,9 @@ const GRAM_BLOCK_K: usize = 512;
 /// serial path).
 fn gram_nt<T: Scalar>(a: &Tensor<T>) -> Result<Tensor<T>> {
     let (m, n) = (a.nrows()?, a.ncols()?);
-    let ad = a.data();
     let mut g = Tensor::zeros(vec![m, m]);
     let gd = g.data_mut();
-    let work = m.saturating_mul(m).saturating_mul(n) / 2;
-    let threads = parallel::threads_for(work, m);
-    let slab_rows = if threads <= 1 {
-        m.max(1)
-    } else {
-        m.div_ceil(threads * 4).max(1)
-    };
-    crate::pool::for_each_slab(gd, slab_rows * m, |slab_idx, g_slab| {
-        let i0 = slab_idx * slab_rows;
-        let rows = g_slab.len() / m.max(1);
-        for k0 in (0..n).step_by(GRAM_BLOCK_K) {
-            let k1 = (k0 + GRAM_BLOCK_K).min(n);
-            for r in 0..rows {
-                let i = i0 + r;
-                let arow = &ad[i * n + k0..i * n + k1];
-                for j in 0..=i {
-                    let brow = &ad[j * n + k0..j * n + k1];
-                    let mut acc = T::ZERO;
-                    for (&x, &y) in arow.iter().zip(brow) {
-                        acc += x * y;
-                    }
-                    g_slab[r * m + j] += acc;
-                }
-            }
-        }
-    });
+    tile::gram_into(a.data(), gd, m, n);
     for i in 0..m {
         for j in i + 1..m {
             gd[i * m + j] = gd[j * m + i];
@@ -1335,7 +1087,11 @@ pub fn svd<T: Scalar>(a: &Tensor<T>) -> Result<Svd<T>> {
         }
         sigmas.push(norm2.sqrt());
     }
-    order.sort_by(|&a, &b| sigmas[b].partial_cmp(&sigmas[a]).expect("finite singular values"));
+    order.sort_by(|&a, &b| {
+        sigmas[b]
+            .partial_cmp(&sigmas[a])
+            .expect("finite singular values")
+    });
     let mut u = Tensor::<T>::zeros(vec![m, k]);
     let mut vt = Tensor::<T>::zeros(vec![k, n]);
     let mut s = Vec::with_capacity(k);
@@ -1811,7 +1567,10 @@ mod tests {
             let a = init::uniform(&mut rng, vec![m, n], 1.0);
             let f = qr(&a).unwrap();
             let back = matmul(&f.q, &f.r).unwrap();
-            assert!(back.approx_eq(&a, 1e-10), "QR reconstruct failed for {m}x{n}");
+            assert!(
+                back.approx_eq(&a, 1e-10),
+                "QR reconstruct failed for {m}x{n}"
+            );
             assert_orthonormal_cols(&f.q, 1e-10);
             // R upper triangular
             let k = f.r.nrows().unwrap();
@@ -1852,7 +1611,11 @@ mod tests {
         let f = svd(&a).unwrap();
         assert!(f.s[0] > 1.0);
         for &sv in &f.s[1..] {
-            assert!(sv < 1e-10, "expected tiny trailing singular values: {:?}", f.s);
+            assert!(
+                sv < 1e-10,
+                "expected tiny trailing singular values: {:?}",
+                f.s
+            );
         }
         assert!(f.reconstruct().unwrap().approx_eq(&a, 1e-10));
     }
@@ -2004,7 +1767,12 @@ mod tests {
         // Auto must be exactly the seeded randomized path (proves dispatch).
         assert_eq!(auto.u.data(), pinned.u.data());
         let exact = svd(&a).unwrap();
-        let err = auto.reconstruct().unwrap().sub(&a).unwrap().frobenius_norm();
+        let err = auto
+            .reconstruct()
+            .unwrap()
+            .sub(&a)
+            .unwrap()
+            .frobenius_norm();
         let bound: f64 = exact.s[8..].iter().map(|v| v * v).sum::<f64>().sqrt();
         assert!(err <= bound * 1.1 + 1e-12, "err {err} vs bound {bound}");
     }
@@ -2035,8 +1803,18 @@ mod tests {
         for (sg, sj) in auto.s.iter().zip(&exact.s) {
             assert!((sg - sj).abs() <= 1e-8 * exact.s[0], "{sg} vs {sj}");
         }
-        let err = auto.reconstruct().unwrap().sub(&a).unwrap().frobenius_norm();
-        let jerr = exact.reconstruct().unwrap().sub(&a).unwrap().frobenius_norm();
+        let err = auto
+            .reconstruct()
+            .unwrap()
+            .sub(&a)
+            .unwrap()
+            .frobenius_norm();
+        let jerr = exact
+            .reconstruct()
+            .unwrap()
+            .sub(&a)
+            .unwrap()
+            .frobenius_norm();
         assert!(err <= jerr * (1.0 + 1e-6), "gram {err} vs jacobi {jerr}");
     }
 
@@ -2085,11 +1863,7 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(32);
         let (m, k, n_mat) = (12, 20, 9);
         // Transposed destination: (i, q) -> q*m + i.
-        let map = DestMap::new(
-            (0..m).collect(),
-            (0..n_mat).map(|q| q * m).collect(),
-        )
-        .unwrap();
+        let map = DestMap::new((0..m).collect(), (0..n_mat).map(|q| q * m).collect()).unwrap();
         for bsz in [1usize, 2, 5] {
             let a: Tensor<f64> = init::uniform(&mut rng, vec![m, k], 1.0);
             let b: Tensor<f64> = init::uniform(&mut rng, vec![k, n_mat * bsz], 1.0);
@@ -2109,8 +1883,7 @@ mod tests {
             for threads in [2usize, 8] {
                 parallel::set_num_threads(threads);
                 let mut pooled = vec![f64::NAN; m * n_mat * bsz];
-                gemm_into_mapped(a.data(), b.data(), &mut pooled, m, k, n_mat, bsz, &map)
-                    .unwrap();
+                gemm_into_mapped(a.data(), b.data(), &mut pooled, m, k, n_mat, bsz, &map).unwrap();
                 for (x, y) in pooled.iter().zip(&serial) {
                     assert_eq!(x.to_bits(), y.to_bits(), "bsz={bsz} threads={threads}");
                 }

@@ -81,7 +81,9 @@ pub struct PipelineHost {
 
 impl std::fmt::Debug for PipelineHost {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PipelineHost").field("workers", &self.workers).finish()
+        f.debug_struct("PipelineHost")
+            .field("workers", &self.workers)
+            .finish()
     }
 }
 
@@ -110,7 +112,12 @@ impl PipelineHost {
                     .expect("spawn pipeline worker")
             })
             .collect();
-        PipelineHost { shared, workers, run_lock: Mutex::new(()), handles }
+        PipelineHost {
+            shared,
+            workers,
+            run_lock: Mutex::new(()),
+            handles,
+        }
     }
 
     /// Number of dedicated worker threads (the caller is one extra
@@ -133,7 +140,10 @@ impl PipelineHost {
             f(0);
             return;
         }
-        let _serial = self.run_lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let _serial = self
+            .run_lock
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         {
             let erased: &(dyn Fn(usize) + Sync) = &f;
             // SAFETY: lifetime erasure only — the pointer is dereferenced
@@ -268,13 +278,11 @@ mod tests {
     #[test]
     fn branches_can_borrow_caller_stack_mutably_via_mutexes() {
         let host = PipelineHost::new(2);
-        let outputs: Vec<Mutex<Vec<u32>>> =
-            (0..3).map(|_| Mutex::new(Vec::new())).collect();
+        let outputs: Vec<Mutex<Vec<u32>>> = (0..3).map(|_| Mutex::new(Vec::new())).collect();
         host.run(|i| {
             outputs[i].lock().unwrap().push(i as u32 + 10);
         });
-        let got: Vec<u32> =
-            outputs.iter().map(|m| m.lock().unwrap()[0]).collect();
+        let got: Vec<u32> = outputs.iter().map(|m| m.lock().unwrap()[0]).collect();
         assert_eq!(got, vec![10, 11, 12]);
     }
 

@@ -190,10 +190,7 @@ impl JobCore {
         while self.completed.load(Ordering::Acquire) < self.total
             || self.refs.load(Ordering::Acquire) > 0
         {
-            g = self
-                .done_cv
-                .wait(g)
-                .unwrap_or_else(PoisonError::into_inner);
+            g = self.done_cv.wait(g).unwrap_or_else(PoisonError::into_inner);
         }
     }
 }

@@ -90,9 +90,7 @@ impl Shape {
     /// Returns [`TensorError::IndexOutOfBounds`] if the index has the wrong
     /// arity or any coordinate exceeds its dimension.
     pub fn flatten(&self, index: &[usize]) -> Result<usize> {
-        if index.len() != self.dims.len()
-            || index.iter().zip(&self.dims).any(|(&i, &d)| i >= d)
-        {
+        if index.len() != self.dims.len() || index.iter().zip(&self.dims).any(|(&i, &d)| i >= d) {
             return Err(TensorError::IndexOutOfBounds {
                 index: index.to_vec(),
                 shape: self.dims.clone(),

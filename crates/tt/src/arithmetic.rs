@@ -148,7 +148,8 @@ pub fn tt_dot<T: Scalar>(a: &TtTensor<T>, b: &TtTensor<T>) -> Result<f64> {
         let mut next = vec![vec![0.0f64; rb1]; ra1];
         for j in 0..n {
             // next[qa][qb] += Σ_{pa,pb} gram[pa][pb]·A[pa,j,qa]·B[pb,j,qb]
-            #[allow(clippy::needless_range_loop)] // rank indices address gram and both cores symmetrically
+            #[allow(clippy::needless_range_loop)]
+            // rank indices address gram and both cores symmetrically
             for pa in 0..ra0 {
                 for pb in 0..rb0 {
                     let g = gram[pa][pb];
@@ -247,10 +248,14 @@ mod tests {
 
     #[test]
     fn add_single_core() {
-        let a = TtTensor::new(vec![Tensor::from_vec(vec![1, 3, 1], vec![1., 2., 3.]).unwrap()])
-            .unwrap();
-        let b = TtTensor::new(vec![Tensor::from_vec(vec![1, 3, 1], vec![4., 5., 6.]).unwrap()])
-            .unwrap();
+        let a = TtTensor::new(vec![
+            Tensor::from_vec(vec![1, 3, 1], vec![1., 2., 3.]).unwrap()
+        ])
+        .unwrap();
+        let b = TtTensor::new(vec![
+            Tensor::from_vec(vec![1, 3, 1], vec![4., 5., 6.]).unwrap()
+        ])
+        .unwrap();
         let c = tt_add(&a, &b).unwrap();
         assert_eq!(c.to_dense().unwrap().data(), &[5., 7., 9.]);
     }
@@ -320,7 +325,12 @@ mod tests {
         let dense_x = x.to_dense().unwrap().reshaped(vec![6]).unwrap();
         let want = tie_tensor::linalg::matvec(&dense_w, &dense_x).unwrap();
         let got = y.to_dense().unwrap().reshaped(vec![6]).unwrap();
-        assert!(got.approx_eq(&want, 1e-9), "{:?} vs {:?}", got.data(), want.data());
+        assert!(
+            got.approx_eq(&want, 1e-9),
+            "{:?} vs {:?}",
+            got.data(),
+            want.data()
+        );
     }
 
     #[test]

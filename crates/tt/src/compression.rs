@@ -82,8 +82,18 @@ impl NetworkCompression {
     /// CR over the *compressed layers only* (the paper's "CR for FC/CONV
     /// layers" column).
     pub fn compressed_layers_ratio(&self) -> f64 {
-        let dense: usize = self.layers.iter().filter(|l| l.compressed).map(|l| l.dense).sum();
-        let stored: usize = self.layers.iter().filter(|l| l.compressed).map(|l| l.stored).sum();
+        let dense: usize = self
+            .layers
+            .iter()
+            .filter(|l| l.compressed)
+            .map(|l| l.dense)
+            .sum();
+        let stored: usize = self
+            .layers
+            .iter()
+            .filter(|l| l.compressed)
+            .map(|l| l.stored)
+            .sum();
         if stored == 0 {
             1.0
         } else {

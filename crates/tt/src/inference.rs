@@ -292,10 +292,8 @@ mod tests {
     fn tie_core_mul_compact_equiv(shape: &TtShape) -> u64 {
         (1..=shape.ndim())
             .map(|h| {
-                let n_left: u64 =
-                    shape.col_modes[..h - 1].iter().map(|&v| v as u64).product();
-                let m_right: u64 =
-                    shape.row_modes[h..].iter().map(|&v| v as u64).product();
+                let n_left: u64 = shape.col_modes[..h - 1].iter().map(|&v| v as u64).product();
+                let m_right: u64 = shape.row_modes[h..].iter().map(|&v| v as u64).product();
                 (shape.row_modes[h - 1] * shape.ranks[h - 1]) as u64
                     * (shape.col_modes[h - 1] * shape.ranks[h]) as u64
                     * n_left
@@ -314,8 +312,7 @@ mod tests {
         let (_, c) = partial_parallel_matvec(&tt, &x).unwrap();
         let d = shape.ndim();
         let (m, n) = (shape.num_rows() as u64, shape.num_cols() as u64);
-        let stage1 =
-            shape.ranks[d - 1] as u64 * n * shape.row_modes[d - 1] as u64;
+        let stage1 = shape.ranks[d - 1] as u64 * n * shape.row_modes[d - 1] as u64;
         let chain: u64 = (1..d)
             .map(|k| (shape.ranks[k] * shape.ranks[k - 1]) as u64)
             .sum();
@@ -325,11 +322,23 @@ mod tests {
 
     #[test]
     fn opcount_merge_adds_fields() {
-        let a = OpCount { mults: 1, adds: 2, core_reads: 3 };
-        let b = OpCount { mults: 10, adds: 20, core_reads: 30 };
+        let a = OpCount {
+            mults: 1,
+            adds: 2,
+            core_reads: 3,
+        };
+        let b = OpCount {
+            mults: 10,
+            adds: 20,
+            core_reads: 30,
+        };
         assert_eq!(
             a.merge(b),
-            OpCount { mults: 11, adds: 22, core_reads: 33 }
+            OpCount {
+                mults: 11,
+                adds: 22,
+                core_reads: 33
+            }
         );
     }
 }

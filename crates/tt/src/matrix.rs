@@ -185,7 +185,12 @@ impl<T: Scalar> TtMatrix<T> {
             });
         }
         let core = &self.cores[k];
-        let [r0, m, n, r1] = [core.dims()[0], core.dims()[1], core.dims()[2], core.dims()[3]];
+        let [r0, m, n, r1] = [
+            core.dims()[0],
+            core.dims()[1],
+            core.dims()[2],
+            core.dims()[3],
+        ];
         if ik >= m || jk >= n {
             return Err(TensorError::IndexOutOfBounds {
                 index: vec![ik, jk],
@@ -217,7 +222,12 @@ impl<T: Scalar> TtMatrix<T> {
         let jks = decompose_index(j, &self.shape.col_modes);
         let mut v = vec![T::ONE];
         for (k, core) in self.cores.iter().enumerate() {
-            let [r0, m, n, r1] = [core.dims()[0], core.dims()[1], core.dims()[2], core.dims()[3]];
+            let [r0, m, n, r1] = [
+                core.dims()[0],
+                core.dims()[1],
+                core.dims()[2],
+                core.dims()[3],
+            ];
             let d = core.data();
             let mut next = vec![T::ZERO; r1];
             for (a, &va) in v.iter().enumerate() {
@@ -310,7 +320,9 @@ fn build_fused_tensor<T: Scalar>(
     let contrib: Vec<Vec<usize>> = (0..d)
         .map(|k| {
             (0..fused_modes[k])
-                .map(|l| (l / col_modes[k]) * row_stride[k] * cols + (l % col_modes[k]) * col_stride[k])
+                .map(|l| {
+                    (l / col_modes[k]) * row_stride[k] * cols + (l % col_modes[k]) * col_stride[k]
+                })
                 .collect()
         })
         .collect();
@@ -455,7 +467,10 @@ mod tests {
             );
         }
         assert!(tt.core_slice(2, 0, 0).is_err());
-        assert!(tt.core_slice(0, 2, 0).is_err(), "m_1 = 2, so i_1 = 2 is out of bounds");
+        assert!(
+            tt.core_slice(0, 2, 0).is_err(),
+            "m_1 = 2, so i_1 = 2 is out of bounds"
+        );
         assert!(tt.core_slice(0, 1, 2).is_ok());
         assert!(tt.core_slice(0, 0, 3).is_err());
     }
@@ -476,7 +491,11 @@ mod tests {
         })
         .unwrap();
         let tt = TtMatrix::from_dense(&w, &[2, 3], &[2, 2], Truncation::tolerance(1e-10)).unwrap();
-        assert_eq!(tt.shape().ranks, vec![1, 1, 1], "Kronecker factor => rank 1");
+        assert_eq!(
+            tt.shape().ranks,
+            vec![1, 1, 1],
+            "Kronecker factor => rank 1"
+        );
         assert!(tt.to_dense().unwrap().approx_eq(&w, 1e-10));
     }
 
@@ -513,6 +532,10 @@ mod tests {
         let tt = TtMatrix::<f64>::random(&mut rng, &shape, 1.0).unwrap();
         let f32v: TtMatrix<f32> = tt.cast();
         assert_eq!(f32v.shape(), tt.shape());
-        assert!(f32v.to_dense().unwrap().cast::<f64>().approx_eq(&tt.to_dense().unwrap(), 1e-5));
+        assert!(f32v
+            .to_dense()
+            .unwrap()
+            .cast::<f64>()
+            .approx_eq(&tt.to_dense().unwrap(), 1e-5));
     }
 }

@@ -53,10 +53,7 @@ impl TtShape {
         }
         if col_modes.len() != d {
             return Err(TensorError::InvalidArgument {
-                message: format!(
-                    "row/col mode count mismatch: {d} vs {}",
-                    col_modes.len()
-                ),
+                message: format!("row/col mode count mismatch: {d} vs {}", col_modes.len()),
             });
         }
         if ranks.len() != d + 1 {
@@ -64,14 +61,22 @@ impl TtShape {
                 message: format!("need {} ranks, got {}", d + 1, ranks.len()),
             });
         }
-        if row_modes.iter().chain(&col_modes).chain(&ranks).any(|&v| v == 0) {
+        if row_modes
+            .iter()
+            .chain(&col_modes)
+            .chain(&ranks)
+            .any(|&v| v == 0)
+        {
             return Err(TensorError::InvalidArgument {
                 message: "modes and ranks must be nonzero".into(),
             });
         }
         if ranks[0] != 1 || ranks[d] != 1 {
             return Err(TensorError::InvalidArgument {
-                message: format!("boundary ranks must be 1, got r0={} rd={}", ranks[0], ranks[d]),
+                message: format!(
+                    "boundary ranks must be 1, got r0={} rd={}",
+                    ranks[0], ranks[d]
+                ),
             });
         }
         Ok(TtShape {

@@ -93,9 +93,7 @@ impl<T: Scalar> TtTensor<T> {
             });
         }
         let cores = (0..modes.len())
-            .map(|k| {
-                tie_tensor::init::uniform(rng, vec![ranks[k], modes[k], ranks[k + 1]], scale)
-            })
+            .map(|k| tie_tensor::init::uniform(rng, vec![ranks[k], modes[k], ranks[k + 1]], scale))
             .collect();
         TtTensor::new(cores)
     }

@@ -186,9 +186,7 @@ pub fn compile_dense_layer(
 /// # Errors
 ///
 /// Propagates [`compile_dense_layer`] errors.
-pub fn compile_table4(
-    opts: &CompileOptions,
-) -> Result<(EngineRegistry, Vec<LayerCompileReport>)> {
+pub fn compile_table4(opts: &CompileOptions) -> Result<(EngineRegistry, Vec<LayerCompileReport>)> {
     let mut registry = EngineRegistry::new();
     let mut reports = Vec::new();
     for (i, bench) in table4_benchmarks().into_iter().enumerate() {

@@ -164,8 +164,7 @@ pub fn fits_budget(
             r.div_ceil(n_mac) * n_mac * c
         })
         .sum();
-    padded_weights <= weight_capacity_elems
-        && proposal.peak_intermediate <= working_capacity_elems
+    padded_weights <= weight_capacity_elems && proposal.peak_intermediate <= working_capacity_elems
 }
 
 #[cfg(test)]

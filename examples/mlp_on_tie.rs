@@ -48,7 +48,10 @@ fn main() -> Result<(), tie::TensorError> {
     let a = relu.forward(&h)?;
     let float_acc = accuracy(&l2.forward(&a)?, &test_set.labels);
     println!("== two-TT-layer MLP on TIE ==");
-    println!("float test accuracy after training: {:.1}%", float_acc * 100.0);
+    println!(
+        "float test accuracy after training: {:.1}%",
+        float_acc * 100.0
+    );
 
     // Deploy both trained layers onto the accelerator at once.
     let m1: TtMatrix<f64> = l1.to_tt_matrix()?.cast();

@@ -65,12 +65,12 @@ fn main() -> Result<(), tie::TensorError> {
     let (y_hw, stats) = tie.run(&layer, &x, false)?;
     println!("TIE (16 PEs x 16 MACs @ 1 GHz, 16-bit fixed point):");
     println!("  cycles:        {}", stats.cycles());
-    println!("  latency:       {:.3} us", stats.latency_seconds(1000.0) * 1e6);
-    println!("  MACs:          {} (== compact multiplies)", stats.macs());
     println!(
-        "  utilization:   {:.0}%",
-        stats.utilization(16, 16) * 100.0
+        "  latency:       {:.3} us",
+        stats.latency_seconds(1000.0) * 1e6
     );
+    println!("  MACs:          {} (== compact multiplies)", stats.macs());
+    println!("  utilization:   {:.0}%", stats.utilization(16, 16) * 100.0);
     println!(
         "  weight reads:  {} words; working SRAM: {} reads / {} writes",
         stats.weight_word_reads(),

@@ -9,7 +9,9 @@
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use tie::nn::data::gaussian_blobs;
-use tie::nn::{accuracy, softmax_cross_entropy, Dense, Layer, Relu, Sequential, Sgd, Trainable, TtDense};
+use tie::nn::{
+    accuracy, softmax_cross_entropy, Dense, Layer, Relu, Sequential, Sgd, Trainable, TtDense,
+};
 use tie::prelude::*;
 
 fn train(
@@ -61,7 +63,10 @@ fn main() -> Result<(), tie::TensorError> {
     let tt_loss = train(&mut tt, &train_set.features, &train_set.labels, 100)?;
     let tt_acc = accuracy(&tt.forward(&test_set.features)?, &test_set.labels);
 
-    println!("{:<12} {:>12} {:>12} {:>16}", "model", "final loss", "test acc", "hidden params");
+    println!(
+        "{:<12} {:>12} {:>12} {:>16}",
+        "model", "final loss", "test acc", "hidden params"
+    );
     println!(
         "{:<12} {:>12.4} {:>11.1}% {:>16}",
         "dense",

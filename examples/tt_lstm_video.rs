@@ -65,7 +65,10 @@ fn main() -> Result<(), tie::TensorError> {
     // One frame through the accelerator.
     let frame = Tensor::<f64>::from_vec(
         vec![dim],
-        test.sequences.data()[..dim].iter().map(|&v| v as f64).collect(),
+        test.sequences.data()[..dim]
+            .iter()
+            .map(|&v| v as f64)
+            .collect(),
     )?;
     let (gates, stats) = tie.run(&layer, &frame, false)?;
     let (gates_ref, _) = layer.reference().matvec(&frame)?;

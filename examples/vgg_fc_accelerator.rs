@@ -37,8 +37,8 @@ fn main() -> Result<(), tie::TensorError> {
         let x: Tensor<f64> = init::uniform(&mut rng, vec![b.shape.num_cols()], 1.0);
         let (_, stats) = tie.run(&layer, &x, true)?;
         let latency = stats.latency_seconds(cfg.freq_mhz);
-        let tops = stats.equivalent_ops_per_sec(layer.plan().dense_equivalent_ops(), cfg.freq_mhz)
-            / 1e12;
+        let tops =
+            stats.equivalent_ops_per_sec(layer.plan().dense_equivalent_ops(), cfg.freq_mhz) / 1e12;
         let util = stats.utilization(cfg.n_pe, cfg.n_mac);
         let power = model.power_at_utilization(util).total();
         println!(

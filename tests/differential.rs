@@ -45,7 +45,12 @@ fn table4_sim_tracks_float_engine() {
             "{}: relative error too large",
             b.name
         );
-        assert_eq!(stats.saturations(), 0, "{}: calibrated run saturated", b.name);
+        assert_eq!(
+            stats.saturations(),
+            0,
+            "{}: calibrated run saturated",
+            b.name
+        );
     }
 }
 
@@ -62,8 +67,9 @@ fn table4_batched_engine_is_bit_identical_to_unbatched() {
         let n = bench.shape.num_cols();
         let m = bench.shape.num_rows();
 
-        let inputs: Vec<Tensor<f64>> =
-            (0..B).map(|_| init::uniform(&mut rng, vec![n], 1.0)).collect();
+        let inputs: Vec<Tensor<f64>> = (0..B)
+            .map(|_| init::uniform(&mut rng, vec![n], 1.0))
+            .collect();
 
         // Batch-inner-most layout: element j of sample c at xs[j*B + c].
         let mut xs = vec![0.0f64; n * B];
@@ -143,7 +149,11 @@ fn table4_quantized_engine_batched_is_bit_identical() {
         let flat: Tensor<f64> = init::uniform(&mut rng, vec![n * B], 1.0);
         let mut ys = vec![0.0f64; m * B];
         let report = engine.matvec_batch_into(flat.data(), B, &mut ys).unwrap();
-        assert!(report.is_clean(), "{}: calibrated batch saturated", bench.name);
+        assert!(
+            report.is_clean(),
+            "{}: calibrated batch saturated",
+            bench.name
+        );
 
         for c in 0..B {
             let x: Vec<f64> = (0..n).map(|j| flat.data()[j * B + c]).collect();
@@ -174,7 +184,10 @@ fn sim_fast_path_matches_walk_exactly() {
         // Batched FC6 intermediates outgrow the Table 5 working SRAM; this
         // is a numerics differential, not a capacity test, so provision
         // generously (identically for both executors).
-        let cfg = TieConfig { working_sram_bytes: 2 * 1024 * 1024, ..TieConfig::default() };
+        let cfg = TieConfig {
+            working_sram_bytes: 2 * 1024 * 1024,
+            ..TieConfig::default()
+        };
         let mut tie = TieAccelerator::new(cfg).unwrap();
         let layer = tie.load_layer(ttm).unwrap();
 
@@ -191,7 +204,11 @@ fn sim_fast_path_matches_walk_exactly() {
                     bench.name
                 );
             }
-            assert_eq!(s_fast, s_walk, "{} relu={relu}: RunStats diverge", bench.name);
+            assert_eq!(
+                s_fast, s_walk,
+                "{} relu={relu}: RunStats diverge",
+                bench.name
+            );
         }
     }
 }

@@ -35,7 +35,11 @@ fn full_stack_agreement_chain() {
     let (y_hw, stats) = tie.run(&layer, &x, false).unwrap();
     let err = y_hw.relative_error(&y_dense).unwrap();
     assert!(err < 1e-2, "hardware output off by {err}");
-    assert_eq!(stats.macs(), ops.mults, "simulator MACs == compact multiplies");
+    assert_eq!(
+        stats.macs(),
+        ops.mults,
+        "simulator MACs == compact multiplies"
+    );
     assert_eq!(stats.saturations(), 0);
 }
 
@@ -68,7 +72,10 @@ fn train_then_deploy_on_accelerator() {
     let learned = trained.to_dense().unwrap();
     let target64: Tensor<f64> = target.cast();
     let fit_err = learned.relative_error(&target64).unwrap();
-    assert!(fit_err < 0.35, "training did not converge: rel err {fit_err}");
+    assert!(
+        fit_err < 0.35,
+        "training did not converge: rel err {fit_err}"
+    );
     // Deploy: the accelerator must reproduce the *trained* layer's own
     // linear map (bias lives outside the TT matrix) to 16-bit accuracy.
     let mut tie = TieAccelerator::new(TieConfig::default()).unwrap();

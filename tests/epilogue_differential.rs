@@ -1,0 +1,414 @@
+//! Epilogue-fusion differential suite.
+//!
+//! The Tile/Stage/Global GEMM hierarchy promises that every fused kernel —
+//! any (tile kernel × epilogue × destination map) instantiation, at any
+//! pool size — is **bit-identical** to the naive reference GEMM followed
+//! by a separate scatter pass and a separate epilogue pass. This suite
+//! sweeps the full combination lattice on both datapaths:
+//!
+//! * float: {dispatched `FloatAuto`, forced-portable} × {Identity, Relu,
+//!   Bias, BiasRelu} × {RowMajor, identity `DestMap`, permuted `DestMap`}
+//!   × pool {1, 8};
+//! * quantized: {dispatched `IntAuto`, forced-portable} × {Requant,
+//!   RequantRelu} × {row-major, permuted `DestMap`} × pool {1, 8}, with
+//!   saturation reports compared exactly.
+//!
+//! Shapes include the degenerate corners (`m = 1`, `k = 1`, single
+//! element) and tile-remainder edges straddling the 8/16/32 SIMD lane
+//! widths, where ragged-tail handling historically hides bugs.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use tie::quant::{
+    alignment, qmatmul_naive, qmatmul_raw, qmatmul_raw_mapped, qmatmul_raw_mapped_relu,
+    qmatmul_raw_relu, qmatmul_raw_relu_portable, QFormat, QTensor,
+};
+use tie::tensor::linalg::{gemm_into_fused, gemm_into_mapped_fused, DestMap};
+use tie::tensor::tile::{
+    stream_gemm, Activation, Bias, BiasRelu, FloatPath, Identity, Mapped, PortableTile, Relu,
+    RowMajor,
+};
+use tie::tensor::{init, parallel, Tensor};
+
+/// Shapes covering the degenerate corners and the SIMD-lane remainder
+/// edges (lane widths are 32/16/8 for f64 AVX-512/AVX2/portable tiles).
+const SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),  // single element
+    (1, 7, 5),  // m = 1
+    (3, 1, 4),  // k = 1
+    (5, 9, 31), // one short of a full 32-lane tile
+    (4, 6, 33), // one past a full 32-lane tile
+    (7, 11, 17),
+];
+
+/// A deterministic permuted `DestMap`: rows reversed, columns rotated.
+/// Separable, bijective, and different from identity whenever the output
+/// has more than one element.
+fn permuted_map(rows: usize, cols: usize) -> DestMap {
+    let row: Vec<usize> = (0..rows).map(|i| (rows - 1 - i) * cols).collect();
+    let col: Vec<usize> = (0..cols).map(|q| (q + 1) % cols).collect();
+    DestMap::new(row, col).unwrap()
+}
+
+/// Naive oracle: plain triple-loop GEMM (ascending `k`, no blocking —
+/// the same accumulation order the streaming kernels promise), then a
+/// separate scatter pass through `map`, then a separate epilogue pass
+/// over the scattered output.
+#[allow(clippy::too_many_arguments)]
+fn oracle_f64(
+    a: &[f64],
+    b: &[f64],
+    m: usize,
+    k: usize,
+    n_mat: usize,
+    bsz: usize,
+    map: &DestMap,
+    bias: Option<&[f64]>,
+    act: Activation,
+) -> Vec<f64> {
+    let n = n_mat * bsz;
+    let mut c = vec![0.0f64; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    // Separate scatter pass.
+    let mut scattered = vec![0.0f64; m * n];
+    for i in 0..m {
+        for q in 0..n_mat {
+            for cb in 0..bsz {
+                scattered[map.offset(i, q) * bsz + cb] = c[i * n + q * bsz + cb];
+            }
+        }
+    }
+    // Separate epilogue pass, indexed by the logical destination element.
+    for e in 0..m * n_mat {
+        for cb in 0..bsz {
+            let mut v = scattered[e * bsz + cb];
+            if let Some(bias) = bias {
+                v += bias[e];
+            }
+            if act == Activation::Relu {
+                v = if v > 0.0 { v } else { 0.0 };
+            }
+            scattered[e * bsz + cb] = v;
+        }
+    }
+    scattered
+}
+
+/// Runs the float lattice for one shape at one pool size: both kernels
+/// (dispatched via the public fused entry points, forced-portable via
+/// `stream_gemm`) × all four epilogues × all three destinations.
+fn float_lattice(m: usize, k: usize, n_mat: usize, bsz: usize, seed: u64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let a: Tensor<f64> = init::uniform(&mut rng, vec![m, k], 1.0);
+    let b: Tensor<f64> = init::uniform(&mut rng, vec![k, n_mat * bsz], 1.0);
+    let bias: Vec<f64> = (0..m * n_mat).map(|e| (e as f64 - 3.0) * 0.25).collect();
+    let identity = DestMap::identity(m, n_mat);
+    let permuted = permuted_map(m, n_mat);
+
+    for act in [Activation::Identity, Activation::Relu] {
+        for with_bias in [false, true] {
+            let bias_opt = with_bias.then_some(&bias[..]);
+            for (map, mapped) in [(&identity, false), (&identity, true), (&permuted, true)] {
+                let want = oracle_f64(a.data(), b.data(), m, k, n_mat, bsz, map, bias_opt, act);
+
+                // Dispatched kernel through the public fused entry points.
+                let mut got = vec![0.0f64; m * n_mat * bsz];
+                if mapped {
+                    gemm_into_mapped_fused(
+                        a.data(),
+                        b.data(),
+                        &mut got,
+                        m,
+                        k,
+                        n_mat,
+                        bsz,
+                        map,
+                        bias_opt,
+                        act,
+                    )
+                    .unwrap();
+                } else {
+                    gemm_into_fused(
+                        a.data(),
+                        b.data(),
+                        &mut got,
+                        m,
+                        k,
+                        n_mat,
+                        bsz,
+                        bias_opt,
+                        act,
+                    )
+                    .unwrap();
+                }
+                assert_bits_eq(&got, &want, "dispatched", act, with_bias, mapped);
+
+                // Forced-portable kernel straight through the streaming
+                // stage, exercising every epilogue type explicitly.
+                let mut port = vec![0.0f64; m * n_mat * bsz];
+                let path = FloatPath::<f64>::new();
+                let kern = PortableTile::<8, 1>;
+                macro_rules! run_portable {
+                    ($epi:expr) => {
+                        if mapped {
+                            stream_gemm(
+                                path,
+                                kern,
+                                a.data(),
+                                b.data(),
+                                &mut port,
+                                m,
+                                k,
+                                n_mat,
+                                bsz,
+                                &Mapped::new(map),
+                                $epi,
+                            )
+                        } else {
+                            stream_gemm(
+                                path,
+                                kern,
+                                a.data(),
+                                b.data(),
+                                &mut port,
+                                m,
+                                k,
+                                n_mat,
+                                bsz,
+                                &RowMajor::new(m, n_mat),
+                                $epi,
+                            )
+                        }
+                    };
+                }
+                match (with_bias, act) {
+                    (false, Activation::Identity) => run_portable!(&Identity),
+                    (false, Activation::Relu) => run_portable!(&Relu),
+                    (true, Activation::Identity) => run_portable!(&Bias::new(&bias)),
+                    (true, Activation::Relu) => run_portable!(&BiasRelu::new(&bias)),
+                }
+                assert_bits_eq(&port, &want, "portable", act, with_bias, mapped);
+            }
+        }
+    }
+}
+
+fn assert_bits_eq(
+    got: &[f64],
+    want: &[f64],
+    kernel: &str,
+    act: Activation,
+    with_bias: bool,
+    mapped: bool,
+) {
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{kernel} kernel, act {act:?}, bias {with_bias}, mapped {mapped}, element {i}: {g} != {w}"
+        );
+    }
+}
+
+#[test]
+fn float_kernel_epilogue_dest_lattice_matches_oracle_at_pool_1_and_8() {
+    for (threads, seed) in [(1usize, 0x51u64), (8, 0x52)] {
+        let prev = parallel::set_num_threads(threads);
+        for (si, &(m, k, n_mat)) in SHAPES.iter().enumerate() {
+            for bsz in [1usize, 3] {
+                float_lattice(m, k, n_mat, bsz, seed + si as u64 * 31);
+            }
+        }
+        parallel::set_num_threads(prev);
+    }
+}
+
+/// Heavy-tailed random codes: ~1/4 pinned at ±`i16::MAX` so both
+/// saturation paths fire regularly (same generator family as
+/// `tests/quant_kernels.rs`).
+fn heavy_codes(len: usize, seed: u64) -> Vec<i16> {
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..len)
+        .map(|_| {
+            let r = next();
+            match r % 4 {
+                0 => {
+                    if r & 8 == 0 {
+                        i16::MAX
+                    } else {
+                        i16::MIN
+                    }
+                }
+                _ => (r >> 16) as i16,
+            }
+        })
+        .collect()
+}
+
+/// Quantized lattice for one shape at the current pool size: the raw
+/// kernels (dispatched and forced-portable; plain and relu; row-major and
+/// mapped) against naive-then-scatter-then-relu, codes and reports exact.
+fn quant_lattice(m: usize, k: usize, n_mat: usize, seed: u64) {
+    let a = QTensor::from_codes(
+        vec![m, k],
+        heavy_codes(m * k, seed),
+        QFormat::new(12).unwrap(),
+    )
+    .unwrap();
+    let b = QTensor::from_codes(
+        vec![k, n_mat],
+        heavy_codes(k * n_mat, seed ^ 0xabcd),
+        QFormat::new(8).unwrap(),
+    )
+    .unwrap();
+    let out = QFormat::new(14).unwrap();
+    let (prod_shift, out_shift) = alignment(a.format(), b.format(), out);
+
+    // Oracle: the retained naive kernel, then separate scatter and relu
+    // passes on its codes. Its report must carry over unchanged — the
+    // fused relu counts saturation on the pre-epilogue code.
+    let (c_naive, r_naive) = qmatmul_naive(&a, &b, out).unwrap();
+    let map = permuted_map(m, n_mat);
+    let scatter = |codes: &[i16]| -> Vec<i16> {
+        let mut s = vec![0i16; m * n_mat];
+        for i in 0..m {
+            for q in 0..n_mat {
+                s[map.offset(i, q)] = codes[i * n_mat + q];
+            }
+        }
+        s
+    };
+    let relu = |codes: &[i16]| -> Vec<i16> { codes.iter().map(|&v| v.max(0)).collect() };
+
+    // Row-major, plain and fused-relu, dispatched and portable.
+    let mut got = vec![0i16; m * n_mat];
+    let r = qmatmul_raw(
+        a.codes(),
+        b.codes(),
+        m,
+        k,
+        n_mat,
+        prod_shift,
+        out_shift,
+        &mut got,
+    );
+    assert_eq!(
+        &got[..],
+        c_naive.codes(),
+        "raw vs naive codes ({m}x{k}x{n_mat})"
+    );
+    assert_eq!(r, r_naive, "raw vs naive report");
+
+    let r = qmatmul_raw_relu(
+        a.codes(),
+        b.codes(),
+        m,
+        k,
+        n_mat,
+        prod_shift,
+        out_shift,
+        &mut got,
+    );
+    assert_eq!(
+        got,
+        relu(c_naive.codes()),
+        "fused relu vs naive-then-relu codes"
+    );
+    assert_eq!(r, r_naive, "fused relu must not perturb the report");
+
+    let r = qmatmul_raw_relu_portable(
+        a.codes(),
+        b.codes(),
+        m,
+        k,
+        n_mat,
+        prod_shift,
+        out_shift,
+        &mut got,
+    );
+    assert_eq!(got, relu(c_naive.codes()), "portable fused relu codes");
+    assert_eq!(r, r_naive, "portable fused relu report");
+
+    // Mapped (permuted), plain and fused-relu.
+    let r = qmatmul_raw_mapped(
+        a.codes(),
+        b.codes(),
+        m,
+        k,
+        n_mat,
+        1,
+        prod_shift,
+        out_shift,
+        &mut got,
+        &map,
+    );
+    assert_eq!(
+        got,
+        scatter(c_naive.codes()),
+        "mapped vs naive-then-scatter codes"
+    );
+    assert_eq!(r, r_naive, "mapped report");
+
+    let r = qmatmul_raw_mapped_relu(
+        a.codes(),
+        b.codes(),
+        m,
+        k,
+        n_mat,
+        1,
+        prod_shift,
+        out_shift,
+        &mut got,
+        &map,
+    );
+    assert_eq!(
+        got,
+        relu(&scatter(c_naive.codes())),
+        "mapped fused relu vs naive-then-scatter-then-relu codes"
+    );
+    assert_eq!(r, r_naive, "mapped fused relu report");
+}
+
+#[test]
+fn quant_kernel_epilogue_dest_lattice_matches_oracle_at_pool_1_and_8() {
+    for (threads, seed) in [(1usize, 0x61u64), (8, 0x62)] {
+        let prev = parallel::set_num_threads(threads);
+        for (si, &(m, k, n_mat)) in SHAPES.iter().enumerate() {
+            quant_lattice(m, k, n_mat, seed + si as u64 * 37);
+        }
+        parallel::set_num_threads(prev);
+    }
+    // Sanity: the heavy-tailed generator really exercises saturation on
+    // the larger shapes (otherwise the report comparison proves little).
+    let a = QTensor::from_codes(
+        vec![6, 64],
+        heavy_codes(6 * 64, 9),
+        QFormat::new(12).unwrap(),
+    )
+    .unwrap();
+    let b = QTensor::from_codes(
+        vec![64, 9],
+        heavy_codes(64 * 9, 10),
+        QFormat::new(8).unwrap(),
+    )
+    .unwrap();
+    let (_, report) = qmatmul_naive(&a, &b, QFormat::new(14).unwrap()).unwrap();
+    assert!(
+        report.acc_saturations > 0 && report.out_saturations > 0,
+        "generator must saturate both paths: {report:?}"
+    );
+}

@@ -181,7 +181,11 @@ fn fixtures_are_reproducible_from_their_seeds() {
             .enumerate()
         {
             let stored_data = value_to_floats(stored.get("data").expect("data"));
-            assert_eq!(core.data(), stored_data.as_slice(), "{name}: core {k} diverges");
+            assert_eq!(
+                core.data(),
+                stored_data.as_slice(),
+                "{name}: core {k} diverges"
+            );
         }
     }
 }
@@ -313,13 +317,21 @@ fn golden_shard_map_table4() {
     let text = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("missing fixture {}: {e}", path.display()));
     let fixture: Value = serde_json::from_str(&text).unwrap();
-    let maps = fixture.get("maps").expect("maps").as_array().expect("array");
+    let maps = fixture
+        .get("maps")
+        .expect("maps")
+        .as_array()
+        .expect("array");
     assert_eq!(maps.len(), SHARD_MAP_SHARD_COUNTS.len());
     for map in maps {
         let shards = map.get("shards").expect("shards").as_u64().unwrap() as usize;
         let vnodes = map.get("vnodes").expect("vnodes").as_u64().unwrap() as usize;
         let ring = HashRing::new(shards, vnodes).unwrap();
-        let assignments = map.get("assignments").expect("assignments").as_array().unwrap();
+        let assignments = map
+            .get("assignments")
+            .expect("assignments")
+            .as_array()
+            .unwrap();
         assert_eq!(
             assignments.len(),
             table4_layer_names().len(),

@@ -122,7 +122,9 @@ fn fused_float_matches_gather_oracle_on_table4_at_all_pool_sizes() {
             for threads in POOL_SIZES {
                 parallel::set_num_threads(threads);
                 let cf = engine.matvec_batch_into(&xs, b, &mut fused).unwrap();
-                let co = engine.matvec_batch_into_gather(&xs, b, &mut oracle).unwrap();
+                let co = engine
+                    .matvec_batch_into_gather(&xs, b, &mut oracle)
+                    .unwrap();
                 assert_eq!(cf, co, "{}: op counts (b={b}, pool={threads})", bench.name);
                 for (i, (f, o)) in fused.iter().zip(&oracle).enumerate() {
                     assert!(
@@ -158,7 +160,11 @@ fn fused_quantized_is_bit_stable_on_table4_at_all_pool_sizes() {
             parallel::set_num_threads(threads);
             let mut ys = vec![0.0f64; m * b];
             let report = engine.matvec_batch_into(&xs, b, &mut ys).unwrap();
-            assert_eq!(report, ref_report, "{}: report (pool={threads})", bench.name);
+            assert_eq!(
+                report, ref_report,
+                "{}: report (pool={threads})",
+                bench.name
+            );
             for (i, (g, w)) in ys.iter().zip(&reference).enumerate() {
                 assert!(
                     g.to_bits() == w.to_bits(),

@@ -148,8 +148,8 @@ fn section32_sram_sizing() {
 fn fig12_area_efficiency_direction() {
     let (tie_tops, _) = run_workload(&table4_benchmarks()[1].shape, 7100);
     let tie_area_eff = tie_tops * 1e3 / 1.744; // GOPS/mm²
-    // EIE upper bound: even at TIE-equal throughput, its 15.7 mm² caps
-    // area efficiency.
+                                               // EIE upper bound: even at TIE-equal throughput, its 15.7 mm² caps
+                                               // area efficiency.
     let eie_area_eff_ub = tie_tops * 1e3 / 15.7;
     assert!(tie_area_eff / eie_area_eff_ub >= 4.0);
 }

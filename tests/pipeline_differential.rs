@@ -39,7 +39,10 @@ fn random_batch(rng: &mut ChaCha8Rng, n: usize, b: usize) -> Vec<f64> {
 fn assert_bits_equal(got: &[f64], want: &[f64], ctx: &str) {
     assert_eq!(got.len(), want.len(), "{ctx}: length mismatch");
     for (i, (g, w)) in got.iter().zip(want).enumerate() {
-        assert!(g.to_bits() == w.to_bits(), "{ctx}: element {i}: pipelined {g:e} != sequential {w:e}");
+        assert!(
+            g.to_bits() == w.to_bits(),
+            "{ctx}: element {i}: pipelined {g:e} != sequential {w:e}"
+        );
     }
 }
 
@@ -60,8 +63,14 @@ fn table4_float_pipeline_bit_identical_across_depths_and_pools() {
         engine.matvec_batch_into(&xs, B, &mut want).unwrap();
 
         for depth in DEPTHS {
-            let pipe =
-                PipelinedEngine::float(&engine, PipelineConfig { depth, micro_batch: 1 }).unwrap();
+            let pipe = PipelinedEngine::float(
+                &engine,
+                PipelineConfig {
+                    depth,
+                    micro_batch: 1,
+                },
+            )
+            .unwrap();
             for pool in POOLS {
                 let prev = set_num_threads(pool);
                 let mut got = vec![0.0f64; m * B];
@@ -99,8 +108,14 @@ fn table4_quant_pipeline_bit_identical_including_reports() {
         let want_report = engine.matvec_batch_into(&xs, B, &mut want).unwrap();
 
         for depth in DEPTHS {
-            let pipe = PipelinedEngine::quantized(&engine, PipelineConfig { depth, micro_batch: 1 })
-                .unwrap();
+            let pipe = PipelinedEngine::quantized(
+                &engine,
+                PipelineConfig {
+                    depth,
+                    micro_batch: 1,
+                },
+            )
+            .unwrap();
             assert!(pipe.is_quantized());
             for pool in POOLS {
                 let prev = set_num_threads(pool);
@@ -138,15 +153,24 @@ fn micro_batch_width_never_changes_bits() {
 
     for depth in [2, 4] {
         for micro in [1, 2, 4, 16] {
-            let pipe =
-                PipelinedEngine::quantized(&engine, PipelineConfig { depth, micro_batch: micro })
-                    .unwrap();
+            let pipe = PipelinedEngine::quantized(
+                &engine,
+                PipelineConfig {
+                    depth,
+                    micro_batch: micro,
+                },
+            )
+            .unwrap();
             let mut got = vec![0.0f64; m * B];
             let rep = pipe.matvec_batch_into(&xs, B, &mut got).unwrap();
             let ctx = format!("depth={depth} micro={micro}");
             assert_bits_equal(&got, &want, &ctx);
             assert_eq!(rep.quant, want_report, "{ctx}: QMatmulReport diverged");
-            assert_eq!(rep.run.chunks, B.div_ceil(micro) as u64, "{ctx}: chunk count");
+            assert_eq!(
+                rep.run.chunks,
+                B.div_ceil(micro) as u64,
+                "{ctx}: chunk count"
+            );
         }
     }
 }
@@ -163,8 +187,14 @@ fn serve_pipelined_layer_matches_sequential_and_reconciles() {
     let engine = QuantizedEngine::new(ttm, QuantConfig::default()).unwrap();
     let (m, n) = (bench.shape.num_rows(), bench.shape.num_cols());
 
-    let pipe = PipelinedEngine::quantized(&engine, PipelineConfig { depth: 3, micro_batch: 1 })
-        .unwrap();
+    let pipe = PipelinedEngine::quantized(
+        &engine,
+        PipelineConfig {
+            depth: 3,
+            micro_batch: 1,
+        },
+    )
+    .unwrap();
     let mut registry = EngineRegistry::new();
     registry.insert_pipelined("fc", pipe);
 
@@ -178,8 +208,10 @@ fn serve_pipelined_layer_matches_sequential_and_reconciles() {
             x.data().to_vec()
         })
         .collect();
-    let tickets: Vec<_> =
-        inputs.iter().map(|x| client.submit("fc", x.clone()).unwrap()).collect();
+    let tickets: Vec<_> = inputs
+        .iter()
+        .map(|x| client.submit("fc", x.clone()).unwrap())
+        .collect();
 
     for (x, ticket) in inputs.iter().zip(tickets) {
         let response = ticket.wait().unwrap();
@@ -191,8 +223,14 @@ fn serve_pipelined_layer_matches_sequential_and_reconciles() {
     let stats = service.shutdown();
     assert_eq!(stats.submitted, stats.completed + stats.failed);
     assert_eq!(stats.failed, 0);
-    assert!(stats.pipeline_batches >= 1, "pipelined batches must be recorded");
-    assert!(stats.pipeline_chunks >= REQUESTS as u64, "every sample streams as >= 1 chunk");
+    assert!(
+        stats.pipeline_batches >= 1,
+        "pipelined batches must be recorded"
+    );
+    assert!(
+        stats.pipeline_chunks >= REQUESTS as u64,
+        "every sample streams as >= 1 chunk"
+    );
     assert_eq!(
         stats.pipeline_stage_chunks,
         stats.pipeline_chunks + stats.pipeline_handoffs,

@@ -28,8 +28,12 @@ fn pooled_gemm_dispatch_beats_scoped_spawn() {
     // paths go parallel, small enough that per-call spawn/join is a
     // visible fraction of the runtime (the regime the pool exists for).
     let (m, k, n) = (160, 160, 160);
-    let a: Vec<f64> = (0..m * k).map(|i| ((i % 97) as f64) * 0.013 - 0.5).collect();
-    let b: Vec<f64> = (0..k * n).map(|i| ((i % 89) as f64) * 0.017 - 0.7).collect();
+    let a: Vec<f64> = (0..m * k)
+        .map(|i| ((i % 97) as f64) * 0.013 - 0.5)
+        .collect();
+    let b: Vec<f64> = (0..k * n)
+        .map(|i| ((i % 89) as f64) * 0.017 - 0.7)
+        .collect();
     let mut c_pool = vec![0.0; m * n];
     let mut c_scoped = vec![0.0; m * n];
 

@@ -18,7 +18,10 @@ use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use tie::prelude::*;
-use tie::quant::{alignment, qmatmul, qmatmul_naive, qmatmul_raw, qmatmul_raw_portable};
+use tie::quant::{
+    alignment, qmatmul, qmatmul_naive, qmatmul_raw, qmatmul_raw_portable, qmatmul_raw_relu,
+    qmatmul_raw_relu_portable,
+};
 use tie::sim::{CalibrationMode, QuantConfig};
 use tie::tensor::{init, parallel};
 
@@ -38,14 +41,83 @@ fn assert_three_way_agreement(a: &QTensor, b: &QTensor, out: QFormat, threads: u
     let n = b.shape().dims()[1];
     let (prod_shift, out_shift) = alignment(a.format(), b.format(), out);
     let mut c_port = vec![0i16; m * n];
-    let r_port =
-        qmatmul_raw_portable(a.codes(), b.codes(), m, k, n, prod_shift, out_shift, &mut c_port);
+    let r_port = qmatmul_raw_portable(
+        a.codes(),
+        b.codes(),
+        m,
+        k,
+        n,
+        prod_shift,
+        out_shift,
+        &mut c_port,
+    );
+
+    // Fused-ReLU variants: the epilogue clamps the clipped 32-bit code at
+    // zero *after* both saturation counters are taken, so codes must be
+    // exactly requant-then-relu and reports must be exactly the plain
+    // kernel's — under the same engineered saturation.
+    let mut c_relu = vec![0i16; m * n];
+    let r_relu = qmatmul_raw_relu(
+        a.codes(),
+        b.codes(),
+        m,
+        k,
+        n,
+        prod_shift,
+        out_shift,
+        &mut c_relu,
+    );
+    let mut c_relu_port = vec![0i16; m * n];
+    let r_relu_port = qmatmul_raw_relu_portable(
+        a.codes(),
+        b.codes(),
+        m,
+        k,
+        n,
+        prod_shift,
+        out_shift,
+        &mut c_relu_port,
+    );
     parallel::set_num_threads(prev);
 
-    assert_eq!(c_fast.codes(), c_naive.codes(), "dispatched vs naive codes, {threads} threads");
-    assert_eq!(c_fast.codes(), &c_port[..], "dispatched vs portable codes, {threads} threads");
-    assert_eq!(r_fast, r_naive, "dispatched vs naive report, {threads} threads");
-    assert_eq!(r_fast, r_port, "dispatched vs portable report, {threads} threads");
+    assert_eq!(
+        c_fast.codes(),
+        c_naive.codes(),
+        "dispatched vs naive codes, {threads} threads"
+    );
+    assert_eq!(
+        c_fast.codes(),
+        &c_port[..],
+        "dispatched vs portable codes, {threads} threads"
+    );
+    assert_eq!(
+        r_fast, r_naive,
+        "dispatched vs naive report, {threads} threads"
+    );
+    assert_eq!(
+        r_fast, r_port,
+        "dispatched vs portable report, {threads} threads"
+    );
+
+    let want_relu: Vec<i16> = c_naive.codes().iter().map(|&v| v.max(0)).collect();
+    assert_eq!(
+        &c_relu[..],
+        &want_relu[..],
+        "fused relu vs requant-then-relu, {threads} threads"
+    );
+    assert_eq!(
+        &c_relu_port[..],
+        &want_relu[..],
+        "portable fused relu codes, {threads} threads"
+    );
+    assert_eq!(
+        r_relu, r_naive,
+        "fused relu report must equal the plain report, {threads} threads"
+    );
+    assert_eq!(
+        r_relu_port, r_naive,
+        "portable fused relu report, {threads} threads"
+    );
 }
 
 /// Deterministic saturation smoke test: an all-max-code product long
@@ -66,7 +138,11 @@ fn engineered_saturation_agrees_across_kernels_and_pool_sizes() {
     }
     let (_, report) = qmatmul_naive(&a, &b, out).unwrap();
     assert_eq!(report.outputs, (m * n) as u64);
-    assert_eq!(report.acc_saturations, (m * n) as u64, "every accumulator must saturate");
+    assert_eq!(
+        report.acc_saturations,
+        (m * n) as u64,
+        "every accumulator must saturate"
+    );
     assert!(report.out_saturations > 0, "requantization must clip");
 }
 
@@ -169,12 +245,18 @@ fn fc7_quantized_batch_runs_within_budget() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(5.0);
 
-    let bench = table4_benchmarks().into_iter().find(|b| b.name == "VGG-FC7").unwrap();
+    let bench = table4_benchmarks()
+        .into_iter()
+        .find(|b| b.name == "VGG-FC7")
+        .unwrap();
     let mut rng = ChaCha8Rng::seed_from_u64(0xfc7);
     let ttm = TtMatrix::<f64>::random(&mut rng, &bench.shape, 0.3).unwrap();
     // Batch-16 intermediates outgrow the Table 5 working SRAM (see
     // BENCH_quant.json note); provision for the batch.
-    let cfg = TieConfig { working_sram_bytes: 8 * 1024 * 1024, ..TieConfig::default() };
+    let cfg = TieConfig {
+        working_sram_bytes: 8 * 1024 * 1024,
+        ..TieConfig::default()
+    };
     let mut tie = TieAccelerator::new(cfg).unwrap();
     let layer = tie.load_layer(ttm).unwrap();
 
@@ -186,7 +268,11 @@ fn fc7_quantized_batch_runs_within_budget() {
     let (ys, stats) = tie.run_batch(&layer, &xs, false).unwrap();
     let elapsed = t.elapsed().as_secs_f64();
     assert!(ys.data().iter().all(|v| v.is_finite()));
-    assert_eq!(stats.saturations(), 0, "calibrated FC7 run must not saturate");
+    assert_eq!(
+        stats.saturations(),
+        0,
+        "calibrated FC7 run must not saturate"
+    );
     assert!(
         elapsed < budget_s,
         "FC7 batch-{B} took {elapsed:.2}s, budget {budget_s}s — fast path regressed"
@@ -208,7 +294,11 @@ fn one_shot_calibration_traces_only_at_load() {
     assert_eq!(tie.calibration_traces(), 0);
     let layer = tie.load_layer(ttm.clone()).unwrap();
     let probes = TieConfig::default().quant.probe_count as u64;
-    assert_eq!(tie.calibration_traces(), probes, "load must trace exactly the probe set");
+    assert_eq!(
+        tie.calibration_traces(),
+        probes,
+        "load must trace exactly the probe set"
+    );
 
     let xs: Tensor<f64> = init::uniform(&mut rng, vec![n, 4], 1.0);
     for _ in 0..5 {
@@ -222,12 +312,19 @@ fn one_shot_calibration_traces_only_at_load() {
 
     // Control: PerBatch keeps tracing on the hot path.
     let cfg = TieConfig {
-        quant: QuantConfig { calibration: CalibrationMode::PerBatch, ..QuantConfig::default() },
+        quant: QuantConfig {
+            calibration: CalibrationMode::PerBatch,
+            ..QuantConfig::default()
+        },
         ..TieConfig::default()
     };
     let mut legacy = TieAccelerator::new(cfg).unwrap();
     let layer = legacy.load_layer(ttm).unwrap();
-    assert_eq!(legacy.calibration_traces(), 0, "per-batch mode traces nothing at load");
+    assert_eq!(
+        legacy.calibration_traces(),
+        0,
+        "per-batch mode traces nothing at load"
+    );
     for i in 1..=3u64 {
         legacy.run_batch(&layer, &xs, false).unwrap();
         assert_eq!(

@@ -35,8 +35,14 @@ fn suite_seed() -> u64 {
 fn layers(seed: u64) -> Vec<(&'static str, Arc<CompactEngine<f64>>)> {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let shapes = [
-        ("fc_a", TtShape::uniform_rank(vec![2, 3], vec![3, 2], 2).unwrap()),
-        ("fc_b", TtShape::uniform_rank(vec![2, 2, 2], vec![2, 3, 2], 2).unwrap()),
+        (
+            "fc_a",
+            TtShape::uniform_rank(vec![2, 3], vec![3, 2], 2).unwrap(),
+        ),
+        (
+            "fc_b",
+            TtShape::uniform_rank(vec![2, 2, 2], vec![2, 3, 2], 2).unwrap(),
+        ),
         ("fc_c", TtShape::uniform_rank(vec![4], vec![9], 1).unwrap()),
     ];
     shapes
@@ -112,9 +118,9 @@ fn stress_no_lost_duplicated_or_cross_wired_responses() {
                                 Err(e) => panic!("unexpected submit error: {e}"),
                             }
                         };
-                        let resp = ticket.wait().unwrap_or_else(|e| {
-                            panic!("nonce {nonce}: response lost to {e}")
-                        });
+                        let resp = ticket
+                            .wait()
+                            .unwrap_or_else(|e| panic!("nonce {nonce}: response lost to {e}"));
                         let want = direct_eval(engine, &x);
                         assert_eq!(
                             resp.output.len(),
@@ -139,7 +145,11 @@ fn stress_no_lost_duplicated_or_cross_wired_responses() {
         assert_eq!(total, (CLIENTS * REQUESTS_PER_CLIENT) as u64);
 
         let stats = service.shutdown();
-        assert_eq!(stats.submitted, stats.completed + stats.failed, "counter balance");
+        assert_eq!(
+            stats.submitted,
+            stats.completed + stats.failed,
+            "counter balance"
+        );
         assert_eq!(stats.failed, 0, "no request may fail in a clean run");
         assert!(
             stats.submitted >= total,
@@ -224,7 +234,10 @@ fn stress_shutdown_under_load_drains_cleanly() {
         total_ok += ok;
     }
     let stats = observer.stats();
-    assert!(total_ok > 0, "some requests must have completed before shutdown");
+    assert!(
+        total_ok > 0,
+        "some requests must have completed before shutdown"
+    );
     assert_eq!(
         stats.submitted,
         stats.completed + stats.failed,

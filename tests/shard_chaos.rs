@@ -25,9 +25,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 use tie::core::CompactEngine;
-use tie::serve::{
-    EngineRegistry, HashRing, ServeConfig, ServeError, ShardConfig, ShardedService,
-};
+use tie::serve::{EngineRegistry, HashRing, ServeConfig, ServeError, ShardConfig, ShardedService};
 use tie::tensor::parallel;
 use tie::tt::{TtMatrix, TtShape};
 
@@ -61,7 +59,11 @@ fn layers_covering_all_shards(
     let mut layers = Vec::new();
     for i in 0..256 {
         let name = format!("layer{i}");
-        let pos = ring.shards().iter().position(|&s| s == ring.shard_for(&name)).unwrap();
+        let pos = ring
+            .shards()
+            .iter()
+            .position(|&s| s == ring.shard_for(&name))
+            .unwrap();
         if owned.iter().all(|&c| c > 0) && layers.len() >= 2 * ring.shards().len() {
             break;
         }
@@ -69,7 +71,10 @@ fn layers_covering_all_shards(
         let ttm = TtMatrix::<f64>::random(&mut rng, &shapes[i % shapes.len()], 0.6).unwrap();
         layers.push((name, Arc::new(CompactEngine::new(ttm).unwrap())));
     }
-    assert!(owned.iter().all(|&c| c > 0), "candidates must cover every shard");
+    assert!(
+        owned.iter().all(|&c| c > 0),
+        "candidates must cover every shard"
+    );
     layers
 }
 
@@ -168,14 +173,18 @@ fn chaos_round(seed: u64, pool: usize) {
     // the clients, then re-register and let the shard recover.
     let victim = ring.shard_for(&layers[0].0);
     std::thread::sleep(Duration::from_millis(20));
-    let drained_stats = service.drain_replica(victim, 0).expect("drain live replica");
+    let drained_stats = service
+        .drain_replica(victim, 0)
+        .expect("drain live replica");
     assert_eq!(
         drained_stats.submitted,
         drained_stats.completed + drained_stats.failed,
         "drained replica's own books balance"
     );
     std::thread::sleep(Duration::from_millis(10));
-    service.kill_replica(victim, 1).expect("kill second replica");
+    service
+        .kill_replica(victim, 1)
+        .expect("kill second replica");
     assert_eq!(service.live_replicas(victim), 0, "shard is dark");
     std::thread::sleep(Duration::from_millis(10));
     let slot = service.reregister_replica(victim).expect("re-register");
@@ -191,7 +200,11 @@ fn chaos_round(seed: u64, pool: usize) {
     let (name0, engine0) = &layers[0];
     let x = input_for(u64::MAX, engine0.matrix().shape().num_cols(), seed);
     let resp = probe.submit(name0, x.clone()).unwrap().wait().unwrap();
-    assert_eq!(resp.output, direct_eval(engine0, &x), "revived shard serves bit-identically");
+    assert_eq!(
+        resp.output,
+        direct_eval(engine0, &x),
+        "revived shard serves bit-identically"
+    );
 
     let service = Arc::try_unwrap(service).expect("all client handles joined");
     let stats = service.shutdown();
@@ -212,17 +225,50 @@ fn chaos_round(seed: u64, pool: usize) {
     }
     total_ok += 1; // the post-recovery probe above
 
-    assert!(total_ok > 1, "some requests must have completed around the chaos");
-    assert_eq!(global.completed, total_ok, "no response lost or double-completed");
-    assert_eq!(global.failed, torn, "every torn-down request accounted exactly once");
-    assert_eq!(global.submitted, total_ok + torn, "accepted = completed + torn down");
-    assert_eq!(global.submitted, global.completed + global.failed, "global balance");
-    assert_eq!(stats.routed(), global.submitted, "router routed == replicas accepted");
-    assert_eq!(stats.rejected(), full, "router rejects reconcile with client QueueFulls");
-    assert_eq!(stats.drained(), unavailable, "fail-fasts reconcile with ShardUnavailable");
+    assert!(
+        total_ok > 1,
+        "some requests must have completed around the chaos"
+    );
+    assert_eq!(
+        global.completed, total_ok,
+        "no response lost or double-completed"
+    );
+    assert_eq!(
+        global.failed, torn,
+        "every torn-down request accounted exactly once"
+    );
+    assert_eq!(
+        global.submitted,
+        total_ok + torn,
+        "accepted = completed + torn down"
+    );
+    assert_eq!(
+        global.submitted,
+        global.completed + global.failed,
+        "global balance"
+    );
+    assert_eq!(
+        stats.routed(),
+        global.submitted,
+        "router routed == replicas accepted"
+    );
+    assert_eq!(
+        stats.rejected(),
+        full,
+        "router rejects reconcile with client QueueFulls"
+    );
+    assert_eq!(
+        stats.drained(),
+        unavailable,
+        "fail-fasts reconcile with ShardUnavailable"
+    );
     for shard in &stats.shards {
         let view = shard.service();
-        assert_eq!(shard.routed, view.submitted, "shard {} routed balance", shard.shard);
+        assert_eq!(
+            shard.routed, view.submitted,
+            "shard {} routed balance",
+            shard.shard
+        );
         assert_eq!(
             view.submitted,
             view.completed + view.failed,
@@ -246,7 +292,9 @@ fn chaos_round(seed: u64, pool: usize) {
 
 #[test]
 fn chaos_kill_drain_reregister_reconciles_exactly() {
-    let _guard = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _guard = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let seed = suite_seed();
     let prev = parallel::set_num_threads(0);
     for &pool in &POOL_SIZES {
@@ -324,7 +372,9 @@ fn lifecycle_under_load(seed: u64) {
 
 #[test]
 fn shutdown_under_load_leaves_no_leaked_threads() {
-    let _guard = SERIAL.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _guard = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let seed = suite_seed().wrapping_add(0xCAFE);
     let prev = parallel::set_num_threads(0);
 

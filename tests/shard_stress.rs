@@ -177,19 +177,36 @@ fn run_round(seed: u64, round: u64, config: ShardConfig) {
 
     let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
     assert_eq!(total, (CLIENTS * REQUESTS_PER_CLIENT) as u64);
-    assert!(total >= 1000, "the load must be ≥ 1000 concurrently in-flight requests");
+    assert!(
+        total >= 1000,
+        "the load must be ≥ 1000 concurrently in-flight requests"
+    );
 
     let stats = service.shutdown();
     let global = stats.global();
 
     // Global balance.
-    assert_eq!(global.submitted, global.completed + global.failed, "counter balance");
+    assert_eq!(
+        global.submitted,
+        global.completed + global.failed,
+        "counter balance"
+    );
     assert_eq!(global.failed, 0, "no request may fail in a clean run");
-    assert_eq!(global.completed, total, "every checked response is accounted exactly once");
-    assert_eq!(global.batched_requests, global.submitted, "each request rode one batch");
+    assert_eq!(
+        global.completed, total,
+        "every checked response is accounted exactly once"
+    );
+    assert_eq!(
+        global.batched_requests, global.submitted,
+        "each request rode one batch"
+    );
 
     // Router ↔ replica reconciliation, per shard and in aggregate.
-    assert_eq!(stats.routed(), global.submitted, "router routed == replicas accepted");
+    assert_eq!(
+        stats.routed(),
+        global.submitted,
+        "router routed == replicas accepted"
+    );
     assert_eq!(stats.drained(), 0, "no shard ever drained in a clean run");
     let mut shards_with_traffic = 0usize;
     let mut summed = tie::serve::ServiceStats::default();

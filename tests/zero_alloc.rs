@@ -113,7 +113,11 @@ fn steady_state_qmatmul_into_performs_no_heap_allocation() {
         report = qmatmul_into(&a, &b, out, &mut codes).unwrap();
     }
     let after = allocs_on_this_thread();
-    assert_eq!(after - before, 0, "steady-state qmatmul_into must not allocate");
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state qmatmul_into must not allocate"
+    );
     assert_eq!(report.outputs, (m * n) as u64);
 }
 
@@ -161,7 +165,10 @@ fn steady_state_pipelined_engines_perform_no_heap_allocation() {
     let ttm = TtMatrix::<f64>::random(&mut rng, &shape, 0.8).unwrap();
     let fengine = CompactEngine::new(ttm.clone()).unwrap();
     let qengine = QuantizedEngine::new(ttm, QuantConfig::default()).unwrap();
-    let cfg = PipelineConfig { depth: 3, micro_batch: 2 };
+    let cfg = PipelineConfig {
+        depth: 3,
+        micro_batch: 2,
+    };
     let fpipe = PipelinedEngine::float(&fengine, cfg).unwrap();
     let qpipe = PipelinedEngine::quantized(&qengine, cfg).unwrap();
     assert!(fpipe.depth() > 1 && qpipe.depth() > 1);
@@ -233,4 +240,55 @@ fn steady_state_fused_paths_hold_across_batch_sizes() {
         0,
         "fused engines must not allocate at any batch size once warmed"
     );
+}
+
+/// Epilogue fusion must not cost the zero-alloc promise either: a float
+/// engine with bias + ReLU fused into the final-stage GEMM store and a
+/// quantized engine with ReLU fused into its requantization epilogue stay
+/// allocation-free across batch sizes once warmed. The epilogues index
+/// pre-built tables (the bias vector lives in the engine), so the hot
+/// path gains no per-call buffers.
+#[test]
+fn steady_state_epilogue_fused_engines_hold_across_batch_sizes() {
+    use tie::core::Activation;
+    use tie::sim::{QuantConfig, QuantizedEngine};
+    let mut rng = ChaCha8Rng::seed_from_u64(4247);
+    let shape = TtShape::uniform_rank(vec![4, 4, 4], vec![4, 4, 4], 3).unwrap();
+    let ttm = TtMatrix::<f64>::random(&mut rng, &shape, 0.8).unwrap();
+    let (n, m) = (shape.num_cols(), shape.num_rows());
+    let bias: Vec<f64> = (0..m).map(|o| (o as f64 - 3.0) * 0.1).collect();
+    let fengine = CompactEngine::new(ttm.clone())
+        .unwrap()
+        .with_bias(bias)
+        .unwrap()
+        .with_activation(Activation::Relu);
+    let qengine = QuantizedEngine::new(ttm, QuantConfig::default())
+        .unwrap()
+        .with_activation(Activation::Relu);
+    let bmax = 4usize;
+    let xs: Tensor<f64> = init::uniform(&mut rng, vec![n * bmax], 1.0);
+    let mut ys = vec![0.0f64; m * bmax];
+
+    fengine.matvec_batch_into(xs.data(), bmax, &mut ys).unwrap();
+    qengine.matvec_batch_into(xs.data(), bmax, &mut ys).unwrap();
+
+    let before = allocs_on_this_thread();
+    for &b in &[1usize, 2, 4] {
+        for _ in 0..4 {
+            fengine
+                .matvec_batch_into(&xs.data()[..n * b], b, &mut ys[..m * b])
+                .unwrap();
+            qengine
+                .matvec_batch_into(&xs.data()[..n * b], b, &mut ys[..m * b])
+                .unwrap();
+        }
+    }
+    let after = allocs_on_this_thread();
+    assert_eq!(
+        after - before,
+        0,
+        "epilogue-fused engines must not allocate at any batch size once warmed"
+    );
+    // Sanity: the ReLU really fired — every served output is non-negative.
+    assert!(ys[..m].iter().all(|&v| v >= 0.0));
 }

@@ -104,7 +104,13 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, id.into_benchmark_id());
-        run_one(&full, self.sample_size, self.measurement_time, self.warm_up_time, f);
+        run_one(
+            &full,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            f,
+        );
         self
     }
 
@@ -119,9 +125,15 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher, &I),
     {
         let full = format!("{}/{}", self.name, id.into_benchmark_id());
-        run_one(&full, self.sample_size, self.measurement_time, self.warm_up_time, |b| {
-            f(b, input);
-        });
+        run_one(
+            &full,
+            self.sample_size,
+            self.measurement_time,
+            self.warm_up_time,
+            |b| {
+                f(b, input);
+            },
+        );
         self
     }
 
@@ -137,12 +149,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Combines a function name and a displayed parameter.
     pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        Self { id: format!("{}/{}", function_name.into(), parameter) }
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// An identifier with only a parameter part.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        Self { id: parameter.to_string() }
+        Self {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -216,7 +232,12 @@ fn run_one<F: FnMut(&mut Bencher)>(
     warm_up_time: Duration,
     mut f: F,
 ) {
-    let mut b = Bencher { sample_size, measurement_time, warm_up_time, result: None };
+    let mut b = Bencher {
+        sample_size,
+        measurement_time,
+        warm_up_time,
+        result: None,
+    };
     f(&mut b);
     match b.result {
         Some(per_iter) => println!("{id:<56} time: {} per iter", format_duration(per_iter)),
@@ -277,7 +298,10 @@ mod tests {
 
     #[test]
     fn benchmark_id_formats_function_and_parameter() {
-        assert_eq!(BenchmarkId::new("compact", "16x16_r2").into_benchmark_id(), "compact/16x16_r2");
+        assert_eq!(
+            BenchmarkId::new("compact", "16x16_r2").into_benchmark_id(),
+            "compact/16x16_r2"
+        );
         assert_eq!(BenchmarkId::from_parameter(42).into_benchmark_id(), "42");
     }
 

@@ -206,20 +206,29 @@ pub mod collection {
     impl From<std::ops::Range<usize>> for SizeRange {
         fn from(r: std::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            Self { min: r.start, max: r.end - 1 }
+            Self {
+                min: r.start,
+                max: r.end - 1,
+            }
         }
     }
 
     impl From<std::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-            Self { min: *r.start(), max: *r.end() }
+            Self {
+                min: *r.start(),
+                max: *r.end(),
+            }
         }
     }
 
     /// Strategy for `Vec`s whose elements come from `element` and whose
     /// length is drawn from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     /// See [`vec`].
@@ -274,7 +283,9 @@ pub mod test_runner {
     impl TestCaseError {
         /// Creates a failure with the given message.
         pub fn fail(message: impl Into<String>) -> Self {
-            Self { message: message.into() }
+            Self {
+                message: message.into(),
+            }
         }
     }
 
@@ -309,9 +320,7 @@ where
     let mut rng = <SmallRng as rand::SeedableRng>::seed_from_u64(seed);
     for case in 0..cases {
         if let Err(e) = body(&mut rng) {
-            panic!(
-                "proptest `{test_name}` failed at case {case}/{cases} (seed {seed:#x}): {e}"
-            );
+            panic!("proptest `{test_name}` failed at case {case}/{cases} (seed {seed:#x}): {e}");
         }
     }
 }

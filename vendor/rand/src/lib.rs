@@ -263,11 +263,7 @@ pub mod seq {
         /// # Panics
         ///
         /// Panics if `amount > length` (same contract as upstream).
-        pub fn sample<R: RngCore + ?Sized>(
-            rng: &mut R,
-            length: usize,
-            amount: usize,
-        ) -> IndexVec {
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
             assert!(
                 amount <= length,
                 "sample: amount {amount} > length {length}"

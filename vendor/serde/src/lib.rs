@@ -229,6 +229,9 @@ mod tests {
                 Value::Array(vec![Value::UInt(2), Value::UInt(3)]),
             ])
         );
-        assert_eq!((1u8, "a").to_value(), Value::Array(vec![Value::UInt(1), Value::String("a".into())]));
+        assert_eq!(
+            (1u8, "a").to_value(),
+            Value::Array(vec![Value::UInt(1), Value::String("a".into())])
+        );
     }
 }

@@ -7,8 +7,8 @@
 
 #![forbid(unsafe_code)]
 
-pub use serde::Value;
 use serde::Serialize;
+pub use serde::Value;
 
 /// Serialization/parse error.
 #[derive(Debug, Clone)]
@@ -141,7 +141,10 @@ fn render_string(s: &str, out: &mut String) {
 /// Returns [`Error`] with a byte offset for malformed input or trailing
 /// non-whitespace.
 pub fn from_str(text: &str) -> Result<Value> {
-    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let value = p.parse_value()?;
     p.skip_ws();
@@ -289,8 +292,7 @@ impl<'a> Parser<'a> {
                                 if !(0xDC00..0xE000).contains(&lo) {
                                     return self.err("invalid low surrogate");
                                 }
-                                let code =
-                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
                                 char::from_u32(code)
                             } else {
                                 char::from_u32(hi)
@@ -309,8 +311,9 @@ impl<'a> Parser<'a> {
                     // Consume one UTF-8 character (input is a &str, so the
                     // remainder is valid UTF-8).
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest)
-                        .map_err(|_| Error { message: "invalid utf-8".into() })?;
+                    let s = std::str::from_utf8(rest).map_err(|_| Error {
+                        message: "invalid utf-8".into(),
+                    })?;
                     let c = s.chars().next().unwrap();
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -323,10 +326,12 @@ impl<'a> Parser<'a> {
         if self.pos + 4 > self.bytes.len() {
             return self.err("truncated \\u escape");
         }
-        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-            .map_err(|_| Error { message: "invalid utf-8 in \\u escape".into() })?;
-        let v = u32::from_str_radix(hex, 16)
-            .map_err(|_| Error { message: format!("invalid \\u escape {hex:?}") })?;
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4]).map_err(|_| Error {
+            message: "invalid utf-8 in \\u escape".into(),
+        })?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| Error {
+            message: format!("invalid \\u escape {hex:?}"),
+        })?;
         self.pos += 4;
         Ok(v)
     }
@@ -357,8 +362,9 @@ impl<'a> Parser<'a> {
                 self.pos += 1;
             }
         }
-        let lexeme = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| Error { message: "invalid utf-8 in number".into() })?;
+        let lexeme = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| Error {
+            message: "invalid utf-8 in number".into(),
+        })?;
         if lexeme.is_empty() || lexeme == "-" {
             return self.err("expected a number");
         }
@@ -370,10 +376,9 @@ impl<'a> Parser<'a> {
                 return Ok(Value::UInt(u));
             }
         }
-        lexeme
-            .parse::<f64>()
-            .map(Value::Float)
-            .map_err(|_| Error { message: format!("invalid number {lexeme:?}") })
+        lexeme.parse::<f64>().map(Value::Float).map_err(|_| Error {
+            message: format!("invalid number {lexeme:?}"),
+        })
     }
 }
 
@@ -446,14 +451,20 @@ mod tests {
         let v = sample();
         let text = to_string(&v).unwrap();
         assert_eq!(to_string(&from_str(&text).unwrap()).unwrap(), text);
-        assert_eq!(to_string(&from_str(&to_string_pretty(&v).unwrap()).unwrap()).unwrap(), text);
+        assert_eq!(
+            to_string(&from_str(&to_string_pretty(&v).unwrap()).unwrap()).unwrap(),
+            text
+        );
     }
 
     #[test]
     fn parse_number_variants() {
         assert_eq!(from_str("42").unwrap(), Value::Int(42));
         assert_eq!(from_str("-7").unwrap(), Value::Int(-7));
-        assert_eq!(from_str("18446744073709551615").unwrap(), Value::UInt(u64::MAX));
+        assert_eq!(
+            from_str("18446744073709551615").unwrap(),
+            Value::UInt(u64::MAX)
+        );
         assert_eq!(from_str("2.0").unwrap(), Value::Float(2.0));
         assert_eq!(from_str("1e3").unwrap(), Value::Float(1000.0));
         assert_eq!(from_str("-2.5E-2").unwrap(), Value::Float(-0.025));
@@ -499,9 +510,14 @@ mod tests {
     #[test]
     fn parse_nested_structures() {
         let v = from_str(r#"{"a":[{"b":[1,2.5,"x"]},null],"c":{}}"#).unwrap();
-        let Value::Object(entries) = &v else { panic!("not an object") };
+        let Value::Object(entries) = &v else {
+            panic!("not an object")
+        };
         assert_eq!(entries.len(), 2);
         assert_eq!(entries[0].0, "a");
-        assert_eq!(to_string(&v).unwrap(), r#"{"a":[{"b":[1,2.5,"x"]},null],"c":{}}"#);
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a":[{"b":[1,2.5,"x"]},null],"c":{}}"#
+        );
     }
 }
