@@ -23,7 +23,8 @@ use tie_tensor::linalg::{self, truncated_svd, truncated_svd_with, SvdMethod, Tru
 use tie_tensor::{init, Tensor};
 use tie_tt::{decompose::tt_svd, TtMatrix};
 use tie_workloads::{
-    compile_dense_layer, synthetic_layer_weights, table4_benchmarks, CompileOptions, ErrorCheck,
+    compile_dense_layer, layer_weight_seed, synthetic_layer_weights, table4_benchmarks,
+    CompileOptions, ErrorCheck,
 };
 
 const REPS: usize = 3;
@@ -227,8 +228,8 @@ fn write_json() {
         method: SvdMethod::default(),
         error_check: ErrorCheck::Skip,
     };
-    for (i, bench) in table4_benchmarks().iter().enumerate() {
-        let w = synthetic_layer_weights(&bench.shape, 1e-4, 100 + i as u64).unwrap();
+    for bench in table4_benchmarks().iter() {
+        let w = synthetic_layer_weights(&bench.shape, 1e-4, layer_weight_seed(bench.name)).unwrap();
         let compiled =
             compile_dense_layer(bench.name, &w, &bench.shape, Some(bench.paper_cr), &opts).unwrap();
         report.row([

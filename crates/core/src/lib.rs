@@ -39,6 +39,13 @@
 //!   working-set bound.
 //! * [`scheme`] — [`scheme::CompactEngine`]: the executable scheme with
 //!   operation counters.
+//! * [`costing`] — the analytic Fig. 7 cycle model ([`costing::CostModel`])
+//!   as a pure function of plan + hardware geometry, with batched and
+//!   pipelined extensions; the planner-side scoring hook the deployment
+//!   autotuner searches with (the simulator delegates here).
+//! * [`deploy`] — serializable per-layer [`deploy::DeploymentPlan`]s: the
+//!   autotuner's output artifact (JSON, bit-identical round-trip) that the
+//!   serving registry can load to reconstruct engines directly.
 //! * [`pipeline`] — pipeline-parallel execution of one layer's stage
 //!   chain: a cut-point planner balancing per-stage MAC/SRAM costs and a
 //!   [`pipeline::StagePipeline`] executor streaming micro-batched `V'_h`
@@ -67,13 +74,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod costing;
 pub mod counts;
+pub mod deploy;
 pub mod indexmap;
 pub mod pipeline;
 pub mod plan;
 pub mod scheme;
 pub mod transform;
 
+pub use costing::CostModel;
+pub use deploy::{plans_from_json, plans_to_json, DeploymentPlan, PlanBackend};
 pub use pipeline::{CutPlan, FloatChain, PipelineConfig, StagePipeline};
 pub use plan::InferencePlan;
 pub use scheme::CompactEngine;

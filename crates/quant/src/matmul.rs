@@ -68,6 +68,18 @@ impl QMatmulReport {
         self.acc_saturations == 0 && self.out_saturations == 0
     }
 
+    /// Saturation events (accumulator + requantization) per output
+    /// element — 0.0 for an empty report. The same figure the serving
+    /// layer tracks as `quant_saturation_rate()`, available per-multiply
+    /// so calibration loops can gate on it directly.
+    #[must_use]
+    pub fn saturation_rate(&self) -> f64 {
+        if self.outputs == 0 {
+            return 0.0;
+        }
+        (self.acc_saturations + self.out_saturations) as f64 / self.outputs as f64
+    }
+
     /// Element-wise sum of two reports (stage-wise aggregation).
     #[must_use]
     pub fn merged(&self, other: &QMatmulReport) -> QMatmulReport {

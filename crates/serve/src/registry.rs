@@ -19,8 +19,10 @@
 use crate::worker::WorkerEngine;
 use std::collections::HashMap;
 use std::sync::Arc;
-use tie_core::{Activation, CompactEngine};
-use tie_sim::{PipelinedEngine, QuantizedEngine};
+use tie_core::{Activation, CompactEngine, DeploymentPlan, PipelineConfig, PlanBackend, Result};
+use tie_sim::{PipelinedEngine, QuantConfig, QuantizedEngine};
+use tie_tensor::TensorError;
+use tie_tt::TtMatrix;
 
 /// Layer-name → prepared-engine map handed to
 /// [`crate::InferenceService::start`].
@@ -138,6 +140,69 @@ impl EngineRegistry {
         self.quantized.remove(&name);
         self.pipelined.insert(name, engine);
         self
+    }
+
+    /// Registers an engine built from a [`DeploymentPlan`] — the
+    /// autotuner's artifact — over `matrix`, the compiled TT weights the
+    /// plan describes. The plan's backend, pipeline cut depth, fused
+    /// activation, and quant calibration margin all take effect:
+    ///
+    /// * `Float` + depth 1 → [`CompactEngine`],
+    /// * `Quantized` + depth 1 → [`QuantizedEngine`] calibrated at the
+    ///   plan's `quant_margin` over `quant` (pass
+    ///   [`QuantConfig::default`] unless serving needs custom formats),
+    /// * depth > 1 → either datapath wrapped in a [`PipelinedEngine`] at
+    ///   the plan's `{pipeline_depth, micro_batch}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] for an invalid plan or a
+    /// `matrix` whose TT layout differs from the plan's shape (the plan
+    /// would misdescribe the engine), and propagates construction errors.
+    pub fn insert_from_plan(
+        &mut self,
+        plan: &DeploymentPlan,
+        matrix: TtMatrix<f64>,
+        quant: QuantConfig,
+    ) -> Result<&mut Self> {
+        plan.validate()?;
+        if matrix.shape() != &plan.shape {
+            return Err(TensorError::InvalidArgument {
+                message: format!(
+                    "matrix layout {:?}x{:?} ranks {:?} does not match plan `{}`",
+                    matrix.shape().row_modes,
+                    matrix.shape().col_modes,
+                    matrix.shape().ranks,
+                    plan.layer
+                ),
+            });
+        }
+        let pipe = PipelineConfig {
+            depth: plan.pipeline_depth,
+            micro_batch: plan.micro_batch,
+        };
+        match plan.backend {
+            PlanBackend::Float => {
+                let engine = CompactEngine::new(matrix)?.with_activation(plan.activation);
+                if plan.is_pipelined() {
+                    let wrapped = PipelinedEngine::float(&engine, pipe)?;
+                    Ok(self.insert_pipelined(plan.layer.clone(), wrapped))
+                } else {
+                    Ok(self.insert(plan.layer.clone(), engine))
+                }
+            }
+            PlanBackend::Quantized => {
+                let engine =
+                    QuantizedEngine::new(matrix, quant.with_probe_margin(plan.quant_margin))?
+                        .with_activation(plan.activation);
+                if plan.is_pipelined() {
+                    let wrapped = PipelinedEngine::quantized(&engine, pipe)?;
+                    Ok(self.insert_pipelined(plan.layer.clone(), wrapped))
+                } else {
+                    Ok(self.insert_quantized(plan.layer.clone(), engine))
+                }
+            }
+        }
     }
 
     /// The shared float engine registered under `name` (`None` if the name
@@ -442,6 +507,89 @@ mod tests {
             reg.get_quantized("qrelu").unwrap().activation(),
             Activation::Relu
         );
+    }
+
+    #[test]
+    fn insert_from_plan_constructs_every_backend_combination() {
+        use tie_core::{DeploymentPlan, PlanBackend};
+        use tie_sim::QuantConfig;
+        use tie_tensor::linalg::SvdMethod;
+
+        let shape = TtShape::uniform_rank(vec![2, 3], vec![3, 2], 2).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(40);
+        let matrix = TtMatrix::random(&mut rng, &shape, 0.5).unwrap();
+        let plan = |name: &str, backend, depth| DeploymentPlan {
+            layer: name.to_string(),
+            shape: shape.clone(),
+            svd: SvdMethod::Jacobi,
+            backend,
+            batch: 4,
+            pipeline_depth: depth,
+            micro_batch: 1,
+            activation: Activation::Relu,
+            quant_margin: 1.5,
+            modeled_cycles_per_sample: 0.0,
+        };
+
+        let mut reg = EngineRegistry::new();
+        reg.insert_from_plan(
+            &plan("float", PlanBackend::Float, 1),
+            matrix.clone(),
+            QuantConfig::default(),
+        )
+        .unwrap()
+        .insert_from_plan(
+            &plan("quant", PlanBackend::Quantized, 1),
+            matrix.clone(),
+            QuantConfig::default(),
+        )
+        .unwrap()
+        .insert_from_plan(
+            &plan("float-pipe", PlanBackend::Float, 2),
+            matrix.clone(),
+            QuantConfig::default(),
+        )
+        .unwrap()
+        .insert_from_plan(
+            &plan("quant-pipe", PlanBackend::Quantized, 2),
+            matrix.clone(),
+            QuantConfig::default(),
+        )
+        .unwrap();
+
+        assert_eq!(reg.len(), 4);
+        assert_eq!(
+            reg.get("float").unwrap().activation(),
+            Activation::Relu,
+            "plan epilogue must be fused"
+        );
+        assert!(reg.get_quantized("quant").is_some());
+        assert!(reg.is_pipelined("float-pipe") && !reg.is_quantized("float-pipe"));
+        assert!(reg.is_pipelined("quant-pipe") && reg.is_quantized("quant-pipe"));
+        // The plan's margin reaches the calibration.
+        let wide = DeploymentPlan {
+            quant_margin: 3.0,
+            ..plan("wide", PlanBackend::Quantized, 1)
+        };
+        reg.insert_from_plan(&wide, matrix.clone(), QuantConfig::default())
+            .unwrap();
+        let narrow = reg.get_quantized("quant").unwrap();
+        let widened = reg.get_quantized("wide").unwrap();
+        assert!(
+            widened.stage_formats()[0].frac_bits() <= narrow.stage_formats()[0].frac_bits(),
+            "wider margin can only cost fraction bits"
+        );
+        // A matrix that doesn't match the plan's layout is rejected.
+        let other_shape = TtShape::uniform_rank(vec![3, 2], vec![2, 3], 2).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let other = TtMatrix::random(&mut rng, &other_shape, 0.5).unwrap();
+        assert!(reg
+            .insert_from_plan(
+                &plan("bad", PlanBackend::Float, 1),
+                other,
+                QuantConfig::default()
+            )
+            .is_err());
     }
 
     #[test]

@@ -897,15 +897,11 @@ impl TieAccelerator {
     /// configuration, ignoring bank conflicts — the closed-form tiling
     /// model the tests compare the simulator against:
     /// `Σ_h ceil(R_h/N_MAC) · ceil(W_h/N_PE) · (C_h + overhead)`.
+    /// Delegates to [`tie_core::CostModel`] (via
+    /// [`TieConfig::cost_model`]), so planner-side scoring and the
+    /// simulator can never drift apart.
     pub fn predict_cycles(&self, plan: &InferencePlan) -> u64 {
-        plan.stages()
-            .iter()
-            .map(|s| {
-                let passes = (s.gtilde_rows.div_ceil(self.config.n_mac)
-                    * s.v_cols.div_ceil(self.config.n_pe)) as u64;
-                passes * (s.gtilde_cols as u64 + self.config.pass_overhead_cycles)
-            })
-            .sum()
+        self.config.cost_model().total_cycles(plan, 1)
     }
 }
 

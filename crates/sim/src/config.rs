@@ -65,6 +65,27 @@ pub struct QuantConfig {
     pub probe_margin: f64,
 }
 
+impl QuantConfig {
+    /// This configuration with a different calibration headroom margin —
+    /// the knob the autotuner searches and the saturation re-probe loop
+    /// widens.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `margin` is not positive and finite.
+    #[must_use]
+    pub fn with_probe_margin(self, margin: f64) -> Self {
+        assert!(
+            margin > 0.0 && margin.is_finite(),
+            "probe margin must be positive and finite, got {margin}"
+        );
+        QuantConfig {
+            probe_margin: margin,
+            ..self
+        }
+    }
+}
+
 impl Default for QuantConfig {
     fn default() -> Self {
         QuantConfig {
@@ -189,6 +210,18 @@ impl TieConfig {
     /// Converts a cycle count to seconds at the configured clock.
     pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
         cycles as f64 / (self.freq_mhz * 1e6)
+    }
+
+    /// The analytic [`tie_core::CostModel`] projection of this
+    /// configuration (PE/MAC geometry + pass overhead) — the scoring hook
+    /// `TieAccelerator::predict_cycles` and the deployment autotuner share.
+    #[must_use]
+    pub fn cost_model(&self) -> tie_core::CostModel {
+        tie_core::CostModel {
+            n_pe: self.n_pe,
+            n_mac: self.n_mac,
+            pass_overhead_cycles: self.pass_overhead_cycles,
+        }
     }
 }
 

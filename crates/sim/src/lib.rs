@@ -39,6 +39,7 @@ mod config;
 mod pe_array;
 mod qengine;
 mod qpipeline;
+mod reprobe;
 mod sram;
 mod stats;
 
@@ -47,6 +48,7 @@ pub use config::{CalibrationMode, QuantConfig, TieConfig};
 pub use pe_array::PeArray;
 pub use qengine::QuantizedEngine;
 pub use qpipeline::{PipeReport, PipelinedEngine, QuantChain};
+pub use reprobe::{quantize_with_reprobe, ReprobeAttempt, ReprobeConfig, ReprobeReport};
 pub use sram::{WeightSram, WorkingSram};
 pub use stats::{RunStats, StageStats};
 

@@ -1,5 +1,14 @@
 //! The paper's Table 4 benchmark workloads.
+//!
+//! [`LayerSpec`] is the **single source of truth** for a layer's
+//! compile-time setting: the mode factorizations, the rank budget, the
+//! fused epilogue, the synthetic-weight noise floor, and the
+//! per-layer-name weight seed. Both the default compile path
+//! ([`crate::compile::compile_table4`]) and the deployment autotuner
+//! ([`crate::autotune`]) consume the same [`table4_layer_specs`] table, so
+//! the two can never disagree about what "the default plan" is.
 
+use tie_core::Activation;
 use tie_tt::TtShape;
 
 /// Task family of a benchmark layer (Table 4 "Tasks" column).
@@ -9,6 +18,119 @@ pub enum Task {
     ImageClassification,
     /// RNN model for video classification.
     VideoClassification,
+}
+
+/// Deterministic per-layer-name weight seed (FNV-1a over the name).
+///
+/// Seeding by *name* instead of table position means adding, removing or
+/// reordering layers never shifts any other layer's synthetic weights —
+/// golden fixtures downstream stay pinned to the layer they were cut for.
+#[must_use]
+pub fn layer_weight_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One layer's complete compile-time setting — what the paper prints in
+/// Table 4, plus the knobs our synthetic-weight pipeline needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerSpec {
+    /// Layer name (registry key, Table 4 workload name).
+    pub name: &'static str,
+    /// Row-mode factorization of the output dimension `M`.
+    pub row_modes: Vec<usize>,
+    /// Column-mode factorization of the input dimension `N`.
+    pub col_modes: Vec<usize>,
+    /// Uniform interior TT-rank budget.
+    pub rank: usize,
+    /// Task family.
+    pub task: Task,
+    /// Compression ratio printed in Table 4 (`None` for ad-hoc layers).
+    pub paper_cr: Option<f64>,
+    /// Epilogue fused into the final stage when serving this layer.
+    pub activation: Activation,
+    /// Gaussian noise stddev planted on the synthetic weights (the
+    /// reconstruction-error floor the compile must land at).
+    pub noise: f64,
+}
+
+impl LayerSpec {
+    /// The TT layout `(d, m, n, r)` this spec describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the mode lists are inconsistent — the in-tree tables
+    /// are all valid, and hand-built specs should fail loudly in tests.
+    #[must_use]
+    pub fn shape(&self) -> TtShape {
+        TtShape::uniform_rank(self.row_modes.clone(), self.col_modes.clone(), self.rank)
+            .expect("layer spec must describe a valid TT layout")
+    }
+
+    /// Dense layer size as `(rows, cols)` — Table 4 "Size".
+    #[must_use]
+    pub fn size(&self) -> (usize, usize) {
+        (
+            self.row_modes.iter().product(),
+            self.col_modes.iter().product(),
+        )
+    }
+
+    /// This layer's synthetic-weight seed ([`layer_weight_seed`] of its
+    /// name).
+    #[must_use]
+    pub fn weight_seed(&self) -> u64 {
+        layer_weight_seed(self.name)
+    }
+}
+
+/// The Table 4 layer table — every printed TT setting as a [`LayerSpec`].
+#[must_use]
+pub fn table4_layer_specs() -> Vec<LayerSpec> {
+    let spec = |name, row_modes, col_modes, task, paper_cr| LayerSpec {
+        name,
+        row_modes,
+        col_modes,
+        rank: 4,
+        task,
+        paper_cr: Some(paper_cr),
+        activation: Activation::Identity,
+        noise: 1e-4,
+    };
+    vec![
+        spec(
+            "VGG-FC6",
+            vec![4; 6],
+            vec![2, 7, 8, 8, 7, 4],
+            Task::ImageClassification,
+            50972.0,
+        ),
+        spec(
+            "VGG-FC7",
+            vec![4; 6],
+            vec![4; 6],
+            Task::ImageClassification,
+            14564.0,
+        ),
+        spec(
+            "LSTM-UCF11",
+            vec![4; 4],
+            vec![8, 20, 20, 18],
+            Task::VideoClassification,
+            4954.0,
+        ),
+        spec(
+            "LSTM-Youtube",
+            vec![4; 4],
+            vec![4, 20, 20, 36],
+            Task::VideoClassification,
+            4608.0,
+        ),
+    ]
 }
 
 /// One evaluated workload: a TT-compressed layer with its full setting.
@@ -31,41 +153,22 @@ impl Benchmark {
     }
 }
 
-/// All four Table 4 workloads with their printed TT settings.
+/// All four Table 4 workloads with their printed TT settings — a
+/// [`Benchmark`] view over [`table4_layer_specs`].
 ///
 /// # Panics
 ///
 /// Never: the constant configurations are valid.
 pub fn table4_benchmarks() -> Vec<Benchmark> {
-    vec![
-        Benchmark {
-            name: "VGG-FC6",
-            shape: TtShape::uniform_rank(vec![4; 6], vec![2, 7, 8, 8, 7, 4], 4)
-                .expect("valid paper config"),
-            task: Task::ImageClassification,
-            paper_cr: 50972.0,
-        },
-        Benchmark {
-            name: "VGG-FC7",
-            shape: TtShape::uniform_rank(vec![4; 6], vec![4; 6], 4).expect("valid paper config"),
-            task: Task::ImageClassification,
-            paper_cr: 14564.0,
-        },
-        Benchmark {
-            name: "LSTM-UCF11",
-            shape: TtShape::uniform_rank(vec![4; 4], vec![8, 20, 20, 18], 4)
-                .expect("valid paper config"),
-            task: Task::VideoClassification,
-            paper_cr: 4954.0,
-        },
-        Benchmark {
-            name: "LSTM-Youtube",
-            shape: TtShape::uniform_rank(vec![4; 4], vec![4, 20, 20, 36], 4)
-                .expect("valid paper config"),
-            task: Task::VideoClassification,
-            paper_cr: 4608.0,
-        },
-    ]
+    table4_layer_specs()
+        .into_iter()
+        .map(|spec| Benchmark {
+            shape: spec.shape(),
+            name: spec.name,
+            task: spec.task,
+            paper_cr: spec.paper_cr.expect("table4 specs carry the printed CR"),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -99,5 +202,36 @@ mod tests {
         for b in table4_benchmarks() {
             assert!(b.shape.ranks[1..b.shape.ndim()].iter().all(|&r| r == 4));
         }
+    }
+
+    #[test]
+    fn benchmarks_are_a_view_over_the_spec_table() {
+        let specs = table4_layer_specs();
+        let benches = table4_benchmarks();
+        assert_eq!(specs.len(), benches.len());
+        for (s, b) in specs.iter().zip(&benches) {
+            assert_eq!(s.name, b.name);
+            assert_eq!(s.shape(), b.shape);
+            assert_eq!(s.task, b.task);
+            assert_eq!(s.paper_cr, Some(b.paper_cr));
+            assert_eq!(s.size(), b.size());
+        }
+    }
+
+    #[test]
+    fn weight_seeds_depend_on_the_name_not_the_position() {
+        let seeds: Vec<u64> = table4_layer_specs()
+            .iter()
+            .map(LayerSpec::weight_seed)
+            .collect();
+        // All distinct …
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seeds.len());
+        // … stable across calls, and a pure function of the name.
+        assert_eq!(layer_weight_seed("VGG-FC7"), layer_weight_seed("VGG-FC7"));
+        assert_ne!(layer_weight_seed("VGG-FC7"), layer_weight_seed("VGG-FC6"));
+        assert_eq!(seeds[1], layer_weight_seed("VGG-FC7"));
     }
 }

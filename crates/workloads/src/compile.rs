@@ -21,7 +21,7 @@ use tie_tensor::linalg::{SvdMethod, Truncation};
 use tie_tensor::{init, Result, Tensor, TensorError};
 use tie_tt::{TtMatrix, TtShape};
 
-use crate::table4_benchmarks;
+use crate::benchmarks::{table4_layer_specs, LayerSpec};
 
 /// How [`compile_dense_layer`] validates the compressed layer against the
 /// dense weights.
@@ -179,9 +179,34 @@ pub fn compile_dense_layer(
     Ok(CompiledLayer { engine, report })
 }
 
+/// Synthesizes the dense weights a [`LayerSpec`] describes: planted-TT
+/// structure at the spec's layout, the spec's noise floor, and the
+/// per-layer-name seed ([`LayerSpec::weight_seed`]) — so a layer's
+/// weights are a pure function of its spec, never of its table position.
+///
+/// # Errors
+///
+/// Propagates shape errors from the TT substrate.
+pub fn spec_weights(spec: &LayerSpec) -> Result<Tensor<f64>> {
+    synthetic_layer_weights(&spec.shape(), spec.noise, spec.weight_seed())
+}
+
+/// Compiles one [`LayerSpec`] end-to-end: [`spec_weights`] →
+/// [`compile_dense_layer`] at the spec's layout.
+///
+/// # Errors
+///
+/// Propagates [`compile_dense_layer`] errors.
+pub fn compile_spec(spec: &LayerSpec, opts: &CompileOptions) -> Result<CompiledLayer> {
+    let w = spec_weights(spec)?;
+    compile_dense_layer(spec.name, &w, &spec.shape(), spec.paper_cr, opts)
+}
+
 /// Compiles every Table 4 FC layer end-to-end (synthetic planted-TT
 /// weights → TT-SVD → [`CompactEngine`]) and registers the engines in an
-/// [`EngineRegistry`] under the Table 4 workload names.
+/// [`EngineRegistry`] under the Table 4 workload names. Consumes the
+/// [`table4_layer_specs`] table — the same source of truth the deployment
+/// autotuner searches from.
 ///
 /// # Errors
 ///
@@ -189,11 +214,9 @@ pub fn compile_dense_layer(
 pub fn compile_table4(opts: &CompileOptions) -> Result<(EngineRegistry, Vec<LayerCompileReport>)> {
     let mut registry = EngineRegistry::new();
     let mut reports = Vec::new();
-    for (i, bench) in table4_benchmarks().into_iter().enumerate() {
-        let w = synthetic_layer_weights(&bench.shape, 1e-4, 100 + i as u64)?;
-        let compiled =
-            compile_dense_layer(bench.name, &w, &bench.shape, Some(bench.paper_cr), opts)?;
-        registry.insert(bench.name, compiled.engine);
+    for spec in table4_layer_specs() {
+        let compiled = compile_spec(&spec, opts)?;
+        registry.insert(spec.name, compiled.engine);
         reports.push(compiled.report);
     }
     Ok((registry, reports))

@@ -15,11 +15,17 @@
 //! * [`compile`] — end-to-end model compilation: dense weights → TT-SVD →
 //!   [`tie_core::CompactEngine`] registered in a serving
 //!   `EngineRegistry`, with compression-ratio and reconstruction-error
-//!   reporting against Table 4.
+//!   reporting against Table 4,
+//! * [`autotune`] — per-layer design-space search over TT layouts, rank
+//!   budgets, SVD routes, batch widths, pipeline cut depths and quant
+//!   calibration margins, emitting serializable
+//!   [`tie_core::DeploymentPlan`]s validated against live saturation
+//!   measurement.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod autotune;
 pub mod benchmarks;
 pub mod compile;
 pub mod factorize;
@@ -27,10 +33,16 @@ pub mod sparsity;
 pub mod sweep;
 pub mod vgg_conv;
 
-pub use benchmarks::{table4_benchmarks, Benchmark, Task};
+pub use autotune::{
+    autotune_layer, autotune_table4, registry_from_plans, tuned_table4_registry, SearchSpace,
+    TunedLayer, TunerConfig,
+};
+pub use benchmarks::{
+    layer_weight_seed, table4_benchmarks, table4_layer_specs, Benchmark, LayerSpec, Task,
+};
 pub use compile::{
-    compile_dense_layer, compile_table4, synthetic_layer_weights, CompileOptions, CompiledLayer,
-    ErrorCheck, LayerCompileReport,
+    compile_dense_layer, compile_spec, compile_table4, spec_weights, synthetic_layer_weights,
+    CompileOptions, CompiledLayer, ErrorCheck, LayerCompileReport,
 };
 
 pub use tie_tensor::{Result, TensorError};

@@ -34,7 +34,7 @@ cargo test -q --workspace "${CARGO_FLAGS[@]}"
 TIE_STRESS_SEED="${TIE_STRESS_SEED:-3735928559}"
 export TIE_STRESS_SEED
 echo "== tier-2: verification suites (TIE_STRESS_SEED=${TIE_STRESS_SEED}) =="
-for suite in differential epilogue_differential pipeline_differential golden properties serve_stress quant_kernels zero_alloc indexmap_fused shard_stress shard_chaos; do
+for suite in differential epilogue_differential pipeline_differential golden properties serve_stress quant_kernels zero_alloc indexmap_fused shard_stress shard_chaos autotune_plans; do
   echo "-- ${suite}, TIE_THREADS=1 --"
   TIE_THREADS=1 cargo test -q --test "${suite}" "${CARGO_FLAGS[@]}"
   echo "-- ${suite}, default thread count --"
@@ -81,6 +81,22 @@ TIE_THREADS=1 cargo test -q --release --test indexmap_fused \
 echo "== tier-2: fused FC7 batch budget (${TIE_TRANSFORM_BUDGET_S}s), default thread count =="
 cargo test -q --release --test indexmap_fused \
   "${CARGO_FLAGS[@]}" fused_fc7_batch16_meets_wall_clock_budget -- --ignored
+
+# Autotuner determinism + budget gate (autotune PR, DESIGN.md §17): the
+# pinned LSTM-UCF11/LSTM-Youtube searches must reproduce the committed
+# golden tuned-plan fixtures byte-for-byte at both thread settings (the
+# same-seed ⇒ same-plan contract; the pool-{1,2,8} sweep on a small layer
+# also runs un-ignored in the autotune_plans suite above), and each layer's
+# search must finish inside the wall-clock budget. Needs --release — the
+# searches TT-SVD-compile paper-scale LSTM weights.
+TIE_AUTOTUNE_BUDGET_S="${TIE_AUTOTUNE_BUDGET_S:-30}"
+export TIE_AUTOTUNE_BUDGET_S
+echo "== tier-2: autotuner fixture reproduction (budget ${TIE_AUTOTUNE_BUDGET_S}s/layer), TIE_THREADS=1 =="
+TIE_THREADS=1 cargo test -q --release --test autotune_plans \
+  "${CARGO_FLAGS[@]}" tuned_plan_search_reproduces_the_fixtures -- --ignored
+echo "== tier-2: autotuner fixture reproduction (budget ${TIE_AUTOTUNE_BUDGET_S}s/layer), default thread count =="
+cargo test -q --release --test autotune_plans \
+  "${CARGO_FLAGS[@]}" tuned_plan_search_reproduces_the_fixtures -- --ignored
 
 # Pool dispatch regression gate (pool PR, DESIGN.md §11): the persistent
 # pool must not be slower than the old per-call scoped-spawn path on a
